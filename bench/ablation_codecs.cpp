@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation: how much does the per-stream codec *selection* (paper §5
+ * "Selection") buy over committing to a single predictor family?
+ * Also reports how often each codec wins under full selection.
+ */
+
+#include <map>
+
+#include "benchcommon.h"
+#include "core/compressed.h"
+
+using namespace wet;
+using namespace wet::bench;
+
+namespace {
+
+codec::SelectorOptions
+familyOptions(const std::string& family)
+{
+    codec::SelectorOptions opt;
+    for (const auto& cfg : codec::candidateConfigs()) {
+        std::string name =
+            codec::methodName(cfg.method, cfg.context);
+        if (family == "all" || name.rfind(family, 0) == 0) {
+            // "last" must not swallow "laststride".
+            if (family == "last" &&
+                cfg.method != codec::Method::LastN)
+            {
+                continue;
+            }
+            opt.candidates.push_back(cfg);
+        }
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main()
+{
+    static const char* kFamilies[] = {"all", "fcm", "dfcm", "last",
+                                      "laststride"};
+    support::TablePrinter table({"Benchmark", "Family",
+                                 "Tier-2 (MB)", "vs all"});
+    std::map<std::string, uint64_t> totalWins;
+    for (const auto& w : workloads::allWorkloads()) {
+        uint64_t scale = std::max<uint64_t>(1, effectiveScale(w) / 4);
+        auto art = workloads::buildWet(w, scale);
+        uint64_t allBytes = 0;
+        bool first = true;
+        for (const char* family : kFamilies) {
+            core::WetCompressed comp(art->graph,
+                                     familyOptions(family));
+            uint64_t bytes = comp.sizes().total();
+            if (std::string(family) == "all") {
+                allBytes = bytes;
+                for (const auto& [m, c] : comp.methodWins())
+                    totalWins[m] += c;
+            }
+            table.addRow({first ? w.name : "", family, mb(bytes),
+                          ratio(bytes, allBytes)});
+            first = false;
+        }
+    }
+    table.print("Ablation: single codec family vs per-stream "
+                "selection");
+
+    support::TablePrinter wins({"Codec", "Streams won"});
+    for (const auto& [m, c] : totalWins)
+        wins.addRow({m, std::to_string(c)});
+    wins.print("\nCodec win counts under full selection");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation of the tier-1 design choices the paper motivates:
+ *  - Ball–Larus path nodes vs one-block nodes (§3.1, Fig. 2);
+ *  - local-edge label inference (§3.3, Fig. 4a);
+ *  - shared label sequences across edges (§3.3, Fig. 4b).
+ * Reports tier-1 component sizes under each configuration.
+ */
+
+#include "benchcommon.h"
+#include "core/compressed.h"
+
+using namespace wet;
+using namespace wet::bench;
+
+int
+main()
+{
+    struct Config
+    {
+        const char* name;
+        workloads::BuildConfig cfg;
+    };
+    std::vector<Config> configs;
+    configs.push_back({"full tier-1", {}});
+    {
+        Config c{"block-granularity nodes", {}};
+        c.cfg.maxPaths = 1;
+        configs.push_back(c);
+    }
+    {
+        Config c{"no local-edge inference", {}};
+        c.cfg.builder.inferLocalEdges = false;
+        configs.push_back(c);
+    }
+    {
+        Config c{"no label sharing", {}};
+        c.cfg.builder.poolLabels = false;
+        configs.push_back(c);
+    }
+
+    support::TablePrinter table({"Benchmark", "Configuration",
+                                 "ts (MB)", "vals (MB)", "edges (MB)",
+                                 "total (MB)", "vs full"});
+    for (const auto& w : workloads::allWorkloads()) {
+        uint64_t scale = std::max<uint64_t>(1, effectiveScale(w) / 8);
+        uint64_t fullTotal = 0;
+        bool first = true;
+        for (const auto& c : configs) {
+            auto art =
+                workloads::buildWet(w, scale, nullptr, c.cfg);
+            core::TierSizes t1 = art->graph.tier1Sizes();
+            if (first)
+                fullTotal = t1.total();
+            table.addRow({first ? w.name : "", c.name, mb(t1.nodeTs),
+                          mb(t1.nodeVals), mb(t1.edgeTs),
+                          mb(t1.total()),
+                          ratio(t1.total(), fullTotal)});
+            first = false;
+        }
+    }
+    table.print("Ablation: tier-1 passes (sizes after tier-1)");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The paper's motivating comparison (§1): a flat uncompressed trace
+ * log holds the same information as a WET but costs raw-trace memory
+ * and answers per-instruction questions by scanning. This bench puts
+ * numbers on both sides: storage, per-instruction value-trace
+ * queries, and backward slices.
+ */
+
+#include "baseline/tracelog.h"
+#include "benchcommon.h"
+#include "core/access.h"
+#include "core/compressed.h"
+#include "core/slicer.h"
+#include "core/valuequery.h"
+#include "support/timer.h"
+
+using namespace wet;
+using namespace wet::bench;
+
+int
+main()
+{
+    support::TablePrinter table(
+        {"Benchmark", "Log (MB)", "WET t2 (MB)", "Size ratio",
+         "Values: log (s)", "Values: WET (s)", "Slice: log (s)",
+         "Slice: WET (s)"});
+    for (const auto& w : workloads::allWorkloads()) {
+        uint64_t scale = std::max<uint64_t>(1, effectiveScale(w) / 8);
+        baseline::TraceLog log;
+        auto art = workloads::buildWet(w, scale, &log);
+        core::WetCompressed comp(art->graph);
+        core::WetAccess acc(comp, *art->module);
+
+        // Per-instruction value traces for every load.
+        core::ValueTraceQuery vq(acc);
+        auto loads = vq.stmtsWithOpcode(ir::Opcode::Load);
+        support::Timer t;
+        uint64_t n1 = 0;
+        for (ir::StmtId s : loads)
+            n1 += log.extractValues(s, [](int64_t) {});
+        double logValues = t.seconds();
+        t.reset();
+        uint64_t n2 = 0;
+        for (ir::StmtId s : loads)
+            n2 += vq.extract(s, [](core::Timestamp, int64_t) {});
+        double wetValues = t.seconds();
+        if (n1 != n2)
+            std::fprintf(stderr, "[baseline] %s: count mismatch "
+                         "%llu vs %llu\n", w.name.c_str(),
+                         static_cast<unsigned long long>(n1),
+                         static_cast<unsigned long long>(n2));
+
+        // Backward slices from the same seeds.
+        log.buildIndex();
+        core::WetSlicer slicer(acc);
+        ir::StmtId seedStmt = loads.front();
+        t.reset();
+        auto ref = log.backwardSlice(seedStmt, 0, 100000);
+        double logSlice = t.seconds();
+        t.reset();
+        core::SliceItem seed = slicer.locate(seedStmt, 0);
+        auto res = slicer.backward(seed, 100000);
+        double wetSlice = t.seconds();
+        if (ref.size() != res.items.size())
+            std::fprintf(stderr, "[baseline] %s: slice size "
+                         "%zu vs %zu\n", w.name.c_str(), ref.size(),
+                         res.items.size());
+
+        table.addRow(
+            {w.name, mb(log.sizeBytes()), mb(comp.sizes().total()),
+             ratio(log.sizeBytes(), comp.sizes().total()),
+             support::formatFixed(logValues, 3),
+             support::formatFixed(wetValues, 3),
+             support::formatFixed(logSlice, 4),
+             support::formatFixed(wetSlice, 4)});
+    }
+    table.print("Baseline: flat uncompressed trace log vs "
+                "compressed WET");
+    return 0;
+}

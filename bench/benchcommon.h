@@ -1,0 +1,68 @@
+#ifndef WET_BENCH_BENCHCOMMON_H
+#define WET_BENCH_BENCHCOMMON_H
+
+#include <cstdlib>
+#include <string>
+
+#include "support/sizes.h"
+#include "support/table.h"
+#include "workloads/runner.h"
+#include "workloads/workloads.h"
+
+namespace wet {
+namespace bench {
+
+/**
+ * Scale multiplier for all paper-table benches, settable with the
+ * WET_BENCH_SCALE environment variable (default 1.0). The default
+ * run lengths are chosen so every table regenerates in minutes on a
+ * laptop; raise the multiplier to approach the paper's run lengths.
+ */
+inline double
+scaleMultiplier()
+{
+    const char* env = std::getenv("WET_BENCH_SCALE");
+    if (!env)
+        return 1.0;
+    double v = std::atof(env);
+    return v > 0 ? v : 1.0;
+}
+
+/** Effective scale for one workload. */
+inline uint64_t
+effectiveScale(const workloads::Workload& w)
+{
+    double s = static_cast<double>(w.defaultScale) *
+               scaleMultiplier();
+    return s < 1 ? 1 : static_cast<uint64_t>(s);
+}
+
+/** Millions with two decimals, as the paper prints run lengths. */
+inline std::string
+millions(uint64_t n)
+{
+    return support::formatFixed(static_cast<double>(n) / 1e6, 2);
+}
+
+/** Megabytes with two decimals. */
+inline std::string
+mb(uint64_t bytes)
+{
+    return support::formatFixed(support::toMB(bytes), 2);
+}
+
+/** A ratio with two decimals. */
+inline std::string
+ratio(uint64_t num, uint64_t den)
+{
+    if (den == 0)
+        return "-";
+    return support::formatFixed(static_cast<double>(num) /
+                                    static_cast<double>(den),
+                                2);
+}
+
+} // namespace bench
+} // namespace wet
+
+#endif // WET_BENCH_BENCHCOMMON_H

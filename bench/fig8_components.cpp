@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates paper Figure 8: the relative sizes of the three WET
+ * components (node timestamps, node values, edge timestamp pairs)
+ * before compression, after tier-1, and after tier-2. Printed as
+ * percentage rows per benchmark — the data series of the figure's
+ * stacked bars.
+ */
+
+#include "benchcommon.h"
+#include "core/compressed.h"
+
+using namespace wet;
+using namespace wet::bench;
+
+namespace {
+
+std::string
+pct(uint64_t part, uint64_t whole)
+{
+    if (whole == 0)
+        return "-";
+    return support::formatFixed(
+        100.0 * static_cast<double>(part) /
+            static_cast<double>(whole),
+        1);
+}
+
+} // namespace
+
+int
+main()
+{
+    support::TablePrinter table(
+        {"Benchmark", "Stage", "ts-nodes %", "vals-nodes %",
+         "ts pairs-edges %"});
+    for (const auto& w : workloads::allWorkloads()) {
+        auto art = workloads::buildWet(w, effectiveScale(w));
+        core::TierSizes o = art->graph.origSizes();
+        core::TierSizes t1 = art->graph.tier1Sizes();
+        core::WetCompressed comp(art->graph);
+        core::TierSizes t2 = comp.sizes();
+        table.addRow({w.name, "Original", pct(o.nodeTs, o.total()),
+                      pct(o.nodeVals, o.total()),
+                      pct(o.edgeTs, o.total())});
+        table.addRow({"", "After-tier-1", pct(t1.nodeTs, t1.total()),
+                      pct(t1.nodeVals, t1.total()),
+                      pct(t1.edgeTs, t1.total())});
+        table.addRow({"", "After-tier-2", pct(t2.nodeTs, t2.total()),
+                      pct(t2.nodeVals, t2.total()),
+                      pct(t2.edgeTs, t2.total())});
+    }
+    table.print("Figure 8: Relative sizes of WET components "
+                "(stacked-bar series)");
+    return 0;
+}

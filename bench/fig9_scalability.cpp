@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regenerates paper Figure 9: scalability of the compression ratio —
+ * each benchmark is run at four increasing trace lengths and the
+ * overall orig/tier-2 ratio is reported for each (the figure's line
+ * series). The paper's observation: ratios stay flat or improve with
+ * length for most subjects.
+ */
+
+#include "benchcommon.h"
+#include "core/compressed.h"
+
+using namespace wet;
+using namespace wet::bench;
+
+int
+main()
+{
+    static const double kFractions[] = {0.5, 1.0, 2.0, 4.0};
+    support::TablePrinter table({"Benchmark", "Stmts (M)",
+                                 "Compression ratio"});
+    for (const auto& w : workloads::allWorkloads()) {
+        bool first = true;
+        for (double f : kFractions) {
+            uint64_t scale = std::max<uint64_t>(
+                1, static_cast<uint64_t>(
+                       static_cast<double>(effectiveScale(w)) * f));
+            auto art = workloads::buildWet(w, scale);
+            core::TierSizes orig = art->graph.origSizes();
+            core::WetCompressed comp(art->graph);
+            core::TierSizes t2 = comp.sizes();
+            table.addRow({first ? w.name : "",
+                          millions(art->run.stmtsExecuted),
+                          ratio(orig.total(), t2.total())});
+            first = false;
+        }
+    }
+    table.print("Figure 9: Scalability of compression ratio "
+                "(line series)");
+    return 0;
+}

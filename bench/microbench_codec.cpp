@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the tier-2 stream codecs:
+ * encode throughput, forward decode, and backward decode, per method,
+ * on a timestamp-like stream (mostly regular strides with noise).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "codec/cursor.h"
+#include "codec/encoder.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace wet;
+using namespace wet::codec;
+
+std::vector<int64_t>
+timestampLike(size_t n)
+{
+    support::Rng rng(7);
+    std::vector<int64_t> v;
+    v.reserve(n);
+    int64_t t = 0;
+    for (size_t i = 0; i < n; ++i) {
+        t += rng.chance(9, 10) ? 3
+                               : static_cast<int64_t>(rng.below(32));
+        v.push_back(t);
+    }
+    return v;
+}
+
+CodecConfig
+configFor(int method_idx)
+{
+    switch (method_idx) {
+      case 0: return {Method::Fcm, 2, 0};
+      case 1: return {Method::Dfcm, 2, 0};
+      case 2: return {Method::LastN, 4, 0};
+      default: return {Method::LastNStride, 4, 0};
+    }
+}
+
+void
+BM_Encode(benchmark::State& state)
+{
+    auto v = timestampLike(1 << 16);
+    CodecConfig cfg = configFor(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        CompressedStream s = encodeStream(v, cfg);
+        benchmark::DoNotOptimize(s.payloadBytes());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(v.size()));
+}
+
+void
+BM_DecodeForward(benchmark::State& state)
+{
+    auto v = timestampLike(1 << 16);
+    CodecConfig cfg = configFor(static_cast<int>(state.range(0)));
+    CompressedStream s = encodeStream(v, cfg);
+    for (auto _ : state) {
+        StreamCursor cur(s, StreamCursor::Mode::Forward);
+        int64_t sum = 0;
+        while (cur.hasNext())
+            sum += cur.next();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(v.size()));
+}
+
+void
+BM_DecodeBackward(benchmark::State& state)
+{
+    auto v = timestampLike(1 << 16);
+    CodecConfig cfg = configFor(static_cast<int>(state.range(0)));
+    CompressedStream s = encodeStream(v, cfg);
+    for (auto _ : state) {
+        StreamCursor cur(s, StreamCursor::Mode::Bidirectional);
+        // Position at the end (forward sweep), then read backwards.
+        int64_t sum = cur.at(s.length - 1);
+        cur.seek(s.length - 1);
+        while (cur.hasPrev())
+            sum += cur.prev();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(v.size()));
+}
+
+} // namespace
+
+BENCHMARK(BM_Encode)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DecodeForward)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DecodeBackward)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

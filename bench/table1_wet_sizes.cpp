@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Regenerates paper Table 1: per benchmark, statements executed,
+ * uncompressed WET size, compressed (tier-2) WET size, and the
+ * overall compression ratio.
+ */
+
+#include <cstdio>
+
+#include "benchcommon.h"
+#include "core/compressed.h"
+
+using namespace wet;
+using namespace wet::bench;
+
+int
+main()
+{
+    support::TablePrinter table({"Benchmark", "Stmts Executed (M)",
+                                 "Orig. WET (MB)", "Comp. WET (MB)",
+                                 "Orig./Comp."});
+    uint64_t sumStmts = 0;
+    uint64_t sumOrig = 0;
+    uint64_t sumComp = 0;
+    for (const auto& w : workloads::allWorkloads()) {
+        auto art = workloads::buildWet(w, effectiveScale(w));
+        core::TierSizes orig = art->graph.origSizes();
+        core::WetCompressed comp(art->graph);
+        core::TierSizes t2 = comp.sizes();
+        table.addRow({w.name, millions(art->run.stmtsExecuted),
+                      mb(orig.total()), mb(t2.total()),
+                      ratio(orig.total(), t2.total())});
+        sumStmts += art->run.stmtsExecuted;
+        sumOrig += orig.total();
+        sumComp += t2.total();
+        std::fprintf(stderr, "[table1] %s done (%s M stmts)\n",
+                     w.name.c_str(),
+                     millions(art->run.stmtsExecuted).c_str());
+    }
+    size_t n = workloads::allWorkloads().size();
+    table.addRow({"Avg.", millions(sumStmts / n), mb(sumOrig / n),
+                  mb(sumComp / n), ratio(sumOrig, sumComp)});
+    table.print("Table 1: WET sizes");
+    return 0;
+}

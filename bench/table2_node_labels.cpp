@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Regenerates paper Table 2: effect of the two compression tiers on
+ * node labels — timestamp sequences and value sequences separately.
+ */
+
+#include "benchcommon.h"
+#include "core/compressed.h"
+
+using namespace wet;
+using namespace wet::bench;
+
+int
+main()
+{
+    support::TablePrinter table({"Benchmark", "ts Orig. (MB)",
+                                 "ts Orig./Tier-1", "ts Orig./Tier-2",
+                                 "vals Orig. (MB)",
+                                 "vals Orig./Tier-1",
+                                 "vals Orig./Tier-2"});
+    core::TierSizes sumO;
+    core::TierSizes sumT1;
+    core::TierSizes sumT2;
+    for (const auto& w : workloads::allWorkloads()) {
+        auto art = workloads::buildWet(w, effectiveScale(w));
+        core::TierSizes o = art->graph.origSizes();
+        core::TierSizes t1 = art->graph.tier1Sizes();
+        core::WetCompressed comp(art->graph);
+        core::TierSizes t2 = comp.sizes();
+        table.addRow({w.name, mb(o.nodeTs),
+                      ratio(o.nodeTs, t1.nodeTs),
+                      ratio(o.nodeTs, t2.nodeTs), mb(o.nodeVals),
+                      ratio(o.nodeVals, t1.nodeVals),
+                      ratio(o.nodeVals, t2.nodeVals)});
+        sumO.nodeTs += o.nodeTs;
+        sumO.nodeVals += o.nodeVals;
+        sumT1.nodeTs += t1.nodeTs;
+        sumT1.nodeVals += t1.nodeVals;
+        sumT2.nodeTs += t2.nodeTs;
+        sumT2.nodeVals += t2.nodeVals;
+    }
+    size_t n = workloads::allWorkloads().size();
+    table.addRow({"Avg.", mb(sumO.nodeTs / n),
+                  ratio(sumO.nodeTs, sumT1.nodeTs),
+                  ratio(sumO.nodeTs, sumT2.nodeTs),
+                  mb(sumO.nodeVals / n),
+                  ratio(sumO.nodeVals, sumT1.nodeVals),
+                  ratio(sumO.nodeVals, sumT2.nodeVals)});
+    table.print("Table 2: Effect of compression on node labels");
+    return 0;
+}

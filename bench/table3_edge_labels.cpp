@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Regenerates paper Table 3: effect of the two compression tiers on
+ * edge labels (the dependence timestamp pairs).
+ */
+
+#include "benchcommon.h"
+#include "core/compressed.h"
+
+using namespace wet;
+using namespace wet::bench;
+
+int
+main()
+{
+    support::TablePrinter table({"Benchmark", "Edges Orig. (MB)",
+                                 "Orig./Tier-1", "Orig./Tier-2"});
+    uint64_t sumO = 0;
+    uint64_t sumT1 = 0;
+    uint64_t sumT2 = 0;
+    for (const auto& w : workloads::allWorkloads()) {
+        auto art = workloads::buildWet(w, effectiveScale(w));
+        core::TierSizes o = art->graph.origSizes();
+        core::TierSizes t1 = art->graph.tier1Sizes();
+        core::WetCompressed comp(art->graph);
+        core::TierSizes t2 = comp.sizes();
+        table.addRow({w.name, mb(o.edgeTs), ratio(o.edgeTs, t1.edgeTs),
+                      ratio(o.edgeTs, t2.edgeTs)});
+        sumO += o.edgeTs;
+        sumT1 += t1.edgeTs;
+        sumT2 += t2.edgeTs;
+    }
+    size_t n = workloads::allWorkloads().size();
+    table.addRow({"Avg.", mb(sumO / n), ratio(sumO, sumT1),
+                  ratio(sumO, sumT2)});
+    table.print("Table 3: Effect of compression on edge labels");
+    return 0;
+}

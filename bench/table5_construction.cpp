@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Regenerates paper Table 5: WET construction times on the shorter
+ * runs used for all timing experiments (trace + tier-1 build + tier-2
+ * stream compression).
+ */
+
+#include "benchcommon.h"
+#include "core/compressed.h"
+#include "support/timer.h"
+
+using namespace wet;
+using namespace wet::bench;
+
+int
+main()
+{
+    support::TablePrinter table({"Benchmark", "Stmts Executed (M)",
+                                 "Construction Time (s)",
+                                 "M stmts/s"});
+    uint64_t sumStmts = 0;
+    double sumTime = 0;
+    for (const auto& w : workloads::allWorkloads()) {
+        uint64_t scale = std::max<uint64_t>(1, effectiveScale(w) / 4);
+        support::Timer timer;
+        auto art = workloads::buildWet(w, scale);
+        core::WetCompressed comp(art->graph);
+        double secs = timer.seconds();
+        table.addRow(
+            {w.name, millions(art->run.stmtsExecuted),
+             support::formatFixed(secs, 2),
+             support::formatFixed(
+                 static_cast<double>(art->run.stmtsExecuted) / 1e6 /
+                     secs,
+                 2)});
+        sumStmts += art->run.stmtsExecuted;
+        sumTime += secs;
+    }
+    size_t n = workloads::allWorkloads().size();
+    table.addRow({"Avg.", millions(sumStmts / n),
+                  support::formatFixed(sumTime / n, 2),
+                  support::formatFixed(
+                      static_cast<double>(sumStmts) / 1e6 / sumTime,
+                      2)});
+    table.print("Table 5: WET construction times (shorter runs)");
+    return 0;
+}

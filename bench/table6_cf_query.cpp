@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Regenerates paper Table 6: response times and extraction rates for
+ * whole control-flow traces, forward and backward, from the tier-1
+ * and the fully (tier-2) compressed WET.
+ */
+
+#include "benchcommon.h"
+#include "core/access.h"
+#include "core/cfquery.h"
+#include "core/compressed.h"
+#include "support/timer.h"
+
+using namespace wet;
+using namespace wet::bench;
+
+namespace {
+
+struct Timing
+{
+    double seconds;
+    uint64_t blocks;
+};
+
+Timing
+timeExtract(core::WetAccess& acc, bool forward)
+{
+    core::ControlFlowQuery q(acc);
+    support::Timer timer;
+    uint64_t blocks = forward
+        ? q.extractForward([](core::NodeId, core::Timestamp) {})
+        : q.extractBackward([](core::NodeId, core::Timestamp) {});
+    return Timing{timer.seconds(), blocks};
+}
+
+std::string
+rate(const Timing& t)
+{
+    double mbytes = static_cast<double>(t.blocks) * 4.0 / 1e6;
+    return support::formatFixed(mbytes / t.seconds, 2);
+}
+
+} // namespace
+
+int
+main()
+{
+    support::TablePrinter table(
+        {"Benchmark", "CF trace (MB)", "Fwd T1 (s)", "Fwd T1 MB/s",
+         "Fwd T2 (s)", "Fwd T2 MB/s", "Bwd T1 (s)", "Bwd T1 MB/s",
+         "Bwd T2 (s)", "Bwd T2 MB/s"});
+    for (const auto& w : workloads::allWorkloads()) {
+        uint64_t scale = std::max<uint64_t>(1, effectiveScale(w) / 4);
+        auto art = workloads::buildWet(w, scale);
+        core::WetCompressed comp(art->graph);
+        core::WetAccess t1(art->graph, *art->module);
+        core::WetAccess t2(comp, *art->module);
+
+        Timing f1 = timeExtract(t1, true);
+        Timing f2 = timeExtract(t2, true);
+        Timing b1 = timeExtract(t1, false);
+        Timing b2 = timeExtract(t2, false);
+        double traceMb = static_cast<double>(f1.blocks) * 4.0 / 1e6;
+        table.addRow({w.name, support::formatFixed(traceMb, 2),
+                      support::formatFixed(f1.seconds, 3), rate(f1),
+                      support::formatFixed(f2.seconds, 3), rate(f2),
+                      support::formatFixed(b1.seconds, 3), rate(b1),
+                      support::formatFixed(b2.seconds, 3), rate(b2)});
+    }
+    table.print("Table 6: Response times for control flow traces");
+    std::puts("\nNote: tier-2 backward extraction re-materializes the"
+              " FR side during a forward\npositioning sweep (see"
+              " DESIGN.md), so Bwd T2 includes that extra pass.");
+    return 0;
+}

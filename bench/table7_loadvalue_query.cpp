@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates paper Table 7: response times for per-instruction load
+ * value traces after tier-1 and after tier-2 compression.
+ */
+
+#include "benchcommon.h"
+#include "core/access.h"
+#include "core/compressed.h"
+#include "core/valuequery.h"
+#include "support/timer.h"
+
+using namespace wet;
+using namespace wet::bench;
+
+namespace {
+
+struct Timing
+{
+    double seconds;
+    uint64_t instances;
+};
+
+Timing
+timeLoadValues(core::WetAccess& acc)
+{
+    core::ValueTraceQuery q(acc);
+    auto loads = q.stmtsWithOpcode(ir::Opcode::Load);
+    support::Timer timer;
+    uint64_t instances = 0;
+    for (ir::StmtId s : loads)
+        instances += q.extract(s, [](core::Timestamp, int64_t) {});
+    return Timing{timer.seconds(), instances};
+}
+
+} // namespace
+
+int
+main()
+{
+    support::TablePrinter table({"Benchmark", "Ld value trace (MB)",
+                                 "Tier-1 (s)", "Tier-1 MB/s",
+                                 "Tier-2 (s)", "Tier-2 MB/s"});
+    for (const auto& w : workloads::allWorkloads()) {
+        uint64_t scale = std::max<uint64_t>(1, effectiveScale(w) / 4);
+        auto art = workloads::buildWet(w, scale);
+        core::WetCompressed comp(art->graph);
+        core::WetAccess a1(art->graph, *art->module);
+        core::WetAccess a2(comp, *art->module);
+        Timing t1 = timeLoadValues(a1);
+        Timing t2 = timeLoadValues(a2);
+        double mbytes = static_cast<double>(t1.instances) * 8.0 / 1e6;
+        table.addRow(
+            {w.name, support::formatFixed(mbytes, 2),
+             support::formatFixed(t1.seconds, 3),
+             support::formatFixed(mbytes / t1.seconds, 2),
+             support::formatFixed(t2.seconds, 3),
+             support::formatFixed(mbytes / t2.seconds, 2)});
+    }
+    table.print(
+        "Table 7: Response times for per-instruction load value "
+        "traces");
+    return 0;
+}

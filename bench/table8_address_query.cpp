@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Regenerates paper Table 8: response times for per-instruction
+ * load/store address traces. Addresses are not stored in the WET;
+ * each one is recovered by following the address operand's dependence
+ * edge to the producer value — the paper's flagship cross-profile
+ * query.
+ */
+
+#include "benchcommon.h"
+#include "core/access.h"
+#include "core/addrquery.h"
+#include "core/compressed.h"
+#include "core/valuequery.h"
+#include "support/timer.h"
+
+using namespace wet;
+using namespace wet::bench;
+
+namespace {
+
+struct Timing
+{
+    double seconds;
+    uint64_t instances;
+};
+
+Timing
+timeAddresses(core::WetAccess& acc)
+{
+    core::ValueTraceQuery vq(acc);
+    core::AddressTraceQuery q(acc);
+    std::vector<ir::StmtId> stmts =
+        vq.stmtsWithOpcode(ir::Opcode::Load);
+    for (ir::StmtId s : vq.stmtsWithOpcode(ir::Opcode::Store))
+        stmts.push_back(s);
+    support::Timer timer;
+    uint64_t instances = 0;
+    for (ir::StmtId s : stmts)
+        instances += q.extract(s, [](core::Timestamp, uint64_t) {});
+    return Timing{timer.seconds(), instances};
+}
+
+} // namespace
+
+int
+main()
+{
+    support::TablePrinter table({"Benchmark", "Address trace (MB)",
+                                 "Tier-1 (s)", "Tier-1 MB/s",
+                                 "Tier-2 (s)", "Tier-2 MB/s"});
+    for (const auto& w : workloads::allWorkloads()) {
+        uint64_t scale = std::max<uint64_t>(1, effectiveScale(w) / 4);
+        auto art = workloads::buildWet(w, scale);
+        core::WetCompressed comp(art->graph);
+        core::WetAccess a1(art->graph, *art->module);
+        core::WetAccess a2(comp, *art->module);
+        Timing t1 = timeAddresses(a1);
+        Timing t2 = timeAddresses(a2);
+        double mbytes = static_cast<double>(t1.instances) * 8.0 / 1e6;
+        table.addRow(
+            {w.name, support::formatFixed(mbytes, 2),
+             support::formatFixed(t1.seconds, 3),
+             support::formatFixed(mbytes / t1.seconds, 2),
+             support::formatFixed(t2.seconds, 3),
+             support::formatFixed(mbytes / t2.seconds, 2)});
+    }
+    table.print(
+        "Table 8: Response times for per-instruction load/store "
+        "address traces");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Regenerates paper Table 9: WET slice times, averaged over 25
+ * backward slices per benchmark, after tier-1 and after tier-2
+ * compression. Seeds are drawn deterministically from the executed
+ * def-port statements.
+ */
+
+#include <algorithm>
+
+#include "benchcommon.h"
+#include "core/access.h"
+#include "core/compressed.h"
+#include "core/slicer.h"
+#include "support/rng.h"
+#include "support/timer.h"
+
+using namespace wet;
+using namespace wet::bench;
+
+namespace {
+
+constexpr int kSlices = 25;
+constexpr uint64_t kMaxItems = 200000;
+
+/** Deterministic slice seeds: (stmt, k-th instance) pairs. */
+std::vector<std::pair<ir::StmtId, uint64_t>>
+pickSeeds(const core::WetGraph& g, const ir::Module& mod)
+{
+    std::vector<ir::StmtId> defStmts;
+    for (const auto& [stmt, sites] : g.stmtIndex) {
+        (void)sites;
+        const ir::Instr& in = mod.instr(stmt);
+        if (ir::hasDef(in.op) && in.op != ir::Opcode::Const)
+            defStmts.push_back(stmt);
+    }
+    std::sort(defStmts.begin(), defStmts.end());
+    support::Rng rng(2024);
+    std::vector<std::pair<ir::StmtId, uint64_t>> seeds;
+    for (int i = 0; i < kSlices; ++i) {
+        ir::StmtId s = defStmts[rng.below(defStmts.size())];
+        seeds.emplace_back(s, rng.below(8));
+    }
+    return seeds;
+}
+
+double
+timeSlices(core::WetAccess& acc,
+           const std::vector<std::pair<ir::StmtId, uint64_t>>& seeds,
+           uint64_t& items_out)
+{
+    core::WetSlicer slicer(acc);
+    support::Timer timer;
+    uint64_t items = 0;
+    for (const auto& [stmt, k] : seeds) {
+        core::SliceItem seed = slicer.locate(stmt, k);
+        if (!seed.valid())
+            seed = slicer.locate(stmt, 0);
+        core::SliceResult res = slicer.backward(seed, kMaxItems);
+        items += res.items.size();
+    }
+    items_out = items;
+    return timer.seconds() / kSlices;
+}
+
+} // namespace
+
+int
+main()
+{
+    support::TablePrinter table({"Benchmark", "Tier-1 (s)",
+                                 "Tier-2 (s)", "Tier-2/Tier-1",
+                                 "Avg. slice items"});
+    double sum1 = 0;
+    double sum2 = 0;
+    for (const auto& w : workloads::allWorkloads()) {
+        uint64_t scale = std::max<uint64_t>(1, effectiveScale(w) / 8);
+        auto art = workloads::buildWet(w, scale);
+        core::WetCompressed comp(art->graph);
+        core::WetAccess a1(art->graph, *art->module);
+        core::WetAccess a2(comp, *art->module);
+        auto seeds = pickSeeds(art->graph, *art->module);
+        uint64_t items1 = 0;
+        uint64_t items2 = 0;
+        double t1 = timeSlices(a1, seeds, items1);
+        double t2 = timeSlices(a2, seeds, items2);
+        table.addRow({w.name, support::formatFixed(t1, 3),
+                      support::formatFixed(t2, 3),
+                      support::formatFixed(t2 / t1, 2),
+                      std::to_string(items1 / kSlices)});
+        sum1 += t1;
+        sum2 += t2;
+    }
+    size_t n = workloads::allWorkloads().size();
+    table.addRow({"Avg.",
+                  support::formatFixed(sum1 / static_cast<double>(n),
+                                       3),
+                  support::formatFixed(sum2 / static_cast<double>(n),
+                                       3),
+                  support::formatFixed(sum2 / sum1, 2), "-"});
+    table.print("Table 9: WET slices (avg. over 25 slices)");
+    return 0;
+}

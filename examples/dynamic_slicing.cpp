@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Dynamic slicing with WETs: run a small buggy program, then use
+ * backward WET slices to find exactly the executed statements that
+ * influenced a wrong output — the debugging workflow the paper's
+ * dynamic-slicing lineage (Zhang & Gupta, PLDI'04) motivates.
+ *
+ * Run: ./build/examples/dynamic_slicing
+ */
+
+#include <cstdio>
+
+#include "analysis/moduleanalysis.h"
+#include "core/access.h"
+#include "core/builder.h"
+#include "core/compressed.h"
+#include "core/slicer.h"
+#include "interp/interpreter.h"
+#include "lang/codegen.h"
+
+using namespace wet;
+
+int
+main()
+{
+    // A program with a subtle bug: the "average" uses the wrong
+    // divisor when the list contains zeros.
+    const char* source = R"(
+        fn main() {
+            var n = in();
+            var sum = 0;
+            var counted = 0;
+            for (var i = 0; i < n; i = i + 1) {
+                var v = in();
+                mem[i] = v;
+                sum = sum + v;
+                if (v != 0) {
+                    counted = counted + 1; // BUG: zeros not counted
+                }
+            }
+            var avg = sum / counted;
+            out(avg);
+        }
+    )";
+
+    ir::Module module = lang::compileString(source, 1 << 12);
+    analysis::ModuleAnalysis ma(module);
+    interp::VectorInput input({6, 10, 0, 20, 0, 30, 0});
+    core::WetBuilder builder(ma);
+    interp::Interpreter interp(ma, input, &builder);
+    auto run = interp.run();
+    core::WetGraph wet = builder.take();
+
+    std::printf("observed output (avg): %lld  — expected 10\n",
+                static_cast<long long>(run.outputs.at(0)));
+
+    // Slice backward from the value that flowed into out(). Work on
+    // the fully compressed WET to show slicing needs no
+    // decompression.
+    core::WetCompressed compressed(wet);
+    core::WetAccess access(compressed, module);
+    core::WetSlicer slicer(access);
+
+    // The out() statement's operand producer: find the Div. Its last
+    // instance computed the reported average.
+    ir::StmtId divStmt = ir::kNoStmt;
+    for (const auto& [stmt, sites] : wet.stmtIndex) {
+        (void)sites;
+        if (module.instr(stmt).op == ir::Opcode::Div)
+            divStmt = stmt;
+    }
+    core::SliceItem seed = slicer.locate(divStmt, 0);
+    core::SliceResult slice = slicer.backward(seed);
+
+    // Report which source-level operations are in the slice.
+    std::printf("backward WET slice of the average: %zu statement "
+                "instances\n",
+                slice.items.size());
+    int opCounts[ir::kNumOpcodes] = {};
+    for (const auto& item : slice.items) {
+        ir::StmtId s = wet.nodes[item.node].stmts[item.pos];
+        opCounts[static_cast<int>(module.instr(s).op)]++;
+    }
+    std::printf("slice composition:\n");
+    for (int op = 0; op < ir::kNumOpcodes; ++op) {
+        if (opCounts[op]) {
+            std::printf("  %-6s x %d\n",
+                        ir::opcodeName(static_cast<ir::Opcode>(op)),
+                        opCounts[op]);
+        }
+    }
+    // The slice contains the guarded counter increments and the
+    // guard itself (control dependence) — pointing straight at the
+    // `if (v != 0)` bug — but NOT the unrelated mem[] bookkeeping.
+    bool sliceHasBranch = opCounts[static_cast<int>(
+                              ir::Opcode::Br)] > 0;
+    bool sliceHasStore = opCounts[static_cast<int>(
+                             ir::Opcode::Store)] > 0;
+    std::printf("slice includes the guard branch: %s\n",
+                sliceHasBranch ? "yes" : "no");
+    std::printf("slice includes unrelated stores: %s\n",
+                sliceHasStore ? "yes" : "no");
+    return 0;
+}

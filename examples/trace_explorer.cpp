@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Interactive-style trace exploration: build a WET for a workload,
+ * then answer the kinds of mixed-profile questions the unified
+ * representation exists for — walk a window of the control flow
+ * trace, inspect one statement's full profile (timestamps, values,
+ * addresses), and chase a dependence chain — all from the compressed
+ * form.
+ *
+ * Run: ./build/examples/trace_explorer [workload] [timestamp]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/access.h"
+#include "core/addrquery.h"
+#include "core/cfquery.h"
+#include "core/compressed.h"
+#include "core/slicer.h"
+#include "core/valuequery.h"
+#include "workloads/runner.h"
+
+using namespace wet;
+
+int
+main(int argc, char** argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "164.gzip";
+    const workloads::Workload& w = workloads::workloadByName(name);
+    uint64_t scale = std::max<uint64_t>(1, w.defaultScale / 16);
+    auto art = workloads::buildWet(w, scale);
+    core::WetCompressed compressed(art->graph);
+    core::WetAccess access(compressed, *art->module);
+    const core::WetGraph& g = art->graph;
+
+    std::printf("%s: %llu statements traced, %zu WET nodes, "
+                "%llu timestamps\n\n",
+                w.name.c_str(),
+                static_cast<unsigned long long>(
+                    art->run.stmtsExecuted),
+                g.nodes.size(),
+                static_cast<unsigned long long>(g.lastTimestamp));
+
+    // 1. A window of the control flow trace around a chosen point.
+    core::Timestamp from =
+        argc > 2 ? static_cast<core::Timestamp>(
+                       std::strtoull(argv[2], nullptr, 10))
+                 : g.lastTimestamp / 2;
+    std::printf("control flow from timestamp %llu (8 path "
+                "instances):\n",
+                static_cast<unsigned long long>(from));
+    core::ControlFlowQuery cf(access);
+    cf.extractRange(from, 8, [&](core::NodeId n, core::Timestamp t) {
+        const core::WetNode& node = g.nodes[n];
+        std::printf("  t=%-8llu fn%u path%llu [",
+                    static_cast<unsigned long long>(t), node.func,
+                    static_cast<unsigned long long>(node.pathId));
+        for (size_t b = 0; b < node.blocks.size(); ++b)
+            std::printf("%sb%u", b ? " " : "", node.blocks[b]);
+        std::printf("]\n");
+    });
+
+    // 2. Full profile of the hottest load: timestamps + values +
+    //    addresses together.
+    core::ValueTraceQuery values(access);
+    core::AddressTraceQuery addrs(access);
+    ir::StmtId hot = ir::kNoStmt;
+    uint64_t hotCount = 0;
+    for (ir::StmtId s : values.stmtsWithOpcode(ir::Opcode::Load)) {
+        uint64_t c = 0;
+        for (const auto& [n, pos] : g.stmtIndex.at(s)) {
+            (void)pos;
+            c += g.nodes[n].instances();
+        }
+        if (c > hotCount) {
+            hotCount = c;
+            hot = s;
+        }
+    }
+    std::printf("\nhottest load: stmt %u (%llu instances); first 5 "
+                "<ts, value, addr>:\n",
+                hot, static_cast<unsigned long long>(hotCount));
+    std::vector<std::pair<core::Timestamp, int64_t>> vals;
+    values.extract(hot, [&](core::Timestamp t, int64_t v) {
+        if (vals.size() < 5)
+            vals.emplace_back(t, v);
+    });
+    std::vector<uint64_t> as;
+    addrs.extract(hot, [&](core::Timestamp, uint64_t a) {
+        if (as.size() < 5)
+            as.push_back(a);
+    });
+    for (size_t i = 0; i < vals.size(); ++i) {
+        std::printf("  <%llu, %lld, @%llu>\n",
+                    static_cast<unsigned long long>(vals[i].first),
+                    static_cast<long long>(vals[i].second),
+                    static_cast<unsigned long long>(as[i]));
+    }
+
+    // 3. Chase the dependence chain backwards from that load.
+    core::WetSlicer slicer(access);
+    core::SliceItem item = slicer.locate(hot, hotCount / 2);
+    std::printf("\ndependence chain from instance %llu:\n",
+                static_cast<unsigned long long>(hotCount / 2));
+    for (int depth = 0; depth < 6 && item.valid(); ++depth) {
+        const core::WetNode& node = g.nodes[item.node];
+        ir::StmtId s = node.stmts[item.pos];
+        ir::Opcode op = art->module->instr(s).op;
+        std::printf("  %*s%s (stmt %u) at t=%llu", depth * 2, "",
+                    ir::opcodeName(op), s,
+                    static_cast<unsigned long long>(
+                        access.timestamp(item.node, item.inst)));
+        if (ir::hasDef(op)) {
+            std::printf(", value %lld",
+                        static_cast<long long>(access.value(
+                            item.node, item.pos, item.inst)));
+        }
+        std::printf("\n");
+        // Step to the first data dependence of this instance.
+        core::SliceResult one = slicer.backward(item, 2);
+        if (one.items.size() < 2)
+            break;
+        item = one.items[1];
+    }
+    return 0;
+}

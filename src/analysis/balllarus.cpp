@@ -1,0 +1,184 @@
+#include "balllarus.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace wet {
+namespace analysis {
+
+BallLarus::BallLarus(const CfgInfo& cfg, uint64_t max_paths)
+    : cfg_(&cfg)
+{
+    build(max_paths);
+}
+
+void
+BallLarus::enterBlockMode()
+{
+    const ir::Function& fn = cfg_->function();
+    const size_t n = fn.blocks.size();
+    blockMode_ = true;
+    numPaths_ = n;
+    edgeVals_.assign(n, {});
+    exitVals_.assign(n, 0);
+    entryVals_.assign(n, 0);
+    for (size_t b = 0; b < n; ++b) {
+        edgeVals_[b].assign(fn.blocks[b].succs.size(), 0);
+        exitVals_[b] = b;  // path id of single-block path = block id
+        entryVals_[b] = b; // restart at any block
+    }
+    dagEdges_.clear();
+}
+
+void
+BallLarus::build(uint64_t max_paths)
+{
+    const ir::Function& fn = cfg_->function();
+    const size_t n = fn.blocks.size();
+    entryNode_ = static_cast<uint32_t>(n);
+    exitNode_ = static_cast<uint32_t>(n + 1);
+
+    edgeVals_.resize(n);
+    for (size_t b = 0; b < n; ++b)
+        edgeVals_[b].assign(fn.blocks[b].succs.size(), 0);
+    exitVals_.assign(n, 0);
+    entryVals_.assign(n, UINT64_MAX);
+
+    // Build the path DAG: per-node ordered out-edge lists.
+    dagEdges_.assign(n + 2, {});
+    for (ir::BlockId u = 0; u < n; ++u) {
+        if (!cfg_->reachable(u))
+            continue;
+        const auto& succs = fn.blocks[u].succs;
+        bool hasBack = false;
+        for (size_t idx = 0; idx < succs.size(); ++idx) {
+            if (cfg_->isBackEdge(u, idx))
+                hasBack = true;
+            else
+                dagEdges_[u].push_back(DagEdge{succs[idx], 0, false});
+        }
+        if (cfg_->isExitBlock(u) || hasBack)
+            dagEdges_[u].push_back(DagEdge{exitNode_, 0, true});
+    }
+    // ENTRY: first the real entry block (val 0 by construction), then
+    // one dummy edge per distinct loop header.
+    dagEdges_[entryNode_].push_back(DagEdge{0, 0, true});
+    for (ir::BlockId h : cfg_->loopHeaders()) {
+        if (h != 0)
+            dagEdges_[entryNode_].push_back(DagEdge{h, 0, true});
+    }
+
+    // Topological order of the DAG via DFS postorder from ENTRY.
+    std::vector<uint32_t> post;
+    {
+        std::vector<uint8_t> state(n + 2, 0);
+        struct Frame
+        {
+            uint32_t node;
+            size_t next = 0;
+        };
+        std::vector<Frame> stack{Frame{entryNode_}};
+        state[entryNode_] = 1;
+        while (!stack.empty()) {
+            Frame& f = stack.back();
+            if (f.next < dagEdges_[f.node].size()) {
+                uint32_t s = dagEdges_[f.node][f.next++].target;
+                WET_ASSERT(state[s] != 1, "cycle in Ball-Larus DAG");
+                if (!state[s]) {
+                    state[s] = 1;
+                    stack.push_back(Frame{s});
+                }
+            } else {
+                state[f.node] = 2;
+                post.push_back(f.node);
+                stack.pop_back();
+            }
+        }
+    }
+
+    // NumPaths and edge values in topological (postorder) order.
+    std::vector<uint64_t> numPaths(n + 2, 0);
+    numPaths[exitNode_] = 1;
+    for (uint32_t v : post) {
+        if (v == exitNode_)
+            continue;
+        uint64_t sum = 0;
+        for (auto& e : dagEdges_[v]) {
+            e.val = sum;
+            WET_ASSERT(numPaths[e.target] > 0 || e.target == exitNode_,
+                       "DAG successor numbered after its predecessor");
+            sum += numPaths[e.target];
+            if (sum > max_paths) {
+                enterBlockMode();
+                return;
+            }
+        }
+        numPaths[v] = sum;
+    }
+    numPaths_ = numPaths[entryNode_];
+    if (numPaths_ == 0) {
+        // Entry unreachable from DAG walk should not happen; guard.
+        enterBlockMode();
+        return;
+    }
+
+    // Export the values in runtime-protocol form.
+    for (ir::BlockId u = 0; u < n; ++u) {
+        if (!cfg_->reachable(u))
+            continue;
+        const auto& succs = fn.blocks[u].succs;
+        size_t dagIdx = 0;
+        for (size_t idx = 0; idx < succs.size(); ++idx) {
+            if (cfg_->isBackEdge(u, idx))
+                continue;
+            edgeVals_[u][idx] = dagEdges_[u][dagIdx++].val;
+        }
+        if (dagIdx < dagEdges_[u].size()) {
+            // Trailing dummy/exit edge.
+            exitVals_[u] = dagEdges_[u][dagIdx].val;
+        }
+    }
+    for (const auto& e : dagEdges_[entryNode_])
+        entryVals_[e.target] = e.val;
+}
+
+std::vector<ir::BlockId>
+BallLarus::decode(uint64_t path_id) const
+{
+    const ir::Function& fn = cfg_->function();
+    std::vector<ir::BlockId> seq;
+    if (blockMode_) {
+        WET_ASSERT(path_id < fn.blocks.size(),
+                   "block-mode path id out of range");
+        seq.push_back(static_cast<ir::BlockId>(path_id));
+        return seq;
+    }
+    WET_ASSERT(path_id < numPaths_, "path id " << path_id
+               << " out of range (numPaths=" << numPaths_ << ")");
+    uint64_t r = path_id;
+    uint32_t node = entryNode_;
+    while (node != exitNode_) {
+        const auto& edges = dagEdges_[node];
+        WET_ASSERT(!edges.empty(), "path decode stuck at node " << node);
+        // Edges are stored with increasing val; take the last edge
+        // whose val does not exceed the remainder.
+        size_t pick = 0;
+        for (size_t i = 0; i < edges.size(); ++i) {
+            if (edges[i].val <= r)
+                pick = i;
+            else
+                break;
+        }
+        r -= edges[pick].val;
+        node = edges[pick].target;
+        if (node != exitNode_ && node != entryNode_)
+            seq.push_back(static_cast<ir::BlockId>(node));
+    }
+    WET_ASSERT(r == 0, "path decode remainder " << r << " for id "
+                                                << path_id);
+    return seq;
+}
+
+} // namespace analysis
+} // namespace wet

@@ -1,0 +1,92 @@
+#ifndef WET_ANALYSIS_BALLLARUS_H
+#define WET_ANALYSIS_BALLLARUS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "ir/module.h"
+
+namespace wet {
+namespace analysis {
+
+/**
+ * Ball–Larus path numbering of one function (Ball & Larus, MICRO'96).
+ *
+ * Back edges are removed from the CFG and replaced with dummy edges
+ * (ENTRY -> loop header, back-edge source -> EXIT), yielding a DAG in
+ * which every acyclic path gets a unique id in [0, numPaths).
+ *
+ * Runtime protocol (used by the trace segmentation in the WET
+ * builder): on function entry r = 0; traversing a non-back edge adds
+ * edgeVal(u, idx); taking a back edge u->v finishes the current path
+ * with id r + exitVal(u) and restarts with r = entryVal(v); reaching a
+ * Ret/Halt block u finishes with id r + exitVal(u).
+ *
+ * When the function has more than @p max_paths static paths the
+ * numbering degrades to block mode: every basic block is its own
+ * single-block path (the paper's base case of one node per block).
+ */
+class BallLarus
+{
+  public:
+    explicit BallLarus(const CfgInfo& cfg,
+                       uint64_t max_paths = uint64_t{1} << 24);
+
+    /** True when path explosion forced one-block paths. */
+    bool blockMode() const { return blockMode_; }
+
+    /** Total number of static path ids. */
+    uint64_t numPaths() const { return numPaths_; }
+
+    /** Increment for traversing non-back successor edge (u, idx). */
+    uint64_t
+    edgeVal(ir::BlockId u, size_t idx) const
+    {
+        return edgeVals_[u][idx];
+    }
+
+    /** Finishing increment at block u (back-edge source or exit). */
+    uint64_t exitVal(ir::BlockId u) const { return exitVals_[u]; }
+
+    /** Restart value when a new path begins at loop header v. */
+    uint64_t entryVal(ir::BlockId v) const { return entryVals_[v]; }
+
+    /** True if block v can start a path (entry block or loop header). */
+    bool
+    canStartPath(ir::BlockId v) const
+    {
+        return entryVals_[v] != UINT64_MAX;
+    }
+
+    /** Decode a path id back into its basic-block sequence. */
+    std::vector<ir::BlockId> decode(uint64_t path_id) const;
+
+    const CfgInfo& cfg() const { return *cfg_; }
+
+  private:
+    struct DagEdge
+    {
+        uint32_t target;   //!< DAG node id (blocks, then ENTRY, EXIT)
+        uint64_t val = 0;
+        bool dummy = false;
+    };
+
+    void build(uint64_t max_paths);
+    void enterBlockMode();
+
+    const CfgInfo* cfg_;
+    bool blockMode_ = false;
+    uint64_t numPaths_ = 0;
+    std::vector<std::vector<uint64_t>> edgeVals_;
+    std::vector<uint64_t> exitVals_;
+    std::vector<uint64_t> entryVals_;
+    std::vector<std::vector<DagEdge>> dagEdges_; //!< per DAG node
+    uint32_t entryNode_ = 0;
+    uint32_t exitNode_ = 0;
+};
+
+} // namespace analysis
+} // namespace wet
+
+#endif // WET_ANALYSIS_BALLLARUS_H

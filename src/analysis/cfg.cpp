@@ -1,0 +1,70 @@
+#include "cfg.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace wet {
+namespace analysis {
+
+CfgInfo::CfgInfo(const ir::Function& fn) : fn_(&fn)
+{
+    const size_t n = fn.blocks.size();
+    reachable_.assign(n, false);
+    backEdge_.resize(n);
+    postIndex_.assign(n, UINT32_MAX);
+    for (size_t b = 0; b < n; ++b)
+        backEdge_[b].assign(fn.blocks[b].succs.size(), false);
+
+    // Iterative DFS with explicit colors: 0 = white, 1 = gray (on
+    // stack), 2 = black. An edge to a gray node is a back edge.
+    std::vector<uint8_t> color(n, 0);
+    struct Frame
+    {
+        ir::BlockId block;
+        size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    std::vector<ir::BlockId> postorder;
+    std::vector<bool> headerSeen(n, false);
+
+    stack.push_back(Frame{0});
+    color[0] = 1;
+    reachable_[0] = true;
+    while (!stack.empty()) {
+        Frame& f = stack.back();
+        const auto& succs = fn.blocks[f.block].succs;
+        if (f.next < succs.size()) {
+            size_t idx = f.next++;
+            ir::BlockId s = succs[idx];
+            if (color[s] == 1) {
+                backEdge_[f.block][idx] = true;
+                if (!headerSeen[s]) {
+                    headerSeen[s] = true;
+                    loopHeaders_.push_back(s);
+                }
+            } else if (color[s] == 0) {
+                color[s] = 1;
+                reachable_[s] = true;
+                stack.push_back(Frame{s});
+            }
+        } else {
+            color[f.block] = 2;
+            postIndex_[f.block] =
+                static_cast<uint32_t>(postorder.size());
+            postorder.push_back(f.block);
+            stack.pop_back();
+        }
+    }
+    rpo_.assign(postorder.rbegin(), postorder.rend());
+}
+
+bool
+CfgInfo::isExitBlock(ir::BlockId b) const
+{
+    const auto& term = fn_->blocks[b].terminator();
+    return term.op == ir::Opcode::Ret || term.op == ir::Opcode::Halt;
+}
+
+} // namespace analysis
+} // namespace wet

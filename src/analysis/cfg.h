@@ -1,0 +1,60 @@
+#ifndef WET_ANALYSIS_CFG_H
+#define WET_ANALYSIS_CFG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace wet {
+namespace analysis {
+
+/**
+ * Depth-first traversal facts about one function's CFG: visit order,
+ * reachability from the entry block, and DFS back-edge classification
+ * (an edge u->v is a back edge when v is on the DFS stack while u->v is
+ * examined). Ball–Larus path numbering removes exactly these edges to
+ * obtain its acyclic path DAG.
+ */
+class CfgInfo
+{
+  public:
+    explicit CfgInfo(const ir::Function& fn);
+
+    const ir::Function& function() const { return *fn_; }
+
+    bool reachable(ir::BlockId b) const { return reachable_[b]; }
+
+    /** True if successor edge (b, succ_idx) is a DFS back edge. */
+    bool
+    isBackEdge(ir::BlockId b, size_t succ_idx) const
+    {
+        return backEdge_[b][succ_idx];
+    }
+
+    /** Blocks in reverse postorder of the back-edge-free DAG. */
+    const std::vector<ir::BlockId>& rpo() const { return rpo_; }
+
+    /** Postorder index of block (UINT32_MAX when unreachable). */
+    uint32_t postIndex(ir::BlockId b) const { return postIndex_[b]; }
+
+    /** Targets of back edges, i.e. loop headers, deduplicated. */
+    const std::vector<ir::BlockId>& loopHeaders() const
+    { return loopHeaders_; }
+
+    /** True if the block ends the function (Ret or Halt). */
+    bool isExitBlock(ir::BlockId b) const;
+
+  private:
+    const ir::Function* fn_;
+    std::vector<bool> reachable_;
+    std::vector<std::vector<bool>> backEdge_;
+    std::vector<ir::BlockId> rpo_;
+    std::vector<uint32_t> postIndex_;
+    std::vector<ir::BlockId> loopHeaders_;
+};
+
+} // namespace analysis
+} // namespace wet
+
+#endif // WET_ANALYSIS_CFG_H

@@ -1,0 +1,43 @@
+#include "controldep.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace wet {
+namespace analysis {
+
+ControlDep::ControlDep(const ir::Function& fn, const DomTree& postdom)
+    : pd_(&postdom)
+{
+    const size_t n = fn.blocks.size();
+    parents_.resize(n);
+    for (ir::BlockId a = 0; a < n; ++a) {
+        if (postdom.depth(a) == UINT32_MAX)
+            continue; // not attached to the post-dominator tree
+        const auto& succs = fn.blocks[a].succs;
+        for (size_t idx = 0; idx < succs.size(); ++idx) {
+            ir::BlockId b = succs[idx];
+            if (postdom.dominates(b, a))
+                continue;
+            // Walk B up the post-dominator tree to ipdom(A),
+            // exclusive; each node passed is control dependent on
+            // (A, idx).
+            ir::BlockId stop = postdom.idom(a);
+            ir::BlockId x = b;
+            while (x != stop) {
+                WET_ASSERT(x != ir::kNoBlock &&
+                           x != postdom.root(),
+                           "CD walk escaped the post-dominator tree");
+                CdParent p{a, static_cast<uint8_t>(idx)};
+                auto& vec = parents_[x];
+                if (std::find(vec.begin(), vec.end(), p) == vec.end())
+                    vec.push_back(p);
+                x = postdom.idom(x);
+            }
+        }
+    }
+}
+
+} // namespace analysis
+} // namespace wet

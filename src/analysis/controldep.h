@@ -1,0 +1,61 @@
+#ifndef WET_ANALYSIS_CONTROLDEP_H
+#define WET_ANALYSIS_CONTROLDEP_H
+
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "ir/module.h"
+
+namespace wet {
+namespace analysis {
+
+/** One static control-dependence parent: predicate block + outcome. */
+struct CdParent
+{
+    ir::BlockId pred;    //!< the predicate (branching) block
+    uint8_t outcome;     //!< successor index taken (0 or 1 for Br)
+
+    bool
+    operator==(const CdParent& o) const
+    {
+        return pred == o.pred && outcome == o.outcome;
+    }
+};
+
+/**
+ * Intraprocedural control dependence of one function, computed with
+ * the Ferrante–Ottenstein–Warren construction: for each CFG edge A->B
+ * where B does not post-dominate A, every block on the post-dominator
+ * tree path from B up to (excluding) ipostdom(A) is control dependent
+ * on (A, outcome of the edge).
+ *
+ * Blocks with no parents (e.g. the entry's always-executed prefix) are
+ * control dependent on the function's invocation itself; the dynamic
+ * tracer attributes those instances to the calling instruction.
+ */
+class ControlDep
+{
+  public:
+    ControlDep(const ir::Function& fn, const DomTree& postdom);
+
+    /** Static CD parents of block @p b (deduplicated). */
+    const std::vector<CdParent>&
+    parents(ir::BlockId b) const
+    {
+        return parents_[b];
+    }
+
+    /** Immediate post-dominator of @p b (may be the virtual exit). */
+    ir::BlockId ipostdom(ir::BlockId b) const { return pd_->idom(b); }
+
+    const DomTree& postdomTree() const { return *pd_; }
+
+  private:
+    const DomTree* pd_;
+    std::vector<std::vector<CdParent>> parents_;
+};
+
+} // namespace analysis
+} // namespace wet
+
+#endif // WET_ANALYSIS_CONTROLDEP_H

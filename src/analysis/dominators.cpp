@@ -1,0 +1,176 @@
+#include "dominators.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace wet {
+namespace analysis {
+
+DomTree
+DomTree::solve(size_t num_nodes,
+               const std::vector<std::vector<ir::BlockId>>& preds,
+               ir::BlockId root)
+{
+    // Reverse postorder over the graph implied by the predecessor
+    // lists' transpose; build successor lists first.
+    std::vector<std::vector<ir::BlockId>> succs(num_nodes);
+    for (size_t v = 0; v < num_nodes; ++v)
+        for (ir::BlockId p : preds[v])
+            succs[p].push_back(static_cast<ir::BlockId>(v));
+
+    std::vector<uint32_t> rpoIndex(num_nodes, UINT32_MAX);
+    std::vector<ir::BlockId> order;
+    order.reserve(num_nodes);
+    {
+        std::vector<uint8_t> state(num_nodes, 0);
+        struct Frame
+        {
+            ir::BlockId node;
+            size_t next = 0;
+        };
+        std::vector<Frame> stack{Frame{root}};
+        state[root] = 1;
+        std::vector<ir::BlockId> post;
+        while (!stack.empty()) {
+            Frame& f = stack.back();
+            if (f.next < succs[f.node].size()) {
+                ir::BlockId s = succs[f.node][f.next++];
+                if (!state[s]) {
+                    state[s] = 1;
+                    stack.push_back(Frame{s});
+                }
+            } else {
+                post.push_back(f.node);
+                stack.pop_back();
+            }
+        }
+        order.assign(post.rbegin(), post.rend());
+        for (size_t i = 0; i < order.size(); ++i)
+            rpoIndex[order[i]] = static_cast<uint32_t>(i);
+    }
+
+    DomTree t;
+    t.root_ = root;
+    t.idom_.assign(num_nodes, ir::kNoBlock);
+    t.idom_[root] = root;
+
+    auto intersect = [&](ir::BlockId a, ir::BlockId b) {
+        while (a != b) {
+            while (rpoIndex[a] > rpoIndex[b])
+                a = t.idom_[a];
+            while (rpoIndex[b] > rpoIndex[a])
+                b = t.idom_[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (ir::BlockId v : order) {
+            if (v == root)
+                continue;
+            ir::BlockId newIdom = ir::kNoBlock;
+            for (ir::BlockId p : preds[v]) {
+                if (rpoIndex[p] == UINT32_MAX ||
+                    t.idom_[p] == ir::kNoBlock)
+                {
+                    continue; // predecessor not reachable from root
+                }
+                newIdom = (newIdom == ir::kNoBlock)
+                              ? p : intersect(p, newIdom);
+            }
+            if (newIdom != ir::kNoBlock && t.idom_[v] != newIdom) {
+                t.idom_[v] = newIdom;
+                changed = true;
+            }
+        }
+    }
+
+    t.depth_.assign(num_nodes, UINT32_MAX);
+    t.depth_[root] = 0;
+    // Nodes in RPO have their idom earlier in RPO, so one pass works.
+    for (ir::BlockId v : order) {
+        if (v != root && t.idom_[v] != ir::kNoBlock)
+            t.depth_[v] = t.depth_[t.idom_[v]] + 1;
+    }
+    return t;
+}
+
+DomTree
+DomTree::dominators(const ir::Function& fn)
+{
+    const size_t n = fn.blocks.size();
+    std::vector<std::vector<ir::BlockId>> preds(n);
+    for (size_t b = 0; b < n; ++b)
+        preds[b] = fn.blocks[b].preds;
+    return solve(n, preds, 0);
+}
+
+DomTree
+DomTree::postDominators(const ir::Function& fn)
+{
+    const size_t n = fn.blocks.size();
+    const ir::BlockId exitId = virtualExit(fn);
+    // Reverse graph: preds of v in the reverse graph = succs of v in
+    // the CFG; the virtual exit's reverse-preds are the exit blocks.
+    std::vector<std::vector<ir::BlockId>> preds(n + 1);
+    for (ir::BlockId b = 0; b < n; ++b) {
+        for (ir::BlockId s : fn.blocks[b].succs)
+            preds[b].push_back(s);
+        const auto& term = fn.blocks[b].terminator();
+        if (term.op == ir::Opcode::Ret || term.op == ir::Opcode::Halt)
+            preds[b].push_back(exitId);
+    }
+    // Blocks with no path to an exit (infinite loops) would be
+    // unreachable in the reverse graph. Attach them to the virtual
+    // exit so control dependence stays defined.
+    {
+        // Reverse reachability from exit.
+        std::vector<bool> seen(n + 1, false);
+        std::vector<ir::BlockId> work{exitId};
+        seen[exitId] = true;
+        // The reverse graph's successors of v are the CFG predecessors
+        // of v (and exit's successors are the exit blocks).
+        while (!work.empty()) {
+            ir::BlockId v = work.back();
+            work.pop_back();
+            if (v == exitId) {
+                for (ir::BlockId b = 0; b < n; ++b) {
+                    const auto& term = fn.blocks[b].terminator();
+                    if ((term.op == ir::Opcode::Ret ||
+                         term.op == ir::Opcode::Halt) && !seen[b])
+                    {
+                        seen[b] = true;
+                        work.push_back(b);
+                    }
+                }
+            } else {
+                for (ir::BlockId p : fn.blocks[v].preds) {
+                    if (!seen[p]) {
+                        seen[p] = true;
+                        work.push_back(p);
+                    }
+                }
+            }
+        }
+        for (ir::BlockId b = 0; b < n; ++b)
+            if (!seen[b])
+                preds[b].push_back(exitId);
+    }
+    return solve(n + 1, preds, exitId);
+}
+
+bool
+DomTree::dominates(ir::BlockId a, ir::BlockId b) const
+{
+    if (depth_[b] == UINT32_MAX || depth_[a] == UINT32_MAX)
+        return false;
+    while (depth_[b] > depth_[a])
+        b = idom_[b];
+    return a == b;
+}
+
+} // namespace analysis
+} // namespace wet

@@ -1,0 +1,75 @@
+#ifndef WET_ANALYSIS_DOMINATORS_H
+#define WET_ANALYSIS_DOMINATORS_H
+
+#include <vector>
+
+#include "ir/module.h"
+
+namespace wet {
+namespace analysis {
+
+/**
+ * Dominator or post-dominator tree of one function, computed with the
+ * iterative Cooper–Harvey–Kennedy algorithm.
+ *
+ * For post-dominators the CFG is augmented with a virtual exit node
+ * (id = numBlocks) that all Ret/Halt blocks lead to; blocks with no
+ * path to any exit (infinite loops) are conservatively attached
+ * directly to the virtual exit.
+ */
+class DomTree
+{
+  public:
+    /** Forward dominator tree rooted at the entry block. */
+    static DomTree dominators(const ir::Function& fn);
+
+    /** Post-dominator tree rooted at the virtual exit node. */
+    static DomTree postDominators(const ir::Function& fn);
+
+    /** Id of the virtual exit node used by post-dominator trees. */
+    static ir::BlockId
+    virtualExit(const ir::Function& fn)
+    {
+        return fn.numBlocks();
+    }
+
+    /**
+     * Immediate (post)dominator of @p b. The root returns itself.
+     * Unreachable blocks return kNoBlock.
+     */
+    ir::BlockId idom(ir::BlockId b) const { return idom_[b]; }
+
+    /** Depth of @p b in the tree (root = 0; kNoBlock for unreachable). */
+    uint32_t depth(ir::BlockId b) const { return depth_[b]; }
+
+    /** True if @p a (post)dominates @p b (reflexive). */
+    bool dominates(ir::BlockId a, ir::BlockId b) const;
+
+    /** Number of nodes including any virtual exit. */
+    size_t numNodes() const { return idom_.size(); }
+
+    ir::BlockId root() const { return root_; }
+
+  private:
+    DomTree() = default;
+
+    /**
+     * Generic solver over an explicit graph.
+     * @param num_nodes node count
+     * @param preds predecessor lists
+     * @param root the root node
+     */
+    static DomTree solve(size_t num_nodes,
+                         const std::vector<std::vector<ir::BlockId>>&
+                             preds,
+                         ir::BlockId root);
+
+    std::vector<ir::BlockId> idom_;
+    std::vector<uint32_t> depth_;
+    ir::BlockId root_ = 0;
+};
+
+} // namespace analysis
+} // namespace wet
+
+#endif // WET_ANALYSIS_DOMINATORS_H

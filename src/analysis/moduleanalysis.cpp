@@ -1,0 +1,29 @@
+#include "moduleanalysis.h"
+
+#include "support/error.h"
+
+namespace wet {
+namespace analysis {
+
+FunctionAnalysis::FunctionAnalysis(const ir::Function& fn,
+                                   uint64_t max_paths)
+    : cfg(fn),
+      postdom(DomTree::postDominators(fn)),
+      cd(fn, postdom),
+      bl(cfg, max_paths)
+{
+}
+
+ModuleAnalysis::ModuleAnalysis(const ir::Module& m, uint64_t max_paths)
+    : module_(&m)
+{
+    WET_ASSERT(m.finalized(), "ModuleAnalysis requires finalized module");
+    fns_.reserve(m.numFunctions());
+    for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+        fns_.push_back(std::make_unique<FunctionAnalysis>(
+            m.function(f), max_paths));
+    }
+}
+
+} // namespace analysis
+} // namespace wet

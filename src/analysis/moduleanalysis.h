@@ -1,0 +1,56 @@
+#ifndef WET_ANALYSIS_MODULEANALYSIS_H
+#define WET_ANALYSIS_MODULEANALYSIS_H
+
+#include <memory>
+#include <vector>
+
+#include "analysis/balllarus.h"
+#include "analysis/cfg.h"
+#include "analysis/controldep.h"
+#include "analysis/dominators.h"
+#include "ir/module.h"
+
+namespace wet {
+namespace analysis {
+
+/** All per-function static analyses bundled together. */
+struct FunctionAnalysis
+{
+    explicit FunctionAnalysis(const ir::Function& fn, uint64_t max_paths);
+
+    CfgInfo cfg;
+    DomTree postdom;
+    ControlDep cd;
+    BallLarus bl;
+};
+
+/**
+ * Static analyses for every function of a module: CFG facts,
+ * post-dominators, control dependence, and Ball–Larus numbering.
+ * Shared by the tracing interpreter (dynamic control dependence) and
+ * the WET builder (path segmentation). The module must outlive this
+ * object.
+ */
+class ModuleAnalysis
+{
+  public:
+    explicit ModuleAnalysis(const ir::Module& m,
+                            uint64_t max_paths = uint64_t{1} << 24);
+
+    const FunctionAnalysis&
+    fn(ir::FuncId f) const
+    {
+        return *fns_[f];
+    }
+
+    const ir::Module& module() const { return *module_; }
+
+  private:
+    const ir::Module* module_;
+    std::vector<std::unique_ptr<FunctionAnalysis>> fns_;
+};
+
+} // namespace analysis
+} // namespace wet
+
+#endif // WET_ANALYSIS_MODULEANALYSIS_H

@@ -1,0 +1,59 @@
+#include "archprofile.h"
+
+namespace wet {
+namespace arch {
+
+ArchProfileSink::ArchProfileSink(unsigned gshare_bits,
+                                 const CacheConfig& cache_cfg)
+    : predictor_(gshare_bits), cache_(cache_cfg)
+{
+}
+
+void
+ArchProfileSink::onStmt(const interp::StmtEvent& ev)
+{
+    if (ev.isBranch) {
+        bool correct =
+            predictor_.predictAndUpdate(ev.stmt, ev.branchTaken);
+        branchBits_[ev.stmt].push(!correct);
+    } else if (ev.isLoad) {
+        bool hit = cache_.access(ev.addr);
+        loadBits_[ev.stmt].push(!hit);
+    } else if (ev.isStore) {
+        bool hit = cache_.access(ev.addr);
+        storeBits_[ev.stmt].push(!hit);
+    }
+}
+
+uint64_t
+ArchProfileSink::totalBytes(
+    const std::unordered_map<ir::StmtId, support::BitStack>& m)
+{
+    uint64_t total = 0;
+    for (const auto& [stmt, bits] : m) {
+        (void)stmt;
+        total += bits.sizeBytes();
+    }
+    return total;
+}
+
+uint64_t
+ArchProfileSink::branchHistoryBytes() const
+{
+    return totalBytes(branchBits_);
+}
+
+uint64_t
+ArchProfileSink::loadHistoryBytes() const
+{
+    return totalBytes(loadBits_);
+}
+
+uint64_t
+ArchProfileSink::storeHistoryBytes() const
+{
+    return totalBytes(storeBits_);
+}
+
+} // namespace arch
+} // namespace wet

@@ -1,0 +1,79 @@
+#ifndef WET_ARCH_ARCHPROFILE_H
+#define WET_ARCH_ARCHPROFILE_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "arch/branchpredictor.h"
+#include "arch/cache.h"
+#include "interp/tracesink.h"
+#include "support/bitstack.h"
+
+namespace wet {
+namespace arch {
+
+/**
+ * Trace sink that simulates a gshare branch predictor and an L1 data
+ * cache alongside the program run and records one history bit per
+ * branch / load / store instance, exactly the architecture-specific
+ * augmentation of WETs the paper evaluates in Table 4.
+ *
+ * Histories are kept per static instruction (a bit sequence per
+ * branch/load/store statement), so they can be attached to WET nodes
+ * as additional label streams.
+ */
+class ArchProfileSink : public interp::TraceSink
+{
+  public:
+    ArchProfileSink(unsigned gshare_bits = 14,
+                    const CacheConfig& cache_cfg = CacheConfig());
+
+    void onStmt(const interp::StmtEvent& ev) override;
+
+    /** Bytes of uncompressed branch misprediction history bits. */
+    uint64_t branchHistoryBytes() const;
+    /** Bytes of uncompressed load miss history bits. */
+    uint64_t loadHistoryBytes() const;
+    /** Bytes of uncompressed store miss history bits. */
+    uint64_t storeHistoryBytes() const;
+
+    uint64_t branches() const { return predictor_.lookups(); }
+    uint64_t mispredicts() const { return predictor_.mispredicts(); }
+    uint64_t cacheAccesses() const { return cache_.accesses(); }
+    uint64_t cacheMisses() const { return cache_.misses(); }
+
+    /** Per-statement history bits (1 = mispredict / miss). */
+    const std::unordered_map<ir::StmtId, support::BitStack>&
+    branchHistory() const
+    {
+        return branchBits_;
+    }
+
+    const std::unordered_map<ir::StmtId, support::BitStack>&
+    loadHistory() const
+    {
+        return loadBits_;
+    }
+
+    const std::unordered_map<ir::StmtId, support::BitStack>&
+    storeHistory() const
+    {
+        return storeBits_;
+    }
+
+  private:
+    static uint64_t
+    totalBytes(const std::unordered_map<ir::StmtId,
+                                        support::BitStack>& m);
+
+    GsharePredictor predictor_;
+    Cache cache_;
+    std::unordered_map<ir::StmtId, support::BitStack> branchBits_;
+    std::unordered_map<ir::StmtId, support::BitStack> loadBits_;
+    std::unordered_map<ir::StmtId, support::BitStack> storeBits_;
+};
+
+} // namespace arch
+} // namespace wet
+
+#endif // WET_ARCH_ARCHPROFILE_H

@@ -1,0 +1,40 @@
+#include "branchpredictor.h"
+
+#include "support/error.h"
+#include "support/hash.h"
+
+namespace wet {
+namespace arch {
+
+GsharePredictor::GsharePredictor(unsigned index_bits)
+    : bits_(index_bits)
+{
+    WET_ASSERT(index_bits >= 4 && index_bits <= 24,
+               "gshare index bits out of range");
+    counters_.assign(size_t{1} << index_bits, 1); // weakly not-taken
+    mask_ = (uint64_t{1} << index_bits) - 1;
+}
+
+bool
+GsharePredictor::predictAndUpdate(uint64_t pc, bool taken)
+{
+    uint64_t idx = (support::mix64(pc) ^ history_) & mask_;
+    uint8_t& ctr = counters_[idx];
+    bool predictTaken = ctr >= 2;
+    bool correct = (predictTaken == taken);
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask_;
+    ++lookups_;
+    if (!correct)
+        ++mispredicts_;
+    return correct;
+}
+
+} // namespace arch
+} // namespace wet

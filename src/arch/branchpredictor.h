@@ -1,0 +1,44 @@
+#ifndef WET_ARCH_BRANCHPREDICTOR_H
+#define WET_ARCH_BRANCHPREDICTOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace wet {
+namespace arch {
+
+/**
+ * Gshare branch direction predictor: a table of 2-bit saturating
+ * counters indexed by (pc XOR global-history). Used to generate the
+ * per-branch misprediction bit histories with which the paper augments
+ * the WET (Table 4).
+ */
+class GsharePredictor
+{
+  public:
+    /** @param index_bits log2 of the counter-table size. */
+    explicit GsharePredictor(unsigned index_bits = 14);
+
+    /**
+     * Predict the branch at @p pc, then update with the real
+     * @p taken outcome.
+     * @return true if the prediction was correct.
+     */
+    bool predictAndUpdate(uint64_t pc, bool taken);
+
+    uint64_t lookups() const { return lookups_; }
+    uint64_t mispredicts() const { return mispredicts_; }
+
+  private:
+    std::vector<uint8_t> counters_;
+    uint64_t history_ = 0;
+    uint64_t mask_;
+    unsigned bits_;
+    uint64_t lookups_ = 0;
+    uint64_t mispredicts_ = 0;
+};
+
+} // namespace arch
+} // namespace wet
+
+#endif // WET_ARCH_BRANCHPREDICTOR_H

@@ -1,0 +1,43 @@
+#include "cache.h"
+
+#include "support/error.h"
+
+namespace wet {
+namespace arch {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg)
+{
+    WET_ASSERT(cfg.lineWords > 0 && cfg.numSets > 0 &&
+               cfg.associativity > 0, "bad cache geometry");
+    WET_ASSERT((cfg.lineWords & (cfg.lineWords - 1)) == 0 &&
+               (cfg.numSets & (cfg.numSets - 1)) == 0,
+               "cache geometry must be a power of two");
+    ways_.assign(size_t{cfg.numSets} * cfg.associativity, Way{});
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    ++accesses_;
+    ++clock_;
+    uint64_t line = addr / cfg_.lineWords;
+    uint64_t set = line & (cfg_.numSets - 1);
+    uint64_t tag = line / cfg_.numSets;
+    Way* base = &ways_[set * cfg_.associativity];
+    Way* victim = base;
+    for (uint32_t w = 0; w < cfg_.associativity; ++w) {
+        if (base[w].tag == tag) {
+            base[w].lastUse = clock_;
+            return true;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    ++misses_;
+    victim->tag = tag;
+    victim->lastUse = clock_;
+    return false;
+}
+
+} // namespace arch
+} // namespace wet

@@ -1,0 +1,56 @@
+#ifndef WET_ARCH_CACHE_H
+#define WET_ARCH_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace wet {
+namespace arch {
+
+/** Configuration of a set-associative cache. */
+struct CacheConfig
+{
+    /** Line size in 64-bit words (addresses are word addresses). */
+    uint32_t lineWords = 4;
+    uint32_t numSets = 512;
+    uint32_t associativity = 8;
+};
+
+/**
+ * Set-associative LRU cache model over word addresses. Used to
+ * generate the per-load/per-store miss bit histories with which the
+ * paper augments the WET (Table 4). Default geometry is a 128 KB
+ * data cache (512 sets x 8 ways x 32-byte lines).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig& cfg = CacheConfig());
+
+    /**
+     * Access the word at @p addr, allocating on miss.
+     * @return true on hit.
+     */
+    bool access(uint64_t addr);
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = UINT64_MAX;
+        uint64_t lastUse = 0;
+    };
+
+    CacheConfig cfg_;
+    std::vector<Way> ways_; //!< numSets x associativity, row major
+    uint64_t clock_ = 0;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace arch
+} // namespace wet
+
+#endif // WET_ARCH_CACHE_H

@@ -1,0 +1,142 @@
+#include "tracelog.h"
+
+#include <deque>
+
+#include "support/error.h"
+
+namespace wet {
+namespace baseline {
+
+void
+TraceLog::onEnterFunction(ir::FuncId f, const interp::DepRef& cs)
+{
+    (void)f;
+    (void)cs;
+    controlStack_.push_back(interp::DepRef{});
+}
+
+void
+TraceLog::onLeaveFunction(ir::FuncId f)
+{
+    (void)f;
+    controlStack_.pop_back();
+}
+
+void
+TraceLog::onBlockEnter(ir::FuncId f, ir::BlockId b,
+                       const interp::DepRef& control)
+{
+    blocks_.push_back(BlockRec{f, b});
+    controlStack_.back() = control;
+}
+
+void
+TraceLog::onStmt(const interp::StmtEvent& ev)
+{
+    Event e;
+    e.stmt = ev.stmt;
+    e.instance = ev.instance;
+    e.value = ev.value;
+    e.addr = ev.addr;
+    e.deps[0] = ev.deps[0];
+    e.deps[1] = ev.deps[1];
+    e.control = controlStack_.back();
+    e.numDeps = ev.numDeps;
+    e.flags = static_cast<uint8_t>((ev.hasValue ? kHasValue : 0) |
+                                   (ev.isLoad ? kIsLoad : 0) |
+                                   (ev.isStore ? kIsStore : 0) |
+                                   (ev.isBranch ? kIsBranch : 0));
+    events_.push_back(e);
+}
+
+uint64_t
+TraceLog::sizeBytes() const
+{
+    return events_.size() * sizeof(Event) +
+           blocks_.size() * sizeof(BlockRec);
+}
+
+void
+TraceLog::buildIndex()
+{
+    if (indexBuilt_)
+        return;
+    index_.reserve(events_.size());
+    for (uint64_t i = 0; i < events_.size(); ++i)
+        index_[key(events_[i].stmt, events_[i].instance)] = i;
+    indexBuilt_ = true;
+}
+
+uint64_t
+TraceLog::extractValues(
+    ir::StmtId stmt, const std::function<void(int64_t)>& visit) const
+{
+    uint64_t count = 0;
+    for (const Event& e : events_) {
+        if (e.stmt == stmt && (e.flags & kHasValue)) {
+            visit(e.value);
+            ++count;
+        }
+    }
+    return count;
+}
+
+uint64_t
+TraceLog::extractAddresses(
+    ir::StmtId stmt, const std::function<void(uint64_t)>& visit) const
+{
+    uint64_t count = 0;
+    for (const Event& e : events_) {
+        if (e.stmt == stmt && (e.flags & (kIsLoad | kIsStore))) {
+            visit(e.addr);
+            ++count;
+        }
+    }
+    return count;
+}
+
+uint64_t
+TraceLog::extractControlFlow(
+    const std::function<void(ir::FuncId, ir::BlockId)>& visit) const
+{
+    for (const BlockRec& b : blocks_)
+        visit(b.func, b.block);
+    return blocks_.size();
+}
+
+std::vector<std::pair<ir::StmtId, uint32_t>>
+TraceLog::backwardSlice(ir::StmtId stmt, uint32_t k,
+                        uint64_t max_items) const
+{
+    WET_ASSERT(indexBuilt_,
+               "call buildIndex() before backwardSlice()");
+    std::vector<std::pair<ir::StmtId, uint32_t>> out;
+    std::unordered_map<uint64_t, bool> seen;
+    std::deque<uint64_t> work;
+    auto push = [&](ir::StmtId s, uint32_t inst) {
+        uint64_t kk = key(s, inst);
+        if (!seen.emplace(kk, true).second)
+            return;
+        work.push_back(kk);
+    };
+    push(stmt, k);
+    while (!work.empty() && out.size() < max_items) {
+        uint64_t kk = work.front();
+        work.pop_front();
+        ir::StmtId s = static_cast<ir::StmtId>(kk >> 32);
+        uint32_t inst = static_cast<uint32_t>(kk);
+        out.emplace_back(s, inst);
+        auto it = index_.find(kk);
+        if (it == index_.end())
+            continue;
+        const Event& e = events_[it->second];
+        for (uint8_t d = 0; d < e.numDeps; ++d)
+            push(e.deps[d].stmt, e.deps[d].instance);
+        if (e.control.valid())
+            push(e.control.stmt, e.control.instance);
+    }
+    return out;
+}
+
+} // namespace baseline
+} // namespace wet

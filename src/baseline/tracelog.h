@@ -1,0 +1,116 @@
+#ifndef WET_BASELINE_TRACELOG_H
+#define WET_BASELINE_TRACELOG_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/tracesink.h"
+#include "ir/module.h"
+
+namespace wet {
+namespace baseline {
+
+/**
+ * The baseline the paper's introduction argues against: a flat,
+ * uncompressed whole-execution log in execution order. Every profile
+ * kind is present, but related information is only reachable by
+ * scanning, and the memory cost is the raw trace.
+ *
+ * Queries mirror the WET query classes so bench/baseline_compare can
+ * time the same questions against both representations.
+ */
+class TraceLog : public interp::TraceSink
+{
+  public:
+    /** One executed statement, fully expanded (40 bytes). */
+    struct Event
+    {
+        ir::StmtId stmt;
+        uint32_t instance;
+        int64_t value;
+        uint64_t addr;
+        interp::DepRef deps[2];
+        interp::DepRef control;
+        uint8_t numDeps;
+        uint8_t flags; //!< bit 0 hasValue, 1 isLoad, 2 isStore, 3 isBranch
+    };
+
+    static constexpr uint8_t kHasValue = 1;
+    static constexpr uint8_t kIsLoad = 2;
+    static constexpr uint8_t kIsStore = 4;
+    static constexpr uint8_t kIsBranch = 8;
+
+    // TraceSink interface -------------------------------------------------
+    void onEnterFunction(ir::FuncId f,
+                         const interp::DepRef& cs) override;
+    void onLeaveFunction(ir::FuncId f) override;
+    void onBlockEnter(ir::FuncId f, ir::BlockId b,
+                      const interp::DepRef& control) override;
+    void onStmt(const interp::StmtEvent& ev) override;
+
+    // Introspection -------------------------------------------------------
+    const std::vector<Event>& events() const { return events_; }
+
+    /** In-memory footprint of the log in bytes. */
+    uint64_t sizeBytes() const;
+
+    /**
+     * Build the (stmt, local instance) -> event position index that
+     * slicing needs; idempotent. Its memory is *not* part of
+     * sizeBytes (it is query working state).
+     */
+    void buildIndex();
+
+    // Queries (linear scans, as a flat log forces) -------------------------
+
+    /** All values produced by @p stmt, in execution order. */
+    uint64_t extractValues(
+        ir::StmtId stmt,
+        const std::function<void(int64_t)>& visit) const;
+
+    /** All effective addresses touched by load/store @p stmt. */
+    uint64_t extractAddresses(
+        ir::StmtId stmt,
+        const std::function<void(uint64_t)>& visit) const;
+
+    /** Walk the block-level control flow trace. */
+    uint64_t extractControlFlow(
+        const std::function<void(ir::FuncId, ir::BlockId)>& visit)
+        const;
+
+    /**
+     * Backward dynamic slice from the @p k-th execution of
+     * @p stmt over data and control dependences.
+     * @return visited (stmt, instance) pairs; empty if absent.
+     */
+    std::vector<std::pair<ir::StmtId, uint32_t>>
+    backwardSlice(ir::StmtId stmt, uint32_t k,
+                  uint64_t max_items = UINT64_MAX) const;
+
+  private:
+    struct BlockRec
+    {
+        ir::FuncId func;
+        ir::BlockId block;
+    };
+
+    std::vector<Event> events_;
+    std::vector<BlockRec> blocks_;
+    std::vector<interp::DepRef> controlStack_;
+    /** (stmt, instance) -> index in events_. */
+    std::unordered_map<uint64_t, uint64_t> index_;
+    bool indexBuilt_ = false;
+
+    static uint64_t
+    key(ir::StmtId s, uint32_t inst)
+    {
+        return (static_cast<uint64_t>(s) << 32) | inst;
+    }
+};
+
+} // namespace baseline
+} // namespace wet
+
+#endif // WET_BASELINE_TRACELOG_H

@@ -1,0 +1,205 @@
+#include "cursor.h"
+
+#include <algorithm>
+
+#include "codec/entryio.h"
+#include "support/error.h"
+
+namespace wet {
+namespace codec {
+
+StreamCursor::StreamCursor(const CompressedStream& s, Mode mode)
+    : s_(&s), mode_(mode)
+{
+    if (s.config.method == Method::Raw) {
+        raw_ = true;
+        rawVals_.reserve(s.length);
+        size_t pos = 0;
+        for (uint64_t i = 0; i < s.length; ++i)
+            rawVals_.push_back(s.misses.readSignedAt(pos));
+        return;
+    }
+    blModel_ = makeModel(s.config);
+    if (mode_ == Mode::Bidirectional)
+        frModel_ = makeModel(s.config);
+    idxBits_ = blModel_->hitIndexBits();
+    ctxLen_ = blModel_->contextValues();
+    n_ = s.windowSize;
+    WET_ASSERT(n_ >= 1 && s.window0.size() == n_,
+               "corrupt stream window");
+    initFront();
+}
+
+void
+StreamCursor::initFront()
+{
+    window_ = s_->window0;
+    blModel_->loadState(s_->tableState0);
+    if (frModel_)
+        frModel_->reset();
+    frFlags_.clear();
+    frVals_.clear();
+    machinePos_ = 0;
+    sweepStart_ = 0;
+    flagPos_ = 0;
+    missPos_ = 0;
+}
+
+void
+StreamCursor::initFromCheckpoint(const CompressedStream::Checkpoint& cp)
+{
+    window_ = cp.window;
+    blModel_->loadState(cp.tableState);
+    if (frModel_)
+        frModel_->reset();
+    frFlags_.clear();
+    frVals_.clear();
+    machinePos_ = cp.machinePos;
+    sweepStart_ = cp.machinePos;
+    flagPos_ = cp.flagPos;
+    missPos_ = cp.missPos;
+}
+
+const int64_t*
+StreamCursor::ctxLeft()
+{
+    for (unsigned i = 0; i < ctxLen_; ++i)
+        ctxBuf_[i] = window_[i];
+    return ctxBuf_;
+}
+
+const int64_t*
+StreamCursor::ctxRight()
+{
+    for (unsigned i = 0; i < ctxLen_; ++i)
+        ctxBuf_[i] = window_[n_ - 1 - i];
+    return ctxBuf_;
+}
+
+void
+StreamCursor::stepForward()
+{
+    WET_ASSERT(machinePos_ + n_ < s_->length, "stepForward past end");
+    Entry e = detail::readEntryForward(s_->flags, s_->misses, flagPos_,
+                                       missPos_, idxBits_);
+    int64_t v = blModel_->consume(e, ctxRight());
+    int64_t leaving = window_[0];
+    for (unsigned i = 0; i + 1 < n_; ++i)
+        window_[i] = window_[i + 1];
+    window_[n_ - 1] = v;
+    if (frModel_) {
+        Entry fe = frModel_->create(leaving, ctxLeft());
+        detail::pushEntryReversed(frFlags_, frVals_, fe, idxBits_);
+    }
+    ++machinePos_;
+}
+
+void
+StreamCursor::stepBackward()
+{
+    WET_ASSERT(mode_ == Mode::Bidirectional,
+               "backward step on a forward-only cursor");
+    WET_ASSERT(machinePos_ > sweepStart_,
+               "backward step before the sweep start");
+    Entry fe = detail::popEntryReversed(frFlags_, frVals_, idxBits_);
+    int64_t v = frModel_->consume(fe, ctxLeft());
+    int64_t leaving = window_[n_ - 1];
+    for (unsigned i = n_ - 1; i > 0; --i)
+        window_[i] = window_[i - 1];
+    window_[0] = v;
+    Entry be = blModel_->create(leaving, ctxRight());
+    detail::unreadEntryForward(s_->flags, s_->misses, flagPos_,
+                               missPos_, be, idxBits_);
+    WET_ASSERT(s_->flags.get(flagPos_) == be.hit,
+               "backward step diverged from the stored BL entry");
+    --machinePos_;
+}
+
+int64_t
+StreamCursor::at(uint64_t q)
+{
+    WET_ASSERT(q < s_->length, "cursor access at " << q
+               << " past length " << s_->length);
+    if (raw_)
+        return rawVals_[q];
+
+    if (q >= machinePos_ && q < machinePos_ + n_)
+        return window_[q - machinePos_];
+
+    // Plan the cheapest route: step forward, step backward (within
+    // the current sweep), or re-initialize from the best checkpoint
+    // at or before q and sweep forward from there.
+    const CompressedStream::Checkpoint* best = nullptr;
+    for (const auto& cp : s_->checkpoints) {
+        if (cp.machinePos <= q &&
+            (!best || cp.machinePos > best->machinePos))
+        {
+            best = &cp;
+        }
+    }
+    const uint64_t kReinitCost = 64; // table/window copy
+    uint64_t costFwd = q >= machinePos_ ? q - machinePos_
+                                        : UINT64_MAX;
+    uint64_t costBwd =
+        (mode_ == Mode::Bidirectional && q < machinePos_ &&
+         q >= sweepStart_)
+            ? machinePos_ - q
+            : UINT64_MAX;
+    uint64_t ckptPos = best ? best->machinePos : 0;
+    uint64_t costCkpt = (q - ckptPos) + kReinitCost;
+
+    if (costFwd <= costBwd && costFwd <= costCkpt) {
+        // fall through to the forward loop below
+    } else if (costBwd <= costCkpt) {
+        while (machinePos_ > q)
+            stepBackward();
+    } else if (best) {
+        initFromCheckpoint(*best);
+    } else {
+        initFront();
+    }
+    while (machinePos_ + n_ <= q)
+        stepForward();
+    return window_[q - machinePos_];
+}
+
+void
+StreamCursor::captureCheckpoints(CompressedStream& out,
+                                 uint64_t interval)
+{
+    WET_ASSERT(&out == s_, "captureCheckpoints over a foreign stream");
+    WET_ASSERT(machinePos_ == 0 && flagPos_ == 0,
+               "captureCheckpoints requires a fresh cursor");
+    WET_ASSERT(interval > 0, "checkpoint interval must be positive");
+    out.checkpoints.clear();
+    if (raw_)
+        return;
+    const uint64_t maxPos = s_->length - n_;
+    uint64_t lastCkpt = 0;
+    while (machinePos_ < maxPos) {
+        stepForward();
+        // Self-limiting spacing: a checkpoint must cover at least
+        // `interval` values AND several values per byte of its own
+        // state snapshot, so incompressible streams with big tables
+        // are not drowned in checkpoint overhead.
+        uint64_t span = machinePos_ - lastCkpt;
+        if (span >= interval &&
+            span >= 4 * blModel_->storedStateBytes() &&
+            machinePos_ < maxPos)
+        {
+            lastCkpt = machinePos_;
+            CompressedStream::Checkpoint cp;
+            cp.machinePos = machinePos_;
+            cp.flagPos = flagPos_;
+            cp.missPos = missPos_;
+            cp.window = window_;
+            cp.tableState = blModel_->saveState();
+            cp.storedStateBytes = blModel_->storedStateBytes();
+            out.checkpoints.push_back(std::move(cp));
+        }
+    }
+    initFront();
+}
+
+} // namespace codec
+} // namespace wet

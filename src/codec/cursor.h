@@ -1,0 +1,104 @@
+#ifndef WET_CODEC_CURSOR_H
+#define WET_CODEC_CURSOR_H
+
+#include <memory>
+#include <vector>
+
+#include "codec/model.h"
+#include "codec/stream.h"
+
+namespace wet {
+namespace codec {
+
+/**
+ * Decoding cursor over a CompressedStream.
+ *
+ * The cursor keeps the paper's sliding uncompressed window: values
+ * enter the window from the BL (ahead) side when stepping forward and
+ * from the cursor-local FR (behind) side when stepping backward; each
+ * step is O(1). A Forward cursor skips FR bookkeeping and can only
+ * move ahead (re-initializing from the front or a checkpoint to go
+ * back); a Bidirectional cursor additionally materializes the FR side
+ * as it advances, after which it can step back freely to wherever its
+ * current sweep started.
+ *
+ * Random access is provided by at(): sequential patterns cost O(1)
+ * amortized per access; jumping far behind a Forward sweep costs a
+ * re-scan from the nearest checkpoint (or the front).
+ */
+class StreamCursor
+{
+  public:
+    enum class Mode { Forward, Bidirectional };
+
+    explicit StreamCursor(const CompressedStream& s,
+                          Mode mode = Mode::Bidirectional);
+
+    uint64_t length() const { return s_->length; }
+
+    /** Value at index @p q (see class comment for cost model). */
+    int64_t at(uint64_t q);
+
+    /** Sequential read at the cursor position, then advance. */
+    int64_t
+    next()
+    {
+        int64_t v = at(pos_);
+        ++pos_;
+        return v;
+    }
+
+    /** Step the cursor position back, then read. */
+    int64_t
+    prev()
+    {
+        --pos_;
+        return at(pos_);
+    }
+
+    bool hasNext() const { return pos_ < s_->length; }
+    bool hasPrev() const { return pos_ > 0; }
+    uint64_t pos() const { return pos_; }
+    void seek(uint64_t q) { pos_ = q; }
+
+    /**
+     * Scan the whole stream, storing a decode checkpoint into @p out
+     * every @p interval values (encoder helper; requires a fresh
+     * Forward cursor over @p out itself).
+     */
+    void captureCheckpoints(CompressedStream& out, uint64_t interval);
+
+  private:
+    void initFront();
+    void initFromCheckpoint(const CompressedStream::Checkpoint& cp);
+    void stepForward();
+    void stepBackward();
+    const int64_t* ctxLeft();
+    const int64_t* ctxRight();
+
+    const CompressedStream* s_;
+    Mode mode_;
+    bool raw_ = false;
+    std::vector<int64_t> rawVals_;
+
+    std::unique_ptr<PredictorModel> blModel_;
+    std::unique_ptr<PredictorModel> frModel_;
+    unsigned idxBits_ = 0;
+    unsigned ctxLen_ = 0;
+    unsigned n_ = 1;
+    uint64_t machinePos_ = 0;   //!< window covers [machinePos, +n)
+    uint64_t sweepStart_ = 0;   //!< earliest back-steppable position
+    size_t flagPos_ = 0;
+    size_t missPos_ = 0;
+    std::vector<int64_t> window_;
+    support::BitStack frFlags_;
+    support::VarintBuffer frVals_;
+    int64_t ctxBuf_[10];
+
+    uint64_t pos_ = 0; //!< logical next()/prev() position
+};
+
+} // namespace codec
+} // namespace wet
+
+#endif // WET_CODEC_CURSOR_H

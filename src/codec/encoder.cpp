@@ -1,0 +1,142 @@
+#include "encoder.h"
+
+#include <algorithm>
+
+#include "codec/cursor.h"
+#include "codec/entryio.h"
+#include "codec/model.h"
+#include "support/error.h"
+
+namespace wet {
+namespace codec {
+
+namespace {
+
+/** Minimum stream length for predictor codecs. */
+constexpr uint64_t kMinPredictorLength = 16;
+
+CompressedStream
+encodeRaw(const std::vector<int64_t>& vals)
+{
+    CompressedStream out;
+    out.config = CodecConfig{Method::Raw, 0, 0};
+    out.length = vals.size();
+    out.windowSize = 0;
+    for (int64_t v : vals)
+        out.misses.pushSigned(v);
+    return out;
+}
+
+} // namespace
+
+CompressedStream
+encodeStream(const std::vector<int64_t>& vals, CodecConfig cfg0,
+             uint64_t checkpoint_interval)
+{
+    const uint64_t m = vals.size();
+    CodecConfig cfg = resolveConfig(cfg0, m);
+    if (cfg.method == Method::Raw || m < kMinPredictorLength)
+        return encodeRaw(vals);
+
+    auto frModel = makeModel(cfg);
+    auto blModel = makeModel(cfg);
+    const unsigned idxBits = frModel->hitIndexBits();
+    const unsigned ctxLen = frModel->contextValues();
+    const unsigned n = detail::windowSizeFor(cfg, *frModel);
+    WET_ASSERT(m > n, "stream too short for window");
+
+    CompressedStream out;
+    out.config = cfg;
+    out.length = m;
+    out.windowSize = n;
+
+    std::vector<int64_t> window(vals.begin(), vals.begin() + n);
+    int64_t ctxBuf[10];
+    auto ctxLeft = [&]() {
+        for (unsigned i = 0; i < ctxLen; ++i)
+            ctxBuf[i] = window[i];
+        return ctxBuf;
+    };
+    auto ctxRight = [&]() {
+        for (unsigned i = 0; i < ctxLen; ++i)
+            ctxBuf[i] = window[n - 1 - i];
+        return ctxBuf;
+    };
+    auto shiftLeft = [&](int64_t incoming) {
+        for (unsigned i = 0; i + 1 < n; ++i)
+            window[i] = window[i + 1];
+        window[n - 1] = incoming;
+    };
+    auto shiftRight = [&](int64_t incoming) {
+        for (unsigned i = n - 1; i > 0; --i)
+            window[i] = window[i - 1];
+        window[0] = incoming;
+    };
+
+    // Phase 1 — forward sweep: compress values [0, m-n) into the FR
+    // side using their right context, leaving the window at the end.
+    support::BitStack frFlags;
+    support::VarintBuffer frVals;
+    for (uint64_t p = 0; p + n < m; ++p) {
+        int64_t leaving = window[0];
+        shiftLeft(vals[p + n]);
+        Entry e = frModel->create(leaving, ctxLeft());
+        detail::pushEntryReversed(frFlags, frVals, e, idxBits);
+    }
+
+    // Phase 2 — backward sweep: uncompress the FR side step by step
+    // and re-compress each window-leaving value into the BL side
+    // using its left context. Afterwards the stream rests at the
+    // front and the FR side is provably back to its initial state.
+    support::BitStack blTmpFlags;
+    support::VarintBuffer blTmpVals;
+    for (uint64_t p = m - n; p > 0; --p) {
+        Entry fe = detail::popEntryReversed(frFlags, frVals, idxBits);
+        int64_t value = frModel->consume(fe, ctxLeft());
+        int64_t leaving = window[n - 1];
+        shiftRight(value);
+        Entry be = blModel->create(leaving, ctxRight());
+        detail::pushEntryReversed(blTmpFlags, blTmpVals, be, idxBits);
+    }
+    WET_ASSERT(frFlags.empty() && frVals.empty(),
+               "FR side not fully unwound");
+    for (unsigned i = 0; i < n; ++i) {
+        WET_ASSERT(window[i] == vals[i],
+                   "window mismatch after backward sweep at " << i);
+    }
+
+    // Phase 3 — reverse the backward-created BL entries into forward
+    // read order.
+    const uint64_t entries = m - n;
+    for (uint64_t k = 0; k < entries; ++k) {
+        Entry e = detail::popEntryReversed(blTmpFlags, blTmpVals,
+                                           idxBits);
+        detail::writeEntryForward(out.flags, out.misses, e, idxBits);
+    }
+    WET_ASSERT(blTmpFlags.empty() && blTmpVals.empty(),
+               "BL temp not fully drained");
+
+    out.window0 = window;
+    out.tableState0 = blModel->saveState();
+    out.storedState0Bytes = blModel->storedStateBytes();
+
+    if (checkpoint_interval > 0) {
+        StreamCursor cur(out, StreamCursor::Mode::Forward);
+        cur.captureCheckpoints(out, checkpoint_interval);
+    }
+    return out;
+}
+
+std::vector<int64_t>
+decodeAll(const CompressedStream& s)
+{
+    std::vector<int64_t> vals;
+    vals.reserve(s.length);
+    StreamCursor cur(s, StreamCursor::Mode::Forward);
+    for (uint64_t q = 0; q < s.length; ++q)
+        vals.push_back(cur.next());
+    return vals;
+}
+
+} // namespace codec
+} // namespace wet

@@ -1,0 +1,34 @@
+#ifndef WET_CODEC_ENCODER_H
+#define WET_CODEC_ENCODER_H
+
+#include <vector>
+
+#include "codec/stream.h"
+
+namespace wet {
+namespace codec {
+
+/**
+ * Compress @p vals with the given configuration. Streams shorter than
+ * the method's minimum viable length fall back to Method::Raw.
+ *
+ * The encoder performs the paper's "repeated application of the
+ * compression operation": a forward sweep that builds the FR side,
+ * then a backward sweep that converts everything into the BL side,
+ * leaving the stream at rest at the front with the BL lookup-table
+ * snapshot needed to start decoding at position 0.
+ *
+ * @param checkpoint_interval if non-zero, capture a decode
+ *        checkpoint every that many values (space/seek-time knob).
+ */
+CompressedStream encodeStream(const std::vector<int64_t>& vals,
+                              CodecConfig cfg,
+                              uint64_t checkpoint_interval = 0);
+
+/** Decode a whole stream front to back (convenience / tests). */
+std::vector<int64_t> decodeAll(const CompressedStream& s);
+
+} // namespace codec
+} // namespace wet
+
+#endif // WET_CODEC_ENCODER_H

@@ -1,0 +1,121 @@
+#ifndef WET_CODEC_ENTRYIO_H
+#define WET_CODEC_ENTRYIO_H
+
+#include "codec/model.h"
+#include "support/bitstack.h"
+#include "support/varint.h"
+
+namespace wet {
+namespace codec {
+namespace detail {
+
+/**
+ * Entry serialization. Two layouts are used:
+ *
+ * - forward layout ([flag][hit-index?]) for the at-rest BL entry
+ *   stream, which cursors read with increasing offsets;
+ * - reversed layout ([hit-index?][flag]) for transient stacks (the
+ *   cursor-local FR side and the encoder's backward sweep), which are
+ *   consumed by popping.
+ *
+ * Miss victims go to a VarintBuffer, which is poppable and
+ * backward-readable on its own.
+ */
+
+/** Append an entry in forward layout. */
+inline void
+writeEntryForward(support::BitStack& flags, support::VarintBuffer& vals,
+                  const Entry& e, unsigned idx_bits)
+{
+    flags.push(e.hit);
+    if (e.hit) {
+        if (idx_bits)
+            flags.pushBits(e.hitIndex, idx_bits);
+    } else {
+        vals.pushSigned(e.missVictim);
+    }
+}
+
+/** Read an entry in forward layout, advancing both positions. */
+inline Entry
+readEntryForward(const support::BitStack& flags,
+                 const support::VarintBuffer& vals, size_t& flag_pos,
+                 size_t& miss_pos, unsigned idx_bits)
+{
+    Entry e;
+    e.hit = flags.get(flag_pos++);
+    if (e.hit) {
+        if (idx_bits) {
+            e.hitIndex = flags.getBits(flag_pos, idx_bits);
+            flag_pos += idx_bits;
+        }
+    } else {
+        e.missVictim = vals.readSignedAt(miss_pos);
+    }
+    return e;
+}
+
+/**
+ * Step both positions backwards over an entry whose content is
+ * already known (used when a backward step re-creates a stored BL
+ * entry and only needs to rewind the read offsets).
+ */
+inline void
+unreadEntryForward(const support::BitStack& flags,
+                   const support::VarintBuffer& vals,
+                   size_t& flag_pos, size_t& miss_pos, const Entry& e,
+                   unsigned idx_bits)
+{
+    (void)flags;
+    if (e.hit) {
+        flag_pos -= 1 + idx_bits;
+    } else {
+        flag_pos -= 1;
+        vals.readSignedBefore(miss_pos); // moves miss_pos back
+    }
+}
+
+/** Push an entry in reversed layout (poppable). */
+inline void
+pushEntryReversed(support::BitStack& flags, support::VarintBuffer& vals,
+                  const Entry& e, unsigned idx_bits)
+{
+    if (e.hit) {
+        if (idx_bits)
+            flags.pushBits(e.hitIndex, idx_bits);
+    } else {
+        vals.pushSigned(e.missVictim);
+    }
+    flags.push(e.hit);
+}
+
+/** Pop an entry pushed with pushEntryReversed. */
+inline Entry
+popEntryReversed(support::BitStack& flags, support::VarintBuffer& vals,
+                 unsigned idx_bits)
+{
+    Entry e;
+    e.hit = flags.pop();
+    if (e.hit) {
+        if (idx_bits)
+            e.hitIndex = flags.popBits(idx_bits);
+    } else {
+        e.missVictim = vals.popSigned();
+    }
+    return e;
+}
+
+/** Window size for a resolved configuration. */
+inline unsigned
+windowSizeFor(const CodecConfig& cfg, const PredictorModel& model)
+{
+    (void)cfg;
+    unsigned k = model.contextValues();
+    return k == 0 ? 1 : k;
+}
+
+} // namespace detail
+} // namespace codec
+} // namespace wet
+
+#endif // WET_CODEC_ENTRYIO_H

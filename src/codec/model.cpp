@@ -1,0 +1,317 @@
+#include "model.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/hash.h"
+
+namespace wet {
+namespace codec {
+
+namespace {
+
+/** Two's-complement subtraction without signed-overflow UB. */
+inline int64_t
+wrapSub(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                static_cast<uint64_t>(b));
+}
+
+/** Two's-complement addition without signed-overflow UB. */
+inline int64_t
+wrapAdd(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                static_cast<uint64_t>(b));
+}
+
+} // namespace
+
+std::string
+methodName(Method m, unsigned context)
+{
+    switch (m) {
+      case Method::Raw: return "raw";
+      case Method::Fcm: return "fcm" + std::to_string(context);
+      case Method::Dfcm: return "dfcm" + std::to_string(context);
+      case Method::LastN: return "last" + std::to_string(context);
+      case Method::LastNStride:
+        return "laststride" + std::to_string(context);
+    }
+    return "?";
+}
+
+const std::vector<CodecConfig>&
+candidateConfigs()
+{
+    static const std::vector<CodecConfig> configs = {
+        {Method::Fcm, 1, 0},         {Method::Fcm, 2, 0},
+        {Method::Fcm, 3, 0},         {Method::Dfcm, 1, 0},
+        {Method::Dfcm, 2, 0},        {Method::Dfcm, 3, 0},
+        {Method::LastN, 2, 0},       {Method::LastN, 4, 0},
+        {Method::LastN, 8, 0},       {Method::LastNStride, 2, 0},
+        {Method::LastNStride, 4, 0}, {Method::LastNStride, 8, 0},
+    };
+    return configs;
+}
+
+CodecConfig
+resolveConfig(CodecConfig cfg, uint64_t length)
+{
+    if ((cfg.method == Method::Fcm || cfg.method == Method::Dfcm) &&
+        cfg.tableBits == 0)
+    {
+        // Scale the lookup table with the stream so that the at-rest
+        // table snapshot stays a small fraction of the raw stream.
+        unsigned bits = 4;
+        while ((uint64_t{1} << bits) < length / 8 && bits < 12)
+            ++bits;
+        cfg.tableBits = bits;
+    }
+    return cfg;
+}
+
+namespace {
+
+/**
+ * FCM / differential FCM model. The table maps a hashed context of
+ * the last `ctxLen` values (FCM) or strides (DFCM) to the predicted
+ * value (FCM) or predicted stride (DFCM).
+ */
+class FcmModel : public PredictorModel
+{
+  public:
+    FcmModel(unsigned ctx_len, unsigned table_bits, bool stride)
+        : ctxLen_(ctx_len), bits_(table_bits), stride_(stride)
+    {
+        WET_ASSERT(ctx_len >= 1 && ctx_len <= 8, "bad context length");
+        WET_ASSERT(table_bits >= 1 && table_bits <= 24,
+                   "bad table bits");
+        table_.assign(size_t{1} << bits_, 0);
+    }
+
+    unsigned
+    contextValues() const override
+    {
+        return stride_ ? ctxLen_ + 1 : ctxLen_;
+    }
+
+    unsigned hitIndexBits() const override { return 0; }
+
+    Entry
+    create(int64_t actual, const int64_t* ctx) override
+    {
+        size_t idx = index(ctx);
+        int64_t coded = stride_ ? wrapSub(actual, ctx[0]) : actual;
+        Entry e;
+        if (table_[idx] == coded) {
+            e.hit = true;
+        } else {
+            e.hit = false;
+            e.missVictim = table_[idx];
+            table_[idx] = coded;
+        }
+        return e;
+    }
+
+    int64_t
+    consume(const Entry& e, const int64_t* ctx) override
+    {
+        size_t idx = index(ctx);
+        int64_t coded = table_[idx];
+        if (!e.hit)
+            table_[idx] = e.missVictim;
+        return stride_ ? wrapAdd(coded, ctx[0]) : coded;
+    }
+
+    std::vector<int64_t> saveState() const override { return table_; }
+
+    void
+    loadState(const std::vector<int64_t>& s) override
+    {
+        WET_ASSERT(s.size() == table_.size(), "state size mismatch");
+        table_ = s;
+    }
+
+    void reset() override { std::fill(table_.begin(), table_.end(), 0); }
+
+    uint64_t
+    stateBytes() const override
+    {
+        return table_.size() * sizeof(int64_t);
+    }
+
+    uint64_t
+    storedStateBytes() const override
+    {
+        // Sparse form: delta-coded slot index (~2 bytes) plus a
+        // varint value (~8 bytes worst case, ~4 typical).
+        uint64_t touched = 0;
+        for (int64_t v : table_)
+            if (v != 0)
+                ++touched;
+        return 8 + touched * 10;
+    }
+
+  private:
+    size_t
+    index(const int64_t* ctx) const
+    {
+        uint64_t key[8];
+        if (stride_) {
+            for (unsigned i = 0; i < ctxLen_; ++i) {
+                key[i] = static_cast<uint64_t>(ctx[i]) -
+                         static_cast<uint64_t>(ctx[i + 1]);
+            }
+        } else {
+            for (unsigned i = 0; i < ctxLen_; ++i)
+                key[i] = static_cast<uint64_t>(ctx[i]);
+        }
+        return support::hashContext(key, ctxLen_, bits_);
+    }
+
+    std::vector<int64_t> table_;
+    unsigned ctxLen_;
+    unsigned bits_;
+    bool stride_;
+};
+
+/**
+ * Last-n model (Fig. 7): a deque of the n most recent distinct
+ * values (or strides). A hit stores only the matching slot and
+ * rotates it to the front (invertible); a miss pushes the value in
+ * front and records the evicted oldest entry as the victim.
+ */
+class LastNModel : public PredictorModel
+{
+  public:
+    LastNModel(unsigned n, bool stride) : n_(n), stride_(stride)
+    {
+        WET_ASSERT(n >= 2 && n <= 64, "bad last-n size");
+        deque_.assign(n_, 0);
+        idxBits_ = 1;
+        while ((1u << idxBits_) < n_)
+            ++idxBits_;
+    }
+
+    unsigned contextValues() const override { return stride_ ? 1 : 0; }
+
+    unsigned hitIndexBits() const override { return idxBits_; }
+
+    Entry
+    create(int64_t actual, const int64_t* ctx) override
+    {
+        int64_t coded = stride_ ? wrapSub(actual, ctx[0]) : actual;
+        Entry e;
+        for (unsigned j = 0; j < n_; ++j) {
+            if (deque_[j] == coded) {
+                e.hit = true;
+                e.hitIndex = j;
+                // Move-to-front rotation (invertible given j).
+                std::rotate(deque_.begin(), deque_.begin() + j,
+                            deque_.begin() + j + 1);
+                return e;
+            }
+        }
+        e.hit = false;
+        e.missVictim = deque_.back();
+        deque_.pop_back();
+        deque_.insert(deque_.begin(), coded);
+        return e;
+    }
+
+    int64_t
+    consume(const Entry& e, const int64_t* ctx) override
+    {
+        int64_t coded;
+        if (e.hit) {
+            coded = deque_.front();
+            // Undo the move-to-front rotation.
+            std::rotate(deque_.begin(),
+                        deque_.begin() + 1,
+                        deque_.begin() + e.hitIndex + 1);
+        } else {
+            coded = deque_.front();
+            deque_.erase(deque_.begin());
+            deque_.push_back(e.missVictim);
+        }
+        return stride_ ? wrapAdd(coded, ctx[0]) : coded;
+    }
+
+    std::vector<int64_t> saveState() const override { return deque_; }
+
+    void
+    loadState(const std::vector<int64_t>& s) override
+    {
+        WET_ASSERT(s.size() == deque_.size(), "state size mismatch");
+        deque_ = s;
+    }
+
+    void reset() override { std::fill(deque_.begin(), deque_.end(), 0); }
+
+    uint64_t
+    stateBytes() const override
+    {
+        return deque_.size() * sizeof(int64_t);
+    }
+
+    uint64_t
+    storedStateBytes() const override
+    {
+        return deque_.size() * sizeof(int64_t);
+    }
+
+  private:
+    std::vector<int64_t> deque_;
+    unsigned n_;
+    bool stride_;
+    unsigned idxBits_ = 1;
+};
+
+} // namespace
+
+std::unique_ptr<PredictorModel>
+makeModel(const CodecConfig& cfg)
+{
+    switch (cfg.method) {
+      case Method::Fcm:
+        return std::make_unique<FcmModel>(cfg.context, cfg.tableBits,
+                                          false);
+      case Method::Dfcm:
+        return std::make_unique<FcmModel>(cfg.context, cfg.tableBits,
+                                          true);
+      case Method::LastN:
+        return std::make_unique<LastNModel>(cfg.context, false);
+      case Method::LastNStride:
+        return std::make_unique<LastNModel>(cfg.context, true);
+      case Method::Raw:
+        break;
+    }
+    WET_ASSERT(false, "no model for this method");
+    return nullptr;
+}
+
+uint64_t
+CompressedStream::payloadBytes() const
+{
+    return flags.sizeBytes() + misses.sizeBytes();
+}
+
+uint64_t
+CompressedStream::sizeBytes() const
+{
+    uint64_t total = 16; // header: config, length
+    total += window0.size() * sizeof(int64_t);
+    total += payloadBytes();
+    total += storedState0Bytes;
+    for (const auto& cp : checkpoints) {
+        total += 24;
+        total += cp.window.size() * sizeof(int64_t);
+        total += cp.storedStateBytes;
+    }
+    return total;
+}
+
+} // namespace codec
+} // namespace wet

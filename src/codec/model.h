@@ -1,0 +1,89 @@
+#ifndef WET_CODEC_MODEL_H
+#define WET_CODEC_MODEL_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "codec/stream.h"
+
+namespace wet {
+namespace codec {
+
+/** The logical content of one compressed entry. */
+struct Entry
+{
+    bool hit = false;
+    uint64_t hitIndex = 0;  //!< LastN*: deque slot that matched
+    int64_t missVictim = 0; //!< evicted prediction on a miss
+};
+
+/**
+ * One direction's predictor state (the paper's FRTB or BLTB, or one
+ * move-to-front deque for the last-n methods) together with the
+ * create/consume step rules of the bidirectional compression scheme
+ * (Fig. 5/7):
+ *
+ * - create(actual, ctx): compress `actual` given the nearest-first
+ *   context `ctx`; mutates the state so that the value now lives in
+ *   the table/deque and the entry carries only the eviction victim.
+ * - consume(entry, ctx): the exact inverse — recover the value from
+ *   the state and roll the state back using the stored victim.
+ *
+ * Because consume() perfectly undoes create(), the state is a pure
+ * function of the stream position, which is what allows the window to
+ * slide either way in O(1).
+ */
+class PredictorModel
+{
+  public:
+    virtual ~PredictorModel() = default;
+
+    /** Number of context values the model needs (window size). */
+    virtual unsigned contextValues() const = 0;
+
+    /** Bits used to store a hit's auxiliary index (0 for FCM). */
+    virtual unsigned hitIndexBits() const = 0;
+
+    /** Compress @p actual against @p ctx; mutates state. */
+    virtual Entry create(int64_t actual, const int64_t* ctx) = 0;
+
+    /** Invert create(): recover the value, roll back the state. */
+    virtual int64_t consume(const Entry& e, const int64_t* ctx) = 0;
+
+    /** Export the state (for the at-rest snapshot / checkpoints). */
+    virtual std::vector<int64_t> saveState() const = 0;
+
+    /** Import a previously saved state. */
+    virtual void loadState(const std::vector<int64_t>& s) = 0;
+
+    /** Reset to the initial (all zero) state. */
+    virtual void reset() = 0;
+
+    /** In-memory footprint of the state in bytes. */
+    virtual uint64_t stateBytes() const = 0;
+
+    /**
+     * Serialized footprint of the state: FCM tables are stored
+     * sparsely (only touched slots), so a stream that exercised few
+     * contexts pays only for those.
+     */
+    virtual uint64_t storedStateBytes() const = 0;
+};
+
+/**
+ * Build the model for a configuration.
+ * @param cfg codec configuration (tableBits already resolved)
+ */
+std::unique_ptr<PredictorModel> makeModel(const CodecConfig& cfg);
+
+/**
+ * Resolve tableBits for a stream of @p length values (identity for
+ * configs that set it explicitly or that do not use a table).
+ */
+CodecConfig resolveConfig(CodecConfig cfg, uint64_t length);
+
+} // namespace codec
+} // namespace wet
+
+#endif // WET_CODEC_MODEL_H

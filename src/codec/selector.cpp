@@ -1,0 +1,102 @@
+#include "selector.h"
+
+#include <algorithm>
+
+#include "codec/encoder.h"
+#include "codec/entryio.h"
+#include "codec/model.h"
+#include "support/error.h"
+
+namespace wet {
+namespace codec {
+
+uint64_t
+estimateBytes(const std::vector<int64_t>& vals, CodecConfig cfg0,
+              uint64_t sample)
+{
+    const uint64_t m = vals.size();
+    CodecConfig cfg = resolveConfig(cfg0, m);
+    auto model = makeModel(cfg);
+    const unsigned idxBits = model->hitIndexBits();
+    const unsigned ctxLen = model->contextValues();
+    const unsigned n = detail::windowSizeFor(cfg, *model);
+    if (m <= n)
+        return m * sizeof(int64_t);
+
+    const uint64_t lim =
+        std::min<uint64_t>(m, std::max<uint64_t>(sample, n + 1));
+    // One unidirectional creation pass over the prefix: entry sizes
+    // are identical in both directions, so this predicts the real
+    // encoder's payload rate.
+    std::vector<int64_t> window(vals.begin(), vals.begin() + n);
+    int64_t ctxBuf[10];
+    uint64_t bits = 0;
+    uint64_t missBytes = 0;
+    for (uint64_t p = 0; p + n < lim; ++p) {
+        for (unsigned i = 0; i < ctxLen; ++i)
+            ctxBuf[i] = window[n - 1 - i];
+        Entry e = model->create(vals[p + n], ctxBuf);
+        bits += 1 + (e.hit ? idxBits : 0);
+        if (!e.hit) {
+            support::VarintBuffer tmp;
+            tmp.pushSigned(e.missVictim);
+            missBytes += tmp.sizeBytes();
+        }
+        for (unsigned i = 0; i + 1 < n; ++i)
+            window[i] = window[i + 1];
+        window[n - 1] = vals[p + n];
+    }
+    const uint64_t sampled = lim - n;
+    if (sampled == 0)
+        return m * sizeof(int64_t);
+    double perValue =
+        (static_cast<double>(bits) / 8.0 +
+         static_cast<double>(missBytes)) /
+        static_cast<double>(sampled);
+    uint64_t payload = static_cast<uint64_t>(
+        perValue * static_cast<double>(m - n));
+    return payload + model->storedStateBytes() +
+           n * sizeof(int64_t) + 16;
+}
+
+CompressedStream
+compressBest(const std::vector<int64_t>& vals,
+             const SelectorOptions& opt, SelectionInfo* info)
+{
+    const uint64_t m = vals.size();
+    if (m < opt.rawThreshold) {
+        CompressedStream s =
+            encodeStream(vals, CodecConfig{Method::Raw, 0, 0}, 0);
+        if (info) {
+            info->chosen = s.config;
+            info->estimatedBytes = s.sizeBytes();
+        }
+        return s;
+    }
+    const auto& candidates = opt.candidates.empty()
+                                 ? candidateConfigs()
+                                 : opt.candidates;
+    CodecConfig best = candidates.front();
+    uint64_t bestEst = UINT64_MAX;
+    for (const auto& cfg : candidates) {
+        uint64_t est = estimateBytes(vals, cfg, opt.sampleSize);
+        if (est < bestEst) {
+            bestEst = est;
+            best = cfg;
+        }
+    }
+    // Raw is the safety net when prediction does not pay at all.
+    if (bestEst > m * sizeof(int64_t)) {
+        best = CodecConfig{Method::Raw, 0, 0};
+    }
+    CompressedStream s =
+        encodeStream(vals, best, opt.checkpointInterval);
+    if (info) {
+        info->chosen = s.config;
+        info->estimatedBytes = bestEst;
+    }
+    return s;
+}
+
+} // namespace codec
+} // namespace wet

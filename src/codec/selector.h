@@ -1,0 +1,51 @@
+#ifndef WET_CODEC_SELECTOR_H
+#define WET_CODEC_SELECTOR_H
+
+#include <vector>
+
+#include "codec/stream.h"
+
+namespace wet {
+namespace codec {
+
+/** Options for per-stream codec selection. */
+struct SelectorOptions
+{
+    /** Prefix length used to audition each candidate codec. */
+    uint64_t sampleSize = 4096;
+    /** Streams shorter than this are stored raw. */
+    uint64_t rawThreshold = 64;
+    /** Checkpoint interval forwarded to the encoder (0 = none). */
+    uint64_t checkpointInterval = 0;
+    /** Candidate configurations; empty selects candidateConfigs(). */
+    std::vector<CodecConfig> candidates;
+};
+
+/** Outcome statistics of one selection (for the ablation bench). */
+struct SelectionInfo
+{
+    CodecConfig chosen;
+    uint64_t estimatedBytes = 0;
+};
+
+/**
+ * Compress @p vals with the best of the candidate codecs (FCM,
+ * differential FCM, last n, last n stride; three context sizes each).
+ * Mirrors the paper's §5 "Selection": every method is auditioned on a
+ * prefix of the stream and the best performer compresses the rest.
+ */
+CompressedStream compressBest(const std::vector<int64_t>& vals,
+                              const SelectorOptions& opt = {},
+                              SelectionInfo* info = nullptr);
+
+/**
+ * Estimate the compressed size (bytes) of @p vals under @p cfg using
+ * a prefix sample of @p sample values, without building the stream.
+ */
+uint64_t estimateBytes(const std::vector<int64_t>& vals,
+                       CodecConfig cfg, uint64_t sample);
+
+} // namespace codec
+} // namespace wet
+
+#endif // WET_CODEC_SELECTOR_H

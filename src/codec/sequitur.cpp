@@ -1,0 +1,375 @@
+#include "sequitur.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/varint.h"
+
+namespace wet {
+namespace codec {
+
+namespace {
+
+/** Rule reference encoding in the symbol space. */
+inline int64_t
+ruleSym(int32_t rule)
+{
+    return -1 - static_cast<int64_t>(rule);
+}
+
+inline bool
+isRuleSym(int64_t sym)
+{
+    return sym < 0;
+}
+
+inline int32_t
+symRule(int64_t sym)
+{
+    return static_cast<int32_t>(-1 - sym);
+}
+
+} // namespace
+
+// The implementation is a faithful arena-based transcription of
+// Nevill-Manning's reference implementation: digram bookkeeping is
+// embedded in join(), symbols clean their digrams when deleted, and
+// the rule-utility check runs exactly once per match, on the first
+// symbol of the rule involved.
+
+size_t
+SequiturGrammar::DigramHash::operator()(const DigramKey& k) const
+{
+    return static_cast<size_t>(
+        support::hashCombine(support::mix64(
+                                 static_cast<uint64_t>(k.first)),
+                             static_cast<uint64_t>(k.second)));
+}
+
+SequiturGrammar::DigramKey
+SequiturGrammar::digramKey(int64_t a, int64_t b)
+{
+    return DigramKey{a, b};
+}
+
+int32_t
+SequiturGrammar::newNode(int64_t sym)
+{
+    Node n;
+    n.sym = sym;
+    nodes_.push_back(n);
+    int32_t id = static_cast<int32_t>(nodes_.size() - 1);
+    if (isRuleSym(sym))
+        ++ruleFreq_[symRule(sym)];
+    return id;
+}
+
+void
+SequiturGrammar::unindexDigram(int32_t first)
+{
+    // Remove the table entry for the digram (first, first->next) if
+    // this occurrence owns it. Valid with stale links, as in the
+    // reference implementation's delete_digram().
+    int32_t second = nodes_[first].next;
+    if (second < 0 || isGuard(first) || isGuard(second))
+        return;
+    DigramKey key = digramKey(nodes_[first].sym,
+                              nodes_[second].sym);
+    auto it = digrams_.find(key);
+    if (it != digrams_.end() && it->second == first)
+        digrams_.erase(it);
+}
+
+void
+SequiturGrammar::indexDigram(int32_t first)
+{
+    int32_t second = nodes_[first].next;
+    if (second < 0 || isGuard(first) || isGuard(second))
+        return;
+    digrams_[digramKey(nodes_[first].sym, nodes_[second].sym)] =
+        first;
+}
+
+void
+SequiturGrammar::link(int32_t left, int32_t right)
+{
+    // join(): re-linking a symbol that already had a successor
+    // retires its old digram entry first.
+    if (nodes_[left].next >= 0)
+        unindexDigram(left);
+    nodes_[left].next = right;
+    nodes_[right].prev = left;
+}
+
+void
+SequiturGrammar::deleteSymbol(int32_t node)
+{
+    WET_ASSERT(!isGuard(node), "deleting a guard");
+    link(nodes_[node].prev, nodes_[node].next);
+    unindexDigram(node); // uses the stale next pointer, as intended
+    if (isRuleSym(nodes_[node].sym))
+        --ruleFreq_[symRule(nodes_[node].sym)];
+    nodes_[node].dead = true;
+}
+
+void
+SequiturGrammar::insertAfter(int32_t at, int32_t node)
+{
+    link(node, nodes_[at].next);
+    link(at, node);
+}
+
+void
+SequiturGrammar::substitute(int32_t first, int32_t rule)
+{
+    int32_t q = nodes_[first].prev;
+    deleteSymbol(nodes_[q].next);
+    deleteSymbol(nodes_[q].next);
+    insertAfter(q, newNode(ruleSym(rule)));
+    if (!checkDigram(q))
+        checkDigram(nodes_[q].next);
+}
+
+void
+SequiturGrammar::match(int32_t ss, int32_t found)
+{
+    int32_t rule;
+    int32_t foundSecond = nodes_[found].next;
+    WET_ASSERT(nodes_[found].sym == nodes_[ss].sym &&
+               nodes_[foundSecond].sym == nodes_[nodes_[ss].next].sym,
+               "digram table entry does not match the occurrence: "
+               "(" << nodes_[found].sym << ","
+               << nodes_[foundSecond].sym << ") vs ("
+               << nodes_[ss].sym << ","
+               << nodes_[nodes_[ss].next].sym << ")");
+    if (isGuard(nodes_[found].prev) &&
+        isGuard(nodes_[foundSecond].next) &&
+        nodes_[nodes_[found].prev].rule > 0)
+    {
+        // The matching occurrence is exactly an existing rule body.
+        rule = nodes_[nodes_[found].prev].rule;
+        substitute(ss, rule);
+    } else {
+        // Create a new rule from copies of the digram.
+        rule = static_cast<int32_t>(guards_.size());
+        int32_t guard = newNode(0);
+        nodes_[guard].guard = true;
+        nodes_[guard].rule = rule;
+        nodes_[guard].next = guard;
+        nodes_[guard].prev = guard;
+        guards_.push_back(guard);
+        ruleFreq_.push_back(0);
+        ruleDead_.push_back(false);
+
+        int64_t s1 = nodes_[ss].sym;
+        int64_t s2 = nodes_[nodes_[ss].next].sym;
+        insertAfter(guard, newNode(s1));
+        insertAfter(nodes_[guard].prev, newNode(s2));
+
+        substitute(found, rule);
+        substitute(ss, rule);
+
+        // The rule body owns the digram entry from now on.
+        indexDigram(nodes_[guard].next);
+    }
+    // Rule utility, checked once at the safe point: if the first
+    // body symbol of the involved rule references a once-used rule,
+    // inline it.
+    int32_t bodyFirst = nodes_[guards_[rule]].next;
+    if (isRuleSym(nodes_[bodyFirst].sym)) {
+        int32_t rr = symRule(nodes_[bodyFirst].sym);
+        if (ruleFreq_[rr] == 1)
+            expandRuleAt(rr, bodyFirst);
+    }
+}
+
+bool
+SequiturGrammar::checkDigram(int32_t first)
+{
+    if (first < 0)
+        return false;
+    int32_t second = nodes_[first].next;
+    if (second < 0 || isGuard(first) || isGuard(second))
+        return false;
+    DigramKey key = digramKey(nodes_[first].sym,
+                              nodes_[second].sym);
+    auto it = digrams_.find(key);
+    if (it == digrams_.end()) {
+        digrams_[key] = first;
+        return false;
+    }
+    int32_t found = it->second;
+    if (found == first)
+        return false;
+    // Overlapping occurrence (aaa): do not replace.
+    if (nodes_[found].next == first || nodes_[first].next == found)
+        return false;
+    match(first, found);
+    return true;
+}
+
+void
+SequiturGrammar::expandRuleAt(int32_t rule, int32_t node)
+{
+    WET_ASSERT(isRuleSym(nodes_[node].sym) &&
+               symRule(nodes_[node].sym) == rule,
+               "expandRuleAt at a non-use");
+    int32_t guard = guards_[rule];
+    int32_t left = nodes_[node].prev;
+    int32_t right = nodes_[node].next;
+    int32_t bodyFirst = nodes_[guard].next;
+    int32_t bodyLast = nodes_[guard].prev;
+    WET_ASSERT(bodyFirst != guard, "inlining an empty rule");
+
+    // Retire the use's own digram; join() handles (left, use).
+    unindexDigram(node);
+    nodes_[node].dead = true;
+    --ruleFreq_[rule];
+    ruleDead_[rule] = true;
+    nodes_[guard].dead = true;
+
+    link(left, bodyFirst);
+    link(bodyLast, right);
+    // Index the new right boundary digram directly (reference
+    // implementation behaviour: no cascading checks here).
+    indexDigram(bodyLast);
+}
+
+SequiturGrammar::SequiturGrammar(const std::vector<int64_t>& values)
+{
+    // Start rule 0.
+    int32_t guard = newNode(0);
+    nodes_[guard].guard = true;
+    nodes_[guard].rule = 0;
+    nodes_[guard].next = guard;
+    nodes_[guard].prev = guard;
+    guards_.push_back(guard);
+    ruleFreq_.push_back(0);
+    ruleDead_.push_back(false);
+
+    std::unordered_map<int64_t, int64_t> dict;
+    for (int64_t v : values) {
+        auto [it, inserted] = dict.try_emplace(
+            v, static_cast<int64_t>(dictionary_.size()));
+        if (inserted)
+            dictionary_.push_back(v);
+        int32_t node = newNode(it->second);
+        int32_t tail = nodes_[guard].prev;
+        insertAfter(tail, node);
+        if (tail != guard)
+            checkDigram(tail);
+    }
+}
+
+std::vector<int32_t>
+SequiturGrammar::reachableRules() const
+{
+    std::vector<int32_t> order;
+    std::vector<bool> seen(guards_.size(), false);
+    std::vector<int32_t> work{0};
+    seen[0] = true;
+    while (!work.empty()) {
+        int32_t r = work.back();
+        work.pop_back();
+        order.push_back(r);
+        int32_t guard = guards_[r];
+        for (int32_t n = nodes_[guard].next; n != guard;
+             n = nodes_[n].next)
+        {
+            if (isRuleSym(nodes_[n].sym)) {
+                int32_t rr = symRule(nodes_[n].sym);
+                if (!seen[rr]) {
+                    seen[rr] = true;
+                    work.push_back(rr);
+                }
+            }
+        }
+    }
+    std::sort(order.begin(), order.end());
+    return order;
+}
+
+size_t
+SequiturGrammar::numRules() const
+{
+    return reachableRules().size();
+}
+
+uint64_t
+SequiturGrammar::totalSymbols() const
+{
+    uint64_t total = 0;
+    for (int32_t r : reachableRules()) {
+        int32_t guard = guards_[r];
+        for (int32_t n = nodes_[guard].next; n != guard;
+             n = nodes_[n].next)
+        {
+            ++total;
+        }
+    }
+    return total;
+}
+
+uint64_t
+SequiturGrammar::sizeBytes() const
+{
+    support::VarintBuffer buf;
+    for (int32_t r : reachableRules()) {
+        int32_t guard = guards_[r];
+        for (int32_t n = nodes_[guard].next; n != guard;
+             n = nodes_[n].next)
+        {
+            buf.pushSigned(nodes_[n].sym);
+        }
+        buf.pushSigned(INT64_MIN); // rule terminator sentinel
+    }
+    return buf.sizeBytes() + dictionary_.size() * sizeof(int64_t);
+}
+
+std::vector<int64_t>
+SequiturGrammar::expand() const
+{
+    std::vector<int64_t> out;
+    std::vector<int32_t> stack;
+    stack.push_back(nodes_[guards_[0]].next);
+    while (!stack.empty()) {
+        int32_t n = stack.back();
+        if (isGuard(n)) {
+            stack.pop_back();
+            continue;
+        }
+        stack.back() = nodes_[n].next;
+        int64_t sym = nodes_[n].sym;
+        if (isRuleSym(sym))
+            stack.push_back(nodes_[guards_[symRule(sym)]].next);
+        else
+            out.push_back(dictionary_[static_cast<size_t>(sym)]);
+    }
+    return out;
+}
+
+std::vector<int64_t>
+SequiturGrammar::expandBackward() const
+{
+    std::vector<int64_t> out;
+    std::vector<int32_t> stack;
+    stack.push_back(nodes_[guards_[0]].prev);
+    while (!stack.empty()) {
+        int32_t n = stack.back();
+        if (isGuard(n)) {
+            stack.pop_back();
+            continue;
+        }
+        stack.back() = nodes_[n].prev;
+        int64_t sym = nodes_[n].sym;
+        if (isRuleSym(sym))
+            stack.push_back(nodes_[guards_[symRule(sym)]].prev);
+        else
+            out.push_back(dictionary_[static_cast<size_t>(sym)]);
+    }
+    return out;
+}
+
+} // namespace codec
+} // namespace wet

@@ -1,0 +1,102 @@
+#ifndef WET_CODEC_SEQUITUR_H
+#define WET_CODEC_SEQUITUR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace wet {
+namespace codec {
+
+/**
+ * Sequitur (Nevill-Manning & Witten, DCC'97): linear-time grammar
+ * inference producing a context-free grammar whose single expansion
+ * is the input. The paper's §4 discusses it as the alternative
+ * stream compressor that *is* traversable in both directions (Larus
+ * used it for whole program paths, Chilimbi for address traces) but
+ * is "nearly not as effective as the unidirectional predictors when
+ * compressing value streams" — the claim bench/ablation_sequitur
+ * reproduces on real WET label streams.
+ *
+ * The implementation maintains the two classic invariants online:
+ * digram uniqueness (no pair of adjacent symbols occurs twice) and
+ * rule utility (every rule is referenced at least twice).
+ */
+class SequiturGrammar
+{
+  public:
+    /** Infer the grammar for @p values. */
+    explicit SequiturGrammar(const std::vector<int64_t>& values);
+
+    /** Number of rules, including the start rule. */
+    size_t numRules() const;
+
+    /** Total symbols across all rule right-hand sides. */
+    uint64_t totalSymbols() const;
+
+    /**
+     * Serialized size: varint-coded rule bodies plus the terminal
+     * dictionary (distinct 64-bit values).
+     */
+    uint64_t sizeBytes() const;
+
+    /** Expand the start rule left to right (decompression). */
+    std::vector<int64_t> expand() const;
+
+    /**
+     * Expand right to left — demonstrating that a grammar, unlike a
+     * unidirectional predictor stream, can be traversed backwards.
+     */
+    std::vector<int64_t> expandBackward() const;
+
+  private:
+    // Symbols: values >= 0 are terminal-dictionary indices, values
+    // < 0 are rule references (rule r encoded as -1 - r).
+    struct Node
+    {
+        int64_t sym = 0;
+        int32_t prev = -1;
+        int32_t next = -1;
+        bool guard = false;
+        bool dead = false; //!< unlinked by a substitution/inline
+        int32_t rule = -1; //!< for guards: which rule this heads
+    };
+
+    int32_t newNode(int64_t sym);
+    int32_t ruleGuard(int32_t rule) const { return guards_[rule]; }
+    void link(int32_t a, int32_t b);
+    bool isGuard(int32_t n) const { return nodes_[n].guard; }
+
+    using DigramKey = std::pair<int64_t, int64_t>;
+
+    struct DigramHash
+    {
+        size_t operator()(const DigramKey& k) const;
+    };
+
+    static DigramKey digramKey(int64_t a, int64_t b);
+    void indexDigram(int32_t first);
+    void unindexDigram(int32_t first);
+    void deleteSymbol(int32_t node);
+    void insertAfter(int32_t at, int32_t node);
+    /** Enforce digram uniqueness; true if a replacement happened. */
+    bool checkDigram(int32_t first);
+    void match(int32_t ss, int32_t found);
+    void substitute(int32_t first, int32_t rule);
+    void expandRuleAt(int32_t rule, int32_t node);
+    std::vector<int32_t> reachableRules() const;
+
+    std::vector<Node> nodes_;
+    std::vector<int32_t> guards_;        //!< per rule: guard node
+    std::vector<int64_t> ruleFreq_;      //!< reference counts
+    std::vector<bool> ruleDead_;
+    std::vector<int64_t> dictionary_;    //!< terminal id -> value
+    // exact digram -> node index of the digram's first symbol
+    std::unordered_map<DigramKey, int32_t, DigramHash> digrams_;
+};
+
+} // namespace codec
+} // namespace wet
+
+#endif // WET_CODEC_SEQUITUR_H

@@ -1,0 +1,96 @@
+#ifndef WET_CODEC_STREAM_H
+#define WET_CODEC_STREAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bitstack.h"
+#include "support/varint.h"
+
+namespace wet {
+namespace codec {
+
+/** Tier-2 compression methods (paper §4 and §5 "Selection"). */
+enum class Method : uint8_t {
+    Raw,         //!< varint list; fallback for tiny streams
+    Fcm,         //!< bidirectional finite context method (Fig. 5)
+    Dfcm,        //!< differential FCM (strides through the table)
+    LastN,       //!< bidirectional last-n (move-to-front deque, Fig. 7)
+    LastNStride, //!< last-n over strides
+};
+
+/** Printable method name, e.g. "dfcm3". */
+std::string methodName(Method m, unsigned context);
+
+/** One codec configuration: method + context size. */
+struct CodecConfig
+{
+    Method method = Method::Fcm;
+    /** FCM/DFCM: context length; LastN*: deque size. */
+    unsigned context = 2;
+    /** FCM/DFCM lookup-table index bits (0 = auto from length). */
+    unsigned tableBits = 0;
+
+    bool operator==(const CodecConfig& o) const
+    {
+        return method == o.method && context == o.context &&
+               tableBits == o.tableBits;
+    }
+};
+
+/**
+ * The candidate configurations the per-stream selector tries: FCM,
+ * differential FCM, last n, and last n stride, each in three context
+ * sizes (paper §5 "Selection").
+ */
+const std::vector<CodecConfig>& candidateConfigs();
+
+/**
+ * At-rest compressed form of one value stream, resting at the front:
+ * the first `n` values are stored uncompressed as the context window,
+ * every later value has one entry (hit flag, plus the evicted
+ * prediction on a miss) in `flags`/`misses`, and `tableState0` is the
+ * backward-compression lookup-table (or last-n deque) state required
+ * to start decoding at position 0 (paper Fig. 5/7).
+ *
+ * Entries store the *evicted prediction*, not the value: the value
+ * itself always lives in the table at decode time, which is what
+ * makes O(1) bidirectional sliding possible.
+ */
+class CompressedStream
+{
+  public:
+    CodecConfig config;
+    uint64_t length = 0;           //!< logical value count
+    unsigned windowSize = 0;       //!< n (0 for Raw)
+    std::vector<int64_t> window0;  //!< first n values (padded w/ 0)
+    support::BitStack flags;       //!< per-entry bits, forward order
+    support::VarintBuffer misses;  //!< per-miss victims, forward order
+    std::vector<int64_t> tableState0; //!< table/deque at position 0
+    /** Serialized (sparse) size of tableState0, set by the encoder. */
+    uint64_t storedState0Bytes = 0;
+
+    /** Sparse checkpoint for O(interval) seeking (optional). */
+    struct Checkpoint
+    {
+        uint64_t machinePos = 0; //!< values decoded before this point
+        uint64_t flagPos = 0;
+        uint64_t missPos = 0;
+        std::vector<int64_t> window;
+        std::vector<int64_t> tableState;
+        uint64_t storedStateBytes = 0;
+    };
+    std::vector<Checkpoint> checkpoints;
+
+    /** In-memory footprint in bytes (window + entries + state). */
+    uint64_t sizeBytes() const;
+
+    /** Entry-stream payload only (flags + misses), in bytes. */
+    uint64_t payloadBytes() const;
+};
+
+} // namespace codec
+} // namespace wet
+
+#endif // WET_CODEC_STREAM_H

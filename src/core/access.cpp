@@ -1,0 +1,170 @@
+#include "access.h"
+
+#include "support/error.h"
+
+namespace wet {
+namespace core {
+
+namespace {
+
+template <typename T>
+class VecReader : public SeqReader
+{
+  public:
+    explicit VecReader(const std::vector<T>& v) : v_(&v) {}
+
+    uint64_t length() const override { return v_->size(); }
+
+    int64_t
+    at(uint64_t i) override
+    {
+        return static_cast<int64_t>((*v_)[i]);
+    }
+
+  private:
+    const std::vector<T>* v_;
+};
+
+class CursorReader : public SeqReader
+{
+  public:
+    explicit CursorReader(const codec::CompressedStream& s)
+        : cur_(s, codec::StreamCursor::Mode::Bidirectional)
+    {
+    }
+
+    uint64_t length() const override { return cur_.length(); }
+
+    int64_t at(uint64_t i) override { return cur_.at(i); }
+
+  private:
+    codec::StreamCursor cur_;
+};
+
+enum StreamKind : uint64_t
+{
+    kTs = 1,
+    kPattern = 2,
+    kUvals = 3,
+    kPoolUse = 4,
+    kPoolDef = 5,
+};
+
+uint64_t
+streamKey(StreamKind kind, uint64_t a, uint64_t b = 0, uint64_t c = 0)
+{
+    WET_ASSERT(a < (uint64_t{1} << 30) && b < (uint64_t{1} << 18) &&
+               c < (uint64_t{1} << 12), "stream key overflow");
+    return (kind << 60) | (a << 30) | (b << 12) | c;
+}
+
+} // namespace
+
+WetAccess::WetAccess(const WetGraph& g, const ir::Module& mod)
+    : g_(&g), mod_(&mod)
+{
+}
+
+WetAccess::WetAccess(const WetCompressed& c, const ir::Module& mod)
+    : g_(&c.graph()), c_(&c), mod_(&mod)
+{
+}
+
+SeqReader&
+WetAccess::cached(uint64_t key, const std::vector<uint64_t>* v64,
+                  const std::vector<uint32_t>* v32,
+                  const std::vector<int64_t>* vi64,
+                  const codec::CompressedStream* cs)
+{
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return *it->second;
+    std::unique_ptr<SeqReader> reader;
+    if (cs)
+        reader = std::make_unique<CursorReader>(*cs);
+    else if (v64)
+        reader = std::make_unique<VecReader<uint64_t>>(*v64);
+    else if (v32)
+        reader = std::make_unique<VecReader<uint32_t>>(*v32);
+    else
+        reader = std::make_unique<VecReader<int64_t>>(*vi64);
+    SeqReader& ref = *reader;
+    cache_[key] = std::move(reader);
+    return ref;
+}
+
+SeqReader&
+WetAccess::ts(NodeId n)
+{
+    uint64_t key = streamKey(kTs, n);
+    if (c_)
+        return cached(key, nullptr, nullptr, nullptr, &c_->node(n).ts);
+    return cached(key, &g_->nodes[n].ts, nullptr, nullptr, nullptr);
+}
+
+SeqReader&
+WetAccess::pattern(NodeId n, uint32_t group)
+{
+    uint64_t key = streamKey(kPattern, n, group);
+    if (c_) {
+        return cached(key, nullptr, nullptr, nullptr,
+                      &c_->node(n).patterns[group]);
+    }
+    return cached(key, nullptr, &g_->nodes[n].groups[group].pattern,
+                  nullptr, nullptr);
+}
+
+SeqReader&
+WetAccess::uvals(NodeId n, uint32_t group, uint32_t member)
+{
+    uint64_t key = streamKey(kUvals, n, group, member);
+    if (c_) {
+        return cached(key, nullptr, nullptr, nullptr,
+                      &c_->node(n).uvals[group][member]);
+    }
+    return cached(key, nullptr, nullptr,
+                  &g_->nodes[n].groups[group].uvals[member], nullptr);
+}
+
+SeqReader&
+WetAccess::poolUse(uint32_t pool_idx)
+{
+    uint64_t key = streamKey(kPoolUse, pool_idx);
+    if (c_) {
+        return cached(key, nullptr, nullptr, nullptr,
+                      &c_->pool(pool_idx).useInst);
+    }
+    return cached(key, nullptr, &g_->labelPool[pool_idx].useInst,
+                  nullptr, nullptr);
+}
+
+SeqReader&
+WetAccess::poolDef(uint32_t pool_idx)
+{
+    uint64_t key = streamKey(kPoolDef, pool_idx);
+    if (c_) {
+        return cached(key, nullptr, nullptr, nullptr,
+                      &c_->pool(pool_idx).defInst);
+    }
+    return cached(key, nullptr, &g_->labelPool[pool_idx].defInst,
+                  nullptr, nullptr);
+}
+
+int64_t
+WetAccess::value(NodeId n, uint32_t pos, uint32_t inst)
+{
+    const WetNode& node = g_->nodes[n];
+    const ir::Instr& in = mod_->instr(node.stmts[pos]);
+    if (in.op == ir::Opcode::Const)
+        return in.imm;
+    uint32_t gi = node.stmtGroup[pos];
+    WET_ASSERT(gi != kNoIndex,
+               "value query on a statement without a def port (stmt "
+                   << node.stmts[pos] << ")");
+    uint32_t mi = node.stmtMember[pos];
+    int64_t pidx = pattern(n, gi).at(inst);
+    return uvals(n, gi, mi).at(static_cast<uint64_t>(pidx));
+}
+
+} // namespace core
+} // namespace wet

@@ -1,0 +1,98 @@
+#ifndef WET_CORE_ACCESS_H
+#define WET_CORE_ACCESS_H
+
+#include <memory>
+#include <unordered_map>
+
+#include "codec/cursor.h"
+#include "core/compressed.h"
+#include "core/wetgraph.h"
+#include "ir/module.h"
+
+namespace wet {
+namespace core {
+
+/**
+ * Uniform sequential/random access to one label sequence, hiding
+ * whether it is a tier-1 vector or a tier-2 compressed stream.
+ */
+class SeqReader
+{
+  public:
+    virtual ~SeqReader() = default;
+
+    virtual uint64_t length() const = 0;
+
+    /** Value at index @p i. Sequential access patterns are O(1)
+     *  amortized in both tiers; far random jumps may re-scan a
+     *  tier-2 stream. */
+    virtual int64_t at(uint64_t i) = 0;
+};
+
+/**
+ * Query-side view of a WET at a chosen compression tier. Constructed
+ * either over the tier-1 graph (label vectors) or over a
+ * WetCompressed (tier-2 cursors). Readers are cached per sequence so
+ * repeated sequential access across query steps stays cheap.
+ *
+ * All queries (control flow, value/address traces, slicing) run
+ * against this interface, which is the paper's central claim: the
+ * compressed WET remains directly traversable.
+ */
+class WetAccess
+{
+  public:
+    /** Tier-1 access over raw label vectors. */
+    WetAccess(const WetGraph& g, const ir::Module& mod);
+
+    /** Tier-2 access over compressed streams. */
+    WetAccess(const WetCompressed& c, const ir::Module& mod);
+
+    const WetGraph& graph() const { return *g_; }
+    const ir::Module& module() const { return *mod_; }
+    bool tier2() const { return c_ != nullptr; }
+
+    /** Timestamp sequence of a node. */
+    SeqReader& ts(NodeId n);
+    /** Pattern sequence of (node, group). */
+    SeqReader& pattern(NodeId n, uint32_t group);
+    /** Unique values of (node, group, member). */
+    SeqReader& uvals(NodeId n, uint32_t group, uint32_t member);
+    /** Use-side instance stream of a pooled edge label sequence. */
+    SeqReader& poolUse(uint32_t pool_idx);
+    /** Def-side instance stream of a pooled edge label sequence. */
+    SeqReader& poolDef(uint32_t pool_idx);
+
+    /** Timestamp of node instance. */
+    Timestamp
+    timestamp(NodeId n, uint32_t inst)
+    {
+        return static_cast<Timestamp>(ts(n).at(inst));
+    }
+
+    /**
+     * Value produced by statement position @p pos of node @p n at
+     * instance @p inst. Requires a def-port statement; Const values
+     * come from the static program.
+     */
+    int64_t value(NodeId n, uint32_t pos, uint32_t inst);
+
+    /** Drop all cached readers (frees tier-2 cursor state). */
+    void clearCache() { cache_.clear(); }
+
+  private:
+    SeqReader& cached(uint64_t key, const std::vector<uint64_t>* v64,
+                      const std::vector<uint32_t>* v32,
+                      const std::vector<int64_t>* vi64,
+                      const codec::CompressedStream* cs);
+
+    const WetGraph* g_;
+    const WetCompressed* c_ = nullptr;
+    const ir::Module* mod_;
+    std::unordered_map<uint64_t, std::unique_ptr<SeqReader>> cache_;
+};
+
+} // namespace core
+} // namespace wet
+
+#endif // WET_CORE_ACCESS_H

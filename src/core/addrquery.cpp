@@ -1,0 +1,106 @@
+#include "addrquery.h"
+
+#include "support/error.h"
+
+namespace wet {
+namespace core {
+
+uint64_t
+AddressTraceQuery::extract(
+    ir::StmtId stmt,
+    const std::function<void(Timestamp, uint64_t)>& visit)
+{
+    const WetGraph& g = acc_->graph();
+    const ir::Instr& in = acc_->module().instr(stmt);
+    WET_ASSERT(in.op == ir::Opcode::Load || in.op == ir::Opcode::Store,
+               "address trace requires a load or store");
+    auto it = g.stmtIndex.find(stmt);
+    if (it == g.stmtIndex.end())
+        return 0;
+
+    // One cursor per containing node; per cursor, one monotone
+    // position per incoming address-operand edge.
+    struct EdgeCursor
+    {
+        const WetEdge* edge;
+        uint64_t pos = 0;
+    };
+    struct Site
+    {
+        NodeId node;
+        uint32_t pos;
+        uint64_t idx = 0;
+        uint64_t len;
+        const WetEdge* local = nullptr;
+        std::vector<EdgeCursor> labeled;
+    };
+    std::vector<Site> sites;
+    for (const auto& [n, pos] : it->second) {
+        Site s;
+        s.node = n;
+        s.pos = pos;
+        s.len = g.nodes[n].instances();
+        for (uint32_t e : g.incoming(n, pos, 0)) {
+            const WetEdge& ed = g.edges[e];
+            if (ed.local)
+                s.local = &ed;
+            else
+                s.labeled.push_back(EdgeCursor{&ed});
+        }
+        sites.push_back(std::move(s));
+    }
+
+    uint64_t count = 0;
+    for (;;) {
+        Site* best = nullptr;
+        Timestamp bestTs = 0;
+        for (auto& s : sites) {
+            if (s.idx >= s.len)
+                continue;
+            Timestamp t = acc_->timestamp(s.node, s.idx);
+            if (!best || t < bestTs) {
+                best = &s;
+                bestTs = t;
+            }
+        }
+        if (!best)
+            break;
+        const uint32_t k = static_cast<uint32_t>(best->idx);
+        int64_t base = 0;
+        bool found = false;
+        if (best->local) {
+            base = acc_->value(best->local->defNode,
+                               best->local->defStmtPos, k);
+            found = true;
+        } else {
+            for (auto& ec : best->labeled) {
+                SeqReader& use = acc_->poolUse(ec.edge->labelPool);
+                while (ec.pos < use.length() &&
+                       use.at(ec.pos) < static_cast<int64_t>(k))
+                {
+                    ++ec.pos;
+                }
+                if (ec.pos < use.length() &&
+                    use.at(ec.pos) == static_cast<int64_t>(k))
+                {
+                    SeqReader& def = acc_->poolDef(ec.edge->labelPool);
+                    uint32_t defInst =
+                        static_cast<uint32_t>(def.at(ec.pos));
+                    base = acc_->value(ec.edge->defNode,
+                                       ec.edge->defStmtPos, defInst);
+                    found = true;
+                    break;
+                }
+            }
+        }
+        WET_ASSERT(found, "address operand dependence missing for "
+                          "stmt " << stmt << " instance " << k);
+        visit(bestTs, static_cast<uint64_t>(base + in.imm));
+        ++best->idx;
+        ++count;
+    }
+    return count;
+}
+
+} // namespace core
+} // namespace wet

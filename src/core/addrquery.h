@@ -1,0 +1,40 @@
+#ifndef WET_CORE_ADDRQUERY_H
+#define WET_CORE_ADDRQUERY_H
+
+#include <functional>
+
+#include "core/access.h"
+
+namespace wet {
+namespace core {
+
+/**
+ * Per-instruction address trace extraction (paper §2, Table 8):
+ * addresses are not stored separately in the WET — the address of a
+ * load/store instance is recovered by following its address-operand
+ * dependence edge to the producing statement instance and reading
+ * that value (plus the instruction's static offset). This is the
+ * cross-profile query the unified representation exists for.
+ */
+class AddressTraceQuery
+{
+  public:
+    explicit AddressTraceQuery(WetAccess& acc) : acc_(&acc) {}
+
+    /**
+     * Visit every instance of load/store @p stmt in timestamp order
+     * with its effective address.
+     * @return number of instances visited.
+     */
+    uint64_t extract(
+        ir::StmtId stmt,
+        const std::function<void(Timestamp, uint64_t)>& visit);
+
+  private:
+    WetAccess* acc_;
+};
+
+} // namespace core
+} // namespace wet
+
+#endif // WET_CORE_ADDRQUERY_H

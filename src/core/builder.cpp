@@ -1,0 +1,474 @@
+#include "builder.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/hash.h"
+
+namespace wet {
+namespace core {
+
+size_t
+WetBuilder::NodeBuild::KeyHash::operator()(
+    const std::vector<int64_t>& v) const
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (int64_t x : v)
+        h = support::hashCombine(h, static_cast<uint64_t>(x));
+    return static_cast<size_t>(h);
+}
+
+WetBuilder::WetBuilder(const analysis::ModuleAnalysis& ma,
+                       const BuilderOptions& opt)
+    : ma_(ma), mod_(ma.module()), opt_(opt)
+{
+    instanceMap_.resize(mod_.numStmts());
+}
+
+void
+WetBuilder::onEnterFunction(ir::FuncId f, const interp::DepRef& cs)
+{
+    (void)cs; // control dependence arrives via onBlockEnter
+    FrameState fr;
+    fr.func = f;
+    frames_.push_back(std::move(fr));
+}
+
+void
+WetBuilder::onBlockEnter(ir::FuncId f, ir::BlockId b,
+                         const interp::DepRef& control)
+{
+    WET_ASSERT(!frames_.empty() && frames_.back().func == f,
+               "block event outside its frame");
+    FrameState& fr = frames_.back();
+    fr.curBlock = b;
+    if (!fr.inPath) {
+        fr.inPath = true;
+        const auto& bl = ma_.fn(f).bl;
+        fr.r = (fr.restartValid && !bl.blockMode()) ? fr.restart : 0;
+        fr.restartValid = false;
+    }
+    fr.blocks.push_back(BufferedBlock{
+        b, control, static_cast<uint32_t>(fr.stmts.size())});
+}
+
+void
+WetBuilder::onStmt(const interp::StmtEvent& ev)
+{
+    WET_ASSERT(!frames_.empty(), "stmt event outside any frame");
+    FrameState& fr = frames_.back();
+    BufferedStmt bs;
+    bs.stmt = ev.stmt;
+    bs.localIdx = ev.instance;
+    bs.value = ev.value;
+    bs.depValues[0] = ev.depValues[0];
+    bs.depValues[1] = ev.depValues[1];
+    bs.deps[0] = ev.deps[0];
+    bs.deps[1] = ev.deps[1];
+    bs.numDeps = ev.numDeps;
+    bs.hasValue = ev.hasValue;
+    fr.stmts.push_back(bs);
+}
+
+void
+WetBuilder::onEdge(ir::FuncId f, ir::BlockId from, uint8_t succ_idx)
+{
+    FrameState& fr = frames_.back();
+    WET_ASSERT(fr.func == f && fr.curBlock == from,
+               "edge event out of order");
+    const auto& fa = ma_.fn(f);
+    const auto& bl = fa.bl;
+    if (bl.blockMode()) {
+        finishPath(fr, false, from);
+    } else if (fa.cfg.isBackEdge(from, succ_idx)) {
+        finishPath(fr, false, fr.r + bl.exitVal(from));
+        ir::BlockId target =
+            mod_.function(f).blocks[from].succs[succ_idx];
+        fr.restart = bl.entryVal(target);
+        fr.restartValid = true;
+    } else {
+        fr.r += bl.edgeVal(from, succ_idx);
+    }
+}
+
+void
+WetBuilder::onLeaveFunction(ir::FuncId f)
+{
+    WET_ASSERT(!frames_.empty() && frames_.back().func == f,
+               "leave event outside its frame");
+    FrameState& fr = frames_.back();
+    const auto& fa = ma_.fn(f);
+    if (fr.inPath && !fr.stmts.empty()) {
+        // The path ended normally only if the current block's
+        // terminator actually executed (a Halt deeper in the call
+        // chain leaves outer frames cut off mid-block).
+        const auto& blk = mod_.function(f).blocks[fr.curBlock];
+        bool normal = fa.cfg.isExitBlock(fr.curBlock) &&
+                      fr.stmts.back().stmt == blk.terminator().stmt;
+        if (normal) {
+            uint64_t id = fa.bl.blockMode()
+                              ? fr.curBlock
+                              : fr.r + fa.bl.exitVal(fr.curBlock);
+            finishPath(fr, false, id);
+        } else {
+            finishPath(fr, true, 0);
+        }
+    }
+    frames_.pop_back();
+}
+
+void
+WetBuilder::onEnd()
+{
+    WET_ASSERT(frames_.empty(), "program ended with open frames");
+}
+
+NodeId
+WetBuilder::internNode(ir::FuncId f, uint64_t path_id)
+{
+    uint64_t key = (static_cast<uint64_t>(f) << 25) | path_id;
+    auto it = nodeByKey_.find(key);
+    if (it != nodeByKey_.end())
+        return it->second;
+
+    NodeId nid = static_cast<NodeId>(g_.nodes.size());
+    g_.nodes.emplace_back();
+    WetNode& node = g_.nodes.back();
+    node.func = f;
+    node.pathId = path_id;
+    node.blocks = ma_.fn(f).bl.decode(path_id);
+    const ir::Function& fn = mod_.function(f);
+    for (ir::BlockId b : node.blocks) {
+        node.blockFirstStmt.push_back(
+            static_cast<uint32_t>(node.stmts.size()));
+        for (const ir::Instr& in : fn.blocks[b].instrs)
+            node.stmts.push_back(in.stmt);
+    }
+    setupNode(nid);
+    nodeByKey_[key] = nid;
+    return nid;
+}
+
+NodeId
+WetBuilder::makePartialNode(const FrameState& fr)
+{
+    NodeId nid = static_cast<NodeId>(g_.nodes.size());
+    g_.nodes.emplace_back();
+    WetNode& node = g_.nodes.back();
+    node.func = fr.func;
+    node.partial = true;
+    for (const auto& bb : fr.blocks) {
+        if (bb.firstStmt >= fr.stmts.size())
+            break; // trailing block with no executed statements
+        node.blocks.push_back(bb.block);
+        node.blockFirstStmt.push_back(bb.firstStmt);
+    }
+    for (const auto& bs : fr.stmts)
+        node.stmts.push_back(bs.stmt);
+    setupNode(nid);
+    return nid;
+}
+
+void
+WetBuilder::setupNode(NodeId nid)
+{
+    WetNode& node = g_.nodes[nid];
+    GroupingPlan plan = planGroups(mod_, node.stmts);
+    node.groups = std::move(plan.groups);
+    node.stmtGroup = std::move(plan.stmtGroup);
+    node.stmtMember = std::move(plan.stmtMember);
+    if (nb_.size() <= nid)
+        nb_.resize(nid + 1);
+    nb_[nid].groupKeys = std::move(plan.groupKeys);
+    nb_[nid].keyMaps.resize(node.groups.size());
+}
+
+void
+WetBuilder::addLabel(const InstRef& def, NodeId use_node,
+                     uint32_t use_pos, uint8_t slot, uint32_t use_inst)
+{
+    std::pair<uint64_t, uint64_t> key{
+        WetGraph::useKey(use_node, use_pos, slot),
+        WetGraph::defKey(def.node, def.pos)};
+    auto [it, inserted] =
+        edgeMap_.try_emplace(key,
+                             static_cast<uint32_t>(g_.edges.size()));
+    if (inserted) {
+        WetEdge e;
+        e.defNode = def.node;
+        e.useNode = use_node;
+        e.defStmtPos = def.pos;
+        e.useStmtPos = use_pos;
+        e.slot = slot;
+        g_.edges.push_back(e);
+        edgeLabelsTmp_.emplace_back();
+    }
+    edgeLabelsTmp_[it->second].emplace_back(use_inst, def.inst);
+}
+
+void
+WetBuilder::resolveOrPend(const interp::DepRef& dep, NodeId use_node,
+                          uint32_t use_pos, uint8_t slot,
+                          uint32_t use_inst)
+{
+    const auto& vec = instanceMap_[dep.stmt];
+    if (dep.instance < vec.size() && vec[dep.instance].valid()) {
+        addLabel(vec[dep.instance], use_node, use_pos, slot, use_inst);
+    } else {
+        pending_[dep.stmt].push_back(PendingDep{
+            use_node, use_pos, slot, use_inst, dep.instance});
+    }
+}
+
+void
+WetBuilder::finishPath(FrameState& fr, bool partial, uint64_t path_id)
+{
+    NodeId nid = partial ? makePartialNode(fr)
+                         : internNode(fr.func, path_id);
+    WetNode& node = g_.nodes[nid];
+    const uint32_t inst = static_cast<uint32_t>(node.ts.size());
+    node.ts.push_back(++time_);
+    node.numInstances = node.ts.size();
+    g_.lastTimestamp = time_;
+
+    WET_ASSERT(node.stmts.size() == fr.stmts.size(),
+               "path " << path_id << " of function " << fr.func
+               << ": decoded " << node.stmts.size()
+               << " statements, observed " << fr.stmts.size());
+
+    // Register every statement instance of this path.
+    for (uint32_t i = 0; i < fr.stmts.size(); ++i) {
+        const BufferedStmt& bs = fr.stmts[i];
+        WET_ASSERT(node.stmts[i] == bs.stmt,
+                   "path decode diverges from the observed trace at "
+                   "position " << i);
+        auto& vec = instanceMap_[bs.stmt];
+        if (vec.size() <= bs.localIdx)
+            vec.resize(bs.localIdx + 1);
+        vec[bs.localIdx] = InstRef{nid, inst, i};
+    }
+    g_.stmtInstancesTotal += fr.stmts.size();
+
+    // Value groups: intern this instance's input combination and
+    // extend UVals on a fresh pattern (paper §3.2).
+    NodeBuild& nbd = nb_[nid];
+    for (size_t gi = 0; gi < node.groups.size(); ++gi) {
+        ValueGroup& grp = node.groups[gi];
+        std::vector<int64_t> key;
+        key.reserve(nbd.groupKeys[gi].size());
+        for (const GroupInputDesc& d : nbd.groupKeys[gi]) {
+            if (d.liveInReg)
+                key.push_back(
+                    fr.stmts[d.usePos].depValues[d.useSlot]);
+            else
+                key.push_back(fr.stmts[d.stmtPos].value);
+        }
+        auto [it, inserted] = nbd.keyMaps[gi].try_emplace(
+            std::move(key),
+            static_cast<uint32_t>(nbd.keyMaps[gi].size()));
+        uint32_t pidx = it->second;
+        grp.pattern.push_back(pidx);
+        for (size_t mi = 0; mi < grp.members.size(); ++mi) {
+            int64_t v = fr.stmts[grp.members[mi]].value;
+            auto& uv = grp.uvals[mi];
+            if (inserted) {
+                WET_ASSERT(uv.size() == pidx, "uvals misaligned");
+                uv.push_back(v);
+            } else {
+                WET_ASSERT(uv[pidx] == v,
+                           "value grouping determinism violated for "
+                           "stmt " << node.stmts[grp.members[mi]]);
+            }
+        }
+        g_.valueInstancesTotal += grp.members.size();
+    }
+
+    // Data dependence labels.
+    for (uint32_t i = 0; i < fr.stmts.size(); ++i) {
+        const BufferedStmt& bs = fr.stmts[i];
+        for (uint8_t k = 0; k < bs.numDeps; ++k) {
+            ++g_.depInstancesTotal;
+            resolveOrPend(bs.deps[k], nid, i, k, inst);
+        }
+    }
+    // Control dependence labels, one per executed block.
+    for (const BufferedBlock& bb : fr.blocks) {
+        if (!bb.control.valid() || bb.firstStmt >= fr.stmts.size())
+            continue;
+        ++g_.cdInstancesTotal;
+        resolveOrPend(bb.control, nid, bb.firstStmt, kCdSlot, inst);
+    }
+
+    // Resolve dependences that were waiting on instances registered
+    // by this flush.
+    for (const BufferedStmt& bs : fr.stmts) {
+        auto pit = pending_.find(bs.stmt);
+        if (pit == pending_.end())
+            continue;
+        auto& vec = pit->second;
+        size_t keep = 0;
+        for (size_t k = 0; k < vec.size(); ++k) {
+            const PendingDep& pd = vec[k];
+            const auto& insts = instanceMap_[bs.stmt];
+            if (pd.defLocal < insts.size() &&
+                insts[pd.defLocal].valid())
+            {
+                addLabel(insts[pd.defLocal], pd.useNode, pd.usePos,
+                         pd.slot, pd.useInst);
+            } else {
+                vec[keep++] = pd;
+            }
+        }
+        if (keep == 0)
+            pending_.erase(pit);
+        else
+            vec.resize(keep);
+    }
+
+    // Node-level control flow adjacency (completion order).
+    if (lastCompleted_ != kNoNode) {
+        uint64_t ek = (static_cast<uint64_t>(lastCompleted_) << 32) |
+                      nid;
+        if (cfSeen_.insert(ek).second) {
+            g_.nodes[lastCompleted_].cfSucc.push_back(nid);
+            g_.nodes[nid].cfPred.push_back(lastCompleted_);
+        }
+    }
+    lastCompleted_ = nid;
+
+    fr.stmts.clear();
+    fr.blocks.clear();
+    fr.inPath = false;
+}
+
+WetGraph
+WetBuilder::take()
+{
+    WET_ASSERT(!taken_, "WetBuilder::take called twice");
+    taken_ = true;
+
+    // Dependences on call instances that never completed (program
+    // halted inside the callee) are unresolvable; drop them.
+    for (auto& [stmt, vec] : pending_) {
+        (void)stmt;
+        droppedDeps_ += vec.size();
+    }
+    pending_.clear();
+    g_.droppedDeps = droppedDeps_;
+
+    // Sort every edge's labels by use instance (pending resolution
+    // can append out of order).
+    for (auto& labels : edgeLabelsTmp_)
+        std::sort(labels.begin(), labels.end());
+
+    // Tier-1 local-edge inference (paper §3.3): a use operand that
+    // always receives its value from the same statement of the same
+    // node instance needs no labels at all.
+    if (opt_.inferLocalEdges) {
+        std::unordered_map<uint64_t, std::vector<uint32_t>> byUse;
+        for (uint32_t e = 0; e < g_.edges.size(); ++e) {
+            const WetEdge& ed = g_.edges[e];
+            byUse[WetGraph::useKey(ed.useNode, ed.useStmtPos,
+                                   ed.slot)].push_back(e);
+        }
+        for (auto& [key, idxs] : byUse) {
+            (void)key;
+            if (idxs.size() != 1)
+                continue;
+            WetEdge& ed = g_.edges[idxs[0]];
+            if (ed.defNode != ed.useNode)
+                continue;
+            const auto& labels = edgeLabelsTmp_[idxs[0]];
+            bool allSame = true;
+            for (const auto& [u, d] : labels) {
+                if (u != d) {
+                    allSame = false;
+                    break;
+                }
+            }
+            // The inference is only valid when the edge fired at
+            // every instance of the node.
+            if (allSame &&
+                labels.size() == g_.nodes[ed.useNode].instances())
+            {
+                ed.local = true;
+                edgeLabelsTmp_[idxs[0]].clear();
+                edgeLabelsTmp_[idxs[0]].shrink_to_fit();
+            }
+        }
+    }
+
+    // Pool identical label sequences (paper §3.3: share one copy).
+    {
+        std::unordered_map<uint64_t, std::vector<uint32_t>> byHash;
+        for (uint32_t e = 0; e < g_.edges.size(); ++e) {
+            if (g_.edges[e].local)
+                continue;
+            const auto& labels = edgeLabelsTmp_[e];
+            uint64_t h = 0x9ae16a3b2f90404full;
+            for (const auto& [u, d] : labels) {
+                h = support::hashCombine(h, u);
+                h = support::hashCombine(h, d);
+            }
+            uint32_t poolIdx = kNoIndex;
+            for (uint32_t cand :
+                 opt_.poolLabels ? byHash[h]
+                                 : std::vector<uint32_t>{}) {
+                const EdgeLabels& el = g_.labelPool[cand];
+                if (el.useInst.size() != labels.size())
+                    continue;
+                bool eq = true;
+                for (size_t i = 0; i < labels.size(); ++i) {
+                    if (el.useInst[i] != labels[i].first ||
+                        el.defInst[i] != labels[i].second)
+                    {
+                        eq = false;
+                        break;
+                    }
+                }
+                if (eq) {
+                    poolIdx = cand;
+                    break;
+                }
+            }
+            if (poolIdx == kNoIndex) {
+                EdgeLabels el;
+                el.useInst.reserve(labels.size());
+                el.defInst.reserve(labels.size());
+                for (const auto& [u, d] : labels) {
+                    el.useInst.push_back(u);
+                    el.defInst.push_back(d);
+                }
+                poolIdx = static_cast<uint32_t>(g_.labelPool.size());
+                g_.labelPool.push_back(std::move(el));
+                byHash[h].push_back(poolIdx);
+            }
+            g_.edges[e].labelPool = poolIdx;
+        }
+    }
+    edgeLabelsTmp_.clear();
+    edgeLabelsTmp_.shrink_to_fit();
+
+    // Lookup indexes.
+    for (uint32_t e = 0; e < g_.edges.size(); ++e) {
+        const WetEdge& ed = g_.edges[e];
+        g_.edgesByUse[WetGraph::useKey(ed.useNode, ed.useStmtPos,
+                                       ed.slot)].push_back(e);
+        g_.edgesByDef[WetGraph::defKey(ed.defNode, ed.defStmtPos)]
+            .push_back(e);
+    }
+    for (NodeId n = 0; n < g_.nodes.size(); ++n) {
+        const WetNode& node = g_.nodes[n];
+        for (uint32_t i = 0; i < node.stmts.size(); ++i)
+            g_.stmtIndex[node.stmts[i]].emplace_back(n, i);
+    }
+
+    nb_.clear();
+    instanceMap_.clear();
+    edgeMap_.clear();
+    cfSeen_.clear();
+    return std::move(g_);
+}
+
+} // namespace core
+} // namespace wet

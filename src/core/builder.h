@@ -1,0 +1,169 @@
+#ifndef WET_CORE_BUILDER_H
+#define WET_CORE_BUILDER_H
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/moduleanalysis.h"
+#include "core/valuegroup.h"
+#include "core/wetgraph.h"
+#include "interp/tracesink.h"
+
+namespace wet {
+namespace core {
+
+/** Tier-1 pass toggles, exposed for the ablation benches. */
+struct BuilderOptions
+{
+    /** Drop labels of always-same-instance intra-node edges (§3.3). */
+    bool inferLocalEdges = true;
+    /** Share identical edge label sequences (§3.3). */
+    bool poolLabels = true;
+};
+
+/**
+ * Online WET construction: a TraceSink that segments the interpreter's
+ * block trace into Ball–Larus path instances, assigns one timestamp
+ * per path instance (paper §3.1), interns value-group patterns
+ * (§3.2), and materializes DD/CD edges labeled with local instance
+ * pairs (§3.3 / §5). Attach to an Interpreter, run the program, then
+ * call take() to obtain the finished graph.
+ *
+ * Timestamps are assigned when a path instance *completes* (a back
+ * edge is taken or the function returns), so the recorded control
+ * flow is the path-completion order; see DESIGN.md for how calls
+ * nest under this convention.
+ */
+class WetBuilder : public interp::TraceSink
+{
+  public:
+    explicit WetBuilder(const analysis::ModuleAnalysis& ma,
+                        const BuilderOptions& opt = {});
+
+    void onEnterFunction(ir::FuncId f,
+                         const interp::DepRef& callsite) override;
+    void onLeaveFunction(ir::FuncId f) override;
+    void onEdge(ir::FuncId f, ir::BlockId from,
+                uint8_t succ_idx) override;
+    void onBlockEnter(ir::FuncId f, ir::BlockId b,
+                      const interp::DepRef& control) override;
+    void onStmt(const interp::StmtEvent& ev) override;
+    void onEnd() override;
+
+    /**
+     * Finalize (sort labels, infer local edges, pool shared label
+     * sequences, build lookup indexes) and move the graph out. The
+     * builder must not be used afterwards.
+     */
+    WetGraph take();
+
+    /** Dependences dropped because a call never returned (Halt). */
+    uint64_t droppedDeps() const { return droppedDeps_; }
+
+  private:
+    struct InstRef
+    {
+        NodeId node = kNoNode;
+        uint32_t inst = 0;
+        uint32_t pos = 0;
+
+        bool valid() const { return node != kNoNode; }
+    };
+
+    struct BufferedStmt
+    {
+        ir::StmtId stmt;
+        uint32_t localIdx;
+        int64_t value;
+        int64_t depValues[2];
+        interp::DepRef deps[2];
+        uint8_t numDeps;
+        bool hasValue;
+    };
+
+    struct BufferedBlock
+    {
+        ir::BlockId block;
+        interp::DepRef control;
+        uint32_t firstStmt;
+    };
+
+    struct FrameState
+    {
+        ir::FuncId func = 0;
+        uint64_t r = 0;
+        bool inPath = false;
+        bool restartValid = false;
+        uint64_t restart = 0;
+        ir::BlockId curBlock = 0;
+        std::vector<BufferedBlock> blocks;
+        std::vector<BufferedStmt> stmts;
+    };
+
+    struct PendingDep
+    {
+        NodeId useNode;
+        uint32_t usePos;
+        uint8_t slot;
+        uint32_t useInst;
+        uint32_t defLocal;
+    };
+
+    struct NodeBuild
+    {
+        std::vector<std::vector<GroupInputDesc>> groupKeys;
+        struct KeyHash
+        {
+            size_t operator()(const std::vector<int64_t>& v) const;
+        };
+        std::vector<std::unordered_map<std::vector<int64_t>, uint32_t,
+                                       KeyHash>>
+            keyMaps;
+    };
+
+    struct EdgeKeyHash
+    {
+        size_t
+        operator()(const std::pair<uint64_t, uint64_t>& k) const
+        {
+            return std::hash<uint64_t>()(k.first * 0x9e3779b9u ^
+                                         k.second);
+        }
+    };
+
+    void finishPath(FrameState& fr, bool partial, uint64_t path_id);
+    NodeId internNode(ir::FuncId f, uint64_t path_id);
+    NodeId makePartialNode(const FrameState& fr);
+    void setupNode(NodeId nid);
+    void resolveOrPend(const interp::DepRef& dep, NodeId use_node,
+                       uint32_t use_pos, uint8_t slot,
+                       uint32_t use_inst);
+    void addLabel(const InstRef& def, NodeId use_node,
+                  uint32_t use_pos, uint8_t slot, uint32_t use_inst);
+
+    const analysis::ModuleAnalysis& ma_;
+    const ir::Module& mod_;
+    BuilderOptions opt_;
+    WetGraph g_;
+    std::vector<NodeBuild> nb_;
+    std::vector<std::vector<InstRef>> instanceMap_;
+    std::unordered_map<uint64_t, NodeId> nodeByKey_;
+    std::vector<FrameState> frames_;
+    std::unordered_map<ir::StmtId, std::vector<PendingDep>> pending_;
+    std::unordered_map<std::pair<uint64_t, uint64_t>, uint32_t,
+                       EdgeKeyHash>
+        edgeMap_;
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>>
+        edgeLabelsTmp_;
+    std::unordered_set<uint64_t> cfSeen_;
+    NodeId lastCompleted_ = kNoNode;
+    Timestamp time_ = 0;
+    uint64_t droppedDeps_ = 0;
+    bool taken_ = false;
+};
+
+} // namespace core
+} // namespace wet
+
+#endif // WET_CORE_BUILDER_H

@@ -1,0 +1,166 @@
+#include "cfquery.h"
+
+#include "support/error.h"
+
+namespace wet {
+namespace core {
+
+namespace {
+
+/** First index in @p r with value >= v (labels sorted ascending). */
+uint64_t
+lowerBound(SeqReader& r, int64_t v)
+{
+    uint64_t lo = 0;
+    uint64_t hi = r.length();
+    while (lo < hi) {
+        uint64_t mid = lo + (hi - lo) / 2;
+        if (r.at(mid) < v)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace
+
+NodeId
+ControlFlowQuery::findNodeWithTs(Timestamp t, bool at_front)
+{
+    const WetGraph& g = acc_->graph();
+    for (NodeId n = 0; n < g.nodes.size(); ++n) {
+        uint64_t len = g.nodes[n].instances();
+        if (len == 0)
+            continue;
+        uint64_t idx = at_front ? 0 : len - 1;
+        if (static_cast<Timestamp>(acc_->ts(n).at(idx)) == t)
+            return n;
+    }
+    WET_ASSERT(false, "no node carries timestamp " << t);
+    return kNoNode;
+}
+
+uint64_t
+ControlFlowQuery::extractForward(
+    const std::function<void(NodeId, Timestamp)>& visit)
+{
+    return extractRange(1, UINT64_MAX, visit);
+}
+
+uint64_t
+ControlFlowQuery::extractRange(
+    Timestamp from, uint64_t count,
+    const std::function<void(NodeId, Timestamp)>& visit)
+{
+    const WetGraph& g = acc_->graph();
+    if (g.lastTimestamp == 0 || from > g.lastTimestamp)
+        return 0;
+    std::vector<uint64_t> idx(g.nodes.size(), 0);
+    NodeId cur = kNoNode;
+    if (from == 1) {
+        cur = findNodeWithTs(1, true);
+    } else {
+        for (NodeId n = 0; n < g.nodes.size(); ++n) {
+            idx[n] = lowerBound(acc_->ts(n),
+                                static_cast<int64_t>(from));
+            if (idx[n] < g.nodes[n].instances() &&
+                static_cast<Timestamp>(
+                    acc_->ts(n).at(idx[n])) == from)
+            {
+                cur = n;
+            }
+        }
+        WET_ASSERT(cur != kNoNode,
+                   "no node carries timestamp " << from);
+    }
+
+    uint64_t blocks = 0;
+    Timestamp t = from;
+    uint64_t emitted = 0;
+    for (;;) {
+        visit(cur, t);
+        blocks += g.nodes[cur].blocks.size();
+        ++idx[cur];
+        ++emitted;
+        if (t == g.lastTimestamp || emitted >= count)
+            break;
+        ++t;
+        NodeId next = kNoNode;
+        for (NodeId s : g.nodes[cur].cfSucc) {
+            if (idx[s] < g.nodes[s].instances() &&
+                static_cast<Timestamp>(acc_->ts(s).at(idx[s])) == t)
+            {
+                next = s;
+                break;
+            }
+        }
+        WET_ASSERT(next != kNoNode,
+                   "control flow trace broken at timestamp " << t);
+        cur = next;
+    }
+    return blocks;
+}
+
+uint64_t
+ControlFlowQuery::extractBackward(
+    const std::function<void(NodeId, Timestamp)>& visit)
+{
+    return extractRangeBackward(acc_->graph().lastTimestamp,
+                                UINT64_MAX, visit);
+}
+
+uint64_t
+ControlFlowQuery::extractRangeBackward(
+    Timestamp from, uint64_t count,
+    const std::function<void(NodeId, Timestamp)>& visit)
+{
+    const WetGraph& g = acc_->graph();
+    if (g.lastTimestamp == 0 || from == 0 || from > g.lastTimestamp)
+        return 0;
+    // Per-node cursor: index one past the last unvisited instance
+    // (instances with timestamp <= from).
+    std::vector<uint64_t> idx(g.nodes.size());
+    NodeId cur = kNoNode;
+    for (NodeId n = 0; n < g.nodes.size(); ++n) {
+        idx[n] = lowerBound(acc_->ts(n),
+                            static_cast<int64_t>(from) + 1);
+        if (idx[n] > 0 &&
+            static_cast<Timestamp>(acc_->ts(n).at(idx[n] - 1)) ==
+                from)
+        {
+            cur = n;
+        }
+    }
+    WET_ASSERT(cur != kNoNode, "no node carries timestamp " << from);
+
+    uint64_t blocks = 0;
+    uint64_t emitted = 0;
+    Timestamp t = from;
+    for (;;) {
+        visit(cur, t);
+        blocks += g.nodes[cur].blocks.size();
+        --idx[cur];
+        ++emitted;
+        if (t == 1 || emitted >= count)
+            break;
+        --t;
+        NodeId next = kNoNode;
+        for (NodeId p : g.nodes[cur].cfPred) {
+            if (idx[p] > 0 &&
+                static_cast<Timestamp>(
+                    acc_->ts(p).at(idx[p] - 1)) == t)
+            {
+                next = p;
+                break;
+            }
+        }
+        WET_ASSERT(next != kNoNode,
+                   "control flow trace broken at timestamp " << t);
+        cur = next;
+    }
+    return blocks;
+}
+
+} // namespace core
+} // namespace wet

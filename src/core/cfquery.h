@@ -1,0 +1,61 @@
+#ifndef WET_CORE_CFQUERY_H
+#define WET_CORE_CFQUERY_H
+
+#include <functional>
+
+#include "core/access.h"
+
+namespace wet {
+namespace core {
+
+/**
+ * Control-flow trace extraction (paper §2 "Control flow path" and
+ * Table 6): the trace is regenerated from the unlabeled CF edges plus
+ * the node timestamp sequences alone — the instance carrying
+ * timestamp t+1 is found among the CF successors of the node that
+ * carried t.
+ */
+class ControlFlowQuery
+{
+  public:
+    explicit ControlFlowQuery(WetAccess& acc) : acc_(&acc) {}
+
+    /**
+     * Walk the whole trace in timestamp order, invoking @p visit for
+     * every path instance.
+     * @return number of basic blocks covered (trace length).
+     */
+    uint64_t extractForward(
+        const std::function<void(NodeId, Timestamp)>& visit);
+
+    /** Walk the whole trace in reverse timestamp order. */
+    uint64_t extractBackward(
+        const std::function<void(NodeId, Timestamp)>& visit);
+
+    /**
+     * Extract a window of the trace starting at timestamp @p from,
+     * for up to @p count instances, in forward direction.
+     */
+    uint64_t extractRange(
+        Timestamp from, uint64_t count,
+        const std::function<void(NodeId, Timestamp)>& visit);
+
+    /**
+     * Extract a window walking backwards from timestamp @p from for
+     * up to @p count instances (the paper's "from any execution
+     * point ... in the reverse direction").
+     */
+    uint64_t extractRangeBackward(
+        Timestamp from, uint64_t count,
+        const std::function<void(NodeId, Timestamp)>& visit);
+
+  private:
+    NodeId findNodeWithTs(Timestamp t, bool at_front);
+
+    WetAccess* acc_;
+};
+
+} // namespace core
+} // namespace wet
+
+#endif // WET_CORE_CFQUERY_H

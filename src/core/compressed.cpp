@@ -1,0 +1,88 @@
+#include "compressed.h"
+
+#include "support/error.h"
+
+namespace wet {
+namespace core {
+
+namespace {
+
+template <typename T>
+std::vector<int64_t>
+toI64(const std::vector<T>& v)
+{
+    std::vector<int64_t> out;
+    out.reserve(v.size());
+    for (T x : v)
+        out.push_back(static_cast<int64_t>(x));
+    return out;
+}
+
+} // namespace
+
+codec::CompressedStream
+WetCompressed::compress(const std::vector<int64_t>& v)
+{
+    codec::SelectionInfo info;
+    codec::CompressedStream s = codec::compressBest(v, opt_, &info);
+    ++methodWins_[codec::methodName(s.config.method,
+                                    s.config.context)];
+    return s;
+}
+
+WetCompressed::WetCompressed(const WetGraph& g,
+                             std::vector<CompressedNode> nodes,
+                             std::vector<CompressedPoolEntry> pool)
+    : g_(&g), nodes_(std::move(nodes)), pool_(std::move(pool))
+{
+    for (const auto& cn : nodes_) {
+        sizes_.nodeTs += cn.ts.sizeBytes();
+        for (const auto& p : cn.patterns)
+            sizes_.nodeVals += p.sizeBytes();
+        for (const auto& gs : cn.uvals)
+            for (const auto& uv : gs)
+                sizes_.nodeVals += uv.sizeBytes();
+    }
+    for (const auto& pe : pool_)
+        sizes_.edgeTs += pe.useInst.sizeBytes() +
+                         pe.defInst.sizeBytes();
+}
+
+WetCompressed::WetCompressed(const WetGraph& g,
+                             const codec::SelectorOptions& opt)
+    : g_(&g), opt_(opt)
+{
+    if (opt_.checkpointInterval == 0)
+        opt_.checkpointInterval = 16384;
+    else if (opt_.checkpointInterval == UINT64_MAX)
+        opt_.checkpointInterval = 0;
+    nodes_.resize(g.nodes.size());
+    for (NodeId n = 0; n < g.nodes.size(); ++n) {
+        const WetNode& node = g.nodes[n];
+        CompressedNode& cn = nodes_[n];
+        cn.ts = compress(toI64(node.ts));
+        sizes_.nodeTs += cn.ts.sizeBytes();
+        cn.patterns.reserve(node.groups.size());
+        cn.uvals.resize(node.groups.size());
+        for (size_t gi = 0; gi < node.groups.size(); ++gi) {
+            const ValueGroup& grp = node.groups[gi];
+            cn.patterns.push_back(compress(toI64(grp.pattern)));
+            sizes_.nodeVals += cn.patterns.back().sizeBytes();
+            cn.uvals[gi].reserve(grp.uvals.size());
+            for (const auto& uv : grp.uvals) {
+                cn.uvals[gi].push_back(compress(uv));
+                sizes_.nodeVals += cn.uvals[gi].back().sizeBytes();
+            }
+        }
+    }
+    pool_.resize(g.labelPool.size());
+    for (uint32_t i = 0; i < g.labelPool.size(); ++i) {
+        pool_[i].useInst = compress(toI64(g.labelPool[i].useInst));
+        pool_[i].defInst = compress(toI64(g.labelPool[i].defInst));
+        sizes_.edgeTs += pool_[i].useInst.sizeBytes() +
+                         pool_[i].defInst.sizeBytes();
+    }
+}
+
+} // namespace core
+} // namespace wet

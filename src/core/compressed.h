@@ -1,0 +1,86 @@
+#ifndef WET_CORE_COMPRESSED_H
+#define WET_CORE_COMPRESSED_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "codec/selector.h"
+#include "codec/stream.h"
+#include "core/wetgraph.h"
+
+namespace wet {
+namespace core {
+
+/** Tier-2 form of one node's label sequences. */
+struct CompressedNode
+{
+    codec::CompressedStream ts;
+    std::vector<codec::CompressedStream> patterns; //!< per group
+    /** Per group, per member: unique-value stream. */
+    std::vector<std::vector<codec::CompressedStream>> uvals;
+};
+
+/** Tier-2 form of one pooled edge label sequence. */
+struct CompressedPoolEntry
+{
+    codec::CompressedStream useInst;
+    codec::CompressedStream defInst;
+};
+
+/**
+ * Tier-2 (generic stream) compression of a WET (paper §4): every
+ * label sequence left by tier 1 — node timestamps, group patterns,
+ * unique values, and edge timestamp pairs (as two streams each) — is
+ * compressed with the per-stream best of the bidirectional FCM /
+ * DFCM / last-n / last-n-stride codecs.
+ */
+class WetCompressed
+{
+  public:
+    /**
+     * Compress all label streams of @p g. The graph must outlive
+     * this object (queries read static structure from it).
+     *
+     * A checkpointInterval of 0 in @p opt selects the default
+     * (16384 values; pass UINT64_MAX to disable checkpoints); the
+     * checkpoints bound the cost of random access into the
+     * compressed streams during slicing and mid-trace queries.
+     */
+    explicit WetCompressed(const WetGraph& g,
+                           const codec::SelectorOptions& opt = {});
+
+    /** Deserialization: adopt pre-built streams (see wetio). */
+    WetCompressed(const WetGraph& g, std::vector<CompressedNode> nodes,
+                  std::vector<CompressedPoolEntry> pool);
+
+    const WetGraph& graph() const { return *g_; }
+
+    const CompressedNode& node(NodeId n) const { return nodes_[n]; }
+    const CompressedPoolEntry& pool(uint32_t i) const
+    { return pool_[i]; }
+
+    /** Tier-2 sizes by category (Figure 8 / Tables 2-3). */
+    TierSizes sizes() const { return sizes_; }
+
+    /** How many streams each codec won (ablation bench). */
+    const std::map<std::string, uint64_t>& methodWins() const
+    {
+        return methodWins_;
+    }
+
+  private:
+    codec::CompressedStream compress(const std::vector<int64_t>& v);
+
+    const WetGraph* g_;
+    codec::SelectorOptions opt_;
+    std::vector<CompressedNode> nodes_;
+    std::vector<CompressedPoolEntry> pool_;
+    TierSizes sizes_;
+    std::map<std::string, uint64_t> methodWins_;
+};
+
+} // namespace core
+} // namespace wet
+
+#endif // WET_CORE_COMPRESSED_H

@@ -1,0 +1,201 @@
+#include "slicer.h"
+
+#include <unordered_set>
+
+#include "support/error.h"
+
+namespace wet {
+namespace core {
+
+namespace {
+
+uint64_t
+packItem(const SliceItem& it)
+{
+    WET_ASSERT(it.node < (1u << 20) && it.pos < (1u << 14),
+               "slice item exceeds packing limits");
+    return (static_cast<uint64_t>(it.node) << 44) |
+           (static_cast<uint64_t>(it.pos) << 30) | it.inst;
+}
+
+/** First index in sorted reader @p r with value >= v. */
+uint64_t
+lowerBound(SeqReader& r, int64_t v)
+{
+    uint64_t lo = 0;
+    uint64_t hi = r.length();
+    while (lo < hi) {
+        uint64_t mid = lo + (hi - lo) / 2;
+        if (r.at(mid) < v)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+/** Position of the block containing statement position @p pos. */
+uint32_t
+blockFirstStmtOf(const WetNode& node, uint32_t pos)
+{
+    uint32_t lo = 0;
+    uint32_t hi = static_cast<uint32_t>(node.blockFirstStmt.size());
+    while (lo + 1 < hi) {
+        uint32_t mid = (lo + hi) / 2;
+        if (node.blockFirstStmt[mid] <= pos)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return node.blockFirstStmt[lo];
+}
+
+} // namespace
+
+void
+WetSlicer::pushDeps(const SliceItem& item, std::vector<SliceItem>& out,
+                    uint64_t& edges)
+{
+    const WetGraph& g = acc_->graph();
+    const WetNode& node = g.nodes[item.node];
+
+    auto follow = [&](uint32_t use_pos, uint8_t slot) {
+        for (uint32_t e : g.incoming(item.node, use_pos, slot)) {
+            const WetEdge& ed = g.edges[e];
+            if (ed.local) {
+                out.push_back(SliceItem{item.node, ed.defStmtPos,
+                                        item.inst});
+                ++edges;
+                continue;
+            }
+            SeqReader& use = acc_->poolUse(ed.labelPool);
+            uint64_t p = lowerBound(use,
+                                    static_cast<int64_t>(item.inst));
+            if (p < use.length() &&
+                use.at(p) == static_cast<int64_t>(item.inst))
+            {
+                uint32_t defInst = static_cast<uint32_t>(
+                    acc_->poolDef(ed.labelPool).at(p));
+                out.push_back(SliceItem{ed.defNode, ed.defStmtPos,
+                                        defInst});
+                ++edges;
+            }
+        }
+    };
+
+    follow(item.pos, 0);
+    follow(item.pos, 1);
+    follow(blockFirstStmtOf(node, item.pos), kCdSlot);
+}
+
+void
+WetSlicer::pushUses(const SliceItem& item, std::vector<SliceItem>& out,
+                    uint64_t& edges)
+{
+    const WetGraph& g = acc_->graph();
+    for (uint32_t e : g.outgoing(item.node, item.pos)) {
+        const WetEdge& ed = g.edges[e];
+        if (ed.local) {
+            out.push_back(SliceItem{item.node, ed.useStmtPos,
+                                    item.inst});
+            ++edges;
+            continue;
+        }
+        // Def-side streams are not sorted; scan for every use fed by
+        // this instance (forward slicing pays for the scan, as in the
+        // paper where forward traversal of labels is the slow path).
+        SeqReader& def = acc_->poolDef(ed.labelPool);
+        SeqReader& use = acc_->poolUse(ed.labelPool);
+        const uint64_t len = def.length();
+        for (uint64_t p = 0; p < len; ++p) {
+            if (def.at(p) == static_cast<int64_t>(item.inst)) {
+                out.push_back(SliceItem{
+                    ed.useNode, ed.useStmtPos,
+                    static_cast<uint32_t>(use.at(p))});
+                ++edges;
+            }
+        }
+    }
+}
+
+SliceResult
+WetSlicer::run(const SliceItem& seed, uint64_t max_items, bool fwd)
+{
+    SliceResult res;
+    std::unordered_set<uint64_t> seen;
+    std::vector<SliceItem> work{seed};
+    std::vector<SliceItem> next;
+    while (!work.empty()) {
+        SliceItem item = work.back();
+        work.pop_back();
+        if (!seen.insert(packItem(item)).second)
+            continue;
+        res.items.push_back(item);
+        if (res.items.size() >= max_items) {
+            res.truncated = true;
+            break;
+        }
+        next.clear();
+        if (fwd)
+            pushUses(item, next, res.edgesTraversed);
+        else
+            pushDeps(item, next, res.edgesTraversed);
+        for (const SliceItem& it : next)
+            work.push_back(it);
+    }
+    return res;
+}
+
+SliceResult
+WetSlicer::backward(const SliceItem& seed, uint64_t max_items)
+{
+    return run(seed, max_items, false);
+}
+
+SliceResult
+WetSlicer::forward(const SliceItem& seed, uint64_t max_items)
+{
+    return run(seed, max_items, true);
+}
+
+SliceItem
+WetSlicer::locate(ir::StmtId stmt, uint64_t k)
+{
+    const WetGraph& g = acc_->graph();
+    auto it = g.stmtIndex.find(stmt);
+    if (it == g.stmtIndex.end())
+        return SliceItem{};
+    struct Site
+    {
+        NodeId node;
+        uint32_t pos;
+        uint64_t idx = 0;
+        uint64_t len;
+    };
+    std::vector<Site> sites;
+    for (const auto& [n, pos] : it->second)
+        sites.push_back(Site{n, pos, 0, g.nodes[n].instances()});
+    for (uint64_t emitted = 0;; ++emitted) {
+        Site* best = nullptr;
+        Timestamp bestTs = 0;
+        for (auto& s : sites) {
+            if (s.idx >= s.len)
+                continue;
+            Timestamp t = acc_->timestamp(s.node, s.idx);
+            if (!best || t < bestTs) {
+                best = &s;
+                bestTs = t;
+            }
+        }
+        if (!best)
+            return SliceItem{};
+        if (emitted == k) {
+            return SliceItem{best->node, best->pos,
+                             static_cast<uint32_t>(best->idx)};
+        }
+        ++best->idx;
+    }
+}
+
+} // namespace core
+} // namespace wet

@@ -1,0 +1,69 @@
+#ifndef WET_CORE_SLICER_H
+#define WET_CORE_SLICER_H
+
+#include <vector>
+
+#include "core/access.h"
+
+namespace wet {
+namespace core {
+
+/** One statement execution instance in the WET. */
+struct SliceItem
+{
+    NodeId node = kNoNode;
+    uint32_t pos = 0;  //!< statement position within the node
+    uint32_t inst = 0; //!< node instance index
+
+    bool valid() const { return node != kNoNode; }
+};
+
+/** Result of a WET slice. */
+struct SliceResult
+{
+    std::vector<SliceItem> items; //!< visited instances (incl. seed)
+    uint64_t edgesTraversed = 0;
+    bool truncated = false; //!< hit the maxItems cap
+};
+
+/**
+ * WET slicing (paper §2 "WET slices", Table 9): the backward slice of
+ * a value is the sub-WET reachable from its computing instance over
+ * data and control dependence edges traversed def-ward; it carries
+ * control flow, values, and dependences — all profile kinds at once.
+ * Forward slices traverse the same edges use-ward.
+ */
+class WetSlicer
+{
+  public:
+    explicit WetSlicer(WetAccess& acc) : acc_(&acc) {}
+
+    /** Dynamic backward slice from @p seed. */
+    SliceResult backward(const SliceItem& seed,
+                         uint64_t max_items = UINT64_MAX);
+
+    /** Dynamic forward slice from @p seed. */
+    SliceResult forward(const SliceItem& seed,
+                        uint64_t max_items = UINT64_MAX);
+
+    /**
+     * Find the @p k-th (timestamp-ordered) execution instance of a
+     * statement; invalid item if it executed fewer times.
+     */
+    SliceItem locate(ir::StmtId stmt, uint64_t k);
+
+  private:
+    void pushDeps(const SliceItem& item, std::vector<SliceItem>& out,
+                  uint64_t& edges);
+    void pushUses(const SliceItem& item, std::vector<SliceItem>& out,
+                  uint64_t& edges);
+    SliceResult run(const SliceItem& seed, uint64_t max_items,
+                    bool fwd);
+
+    WetAccess* acc_;
+};
+
+} // namespace core
+} // namespace wet
+
+#endif // WET_CORE_SLICER_H

@@ -1,0 +1,267 @@
+#include "valuegroup.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.h"
+
+namespace wet {
+namespace core {
+
+namespace {
+
+/** Sorted-set union helper. */
+std::vector<uint32_t>
+setUnion(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b)
+{
+    std::vector<uint32_t> out;
+    out.reserve(a.size() + b.size());
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(out));
+    return out;
+}
+
+/** True if sorted @p a is a subset of sorted @p b. */
+bool
+isSubset(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b)
+{
+    return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+bool
+isInputOpcode(ir::Opcode op)
+{
+    return op == ir::Opcode::Load || op == ir::Opcode::In ||
+           op == ir::Opcode::Call;
+}
+
+} // namespace
+
+GroupingPlan
+planGroups(const ir::Module& mod, const std::vector<ir::StmtId>& stmts)
+{
+    const uint32_t n = static_cast<uint32_t>(stmts.size());
+    GroupingPlan plan;
+    plan.stmtGroup.assign(n, kNoIndex);
+    plan.stmtMember.assign(n, kNoIndex);
+
+    // Pass 1: walk the straight-line sequence tracking last in-path
+    // register definitions; compute every statement's transitive
+    // input set.
+    std::unordered_map<ir::RegId, uint32_t> lastDef; // reg -> stmt pos
+    struct InputInfo
+    {
+        GroupInputDesc desc;
+    };
+    std::vector<InputInfo> inputs;                  // by input id
+    std::unordered_map<ir::RegId, uint32_t> liveInId;
+    std::vector<uint32_t> inputIdOfStmt(n, kNoIndex);
+    std::vector<std::vector<uint32_t>> depSet(n);
+
+    auto liveInInput = [&](ir::RegId r, uint32_t pos, uint8_t slot) {
+        auto it = liveInId.find(r);
+        if (it != liveInId.end())
+            return it->second;
+        uint32_t id = static_cast<uint32_t>(inputs.size());
+        InputInfo info;
+        info.desc.liveInReg = true;
+        info.desc.usePos = pos;
+        info.desc.useSlot = slot;
+        inputs.push_back(info);
+        liveInId[r] = id;
+        return id;
+    };
+
+    for (uint32_t i = 0; i < n; ++i) {
+        const ir::Instr& in = mod.instr(stmts[i]);
+        // Gather register operands with the dependence slot they
+        // occupy in the interpreter's StmtEvent (slot order must
+        // match Interpreter::run).
+        ir::RegId regs[2] = {ir::kNoReg, ir::kNoReg};
+        int nregs = 0;
+        switch (in.op) {
+          case ir::Opcode::Const:
+          case ir::Opcode::In:
+          case ir::Opcode::Jmp:
+          case ir::Opcode::Halt:
+          case ir::Opcode::Call: // return-value dep is cross-node
+            break;
+          case ir::Opcode::Neg:
+          case ir::Opcode::Not:
+          case ir::Opcode::Mov:
+          case ir::Opcode::Out:
+          case ir::Opcode::Br:
+          case ir::Opcode::Load:
+            regs[nregs++] = in.src0;
+            break;
+          case ir::Opcode::Ret:
+            if (in.src0 != ir::kNoReg)
+                regs[nregs++] = in.src0;
+            break;
+          case ir::Opcode::Store:
+            regs[nregs++] = in.src0;
+            regs[nregs++] = in.src1;
+            break;
+          default:
+            WET_ASSERT(ir::isBinaryAlu(in.op), "unexpected opcode");
+            regs[nregs++] = in.src0;
+            regs[nregs++] = in.src1;
+            break;
+        }
+
+        std::vector<uint32_t> set;
+        for (int k = 0; k < nregs; ++k) {
+            auto def = lastDef.find(regs[k]);
+            if (def == lastDef.end()) {
+                set.push_back(liveInInput(
+                    regs[k], i, static_cast<uint8_t>(k)));
+            } else {
+                uint32_t j = def->second;
+                if (inputIdOfStmt[j] != kNoIndex)
+                    set.push_back(inputIdOfStmt[j]);
+                else
+                    set = setUnion(set, depSet[j]);
+            }
+        }
+        std::sort(set.begin(), set.end());
+        set.erase(std::unique(set.begin(), set.end()), set.end());
+
+        if (ir::hasDef(in.op) && isInputOpcode(in.op)) {
+            // This statement's value is itself a node input.
+            uint32_t id = static_cast<uint32_t>(inputs.size());
+            InputInfo info;
+            info.desc.liveInReg = false;
+            info.desc.stmtPos = i;
+            inputs.push_back(info);
+            inputIdOfStmt[i] = id;
+        }
+        depSet[i] = std::move(set);
+        if (ir::hasDef(in.op) && in.dest != ir::kNoReg)
+            lastDef[in.dest] = i;
+    }
+
+    // Pass 2: group def-port non-input statements by identical input
+    // sets.
+    struct ProtoGroup
+    {
+        std::vector<uint32_t> inputs;
+        std::vector<uint32_t> members;
+        bool dead = false;
+    };
+    std::vector<ProtoGroup> protos;
+    std::map<std::vector<uint32_t>, uint32_t> bySet;
+    for (uint32_t i = 0; i < n; ++i) {
+        const ir::Instr& in = mod.instr(stmts[i]);
+        if (!ir::hasDef(in.op) || inputIdOfStmt[i] != kNoIndex)
+            continue;
+        // Const values are immediates of the static program; like the
+        // paper's Trimaran IR they carry no dynamic value profile.
+        if (in.op == ir::Opcode::Const)
+            continue;
+        // Input statements are attached later; group the rest.
+        auto it = bySet.find(depSet[i]);
+        if (it == bySet.end()) {
+            ProtoGroup g;
+            g.inputs = depSet[i];
+            g.members.push_back(i);
+            bySet[g.inputs] = static_cast<uint32_t>(protos.size());
+            protos.push_back(std::move(g));
+        } else {
+            protos[it->second].members.push_back(i);
+        }
+    }
+
+    // Pass 3: merge proper-subset groups into their superset (paper:
+    // "if a group depends upon a set of inputs that are a proper
+    // subset of inputs for another group, the two groups are
+    // merged"). Process by ascending set size so chains settle.
+    std::vector<uint32_t> order(protos.size());
+    for (uint32_t g = 0; g < protos.size(); ++g)
+        order[g] = g;
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return protos[a].inputs.size() < protos[b].inputs.size();
+    });
+    for (uint32_t oi = 0; oi < order.size(); ++oi) {
+        uint32_t a = order[oi];
+        if (protos[a].dead)
+            continue;
+        for (uint32_t oj = oi + 1; oj < order.size(); ++oj) {
+            uint32_t b = order[oj];
+            if (protos[b].dead ||
+                protos[b].inputs.size() <= protos[a].inputs.size())
+            {
+                continue;
+            }
+            if (isSubset(protos[a].inputs, protos[b].inputs)) {
+                auto& mb = protos[b].members;
+                mb.insert(mb.end(), protos[a].members.begin(),
+                          protos[a].members.end());
+                protos[a].dead = true;
+                break;
+            }
+        }
+    }
+
+    // Pass 4: attach every input statement to exactly one surviving
+    // group that depends on it; orphans get singleton groups.
+    for (uint32_t i = 0; i < n; ++i) {
+        uint32_t id = inputIdOfStmt[i];
+        if (id == kNoIndex)
+            continue;
+        bool placed = false;
+        for (auto& g : protos) {
+            if (g.dead)
+                continue;
+            if (std::binary_search(g.inputs.begin(), g.inputs.end(),
+                                   id))
+            {
+                g.members.push_back(i);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            ProtoGroup g;
+            g.inputs = {id};
+            g.members.push_back(i);
+            protos.push_back(std::move(g));
+        }
+    }
+
+    // Emit the final plan.
+    for (auto& pg : protos) {
+        if (pg.dead || pg.members.empty())
+            continue;
+        std::sort(pg.members.begin(), pg.members.end());
+        ValueGroup vg;
+        vg.members = pg.members;
+        vg.inputs = pg.inputs;
+        // The key must cover the group's external inputs plus the
+        // attached input statements' own values.
+        std::vector<uint32_t> keyIds = pg.inputs;
+        for (uint32_t m : pg.members) {
+            if (inputIdOfStmt[m] != kNoIndex)
+                keyIds.push_back(inputIdOfStmt[m]);
+        }
+        std::sort(keyIds.begin(), keyIds.end());
+        keyIds.erase(std::unique(keyIds.begin(), keyIds.end()),
+                     keyIds.end());
+        std::vector<GroupInputDesc> keys;
+        keys.reserve(keyIds.size());
+        for (uint32_t id : keyIds)
+            keys.push_back(inputs[id].desc);
+
+        uint32_t gi = static_cast<uint32_t>(plan.groups.size());
+        for (uint32_t mi = 0; mi < vg.members.size(); ++mi) {
+            plan.stmtGroup[vg.members[mi]] = gi;
+            plan.stmtMember[vg.members[mi]] = mi;
+        }
+        vg.uvals.resize(vg.members.size());
+        plan.groups.push_back(std::move(vg));
+        plan.groupKeys.push_back(std::move(keys));
+    }
+    return plan;
+}
+
+} // namespace core
+} // namespace wet

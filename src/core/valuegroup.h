@@ -1,0 +1,53 @@
+#ifndef WET_CORE_VALUEGROUP_H
+#define WET_CORE_VALUEGROUP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/wetgraph.h"
+#include "ir/module.h"
+
+namespace wet {
+namespace core {
+
+/**
+ * How to fetch one group input's value at run time from the buffered
+ * events of a path instance.
+ */
+struct GroupInputDesc
+{
+    bool liveInReg = false;
+    /** liveInReg: first statement position using the register and the
+     *  dependence slot carrying its value. */
+    uint32_t usePos = 0;
+    uint8_t useSlot = 0;
+    /** !liveInReg: position of the input statement (Load/In/Call)
+     *  whose produced value is the input. */
+    uint32_t stmtPos = 0;
+};
+
+/** Static grouping of a node's statements (paper §3.2). */
+struct GroupingPlan
+{
+    std::vector<ValueGroup> groups;      //!< members+inputs filled
+    std::vector<uint32_t> stmtGroup;     //!< per stmt pos
+    std::vector<uint32_t> stmtMember;    //!< per stmt pos
+    /** Per group: how to gather the pattern key, canonical order. */
+    std::vector<std::vector<GroupInputDesc>> groupKeys;
+};
+
+/**
+ * Analyze the straight-line statement sequence of one node and build
+ * its value groups: statements are grouped by the exact set of node
+ * inputs (live-in registers and input statements — loads, `in()`,
+ * calls) they transitively depend on; a group whose input set is a
+ * proper subset of another's is merged into it; every input statement
+ * is attached to exactly one group depending on it.
+ */
+GroupingPlan planGroups(const ir::Module& mod,
+                        const std::vector<ir::StmtId>& stmts);
+
+} // namespace core
+} // namespace wet
+
+#endif // WET_CORE_VALUEGROUP_H

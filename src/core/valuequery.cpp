@@ -1,0 +1,74 @@
+#include "valuequery.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace wet {
+namespace core {
+
+uint64_t
+ValueTraceQuery::extract(
+    ir::StmtId stmt,
+    const std::function<void(Timestamp, int64_t)>& visit)
+{
+    const WetGraph& g = acc_->graph();
+    auto it = g.stmtIndex.find(stmt);
+    if (it == g.stmtIndex.end())
+        return 0;
+    const auto& sites = it->second;
+
+    // Merge the statement's per-node instance sequences by timestamp
+    // with a simple tournament over the site cursors (site counts are
+    // small: the number of paths containing the statement).
+    struct Site
+    {
+        NodeId node;
+        uint32_t pos;
+        uint64_t idx;
+        uint64_t len;
+    };
+    std::vector<Site> cursors;
+    cursors.reserve(sites.size());
+    for (const auto& [n, pos] : sites)
+        cursors.push_back(Site{n, pos, 0, g.nodes[n].instances()});
+
+    uint64_t count = 0;
+    for (;;) {
+        Site* best = nullptr;
+        Timestamp bestTs = 0;
+        for (auto& s : cursors) {
+            if (s.idx >= s.len)
+                continue;
+            Timestamp t = acc_->timestamp(s.node, s.idx);
+            if (!best || t < bestTs) {
+                best = &s;
+                bestTs = t;
+            }
+        }
+        if (!best)
+            break;
+        visit(bestTs, acc_->value(best->node, best->pos,
+                                  static_cast<uint32_t>(best->idx)));
+        ++best->idx;
+        ++count;
+    }
+    return count;
+}
+
+std::vector<ir::StmtId>
+ValueTraceQuery::stmtsWithOpcode(ir::Opcode op) const
+{
+    const WetGraph& g = acc_->graph();
+    std::vector<ir::StmtId> out;
+    for (const auto& [stmt, sites] : g.stmtIndex) {
+        (void)sites;
+        if (acc_->module().instr(stmt).op == op)
+            out.push_back(stmt);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace core
+} // namespace wet

@@ -1,0 +1,42 @@
+#ifndef WET_CORE_VALUEQUERY_H
+#define WET_CORE_VALUEQUERY_H
+
+#include <functional>
+#include <vector>
+
+#include "core/access.h"
+
+namespace wet {
+namespace core {
+
+/**
+ * Per-instruction value trace extraction (paper §2 "Values and
+ * addresses", Table 7): all execution instances of one statement, in
+ * timestamp order, with the value each produced. A statement's
+ * instances live in every Ball–Larus path node containing it, so the
+ * query merges the per-node sequences by timestamp.
+ */
+class ValueTraceQuery
+{
+  public:
+    explicit ValueTraceQuery(WetAccess& acc) : acc_(&acc) {}
+
+    /**
+     * Visit every instance of @p stmt in timestamp order.
+     * @return the number of instances visited.
+     */
+    uint64_t extract(
+        ir::StmtId stmt,
+        const std::function<void(Timestamp, int64_t)>& visit);
+
+    /** All statements of a given opcode that ever executed. */
+    std::vector<ir::StmtId> stmtsWithOpcode(ir::Opcode op) const;
+
+  private:
+    WetAccess* acc_;
+};
+
+} // namespace core
+} // namespace wet
+
+#endif // WET_CORE_VALUEQUERY_H

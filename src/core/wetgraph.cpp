@@ -1,0 +1,113 @@
+#include "wetgraph.h"
+
+#include <sstream>
+
+#include "support/error.h"
+#include "support/sizes.h"
+
+namespace wet {
+namespace core {
+
+namespace {
+
+const std::vector<uint32_t> kEmptyEdgeList;
+
+} // namespace
+
+const std::vector<uint32_t>&
+WetGraph::incoming(NodeId n, uint32_t stmt_pos, uint8_t slot) const
+{
+    auto it = edgesByUse.find(useKey(n, stmt_pos, slot));
+    return it == edgesByUse.end() ? kEmptyEdgeList : it->second;
+}
+
+const std::vector<uint32_t>&
+WetGraph::outgoing(NodeId n, uint32_t stmt_pos) const
+{
+    auto it = edgesByDef.find(defKey(n, stmt_pos));
+    return it == edgesByDef.end() ? kEmptyEdgeList : it->second;
+}
+
+TierSizes
+WetGraph::origSizes() const
+{
+    // Uncompressed WET: every executed statement labeled with an
+    // 8-byte timestamp; def-port statements also with an 8-byte
+    // value; every dependence instance with a 16-byte timestamp pair.
+    TierSizes s;
+    s.nodeTs = stmtInstancesTotal * 8;
+    s.nodeVals = valueInstancesTotal * 8;
+    s.edgeTs = (depInstancesTotal + cdInstancesTotal) * 16;
+    return s;
+}
+
+TierSizes
+WetGraph::tier1Sizes() const
+{
+    TierSizes s;
+    for (const auto& node : nodes) {
+        s.nodeTs += node.ts.size() * 8;
+        for (const auto& g : node.groups) {
+            s.nodeVals += g.pattern.size() * 4;
+            for (const auto& uv : g.uvals)
+                s.nodeVals += uv.size() * 8;
+        }
+    }
+    // Local edges carry no labels; shared sequences are counted once
+    // in the pool (pairs of 4-byte local instance indices).
+    for (const auto& seq : labelPool)
+        s.edgeTs += (seq.useInst.size() + seq.defInst.size()) * 4;
+    return s;
+}
+
+void
+WetGraph::dropTier1Labels()
+{
+    for (auto& node : nodes) {
+        node.ts.clear();
+        node.ts.shrink_to_fit();
+        for (auto& grp : node.groups) {
+            grp.pattern.clear();
+            grp.pattern.shrink_to_fit();
+            for (auto& uv : grp.uvals) {
+                uv.clear();
+                uv.shrink_to_fit();
+            }
+        }
+    }
+    for (auto& el : labelPool) {
+        el.useInst.clear();
+        el.useInst.shrink_to_fit();
+        el.defInst.clear();
+        el.defInst.shrink_to_fit();
+    }
+}
+
+std::string
+WetGraph::summary() const
+{
+    uint64_t localEdges = 0;
+    for (const auto& e : edges)
+        if (e.local)
+            ++localEdges;
+    std::ostringstream os;
+    os << "WET: " << nodes.size() << " nodes, " << edges.size()
+       << " edges (" << localEdges << " local), " << labelPool.size()
+       << " pooled label sequences, " << lastTimestamp
+       << " timestamps, " << stmtInstancesTotal
+       << " statement instances\n";
+    TierSizes o = origSizes();
+    TierSizes t1 = tier1Sizes();
+    os << "  orig:   " << support::formatBytes(o.total())
+       << " (ts " << support::formatBytes(o.nodeTs) << ", vals "
+       << support::formatBytes(o.nodeVals) << ", edges "
+       << support::formatBytes(o.edgeTs) << ")\n";
+    os << "  tier-1: " << support::formatBytes(t1.total())
+       << " (ts " << support::formatBytes(t1.nodeTs) << ", vals "
+       << support::formatBytes(t1.nodeVals) << ", edges "
+       << support::formatBytes(t1.edgeTs) << ")\n";
+    return os.str();
+}
+
+} // namespace core
+} // namespace wet

@@ -1,0 +1,198 @@
+#ifndef WET_CORE_WETGRAPH_H
+#define WET_CORE_WETGRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace wet {
+namespace core {
+
+/** Global timestamp: one tick per executed Ball–Larus path instance. */
+using Timestamp = uint64_t;
+/** Index of a WET node (an executed path of some function). */
+using NodeId = uint32_t;
+
+constexpr NodeId kNoNode = UINT32_MAX;
+/** Edge slot used for control-dependence edges. */
+constexpr uint8_t kCdSlot = 0xff;
+constexpr uint32_t kNoIndex = UINT32_MAX;
+
+/**
+ * One value group of a node (paper §3.2): statements that depend on
+ * exactly the same set of node inputs share one Pattern array; each
+ * member statement stores only its unique values (UVals), and
+ * Values[i] == UVals[Pattern[i]] reconstructs the full sequence.
+ */
+struct ValueGroup
+{
+    /** Member statement positions within the node (def-port only). */
+    std::vector<uint32_t> members;
+    /** Input ids of this group, canonical order (see WetNode). */
+    std::vector<uint32_t> inputs;
+    /** Per node instance: index into every member's uvals. */
+    std::vector<uint32_t> pattern;
+    /** Per member: unique values, aligned with pattern indices. */
+    std::vector<std::vector<int64_t>> uvals;
+};
+
+/**
+ * One WET node: an executed Ball–Larus path (or, for functions whose
+ * path count exploded, a single basic block; or a partial path cut
+ * short by program termination). Carries the per-instance timestamp
+ * sequence and the grouped value labels.
+ */
+struct WetNode
+{
+    ir::FuncId func = 0;
+    uint64_t pathId = 0;
+    bool partial = false;
+
+    std::vector<ir::BlockId> blocks;
+    /** All statements of the path, in execution order. */
+    std::vector<ir::StmtId> stmts;
+    /** Position in stmts of each block's first statement. */
+    std::vector<uint32_t> blockFirstStmt;
+
+    /** Timestamps of the node's instances (strictly increasing).
+     *  May be empty on a deserialized graph (tier-2 only). */
+    std::vector<Timestamp> ts;
+
+    /** Number of executed instances (kept explicitly so that
+     *  deserialized, tier-2-only graphs stay queryable). */
+    uint64_t numInstances = 0;
+
+    std::vector<ValueGroup> groups;
+    /** Per statement position: owning group (kNoIndex if no value). */
+    std::vector<uint32_t> stmtGroup;
+    /** Per statement position: member index inside its group. */
+    std::vector<uint32_t> stmtMember;
+
+    /** Node-level control-flow successors/predecessors (completion
+     *  order adjacency; see DESIGN.md on call handling). */
+    std::vector<NodeId> cfSucc;
+    std::vector<NodeId> cfPred;
+
+    uint64_t instances() const { return numInstances; }
+};
+
+/** A pooled edge label sequence: parallel use/def instance indices. */
+struct EdgeLabels
+{
+    std::vector<uint32_t> useInst;
+    std::vector<uint32_t> defInst;
+};
+
+/**
+ * One WET dependence edge between statement positions of two nodes.
+ * slot identifies which operand of the use statement the edge feeds
+ * (kCdSlot for control dependence, where useStmtPos is the first
+ * statement of the controlled block).
+ *
+ * After tier-1 optimization an edge may be `local`: both endpoints
+ * are in the same node and every instance pairs equal instance
+ * indices, so the labels are dropped and inferred from the node
+ * (paper §3.3). Non-local edges reference a pooled label sequence;
+ * edges with identical sequences share one pool entry.
+ */
+struct WetEdge
+{
+    NodeId defNode = kNoNode;
+    NodeId useNode = kNoNode;
+    uint32_t defStmtPos = 0;
+    uint32_t useStmtPos = 0;
+    uint8_t slot = 0;
+    bool local = false;
+    uint32_t labelPool = kNoIndex;
+};
+
+/** Byte sizes of the three label categories at one compression tier. */
+struct TierSizes
+{
+    uint64_t nodeTs = 0;
+    uint64_t nodeVals = 0;
+    uint64_t edgeTs = 0;
+
+    uint64_t total() const { return nodeTs + nodeVals + edgeTs; }
+};
+
+/**
+ * The Whole Execution Trace: a static-program-shaped graph labeled
+ * with the complete dynamic profile (control flow, values, addresses
+ * via value edges, and data/control dependence), as defined in §2 of
+ * the paper. Built by WetBuilder; compressed in place by
+ * WetCompressor (tier 2); traversed by the query classes.
+ */
+class WetGraph
+{
+  public:
+    std::vector<WetNode> nodes;
+    std::vector<WetEdge> edges;
+    std::vector<EdgeLabels> labelPool;
+
+    /** Where each statement occurs: (node, position) pairs. */
+    std::unordered_map<ir::StmtId,
+                       std::vector<std::pair<NodeId, uint32_t>>>
+        stmtIndex;
+
+    /** Incoming dependence edges per (useNode, useStmtPos, slot). */
+    std::unordered_map<uint64_t, std::vector<uint32_t>> edgesByUse;
+    /** Outgoing dependence edges per (defNode, defStmtPos). */
+    std::unordered_map<uint64_t, std::vector<uint32_t>> edgesByDef;
+
+    Timestamp lastTimestamp = 0;
+    uint64_t stmtInstancesTotal = 0;  //!< executed statements
+    uint64_t valueInstancesTotal = 0; //!< def-port instances
+    uint64_t depInstancesTotal = 0;   //!< DD label instances
+    uint64_t cdInstancesTotal = 0;    //!< CD label instances
+    /** Dependences dropped because a call never returned (Halt). */
+    uint64_t droppedDeps = 0;
+
+    static uint64_t
+    useKey(NodeId n, uint32_t stmt_pos, uint8_t slot)
+    {
+        return (static_cast<uint64_t>(n) << 32) |
+               (static_cast<uint64_t>(stmt_pos) << 8) | slot;
+    }
+
+    static uint64_t
+    defKey(NodeId n, uint32_t stmt_pos)
+    {
+        return (static_cast<uint64_t>(n) << 32) | stmt_pos;
+    }
+
+    /** Edges feeding (useNode, useStmtPos, slot); empty if none. */
+    const std::vector<uint32_t>&
+    incoming(NodeId n, uint32_t stmt_pos, uint8_t slot) const;
+
+    /** Edges leaving (defNode, defStmtPos); empty if none. */
+    const std::vector<uint32_t>& outgoing(NodeId n,
+                                          uint32_t stmt_pos) const;
+
+    /** Size of the conceptual uncompressed WET (paper's "Orig."). */
+    TierSizes origSizes() const;
+
+    /** Size after tier-1 (customized) compression. */
+    TierSizes tier1Sizes() const;
+
+    /** Human-readable summary (node/edge counts, sizes). */
+    std::string summary() const;
+
+    /**
+     * Free the tier-1 label vectors (timestamp sequences, patterns,
+     * unique values, pooled label sequences), keeping the static
+     * structure and instance counts. Call after tier-2 compression
+     * to reach the paper's in-memory footprint: all queries keep
+     * working through a tier-2 WetAccess; tier-1 access and
+     * tier1Sizes() are no longer meaningful.
+     */
+    void dropTier1Labels();
+};
+
+} // namespace core
+} // namespace wet
+
+#endif // WET_CORE_WETGRAPH_H

@@ -1,0 +1,66 @@
+#ifndef WET_INTERP_INPUT_H
+#define WET_INTERP_INPUT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace wet {
+namespace interp {
+
+/** Source of values for the IR's `in()` instruction. */
+class InputSource
+{
+  public:
+    virtual ~InputSource() = default;
+
+    /** Produce the next input value. */
+    virtual int64_t next() = 0;
+};
+
+/** Fixed input vector; repeats its last value when exhausted. */
+class VectorInput : public InputSource
+{
+  public:
+    explicit VectorInput(std::vector<int64_t> values)
+        : values_(std::move(values))
+    {
+    }
+
+    int64_t
+    next() override
+    {
+        if (values_.empty())
+            return 0;
+        if (pos_ < values_.size())
+            return values_[pos_++];
+        return values_.back();
+    }
+
+  private:
+    std::vector<int64_t> values_;
+    size_t pos_ = 0;
+};
+
+/** Deterministic pseudo-random inputs in [lo, hi]. */
+class RandomInput : public InputSource
+{
+  public:
+    RandomInput(uint64_t seed, int64_t lo, int64_t hi)
+        : rng_(seed), lo_(lo), hi_(hi)
+    {
+    }
+
+    int64_t next() override { return rng_.range(lo_, hi_); }
+
+  private:
+    support::Rng rng_;
+    int64_t lo_;
+    int64_t hi_;
+};
+
+} // namespace interp
+} // namespace wet
+
+#endif // WET_INTERP_INPUT_H

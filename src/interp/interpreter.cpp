@@ -1,0 +1,310 @@
+#include "interpreter.h"
+
+#include "support/error.h"
+
+namespace wet {
+namespace interp {
+
+namespace {
+
+/** Shared no-op sink so the hot loop never tests for null. */
+TraceSink nullSink;
+
+} // namespace
+
+Interpreter::Interpreter(const analysis::ModuleAnalysis& ma,
+                         InputSource& input, TraceSink* sink)
+    : ma_(ma), mod_(ma.module()), input_(input),
+      sink_(sink ? sink : &nullSink)
+{
+}
+
+void
+Interpreter::enterBlock(Frame& fr, ir::BlockId b)
+{
+    // Close control-dependence regions that end at this block.
+    while (!fr.cdStack.empty() && fr.cdStack.back().ipdom == b)
+        fr.cdStack.pop_back();
+    fr.control = fr.cdStack.empty() ? fr.callsite
+                                    : fr.cdStack.back().predicate;
+    fr.block = b;
+    fr.ip = 0;
+    sink_->onBlockEnter(fr.func, b, fr.control);
+}
+
+uint64_t
+Interpreter::effectiveAddress(const Frame& fr,
+                              const ir::Instr& in) const
+{
+    return static_cast<uint64_t>(fr.regs[in.src0] + in.imm);
+}
+
+RunResult
+Interpreter::run(const RunConfig& cfg)
+{
+    memory_.assign(mod_.memWords(), 0);
+    memWriter_.assign(mod_.memWords(), DepRef{});
+    execCount_.assign(mod_.numStmts(), 0);
+
+    RunResult res;
+    std::vector<Frame> frames;
+
+    auto pushFrame = [&](ir::FuncId f, const DepRef& callsite) {
+        const ir::Function& fn = mod_.function(f);
+        Frame fr;
+        fr.func = f;
+        fr.regs.assign(fn.numRegs, 0);
+        fr.regDef.assign(fn.numRegs, DepRef{});
+        fr.callsite = callsite;
+        frames.push_back(std::move(fr));
+    };
+
+    pushFrame(mod_.entryFunction(), DepRef{});
+    sink_->onEnterFunction(mod_.entryFunction(), DepRef{});
+    enterBlock(frames.back(), 0);
+    res.blocksExecuted++;
+
+    bool running = true;
+    while (running) {
+        Frame& fr = frames.back();
+        const ir::Function& fn = mod_.function(fr.func);
+        const ir::BasicBlock& blk = fn.blocks[fr.block];
+        const ir::Instr& in = blk.instrs[fr.ip];
+
+        if (++res.stmtsExecuted > cfg.maxStmts)
+            WET_FATAL("run exceeded the configured statement limit of "
+                      << cfg.maxStmts);
+
+        const ir::StmtId sid = in.stmt;
+        const uint32_t inst = execCount_[sid]++;
+
+        StmtEvent ev;
+        ev.stmt = sid;
+        ev.instance = inst;
+
+        auto regDep = [&](ir::RegId r) { return fr.regDef[r]; };
+        auto setDef = [&](ir::RegId r, int64_t v) {
+            fr.regs[r] = v;
+            fr.regDef[r] = DepRef{sid, inst};
+        };
+
+        switch (in.op) {
+          case ir::Opcode::Const: {
+            setDef(in.dest, in.imm);
+            ev.value = in.imm;
+            ev.hasValue = true;
+            sink_->onStmt(ev);
+            ++fr.ip;
+            break;
+          }
+          case ir::Opcode::Neg:
+          case ir::Opcode::Not:
+          case ir::Opcode::Mov: {
+            int64_t v = ir::evalUnary(in.op, fr.regs[in.src0]);
+            ev.depValues[ev.numDeps] = fr.regs[in.src0];
+            ev.deps[ev.numDeps++] = regDep(in.src0);
+            setDef(in.dest, v);
+            ev.value = v;
+            ev.hasValue = true;
+            sink_->onStmt(ev);
+            ++fr.ip;
+            break;
+          }
+          case ir::Opcode::In: {
+            int64_t v = input_.next();
+            setDef(in.dest, v);
+            ev.value = v;
+            ev.hasValue = true;
+            sink_->onStmt(ev);
+            ++fr.ip;
+            break;
+          }
+          case ir::Opcode::Load: {
+            uint64_t addr = effectiveAddress(fr, in);
+            if (addr >= memory_.size())
+                WET_FATAL("load out of bounds: address " << addr
+                          << " (mem is " << memory_.size()
+                          << " words) at stmt " << sid);
+            int64_t v = memory_[addr];
+            ev.depValues[ev.numDeps] = fr.regs[in.src0];
+            ev.deps[ev.numDeps++] = regDep(in.src0);
+            if (memWriter_[addr].valid()) {
+                ev.depValues[ev.numDeps] = v;
+                ev.deps[ev.numDeps++] = memWriter_[addr];
+            }
+            setDef(in.dest, v);
+            ev.value = v;
+            ev.hasValue = true;
+            ev.isLoad = true;
+            ev.addr = addr;
+            ++res.loads;
+            sink_->onStmt(ev);
+            ++fr.ip;
+            break;
+          }
+          case ir::Opcode::Store: {
+            uint64_t addr = effectiveAddress(fr, in);
+            if (addr >= memory_.size())
+                WET_FATAL("store out of bounds: address " << addr
+                          << " (mem is " << memory_.size()
+                          << " words) at stmt " << sid);
+            ev.depValues[ev.numDeps] = fr.regs[in.src0];
+            ev.deps[ev.numDeps++] = regDep(in.src0);
+            ev.depValues[ev.numDeps] = fr.regs[in.src1];
+            ev.deps[ev.numDeps++] = regDep(in.src1);
+            memory_[addr] = fr.regs[in.src1];
+            memWriter_[addr] = DepRef{sid, inst};
+            ev.isStore = true;
+            ev.addr = addr;
+            ++res.stores;
+            sink_->onStmt(ev);
+            ++fr.ip;
+            break;
+          }
+          case ir::Opcode::Out: {
+            ev.depValues[ev.numDeps] = fr.regs[in.src0];
+            ev.deps[ev.numDeps++] = regDep(in.src0);
+            if (cfg.collectOutputs)
+                res.outputs.push_back(fr.regs[in.src0]);
+            sink_->onStmt(ev);
+            ++fr.ip;
+            break;
+          }
+          case ir::Opcode::Call: {
+            if (frames.size() >= cfg.maxCallDepth)
+                WET_FATAL("call depth exceeded "
+                          << cfg.maxCallDepth);
+            ir::FuncId callee = static_cast<ir::FuncId>(in.imm);
+            // The Call's own event is emitted when the callee
+            // returns; remember what we need in the caller frame.
+            fr.pendingCall = sid;
+            fr.pendingCallInstance = inst;
+            fr.pendingCallDest = in.dest;
+            ++fr.ip; // resume past the call after return
+            ++res.calls;
+            DepRef cs{sid, inst};
+            // Gather argument values/writers before the frame vector
+            // reallocates.
+            std::vector<int64_t> argVals(in.args.size());
+            std::vector<DepRef> argDefs(in.args.size());
+            for (size_t a = 0; a < in.args.size(); ++a) {
+                argVals[a] = fr.regs[in.args[a]];
+                argDefs[a] = fr.regDef[in.args[a]];
+            }
+            pushFrame(callee, cs);
+            Frame& cf = frames.back();
+            for (size_t a = 0; a < argVals.size(); ++a) {
+                cf.regs[a] = argVals[a];
+                cf.regDef[a] = argDefs[a];
+            }
+            sink_->onEnterFunction(callee, cs);
+            enterBlock(cf, 0);
+            ++res.blocksExecuted;
+            break;
+          }
+          case ir::Opcode::Br: {
+            bool taken = fr.regs[in.src0] != 0;
+            uint8_t idx = taken ? 0 : 1;
+            ev.depValues[ev.numDeps] = fr.regs[in.src0];
+            ev.deps[ev.numDeps++] = regDep(in.src0);
+            ev.isBranch = true;
+            ev.branchTaken = taken;
+            sink_->onStmt(ev);
+            ++res.branches;
+            sink_->onEdge(fr.func, fr.block, idx);
+            // Open this predicate's control-dependence region,
+            // replacing a same-region top entry to keep the stack
+            // bounded across loop iterations.
+            const auto& fa = ma_.fn(fr.func);
+            ir::BlockId ipd = fa.postdom.idom(fr.block);
+            CdEntry entry{ipd, DepRef{sid, inst}};
+            if (!fr.cdStack.empty() &&
+                fr.cdStack.back().ipdom == ipd)
+            {
+                fr.cdStack.back() = entry;
+            } else {
+                fr.cdStack.push_back(entry);
+            }
+            enterBlock(fr, blk.succs[idx]);
+            ++res.blocksExecuted;
+            break;
+          }
+          case ir::Opcode::Jmp: {
+            sink_->onStmt(ev);
+            sink_->onEdge(fr.func, fr.block, 0);
+            enterBlock(fr, blk.succs[0]);
+            ++res.blocksExecuted;
+            break;
+          }
+          case ir::Opcode::Ret: {
+            int64_t retVal = 0;
+            DepRef retDef;
+            if (in.src0 != ir::kNoReg) {
+                retVal = fr.regs[in.src0];
+                retDef = regDep(in.src0);
+                ev.depValues[ev.numDeps] = retVal;
+                ev.deps[ev.numDeps++] = retDef;
+            }
+            sink_->onStmt(ev);
+            ir::FuncId leaving = fr.func;
+            frames.pop_back();
+            sink_->onLeaveFunction(leaving);
+            if (frames.empty()) {
+                running = false;
+                break;
+            }
+            Frame& caller = frames.back();
+            WET_ASSERT(caller.pendingCall != ir::kNoStmt,
+                       "return without a pending call");
+            StmtEvent cev;
+            cev.stmt = caller.pendingCall;
+            cev.instance = caller.pendingCallInstance;
+            cev.value = retVal;
+            cev.hasValue = true;
+            if (retDef.valid()) {
+                cev.depValues[cev.numDeps] = retVal;
+                cev.deps[cev.numDeps++] = retDef;
+            }
+            caller.regs[caller.pendingCallDest] = retVal;
+            caller.regDef[caller.pendingCallDest] =
+                DepRef{caller.pendingCall,
+                       caller.pendingCallInstance};
+            caller.pendingCall = ir::kNoStmt;
+            sink_->onStmt(cev);
+            break;
+          }
+          case ir::Opcode::Halt: {
+            sink_->onStmt(ev);
+            while (!frames.empty()) {
+                sink_->onLeaveFunction(frames.back().func);
+                frames.pop_back();
+            }
+            running = false;
+            break;
+          }
+          default: {
+            // Binary ALU and comparisons.
+            WET_ASSERT(ir::isBinaryAlu(in.op),
+                       "unhandled opcode "
+                           << ir::opcodeName(in.op));
+            int64_t v = ir::evalBinary(in.op, fr.regs[in.src0],
+                                       fr.regs[in.src1]);
+            ev.depValues[ev.numDeps] = fr.regs[in.src0];
+            ev.deps[ev.numDeps++] = regDep(in.src0);
+            ev.depValues[ev.numDeps] = fr.regs[in.src1];
+            ev.deps[ev.numDeps++] = regDep(in.src1);
+            setDef(in.dest, v);
+            ev.value = v;
+            ev.hasValue = true;
+            sink_->onStmt(ev);
+            ++fr.ip;
+            break;
+          }
+        }
+    }
+    sink_->onEnd();
+    return res;
+}
+
+} // namespace interp
+} // namespace wet

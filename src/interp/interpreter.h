@@ -1,0 +1,104 @@
+#ifndef WET_INTERP_INTERPRETER_H
+#define WET_INTERP_INTERPRETER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/moduleanalysis.h"
+#include "interp/input.h"
+#include "interp/tracesink.h"
+#include "ir/module.h"
+
+namespace wet {
+namespace interp {
+
+/** Run limits and options for one interpretation. */
+struct RunConfig
+{
+    /** Abort (WetError) after this many executed statements. */
+    uint64_t maxStmts = uint64_t{1} << 33;
+    /** Abort when the call stack exceeds this depth. */
+    uint32_t maxCallDepth = 1 << 16;
+    /** Collect values passed to `out` into RunResult::outputs. */
+    bool collectOutputs = true;
+};
+
+/** Summary of one program run. */
+struct RunResult
+{
+    uint64_t stmtsExecuted = 0;
+    uint64_t blocksExecuted = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t branches = 0;
+    uint64_t calls = 0;
+    std::vector<int64_t> outputs;
+};
+
+/**
+ * The tracing interpreter: executes a module and streams a whole
+ * execution trace (control flow, values, addresses, and data/control
+ * dependences) to a TraceSink.
+ *
+ * This is the repo's stand-in for the paper's Trimaran simulator — the
+ * profile is observed from "hardware" directly, so there is no
+ * instrumentation intrusion. Dynamic control dependence is maintained
+ * with a per-frame region stack over the post-dominator tree; register
+ * and memory flow is tracked with last-writer tables to produce exact
+ * dynamic data dependences.
+ */
+class Interpreter
+{
+  public:
+    /**
+     * @param ma analyses of the module to run (holds the module ref)
+     * @param input source for `in()` values
+     * @param sink trace consumer (may be a TeeSink or nullptr)
+     */
+    Interpreter(const analysis::ModuleAnalysis& ma, InputSource& input,
+                TraceSink* sink);
+
+    /** Execute from `main`; returns run statistics. */
+    RunResult run(const RunConfig& cfg = RunConfig());
+
+    /** Per-statement execution counts (valid after run()). */
+    const std::vector<uint32_t>& execCounts() const { return execCount_; }
+
+  private:
+    struct CdEntry
+    {
+        ir::BlockId ipdom;
+        DepRef predicate;
+    };
+
+    struct Frame
+    {
+        ir::FuncId func;
+        ir::BlockId block = 0;
+        uint32_t ip = 0;
+        std::vector<int64_t> regs;
+        std::vector<DepRef> regDef;
+        std::vector<CdEntry> cdStack;
+        DepRef callsite;        //!< instance of the calling Call stmt
+        DepRef control;         //!< current block's dynamic CD parent
+        ir::StmtId pendingCall = ir::kNoStmt;
+        uint32_t pendingCallInstance = 0;
+        ir::RegId pendingCallDest = ir::kNoReg;
+    };
+
+    void enterBlock(Frame& fr, ir::BlockId b);
+    uint64_t effectiveAddress(const Frame& fr, const ir::Instr& in) const;
+
+    const analysis::ModuleAnalysis& ma_;
+    const ir::Module& mod_;
+    InputSource& input_;
+    TraceSink* sink_;
+    std::vector<int64_t> memory_;
+    std::vector<DepRef> memWriter_;
+    std::vector<uint32_t> execCount_;
+};
+
+} // namespace interp
+} // namespace wet
+
+#endif // WET_INTERP_INTERPRETER_H

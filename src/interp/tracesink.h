@@ -1,0 +1,162 @@
+#ifndef WET_INTERP_TRACESINK_H
+#define WET_INTERP_TRACESINK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/instr.h"
+
+namespace wet {
+namespace interp {
+
+/**
+ * Reference to one execution instance of a statement: the statement id
+ * plus its 0-based local instance index (the paper's "local
+ * timestamp" — the k-th execution of that statement).
+ */
+struct DepRef
+{
+    ir::StmtId stmt = ir::kNoStmt;
+    uint32_t instance = 0;
+
+    bool valid() const { return stmt != ir::kNoStmt; }
+    bool
+    operator==(const DepRef& o) const
+    {
+        return stmt == o.stmt && instance == o.instance;
+    }
+};
+
+/** Everything the tracer reports about one executed instruction. */
+struct StmtEvent
+{
+    ir::StmtId stmt = ir::kNoStmt;
+    uint32_t instance = 0;   //!< local instance index of this stmt
+    int64_t value = 0;       //!< def-port result (hasValue)
+    uint64_t addr = 0;       //!< effective address (isLoad/isStore)
+    DepRef deps[2];          //!< register / memory data dependences
+    int64_t depValues[2] = {0, 0}; //!< value carried by each dep
+    uint8_t numDeps = 0;
+    bool hasValue = false;
+    bool isLoad = false;
+    bool isStore = false;
+    bool isBranch = false;
+    bool branchTaken = false;
+};
+
+/**
+ * Consumer interface for the tracing interpreter. Event order:
+ *
+ *   onEnterFunction f
+ *     onBlockEnter b0   (control = caller's call-site instance or the
+ *                        dynamically controlling predicate instance)
+ *       onStmt ...      (one per executed instruction)
+ *     onEdge (b0 -> b1 via successor index)
+ *     onBlockEnter b1
+ *     ...
+ *   onLeaveFunction f
+ *
+ * A Call instruction's own onStmt event is emitted after the callee
+ * returns (its value is the returned value); all other instructions
+ * report in execution order.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    virtual void
+    onEnterFunction(ir::FuncId f, const DepRef& callsite)
+    {
+        (void)f;
+        (void)callsite;
+    }
+
+    virtual void onLeaveFunction(ir::FuncId f) { (void)f; }
+
+    /** Control-flow edge taken inside function @p f. */
+    virtual void
+    onEdge(ir::FuncId f, ir::BlockId from, uint8_t succ_idx)
+    {
+        (void)f;
+        (void)from;
+        (void)succ_idx;
+    }
+
+    /**
+     * Basic block entered. @p control is the dynamic control
+     * dependence of this block instance: the controlling predicate's
+     * instance, the call-site instance for region-free blocks, or
+     * invalid for the program's entry region.
+     */
+    virtual void
+    onBlockEnter(ir::FuncId f, ir::BlockId b, const DepRef& control)
+    {
+        (void)f;
+        (void)b;
+        (void)control;
+    }
+
+    virtual void onStmt(const StmtEvent& ev) { (void)ev; }
+
+    /** Program finished (Halt, or Ret from the entry frame). */
+    virtual void onEnd() {}
+};
+
+/** Fan-out sink: forwards every event to each registered sink. */
+class TeeSink : public TraceSink
+{
+  public:
+    void addSink(TraceSink* s) { sinks_.push_back(s); }
+
+    void
+    onEnterFunction(ir::FuncId f, const DepRef& cs) override
+    {
+        for (auto* s : sinks_)
+            s->onEnterFunction(f, cs);
+    }
+
+    void
+    onLeaveFunction(ir::FuncId f) override
+    {
+        for (auto* s : sinks_)
+            s->onLeaveFunction(f);
+    }
+
+    void
+    onEdge(ir::FuncId f, ir::BlockId from, uint8_t idx) override
+    {
+        for (auto* s : sinks_)
+            s->onEdge(f, from, idx);
+    }
+
+    void
+    onBlockEnter(ir::FuncId f, ir::BlockId b,
+                 const DepRef& control) override
+    {
+        for (auto* s : sinks_)
+            s->onBlockEnter(f, b, control);
+    }
+
+    void
+    onStmt(const StmtEvent& ev) override
+    {
+        for (auto* s : sinks_)
+            s->onStmt(ev);
+    }
+
+    void
+    onEnd() override
+    {
+        for (auto* s : sinks_)
+            s->onEnd();
+    }
+
+  private:
+    std::vector<TraceSink*> sinks_;
+};
+
+} // namespace interp
+} // namespace wet
+
+#endif // WET_INTERP_TRACESINK_H

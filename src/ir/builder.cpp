@@ -1,0 +1,262 @@
+#include "builder.h"
+
+#include "support/error.h"
+
+namespace wet {
+namespace ir {
+
+FunctionBuilder::FunctionBuilder(ModuleBuilder& mb, std::string name,
+                                 uint32_t num_params)
+    : mb_(mb)
+{
+    fn_.name = std::move(name);
+    fn_.numParams = num_params;
+    fn_.numRegs = num_params;
+    fn_.blocks.emplace_back();
+    cur_ = 0;
+}
+
+RegId
+FunctionBuilder::newReg()
+{
+    return fn_.numRegs++;
+}
+
+RegId
+FunctionBuilder::param(uint32_t i) const
+{
+    WET_ASSERT(i < fn_.numParams, "param index out of range");
+    return i;
+}
+
+BlockId
+FunctionBuilder::newBlock()
+{
+    fn_.blocks.emplace_back();
+    return static_cast<BlockId>(fn_.blocks.size() - 1);
+}
+
+void
+FunctionBuilder::switchTo(BlockId b)
+{
+    WET_ASSERT(b < fn_.blocks.size(), "switchTo unknown block");
+    cur_ = b;
+}
+
+bool
+FunctionBuilder::terminated() const
+{
+    const auto& blk = fn_.blocks[cur_];
+    return !blk.instrs.empty() && isTerminator(blk.instrs.back().op);
+}
+
+Instr&
+FunctionBuilder::append(Instr in)
+{
+    WET_ASSERT(!terminated(),
+               "emit into already-terminated block b" << cur_
+               << " of function '" << fn_.name << "'");
+    auto& blk = fn_.blocks[cur_];
+    blk.instrs.push_back(std::move(in));
+    return blk.instrs.back();
+}
+
+RegId
+FunctionBuilder::emitBinary(Opcode op, RegId a, RegId b)
+{
+    WET_ASSERT(isBinaryAlu(op), "emitBinary with non-binary opcode");
+    Instr in;
+    in.op = op;
+    in.dest = newReg();
+    in.src0 = a;
+    in.src1 = b;
+    return append(std::move(in)).dest;
+}
+
+RegId
+FunctionBuilder::emitUnary(Opcode op, RegId a)
+{
+    WET_ASSERT(op == Opcode::Neg || op == Opcode::Not ||
+               op == Opcode::Mov, "emitUnary with non-unary opcode");
+    Instr in;
+    in.op = op;
+    in.dest = newReg();
+    in.src0 = a;
+    return append(std::move(in)).dest;
+}
+
+void
+FunctionBuilder::emitMovInto(RegId dest, RegId src)
+{
+    WET_ASSERT(dest < fn_.numRegs, "emitMovInto unknown dest");
+    Instr in;
+    in.op = Opcode::Mov;
+    in.dest = dest;
+    in.src0 = src;
+    append(std::move(in));
+}
+
+void
+FunctionBuilder::emitConstInto(RegId dest, int64_t v)
+{
+    WET_ASSERT(dest < fn_.numRegs, "emitConstInto unknown dest");
+    Instr in;
+    in.op = Opcode::Const;
+    in.dest = dest;
+    in.imm = v;
+    append(std::move(in));
+}
+
+RegId
+FunctionBuilder::emitConst(int64_t v)
+{
+    Instr in;
+    in.op = Opcode::Const;
+    in.dest = newReg();
+    in.imm = v;
+    return append(std::move(in)).dest;
+}
+
+RegId
+FunctionBuilder::emitLoad(RegId addr, int64_t offset)
+{
+    Instr in;
+    in.op = Opcode::Load;
+    in.dest = newReg();
+    in.src0 = addr;
+    in.imm = offset;
+    return append(std::move(in)).dest;
+}
+
+void
+FunctionBuilder::emitStore(RegId addr, RegId value, int64_t offset)
+{
+    Instr in;
+    in.op = Opcode::Store;
+    in.src0 = addr;
+    in.src1 = value;
+    in.imm = offset;
+    append(std::move(in));
+}
+
+RegId
+FunctionBuilder::emitIn()
+{
+    Instr in;
+    in.op = Opcode::In;
+    in.dest = newReg();
+    return append(std::move(in)).dest;
+}
+
+void
+FunctionBuilder::emitOut(RegId v)
+{
+    Instr in;
+    in.op = Opcode::Out;
+    in.src0 = v;
+    append(std::move(in));
+}
+
+RegId
+FunctionBuilder::emitCall(const std::string& callee,
+                          std::vector<RegId> args)
+{
+    Instr in;
+    in.op = Opcode::Call;
+    in.dest = newReg();
+    in.args = std::move(args);
+    in.imm = -1; // patched in ModuleBuilder::build()
+    Instr& placed = append(std::move(in));
+    auto& blk = fn_.blocks[cur_];
+    mb_.pendingCalls_.push_back(ModuleBuilder::PendingCall{
+        mb_.done_.size(), cur_,
+        static_cast<uint32_t>(blk.instrs.size() - 1), callee});
+    return placed.dest;
+}
+
+void
+FunctionBuilder::emitBr(RegId cond, BlockId taken, BlockId fallthrough)
+{
+    Instr in;
+    in.op = Opcode::Br;
+    in.src0 = cond;
+    append(std::move(in));
+    fn_.blocks[cur_].succs = {taken, fallthrough};
+}
+
+void
+FunctionBuilder::emitJmp(BlockId target)
+{
+    Instr in;
+    in.op = Opcode::Jmp;
+    append(std::move(in));
+    fn_.blocks[cur_].succs = {target};
+}
+
+void
+FunctionBuilder::emitRet(RegId v)
+{
+    Instr in;
+    in.op = Opcode::Ret;
+    in.src0 = v;
+    append(std::move(in));
+}
+
+void
+FunctionBuilder::emitHalt()
+{
+    Instr in;
+    in.op = Opcode::Halt;
+    append(std::move(in));
+}
+
+void
+FunctionBuilder::sealWithRet()
+{
+    for (auto& blk : fn_.blocks) {
+        if (blk.instrs.empty() || !isTerminator(blk.instrs.back().op)) {
+            Instr in;
+            in.op = Opcode::Ret;
+            blk.instrs.push_back(std::move(in));
+        }
+    }
+}
+
+FunctionBuilder&
+ModuleBuilder::beginFunction(const std::string& name,
+                             uint32_t num_params)
+{
+    WET_ASSERT(!open_, "beginFunction while another function is open");
+    open_.reset(new FunctionBuilder(*this, name, num_params));
+    return *open_;
+}
+
+void
+ModuleBuilder::endFunction()
+{
+    WET_ASSERT(open_, "endFunction with no open function");
+    done_.push_back(std::move(open_->fn_));
+    open_.reset();
+}
+
+Module
+ModuleBuilder::build()
+{
+    WET_ASSERT(!open_, "build with an unfinished function");
+    Module m;
+    m.setMemWords(memWords_);
+    for (auto& fn : done_)
+        m.addFunction(std::move(fn));
+    done_.clear();
+    for (const auto& pc : pendingCalls_) {
+        FuncId callee = m.functionByName(pc.callee);
+        m.function(static_cast<FuncId>(pc.func))
+            .blocks[pc.block].instrs[pc.index].imm = callee;
+    }
+    pendingCalls_.clear();
+    m.finalize();
+    return m;
+}
+
+} // namespace ir
+} // namespace wet

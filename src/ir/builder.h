@@ -1,0 +1,133 @@
+#ifndef WET_IR_BUILDER_H
+#define WET_IR_BUILDER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace wet {
+namespace ir {
+
+class ModuleBuilder;
+
+/**
+ * Incremental builder for one function. Obtained from
+ * ModuleBuilder::beginFunction(); instructions are appended to the
+ * current block (switch with switchTo()). Registers are allocated with
+ * newReg(); parameters occupy registers 0..numParams-1.
+ */
+class FunctionBuilder
+{
+  public:
+    /** Allocate a fresh virtual register. */
+    RegId newReg();
+
+    /** Parameter register @p i (just bounds-checked identity). */
+    RegId param(uint32_t i) const;
+
+    /** Create a new, initially empty basic block. */
+    BlockId newBlock();
+
+    /** Make @p b the insertion point for subsequent emits. */
+    void switchTo(BlockId b);
+
+    BlockId currentBlock() const { return cur_; }
+
+    /** True once the current block has a terminator. */
+    bool terminated() const;
+
+    RegId emitBinary(Opcode op, RegId a, RegId b);
+    RegId emitUnary(Opcode op, RegId a);
+
+    /** Mov into a caller-chosen register (used for variable stores). */
+    void emitMovInto(RegId dest, RegId src);
+
+    /** Const into a caller-chosen register. */
+    void emitConstInto(RegId dest, int64_t v);
+    RegId emitConst(int64_t v);
+    RegId emitMov(RegId a) { return emitUnary(Opcode::Mov, a); }
+    RegId emitLoad(RegId addr, int64_t offset = 0);
+    void emitStore(RegId addr, RegId value, int64_t offset = 0);
+    RegId emitIn();
+    void emitOut(RegId v);
+
+    /** Call by callee name; resolved when the module is built. */
+    RegId emitCall(const std::string& callee, std::vector<RegId> args);
+
+    void emitBr(RegId cond, BlockId taken, BlockId fallthrough);
+    void emitJmp(BlockId target);
+    void emitRet(RegId v = kNoReg);
+    void emitHalt();
+
+    /**
+     * Append `ret` to every block that still lacks a terminator.
+     * Called once by code generators before the function is committed
+     * so that fall-through ends and unreachable tails are well formed.
+     */
+    void sealWithRet();
+
+    uint32_t numParams() const { return fn_.numParams; }
+
+  private:
+    friend class ModuleBuilder;
+    FunctionBuilder(ModuleBuilder& mb, std::string name,
+                    uint32_t num_params);
+
+    Instr& append(Instr in);
+
+    ModuleBuilder& mb_;
+    Function fn_;
+    BlockId cur_ = 0;
+};
+
+/**
+ * Builder for a whole Module. Usage:
+ *
+ *     ModuleBuilder mb;
+ *     auto& f = mb.beginFunction("main", 0);
+ *     ... emit ...
+ *     mb.endFunction();
+ *     ir::Module m = mb.build();
+ */
+class ModuleBuilder
+{
+  public:
+    /** Start a new function; only one may be open at a time. */
+    FunctionBuilder& beginFunction(const std::string& name,
+                                   uint32_t num_params);
+
+    /** Commit the currently open function to the module. */
+    void endFunction();
+
+    /** Set the data memory size of the built module, in words. */
+    void setMemWords(uint64_t w) { memWords_ = w; }
+
+    /**
+     * Resolve pending call targets, finalize, and return the module.
+     * The builder must not be reused afterwards.
+     */
+    Module build();
+
+  private:
+    friend class FunctionBuilder;
+
+    struct PendingCall
+    {
+        size_t func;
+        BlockId block;
+        uint32_t index;
+        std::string callee;
+    };
+
+    std::vector<Function> done_;
+    std::unique_ptr<FunctionBuilder> open_;
+    std::vector<PendingCall> pendingCalls_;
+    uint64_t memWords_ = 1 << 20;
+};
+
+} // namespace ir
+} // namespace wet
+
+#endif // WET_IR_BUILDER_H

@@ -1,0 +1,58 @@
+#ifndef WET_IR_INSTR_H
+#define WET_IR_INSTR_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "ir/opcode.h"
+
+namespace wet {
+namespace ir {
+
+/** Per-function virtual register index. */
+using RegId = uint32_t;
+/** Basic block index within a function. */
+using BlockId = uint32_t;
+/** Function index within a module. */
+using FuncId = uint32_t;
+/** Module-wide statement (instruction) id, dense from 0. */
+using StmtId = uint32_t;
+
+/** Sentinel meaning "no register" (e.g. a void return). */
+constexpr RegId kNoReg = std::numeric_limits<RegId>::max();
+/** Sentinel for "no statement". */
+constexpr StmtId kNoStmt = std::numeric_limits<StmtId>::max();
+/** Sentinel for "no block". */
+constexpr BlockId kNoBlock = std::numeric_limits<BlockId>::max();
+
+/**
+ * One IR instruction. A fixed three-address shape plus an argument
+ * vector for calls. `stmt` is the module-wide dense id assigned by
+ * Module::finalize(); all profile structures are keyed by it.
+ */
+struct Instr
+{
+    Opcode op = Opcode::Halt;
+    RegId dest = kNoReg;
+    RegId src0 = kNoReg;
+    RegId src1 = kNoReg;
+    /** Const: literal; Load/Store: address offset; Call: callee FuncId. */
+    int64_t imm = 0;
+    /** Call argument registers (empty otherwise). */
+    std::vector<RegId> args;
+    StmtId stmt = kNoStmt;
+};
+
+/** Location of a statement: function, block, and index in the block. */
+struct StmtRef
+{
+    FuncId func = 0;
+    BlockId block = 0;
+    uint32_t index = 0;
+};
+
+} // namespace ir
+} // namespace wet
+
+#endif // WET_IR_INSTR_H

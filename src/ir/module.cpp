@@ -1,0 +1,221 @@
+#include "module.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace wet {
+namespace ir {
+
+FuncId
+Module::addFunction(Function fn)
+{
+    WET_ASSERT(!finalized_, "addFunction after finalize");
+    FuncId id = static_cast<FuncId>(functions_.size());
+    fn.id = id;
+    if (byName_.count(fn.name))
+        WET_FATAL("duplicate function name '" << fn.name << "'");
+    byName_[fn.name] = id;
+    functions_.push_back(std::move(fn));
+    return id;
+}
+
+void
+Module::finalize()
+{
+    if (finalized_)
+        return;
+    // Assign dense statement ids and the reverse map.
+    stmtRefs_.clear();
+    for (auto& fn : functions_) {
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            auto& blk = fn.blocks[b];
+            blk.preds.clear();
+            for (uint32_t i = 0; i < blk.instrs.size(); ++i) {
+                blk.instrs[i].stmt =
+                    static_cast<StmtId>(stmtRefs_.size());
+                stmtRefs_.push_back(StmtRef{fn.id, b, i});
+            }
+        }
+    }
+    numStmts_ = static_cast<uint32_t>(stmtRefs_.size());
+    // Predecessor lists.
+    for (auto& fn : functions_) {
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            for (BlockId s : fn.blocks[b].succs) {
+                if (s >= fn.numBlocks())
+                    WET_FATAL("function '" << fn.name << "' block " << b
+                              << " has out-of-range successor " << s);
+                fn.blocks[s].preds.push_back(b);
+            }
+        }
+    }
+    verify();
+    finalized_ = true;
+}
+
+void
+Module::verify() const
+{
+    if (functions_.empty())
+        WET_FATAL("module has no functions");
+    for (const auto& fn : functions_) {
+        if (fn.blocks.empty())
+            WET_FATAL("function '" << fn.name << "' has no blocks");
+        if (fn.numParams > fn.numRegs)
+            WET_FATAL("function '" << fn.name
+                      << "' has more params than registers");
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            const auto& blk = fn.blocks[b];
+            if (blk.instrs.empty())
+                WET_FATAL("function '" << fn.name << "' block " << b
+                          << " is empty");
+            for (uint32_t i = 0; i < blk.instrs.size(); ++i) {
+                const Instr& in = blk.instrs[i];
+                bool last = (i + 1 == blk.instrs.size());
+                if (isTerminator(in.op) != last)
+                    WET_FATAL("function '" << fn.name << "' block " << b
+                              << " instr " << i
+                              << ": terminator placement invalid");
+                auto checkReg = [&](RegId r, const char* what) {
+                    if (r != kNoReg && r >= fn.numRegs)
+                        WET_FATAL("function '" << fn.name << "' block "
+                                  << b << " instr " << i << ": " << what
+                                  << " register r" << r
+                                  << " out of range");
+                };
+                if (hasDef(in.op) && in.op != Opcode::Call &&
+                    in.dest == kNoReg) {
+                    WET_FATAL("function '" << fn.name << "' block " << b
+                              << " instr " << i << ": missing dest");
+                }
+                checkReg(in.dest == kNoReg ? kNoReg : in.dest, "dest");
+                int uses = numUses(in.op);
+                if (uses >= 1 && in.src0 == kNoReg &&
+                    in.op != Opcode::Ret) {
+                    WET_FATAL("function '" << fn.name << "' block " << b
+                              << " instr " << i << ": missing src0");
+                }
+                checkReg(in.src0, "src0");
+                if (uses >= 2 && in.src1 == kNoReg)
+                    WET_FATAL("function '" << fn.name << "' block " << b
+                              << " instr " << i << ": missing src1");
+                checkReg(in.src1, "src1");
+                if (in.op == Opcode::Ret)
+                    checkReg(in.src0, "ret value");
+                if (in.op == Opcode::Call) {
+                    if (in.imm < 0 ||
+                        static_cast<size_t>(in.imm) >= functions_.size())
+                    {
+                        WET_FATAL("function '" << fn.name
+                                  << "': call to unknown function id "
+                                  << in.imm);
+                    }
+                    const Function& callee =
+                        functions_[static_cast<size_t>(in.imm)];
+                    if (in.args.size() != callee.numParams)
+                        WET_FATAL("call to '" << callee.name
+                                  << "' passes " << in.args.size()
+                                  << " args, expected "
+                                  << callee.numParams);
+                    for (RegId a : in.args)
+                        checkReg(a, "call arg");
+                }
+            }
+            const Instr& term = blk.terminator();
+            size_t want = 0;
+            switch (term.op) {
+              case Opcode::Br: want = 2; break;
+              case Opcode::Jmp: want = 1; break;
+              default: want = 0; break;
+            }
+            if (blk.succs.size() != want)
+                WET_FATAL("function '" << fn.name << "' block " << b
+                          << ": terminator " << opcodeName(term.op)
+                          << " expects " << want << " successors, has "
+                          << blk.succs.size());
+        }
+    }
+}
+
+FuncId
+Module::functionByName(const std::string& name) const
+{
+    auto it = byName_.find(name);
+    if (it == byName_.end())
+        WET_FATAL("no function named '" << name << "'");
+    return it->second;
+}
+
+bool
+Module::hasFunction(const std::string& name) const
+{
+    return byName_.count(name) != 0;
+}
+
+const Instr&
+Module::instr(StmtId s) const
+{
+    const StmtRef& r = stmtRefs_.at(s);
+    return functions_[r.func].blocks[r.block].instrs[r.index];
+}
+
+FuncId
+Module::entryFunction() const
+{
+    auto it = byName_.find("main");
+    return it == byName_.end() ? 0 : it->second;
+}
+
+std::string
+Module::dump() const
+{
+    std::ostringstream os;
+    for (const auto& fn : functions_) {
+        os << "fn " << fn.name << "(" << fn.numParams << " params, "
+           << fn.numRegs << " regs)\n";
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            const auto& blk = fn.blocks[b];
+            os << "  b" << b << ":";
+            if (!blk.preds.empty()) {
+                os << "  ; preds:";
+                for (BlockId p : blk.preds)
+                    os << " b" << p;
+            }
+            os << "\n";
+            for (const Instr& in : blk.instrs) {
+                os << "    ";
+                if (in.stmt != kNoStmt)
+                    os << "s" << in.stmt << ": ";
+                if (hasDef(in.op) && in.dest != kNoReg)
+                    os << "r" << in.dest << " = ";
+                os << opcodeName(in.op);
+                if (in.op == Opcode::Const) {
+                    os << " " << in.imm;
+                } else if (in.op == Opcode::Call) {
+                    os << " @" << functions_[in.imm].name << "(";
+                    for (size_t a = 0; a < in.args.size(); ++a)
+                        os << (a ? ", " : "") << "r" << in.args[a];
+                    os << ")";
+                } else {
+                    if (in.src0 != kNoReg)
+                        os << " r" << in.src0;
+                    if (in.src1 != kNoReg)
+                        os << ", r" << in.src1;
+                    if (in.op == Opcode::Load || in.op == Opcode::Store)
+                        os << " +" << in.imm;
+                }
+                if (in.op == Opcode::Br)
+                    os << " ? b" << blk.succs[0] << " : b"
+                       << blk.succs[1];
+                else if (in.op == Opcode::Jmp)
+                    os << " b" << blk.succs[0];
+                os << "\n";
+            }
+        }
+    }
+    return os.str();
+}
+
+} // namespace ir
+} // namespace wet

@@ -1,0 +1,111 @@
+#ifndef WET_IR_MODULE_H
+#define WET_IR_MODULE_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/instr.h"
+
+namespace wet {
+namespace ir {
+
+/**
+ * A basic block: a straight-line run of instructions ending in exactly
+ * one terminator, plus its control-flow successors.
+ */
+struct BasicBlock
+{
+    std::vector<Instr> instrs;
+    /** Successor blocks; for Br: [taken, not-taken]; Jmp: [target]. */
+    std::vector<BlockId> succs;
+    /** Predecessors; filled in by Module::finalize(). */
+    std::vector<BlockId> preds;
+
+    const Instr& terminator() const { return instrs.back(); }
+    bool
+    endsInBranch() const
+    {
+        return !instrs.empty() && instrs.back().op == Opcode::Br;
+    }
+};
+
+/**
+ * A function: blocks (entry is block 0), parameter count (parameters
+ * arrive in registers 0..numParams-1), and the virtual register count.
+ */
+struct Function
+{
+    std::string name;
+    FuncId id = 0;
+    uint32_t numParams = 0;
+    uint32_t numRegs = 0;
+    std::vector<BasicBlock> blocks;
+
+    const BasicBlock& block(BlockId b) const { return blocks[b]; }
+    BlockId numBlocks() const
+    { return static_cast<BlockId>(blocks.size()); }
+};
+
+/**
+ * A whole program: functions plus the flat data memory size. After
+ * construction, finalize() must be called once; it assigns dense
+ * module-wide statement ids, computes predecessor lists, and verifies
+ * structural well-formedness.
+ */
+class Module
+{
+  public:
+    /** Append a function; returns its id. Must precede finalize(). */
+    FuncId addFunction(Function fn);
+
+    /**
+     * Assign statement ids, build predecessor lists, and verify the
+     * module. Throws WetError on malformed input. Idempotent.
+     */
+    void finalize();
+
+    const Function& function(FuncId f) const { return functions_.at(f); }
+    Function& function(FuncId f) { return functions_.at(f); }
+    size_t numFunctions() const { return functions_.size(); }
+
+    /** Find a function id by name; throws WetError if absent. */
+    FuncId functionByName(const std::string& name) const;
+    bool hasFunction(const std::string& name) const;
+
+    /** Total statements in the module (valid after finalize). */
+    uint32_t numStmts() const { return numStmts_; }
+
+    /** Resolve a statement id to its location. */
+    const StmtRef& stmtRef(StmtId s) const { return stmtRefs_.at(s); }
+
+    /** The instruction for a statement id. */
+    const Instr& instr(StmtId s) const;
+
+    /** Entry function id ("main" if present, else function 0). */
+    FuncId entryFunction() const;
+
+    /** Size of the flat data memory, in 64-bit words. */
+    uint64_t memWords() const { return memWords_; }
+    void setMemWords(uint64_t w) { memWords_ = w; }
+
+    bool finalized() const { return finalized_; }
+
+    /** Render the whole module as text (for debugging and tests). */
+    std::string dump() const;
+
+  private:
+    void verify() const;
+
+    std::vector<Function> functions_;
+    std::unordered_map<std::string, FuncId> byName_;
+    std::vector<StmtRef> stmtRefs_;
+    uint32_t numStmts_ = 0;
+    uint64_t memWords_ = 1 << 20;
+    bool finalized_ = false;
+};
+
+} // namespace ir
+} // namespace wet
+
+#endif // WET_IR_MODULE_H

@@ -1,0 +1,156 @@
+#include "opcode.h"
+
+#include "support/error.h"
+
+namespace wet {
+namespace ir {
+
+bool
+hasDef(Opcode op)
+{
+    switch (op) {
+      case Opcode::Store:
+      case Opcode::Out:
+      case Opcode::Br:
+      case Opcode::Jmp:
+      case Opcode::Ret:
+      case Opcode::Halt:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+isTerminator(Opcode op)
+{
+    switch (op) {
+      case Opcode::Br:
+      case Opcode::Jmp:
+      case Opcode::Ret:
+      case Opcode::Halt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isBinaryAlu(Opcode op)
+{
+    return static_cast<int>(op) >= static_cast<int>(Opcode::Add) &&
+           static_cast<int>(op) <= static_cast<int>(Opcode::CmpGe);
+}
+
+int
+numUses(Opcode op)
+{
+    if (isBinaryAlu(op))
+        return 2;
+    switch (op) {
+      case Opcode::Neg:
+      case Opcode::Not:
+      case Opcode::Mov:
+      case Opcode::Load:
+      case Opcode::Out:
+      case Opcode::Br:
+        return 1;
+      case Opcode::Store:
+        return 2; // address, value
+      case Opcode::Const:
+      case Opcode::In:
+      case Opcode::Jmp:
+      case Opcode::Halt:
+      case Opcode::Call: // args carried separately
+        return 0;
+      case Opcode::Ret:
+        return 0; // optional value handled by caller via kNoReg check
+      default:
+        return 0;
+    }
+}
+
+const char*
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::CmpEq: return "cmpeq";
+      case Opcode::CmpNe: return "cmpne";
+      case Opcode::CmpLt: return "cmplt";
+      case Opcode::CmpLe: return "cmple";
+      case Opcode::CmpGt: return "cmpgt";
+      case Opcode::CmpGe: return "cmpge";
+      case Opcode::Neg: return "neg";
+      case Opcode::Not: return "not";
+      case Opcode::Mov: return "mov";
+      case Opcode::Const: return "const";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::In: return "in";
+      case Opcode::Out: return "out";
+      case Opcode::Call: return "call";
+      case Opcode::Br: return "br";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Ret: return "ret";
+      case Opcode::Halt: return "halt";
+    }
+    return "?";
+}
+
+int64_t
+evalBinary(Opcode op, int64_t a, int64_t b)
+{
+    auto u = [](int64_t x) { return static_cast<uint64_t>(x); };
+    switch (op) {
+      case Opcode::Add: return static_cast<int64_t>(u(a) + u(b));
+      case Opcode::Sub: return static_cast<int64_t>(u(a) - u(b));
+      case Opcode::Mul: return static_cast<int64_t>(u(a) * u(b));
+      case Opcode::Div: return b == 0 ? 0 : (a == INT64_MIN && b == -1
+                                             ? a : a / b);
+      case Opcode::Rem: return b == 0 ? 0 : (a == INT64_MIN && b == -1
+                                             ? 0 : a % b);
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Shl: return static_cast<int64_t>(u(a) << (u(b) & 63));
+      case Opcode::Shr: return static_cast<int64_t>(u(a) >> (u(b) & 63));
+      case Opcode::CmpEq: return a == b;
+      case Opcode::CmpNe: return a != b;
+      case Opcode::CmpLt: return a < b;
+      case Opcode::CmpLe: return a <= b;
+      case Opcode::CmpGt: return a > b;
+      case Opcode::CmpGe: return a >= b;
+      default:
+        WET_ASSERT(false, "evalBinary on non-binary opcode "
+                              << opcodeName(op));
+    }
+    return 0;
+}
+
+int64_t
+evalUnary(Opcode op, int64_t a)
+{
+    switch (op) {
+      case Opcode::Neg:
+        return static_cast<int64_t>(-static_cast<uint64_t>(a));
+      case Opcode::Not: return ~a;
+      case Opcode::Mov: return a;
+      default:
+        WET_ASSERT(false, "evalUnary on non-unary opcode "
+                              << opcodeName(op));
+    }
+    return 0;
+}
+
+} // namespace ir
+} // namespace wet

@@ -1,0 +1,76 @@
+#ifndef WET_IR_OPCODE_H
+#define WET_IR_OPCODE_H
+
+#include <cstdint>
+
+namespace wet {
+namespace ir {
+
+/**
+ * Opcodes of the intermediate representation.
+ *
+ * The IR is a three-address code over per-function virtual registers and
+ * a flat word-addressed memory, standing in for Trimaran's intermediate
+ * statements in the paper. Opcodes with a "def port" (they produce a
+ * register result) get value labels in the WET; Store/Out/branches do
+ * not, matching the paper's accounting.
+ */
+enum class Opcode : uint8_t {
+    // Binary arithmetic/logic: dest = src0 op src1.
+    Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+    // Comparisons: dest = (src0 op src1) ? 1 : 0.
+    CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+    // Unary: dest = op src0.
+    Neg, Not, Mov,
+    // dest = imm.
+    Const,
+    // dest = mem[src0 + imm].
+    Load,
+    // mem[src0 + imm] = src1.
+    Store,
+    // dest = next external input value.
+    In,
+    // emit src0 to the program's output stream.
+    Out,
+    // dest = call imm(args...); non-terminator.
+    Call,
+    // Terminators.
+    Br,   // if (src0 != 0) goto succ[0] else goto succ[1]
+    Jmp,  // goto succ[0]
+    Ret,  // return src0 (or nothing when src0 == kNoReg)
+    Halt, // stop the program
+};
+
+/** Number of opcodes (for tables indexed by opcode). */
+constexpr int kNumOpcodes = static_cast<int>(Opcode::Halt) + 1;
+
+/** True if the opcode produces a register result (has a def port). */
+bool hasDef(Opcode op);
+
+/** True if the opcode ends a basic block. */
+bool isTerminator(Opcode op);
+
+/** Number of register operands read (Call excluded: it reads args). */
+int numUses(Opcode op);
+
+/** True for binary ALU / comparison opcodes. */
+bool isBinaryAlu(Opcode op);
+
+/** Mnemonic, e.g. "add". */
+const char* opcodeName(Opcode op);
+
+/**
+ * Evaluate a binary ALU / comparison opcode on two values. Division and
+ * remainder by zero yield 0 (defined, deterministic semantics — the
+ * value grouping compressor relies on statements being pure functions of
+ * their operands). Shift counts are taken modulo 64.
+ */
+int64_t evalBinary(Opcode op, int64_t a, int64_t b);
+
+/** Evaluate a unary opcode (Neg, Not, Mov). */
+int64_t evalUnary(Opcode op, int64_t a);
+
+} // namespace ir
+} // namespace wet
+
+#endif // WET_IR_OPCODE_H

@@ -1,0 +1,98 @@
+#ifndef WET_LANG_AST_H
+#define WET_LANG_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace wet {
+namespace lang {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** Expression node kinds. */
+enum class ExprKind : uint8_t {
+    IntLit,     //!< integer literal (value)
+    VarRef,     //!< variable or top-level const reference (name)
+    Unary,      //!< op applied to lhs (-, !, ~)
+    Binary,     //!< lhs op rhs (arithmetic, comparison, bitwise)
+    LogicalAnd, //!< short-circuit &&
+    LogicalOr,  //!< short-circuit ||
+    Call,       //!< name(args...)
+    Input,      //!< in()
+    MemLoad,    //!< mem[lhs]
+};
+
+/** One expression AST node (variant-style; fields used per kind). */
+struct Expr
+{
+    ExprKind kind = ExprKind::IntLit;
+    int line = 0;
+    int col = 0;
+    int64_t intValue = 0;
+    std::string name;
+    TokKind op = TokKind::End;
+    ExprPtr lhs;
+    ExprPtr rhs;
+    std::vector<ExprPtr> args;
+};
+
+/** Statement node kinds. */
+enum class StmtKind : uint8_t {
+    VarDecl,  //!< var name = e1;
+    Assign,   //!< name = e1;
+    MemStore, //!< mem[e1] = e2;
+    If,       //!< if (e1) body else elseBody
+    While,    //!< while (e1) body
+    For,      //!< for (sub1; e1; sub2) body
+    Break,
+    Continue,
+    Return,   //!< return e1?;
+    Out,      //!< out(e1);
+    Halt,
+    ExprStmt, //!< e1; (typically a call)
+    Block,    //!< { body }
+};
+
+/** One statement AST node. */
+struct Stmt
+{
+    StmtKind kind = StmtKind::Block;
+    int line = 0;
+    int col = 0;
+    std::string name;
+    ExprPtr e1;
+    ExprPtr e2;
+    StmtPtr sub1; //!< for-init
+    StmtPtr sub2; //!< for-step
+    std::vector<StmtPtr> body;
+    std::vector<StmtPtr> elseBody;
+};
+
+/** A parsed function definition. */
+struct FuncDecl
+{
+    std::string name;
+    std::vector<std::string> params;
+    std::vector<StmtPtr> body;
+    int line = 0;
+};
+
+/** A whole parsed program. */
+struct Program
+{
+    std::unordered_map<std::string, int64_t> consts;
+    std::vector<FuncDecl> functions;
+};
+
+} // namespace lang
+} // namespace wet
+
+#endif // WET_LANG_AST_H

@@ -1,0 +1,379 @@
+#include "codegen.h"
+
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "support/error.h"
+
+namespace wet {
+namespace lang {
+
+using ir::Opcode;
+using ir::RegId;
+
+namespace {
+
+/** Map a binary operator token to the IR opcode implementing it. */
+Opcode
+binaryOpcode(TokKind k)
+{
+    switch (k) {
+      case TokKind::Plus: return Opcode::Add;
+      case TokKind::Minus: return Opcode::Sub;
+      case TokKind::Star: return Opcode::Mul;
+      case TokKind::Slash: return Opcode::Div;
+      case TokKind::Percent: return Opcode::Rem;
+      case TokKind::Amp: return Opcode::And;
+      case TokKind::Pipe: return Opcode::Or;
+      case TokKind::Caret: return Opcode::Xor;
+      case TokKind::Shl: return Opcode::Shl;
+      case TokKind::Shr: return Opcode::Shr;
+      case TokKind::EqEq: return Opcode::CmpEq;
+      case TokKind::Ne: return Opcode::CmpNe;
+      case TokKind::Lt: return Opcode::CmpLt;
+      case TokKind::Le: return Opcode::CmpLe;
+      case TokKind::Gt: return Opcode::CmpGt;
+      case TokKind::Ge: return Opcode::CmpGe;
+      default:
+        WET_ASSERT(false, "no opcode for token " << tokKindName(k));
+    }
+    return Opcode::Add;
+}
+
+} // namespace
+
+void
+CodeGen::error(int line, int col, const std::string& msg) const
+{
+    WET_FATAL("semantic error at " << line << ":" << col << ": " << msg);
+}
+
+ir::Module
+CodeGen::compile(const Program& prog, uint64_t mem_words)
+{
+    prog_ = &prog;
+    mb_.setMemWords(mem_words);
+    arity_.clear();
+    for (const auto& fn : prog.functions) {
+        if (arity_.count(fn.name))
+            WET_FATAL("duplicate function '" << fn.name << "'");
+        if (prog.consts.count(fn.name))
+            WET_FATAL("'" << fn.name << "' is both const and function");
+        arity_[fn.name] = fn.params.size();
+    }
+    if (!arity_.count("main"))
+        WET_FATAL("program has no 'main' function");
+    for (const auto& fn : prog.functions)
+        genFunction(fn);
+    return mb_.build();
+}
+
+void
+CodeGen::genFunction(const FuncDecl& fn)
+{
+    fb_ = &mb_.beginFunction(fn.name,
+                             static_cast<uint32_t>(fn.params.size()));
+    scopes_.clear();
+    scopes_.emplace_back();
+    for (uint32_t i = 0; i < fn.params.size(); ++i) {
+        if (scopes_.back().count(fn.params[i]))
+            WET_FATAL("function '" << fn.name
+                      << "': duplicate parameter '" << fn.params[i]
+                      << "'");
+        scopes_.back()[fn.params[i]] = fb_->param(i);
+    }
+    loops_.clear();
+    genStmts(fn.body);
+    fb_->sealWithRet();
+    mb_.endFunction();
+    fb_ = nullptr;
+}
+
+void
+CodeGen::genStmts(const std::vector<StmtPtr>& stmts)
+{
+    for (const auto& s : stmts)
+        genStmt(*s);
+}
+
+RegId
+CodeGen::lookupVar(const Expr& at) const
+{
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+        auto f = it->find(at.name);
+        if (f != it->end())
+            return f->second;
+    }
+    return ir::kNoReg;
+}
+
+void
+CodeGen::declareVar(const Stmt& at, RegId reg)
+{
+    if (scopes_.back().count(at.name))
+        error(at.line, at.col,
+              "redeclaration of '" + at.name + "' in the same scope");
+    scopes_.back()[at.name] = reg;
+}
+
+void
+CodeGen::genStmt(const Stmt& s)
+{
+    // Code after return/break/continue is unreachable; give it a fresh
+    // (never-jumped-to) block so emission stays well formed.
+    if (fb_->terminated())
+        fb_->switchTo(fb_->newBlock());
+
+    switch (s.kind) {
+      case StmtKind::Block: {
+        scopes_.emplace_back();
+        genStmts(s.body);
+        scopes_.pop_back();
+        break;
+      }
+      case StmtKind::VarDecl: {
+        RegId value = genExpr(*s.e1);
+        RegId reg = fb_->newReg();
+        fb_->emitMovInto(reg, value);
+        declareVar(s, reg);
+        break;
+      }
+      case StmtKind::Assign: {
+        RegId value = genExpr(*s.e1);
+        Expr ref;
+        ref.name = s.name;
+        RegId reg = lookupVar(ref);
+        if (reg == ir::kNoReg)
+            error(s.line, s.col,
+                  "assignment to undeclared variable '" + s.name + "'");
+        fb_->emitMovInto(reg, value);
+        break;
+      }
+      case StmtKind::MemStore: {
+        RegId addr = genExpr(*s.e1);
+        RegId value = genExpr(*s.e2);
+        fb_->emitStore(addr, value);
+        break;
+      }
+      case StmtKind::If: {
+        RegId cond = genExpr(*s.e1);
+        ir::BlockId thenB = fb_->newBlock();
+        ir::BlockId elseB =
+            s.elseBody.empty() ? ir::kNoBlock : fb_->newBlock();
+        ir::BlockId endB = fb_->newBlock();
+        fb_->emitBr(cond, thenB,
+                    s.elseBody.empty() ? endB : elseB);
+        fb_->switchTo(thenB);
+        scopes_.emplace_back();
+        genStmts(s.body);
+        scopes_.pop_back();
+        if (!fb_->terminated())
+            fb_->emitJmp(endB);
+        if (!s.elseBody.empty()) {
+            fb_->switchTo(elseB);
+            scopes_.emplace_back();
+            genStmts(s.elseBody);
+            scopes_.pop_back();
+            if (!fb_->terminated())
+                fb_->emitJmp(endB);
+        }
+        fb_->switchTo(endB);
+        break;
+      }
+      case StmtKind::While: {
+        ir::BlockId headB = fb_->newBlock();
+        ir::BlockId bodyB = fb_->newBlock();
+        ir::BlockId endB = fb_->newBlock();
+        fb_->emitJmp(headB);
+        fb_->switchTo(headB);
+        RegId cond = genExpr(*s.e1);
+        fb_->emitBr(cond, bodyB, endB);
+        fb_->switchTo(bodyB);
+        loops_.push_back(LoopCtx{headB, endB});
+        scopes_.emplace_back();
+        genStmts(s.body);
+        scopes_.pop_back();
+        loops_.pop_back();
+        if (!fb_->terminated())
+            fb_->emitJmp(headB);
+        fb_->switchTo(endB);
+        break;
+      }
+      case StmtKind::For: {
+        scopes_.emplace_back(); // scope for the init clause
+        if (s.sub1)
+            genStmt(*s.sub1);
+        ir::BlockId headB = fb_->newBlock();
+        ir::BlockId bodyB = fb_->newBlock();
+        ir::BlockId stepB = fb_->newBlock();
+        ir::BlockId endB = fb_->newBlock();
+        fb_->emitJmp(headB);
+        fb_->switchTo(headB);
+        if (s.e1) {
+            RegId cond = genExpr(*s.e1);
+            fb_->emitBr(cond, bodyB, endB);
+        } else {
+            fb_->emitJmp(bodyB);
+        }
+        fb_->switchTo(bodyB);
+        loops_.push_back(LoopCtx{stepB, endB});
+        scopes_.emplace_back();
+        genStmts(s.body);
+        scopes_.pop_back();
+        loops_.pop_back();
+        if (!fb_->terminated())
+            fb_->emitJmp(stepB);
+        fb_->switchTo(stepB);
+        if (s.sub2)
+            genStmt(*s.sub2);
+        fb_->emitJmp(headB);
+        fb_->switchTo(endB);
+        scopes_.pop_back();
+        break;
+      }
+      case StmtKind::Break: {
+        if (loops_.empty())
+            error(s.line, s.col, "'break' outside a loop");
+        fb_->emitJmp(loops_.back().breakTarget);
+        break;
+      }
+      case StmtKind::Continue: {
+        if (loops_.empty())
+            error(s.line, s.col, "'continue' outside a loop");
+        fb_->emitJmp(loops_.back().continueTarget);
+        break;
+      }
+      case StmtKind::Return: {
+        if (s.e1) {
+            RegId v = genExpr(*s.e1);
+            fb_->emitRet(v);
+        } else {
+            fb_->emitRet();
+        }
+        break;
+      }
+      case StmtKind::Out: {
+        RegId v = genExpr(*s.e1);
+        fb_->emitOut(v);
+        break;
+      }
+      case StmtKind::Halt: {
+        fb_->emitHalt();
+        break;
+      }
+      case StmtKind::ExprStmt: {
+        genExpr(*s.e1);
+        break;
+      }
+    }
+}
+
+RegId
+CodeGen::genExpr(const Expr& e)
+{
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        return fb_->emitConst(e.intValue);
+      case ExprKind::VarRef: {
+        RegId reg = lookupVar(e);
+        if (reg != ir::kNoReg)
+            return reg;
+        auto c = prog_->consts.find(e.name);
+        if (c != prog_->consts.end())
+            return fb_->emitConst(c->second);
+        error(e.line, e.col, "unknown identifier '" + e.name + "'");
+        break; // unreachable: error() does not return
+      }
+      case ExprKind::Unary: {
+        RegId a = genExpr(*e.lhs);
+        switch (e.op) {
+          case TokKind::Minus:
+            return fb_->emitUnary(Opcode::Neg, a);
+          case TokKind::Tilde:
+            return fb_->emitUnary(Opcode::Not, a);
+          case TokKind::Bang: {
+            RegId zero = fb_->emitConst(0);
+            return fb_->emitBinary(Opcode::CmpEq, a, zero);
+          }
+          default:
+            WET_ASSERT(false, "bad unary operator");
+        }
+        return ir::kNoReg; // unreachable
+      }
+      case ExprKind::Binary: {
+        RegId a = genExpr(*e.lhs);
+        RegId b = genExpr(*e.rhs);
+        return fb_->emitBinary(binaryOpcode(e.op), a, b);
+      }
+      case ExprKind::LogicalAnd:
+        return genLogical(e, true);
+      case ExprKind::LogicalOr:
+        return genLogical(e, false);
+      case ExprKind::Call: {
+        auto it = arity_.find(e.name);
+        if (it == arity_.end())
+            error(e.line, e.col,
+                  "call to unknown function '" + e.name + "'");
+        if (it->second != e.args.size())
+            error(e.line, e.col,
+                  "'" + e.name + "' expects " +
+                      std::to_string(it->second) + " arguments, got " +
+                      std::to_string(e.args.size()));
+        std::vector<RegId> args;
+        args.reserve(e.args.size());
+        for (const auto& a : e.args)
+            args.push_back(genExpr(*a));
+        return fb_->emitCall(e.name, std::move(args));
+      }
+      case ExprKind::Input:
+        return fb_->emitIn();
+      case ExprKind::MemLoad: {
+        RegId addr = genExpr(*e.lhs);
+        return fb_->emitLoad(addr);
+      }
+    }
+    WET_ASSERT(false, "unhandled expression kind");
+    return ir::kNoReg;
+}
+
+RegId
+CodeGen::genLogical(const Expr& e, bool is_and)
+{
+    // result = lhs && rhs  (or ||), short-circuit, normalized to 0/1.
+    RegId result = fb_->newReg();
+    ir::BlockId rhsB = fb_->newBlock();
+    ir::BlockId shortB = fb_->newBlock();
+    ir::BlockId endB = fb_->newBlock();
+
+    RegId a = genExpr(*e.lhs);
+    if (is_and)
+        fb_->emitBr(a, rhsB, shortB);
+    else
+        fb_->emitBr(a, shortB, rhsB);
+
+    fb_->switchTo(rhsB);
+    RegId b = genExpr(*e.rhs);
+    RegId zero = fb_->emitConst(0);
+    RegId norm = fb_->emitBinary(Opcode::CmpNe, b, zero);
+    fb_->emitMovInto(result, norm);
+    fb_->emitJmp(endB);
+
+    fb_->switchTo(shortB);
+    fb_->emitConstInto(result, is_and ? 0 : 1);
+    fb_->emitJmp(endB);
+
+    fb_->switchTo(endB);
+    return result;
+}
+
+ir::Module
+compileString(const std::string& source, uint64_t mem_words)
+{
+    Lexer lexer(source);
+    Parser parser(lexer.lexAll());
+    Program prog = parser.parseProgram();
+    CodeGen cg;
+    return cg.compile(prog, mem_words);
+}
+
+} // namespace lang
+} // namespace wet

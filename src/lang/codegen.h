@@ -1,0 +1,72 @@
+#ifndef WET_LANG_CODEGEN_H
+#define WET_LANG_CODEGEN_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/builder.h"
+#include "lang/ast.h"
+#include "support/error.h"
+
+namespace wet {
+namespace lang {
+
+/**
+ * Translates a parsed wetlang Program into an ir::Module.
+ *
+ * Variables live in per-function virtual registers; `mem[e]` becomes
+ * Load/Store against the module's flat memory; `&&`/`||` short-circuit
+ * via control flow (producing realistic branchy CFGs for the profiler).
+ * Semantic errors (unknown identifier, arity mismatch, break outside a
+ * loop, missing `main`) are reported as WetError.
+ */
+class CodeGen
+{
+  public:
+    /**
+     * Compile @p prog into a finalized module.
+     * @param mem_words size of the module's flat data memory.
+     */
+    ir::Module compile(const Program& prog, uint64_t mem_words);
+
+  private:
+    struct LoopCtx
+    {
+        ir::BlockId continueTarget;
+        ir::BlockId breakTarget;
+    };
+
+    void genFunction(const FuncDecl& fn);
+    void genStmts(const std::vector<StmtPtr>& stmts);
+    void genStmt(const Stmt& s);
+    ir::RegId genExpr(const Expr& e);
+    ir::RegId genLogical(const Expr& e, bool is_and);
+
+    ir::RegId lookupVar(const Expr& at) const;
+    void declareVar(const Stmt& at, ir::RegId reg);
+
+    [[noreturn]] void error(int line, int col,
+                            const std::string& msg) const;
+
+    const Program* prog_ = nullptr;
+    ir::ModuleBuilder mb_;
+    ir::FunctionBuilder* fb_ = nullptr;
+    std::vector<std::unordered_map<std::string, ir::RegId>> scopes_;
+    std::vector<LoopCtx> loops_;
+    std::unordered_map<std::string, size_t> arity_;
+};
+
+/**
+ * Convenience entry point: lex, parse, and compile wetlang source.
+ * @param source program text
+ * @param mem_words flat data memory size in 64-bit words
+ */
+ir::Module compileString(const std::string& source,
+                         uint64_t mem_words = 1 << 20);
+
+} // namespace lang
+} // namespace wet
+
+#endif // WET_LANG_CODEGEN_H

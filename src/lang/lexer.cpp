@@ -1,0 +1,259 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/error.h"
+
+namespace wet {
+namespace lang {
+
+const char*
+tokKindName(TokKind k)
+{
+    switch (k) {
+      case TokKind::End: return "end of input";
+      case TokKind::Ident: return "identifier";
+      case TokKind::Int: return "integer";
+      case TokKind::KwFn: return "'fn'";
+      case TokKind::KwVar: return "'var'";
+      case TokKind::KwConst: return "'const'";
+      case TokKind::KwIf: return "'if'";
+      case TokKind::KwElse: return "'else'";
+      case TokKind::KwWhile: return "'while'";
+      case TokKind::KwFor: return "'for'";
+      case TokKind::KwBreak: return "'break'";
+      case TokKind::KwContinue: return "'continue'";
+      case TokKind::KwReturn: return "'return'";
+      case TokKind::KwOut: return "'out'";
+      case TokKind::KwIn: return "'in'";
+      case TokKind::KwMem: return "'mem'";
+      case TokKind::KwHalt: return "'halt'";
+      case TokKind::LParen: return "'('";
+      case TokKind::RParen: return "')'";
+      case TokKind::LBrace: return "'{'";
+      case TokKind::RBrace: return "'}'";
+      case TokKind::LBracket: return "'['";
+      case TokKind::RBracket: return "']'";
+      case TokKind::Comma: return "','";
+      case TokKind::Semi: return "';'";
+      case TokKind::Assign: return "'='";
+      case TokKind::Plus: return "'+'";
+      case TokKind::Minus: return "'-'";
+      case TokKind::Star: return "'*'";
+      case TokKind::Slash: return "'/'";
+      case TokKind::Percent: return "'%'";
+      case TokKind::Amp: return "'&'";
+      case TokKind::Pipe: return "'|'";
+      case TokKind::Caret: return "'^'";
+      case TokKind::Tilde: return "'~'";
+      case TokKind::Bang: return "'!'";
+      case TokKind::Shl: return "'<<'";
+      case TokKind::Shr: return "'>>'";
+      case TokKind::Lt: return "'<'";
+      case TokKind::Le: return "'<='";
+      case TokKind::Gt: return "'>'";
+      case TokKind::Ge: return "'>='";
+      case TokKind::EqEq: return "'=='";
+      case TokKind::Ne: return "'!='";
+      case TokKind::AndAnd: return "'&&'";
+      case TokKind::OrOr: return "'||'";
+    }
+    return "?";
+}
+
+Lexer::Lexer(std::string source) : src_(std::move(source)) {}
+
+char
+Lexer::peek(int ahead) const
+{
+    size_t p = pos_ + static_cast<size_t>(ahead);
+    return p < src_.size() ? src_[p] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    char c = peek();
+    if (c == '\0')
+        return c;
+    ++pos_;
+    if (c == '\n') {
+        ++line_;
+        col_ = 1;
+    } else {
+        ++col_;
+    }
+    return c;
+}
+
+bool
+Lexer::match(char c)
+{
+    if (peek() == c) {
+        advance();
+        return true;
+    }
+    return false;
+}
+
+void
+Lexer::error(const std::string& msg) const
+{
+    WET_FATAL("lex error at " << line_ << ":" << col_ << ": " << msg);
+}
+
+void
+Lexer::skipWhitespaceAndComments()
+{
+    for (;;) {
+        char c = peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (peek() != '\n' && peek() != '\0')
+                advance();
+        } else if (c == '/' && peek(1) == '*') {
+            advance();
+            advance();
+            while (!(peek() == '*' && peek(1) == '/')) {
+                if (peek() == '\0')
+                    error("unterminated block comment");
+                advance();
+            }
+            advance();
+            advance();
+        } else {
+            return;
+        }
+    }
+}
+
+std::vector<Token>
+Lexer::lexAll()
+{
+    std::vector<Token> toks;
+    for (;;) {
+        Token t = next();
+        bool end = (t.kind == TokKind::End);
+        toks.push_back(std::move(t));
+        if (end)
+            return toks;
+    }
+}
+
+Token
+Lexer::next()
+{
+    static const std::unordered_map<std::string, TokKind> keywords = {
+        {"fn", TokKind::KwFn},       {"var", TokKind::KwVar},
+        {"const", TokKind::KwConst}, {"if", TokKind::KwIf},
+        {"else", TokKind::KwElse},   {"while", TokKind::KwWhile},
+        {"for", TokKind::KwFor},     {"break", TokKind::KwBreak},
+        {"continue", TokKind::KwContinue},
+        {"return", TokKind::KwReturn},
+        {"out", TokKind::KwOut},     {"in", TokKind::KwIn},
+        {"mem", TokKind::KwMem},     {"halt", TokKind::KwHalt},
+    };
+
+    skipWhitespaceAndComments();
+    Token t;
+    t.line = line_;
+    t.col = col_;
+    char c = peek();
+    if (c == '\0') {
+        t.kind = TokKind::End;
+        return t;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string ident;
+        while (std::isalnum(static_cast<unsigned char>(peek())) ||
+               peek() == '_')
+        {
+            ident.push_back(advance());
+        }
+        auto it = keywords.find(ident);
+        if (it != keywords.end()) {
+            t.kind = it->second;
+        } else {
+            t.kind = TokKind::Ident;
+            t.text = std::move(ident);
+        }
+        return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+        uint64_t v = 0;
+        if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+            advance();
+            advance();
+            if (!std::isxdigit(static_cast<unsigned char>(peek())))
+                error("expected hex digits after 0x");
+            while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+                char d = advance();
+                uint64_t digit =
+                    std::isdigit(static_cast<unsigned char>(d))
+                        ? static_cast<uint64_t>(d - '0')
+                        : static_cast<uint64_t>(
+                              std::tolower(d) - 'a' + 10);
+                v = v * 16 + digit;
+            }
+        } else {
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                v = v * 10 + static_cast<uint64_t>(advance() - '0');
+        }
+        t.kind = TokKind::Int;
+        t.value = static_cast<int64_t>(v);
+        return t;
+    }
+    advance();
+    switch (c) {
+      case '(': t.kind = TokKind::LParen; return t;
+      case ')': t.kind = TokKind::RParen; return t;
+      case '{': t.kind = TokKind::LBrace; return t;
+      case '}': t.kind = TokKind::RBrace; return t;
+      case '[': t.kind = TokKind::LBracket; return t;
+      case ']': t.kind = TokKind::RBracket; return t;
+      case ',': t.kind = TokKind::Comma; return t;
+      case ';': t.kind = TokKind::Semi; return t;
+      case '+': t.kind = TokKind::Plus; return t;
+      case '-': t.kind = TokKind::Minus; return t;
+      case '*': t.kind = TokKind::Star; return t;
+      case '/': t.kind = TokKind::Slash; return t;
+      case '%': t.kind = TokKind::Percent; return t;
+      case '^': t.kind = TokKind::Caret; return t;
+      case '~': t.kind = TokKind::Tilde; return t;
+      case '&':
+        t.kind = match('&') ? TokKind::AndAnd : TokKind::Amp;
+        return t;
+      case '|':
+        t.kind = match('|') ? TokKind::OrOr : TokKind::Pipe;
+        return t;
+      case '!':
+        t.kind = match('=') ? TokKind::Ne : TokKind::Bang;
+        return t;
+      case '=':
+        t.kind = match('=') ? TokKind::EqEq : TokKind::Assign;
+        return t;
+      case '<':
+        if (match('<'))
+            t.kind = TokKind::Shl;
+        else if (match('='))
+            t.kind = TokKind::Le;
+        else
+            t.kind = TokKind::Lt;
+        return t;
+      case '>':
+        if (match('>'))
+            t.kind = TokKind::Shr;
+        else if (match('='))
+            t.kind = TokKind::Ge;
+        else
+            t.kind = TokKind::Gt;
+        return t;
+      default:
+        error(std::string("unexpected character '") + c + "'");
+    }
+}
+
+} // namespace lang
+} // namespace wet

@@ -1,0 +1,42 @@
+#ifndef WET_LANG_LEXER_H
+#define WET_LANG_LEXER_H
+
+#include <string>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace wet {
+namespace lang {
+
+/**
+ * Lexer for wetlang. Supports decimal and 0x hex integer literals,
+ * identifiers, `//` line comments, and `/ * ... * /` block comments.
+ * Throws WetError with line/column info on invalid input.
+ */
+class Lexer
+{
+  public:
+    explicit Lexer(std::string source);
+
+    /** Lex the entire input; the last token is always TokKind::End. */
+    std::vector<Token> lexAll();
+
+  private:
+    Token next();
+    char peek(int ahead = 0) const;
+    char advance();
+    bool match(char c);
+    void skipWhitespaceAndComments();
+    [[noreturn]] void error(const std::string& msg) const;
+
+    std::string src_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+};
+
+} // namespace lang
+} // namespace wet
+
+#endif // WET_LANG_LEXER_H

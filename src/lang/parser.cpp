@@ -1,0 +1,402 @@
+#include "parser.h"
+
+#include "support/error.h"
+
+namespace wet {
+namespace lang {
+
+namespace {
+
+/** Binary operator precedence; higher binds tighter. 0 = not binary. */
+int
+binaryPrec(TokKind k)
+{
+    switch (k) {
+      case TokKind::Star:
+      case TokKind::Slash:
+      case TokKind::Percent: return 10;
+      case TokKind::Plus:
+      case TokKind::Minus: return 9;
+      case TokKind::Shl:
+      case TokKind::Shr: return 8;
+      case TokKind::Lt:
+      case TokKind::Le:
+      case TokKind::Gt:
+      case TokKind::Ge: return 7;
+      case TokKind::EqEq:
+      case TokKind::Ne: return 6;
+      case TokKind::Amp: return 5;
+      case TokKind::Caret: return 4;
+      case TokKind::Pipe: return 3;
+      case TokKind::AndAnd: return 2;
+      case TokKind::OrOr: return 1;
+      default: return 0;
+    }
+}
+
+ExprPtr
+makeExpr(ExprKind kind, const Token& at)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = at.line;
+    e->col = at.col;
+    return e;
+}
+
+StmtPtr
+makeStmt(StmtKind kind, const Token& at)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->line = at.line;
+    s->col = at.col;
+    return s;
+}
+
+} // namespace
+
+Parser::Parser(std::vector<Token> tokens) : toks_(std::move(tokens))
+{
+    WET_ASSERT(!toks_.empty() && toks_.back().kind == TokKind::End,
+               "token stream must end with End");
+}
+
+const Token&
+Parser::peek(int ahead) const
+{
+    size_t p = pos_ + static_cast<size_t>(ahead);
+    return p < toks_.size() ? toks_[p] : toks_.back();
+}
+
+const Token&
+Parser::advance()
+{
+    const Token& t = peek();
+    if (pos_ + 1 < toks_.size())
+        ++pos_;
+    return t;
+}
+
+bool
+Parser::match(TokKind k)
+{
+    if (check(k)) {
+        advance();
+        return true;
+    }
+    return false;
+}
+
+const Token&
+Parser::expect(TokKind k, const char* context)
+{
+    if (!check(k)) {
+        error(peek(), std::string("expected ") + tokKindName(k) +
+                          " in " + context + ", found " +
+                          tokKindName(peek().kind));
+    }
+    return advance();
+}
+
+void
+Parser::error(const Token& at, const std::string& msg) const
+{
+    WET_FATAL("parse error at " << at.line << ":" << at.col << ": "
+                                << msg);
+}
+
+Program
+Parser::parseProgram()
+{
+    Program prog;
+    while (!check(TokKind::End)) {
+        if (match(TokKind::KwConst)) {
+            const Token& name = expect(TokKind::Ident, "const");
+            expect(TokKind::Assign, "const");
+            bool neg = match(TokKind::Minus);
+            const Token& val = expect(TokKind::Int, "const");
+            expect(TokKind::Semi, "const");
+            if (prog.consts.count(name.text))
+                error(name, "duplicate const '" + name.text + "'");
+            prog.consts[name.text] = neg ? -val.value : val.value;
+        } else if (check(TokKind::KwFn)) {
+            prog.functions.push_back(parseFunction());
+        } else {
+            error(peek(), "expected 'fn' or 'const' at top level");
+        }
+    }
+    return prog;
+}
+
+FuncDecl
+Parser::parseFunction()
+{
+    FuncDecl fn;
+    const Token& kw = expect(TokKind::KwFn, "function");
+    fn.line = kw.line;
+    fn.name = expect(TokKind::Ident, "function name").text;
+    expect(TokKind::LParen, "function parameters");
+    if (!check(TokKind::RParen)) {
+        for (;;) {
+            fn.params.push_back(
+                expect(TokKind::Ident, "parameter").text);
+            if (!match(TokKind::Comma))
+                break;
+        }
+    }
+    expect(TokKind::RParen, "function parameters");
+    fn.body = parseBlock();
+    return fn;
+}
+
+std::vector<StmtPtr>
+Parser::parseBlock()
+{
+    expect(TokKind::LBrace, "block");
+    std::vector<StmtPtr> stmts;
+    while (!check(TokKind::RBrace)) {
+        if (check(TokKind::End))
+            error(peek(), "unterminated block");
+        stmts.push_back(parseStmt());
+    }
+    expect(TokKind::RBrace, "block");
+    return stmts;
+}
+
+StmtPtr
+Parser::parseStmt()
+{
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokKind::LBrace: {
+        auto s = makeStmt(StmtKind::Block, t);
+        s->body = parseBlock();
+        return s;
+      }
+      case TokKind::KwIf: {
+        advance();
+        auto s = makeStmt(StmtKind::If, t);
+        expect(TokKind::LParen, "if condition");
+        s->e1 = parseExpr();
+        expect(TokKind::RParen, "if condition");
+        s->body = parseBlock();
+        if (match(TokKind::KwElse)) {
+            if (check(TokKind::KwIf)) {
+                s->elseBody.push_back(parseStmt());
+            } else {
+                s->elseBody = parseBlock();
+            }
+        }
+        return s;
+      }
+      case TokKind::KwWhile: {
+        advance();
+        auto s = makeStmt(StmtKind::While, t);
+        expect(TokKind::LParen, "while condition");
+        s->e1 = parseExpr();
+        expect(TokKind::RParen, "while condition");
+        s->body = parseBlock();
+        return s;
+      }
+      case TokKind::KwFor: {
+        advance();
+        auto s = makeStmt(StmtKind::For, t);
+        expect(TokKind::LParen, "for clauses");
+        if (!check(TokKind::Semi))
+            s->sub1 = parseSimpleStmt(false);
+        expect(TokKind::Semi, "for clauses");
+        if (!check(TokKind::Semi))
+            s->e1 = parseExpr();
+        expect(TokKind::Semi, "for clauses");
+        if (!check(TokKind::RParen))
+            s->sub2 = parseSimpleStmt(false);
+        expect(TokKind::RParen, "for clauses");
+        s->body = parseBlock();
+        return s;
+      }
+      case TokKind::KwBreak: {
+        advance();
+        expect(TokKind::Semi, "break");
+        return makeStmt(StmtKind::Break, t);
+      }
+      case TokKind::KwContinue: {
+        advance();
+        expect(TokKind::Semi, "continue");
+        return makeStmt(StmtKind::Continue, t);
+      }
+      case TokKind::KwReturn: {
+        advance();
+        auto s = makeStmt(StmtKind::Return, t);
+        if (!check(TokKind::Semi))
+            s->e1 = parseExpr();
+        expect(TokKind::Semi, "return");
+        return s;
+      }
+      case TokKind::KwOut: {
+        advance();
+        auto s = makeStmt(StmtKind::Out, t);
+        expect(TokKind::LParen, "out");
+        s->e1 = parseExpr();
+        expect(TokKind::RParen, "out");
+        expect(TokKind::Semi, "out");
+        return s;
+      }
+      case TokKind::KwHalt: {
+        advance();
+        expect(TokKind::Semi, "halt");
+        return makeStmt(StmtKind::Halt, t);
+      }
+      default: {
+        StmtPtr s = parseSimpleStmt(true);
+        return s;
+      }
+    }
+}
+
+StmtPtr
+Parser::parseSimpleStmt(bool require_semi)
+{
+    const Token& t = peek();
+    StmtPtr s;
+    if (t.kind == TokKind::KwVar) {
+        advance();
+        s = makeStmt(StmtKind::VarDecl, t);
+        s->name = expect(TokKind::Ident, "var declaration").text;
+        expect(TokKind::Assign, "var declaration");
+        s->e1 = parseExpr();
+    } else if (t.kind == TokKind::KwMem) {
+        advance();
+        s = makeStmt(StmtKind::MemStore, t);
+        expect(TokKind::LBracket, "mem store");
+        s->e1 = parseExpr();
+        expect(TokKind::RBracket, "mem store");
+        expect(TokKind::Assign, "mem store");
+        s->e2 = parseExpr();
+    } else if (t.kind == TokKind::Ident &&
+               peek(1).kind == TokKind::Assign)
+    {
+        advance();
+        advance();
+        s = makeStmt(StmtKind::Assign, t);
+        s->name = t.text;
+        s->e1 = parseExpr();
+    } else {
+        s = makeStmt(StmtKind::ExprStmt, t);
+        s->e1 = parseExpr();
+    }
+    if (require_semi)
+        expect(TokKind::Semi, "statement");
+    return s;
+}
+
+ExprPtr
+Parser::parseExpr()
+{
+    return parseBinaryRhs(1, parseUnary());
+}
+
+ExprPtr
+Parser::parseBinaryRhs(int min_prec, ExprPtr lhs)
+{
+    for (;;) {
+        TokKind k = peek().kind;
+        int prec = binaryPrec(k);
+        if (prec < min_prec)
+            return lhs;
+        const Token& opTok = advance();
+        ExprPtr rhs = parseUnary();
+        // Left-associative: bind tighter operators to the right first.
+        for (;;) {
+            int next = binaryPrec(peek().kind);
+            if (next <= prec)
+                break;
+            rhs = parseBinaryRhs(next, std::move(rhs));
+        }
+        ExprKind kind = ExprKind::Binary;
+        if (k == TokKind::AndAnd)
+            kind = ExprKind::LogicalAnd;
+        else if (k == TokKind::OrOr)
+            kind = ExprKind::LogicalOr;
+        auto e = makeExpr(kind, opTok);
+        e->op = k;
+        e->lhs = std::move(lhs);
+        e->rhs = std::move(rhs);
+        lhs = std::move(e);
+    }
+}
+
+ExprPtr
+Parser::parseUnary()
+{
+    const Token& t = peek();
+    if (t.kind == TokKind::Minus || t.kind == TokKind::Bang ||
+        t.kind == TokKind::Tilde)
+    {
+        advance();
+        auto e = makeExpr(ExprKind::Unary, t);
+        e->op = t.kind;
+        e->lhs = parseUnary();
+        return e;
+    }
+    return parsePrimary();
+}
+
+ExprPtr
+Parser::parsePrimary()
+{
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokKind::Int: {
+        advance();
+        auto e = makeExpr(ExprKind::IntLit, t);
+        e->intValue = t.value;
+        return e;
+      }
+      case TokKind::KwIn: {
+        advance();
+        expect(TokKind::LParen, "in()");
+        expect(TokKind::RParen, "in()");
+        return makeExpr(ExprKind::Input, t);
+      }
+      case TokKind::KwMem: {
+        advance();
+        expect(TokKind::LBracket, "mem load");
+        auto e = makeExpr(ExprKind::MemLoad, t);
+        e->lhs = parseExpr();
+        expect(TokKind::RBracket, "mem load");
+        return e;
+      }
+      case TokKind::LParen: {
+        advance();
+        ExprPtr e = parseExpr();
+        expect(TokKind::RParen, "parenthesized expression");
+        return e;
+      }
+      case TokKind::Ident: {
+        advance();
+        if (match(TokKind::LParen)) {
+            auto e = makeExpr(ExprKind::Call, t);
+            e->name = t.text;
+            if (!check(TokKind::RParen)) {
+                for (;;) {
+                    e->args.push_back(parseExpr());
+                    if (!match(TokKind::Comma))
+                        break;
+                }
+            }
+            expect(TokKind::RParen, "call arguments");
+            return e;
+        }
+        auto e = makeExpr(ExprKind::VarRef, t);
+        e->name = t.text;
+        return e;
+      }
+      default:
+        error(t, std::string("expected expression, found ") +
+                     tokKindName(t.kind));
+    }
+}
+
+} // namespace lang
+} // namespace wet

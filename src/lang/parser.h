@@ -1,0 +1,65 @@
+#ifndef WET_LANG_PARSER_H
+#define WET_LANG_PARSER_H
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "lang/token.h"
+
+namespace wet {
+namespace lang {
+
+/**
+ * Recursive-descent parser for wetlang. Produces a Program AST; all
+ * syntax errors are reported as WetError with line/column positions.
+ *
+ * Grammar sketch:
+ *
+ *     program := (const | fn)*
+ *     const   := 'const' IDENT '=' ('-')? INT ';'
+ *     fn      := 'fn' IDENT '(' params? ')' block
+ *     stmt    := 'var' IDENT '=' expr ';' | IDENT '=' expr ';'
+ *              | 'mem' '[' expr ']' '=' expr ';'
+ *              | 'if' '(' expr ')' block ('else' (block | if-stmt))?
+ *              | 'while' '(' expr ')' block
+ *              | 'for' '(' simple? ';' expr? ';' simple? ')' block
+ *              | 'break' ';' | 'continue' ';' | 'return' expr? ';'
+ *              | 'out' '(' expr ')' ';' | 'halt' ';' | expr ';' | block
+ *     expr    := precedence-climbing over || && | ^ & == != < <= > >=
+ *                << >> + - * / % with unary - ! ~ and primaries
+ *                INT IDENT call 'in()' 'mem[expr]' '(' expr ')'
+ */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens);
+
+    /** Parse the whole token stream into a Program. */
+    Program parseProgram();
+
+  private:
+    const Token& peek(int ahead = 0) const;
+    const Token& advance();
+    bool check(TokKind k) const { return peek().kind == k; }
+    bool match(TokKind k);
+    const Token& expect(TokKind k, const char* context);
+    [[noreturn]] void error(const Token& at, const std::string& msg) const;
+
+    FuncDecl parseFunction();
+    StmtPtr parseStmt();
+    StmtPtr parseSimpleStmt(bool require_semi);
+    std::vector<StmtPtr> parseBlock();
+    ExprPtr parseExpr();
+    ExprPtr parseBinaryRhs(int min_prec, ExprPtr lhs);
+    ExprPtr parseUnary();
+    ExprPtr parsePrimary();
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+};
+
+} // namespace lang
+} // namespace wet
+
+#endif // WET_LANG_PARSER_H

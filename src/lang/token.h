@@ -1,0 +1,45 @@
+#ifndef WET_LANG_TOKEN_H
+#define WET_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace wet {
+namespace lang {
+
+/** Token kinds of the wetlang frontend. */
+enum class TokKind : uint8_t {
+    End,
+    Ident,
+    Int,
+    // Keywords.
+    KwFn, KwVar, KwConst, KwIf, KwElse, KwWhile, KwFor, KwBreak,
+    KwContinue, KwReturn, KwOut, KwIn, KwMem, KwHalt,
+    // Punctuation / operators.
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi,
+    Assign,          // =
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    Shl, Shr,        // << >>
+    Lt, Le, Gt, Ge, EqEq, Ne,
+    AndAnd, OrOr,
+};
+
+/** One lexed token with its source location (1-based line/column). */
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string text;   // identifier spelling
+    int64_t value = 0;  // integer literal value
+    int line = 0;
+    int col = 0;
+};
+
+/** Printable name of a token kind (for diagnostics). */
+const char* tokKindName(TokKind k);
+
+} // namespace lang
+} // namespace wet
+
+#endif // WET_LANG_TOKEN_H

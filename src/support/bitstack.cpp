@@ -1,0 +1,76 @@
+#include "bitstack.h"
+
+#include "error.h"
+
+namespace wet {
+namespace support {
+
+void
+BitStack::push(bool bit)
+{
+    size_t word = nbits_ / 64;
+    size_t off = nbits_ % 64;
+    if (word == words_.size())
+        words_.push_back(0);
+    if (bit)
+        words_[word] |= (uint64_t{1} << off);
+    else
+        words_[word] &= ~(uint64_t{1} << off);
+    ++nbits_;
+}
+
+bool
+BitStack::pop()
+{
+    WET_ASSERT(nbits_ > 0, "pop from empty BitStack");
+    bool bit = get(nbits_ - 1);
+    --nbits_;
+    return bit;
+}
+
+bool
+BitStack::get(size_t i) const
+{
+    WET_ASSERT(i < nbits_, "BitStack::get out of range: " << i);
+    return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void
+BitStack::pushBits(uint64_t v, unsigned width)
+{
+    WET_ASSERT(width <= 64, "pushBits width too large");
+    for (unsigned i = 0; i < width; ++i)
+        push((v >> i) & 1);
+}
+
+uint64_t
+BitStack::popBits(unsigned width)
+{
+    WET_ASSERT(width <= 64 && nbits_ >= width,
+               "popBits underflow or bad width");
+    uint64_t v = getBits(nbits_ - width, width);
+    for (unsigned i = 0; i < width; ++i)
+        pop();
+    return v;
+}
+
+uint64_t
+BitStack::getBits(size_t i, unsigned width) const
+{
+    WET_ASSERT(width <= 64 && i + width <= nbits_,
+               "getBits out of range");
+    uint64_t v = 0;
+    for (unsigned k = 0; k < width; ++k)
+        v |= static_cast<uint64_t>(get(i + k)) << k;
+    return v;
+}
+
+void
+BitStack::clear()
+{
+    words_.clear();
+    nbits_ = 0;
+}
+
+} // namespace support
+} // namespace wet

@@ -1,0 +1,69 @@
+#ifndef WET_SUPPORT_BITSTACK_H
+#define WET_SUPPORT_BITSTACK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wet {
+namespace support {
+
+/**
+ * A stack of single bits with random read access.
+ *
+ * The tier-2 codecs store one hit/miss flag per stream position here;
+ * cursors read the flags forwards or backwards while the builder pushes
+ * and pops them stack-wise.
+ */
+class BitStack
+{
+  public:
+    BitStack() = default;
+
+    /** Push one bit onto the end of the stack. */
+    void push(bool bit);
+
+    /** Pop and return the last bit. Stack must be non-empty. */
+    bool pop();
+
+    /** Read the bit at index @p i (0-based from the bottom). */
+    bool get(size_t i) const;
+
+    /** Push the low @p width bits of @p v (LSB first). */
+    void pushBits(uint64_t v, unsigned width);
+
+    /** Pop @p width bits pushed with pushBits. */
+    uint64_t popBits(unsigned width);
+
+    /** Read @p width bits starting at bit index @p i. */
+    uint64_t getBits(size_t i, unsigned width) const;
+
+    size_t size() const { return nbits_; }
+    bool empty() const { return nbits_ == 0; }
+    void clear();
+
+    /** Storage footprint in bytes (rounded up). */
+    size_t sizeBytes() const { return (nbits_ + 7) / 8; }
+
+    /** Raw word storage (for serialization). */
+    const std::vector<uint64_t>& words() const { return words_; }
+
+    /** Reconstruct from raw words (deserialization). */
+    static BitStack
+    fromWords(std::vector<uint64_t> words, size_t nbits)
+    {
+        BitStack bs;
+        bs.words_ = std::move(words);
+        bs.nbits_ = nbits;
+        return bs;
+    }
+
+  private:
+    std::vector<uint64_t> words_;
+    size_t nbits_ = 0;
+};
+
+} // namespace support
+} // namespace wet
+
+#endif // WET_SUPPORT_BITSTACK_H

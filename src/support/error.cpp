@@ -1,0 +1,26 @@
+#include "error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wet {
+namespace support {
+
+void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char* file, int line, const std::string& msg)
+{
+    std::ostringstream os;
+    os << file << ":" << line << ": " << msg;
+    throw WetError(os.str());
+}
+
+} // namespace support
+} // namespace wet

@@ -1,0 +1,60 @@
+#ifndef WET_SUPPORT_ERROR_H
+#define WET_SUPPORT_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wet {
+
+/**
+ * Exception thrown for user-level errors: malformed programs, bad
+ * configuration, out-of-range queries. Mirrors gem5's fatal(): the
+ * condition is the caller's fault, not a library bug.
+ */
+class WetError : public std::runtime_error
+{
+  public:
+    explicit WetError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+namespace support {
+
+/** Abort with a message; used for internal invariant violations. */
+[[noreturn]] void panicImpl(const char* file, int line,
+                            const std::string& msg);
+
+/** Throw WetError with location information attached. */
+[[noreturn]] void fatalImpl(const char* file, int line,
+                            const std::string& msg);
+
+} // namespace support
+} // namespace wet
+
+/**
+ * WET_ASSERT(cond, msg): internal invariant check. Violations indicate a
+ * bug in the library itself (panic semantics: aborts). The message
+ * expression may use operator<< chaining.
+ */
+#define WET_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream wet_assert_os_;                              \
+            wet_assert_os_ << "assertion failed: " #cond ": " << msg;      \
+            ::wet::support::panicImpl(__FILE__, __LINE__,                   \
+                                      wet_assert_os_.str());                \
+        }                                                                   \
+    } while (0)
+
+/**
+ * WET_FATAL(msg): report a user-level error (throws WetError). Use when
+ * the caller supplied invalid input and the operation cannot continue.
+ */
+#define WET_FATAL(msg)                                                      \
+    do {                                                                    \
+        std::ostringstream wet_fatal_os_;                                   \
+        wet_fatal_os_ << msg;                                               \
+        ::wet::support::fatalImpl(__FILE__, __LINE__, wet_fatal_os_.str()); \
+    } while (0)
+
+#endif // WET_SUPPORT_ERROR_H

@@ -1,0 +1,43 @@
+#ifndef WET_SUPPORT_HASH_H
+#define WET_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wet {
+namespace support {
+
+/** Finalizing 64-bit mix (splitmix64 finalizer). */
+inline uint64_t
+mix64(uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Combine a hash accumulator with one more value. */
+inline uint64_t
+hashCombine(uint64_t seed, uint64_t v)
+{
+    return mix64(seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                         (seed >> 2)));
+}
+
+/**
+ * Hash a window of @p n values into a table index below 2^bits.
+ * Used by the FCM codecs to map a context to a lookup-table slot.
+ */
+inline size_t
+hashContext(const uint64_t* vals, size_t n, unsigned bits)
+{
+    uint64_t h = 0x51'7c'c1'b7'27'22'0a'95ull;
+    for (size_t i = 0; i < n; ++i)
+        h = hashCombine(h, vals[i]);
+    return static_cast<size_t>(h >> (64 - bits));
+}
+
+} // namespace support
+} // namespace wet
+
+#endif // WET_SUPPORT_HASH_H

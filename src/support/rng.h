@@ -1,0 +1,59 @@
+#ifndef WET_SUPPORT_RNG_H
+#define WET_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace wet {
+namespace support {
+
+/**
+ * Deterministic 64-bit pseudo-random generator (splitmix64).
+ *
+ * Used for workload input generation and property tests; deterministic
+ * across platforms so that experiments and tests are reproducible.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw: true with probability num/den. */
+    bool
+    chance(uint64_t num, uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace support
+} // namespace wet
+
+#endif // WET_SUPPORT_RNG_H

@@ -1,0 +1,45 @@
+#include "sizes.h"
+
+#include <cstdio>
+
+namespace wet {
+namespace support {
+
+std::string
+formatFixed(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    static const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+    double v = static_cast<double>(bytes);
+    int u = 0;
+    while (v >= 1024.0 && u < 4) {
+        v /= 1024.0;
+        ++u;
+    }
+    return formatFixed(v, u == 0 ? 0 : 2) + " " + units[u];
+}
+
+std::string
+formatCount(uint64_t n)
+{
+    std::string raw = std::to_string(n);
+    std::string out;
+    int c = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (c && c % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++c;
+    }
+    return std::string(out.rbegin(), out.rend());
+}
+
+} // namespace support
+} // namespace wet

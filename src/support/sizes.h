@@ -1,0 +1,30 @@
+#ifndef WET_SUPPORT_SIZES_H
+#define WET_SUPPORT_SIZES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wet {
+namespace support {
+
+/** Bytes expressed in binary megabytes (as the paper reports sizes). */
+inline double
+toMB(uint64_t bytes)
+{
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+/** Format a double with @p prec decimal places. */
+std::string formatFixed(double v, int prec = 2);
+
+/** Human readable byte count, e.g. "1.25 MB". */
+std::string formatBytes(uint64_t bytes);
+
+/** Format a count with thousands separators, e.g. "1,234,567". */
+std::string formatCount(uint64_t n);
+
+} // namespace support
+} // namespace wet
+
+#endif // WET_SUPPORT_SIZES_H

@@ -1,0 +1,75 @@
+#include "table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "error.h"
+
+namespace wet {
+namespace support {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    WET_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    WET_ASSERT(cells.size() == headers_.size(),
+               "row has " << cells.size() << " cells, expected "
+                          << headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::toString(const std::string& title) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emitRow = [&](const std::vector<std::string>& row, bool left0) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c ? "  " : "");
+            // First column (benchmark name) left-aligned, rest right.
+            if (c == 0 && left0) {
+                os << row[c]
+                   << std::string(widths[c] - row[c].size(), ' ');
+            } else {
+                os << std::string(widths[c] - row[c].size(), ' ')
+                   << row[c];
+            }
+        }
+        os << "\n";
+    };
+
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+
+    os << title << "\n";
+    os << std::string(total, '-') << "\n";
+    emitRow(headers_, true);
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows_)
+        emitRow(row, true);
+    os << std::string(total, '-') << "\n";
+    return os.str();
+}
+
+void
+TablePrinter::print(const std::string& title) const
+{
+    std::fputs(toString(title).c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace support
+} // namespace wet

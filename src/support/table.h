@@ -1,0 +1,38 @@
+#ifndef WET_SUPPORT_TABLE_H
+#define WET_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace wet {
+namespace support {
+
+/**
+ * Console table printer used by the benchmark harnesses to emit rows in
+ * the same layout as the paper's tables (right-aligned numeric columns,
+ * a header, and an optional averages row).
+ */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to stdout with a title line above the header. */
+    void print(const std::string& title) const;
+
+    /** Render to a string (used by tests). */
+    std::string toString(const std::string& title) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace support
+} // namespace wet
+
+#endif // WET_SUPPORT_TABLE_H

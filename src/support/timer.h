@@ -1,0 +1,36 @@
+#ifndef WET_SUPPORT_TIMER_H
+#define WET_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace wet {
+namespace support {
+
+/** Simple wall-clock stopwatch used by the benchmark harnesses. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        auto d = Clock::now() - start_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+    /** Milliseconds elapsed. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace support
+} // namespace wet
+
+#endif // WET_SUPPORT_TIMER_H

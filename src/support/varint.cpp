@@ -1,0 +1,104 @@
+#include "varint.h"
+
+#include "error.h"
+
+namespace wet {
+namespace support {
+
+uint64_t
+VarintBuffer::zigzagEncode(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+int64_t
+VarintBuffer::zigzagDecode(uint64_t u)
+{
+    return static_cast<int64_t>(u >> 1) ^ -static_cast<int64_t>(u & 1);
+}
+
+void
+VarintBuffer::pushUnsigned(uint64_t v)
+{
+    while (v >= 0x80) {
+        bytes_.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    bytes_.push_back(static_cast<uint8_t>(v));
+}
+
+void
+VarintBuffer::pushSigned(int64_t v)
+{
+    pushUnsigned(zigzagEncode(v));
+}
+
+uint64_t
+VarintBuffer::readUnsignedAt(size_t& pos) const
+{
+    WET_ASSERT(pos < bytes_.size(), "varint read past end at " << pos);
+    uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+        uint8_t b = bytes_[pos++];
+        v |= static_cast<uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            break;
+        shift += 7;
+        WET_ASSERT(shift < 64, "varint too long");
+    }
+    return v;
+}
+
+int64_t
+VarintBuffer::readSignedAt(size_t& pos) const
+{
+    return zigzagDecode(readUnsignedAt(pos));
+}
+
+uint64_t
+VarintBuffer::readUnsignedBefore(size_t& pos) const
+{
+    WET_ASSERT(pos > 0 && pos <= bytes_.size(),
+               "varint backward read at " << pos);
+    // The value's final byte (at pos - 1) has a clear continuation bit;
+    // every earlier byte of the same value has it set.
+    size_t start = pos - 1;
+    while (start > 0 && (bytes_[start - 1] & 0x80))
+        --start;
+    pos = start;
+    size_t tmp = start;
+    return readUnsignedAt(tmp);
+}
+
+int64_t
+VarintBuffer::readSignedBefore(size_t& pos) const
+{
+    return zigzagDecode(readUnsignedBefore(pos));
+}
+
+uint64_t
+VarintBuffer::popUnsigned()
+{
+    size_t pos = bytes_.size();
+    uint64_t v = readUnsignedBefore(pos);
+    bytes_.resize(pos);
+    return v;
+}
+
+int64_t
+VarintBuffer::popSigned()
+{
+    return zigzagDecode(popUnsigned());
+}
+
+void
+VarintBuffer::truncate(size_t nbytes)
+{
+    WET_ASSERT(nbytes <= bytes_.size(), "truncate beyond size");
+    bytes_.resize(nbytes);
+}
+
+} // namespace support
+} // namespace wet

@@ -1,0 +1,88 @@
+#ifndef WET_SUPPORT_VARINT_H
+#define WET_SUPPORT_VARINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wet {
+namespace support {
+
+/**
+ * LEB128 variable-length integer buffer readable in both directions.
+ *
+ * Values are appended with the standard little-endian base-128 encoding
+ * (continuation bit set on every byte except the last). Because the last
+ * byte of every value is the only byte with a clear continuation bit, the
+ * buffer can also be decoded backwards: scanning from the end of a value,
+ * the preceding value's boundary is the previous byte with a clear
+ * continuation bit. The tier-2 stream codecs rely on this to pop entries
+ * off compressed stacks in O(length of entry).
+ */
+class VarintBuffer
+{
+  public:
+    VarintBuffer() = default;
+
+    /** Append an unsigned value to the end of the buffer. */
+    void pushUnsigned(uint64_t v);
+
+    /** Append a signed value using zig-zag encoding. */
+    void pushSigned(int64_t v);
+
+    /** Remove and return the last unsigned value. Buffer must be
+     *  non-empty. */
+    uint64_t popUnsigned();
+
+    /** Remove and return the last signed (zig-zag) value. */
+    int64_t popSigned();
+
+    /**
+     * Decode the unsigned value starting at byte offset @p pos.
+     * @param pos in: start offset; out: offset one past the value.
+     */
+    uint64_t readUnsignedAt(size_t& pos) const;
+
+    /** Decode the signed (zig-zag) value starting at byte offset. */
+    int64_t readSignedAt(size_t& pos) const;
+
+    /**
+     * Decode the unsigned value that *ends* at byte offset @p pos - 1.
+     * @param pos in: offset one past the value; out: start offset of the
+     *        value, suitable for a subsequent backward read.
+     */
+    uint64_t readUnsignedBefore(size_t& pos) const;
+
+    /** Backward variant of readSignedAt. */
+    int64_t readSignedBefore(size_t& pos) const;
+
+    size_t sizeBytes() const { return bytes_.size(); }
+    bool empty() const { return bytes_.empty(); }
+    void clear() { bytes_.clear(); }
+
+    /** Truncate the buffer to @p nbytes bytes (must be a value
+     *  boundary; only checked in debug builds). */
+    void truncate(size_t nbytes);
+
+    const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+    /** Reconstruct from raw bytes (deserialization). */
+    static VarintBuffer
+    fromBytes(std::vector<uint8_t> bytes)
+    {
+        VarintBuffer b;
+        b.bytes_ = std::move(bytes);
+        return b;
+    }
+
+    static uint64_t zigzagEncode(int64_t v);
+    static int64_t zigzagDecode(uint64_t u);
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+} // namespace support
+} // namespace wet
+
+#endif // WET_SUPPORT_VARINT_H

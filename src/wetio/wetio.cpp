@@ -1,0 +1,427 @@
+#include "wetio.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/varint.h"
+
+namespace wet {
+namespace wetio {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x58544557; // "WETX"
+constexpr uint32_t kVersion = 1;
+
+/** Varint-based binary writer over a growable byte buffer. */
+class Writer
+{
+  public:
+    void u(uint64_t v) { buf_.pushUnsigned(v); }
+    void s(int64_t v) { buf_.pushSigned(v); }
+
+    template <typename T>
+    void
+    vecU(const std::vector<T>& v)
+    {
+        u(v.size());
+        for (const T& x : v)
+            u(static_cast<uint64_t>(x));
+    }
+
+    template <typename T>
+    void
+    vecS(const std::vector<T>& v)
+    {
+        u(v.size());
+        for (const T& x : v)
+            s(static_cast<int64_t>(x));
+    }
+
+    const std::vector<uint8_t>& bytes() const { return buf_.bytes(); }
+
+  private:
+    support::VarintBuffer buf_;
+};
+
+/** Matching reader. */
+class Reader
+{
+  public:
+    explicit Reader(std::vector<uint8_t> bytes)
+        : buf_(support::VarintBuffer::fromBytes(std::move(bytes)))
+    {
+    }
+
+    uint64_t
+    u()
+    {
+        if (pos_ >= buf_.sizeBytes())
+            WET_FATAL("truncated WETX file");
+        return buf_.readUnsignedAt(pos_);
+    }
+
+    int64_t
+    s()
+    {
+        if (pos_ >= buf_.sizeBytes())
+            WET_FATAL("truncated WETX file");
+        return buf_.readSignedAt(pos_);
+    }
+
+    template <typename T>
+    std::vector<T>
+    vecU()
+    {
+        uint64_t n = u();
+        std::vector<T> v;
+        v.reserve(n);
+        for (uint64_t i = 0; i < n; ++i)
+            v.push_back(static_cast<T>(u()));
+        return v;
+    }
+
+    template <typename T>
+    std::vector<T>
+    vecS()
+    {
+        uint64_t n = u();
+        std::vector<T> v;
+        v.reserve(n);
+        for (uint64_t i = 0; i < n; ++i)
+            v.push_back(static_cast<T>(s()));
+        return v;
+    }
+
+    bool atEnd() const { return pos_ == buf_.sizeBytes(); }
+
+  private:
+    support::VarintBuffer buf_;
+    size_t pos_ = 0;
+};
+
+void
+writeTableState(Writer& w, const codec::CompressedStream& s)
+{
+    // FCM/DFCM tables are mostly zero: store (index-delta, value)
+    // pairs. Last-n deques and windows are dense but tiny.
+    if (s.config.method == codec::Method::Fcm ||
+        s.config.method == codec::Method::Dfcm)
+    {
+        uint64_t touched = 0;
+        for (int64_t v : s.tableState0)
+            if (v != 0)
+                ++touched;
+        w.u(s.tableState0.size());
+        w.u(touched);
+        uint64_t last = 0;
+        for (uint64_t i = 0; i < s.tableState0.size(); ++i) {
+            if (s.tableState0[i] == 0)
+                continue;
+            w.u(i - last);
+            w.s(s.tableState0[i]);
+            last = i;
+        }
+    } else {
+        w.u(s.tableState0.size());
+        w.u(s.tableState0.size()); // dense marker: touched == size
+        for (int64_t v : s.tableState0)
+            w.s(v);
+    }
+}
+
+std::vector<int64_t>
+readTableState(Reader& r, const codec::CompressedStream& s)
+{
+    uint64_t size = r.u();
+    uint64_t touched = r.u();
+    std::vector<int64_t> state(size, 0);
+    if ((s.config.method == codec::Method::Fcm ||
+         s.config.method == codec::Method::Dfcm)) {
+        uint64_t idx = 0;
+        for (uint64_t k = 0; k < touched; ++k) {
+            idx += r.u();
+            if (idx >= size)
+                WET_FATAL("corrupt table state in WETX file");
+            state[idx] = r.s();
+        }
+    } else {
+        for (uint64_t i = 0; i < size; ++i)
+            state[i] = r.s();
+    }
+    return state;
+}
+
+void
+writeStream(Writer& w, const codec::CompressedStream& s)
+{
+    w.u(static_cast<uint64_t>(s.config.method));
+    w.u(s.config.context);
+    w.u(s.config.tableBits);
+    w.u(s.length);
+    w.u(s.windowSize);
+    w.vecS(s.window0);
+    w.u(s.flags.size());
+    w.vecU(s.flags.words());
+    w.u(s.misses.sizeBytes());
+    for (uint8_t b : s.misses.bytes())
+        w.u(b);
+    writeTableState(w, s);
+    w.u(s.storedState0Bytes);
+    w.u(s.checkpoints.size());
+    for (const auto& cp : s.checkpoints) {
+        w.u(cp.machinePos);
+        w.u(cp.flagPos);
+        w.u(cp.missPos);
+        w.vecS(cp.window);
+        // Checkpoint states use the same sparse layout.
+        codec::CompressedStream tmp;
+        tmp.config = s.config;
+        tmp.tableState0 = cp.tableState;
+        writeTableState(w, tmp);
+        w.u(cp.storedStateBytes);
+    }
+}
+
+codec::CompressedStream
+readStream(Reader& r)
+{
+    codec::CompressedStream s;
+    s.config.method = static_cast<codec::Method>(r.u());
+    s.config.context = static_cast<unsigned>(r.u());
+    s.config.tableBits = static_cast<unsigned>(r.u());
+    s.length = r.u();
+    s.windowSize = static_cast<unsigned>(r.u());
+    s.window0 = r.vecS<int64_t>();
+    uint64_t nbits = r.u();
+    s.flags = support::BitStack::fromWords(r.vecU<uint64_t>(),
+                                           nbits);
+    uint64_t nbytes = r.u();
+    std::vector<uint8_t> missBytes;
+    missBytes.reserve(nbytes);
+    for (uint64_t i = 0; i < nbytes; ++i)
+        missBytes.push_back(static_cast<uint8_t>(r.u()));
+    s.misses = support::VarintBuffer::fromBytes(std::move(missBytes));
+    s.tableState0 = readTableState(r, s);
+    s.storedState0Bytes = r.u();
+    uint64_t ncp = r.u();
+    for (uint64_t i = 0; i < ncp; ++i) {
+        codec::CompressedStream::Checkpoint cp;
+        cp.machinePos = r.u();
+        cp.flagPos = r.u();
+        cp.missPos = r.u();
+        cp.window = r.vecS<int64_t>();
+        cp.tableState = readTableState(r, s);
+        cp.storedStateBytes = r.u();
+        s.checkpoints.push_back(std::move(cp));
+    }
+    return s;
+}
+
+} // namespace
+
+uint64_t
+moduleFingerprint(const ir::Module& mod)
+{
+    uint64_t h = 0x0e71'5e00'77e7'0001ull;
+    h = support::hashCombine(h, mod.numStmts());
+    for (ir::StmtId s = 0; s < mod.numStmts(); ++s) {
+        const ir::Instr& in = mod.instr(s);
+        h = support::hashCombine(
+            h, static_cast<uint64_t>(in.op) |
+                   (static_cast<uint64_t>(in.dest) << 8) |
+                   (static_cast<uint64_t>(in.src0) << 24));
+        h = support::hashCombine(h, static_cast<uint64_t>(in.imm));
+    }
+    return h;
+}
+
+void
+save(const std::string& path, const ir::Module& mod,
+     const core::WetGraph& graph,
+     const core::WetCompressed& compressed)
+{
+    Writer w;
+    w.u(kMagic);
+    w.u(kVersion);
+    w.u(moduleFingerprint(mod));
+
+    // Graph structure (no tier-1 label vectors).
+    w.u(graph.nodes.size());
+    for (const auto& node : graph.nodes) {
+        w.u(node.func);
+        w.u(node.pathId);
+        w.u(node.partial ? 1 : 0);
+        w.u(node.numInstances);
+        w.vecU(node.blocks);
+        w.vecU(node.stmts);
+        w.vecU(node.blockFirstStmt);
+        w.vecU(node.stmtGroup);
+        w.vecU(node.stmtMember);
+        w.u(node.groups.size());
+        for (const auto& g : node.groups) {
+            w.vecU(g.members);
+            w.vecU(g.inputs);
+        }
+        w.vecU(node.cfSucc);
+        w.vecU(node.cfPred);
+    }
+    w.u(graph.edges.size());
+    for (const auto& e : graph.edges) {
+        w.u(e.defNode);
+        w.u(e.useNode);
+        w.u(e.defStmtPos);
+        w.u(e.useStmtPos);
+        w.u(e.slot);
+        w.u(e.local ? 1 : 0);
+        w.u(e.labelPool == core::kNoIndex
+                ? 0
+                : static_cast<uint64_t>(e.labelPool) + 1);
+    }
+    w.u(graph.labelPool.size());
+    w.u(graph.lastTimestamp);
+    w.u(graph.stmtInstancesTotal);
+    w.u(graph.valueInstancesTotal);
+    w.u(graph.depInstancesTotal);
+    w.u(graph.cdInstancesTotal);
+    w.u(graph.droppedDeps);
+
+    // Compressed streams.
+    for (core::NodeId n = 0; n < graph.nodes.size(); ++n) {
+        const core::CompressedNode& cn = compressed.node(n);
+        writeStream(w, cn.ts);
+        for (const auto& p : cn.patterns)
+            writeStream(w, p);
+        for (const auto& gs : cn.uvals)
+            for (const auto& uv : gs)
+                writeStream(w, uv);
+    }
+    for (uint32_t i = 0; i < graph.labelPool.size(); ++i) {
+        writeStream(w, compressed.pool(i).useInst);
+        writeStream(w, compressed.pool(i).defInst);
+    }
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        WET_FATAL("cannot open '" << path << "' for writing");
+    out.write(reinterpret_cast<const char*>(w.bytes().data()),
+              static_cast<std::streamsize>(w.bytes().size()));
+    if (!out)
+        WET_FATAL("write to '" << path << "' failed");
+}
+
+LoadedWet
+load(const std::string& path, const ir::Module& mod)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        WET_FATAL("cannot open '" << path << "'");
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    Reader r(std::move(bytes));
+
+    if (r.u() != kMagic)
+        WET_FATAL("'" << path << "' is not a WETX file");
+    if (r.u() != kVersion)
+        WET_FATAL("'" << path << "' has an unsupported version");
+    if (r.u() != moduleFingerprint(mod))
+        WET_FATAL("'" << path
+                  << "' was built from a different program");
+
+    LoadedWet out;
+    out.graph = std::make_unique<core::WetGraph>();
+    core::WetGraph& g = *out.graph;
+
+    uint64_t numNodes = r.u();
+    g.nodes.resize(numNodes);
+    for (auto& node : g.nodes) {
+        node.func = static_cast<ir::FuncId>(r.u());
+        node.pathId = r.u();
+        node.partial = r.u() != 0;
+        node.numInstances = r.u();
+        node.blocks = r.vecU<ir::BlockId>();
+        node.stmts = r.vecU<ir::StmtId>();
+        node.blockFirstStmt = r.vecU<uint32_t>();
+        node.stmtGroup = r.vecU<uint32_t>();
+        node.stmtMember = r.vecU<uint32_t>();
+        uint64_t ngroups = r.u();
+        node.groups.resize(ngroups);
+        for (auto& grp : node.groups) {
+            grp.members = r.vecU<uint32_t>();
+            grp.inputs = r.vecU<uint32_t>();
+            grp.uvals.resize(grp.members.size());
+        }
+        node.cfSucc = r.vecU<core::NodeId>();
+        node.cfPred = r.vecU<core::NodeId>();
+    }
+    uint64_t numEdges = r.u();
+    g.edges.resize(numEdges);
+    for (auto& e : g.edges) {
+        e.defNode = static_cast<core::NodeId>(r.u());
+        e.useNode = static_cast<core::NodeId>(r.u());
+        e.defStmtPos = static_cast<uint32_t>(r.u());
+        e.useStmtPos = static_cast<uint32_t>(r.u());
+        e.slot = static_cast<uint8_t>(r.u());
+        e.local = r.u() != 0;
+        uint64_t pool = r.u();
+        e.labelPool = pool == 0
+                          ? core::kNoIndex
+                          : static_cast<uint32_t>(pool - 1);
+    }
+    uint64_t numPool = r.u();
+    g.labelPool.resize(numPool); // empty sequences; tier-2 only
+    g.lastTimestamp = r.u();
+    g.stmtInstancesTotal = r.u();
+    g.valueInstancesTotal = r.u();
+    g.depInstancesTotal = r.u();
+    g.cdInstancesTotal = r.u();
+    g.droppedDeps = r.u();
+
+    // Rebuild lookup indexes.
+    for (uint32_t e = 0; e < g.edges.size(); ++e) {
+        const core::WetEdge& ed = g.edges[e];
+        g.edgesByUse[core::WetGraph::useKey(
+                         ed.useNode, ed.useStmtPos, ed.slot)]
+            .push_back(e);
+        g.edgesByDef[core::WetGraph::defKey(ed.defNode,
+                                            ed.defStmtPos)]
+            .push_back(e);
+    }
+    for (core::NodeId n = 0; n < g.nodes.size(); ++n) {
+        const core::WetNode& node = g.nodes[n];
+        for (uint32_t i = 0; i < node.stmts.size(); ++i)
+            g.stmtIndex[node.stmts[i]].emplace_back(n, i);
+    }
+
+    // Compressed streams.
+    std::vector<core::CompressedNode> nodes(g.nodes.size());
+    for (core::NodeId n = 0; n < g.nodes.size(); ++n) {
+        core::CompressedNode& cn = nodes[n];
+        cn.ts = readStream(r);
+        cn.patterns.reserve(g.nodes[n].groups.size());
+        cn.uvals.resize(g.nodes[n].groups.size());
+        for (size_t gi = 0; gi < g.nodes[n].groups.size(); ++gi)
+            cn.patterns.push_back(readStream(r));
+        for (size_t gi = 0; gi < g.nodes[n].groups.size(); ++gi) {
+            size_t members = g.nodes[n].groups[gi].members.size();
+            for (size_t mi = 0; mi < members; ++mi)
+                cn.uvals[gi].push_back(readStream(r));
+        }
+    }
+    std::vector<core::CompressedPoolEntry> pool(numPool);
+    for (auto& pe : pool) {
+        pe.useInst = readStream(r);
+        pe.defInst = readStream(r);
+    }
+    if (!r.atEnd())
+        WET_FATAL("'" << path << "' has trailing bytes");
+    out.compressed = std::make_unique<core::WetCompressed>(
+        g, std::move(nodes), std::move(pool));
+    return out;
+}
+
+} // namespace wetio
+} // namespace wet

@@ -1,0 +1,51 @@
+#ifndef WET_WETIO_WETIO_H
+#define WET_WETIO_WETIO_H
+
+#include <memory>
+#include <string>
+
+#include "core/compressed.h"
+#include "core/wetgraph.h"
+#include "ir/module.h"
+
+namespace wet {
+namespace wetio {
+
+/**
+ * A WET loaded back from disk: the static graph structure plus the
+ * tier-2 compressed label streams. Tier-1 label vectors are not
+ * stored (that is the point of compressing), so queries must run
+ * through a tier-2 WetAccess over `compressed`.
+ */
+struct LoadedWet
+{
+    std::unique_ptr<core::WetGraph> graph;
+    std::unique_ptr<core::WetCompressed> compressed;
+};
+
+/**
+ * Fingerprint of a module, stored in the file and checked on load so
+ * that a WET cannot silently be opened against the wrong program.
+ */
+uint64_t moduleFingerprint(const ir::Module& mod);
+
+/**
+ * Save the compressed WET to @p path (binary "WETX" format: graph
+ * structure + tier-2 streams with sparse table snapshots).
+ * Throws WetError on I/O failure.
+ */
+void save(const std::string& path, const ir::Module& mod,
+          const core::WetGraph& graph,
+          const core::WetCompressed& compressed);
+
+/**
+ * Load a WET saved with save(). @p mod must be the same program
+ * (checked via fingerprint). Throws WetError on mismatch or a
+ * malformed file.
+ */
+LoadedWet load(const std::string& path, const ir::Module& mod);
+
+} // namespace wetio
+} // namespace wet
+
+#endif // WET_WETIO_WETIO_H

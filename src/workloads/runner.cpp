@@ -1,0 +1,44 @@
+#include "runner.h"
+
+#include "support/timer.h"
+
+namespace wet {
+namespace workloads {
+
+std::unique_ptr<RunArtifacts>
+buildWet(const Workload& w, uint64_t scale,
+         interp::TraceSink* extra_sink, const BuildConfig& cfg)
+{
+    auto art = std::make_unique<RunArtifacts>();
+    art->module =
+        std::make_unique<ir::Module>(compileWorkload(w));
+    art->ma = std::make_unique<analysis::ModuleAnalysis>(
+        *art->module, cfg.maxPaths);
+
+    auto input = makeWorkloadInput(w, scale);
+    core::WetBuilder builder(*art->ma, cfg.builder);
+    interp::TeeSink tee;
+    tee.addSink(&builder);
+    if (extra_sink)
+        tee.addSink(extra_sink);
+
+    support::Timer timer;
+    interp::Interpreter interp(*art->ma, *input, &tee);
+    art->run = interp.run();
+    art->graph = builder.take();
+    art->buildSeconds = timer.seconds();
+    return art;
+}
+
+interp::RunResult
+runOnly(const Workload& w, uint64_t scale, interp::TraceSink* sink)
+{
+    ir::Module mod = compileWorkload(w);
+    analysis::ModuleAnalysis ma(mod);
+    auto input = makeWorkloadInput(w, scale);
+    interp::Interpreter interp(ma, *input, sink);
+    return interp.run();
+}
+
+} // namespace workloads
+} // namespace wet

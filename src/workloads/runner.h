@@ -1,0 +1,50 @@
+#ifndef WET_WORKLOADS_RUNNER_H
+#define WET_WORKLOADS_RUNNER_H
+
+#include <memory>
+
+#include "analysis/moduleanalysis.h"
+#include "core/builder.h"
+#include "interp/interpreter.h"
+#include "workloads/workloads.h"
+
+namespace wet {
+namespace workloads {
+
+/** Everything produced by one traced workload run. */
+struct RunArtifacts
+{
+    std::unique_ptr<ir::Module> module;
+    std::unique_ptr<analysis::ModuleAnalysis> ma;
+    interp::RunResult run;
+    core::WetGraph graph;
+    /** Wall seconds for interpret + WET construction. */
+    double buildSeconds = 0.0;
+};
+
+/** Knobs for buildWet (used by the ablation benches). */
+struct BuildConfig
+{
+    /** Ball–Larus path cap; 1 forces one-block path nodes. */
+    uint64_t maxPaths = uint64_t{1} << 24;
+    core::BuilderOptions builder;
+};
+
+/**
+ * Compile, trace, and build the WET of one workload at a given
+ * scale. @p extra_sink, when non-null, also observes the trace
+ * (e.g. an arch::ArchProfileSink for Table 4).
+ */
+std::unique_ptr<RunArtifacts>
+buildWet(const Workload& w, uint64_t scale,
+         interp::TraceSink* extra_sink = nullptr,
+         const BuildConfig& cfg = BuildConfig());
+
+/** Run a workload without building a WET (plain statistics). */
+interp::RunResult runOnly(const Workload& w, uint64_t scale,
+                          interp::TraceSink* sink = nullptr);
+
+} // namespace workloads
+} // namespace wet
+
+#endif // WET_WORKLOADS_RUNNER_H

@@ -1,0 +1,880 @@
+#include "workloads.h"
+
+#include "lang/codegen.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace wet {
+namespace workloads {
+
+namespace {
+
+/** First value is the scale; all later `in()` reads are random. */
+class ScaleThenRandomInput : public interp::InputSource
+{
+  public:
+    ScaleThenRandomInput(uint64_t scale, uint64_t seed)
+        : scale_(scale), rng_(seed)
+    {
+    }
+
+    int64_t
+    next() override
+    {
+        if (!scaleRead_) {
+            scaleRead_ = true;
+            return static_cast<int64_t>(scale_);
+        }
+        return static_cast<int64_t>(rng_.next() >> 16);
+    }
+
+  private:
+    uint64_t scale_;
+    support::Rng rng_;
+    bool scaleRead_ = false;
+};
+
+// Shared pseudo-random helper embedded in each program. Keeping the
+// generator inside the program (rather than in()) gives the value
+// profile the mixed predictable/unpredictable character of real runs.
+const char* kRndHelper = R"WET(
+const RNG = 0;
+
+fn rnd() {
+    var s = mem[RNG];
+    s = (s * 6364136223846793005 + 1442695040888963407) &
+        0x7fffffffffffffff;
+    mem[RNG] = s;
+    return s >> 17;
+}
+)WET";
+
+// --------------------------------------------------------------- go
+// 099.go: game-tree search over a board with irregular control flow
+// and data-dependent branching (the paper's hardest-to-compress
+// subject).
+const char* kGoSource = R"WET(
+const SIZE = 81;
+const BOARD = 16;
+
+fn eval_move(idx, player) {
+    // Score only the stones reachable from the move by a
+    // board-content-driven walk: loop lengths and branches depend on
+    // the data, like real go position evaluation.
+    var s = 0;
+    var p = idx;
+    var steps = 0;
+    while (steps < 24) {
+        var c = mem[BOARD + p];
+        if (c == player) {
+            s = s + 7;
+            p = (p + 1) % SIZE;
+        } else if (c == 0) {
+            s = s + 1;
+            p = (p + 3) % SIZE;
+            if (mem[BOARD + p] == player) {
+                s = s + 4;
+            }
+        } else {
+            s = s - 5;
+            p = (p + c * 2 + 1) % SIZE;
+            if (s < 0 - 30) {
+                return s;
+            }
+        }
+        steps = steps + 1 + (c & 1);
+    }
+    return s;
+}
+
+fn negamax(depth, player, last) {
+    if (depth == 0) {
+        return eval_move(last, player);
+    }
+    var best = 0 - 1000000;
+    var idx = (last * 7 + rnd()) % SIZE;
+    var step = 1 + rnd() % 7;
+    for (var tried = 0; tried < 4; tried = tried + 1) {
+        idx = (idx + step) % SIZE;
+        if (mem[BOARD + idx] == 0) {
+            mem[BOARD + idx] = player;
+            var v = 0 - negamax(depth - 1, 3 - player, idx);
+            mem[BOARD + idx] = 0;
+            if (v > best) {
+                best = v;
+            }
+        } else if (mem[BOARD + idx] == player && tried > 1) {
+            best = best + 1;
+        }
+    }
+    if (best < 0 - 900000) {
+        best = eval_move(last, player);
+    }
+    return best;
+}
+
+fn main() {
+    mem[RNG] = 88172645463325252;
+    var games = in();
+    var total = 0;
+    for (var g = 0; g < games; g = g + 1) {
+        for (var i = 0; i < SIZE; i = i + 1) {
+            mem[BOARD + i] = rnd() % 3;
+        }
+        total = total + negamax(4, 1, rnd() % SIZE);
+    }
+    out(total);
+}
+)WET";
+
+// -------------------------------------------------------------- gcc
+// 126.gcc: compile synthetic expression trees — build, constant-fold,
+// and "emit" — heavy recursion over pointer structures.
+const char* kGccSource = R"WET(
+const ARENA = 16;
+const NODE_WORDS = 4;
+const NEXT_FREE = 8;
+// node layout: [op, lhs, rhs, val]; op 0 = leaf constant
+
+fn new_node(op, lhs, rhs, val) {
+    var p = mem[NEXT_FREE];
+    mem[NEXT_FREE] = p + NODE_WORDS;
+    mem[p] = op;
+    mem[p + 1] = lhs;
+    mem[p + 2] = rhs;
+    mem[p + 3] = val;
+    return p;
+}
+
+fn build(depth) {
+    if (depth == 0 || rnd() % 4 == 0) {
+        return new_node(0, 0, 0, rnd() % 1000);
+    }
+    var op = 1 + rnd() % 4;
+    var l = build(depth - 1);
+    var r = build(depth - 1);
+    return new_node(op, l, r, 0);
+}
+
+fn apply(op, a, b) {
+    if (op == 1) { return a + b; }
+    if (op == 2) { return a - b; }
+    if (op == 3) { return a * b; }
+    return a / (b + 1);
+}
+
+fn fold(p) {
+    var op = mem[p];
+    if (op == 0) {
+        return p;
+    }
+    var l = fold(mem[p + 1]);
+    var r = fold(mem[p + 2]);
+    mem[p + 1] = l;
+    mem[p + 2] = r;
+    if (mem[l] == 0 && mem[r] == 0) {
+        mem[p] = 0;
+        mem[p + 3] = apply(op, mem[l + 3], mem[r + 3]);
+    }
+    return p;
+}
+
+fn emit(p) {
+    // count the instructions a code generator would produce
+    if (mem[p] == 0) {
+        return 1;
+    }
+    var l = emit(mem[p + 1]);
+    var r = emit(mem[p + 2]);
+    var cost = 1;
+    if (mem[p] == 3 || mem[p] == 4) {
+        cost = 3;
+    }
+    return l + r + cost;
+}
+
+fn main() {
+    mem[RNG] = 424242;
+    var functions = in();
+    var total = 0;
+    for (var f = 0; f < functions; f = f + 1) {
+        mem[NEXT_FREE] = ARENA;
+        var tree = build(7);
+        tree = fold(tree);
+        total = total + emit(tree);
+    }
+    out(total);
+}
+)WET";
+
+// --------------------------------------------------------------- li
+// 130.li: a lisp-ish list interpreter — cons cells, map, filter, and
+// reduce loops over linked structures.
+const char* kLiSource = R"WET(
+const HEAP = 16;
+const NEXT_FREE = 8;
+const NIL = 0;
+// cons cell: [car, cdr]
+
+fn cons(a, d) {
+    var p = mem[NEXT_FREE];
+    mem[NEXT_FREE] = p + 2;
+    mem[p] = a;
+    mem[p + 1] = d;
+    return p;
+}
+
+fn build_list(n) {
+    var lst = NIL;
+    for (var i = 0; i < n; i = i + 1) {
+        lst = cons(rnd() % 100, lst);
+    }
+    return lst;
+}
+
+fn map_inc(lst) {
+    if (lst == NIL) {
+        return NIL;
+    }
+    return cons(mem[lst] + 1, map_inc(mem[lst + 1]));
+}
+
+fn filter_odd(lst) {
+    if (lst == NIL) {
+        return NIL;
+    }
+    var rest = filter_odd(mem[lst + 1]);
+    if ((mem[lst] & 1) == 1) {
+        return cons(mem[lst], rest);
+    }
+    return rest;
+}
+
+fn sum(lst) {
+    var s = 0;
+    while (lst != NIL) {
+        s = s + mem[lst];
+        lst = mem[lst + 1];
+    }
+    return s;
+}
+
+fn main() {
+    mem[RNG] = 31415926;
+    var rounds = in();
+    var total = 0;
+    for (var r = 0; r < rounds; r = r + 1) {
+        mem[NEXT_FREE] = HEAP;
+        var lst = build_list(64);
+        var m = map_inc(lst);
+        var f = filter_odd(m);
+        total = total + sum(f);
+    }
+    out(total);
+}
+)WET";
+
+// ------------------------------------------------------------- gzip
+// 164.gzip: LZ77-style compression — sliding-window match search
+// with hash heads over repetitive synthetic text.
+const char* kGzipSource = R"WET(
+const TEXT = 4096;
+const TEXT_LEN = 16384;
+const HEAD = 512;
+const HEAD_SIZE = 1024;
+
+fn gen_text() {
+    // repetitive data: random runs plus copies of earlier chunks
+    var pos = 0;
+    while (pos < TEXT_LEN) {
+        if (pos > 512 && rnd() % 4 == 0) {
+            var src = rnd() % (pos - 256);
+            var len = 8 + rnd() % 48;
+            for (var i = 0; i < len && pos < TEXT_LEN; i = i + 1) {
+                mem[TEXT + pos] = mem[TEXT + src + i];
+                pos = pos + 1;
+            }
+        } else {
+            var len = 4 + rnd() % 24;
+            for (var i = 0; i < len && pos < TEXT_LEN; i = i + 1) {
+                mem[TEXT + pos] = rnd() % 160;
+                pos = pos + 1;
+            }
+        }
+    }
+}
+
+fn hash3(p) {
+    return (mem[TEXT + p] * 33 * 33 + mem[TEXT + p + 1] * 33 +
+            mem[TEXT + p + 2]) % HEAD_SIZE;
+}
+
+fn match_len(a, b, limit) {
+    var n = 0;
+    while (n < limit && mem[TEXT + a + n] == mem[TEXT + b + n]) {
+        n = n + 1;
+    }
+    return n;
+}
+
+fn main() {
+    mem[RNG] = 271828182;
+    var passes = in();
+    var matches = 0;
+    var literals = 0;
+    for (var pass = 0; pass < passes; pass = pass + 1) {
+        gen_text();
+        for (var i = 0; i < HEAD_SIZE; i = i + 1) {
+            mem[HEAD + i] = 0 - 1;
+        }
+        var pos = 0;
+        while (pos + 3 < TEXT_LEN) {
+            var h = hash3(pos);
+            var cand = mem[HEAD + h];
+            mem[HEAD + h] = pos;
+            var best = 0;
+            if (cand >= 0 && pos - cand < 4096) {
+                var limit = TEXT_LEN - pos - 1;
+                if (limit > 255) {
+                    limit = 255;
+                }
+                best = match_len(cand, pos, limit);
+            }
+            if (best >= 3) {
+                matches = matches + 1;
+                pos = pos + best;
+            } else {
+                literals = literals + 1;
+                pos = pos + 1;
+            }
+        }
+    }
+    out(matches);
+    out(literals);
+}
+)WET";
+
+// -------------------------------------------------------------- mcf
+// 181.mcf: network optimization — Bellman-Ford relaxation sweeps over
+// an in-memory arc list (pointer-chasing loads, long dependence
+// chains).
+const char* kMcfSource = R"WET(
+const NODES = 512;
+const DEG = 4;
+const DIST = 1024;
+const ARC_TO = 2048;
+const ARC_COST = 16384;
+
+fn main() {
+    mem[RNG] = 16180339;
+    var rounds = in();
+    var reached = 0;
+    for (var r = 0; r < rounds; r = r + 1) {
+        // build a fresh random network
+        for (var i = 0; i < NODES; i = i + 1) {
+            mem[DIST + i] = 1000000000;
+            for (var d = 0; d < DEG; d = d + 1) {
+                mem[ARC_TO + i * DEG + d] = rnd() % NODES;
+                mem[ARC_COST + i * DEG + d] = 1 + rnd() % 100;
+            }
+        }
+        mem[DIST + 0] = 0;
+        var changed = 1;
+        var sweeps = 0;
+        while (changed == 1 && sweeps < 24) {
+            changed = 0;
+            for (var i = 0; i < NODES; i = i + 1) {
+                var du = mem[DIST + i];
+                if (du < 1000000000) {
+                    for (var d = 0; d < DEG; d = d + 1) {
+                        var v = mem[ARC_TO + i * DEG + d];
+                        var c = mem[ARC_COST + i * DEG + d];
+                        if (du + c < mem[DIST + v]) {
+                            mem[DIST + v] = du + c;
+                            changed = 1;
+                        }
+                    }
+                }
+            }
+            sweeps = sweeps + 1;
+        }
+        for (var i = 0; i < NODES; i = i + 1) {
+            if (mem[DIST + i] < 1000000000) {
+                reached = reached + 1;
+            }
+        }
+    }
+    out(reached);
+}
+)WET";
+
+// ----------------------------------------------------------- parser
+// 197.parser: generate token streams from a small grammar and parse
+// them back with a recursive-descent parser (branchy, call heavy).
+const char* kParserSource = R"WET(
+const TOKENS = 1024;
+const GEN_POS = 8;
+const PARSE_POS = 9;
+// tokens: 0..9 numbers, 10 '+', 11 '-', 12 '*', 13 '(', 14 ')'
+
+fn gen_expr(depth) {
+    var p = mem[GEN_POS];
+    if (depth == 0 || rnd() % 3 == 0) {
+        mem[TOKENS + p] = rnd() % 10;
+        mem[GEN_POS] = p + 1;
+        return 0;
+    }
+    if (rnd() % 4 == 0) {
+        mem[TOKENS + p] = 13;
+        mem[GEN_POS] = p + 1;
+        gen_expr(depth - 1);
+        var q = mem[GEN_POS];
+        mem[TOKENS + q] = 14;
+        mem[GEN_POS] = q + 1;
+        return 0;
+    }
+    gen_expr(depth - 1);
+    var q = mem[GEN_POS];
+    mem[TOKENS + q] = 10 + rnd() % 3;
+    mem[GEN_POS] = q + 1;
+    gen_expr(depth - 1);
+    return 0;
+}
+
+fn peek() {
+    return mem[TOKENS + mem[PARSE_POS]];
+}
+
+fn next_tok() {
+    var t = peek();
+    mem[PARSE_POS] = mem[PARSE_POS] + 1;
+    return t;
+}
+
+fn parse_factor() {
+    var t = next_tok();
+    if (t == 13) {
+        var v = parse_expr();
+        next_tok(); // ')'
+        return v;
+    }
+    return t;
+}
+
+fn parse_term() {
+    var v = parse_factor();
+    while (peek() == 12) {
+        next_tok();
+        v = v * parse_factor();
+    }
+    return v;
+}
+
+fn parse_expr() {
+    var v = parse_term();
+    while (peek() == 10 || peek() == 11) {
+        var op = next_tok();
+        var r = parse_term();
+        if (op == 10) {
+            v = v + r;
+        } else {
+            v = v - r;
+        }
+    }
+    return v;
+}
+
+const DICT = 2048;
+const DICT_SIZE = 18;
+
+fn dict_lookup(tok) {
+    // Linear dictionary scan, as a parser does for every word: the
+    // dominant, highly regular part of real parsing workloads.
+    for (var d = 0; d < DICT_SIZE; d = d + 1) {
+        if (mem[DICT + d] == tok * 7 % 97) {
+            return d;
+        }
+    }
+    return 0 - 1;
+}
+
+fn main() {
+    mem[RNG] = 14142135;
+    var sentences = in();
+    var checksum = 0;
+    for (var d = 0; d < DICT_SIZE; d = d + 1) {
+        mem[DICT + d] = d * 11 % 97;
+    }
+    for (var s = 0; s < sentences; s = s + 1) {
+        mem[GEN_POS] = 0;
+        gen_expr(6);
+        var e = mem[GEN_POS];
+        mem[TOKENS + e] = 15; // end marker
+        // Dictionary pass over every token of the sentence.
+        for (var t = 0; t < e; t = t + 1) {
+            checksum = checksum + dict_lookup(mem[TOKENS + t]);
+        }
+        mem[PARSE_POS] = 0;
+        checksum = checksum + parse_expr();
+    }
+    out(checksum);
+}
+)WET";
+
+// ----------------------------------------------------------- vortex
+// 255.vortex: an object database — open-addressing hash table with
+// insert / lookup / delete transactions (the paper's most
+// compressible subject: highly regular control and values).
+const char* kVortexSource = R"WET(
+const CAP = 16384;
+const KEYS = 1024;
+const VALS = 32768;
+const EMPTY = 0;
+const TOMB = 1;
+
+fn slot_of(key) {
+    var h = (key * 2654435761) % CAP;
+    if (h < 0) {
+        h = 0 - h;
+    }
+    return h;
+}
+
+fn insert(key, val) {
+    var s = slot_of(key);
+    for (var probe = 0; probe < CAP; probe = probe + 1) {
+        var k = mem[KEYS + s];
+        if (k == EMPTY || k == TOMB || k == key) {
+            mem[KEYS + s] = key;
+            mem[VALS + s] = val;
+            return s;
+        }
+        s = s + 1;
+        if (s == CAP) {
+            s = 0;
+        }
+    }
+    return 0 - 1;
+}
+
+fn lookup(key) {
+    var s = slot_of(key);
+    for (var probe = 0; probe < CAP; probe = probe + 1) {
+        var k = mem[KEYS + s];
+        if (k == EMPTY) {
+            return 0 - 1;
+        }
+        if (k == key) {
+            return mem[VALS + s];
+        }
+        s = s + 1;
+        if (s == CAP) {
+            s = 0;
+        }
+    }
+    return 0 - 1;
+}
+
+fn erase(key) {
+    var s = slot_of(key);
+    for (var probe = 0; probe < CAP; probe = probe + 1) {
+        var k = mem[KEYS + s];
+        if (k == EMPTY) {
+            return 0;
+        }
+        if (k == key) {
+            mem[KEYS + s] = TOMB;
+            return 1;
+        }
+        s = s + 1;
+        if (s == CAP) {
+            s = 0;
+        }
+    }
+    return 0;
+}
+
+fn main() {
+    mem[RNG] = 57721566;
+    var txns = in();
+    var hits = 0;
+    var base = 2;
+    for (var t = 0; t < txns; t = t + 1) {
+        // Phase-structured object transactions: a fixed insert /
+        // lookup / update rhythm with high key locality, like the
+        // paper's very regular database subject.
+        var kind = t % 8;
+        var key = base + t % 97;
+        if (kind < 2) {
+            insert(key, key * 3 + 1);
+        } else if (kind < 7) {
+            if (lookup(key) >= 0) {
+                hits = hits + 1;
+            }
+        } else {
+            erase(base + t % 193);
+            base = base + 1;
+            if (base > 3000) {
+                base = 2;
+            }
+        }
+    }
+    out(hits);
+}
+)WET";
+
+// ------------------------------------------------------------ bzip2
+// 256.bzip2: block transforms — counting sort, move-to-front, and
+// run-length coding over generated blocks (regular loop nests).
+const char* kBzip2Source = R"WET(
+const BLOCK = 4096;
+const BLOCK_LEN = 2048;
+const COUNTS = 512;
+const MTF = 768;
+const SORTED = 8192;
+
+fn main() {
+    mem[RNG] = 26535897;
+    var blocks = in();
+    var outBits = 0;
+    for (var b = 0; b < blocks; b = b + 1) {
+        // generate a skewed-symbol block
+        for (var i = 0; i < BLOCK_LEN; i = i + 1) {
+            var r = rnd() % 100;
+            var sym = r % 8;
+            if (r > 80) {
+                sym = 8 + r % 56;
+            }
+            mem[BLOCK + i] = sym;
+        }
+        // counting sort
+        for (var s = 0; s < 64; s = s + 1) {
+            mem[COUNTS + s] = 0;
+        }
+        for (var i = 0; i < BLOCK_LEN; i = i + 1) {
+            var s = mem[BLOCK + i];
+            mem[COUNTS + s] = mem[COUNTS + s] + 1;
+        }
+        var at = 0;
+        for (var s = 0; s < 64; s = s + 1) {
+            for (var c = 0; c < mem[COUNTS + s]; c = c + 1) {
+                mem[SORTED + at] = s;
+                at = at + 1;
+            }
+        }
+        // move-to-front over the original block
+        for (var s = 0; s < 64; s = s + 1) {
+            mem[MTF + s] = s;
+        }
+        var zeros = 0;
+        for (var i = 0; i < BLOCK_LEN; i = i + 1) {
+            var sym = mem[BLOCK + i];
+            var j = 0;
+            while (mem[MTF + j] != sym) {
+                j = j + 1;
+            }
+            var found = j;
+            while (j > 0) {
+                mem[MTF + j] = mem[MTF + j - 1];
+                j = j - 1;
+            }
+            mem[MTF + 0] = sym;
+            if (found == 0) {
+                zeros = zeros + 1;
+            }
+        }
+        // run-length estimate over the sorted block
+        var runs = 0;
+        for (var i = 1; i < BLOCK_LEN; i = i + 1) {
+            if (mem[SORTED + i] != mem[SORTED + i - 1]) {
+                runs = runs + 1;
+            }
+        }
+        outBits = outBits + runs * 6 + zeros;
+    }
+    out(outBits);
+}
+)WET";
+
+// ------------------------------------------------------------ twolf
+// 300.twolf: simulated-annealing placement — random cell swaps with
+// data-dependent accept/reject (irregular value and branch profile).
+const char* kTwolfSource = R"WET(
+const CELLS = 256;
+const XS = 1024;
+const YS = 2048;
+const NETS = 3072;
+// each "net" connects cell i to cell mem[NETS+i]
+
+fn wirelen(i) {
+    var j = mem[NETS + i];
+    var dx = mem[XS + i] - mem[XS + j];
+    var dy = mem[YS + i] - mem[YS + j];
+    if (dx < 0) {
+        dx = 0 - dx;
+    }
+    if (dy < 0) {
+        dy = 0 - dy;
+    }
+    if (dx > dy) {
+        return dx * 2 + dy;
+    }
+    return dy * 2 + dx;
+}
+
+fn cost_around(i) {
+    // Walk this cell's fan-in chain: the chain length depends on the
+    // placement data, so control flow varies move to move.
+    var c = wirelen(i);
+    var k = mem[NETS + i];
+    var hops = 0;
+    while (hops < 12 && k != i) {
+        c = c + wirelen(k);
+        if (mem[XS + k] > mem[XS + i]) {
+            k = mem[NETS + k];
+        } else {
+            k = (k + mem[YS + k]) % CELLS;
+        }
+        hops = hops + 1 + (c & 1);
+    }
+    return c;
+}
+
+fn main() {
+    mem[RNG] = 17320508;
+    var moves = in();
+    for (var i = 0; i < CELLS; i = i + 1) {
+        mem[XS + i] = rnd() % 64;
+        mem[YS + i] = rnd() % 64;
+        mem[NETS + i] = rnd() % CELLS;
+    }
+    var temp = 1000;
+    var accepted = 0;
+    for (var m = 0; m < moves; m = m + 1) {
+        var a = rnd() % CELLS;
+        var b = rnd() % CELLS;
+        var kind = rnd() % 3;
+        var before = cost_around(a);
+        if (kind != 1) {
+            before = before + cost_around(b);
+        }
+        var tx = mem[XS + a];
+        var ty = mem[YS + a];
+        if (kind == 0) {
+            // pairwise swap
+            mem[XS + a] = mem[XS + b];
+            mem[YS + a] = mem[YS + b];
+            mem[XS + b] = tx;
+            mem[YS + b] = ty;
+        } else if (kind == 1) {
+            // single-cell displacement
+            mem[XS + a] = rnd() % 64;
+            mem[YS + a] = rnd() % 64;
+        } else {
+            // axis swap: exchange one coordinate only
+            mem[XS + a] = mem[XS + b];
+            mem[XS + b] = tx;
+        }
+        var after = cost_around(a);
+        if (kind != 1) {
+            after = after + cost_around(b);
+        }
+        var delta = after - before;
+        var noisy = rnd() % 1000;
+        if (delta < 0 || noisy < temp ||
+            (delta < 8 && noisy < temp * 2))
+        {
+            accepted = accepted + 1;
+            if (delta > 0 && temp > 10) {
+                temp = temp - 1;
+            }
+        } else {
+            // undo the move
+            if (kind == 0) {
+                var ux = mem[XS + a];
+                var uy = mem[YS + a];
+                mem[XS + a] = mem[XS + b];
+                mem[YS + a] = mem[YS + b];
+                mem[XS + b] = ux;
+                mem[YS + b] = uy;
+            } else if (kind == 1) {
+                mem[XS + a] = tx;
+                mem[YS + a] = ty;
+            } else {
+                mem[XS + b] = mem[XS + a];
+                mem[XS + a] = tx;
+            }
+        }
+        if (m % 64 == 63 && temp > 10) {
+            temp = temp - 5;
+        }
+    }
+    out(accepted);
+}
+)WET";
+
+std::vector<Workload>
+makeWorkloads()
+{
+    auto withRnd = [](const char* src) {
+        return std::string(kRndHelper) + src;
+    };
+    std::vector<Workload> w;
+    w.push_back({"099.go", "game-tree search, irregular control flow",
+                 withRnd(kGoSource), 1 << 16, 400});
+    w.push_back({"126.gcc", "expression-tree compiler passes",
+                 withRnd(kGccSource), 1 << 16, 900});
+    w.push_back({"130.li", "list interpreter over cons cells",
+                 withRnd(kLiSource), 1 << 16, 600});
+    w.push_back({"164.gzip", "LZ77 sliding-window compressor",
+                 withRnd(kGzipSource), 1 << 16, 3});
+    w.push_back({"181.mcf", "Bellman-Ford network optimization",
+                 withRnd(kMcfSource), 1 << 16, 10});
+    w.push_back({"197.parser", "grammar generator + R-D parser",
+                 withRnd(kParserSource), 1 << 16, 1000});
+    w.push_back({"255.vortex", "object database transactions",
+                 withRnd(kVortexSource), 1 << 16, 60000});
+    w.push_back({"256.bzip2", "block sort + MTF + RLE transforms",
+                 withRnd(kBzip2Source), 1 << 16, 10});
+    w.push_back({"300.twolf", "simulated-annealing placement",
+                 withRnd(kTwolfSource), 1 << 16, 2200});
+    return w;
+}
+
+} // namespace
+
+const std::vector<Workload>&
+allWorkloads()
+{
+    static const std::vector<Workload> workloads = makeWorkloads();
+    return workloads;
+}
+
+const Workload&
+workloadByName(const std::string& name)
+{
+    for (const auto& w : allWorkloads())
+        if (w.name == name)
+            return w;
+    WET_FATAL("unknown workload '" << name << "'");
+}
+
+ir::Module
+compileWorkload(const Workload& w)
+{
+    return lang::compileString(w.source, w.memWords);
+}
+
+std::unique_ptr<interp::InputSource>
+makeWorkloadInput(const Workload& w, uint64_t scale)
+{
+    // Seed differs per workload so no two programs see the same
+    // external input stream.
+    uint64_t seed = 0x9e3779b97f4a7c15ull;
+    for (char c : w.name)
+        seed = seed * 131 + static_cast<unsigned char>(c);
+    return std::make_unique<ScaleThenRandomInput>(scale, seed);
+}
+
+} // namespace workloads
+} // namespace wet

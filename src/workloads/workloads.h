@@ -1,0 +1,53 @@
+#ifndef WET_WORKLOADS_WORKLOADS_H
+#define WET_WORKLOADS_WORKLOADS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "interp/input.h"
+#include "support/error.h"
+#include "ir/module.h"
+
+namespace wet {
+namespace workloads {
+
+/**
+ * One synthetic benchmark program. The nine workloads model the
+ * program classes of the paper's SpecInt 95/2000 subjects (irregular
+ * search, compilation, interpretation, compression, network
+ * optimization, parsing, object database, block transforms, and
+ * annealing placement) so that the WET compression and query
+ * behaviour spans the same qualitative range. See DESIGN.md §2.
+ */
+struct Workload
+{
+    std::string name;        //!< paper-style name, e.g. "099.go"
+    std::string description;
+    std::string source;      //!< wetlang program text
+    uint64_t memWords;       //!< flat memory size to compile with
+    /** Scale value that yields roughly the default run length; the
+     *  program reads it with its first `in()`. */
+    uint64_t defaultScale;
+};
+
+/** The nine workloads, in the paper's table order. */
+const std::vector<Workload>& allWorkloads();
+
+/** Find a workload by name; throws WetError if unknown. */
+const Workload& workloadByName(const std::string& name);
+
+/** Compile a workload's source to IR. */
+ir::Module compileWorkload(const Workload& w);
+
+/**
+ * Input source for a run: the scale first, then deterministic
+ * pseudo-random values (each workload consumes what it needs).
+ */
+std::unique_ptr<interp::InputSource>
+makeWorkloadInput(const Workload& w, uint64_t scale);
+
+} // namespace workloads
+} // namespace wet
+
+#endif // WET_WORKLOADS_WORKLOADS_H

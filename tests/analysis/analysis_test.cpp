@@ -1,0 +1,164 @@
+#include "analysis/controldep.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.h"
+#include "analysis/dominators.h"
+#include "lang/codegen.h"
+
+namespace wet {
+namespace analysis {
+namespace {
+
+// A diamond with a loop:
+//   b0: entry -> b1
+//   b1: loop header, br -> b2 (body) | b4 (exit)
+//   b2: br -> b3a | b3b ... simplified below via wetlang.
+ir::Module
+loopModule()
+{
+    return lang::compileString(R"(
+        fn main() {
+            var s = 0;
+            for (var i = 0; i < 4; i = i + 1) {
+                if (i % 2 == 0) { s = s + 1; } else { s = s + 2; }
+            }
+            out(s);
+        }
+    )");
+}
+
+TEST(CfgTest, ReachabilityAndBackEdges)
+{
+    ir::Module m = loopModule();
+    const ir::Function& fn = m.function(m.entryFunction());
+    CfgInfo cfg(fn);
+    // The entry block is reachable; there is exactly one loop header.
+    EXPECT_TRUE(cfg.reachable(0));
+    EXPECT_EQ(cfg.loopHeaders().size(), 1u);
+    // Exactly one back edge exists (the for-loop's step -> header).
+    int backEdges = 0;
+    for (ir::BlockId b = 0; b < fn.numBlocks(); ++b) {
+        for (size_t i = 0; i < fn.blocks[b].succs.size(); ++i)
+            if (cfg.isBackEdge(b, i))
+                ++backEdges;
+    }
+    EXPECT_EQ(backEdges, 1);
+    // RPO covers exactly the reachable blocks.
+    size_t reachable = 0;
+    for (ir::BlockId b = 0; b < fn.numBlocks(); ++b)
+        if (cfg.reachable(b))
+            ++reachable;
+    EXPECT_EQ(cfg.rpo().size(), reachable);
+}
+
+TEST(DomTest, EntryDominatesEverything)
+{
+    ir::Module m = loopModule();
+    const ir::Function& fn = m.function(m.entryFunction());
+    CfgInfo cfg(fn);
+    DomTree dom = DomTree::dominators(fn);
+    for (ir::BlockId b = 0; b < fn.numBlocks(); ++b) {
+        if (!cfg.reachable(b))
+            continue;
+        EXPECT_TRUE(dom.dominates(0, b)) << "block " << b;
+        EXPECT_TRUE(dom.dominates(b, b));
+    }
+}
+
+TEST(DomTest, PostDominatorsRootAtVirtualExit)
+{
+    ir::Module m = loopModule();
+    const ir::Function& fn = m.function(m.entryFunction());
+    DomTree pd = DomTree::postDominators(fn);
+    ir::BlockId exit = DomTree::virtualExit(fn);
+    EXPECT_EQ(pd.root(), exit);
+    // The virtual exit post-dominates every block.
+    for (ir::BlockId b = 0; b < fn.numBlocks(); ++b)
+        EXPECT_TRUE(pd.dominates(exit, b)) << "block " << b;
+}
+
+TEST(DomTest, IdomChainsTerminate)
+{
+    ir::Module m = loopModule();
+    const ir::Function& fn = m.function(m.entryFunction());
+    DomTree dom = DomTree::dominators(fn);
+    for (ir::BlockId b = 0; b < fn.numBlocks(); ++b) {
+        if (dom.depth(b) == UINT32_MAX)
+            continue;
+        ir::BlockId x = b;
+        int steps = 0;
+        while (x != dom.root()) {
+            x = dom.idom(x);
+            ASSERT_LT(++steps, 1000);
+        }
+    }
+}
+
+TEST(ControlDepTest, IfBranchesDependOnThePredicate)
+{
+    ir::Module m = lang::compileString(R"(
+        fn main() {
+            var x = in();
+            if (x > 0) { out(1); } else { out(2); }
+            out(3);
+        }
+    )");
+    const ir::Function& fn = m.function(m.entryFunction());
+    DomTree pd = DomTree::postDominators(fn);
+    ControlDep cd(fn, pd);
+
+    // Locate the branch block and the two out() blocks.
+    ir::BlockId brBlock = ir::kNoBlock;
+    for (ir::BlockId b = 0; b < fn.numBlocks(); ++b)
+        if (fn.blocks[b].endsInBranch())
+            brBlock = b;
+    ASSERT_NE(brBlock, ir::kNoBlock);
+    ir::BlockId thenB = fn.blocks[brBlock].succs[0];
+    ir::BlockId elseB = fn.blocks[brBlock].succs[1];
+
+    ASSERT_EQ(cd.parents(thenB).size(), 1u);
+    EXPECT_EQ(cd.parents(thenB)[0].pred, brBlock);
+    EXPECT_EQ(cd.parents(thenB)[0].outcome, 0);
+    ASSERT_EQ(cd.parents(elseB).size(), 1u);
+    EXPECT_EQ(cd.parents(elseB)[0].pred, brBlock);
+    EXPECT_EQ(cd.parents(elseB)[0].outcome, 1);
+    // The entry block has no intraprocedural parent.
+    EXPECT_TRUE(cd.parents(0).empty());
+}
+
+TEST(ControlDepTest, LoopBodyDependsOnLoopPredicate)
+{
+    ir::Module m = loopModule();
+    const ir::Function& fn = m.function(m.entryFunction());
+    CfgInfo cfg(fn);
+    DomTree pd = DomTree::postDominators(fn);
+    ControlDep cd(fn, pd);
+    // Every block that is a loop-body block (reachable, has a CD
+    // parent that branches) has parents consistent with FOW: the
+    // parent block must end in a branch.
+    for (ir::BlockId b = 0; b < fn.numBlocks(); ++b) {
+        if (!cfg.reachable(b))
+            continue;
+        for (const CdParent& p : cd.parents(b)) {
+            EXPECT_TRUE(fn.blocks[p.pred].endsInBranch());
+            EXPECT_LT(p.outcome, fn.blocks[p.pred].succs.size());
+        }
+    }
+}
+
+TEST(ControlDepTest, InfiniteLoopStaysDefined)
+{
+    // A body with no path to exit must still get post-dominator and
+    // CD entries (conservatively attached to the virtual exit).
+    ir::Module m = lang::compileString(
+        "fn main() { while (1) { mem[0] = mem[0] + 1; } }", 64);
+    const ir::Function& fn = m.function(m.entryFunction());
+    DomTree pd = DomTree::postDominators(fn);
+    for (ir::BlockId b = 0; b < fn.numBlocks(); ++b)
+        EXPECT_NE(pd.depth(b), UINT32_MAX) << "block " << b;
+}
+
+} // namespace
+} // namespace analysis
+} // namespace wet

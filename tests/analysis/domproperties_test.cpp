@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/dominators.h"
+#include "lang/codegen.h"
+#include "workloads/workloads.h"
+
+namespace wet {
+namespace analysis {
+namespace {
+
+/**
+ * Brute-force dominance: a dominates b iff removing a from the CFG
+ * makes b unreachable from the entry.
+ */
+bool
+bruteDominates(const ir::Function& fn, ir::BlockId a, ir::BlockId b)
+{
+    if (a == b)
+        return true;
+    if (a == 0)
+        return true;
+    std::set<ir::BlockId> seen{0};
+    std::vector<ir::BlockId> work{0};
+    while (!work.empty()) {
+        ir::BlockId x = work.back();
+        work.pop_back();
+        if (x == b)
+            return false;
+        for (ir::BlockId s : fn.blocks[x].succs) {
+            if (s == a || seen.count(s))
+                continue;
+            seen.insert(s);
+            work.push_back(s);
+        }
+    }
+    return true; // b unreachable without a
+}
+
+/** Check the dominator tree of every function against brute force. */
+void
+checkModule(const ir::Module& m)
+{
+    for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+        const ir::Function& fn = m.function(f);
+        if (fn.numBlocks() > 40)
+            continue; // keep the O(n^3) brute force affordable
+        DomTree dom = DomTree::dominators(fn);
+        // Reachability from entry.
+        std::set<ir::BlockId> reach{0};
+        std::vector<ir::BlockId> work{0};
+        while (!work.empty()) {
+            ir::BlockId x = work.back();
+            work.pop_back();
+            for (ir::BlockId s : fn.blocks[x].succs) {
+                if (!reach.count(s)) {
+                    reach.insert(s);
+                    work.push_back(s);
+                }
+            }
+        }
+        for (ir::BlockId a = 0; a < fn.numBlocks(); ++a) {
+            for (ir::BlockId b = 0; b < fn.numBlocks(); ++b) {
+                if (!reach.count(a) || !reach.count(b))
+                    continue;
+                EXPECT_EQ(dom.dominates(a, b),
+                          bruteDominates(fn, a, b))
+                    << "fn " << fn.name << " a=" << a << " b=" << b;
+            }
+        }
+    }
+}
+
+TEST(DomPropertyTest, MatchesBruteForceOnStructuredCode)
+{
+    checkModule(lang::compileString(R"(
+        fn main() {
+            var s = 0;
+            for (var i = 0; i < 4; i = i + 1) {
+                if (i % 2 == 0) {
+                    s = s + 1;
+                } else if (i % 3 == 0) {
+                    s = s + 2;
+                } else {
+                    while (s > 10) { s = s - 3; }
+                }
+            }
+            out(s);
+        }
+    )"));
+}
+
+TEST(DomPropertyTest, MatchesBruteForceOnEarlyReturns)
+{
+    checkModule(lang::compileString(R"(
+        fn f(x) {
+            if (x < 0) { return 0 - 1; }
+            if (x == 0) { return 0; }
+            while (x > 10) {
+                x = x / 2;
+                if (x == 5) { return 5; }
+            }
+            return x;
+        }
+        fn main() { out(f(100)); }
+    )"));
+}
+
+TEST(DomPropertyTest, MatchesBruteForceOnWorkloadFunctions)
+{
+    // Real workload CFGs: nested loops, breaks, short-circuit
+    // operators.
+    const auto& w = workloads::workloadByName("164.gzip");
+    checkModule(workloads::compileWorkload(w));
+}
+
+TEST(DomPropertyTest, IdomIsTheClosestStrictDominator)
+{
+    ir::Module m = workloads::compileWorkload(
+        workloads::workloadByName("256.bzip2"));
+    for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+        const ir::Function& fn = m.function(f);
+        DomTree dom = DomTree::dominators(fn);
+        for (ir::BlockId b = 1; b < fn.numBlocks(); ++b) {
+            if (dom.depth(b) == UINT32_MAX)
+                continue;
+            ir::BlockId id = dom.idom(b);
+            EXPECT_TRUE(dom.dominates(id, b));
+            EXPECT_NE(id, b);
+            // Every other strict dominator of b dominates idom(b).
+            for (ir::BlockId a = 0; a < fn.numBlocks(); ++a) {
+                if (a == b || dom.depth(a) == UINT32_MAX)
+                    continue;
+                if (dom.dominates(a, b)) {
+                    EXPECT_TRUE(dom.dominates(a, id))
+                        << "a=" << a << " b=" << b;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace analysis
+} // namespace wet

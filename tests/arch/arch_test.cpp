@@ -1,0 +1,129 @@
+#include "arch/archprofile.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/branchpredictor.h"
+#include "arch/cache.h"
+#include "lang/codegen.h"
+#include "support/rng.h"
+#include "testutil.h"
+
+namespace wet {
+namespace arch {
+namespace {
+
+TEST(GshareTest, LearnsAlwaysTakenBranch)
+{
+    GsharePredictor pred(10);
+    int wrong = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (!pred.predictAndUpdate(0x42, true))
+            ++wrong;
+    EXPECT_LT(wrong, 40); // history warm-up touches ~index-bits slots
+    EXPECT_EQ(pred.lookups(), 1000u);
+}
+
+TEST(GshareTest, LearnsAlternatingPatternViaHistory)
+{
+    GsharePredictor pred(12);
+    int wrongTail = 0;
+    for (int i = 0; i < 4000; ++i) {
+        bool taken = (i % 2 == 0);
+        bool ok = pred.predictAndUpdate(0x7, taken);
+        if (i >= 2000 && !ok)
+            ++wrongTail;
+    }
+    // With global history the alternation becomes predictable.
+    EXPECT_LT(wrongTail, 100);
+}
+
+TEST(GshareTest, RandomBranchesMispredictOften)
+{
+    GsharePredictor pred(12);
+    support::Rng rng(5);
+    int wrong = 0;
+    for (int i = 0; i < 4000; ++i)
+        if (!pred.predictAndUpdate(0x9, rng.chance(1, 2)))
+            ++wrong;
+    EXPECT_GT(wrong, 1000);
+}
+
+TEST(CacheTest, RepeatedAccessHits)
+{
+    Cache c;
+    EXPECT_FALSE(c.access(100));
+    EXPECT_TRUE(c.access(100));
+    EXPECT_TRUE(c.access(101)); // same line (4-word lines)
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.accesses(), 3u);
+}
+
+TEST(CacheTest, LruEvictsOldest)
+{
+    CacheConfig cfg;
+    cfg.lineWords = 1;
+    cfg.numSets = 1;
+    cfg.associativity = 2;
+    Cache c(cfg);
+    EXPECT_FALSE(c.access(1));
+    EXPECT_FALSE(c.access(2));
+    EXPECT_TRUE(c.access(1));  // 2 is now LRU
+    EXPECT_FALSE(c.access(3)); // evicts 2
+    EXPECT_FALSE(c.access(2));
+    EXPECT_TRUE(c.access(3));
+}
+
+TEST(CacheTest, StreamingThroughBigArrayMisses)
+{
+    Cache c; // 128 KB
+    uint64_t start = 0;
+    // First sweep over 1M words: cold misses on every line.
+    uint64_t missesBefore = c.misses();
+    for (uint64_t a = start; a < start + (1 << 20); a += 4)
+        c.access(a);
+    EXPECT_EQ(c.misses() - missesBefore, uint64_t{1} << 18);
+}
+
+TEST(ArchProfileTest, CollectsPerStatementBitHistories)
+{
+    const char* src = R"(
+        fn main() {
+            var s = 0;
+            for (var i = 0; i < 100; i = i + 1) {
+                mem[i * 64] = i;       // streaming stores
+                s = s + mem[i * 64];   // immediately re-loaded: hits
+            }
+            out(s);
+        }
+    )";
+    ir::Module mod = lang::compileString(src, 1 << 20);
+    analysis::ModuleAnalysis ma(mod);
+    interp::VectorInput input({});
+    ArchProfileSink sink;
+    interp::Interpreter interp(ma, input, &sink);
+    auto r = interp.run();
+    EXPECT_EQ(sink.branches(), r.branches);
+    EXPECT_EQ(sink.cacheAccesses(), r.loads + r.stores);
+    // One bit per instance.
+    uint64_t branchBits = 0;
+    for (const auto& [stmt, bits] : sink.branchHistory()) {
+        (void)stmt;
+        branchBits += bits.size();
+    }
+    EXPECT_EQ(branchBits, r.branches);
+    uint64_t loadBits = 0;
+    for (const auto& [stmt, bits] : sink.loadHistory()) {
+        (void)stmt;
+        loadBits += bits.size();
+    }
+    EXPECT_EQ(loadBits, r.loads);
+    // The load after each store touches a just-fetched line.
+    EXPECT_LT(sink.cacheMisses(), sink.cacheAccesses());
+    EXPECT_GT(sink.branchHistoryBytes() + sink.loadHistoryBytes() +
+                  sink.storeHistoryBytes(),
+              0u);
+}
+
+} // namespace
+} // namespace arch
+} // namespace wet

@@ -1,0 +1,168 @@
+#include "codec/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "codec/model.h"
+#include "support/rng.h"
+
+namespace wet {
+namespace codec {
+namespace {
+
+std::vector<int64_t>
+constantStream(size_t n, int64_t v)
+{
+    return std::vector<int64_t>(n, v);
+}
+
+std::vector<int64_t>
+strideStream(size_t n, int64_t start, int64_t stride)
+{
+    std::vector<int64_t> v;
+    v.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        v.push_back(start + static_cast<int64_t>(i) * stride);
+    return v;
+}
+
+std::vector<int64_t>
+periodicStream(size_t n, std::vector<int64_t> period)
+{
+    std::vector<int64_t> v;
+    v.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        v.push_back(period[i % period.size()]);
+    return v;
+}
+
+std::vector<int64_t>
+randomStream(size_t n, uint64_t seed, uint64_t span)
+{
+    support::Rng rng(seed);
+    std::vector<int64_t> v;
+    v.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        v.push_back(static_cast<int64_t>(rng.below(span)));
+    return v;
+}
+
+class CodecRoundTrip
+    : public ::testing::TestWithParam<CodecConfig>
+{
+};
+
+TEST_P(CodecRoundTrip, AllShapesDecodeExactly)
+{
+    CodecConfig cfg = GetParam();
+    std::vector<std::vector<int64_t>> streams = {
+        constantStream(500, 7),
+        strideStream(500, 3, 5),
+        strideStream(500, 1000, -3),
+        periodicStream(500, {1, 2, 3}),
+        periodicStream(512, {42, -17}),
+        randomStream(500, 1, 1u << 30),
+        randomStream(500, 2, 8),
+        {},                        // empty
+        {5},                       // single value
+        {1, 2, 3},                 // shorter than any context
+        constantStream(17, 0),     // boundary near min length
+    };
+    for (size_t i = 0; i < streams.size(); ++i) {
+        CompressedStream s = encodeStream(streams[i], cfg);
+        EXPECT_EQ(decodeAll(s), streams[i])
+            << methodName(cfg.method, cfg.context) << " stream " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, CodecRoundTrip,
+    ::testing::ValuesIn(candidateConfigs()),
+    [](const ::testing::TestParamInfo<CodecConfig>& info) {
+        return methodName(info.param.method, info.param.context);
+    });
+
+TEST(CodecTest, ConstantStreamCompressesHard)
+{
+    auto v = constantStream(100000, 99);
+    CompressedStream s = encodeStream(v, CodecConfig{Method::Fcm, 1, 0});
+    // 100k values -> ~12.5 KB of hit flags plus table overhead.
+    EXPECT_LT(s.sizeBytes(), v.size()); // far below 8 bytes/value
+    EXPECT_EQ(decodeAll(s), v);
+}
+
+TEST(CodecTest, StrideStreamFavorsDfcm)
+{
+    auto v = strideStream(100000, 0, 12345);
+    CompressedStream dfcm =
+        encodeStream(v, CodecConfig{Method::Dfcm, 1, 0});
+    CompressedStream fcm =
+        encodeStream(v, CodecConfig{Method::Fcm, 1, 0});
+    EXPECT_LT(dfcm.sizeBytes() * 10, fcm.sizeBytes());
+    EXPECT_EQ(decodeAll(dfcm), v);
+}
+
+TEST(CodecTest, PeriodicStreamFavorsFcm)
+{
+    auto v = periodicStream(100000, {5, 9, 2, 7});
+    CompressedStream s = encodeStream(v, CodecConfig{Method::Fcm, 2, 0});
+    EXPECT_LT(s.sizeBytes(), v.size() / 4);
+    EXPECT_EQ(decodeAll(s), v);
+}
+
+TEST(CodecTest, AlternatingValuesFavorLastN)
+{
+    auto v = periodicStream(50000, {100, 200, 100, 300});
+    CompressedStream s =
+        encodeStream(v, CodecConfig{Method::LastN, 4, 0});
+    EXPECT_LT(s.sizeBytes(), v.size());
+    EXPECT_EQ(decodeAll(s), v);
+}
+
+TEST(CodecTest, RawFallbackForTinyStreams)
+{
+    std::vector<int64_t> v = {1, 2, 3, 4, 5};
+    CompressedStream s = encodeStream(v, CodecConfig{Method::Fcm, 3, 0});
+    EXPECT_EQ(s.config.method, Method::Raw);
+    EXPECT_EQ(decodeAll(s), v);
+}
+
+TEST(CodecTest, NegativeAndExtremeValues)
+{
+    std::vector<int64_t> v = {INT64_MIN, INT64_MAX, -1, 0, 1,
+                              INT64_MIN, INT64_MAX, -1, 0, 1,
+                              INT64_MIN, INT64_MAX, -1, 0, 1,
+                              INT64_MIN, INT64_MAX, -1, 0, 1};
+    for (const auto& cfg : candidateConfigs()) {
+        CompressedStream s = encodeStream(v, cfg);
+        EXPECT_EQ(decodeAll(s), v)
+            << methodName(cfg.method, cfg.context);
+    }
+}
+
+TEST(CodecTest, LongRandomRoundTrip)
+{
+    auto v = randomStream(200000, 77, UINT64_MAX);
+    for (Method m : {Method::Fcm, Method::Dfcm, Method::LastN,
+                     Method::LastNStride})
+    {
+        CompressedStream s = encodeStream(v, CodecConfig{m, 2, 0});
+        EXPECT_EQ(decodeAll(s), v) << methodName(m, 2);
+    }
+}
+
+TEST(CodecTest, CheckpointsDoNotChangeContent)
+{
+    auto v = periodicStream(20000, {1, 5, 9, 5, 1});
+    CompressedStream plain =
+        encodeStream(v, CodecConfig{Method::Fcm, 2, 0});
+    CompressedStream ckpt =
+        encodeStream(v, CodecConfig{Method::Fcm, 2, 0}, 1024);
+    EXPECT_FALSE(ckpt.checkpoints.empty());
+    EXPECT_EQ(decodeAll(ckpt), v);
+    EXPECT_EQ(plain.payloadBytes(), ckpt.payloadBytes());
+    EXPECT_GT(ckpt.sizeBytes(), plain.sizeBytes());
+}
+
+} // namespace
+} // namespace codec
+} // namespace wet

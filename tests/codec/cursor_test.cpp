@@ -1,0 +1,125 @@
+#include "codec/cursor.h"
+
+#include <gtest/gtest.h>
+
+#include "codec/encoder.h"
+#include "support/rng.h"
+
+namespace wet {
+namespace codec {
+namespace {
+
+std::vector<int64_t>
+mixedStream(size_t n, uint64_t seed)
+{
+    support::Rng rng(seed);
+    std::vector<int64_t> v;
+    int64_t x = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (rng.chance(3, 4))
+            x += static_cast<int64_t>(rng.below(4)); // gentle strides
+        else
+            x = static_cast<int64_t>(rng.below(1000));
+        v.push_back(x);
+    }
+    return v;
+}
+
+class CursorTest : public ::testing::TestWithParam<CodecConfig>
+{
+};
+
+TEST_P(CursorTest, BackwardSweepMatchesForward)
+{
+    auto v = mixedStream(5000, 11);
+    CompressedStream s = encodeStream(v, GetParam());
+    StreamCursor cur(s, StreamCursor::Mode::Bidirectional);
+    // Forward to the end.
+    for (size_t i = 0; i < v.size(); ++i)
+        ASSERT_EQ(cur.next(), v[i]) << "fwd " << i;
+    // Then all the way back.
+    for (size_t i = v.size(); i-- > 0;)
+        ASSERT_EQ(cur.prev(), v[i]) << "bwd " << i;
+    // And forward again over the same cursor.
+    for (size_t i = 0; i < v.size(); ++i)
+        ASSERT_EQ(cur.next(), v[i]) << "fwd2 " << i;
+}
+
+TEST_P(CursorTest, RandomWiggleMatchesReference)
+{
+    auto v = mixedStream(2000, 23);
+    CompressedStream s = encodeStream(v, GetParam());
+    StreamCursor cur(s, StreamCursor::Mode::Bidirectional);
+    support::Rng rng(5);
+    uint64_t pos = 0;
+    // Drift randomly: the sequence of at() calls exercises both
+    // step directions at every boundary.
+    for (int step = 0; step < 20000; ++step) {
+        if (rng.chance(1, 2)) {
+            if (pos + 1 < v.size())
+                ++pos;
+        } else {
+            if (pos > 0)
+                --pos;
+        }
+        ASSERT_EQ(cur.at(pos), v[pos]) << "pos " << pos;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, CursorTest, ::testing::ValuesIn(candidateConfigs()),
+    [](const ::testing::TestParamInfo<CodecConfig>& info) {
+        return methodName(info.param.method, info.param.context);
+    });
+
+TEST(CursorModeTest, ForwardCursorRestartsForBackJumps)
+{
+    auto v = mixedStream(3000, 31);
+    CompressedStream s = encodeStream(v, CodecConfig{Method::Fcm, 2, 0});
+    StreamCursor cur(s, StreamCursor::Mode::Forward);
+    EXPECT_EQ(cur.at(2500), v[2500]);
+    // Jumping back on a forward-only cursor re-scans from the front
+    // but must still return the right value.
+    EXPECT_EQ(cur.at(100), v[100]);
+    EXPECT_EQ(cur.at(2999), v[2999]);
+}
+
+TEST(CursorModeTest, CheckpointsSpeedUpBackJumps)
+{
+    auto v = mixedStream(50000, 41);
+    CompressedStream s =
+        encodeStream(v, CodecConfig{Method::Fcm, 2, 0}, 4096);
+    ASSERT_FALSE(s.checkpoints.empty());
+    StreamCursor cur(s, StreamCursor::Mode::Forward);
+    // Values at/after a checkpoint must be reachable from it.
+    for (uint64_t q : {49999u, 9000u, 4096u, 4095u, 0u})
+        EXPECT_EQ(cur.at(q), v[q]) << q;
+}
+
+TEST(CursorModeTest, SeekAndSequentialApi)
+{
+    auto v = mixedStream(1000, 53);
+    CompressedStream s = encodeStream(v, CodecConfig{Method::LastN, 4, 0});
+    StreamCursor cur(s, StreamCursor::Mode::Bidirectional);
+    EXPECT_TRUE(cur.hasNext());
+    EXPECT_FALSE(cur.hasPrev());
+    cur.seek(500);
+    EXPECT_EQ(cur.pos(), 500u);
+    EXPECT_EQ(cur.next(), v[500]);
+    EXPECT_EQ(cur.prev(), v[500]);
+    EXPECT_EQ(cur.prev(), v[499]);
+}
+
+TEST(CursorModeTest, RawStreamsAreRandomAccess)
+{
+    std::vector<int64_t> v = {9, -8, 7, -6, 5};
+    CompressedStream s = encodeStream(v, CodecConfig{Method::Raw, 0, 0});
+    StreamCursor cur(s, StreamCursor::Mode::Forward);
+    EXPECT_EQ(cur.at(4), 5);
+    EXPECT_EQ(cur.at(0), 9);
+    EXPECT_EQ(cur.at(2), 7);
+}
+
+} // namespace
+} // namespace codec
+} // namespace wet

@@ -1,0 +1,123 @@
+#include "codec/entryio.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace wet {
+namespace codec {
+namespace {
+
+using namespace detail;
+
+Entry
+randomEntry(support::Rng& rng, unsigned idx_bits)
+{
+    Entry e;
+    e.hit = rng.chance(1, 2);
+    if (e.hit && idx_bits)
+        e.hitIndex = rng.below(uint64_t{1} << idx_bits);
+    if (!e.hit)
+        e.missVictim = static_cast<int64_t>(rng.next());
+    return e;
+}
+
+void
+expectEq(const Entry& a, const Entry& b)
+{
+    EXPECT_EQ(a.hit, b.hit);
+    if (a.hit) {
+        EXPECT_EQ(a.hitIndex, b.hitIndex);
+    } else {
+        EXPECT_EQ(a.missVictim, b.missVictim);
+    }
+}
+
+TEST(EntryIoTest, ForwardLayoutRoundTrip)
+{
+    for (unsigned idxBits : {0u, 2u, 3u}) {
+        support::Rng rng(idxBits + 1);
+        std::vector<Entry> entries;
+        support::BitStack flags;
+        support::VarintBuffer vals;
+        for (int i = 0; i < 500; ++i) {
+            entries.push_back(randomEntry(rng, idxBits));
+            writeEntryForward(flags, vals, entries.back(), idxBits);
+        }
+        size_t fp = 0;
+        size_t mp = 0;
+        for (const Entry& want : entries) {
+            Entry got =
+                readEntryForward(flags, vals, fp, mp, idxBits);
+            expectEq(want, got);
+        }
+        EXPECT_EQ(fp, flags.size());
+        EXPECT_EQ(mp, vals.sizeBytes());
+    }
+}
+
+TEST(EntryIoTest, UnreadStepsBackwardsExactly)
+{
+    support::Rng rng(9);
+    unsigned idxBits = 3;
+    std::vector<Entry> entries;
+    support::BitStack flags;
+    support::VarintBuffer vals;
+    for (int i = 0; i < 200; ++i) {
+        entries.push_back(randomEntry(rng, idxBits));
+        writeEntryForward(flags, vals, entries.back(), idxBits);
+    }
+    // Read all forward, then unread all backward.
+    size_t fp = 0;
+    size_t mp = 0;
+    for (const Entry& want : entries)
+        expectEq(want, readEntryForward(flags, vals, fp, mp,
+                                        idxBits));
+    for (size_t i = entries.size(); i-- > 0;)
+        unreadEntryForward(flags, vals, fp, mp, entries[i], idxBits);
+    EXPECT_EQ(fp, 0u);
+    EXPECT_EQ(mp, 0u);
+}
+
+TEST(EntryIoTest, ReversedLayoutIsLifo)
+{
+    for (unsigned idxBits : {0u, 3u}) {
+        support::Rng rng(idxBits + 7);
+        std::vector<Entry> entries;
+        support::BitStack flags;
+        support::VarintBuffer vals;
+        for (int i = 0; i < 300; ++i) {
+            entries.push_back(randomEntry(rng, idxBits));
+            pushEntryReversed(flags, vals, entries.back(), idxBits);
+        }
+        for (size_t i = entries.size(); i-- > 0;) {
+            Entry got = popEntryReversed(flags, vals, idxBits);
+            expectEq(entries[i], got);
+        }
+        EXPECT_TRUE(flags.empty());
+        EXPECT_TRUE(vals.empty());
+    }
+}
+
+TEST(EntryIoTest, MixedPushPopInterleaving)
+{
+    support::Rng rng(13);
+    unsigned idxBits = 2;
+    std::vector<Entry> shadow;
+    support::BitStack flags;
+    support::VarintBuffer vals;
+    for (int step = 0; step < 3000; ++step) {
+        if (shadow.empty() || rng.chance(3, 5)) {
+            shadow.push_back(randomEntry(rng, idxBits));
+            pushEntryReversed(flags, vals, shadow.back(), idxBits);
+        } else {
+            Entry got = popEntryReversed(flags, vals, idxBits);
+            expectEq(shadow.back(), got);
+            shadow.pop_back();
+        }
+    }
+}
+
+} // namespace
+} // namespace codec
+} // namespace wet

@@ -1,0 +1,137 @@
+#include "codec/sequitur.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "codec/encoder.h"
+#include "support/rng.h"
+
+namespace wet {
+namespace codec {
+namespace {
+
+void
+roundTrip(const std::vector<int64_t>& v, const char* what)
+{
+    SequiturGrammar g(v);
+    EXPECT_EQ(g.expand(), v) << what;
+    std::vector<int64_t> back = g.expandBackward();
+    std::reverse(back.begin(), back.end());
+    EXPECT_EQ(back, v) << what << " (backward)";
+}
+
+TEST(SequiturTest, SimpleRepetition)
+{
+    roundTrip({1, 2, 1, 2, 1, 2, 1, 2}, "abababab");
+}
+
+TEST(SequiturTest, ClassicExample)
+{
+    // "abcabdabcabd" from the Sequitur paper.
+    roundTrip({1, 2, 3, 1, 2, 4, 1, 2, 3, 1, 2, 4}, "abcabdabcabd");
+}
+
+TEST(SequiturTest, RunsOfOneSymbol)
+{
+    roundTrip(std::vector<int64_t>(100, 7), "aaaa...");
+    roundTrip({7, 7, 7}, "aaa");
+    roundTrip({7, 7}, "aa");
+}
+
+TEST(SequiturTest, EdgeSizes)
+{
+    roundTrip({}, "empty");
+    roundTrip({42}, "single");
+    roundTrip({1, 2}, "pair");
+}
+
+TEST(SequiturTest, NestedRepetition)
+{
+    // (ab)^4 c (ab)^4 c — rules over rules.
+    std::vector<int64_t> v;
+    for (int rep = 0; rep < 2; ++rep) {
+        for (int i = 0; i < 4; ++i) {
+            v.push_back(1);
+            v.push_back(2);
+        }
+        v.push_back(3);
+    }
+    roundTrip(v, "nested");
+    SequiturGrammar g(v);
+    EXPECT_GT(g.numRules(), 1u);
+}
+
+TEST(SequiturTest, HierarchyCompressesPeriodicStreams)
+{
+    std::vector<int64_t> v;
+    for (int i = 0; i < 4096; ++i)
+        v.push_back(i % 6);
+    SequiturGrammar g(v);
+    EXPECT_EQ(g.expand(), v);
+    // Grammar for a periodic stream is logarithmic-ish in length.
+    EXPECT_LT(g.totalSymbols(), 200u);
+    EXPECT_LT(g.sizeBytes(), v.size());
+}
+
+TEST(SequiturTest, RandomSmallAlphabetFuzz)
+{
+    support::Rng rng(2718);
+    for (int round = 0; round < 40; ++round) {
+        size_t len = 1 + rng.below(400);
+        uint64_t alpha = 1 + rng.below(5);
+        std::vector<int64_t> v;
+        v.reserve(len);
+        for (size_t i = 0; i < len; ++i)
+            v.push_back(static_cast<int64_t>(rng.below(alpha)));
+        SequiturGrammar g(v);
+        ASSERT_EQ(g.expand(), v) << "round " << round;
+        std::vector<int64_t> back = g.expandBackward();
+        std::reverse(back.begin(), back.end());
+        ASSERT_EQ(back, v) << "round " << round << " backward";
+    }
+}
+
+TEST(SequiturTest, RandomLargeValuesFuzz)
+{
+    support::Rng rng(31337);
+    for (int round = 0; round < 10; ++round) {
+        size_t len = 1000 + rng.below(2000);
+        std::vector<int64_t> v;
+        for (size_t i = 0; i < len; ++i) {
+            // Mixture of repeating motifs and noise.
+            if (rng.chance(1, 3))
+                v.push_back(static_cast<int64_t>(rng.next()));
+            else
+                v.push_back(static_cast<int64_t>(rng.below(4)) -
+                            2);
+        }
+        SequiturGrammar g(v);
+        ASSERT_EQ(g.expand(), v) << "round " << round;
+    }
+}
+
+TEST(SequiturTest, PredictorsBeatSequiturOnValueStreams)
+{
+    // The paper's §4 claim: Sequitur is bidirectional but "nearly
+    // not as effective as the unidirectional predictors" on value
+    // streams. A strided value stream is FCM/DFCM bread and butter.
+    std::vector<int64_t> v;
+    support::Rng rng(5);
+    int64_t x = 1000;
+    for (int i = 0; i < 50000; ++i) {
+        x += 3 + static_cast<int64_t>(rng.below(2)); // stride 3/4
+        v.push_back(x);
+    }
+    SequiturGrammar g(v);
+    ASSERT_EQ(g.expand(), v);
+    CompressedStream best =
+        encodeStream(v, CodecConfig{Method::Dfcm, 1, 0});
+    EXPECT_LT(best.sizeBytes() * 4, g.sizeBytes())
+        << "DFCM should compress a strided value stream far better "
+           "than Sequitur";
+}
+
+} // namespace
+} // namespace codec
+} // namespace wet

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/access.h"
+#include "core/addrquery.h"
+#include "core/cfquery.h"
+#include "core/compressed.h"
+#include "core/slicer.h"
+#include "core/valuequery.h"
+#include "testutil.h"
+
+namespace wet {
+namespace core {
+namespace {
+
+using test::runPipeline;
+
+const char* kProgram = R"(
+    fn main() {
+        var s = 0;
+        for (var i = 0; i < 60; i = i + 1) {
+            var t = in();
+            if (t % 3 == 0) { mem[i % 8] = t * 2; }
+            s = s + mem[(i + 1) % 8];
+        }
+        out(s);
+    }
+)";
+
+std::vector<int64_t>
+inputs60()
+{
+    std::vector<int64_t> v;
+    for (int i = 0; i < 60; ++i)
+        v.push_back((i * 29 + 7) % 53);
+    return v;
+}
+
+TEST(DropTier1Test, Tier2QueriesSurviveDroppingRawLabels)
+{
+    auto p = runPipeline(kProgram, inputs60());
+    WetCompressed comp(p->graph);
+
+    // Reference answers from the intact representation.
+    WetAccess ref(comp, *p->module);
+    std::vector<std::pair<NodeId, Timestamp>> cfRef;
+    ControlFlowQuery(ref).extractForward(
+        [&](NodeId n, Timestamp t) { cfRef.emplace_back(n, t); });
+    ValueTraceQuery vref(ref);
+    ir::StmtId load = vref.stmtsWithOpcode(ir::Opcode::Load).front();
+    std::vector<int64_t> valsRef;
+    vref.extract(load, [&](Timestamp, int64_t v) {
+        valsRef.push_back(v);
+    });
+    WetSlicer sref(ref);
+    auto sliceRef = sref.backward(sref.locate(load, 5));
+
+    // Drop tier-1 and repeat everything through tier-2 access.
+    p->graph.dropTier1Labels();
+    for (const auto& node : p->graph.nodes) {
+        EXPECT_TRUE(node.ts.empty());
+        EXPECT_GT(node.instances(), 0u);
+    }
+
+    WetAccess acc(comp, *p->module);
+    std::vector<std::pair<NodeId, Timestamp>> cf;
+    ControlFlowQuery(acc).extractForward(
+        [&](NodeId n, Timestamp t) { cf.emplace_back(n, t); });
+    EXPECT_EQ(cf, cfRef);
+
+    ValueTraceQuery vq(acc);
+    std::vector<int64_t> vals;
+    vq.extract(load, [&](Timestamp, int64_t v) {
+        vals.push_back(v);
+    });
+    EXPECT_EQ(vals, valsRef);
+
+    AddressTraceQuery aq(acc);
+    uint64_t addrCount =
+        aq.extract(load, [](Timestamp, uint64_t) {});
+    EXPECT_EQ(addrCount, vals.size());
+
+    WetSlicer slicer(acc);
+    auto slice = slicer.backward(slicer.locate(load, 5));
+    EXPECT_EQ(slice.items.size(), sliceRef.items.size());
+}
+
+TEST(DropTier1Test, BackwardRangeFromMidTrace)
+{
+    auto p = runPipeline(kProgram, inputs60());
+    WetAccess acc(p->graph, *p->module);
+    ControlFlowQuery q(acc);
+    std::vector<std::pair<NodeId, Timestamp>> all;
+    q.extractForward([&](NodeId n, Timestamp t) {
+        all.emplace_back(n, t);
+    });
+    ASSERT_GT(all.size(), 12u);
+    Timestamp mid = all[all.size() / 2].second;
+    std::vector<std::pair<NodeId, Timestamp>> window;
+    uint64_t blocks = q.extractRangeBackward(
+        mid, 6, [&](NodeId n, Timestamp t) {
+            window.emplace_back(n, t);
+        });
+    EXPECT_GT(blocks, 0u);
+    ASSERT_EQ(window.size(), 6u);
+    for (size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(window[i], all[all.size() / 2 - i]);
+    // Whole-trace backward equals reversed forward (regression for
+    // the shared implementation).
+    std::vector<std::pair<NodeId, Timestamp>> back;
+    q.extractBackward([&](NodeId n, Timestamp t) {
+        back.emplace_back(n, t);
+    });
+    std::reverse(back.begin(), back.end());
+    EXPECT_EQ(back, all);
+}
+
+} // namespace
+} // namespace core
+} // namespace wet

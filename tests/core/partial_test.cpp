@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/access.h"
+#include "core/cfquery.h"
+#include "core/compressed.h"
+#include "testutil.h"
+
+namespace wet {
+namespace core {
+namespace {
+
+using test::runPipeline;
+
+TEST(PartialPathTest, HaltMidBlockTruncatesTheStatementList)
+{
+    // Halt fires inside a called function; every frame above it is
+    // cut off mid-block and must become a partial node containing
+    // exactly the statements that executed.
+    auto p = runPipeline(R"(
+        fn inner(x) {
+            mem[0] = x;
+            halt;
+        }
+        fn outer(x) {
+            var before = x * 2;
+            var r = inner(before);
+            return r + 1;  // never executes
+        }
+        fn main() {
+            var a = 5;
+            out(outer(a)); // out never executes
+        }
+    )");
+    const WetGraph& g = p->graph;
+    // Statements observed == statements stored across nodes.
+    uint64_t stored = 0;
+    for (const auto& node : g.nodes)
+        stored += node.stmts.size() * node.instances();
+    EXPECT_EQ(stored, p->record.stmts.size());
+    // outer's and main's nodes are partial; inner's halt block ended
+    // normally at its Halt terminator.
+    int partials = 0;
+    for (const auto& node : g.nodes)
+        if (node.partial)
+            ++partials;
+    EXPECT_EQ(partials, 2);
+    // Unreturned calls drop their pending dependences gracefully.
+    EXPECT_GT(p->graph.droppedDeps, 0u);
+}
+
+TEST(PartialPathTest, CfTraceStillCoversEverything)
+{
+    auto p = runPipeline(R"(
+        fn maybe_die(x) {
+            if (x > 6) { halt; }
+            return x;
+        }
+        fn main() {
+            var s = 0;
+            for (var i = 0; i < 100; i = i + 1) {
+                s = s + maybe_die(i);
+            }
+            out(s);
+        }
+    )");
+    const WetGraph& g = p->graph;
+    WetAccess acc(g, *p->module);
+    ControlFlowQuery q(acc);
+    uint64_t visited = 0;
+    q.extractForward([&](NodeId, Timestamp) { ++visited; });
+    EXPECT_EQ(visited, g.lastTimestamp);
+    // And tier-2 agrees.
+    WetCompressed comp(g);
+    WetAccess acc2(comp, *p->module);
+    ControlFlowQuery q2(acc2);
+    uint64_t visited2 = 0;
+    q2.extractBackward([&](NodeId, Timestamp) { ++visited2; });
+    EXPECT_EQ(visited2, g.lastTimestamp);
+}
+
+TEST(PartialPathTest, PartialNodesHaveConsistentBlockStructure)
+{
+    auto p = runPipeline(R"(
+        fn boom() { mem[1] = 9; halt; }
+        fn main() {
+            var x = 1;
+            if (in() > 0) {
+                x = x + 1;
+                boom();
+                x = x + 100; // unreachable
+            }
+            out(x);
+        }
+    )",
+                         {5});
+    for (const auto& node : p->graph.nodes) {
+        // blockFirstStmt is monotone and in range.
+        for (size_t b = 0; b < node.blockFirstStmt.size(); ++b) {
+            EXPECT_LT(node.blockFirstStmt[b], node.stmts.size() + 1);
+            if (b > 0) {
+                EXPECT_GT(node.blockFirstStmt[b],
+                          node.blockFirstStmt[b - 1]);
+            }
+        }
+        EXPECT_EQ(node.blocks.size(), node.blockFirstStmt.size());
+        // Group maps stay within bounds.
+        for (uint32_t g : node.stmtGroup) {
+            if (g != kNoIndex) {
+                EXPECT_LT(g, node.groups.size());
+            }
+        }
+    }
+}
+
+TEST(PartialPathTest, NormalProgramsHaveNoPartials)
+{
+    auto p = runPipeline(R"(
+        fn main() {
+            var s = 0;
+            for (var i = 0; i < 50; i = i + 1) { s = s + i; }
+            out(s);
+        }
+    )");
+    for (const auto& node : p->graph.nodes)
+        EXPECT_FALSE(node.partial);
+    EXPECT_EQ(p->graph.droppedDeps, 0u);
+}
+
+} // namespace
+} // namespace core
+} // namespace wet

@@ -1,0 +1,226 @@
+#include "core/cfquery.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/addrquery.h"
+#include "core/valuequery.h"
+#include "testutil.h"
+
+namespace wet {
+namespace core {
+namespace {
+
+using test::runPipeline;
+
+const char* kCallFree = R"(
+    fn main() {
+        var s = 0;
+        for (var i = 0; i < 25; i = i + 1) {
+            var t = in();
+            if (t % 3 == 0) { mem[i % 5] = t; }
+            else { s = s + mem[(i + 2) % 5]; }
+        }
+        out(s);
+    }
+)";
+
+std::vector<int64_t>
+inputs25()
+{
+    std::vector<int64_t> v;
+    for (int i = 0; i < 25; ++i)
+        v.push_back((i * 7 + 3) % 23);
+    return v;
+}
+
+/** Flatten a CF extraction into the block-id sequence it denotes. */
+std::vector<std::pair<ir::FuncId, ir::BlockId>>
+flattenTrace(WetAccess& acc, bool forward)
+{
+    std::vector<std::pair<ir::FuncId, ir::BlockId>> blocks;
+    ControlFlowQuery q(acc);
+    auto visit = [&](NodeId n, Timestamp) {
+        const WetNode& node = acc.graph().nodes[n];
+        for (ir::BlockId b : node.blocks)
+            blocks.emplace_back(node.func, b);
+    };
+    if (forward) {
+        q.extractForward(visit);
+    } else {
+        q.extractBackward(visit);
+    }
+    return blocks;
+}
+
+TEST(ControlFlowQueryTest, ForwardMatchesExecutionForCallFree)
+{
+    auto p = runPipeline(kCallFree, inputs25());
+    WetAccess acc(p->graph, *p->module);
+    auto trace = flattenTrace(acc, true);
+    // For a call-free program the completion order equals execution
+    // order, so the regenerated trace is exactly the recorded one.
+    ASSERT_EQ(trace.size(), p->record.blocks.size());
+    for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(trace[i].first, p->record.blocks[i].func);
+        EXPECT_EQ(trace[i].second, p->record.blocks[i].block)
+            << "at " << i;
+    }
+}
+
+TEST(ControlFlowQueryTest, Tier2MatchesTier1BothDirections)
+{
+    auto p = runPipeline(kCallFree, inputs25());
+    WetCompressed comp(p->graph);
+    WetAccess t1(p->graph, *p->module);
+    WetAccess t2(comp, *p->module);
+    EXPECT_EQ(flattenTrace(t1, true), flattenTrace(t2, true));
+    EXPECT_EQ(flattenTrace(t1, false), flattenTrace(t2, false));
+}
+
+TEST(ControlFlowQueryTest, BackwardIsReverseAtPathGranularity)
+{
+    auto p = runPipeline(kCallFree, inputs25());
+    WetAccess acc(p->graph, *p->module);
+    std::vector<std::pair<NodeId, Timestamp>> fwd;
+    std::vector<std::pair<NodeId, Timestamp>> bwd;
+    ControlFlowQuery q(acc);
+    q.extractForward([&](NodeId n, Timestamp t) {
+        fwd.emplace_back(n, t);
+    });
+    q.extractBackward([&](NodeId n, Timestamp t) {
+        bwd.emplace_back(n, t);
+    });
+    std::reverse(bwd.begin(), bwd.end());
+    EXPECT_EQ(fwd, bwd);
+}
+
+TEST(ControlFlowQueryTest, RangeExtractionFromMidTrace)
+{
+    auto p = runPipeline(kCallFree, inputs25());
+    WetAccess acc(p->graph, *p->module);
+    ControlFlowQuery q(acc);
+    std::vector<std::pair<NodeId, Timestamp>> all;
+    q.extractForward([&](NodeId n, Timestamp t) {
+        all.emplace_back(n, t);
+    });
+    ASSERT_GT(all.size(), 10u);
+    // Start in the middle and take five instances.
+    Timestamp from = all[all.size() / 2].second;
+    std::vector<std::pair<NodeId, Timestamp>> window;
+    q.extractRange(from, 5, [&](NodeId n, Timestamp t) {
+        window.emplace_back(n, t);
+    });
+    ASSERT_EQ(window.size(), 5u);
+    for (size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(window[i], all[all.size() / 2 + i]);
+}
+
+TEST(ControlFlowQueryTest, WorksAcrossCalls)
+{
+    auto p = runPipeline(R"(
+        fn twice(x) { return x * 2; }
+        fn main() {
+            var s = 0;
+            for (var i = 0; i < 10; i = i + 1) { s = s + twice(i); }
+            out(s);
+        }
+    )");
+    WetAccess acc(p->graph, *p->module);
+    auto trace = flattenTrace(acc, true);
+    // Completion-ordered traversal still covers the exact multiset
+    // of executed blocks.
+    std::map<std::pair<ir::FuncId, ir::BlockId>, int64_t> expected;
+    for (const auto& br : p->record.blocks)
+        expected[{br.func, br.block}]++;
+    std::map<std::pair<ir::FuncId, ir::BlockId>, int64_t> actual;
+    for (auto& fb : trace)
+        actual[fb]++;
+    EXPECT_EQ(actual, expected);
+}
+
+TEST(ValueTraceQueryTest, LoadValueTraceMatchesRecording)
+{
+    auto p = runPipeline(kCallFree, inputs25());
+    WetAccess acc(p->graph, *p->module);
+    ValueTraceQuery q(acc);
+    for (ir::StmtId s : q.stmtsWithOpcode(ir::Opcode::Load)) {
+        std::vector<int64_t> got;
+        q.extract(s, [&](Timestamp, int64_t v) {
+            got.push_back(v);
+        });
+        std::vector<int64_t> want;
+        for (const auto& ev : p->record.stmts)
+            if (ev.stmt == s)
+                want.push_back(ev.value);
+        EXPECT_EQ(got, want) << "load stmt " << s;
+    }
+}
+
+TEST(ValueTraceQueryTest, Tier2MatchesTier1)
+{
+    auto p = runPipeline(kCallFree, inputs25());
+    WetCompressed comp(p->graph);
+    WetAccess t1(p->graph, *p->module);
+    WetAccess t2(comp, *p->module);
+    ValueTraceQuery q1(t1);
+    ValueTraceQuery q2(t2);
+    for (ir::StmtId s : q1.stmtsWithOpcode(ir::Opcode::Load)) {
+        std::vector<std::pair<Timestamp, int64_t>> a;
+        std::vector<std::pair<Timestamp, int64_t>> b;
+        q1.extract(s, [&](Timestamp t, int64_t v) {
+            a.emplace_back(t, v);
+        });
+        q2.extract(s, [&](Timestamp t, int64_t v) {
+            b.emplace_back(t, v);
+        });
+        EXPECT_EQ(a, b);
+    }
+}
+
+TEST(AddressTraceQueryTest, LoadAndStoreAddressesMatchRecording)
+{
+    auto p = runPipeline(kCallFree, inputs25());
+    WetAccess acc(p->graph, *p->module);
+    AddressTraceQuery q(acc);
+    ValueTraceQuery vq(acc);
+    for (ir::Opcode op : {ir::Opcode::Load, ir::Opcode::Store}) {
+        for (ir::StmtId s : vq.stmtsWithOpcode(op)) {
+            std::vector<uint64_t> got;
+            q.extract(s, [&](Timestamp, uint64_t a) {
+                got.push_back(a);
+            });
+            std::vector<uint64_t> want;
+            for (const auto& ev : p->record.stmts)
+                if (ev.stmt == s)
+                    want.push_back(ev.addr);
+            EXPECT_EQ(got, want)
+                << ir::opcodeName(op) << " stmt " << s;
+        }
+    }
+}
+
+TEST(AddressTraceQueryTest, Tier2MatchesRecordingToo)
+{
+    auto p = runPipeline(kCallFree, inputs25());
+    WetCompressed comp(p->graph);
+    WetAccess acc(comp, *p->module);
+    AddressTraceQuery q(acc);
+    ValueTraceQuery vq(acc);
+    for (ir::StmtId s : vq.stmtsWithOpcode(ir::Opcode::Load)) {
+        std::vector<uint64_t> got;
+        q.extract(s, [&](Timestamp, uint64_t a) {
+            got.push_back(a);
+        });
+        std::vector<uint64_t> want;
+        for (const auto& ev : p->record.stmts)
+            if (ev.stmt == s)
+                want.push_back(ev.addr);
+        EXPECT_EQ(got, want) << "load stmt " << s;
+    }
+}
+
+} // namespace
+} // namespace core
+} // namespace wet

@@ -1,0 +1,237 @@
+#include "core/slicer.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <set>
+
+#include "testutil.h"
+
+namespace wet {
+namespace core {
+namespace {
+
+using test::runPipeline;
+
+/**
+ * Reference slicer over the raw recorded trace: BFS over the
+ * per-event dependences and block control records, in
+ * (stmt, localIdx) space.
+ */
+std::map<ir::StmtId, int64_t>
+referenceBackwardSlice(const test::Pipeline& p, ir::StmtId seed_stmt,
+                       uint32_t seed_local)
+{
+    // Index events by (stmt, local instance).
+    std::map<std::pair<ir::StmtId, uint32_t>, size_t> byInstance;
+    for (size_t i = 0; i < p.record.stmts.size(); ++i) {
+        const auto& ev = p.record.stmts[i];
+        byInstance[{ev.stmt, ev.instance}] = i;
+    }
+    std::map<ir::StmtId, int64_t> counts;
+    std::set<std::pair<ir::StmtId, uint32_t>> seen;
+    std::queue<std::pair<ir::StmtId, uint32_t>> work;
+    work.push({seed_stmt, seed_local});
+    while (!work.empty()) {
+        auto item = work.front();
+        work.pop();
+        if (!seen.insert(item).second)
+            continue;
+        counts[item.first]++;
+        auto it = byInstance.find(item);
+        if (it == byInstance.end())
+            continue;
+        const auto& ev = p.record.stmts[it->second];
+        for (uint8_t k = 0; k < ev.numDeps; ++k)
+            work.push({ev.deps[k].stmt, ev.deps[k].instance});
+        const auto& ctrl = p.record.stmtControls[it->second];
+        if (ctrl.valid())
+            work.push({ctrl.stmt, ctrl.instance});
+    }
+    return counts;
+}
+
+/** WET slice as per-statement counts. */
+std::map<ir::StmtId, int64_t>
+sliceCounts(const WetGraph& g, const SliceResult& res)
+{
+    std::map<ir::StmtId, int64_t> counts;
+    for (const SliceItem& it : res.items)
+        counts[g.nodes[it.node].stmts[it.pos]]++;
+    return counts;
+}
+
+const char* kSliceProgram = R"(
+    fn main() {
+        var s = 0;
+        var junk = 0;
+        for (var i = 0; i < 12; i = i + 1) {
+            var t = in();
+            if (t % 2 == 0) { s = s + t; }
+            junk = junk + 1;
+        }
+        out(s);
+        out(junk);
+    }
+)";
+
+std::vector<int64_t>
+inputs12()
+{
+    return {4, 7, 2, 9, 6, 1, 8, 3, 0, 5, 10, 11};
+}
+
+TEST(WetSlicerTest, BackwardSliceMatchesReferenceOnRawTrace)
+{
+    auto p = runPipeline(kSliceProgram, inputs12());
+    WetAccess acc(p->graph, *p->module);
+    WetSlicer slicer(acc);
+
+    // Seed: the final value of s flowing into the first out() — the
+    // producing statement is the last Mov into s. Find the out event
+    // and its dependence.
+    const interp::StmtEvent* outEv = nullptr;
+    for (const auto& ev : p->record.stmts) {
+        if (p->module->instr(ev.stmt).op == ir::Opcode::Out) {
+            outEv = &ev;
+            break;
+        }
+    }
+    ASSERT_NE(outEv, nullptr);
+    ASSERT_EQ(outEv->numDeps, 1);
+    ir::StmtId seedStmt = outEv->deps[0].stmt;
+    uint32_t seedLocal = outEv->deps[0].instance;
+
+    // The WET-side seed: the same instance located via the merge
+    // (call-free program: local index == timestamp rank).
+    SliceItem seed = slicer.locate(seedStmt, seedLocal);
+    ASSERT_TRUE(seed.valid());
+
+    SliceResult res = slicer.backward(seed);
+    EXPECT_FALSE(res.truncated);
+    auto got = sliceCounts(p->graph, res);
+    auto want = referenceBackwardSlice(*p, seedStmt, seedLocal);
+    EXPECT_EQ(got, want);
+}
+
+TEST(WetSlicerTest, Tier2SliceEqualsTier1Slice)
+{
+    auto p = runPipeline(kSliceProgram, inputs12());
+    WetCompressed comp(p->graph);
+    WetAccess t1(p->graph, *p->module);
+    WetAccess t2(comp, *p->module);
+    WetSlicer s1(t1);
+    WetSlicer s2(t2);
+    const interp::StmtEvent* outEv = nullptr;
+    for (const auto& ev : p->record.stmts)
+        if (p->module->instr(ev.stmt).op == ir::Opcode::Out)
+            outEv = &ev; // last out()
+    ASSERT_NE(outEv, nullptr);
+    SliceItem seed1 =
+        s1.locate(outEv->deps[0].stmt, outEv->deps[0].instance);
+    SliceItem seed2 =
+        s2.locate(outEv->deps[0].stmt, outEv->deps[0].instance);
+    auto r1 = s1.backward(seed1);
+    auto r2 = s2.backward(seed2);
+    EXPECT_EQ(sliceCounts(p->graph, r1), sliceCounts(p->graph, r2));
+}
+
+TEST(WetSlicerTest, IndependentComputationStaysOutOfSlice)
+{
+    auto p = runPipeline(kSliceProgram, inputs12());
+    WetAccess acc(p->graph, *p->module);
+    WetSlicer slicer(acc);
+    // Slice from s's final producer: the junk counter's additions
+    // must not appear (they only share control dependence with s via
+    // the loop predicate, which IS in the slice, but junk's adds are
+    // not).
+    const interp::StmtEvent* outEv = nullptr;
+    for (const auto& ev : p->record.stmts) {
+        if (p->module->instr(ev.stmt).op == ir::Opcode::Out) {
+            outEv = &ev;
+            break;
+        }
+    }
+    ASSERT_NE(outEv, nullptr);
+    SliceItem seed =
+        slicer.locate(outEv->deps[0].stmt, outEv->deps[0].instance);
+    SliceResult res = slicer.backward(seed);
+    auto counts = sliceCounts(p->graph, res);
+    // The second out()'s dependence (junk's final Mov) is absent.
+    const interp::StmtEvent* outJunk = nullptr;
+    for (const auto& ev : p->record.stmts)
+        if (p->module->instr(ev.stmt).op == ir::Opcode::Out)
+            outJunk = &ev;
+    ASSERT_NE(outJunk, nullptr);
+    EXPECT_EQ(counts.count(outJunk->deps[0].stmt), 0u);
+}
+
+TEST(WetSlicerTest, ForwardSliceReachesUses)
+{
+    auto p = runPipeline(R"(
+        fn main() {
+            var a = in();
+            var b = a * 2;
+            var c = b + 1;
+            var d = in();
+            out(c);
+            out(d);
+        }
+    )",
+                         {5, 9});
+    WetAccess acc(p->graph, *p->module);
+    WetSlicer slicer(acc);
+    // Forward slice from the first In: must reach b, c and the first
+    // out, but not d.
+    ir::StmtId firstIn = ir::kNoStmt;
+    ir::StmtId secondIn = ir::kNoStmt;
+    for (const auto& ev : p->record.stmts) {
+        if (p->module->instr(ev.stmt).op == ir::Opcode::In) {
+            if (firstIn == ir::kNoStmt)
+                firstIn = ev.stmt;
+            else
+                secondIn = ev.stmt;
+        }
+    }
+    SliceItem seed = slicer.locate(firstIn, 0);
+    ASSERT_TRUE(seed.valid());
+    SliceResult res = slicer.forward(seed);
+    auto counts = sliceCounts(p->graph, res);
+    // Mul and Add (b and c chains) are reached.
+    bool sawMul = false;
+    bool sawOut = false;
+    for (auto& [stmt, cnt] : counts) {
+        (void)cnt;
+        if (p->module->instr(stmt).op == ir::Opcode::Mul)
+            sawMul = true;
+        if (p->module->instr(stmt).op == ir::Opcode::Out)
+            sawOut = true;
+    }
+    EXPECT_TRUE(sawMul);
+    EXPECT_TRUE(sawOut);
+    EXPECT_EQ(counts.count(secondIn), 0u);
+}
+
+TEST(WetSlicerTest, MaxItemsTruncates)
+{
+    auto p = runPipeline(kSliceProgram, inputs12());
+    WetAccess acc(p->graph, *p->module);
+    WetSlicer slicer(acc);
+    const interp::StmtEvent* outEv = nullptr;
+    for (const auto& ev : p->record.stmts) {
+        if (p->module->instr(ev.stmt).op == ir::Opcode::Out) {
+            outEv = &ev;
+            break;
+        }
+    }
+    SliceItem seed =
+        slicer.locate(outEv->deps[0].stmt, outEv->deps[0].instance);
+    SliceResult res = slicer.backward(seed, 3);
+    EXPECT_TRUE(res.truncated);
+    EXPECT_EQ(res.items.size(), 3u);
+}
+
+} // namespace
+} // namespace core
+} // namespace wet

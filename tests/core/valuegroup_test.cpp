@@ -1,0 +1,194 @@
+#include "core/valuegroup.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/codegen.h"
+
+namespace wet {
+namespace core {
+namespace {
+
+/** Collect the straight-line statement list of a whole function. */
+std::vector<ir::StmtId>
+flatten(const ir::Module& m)
+{
+    std::vector<ir::StmtId> stmts;
+    const ir::Function& fn = m.function(m.entryFunction());
+    for (const auto& blk : fn.blocks)
+        for (const auto& in : blk.instrs)
+            stmts.push_back(in.stmt);
+    return stmts;
+}
+
+TEST(ValueGroupTest, PureChainsShareOneGroup)
+{
+    // y = f(x), z = g(x, y): both depend only on the input x, so the
+    // paper's example yields a single group.
+    ir::Module m = lang::compileString(R"(
+        fn main() {
+            var x = in();
+            var y = x * 3;
+            var z = x + y;
+            out(z);
+        }
+    )");
+    auto stmts = flatten(m);
+    GroupingPlan plan = planGroups(m, stmts);
+    // Count groups holding more than one member: exactly one big
+    // group containing the In statement and the arithmetic chain.
+    size_t multi = 0;
+    for (const auto& g : plan.groups)
+        if (g.members.size() > 1)
+            ++multi;
+    EXPECT_EQ(multi, 1u);
+}
+
+TEST(ValueGroupTest, IndependentInputsSplitGroups)
+{
+    ir::Module m = lang::compileString(R"(
+        fn main() {
+            var a = in();
+            var b = in();
+            var x = a * 2;
+            var y = b * 3;
+            out(x);
+            out(y);
+        }
+    )");
+    auto stmts = flatten(m);
+    GroupingPlan plan = planGroups(m, stmts);
+    // x's chain and y's chain depend on different, incomparable
+    // inputs, so they land in different groups.
+    uint32_t gx = kNoIndex;
+    uint32_t gy = kNoIndex;
+    for (uint32_t i = 0; i < stmts.size(); ++i) {
+        const ir::Instr& in = m.instr(stmts[i]);
+        if (in.op == ir::Opcode::Mul) {
+            if (gx == kNoIndex)
+                gx = plan.stmtGroup[i];
+            else
+                gy = plan.stmtGroup[i];
+        }
+    }
+    ASSERT_NE(gx, kNoIndex);
+    ASSERT_NE(gy, kNoIndex);
+    EXPECT_NE(gx, gy);
+}
+
+TEST(ValueGroupTest, SubsetGroupsMerge)
+{
+    // t depends on {a}; u depends on {a, b}. {a} is a proper subset,
+    // so t's group merges into u's.
+    ir::Module m = lang::compileString(R"(
+        fn main() {
+            var a = in();
+            var b = in();
+            var t = a + 1;
+            var u = t + b;
+            out(u);
+        }
+    )");
+    auto stmts = flatten(m);
+    GroupingPlan plan = planGroups(m, stmts);
+    uint32_t gAdd1 = kNoIndex;
+    uint32_t gAdd2 = kNoIndex;
+    for (uint32_t i = 0; i < stmts.size(); ++i) {
+        if (m.instr(stmts[i]).op == ir::Opcode::Add) {
+            if (gAdd1 == kNoIndex)
+                gAdd1 = plan.stmtGroup[i];
+            else
+                gAdd2 = plan.stmtGroup[i];
+        }
+    }
+    EXPECT_EQ(gAdd1, gAdd2);
+}
+
+TEST(ValueGroupTest, ConstStatementsCarryNoGroup)
+{
+    ir::Module m = lang::compileString("fn main() { out(5); }");
+    auto stmts = flatten(m);
+    GroupingPlan plan = planGroups(m, stmts);
+    for (uint32_t i = 0; i < stmts.size(); ++i) {
+        if (m.instr(stmts[i]).op == ir::Opcode::Const) {
+            EXPECT_EQ(plan.stmtGroup[i], kNoIndex);
+        }
+    }
+}
+
+TEST(ValueGroupTest, NonDefStatementsHaveNoGroup)
+{
+    ir::Module m = lang::compileString(R"(
+        fn main() {
+            var a = in();
+            mem[3] = a;
+            out(a);
+        }
+    )");
+    auto stmts = flatten(m);
+    GroupingPlan plan = planGroups(m, stmts);
+    for (uint32_t i = 0; i < stmts.size(); ++i) {
+        ir::Opcode op = m.instr(stmts[i]).op;
+        if (!ir::hasDef(op)) {
+            EXPECT_EQ(plan.stmtGroup[i], kNoIndex)
+                << ir::opcodeName(op);
+        }
+    }
+}
+
+TEST(ValueGroupTest, InputStatementsAttachToOneGroup)
+{
+    ir::Module m = lang::compileString(R"(
+        fn main() {
+            var a = in();
+            out(a * 2);
+        }
+    )");
+    auto stmts = flatten(m);
+    GroupingPlan plan = planGroups(m, stmts);
+    uint32_t inGroup = kNoIndex;
+    for (uint32_t i = 0; i < stmts.size(); ++i) {
+        if (m.instr(stmts[i]).op == ir::Opcode::In)
+            inGroup = plan.stmtGroup[i];
+    }
+    ASSERT_NE(inGroup, kNoIndex);
+    // The In statement appears in exactly one group.
+    size_t appearances = 0;
+    for (const auto& g : plan.groups) {
+        for (uint32_t mbr : g.members) {
+            if (m.instr(stmts[mbr]).op == ir::Opcode::In)
+                ++appearances;
+        }
+    }
+    EXPECT_EQ(appearances, 1u);
+}
+
+TEST(ValueGroupTest, MembersAndMapsAreConsistent)
+{
+    ir::Module m = lang::compileString(R"(
+        fn main() {
+            var a = in();
+            var b = mem[a];
+            var c = a + b;
+            var d = c * c;
+            mem[d] = c;
+            out(d);
+        }
+    )", 1 << 16);
+    auto stmts = flatten(m);
+    GroupingPlan plan = planGroups(m, stmts);
+    for (uint32_t gi = 0; gi < plan.groups.size(); ++gi) {
+        const auto& g = plan.groups[gi];
+        EXPECT_EQ(g.uvals.size(), g.members.size());
+        for (uint32_t mi = 0; mi < g.members.size(); ++mi) {
+            uint32_t pos = g.members[mi];
+            EXPECT_EQ(plan.stmtGroup[pos], gi);
+            EXPECT_EQ(plan.stmtMember[pos], mi);
+            EXPECT_TRUE(ir::hasDef(m.instr(stmts[pos]).op));
+        }
+    }
+    EXPECT_EQ(plan.groupKeys.size(), plan.groups.size());
+}
+
+} // namespace
+} // namespace core
+} // namespace wet

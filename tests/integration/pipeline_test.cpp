@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/access.h"
+#include "core/cfquery.h"
+#include "core/compressed.h"
+#include "workloads/runner.h"
+
+namespace wet {
+namespace {
+
+using namespace workloads;
+
+/**
+ * End-to-end pipeline over real workloads at small scale: build the
+ * WET, compress it, and check the headline invariants — sizes shrink
+ * tier by tier, and the compressed representation still reproduces
+ * the full control flow.
+ */
+class PipelineTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(PipelineTest, BuildCompressQueryRoundTrip)
+{
+    const Workload& w = allWorkloads()[GetParam()];
+    // Enough work that per-stream constants amortize, small enough
+    // for a unit-test budget.
+    uint64_t scale = std::max<uint64_t>(1, w.defaultScale / 20);
+    auto art = buildWet(w, scale);
+    const core::WetGraph& g = art->graph;
+
+    // Structural sanity.
+    EXPECT_GT(g.nodes.size(), 0u) << w.name;
+    EXPECT_EQ(g.stmtInstancesTotal, art->run.stmtsExecuted);
+    uint64_t instances = 0;
+    for (const auto& node : g.nodes)
+        instances += node.instances();
+    EXPECT_EQ(instances, g.lastTimestamp);
+
+    // Tier sizes shrink.
+    core::TierSizes orig = g.origSizes();
+    core::TierSizes t1 = g.tier1Sizes();
+    core::WetCompressed comp(g);
+    core::TierSizes t2 = comp.sizes();
+    EXPECT_LT(t1.total(), orig.total()) << w.name;
+    EXPECT_LT(t2.total(), t1.total()) << w.name;
+
+    // The compressed WET regenerates the same control flow trace as
+    // the tier-1 WET.
+    core::WetAccess a1(g, *art->module);
+    core::WetAccess a2(comp, *art->module);
+    std::vector<std::pair<core::NodeId, core::Timestamp>> f1;
+    std::vector<std::pair<core::NodeId, core::Timestamp>> f2;
+    core::ControlFlowQuery q1(a1);
+    core::ControlFlowQuery q2(a2);
+    uint64_t blocks1 = q1.extractForward(
+        [&](core::NodeId n, core::Timestamp t) {
+            f1.emplace_back(n, t);
+        });
+    uint64_t blocks2 = q2.extractForward(
+        [&](core::NodeId n, core::Timestamp t) {
+            f2.emplace_back(n, t);
+        });
+    EXPECT_EQ(blocks1, blocks2);
+    EXPECT_EQ(f1, f2);
+    EXPECT_EQ(f1.size(), g.lastTimestamp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, PipelineTest, ::testing::Range<size_t>(0, 9),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+        std::string n = allWorkloads()[info.param].name;
+        for (char& c : n)
+            if (c == '.')
+                c = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace wet

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "analysis/controldep.h"
+#include "lang/codegen.h"
+#include "support/error.h"
+#include "testutil.h"
+#include "workloads/workloads.h"
+
+namespace wet {
+namespace interp {
+namespace {
+
+/**
+ * Property: every dynamic control-dependence parent reported by the
+ * interpreter's region stack is one of the block's *static* CD
+ * parents (or the call site for region-free blocks), and the
+ * reported predicate instance is the most recent execution of that
+ * predicate.
+ */
+void
+checkDynamicCd(const std::string& source,
+               std::vector<int64_t> inputs = {})
+{
+    auto p = test::runPipeline(source, std::move(inputs), 1 << 16);
+    const ir::Module& mod = *p->module;
+
+    // Rebuild static CD per function.
+    struct FnCd
+    {
+        std::unique_ptr<analysis::DomTree> pd;
+        std::unique_ptr<analysis::ControlDep> cd;
+    };
+    std::vector<FnCd> cds(mod.numFunctions());
+    for (ir::FuncId f = 0; f < mod.numFunctions(); ++f) {
+        cds[f].pd = std::make_unique<analysis::DomTree>(
+            analysis::DomTree::postDominators(mod.function(f)));
+        cds[f].cd = std::make_unique<analysis::ControlDep>(
+            mod.function(f), *cds[f].pd);
+    }
+
+    uint64_t checked = 0;
+    for (const auto& br : p->record.blocks) {
+        if (!br.control.valid())
+            continue;
+        const ir::Instr& ctrl = mod.instr(br.control.stmt);
+        if (ctrl.op == ir::Opcode::Call)
+            continue; // interprocedural: call site controls entry
+        ASSERT_EQ(ctrl.op, ir::Opcode::Br);
+        // The controlling predicate's block must be a static CD
+        // parent of this block.
+        const ir::StmtRef& ref = mod.stmtRef(br.control.stmt);
+        ASSERT_EQ(ref.func, br.func);
+        bool isStaticParent = false;
+        for (const auto& parent :
+             cds[br.func].cd->parents(br.block))
+        {
+            if (parent.pred == ref.block)
+                isStaticParent = true;
+        }
+        EXPECT_TRUE(isStaticParent)
+            << "block " << br.block << " of fn " << br.func
+            << " reported dynamic parent block " << ref.block;
+        ++checked;
+    }
+    EXPECT_GT(checked, 0u);
+}
+
+TEST(DynamicCdTest, StructuredLoopsAndConditionals)
+{
+    checkDynamicCd(R"(
+        fn main() {
+            var s = 0;
+            for (var i = 0; i < 8; i = i + 1) {
+                if (i % 2 == 0) {
+                    if (i % 4 == 0) { s = s + 10; }
+                    else { s = s + 1; }
+                } else {
+                    while (s > 5) { s = s - 3; }
+                }
+            }
+            out(s);
+        }
+    )");
+}
+
+TEST(DynamicCdTest, EarlyReturnsAndBreaks)
+{
+    checkDynamicCd(R"(
+        fn f(x) {
+            for (var i = 0; i < x; i = i + 1) {
+                if (i * i > x) { return i; }
+                if (i == 7) { break; }
+            }
+            return 0 - 1;
+        }
+        fn main() {
+            out(f(3));
+            out(f(30));
+            out(f(100));
+        }
+    )");
+}
+
+TEST(DynamicCdTest, ShortCircuitOperators)
+{
+    checkDynamicCd(R"(
+        fn main() {
+            var c = 0;
+            for (var i = 0; i < 12; i = i + 1) {
+                if (i > 2 && i % 2 == 0 || i == 1) { c = c + 1; }
+            }
+            out(c);
+        }
+    )");
+}
+
+TEST(DynamicCdTest, WorkloadGo)
+{
+    const auto& w = workloads::workloadByName("099.go");
+    auto mod = std::make_unique<ir::Module>(
+        workloads::compileWorkload(w));
+    analysis::ModuleAnalysis ma(*mod);
+    auto input = workloads::makeWorkloadInput(w, 1);
+    test::RecordingSink rec;
+    Interpreter interp(ma, *input, &rec);
+    interp.run();
+
+    uint64_t checked = 0;
+    for (const auto& br : rec.blocks) {
+        if (!br.control.valid())
+            continue;
+        const ir::Instr& ctrl = mod->instr(br.control.stmt);
+        if (ctrl.op == ir::Opcode::Call)
+            continue;
+        const ir::StmtRef& ref = mod->stmtRef(br.control.stmt);
+        bool isStaticParent = false;
+        for (const auto& parent :
+             ma.fn(br.func).cd.parents(br.block))
+        {
+            if (parent.pred == ref.block)
+                isStaticParent = true;
+        }
+        ASSERT_TRUE(isStaticParent)
+            << "block " << br.block << " parent block " << ref.block;
+        ++checked;
+    }
+    EXPECT_GT(checked, 1000u);
+}
+
+} // namespace
+} // namespace interp
+} // namespace wet

@@ -1,0 +1,224 @@
+#include "interp/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/codegen.h"
+#include "support/error.h"
+#include "testutil.h"
+
+namespace wet {
+namespace interp {
+namespace {
+
+using test::runPipeline;
+using test::runSource;
+
+TEST(InterpTest, CountsStatistics)
+{
+    const char* src = R"(
+        fn main() {
+            var s = 0;
+            for (var i = 0; i < 10; i = i + 1) {
+                mem[i] = i;
+                s = s + mem[i];
+            }
+            out(s);
+        }
+    )";
+    auto r = runSource(src);
+    EXPECT_EQ(r.outputs[0], 45);
+    EXPECT_EQ(r.loads, 10u);
+    EXPECT_EQ(r.stores, 10u);
+    EXPECT_EQ(r.branches, 11u); // 10 taken + 1 exit check
+    EXPECT_GT(r.stmtsExecuted, 50u);
+    EXPECT_GT(r.blocksExecuted, 20u);
+}
+
+TEST(InterpTest, StatementLimitEnforced)
+{
+    const char* src = "fn main() { while (1) { mem[0] = 1; } }";
+    ir::Module mod = lang::compileString(src, 64);
+    analysis::ModuleAnalysis ma(mod);
+    VectorInput input({});
+    Interpreter interp(ma, input, nullptr);
+    RunConfig cfg;
+    cfg.maxStmts = 1000;
+    EXPECT_THROW(interp.run(cfg), WetError);
+}
+
+TEST(InterpTest, MemoryBoundsChecked)
+{
+    EXPECT_THROW(runSource("fn main() { mem[999999] = 1; }", {}, 64),
+                 WetError);
+    EXPECT_THROW(runSource("fn main() { out(mem[0 - 1]); }", {}, 64),
+                 WetError);
+}
+
+TEST(InterpTest, RegisterDependencesPointToProducers)
+{
+    // r = a + b: the event's deps must reference the instances that
+    // produced a and b.
+    auto p = runPipeline(R"(
+        fn main() {
+            var a = 5;
+            var b = 7;
+            out(a + b);
+        }
+    )");
+    const auto& stmts = p->record.stmts;
+    // Find the Add event.
+    const StmtEvent* add = nullptr;
+    for (const auto& ev : stmts) {
+        if (p->module->instr(ev.stmt).op == ir::Opcode::Add)
+            add = &ev;
+    }
+    ASSERT_NE(add, nullptr);
+    ASSERT_EQ(add->numDeps, 2);
+    EXPECT_EQ(add->depValues[0], 5);
+    EXPECT_EQ(add->depValues[1], 7);
+    // Both producers are Mov statements (variable stores).
+    EXPECT_EQ(p->module->instr(add->deps[0].stmt).op,
+              ir::Opcode::Mov);
+    EXPECT_EQ(p->module->instr(add->deps[1].stmt).op,
+              ir::Opcode::Mov);
+}
+
+TEST(InterpTest, MemoryDependenceLinksLoadToStore)
+{
+    auto p = runPipeline(R"(
+        fn main() {
+            mem[10] = 42;
+            out(mem[10]);
+        }
+    )");
+    const StmtEvent* load = nullptr;
+    const StmtEvent* store = nullptr;
+    for (const auto& ev : p->record.stmts) {
+        if (ev.isLoad)
+            load = &ev;
+        if (ev.isStore)
+            store = &ev;
+    }
+    ASSERT_NE(load, nullptr);
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(load->addr, 10u);
+    ASSERT_EQ(load->numDeps, 2);
+    EXPECT_EQ(load->deps[1].stmt, store->stmt);
+    EXPECT_EQ(load->deps[1].instance, store->instance);
+    EXPECT_EQ(load->value, 42);
+}
+
+TEST(InterpTest, LoadFromUntouchedMemoryHasNoMemDep)
+{
+    auto p = runPipeline("fn main() { out(mem[50]); }");
+    const StmtEvent* load = nullptr;
+    for (const auto& ev : p->record.stmts)
+        if (ev.isLoad)
+            load = &ev;
+    ASSERT_NE(load, nullptr);
+    EXPECT_EQ(load->numDeps, 1); // only the address register dep
+    EXPECT_EQ(load->value, 0);
+}
+
+TEST(InterpTest, CallArgumentsPassProducersThrough)
+{
+    auto p = runPipeline(R"(
+        fn id(x) { return x; }
+        fn main() { out(id(33)); }
+    )");
+    // The Ret's dep chain should reach back to the caller's Mov/Const
+    // producing 33 via the parameter pass-through.
+    const StmtEvent* ret = nullptr;
+    for (const auto& ev : p->record.stmts) {
+        if (p->module->instr(ev.stmt).op == ir::Opcode::Ret &&
+            ev.numDeps == 1)
+        {
+            ret = &ev;
+        }
+    }
+    ASSERT_NE(ret, nullptr);
+    EXPECT_EQ(ret->depValues[0], 33);
+}
+
+TEST(InterpTest, DynamicControlDependenceInsideLoop)
+{
+    auto p = runPipeline(R"(
+        fn main() {
+            var s = 0;
+            for (var i = 0; i < 3; i = i + 1) {
+                s = s + i;
+            }
+            out(s);
+        }
+    )");
+    // Every loop-body block instance must be control dependent on a
+    // Br instance, and consecutive iterations on consecutive Br
+    // instances.
+    std::vector<uint32_t> bodyCtrlInstances;
+    for (const auto& br : p->record.blocks) {
+        if (!br.control.valid())
+            continue;
+        if (p->module->instr(br.control.stmt).op == ir::Opcode::Br)
+            bodyCtrlInstances.push_back(br.control.instance);
+    }
+    ASSERT_GE(bodyCtrlInstances.size(), 3u);
+    // Instances of the loop predicate increase monotonically.
+    for (size_t i = 1; i < bodyCtrlInstances.size(); ++i)
+        EXPECT_LE(bodyCtrlInstances[i - 1], bodyCtrlInstances[i]);
+}
+
+TEST(InterpTest, CallsiteControlsCalleeEntry)
+{
+    auto p = runPipeline(R"(
+        fn leaf() { return 1; }
+        fn main() { out(leaf()); }
+    )");
+    // The callee's entry block is control dependent on the Call
+    // instruction instance.
+    bool found = false;
+    for (const auto& br : p->record.blocks) {
+        if (br.func == p->module->functionByName("leaf") &&
+            br.control.valid())
+        {
+            EXPECT_EQ(p->module->instr(br.control.stmt).op,
+                      ir::Opcode::Call);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(InterpTest, HaltInsideCalleeUnwinds)
+{
+    auto r = runSource(R"(
+        fn die() { out(1); halt; }
+        fn main() { die(); out(2); }
+    )");
+    ASSERT_EQ(r.outputs.size(), 1u);
+    EXPECT_EQ(r.outputs[0], 1);
+}
+
+TEST(InterpTest, DeterministicAcrossRuns)
+{
+    const char* src = R"(
+        fn main() {
+            var s = 0;
+            for (var i = 0; i < 50; i = i + 1) {
+                s = s * 31 + in();
+                mem[i % 16] = s;
+            }
+            out(s);
+        }
+    )";
+    std::vector<int64_t> inputs;
+    for (int i = 0; i < 50; ++i)
+        inputs.push_back(i * 7 % 13);
+    auto a = runSource(src, inputs);
+    auto b = runSource(src, inputs);
+    EXPECT_EQ(a.outputs, b.outputs);
+    EXPECT_EQ(a.stmtsExecuted, b.stmtsExecuted);
+}
+
+} // namespace
+} // namespace interp
+} // namespace wet

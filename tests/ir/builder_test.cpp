@@ -1,0 +1,111 @@
+#include "ir/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace wet {
+namespace ir {
+namespace {
+
+TEST(IrBuilderTest, BuildsMinimalFunction)
+{
+    ModuleBuilder mb;
+    auto& f = mb.beginFunction("main", 0);
+    RegId a = f.emitConst(2);
+    RegId b = f.emitConst(3);
+    RegId c = f.emitBinary(Opcode::Add, a, b);
+    f.emitOut(c);
+    f.emitHalt();
+    mb.endFunction();
+    Module m = mb.build();
+
+    EXPECT_EQ(m.numFunctions(), 1u);
+    EXPECT_EQ(m.numStmts(), 5u);
+    const Function& fn = m.function(0);
+    EXPECT_EQ(fn.numBlocks(), 1u);
+    EXPECT_EQ(fn.blocks[0].instrs.size(), 5u);
+    EXPECT_EQ(fn.blocks[0].terminator().op, Opcode::Halt);
+}
+
+TEST(IrBuilderTest, ResolvesCallsByName)
+{
+    ModuleBuilder mb;
+    {
+        auto& f = mb.beginFunction("callee", 1);
+        f.emitRet(f.param(0));
+        mb.endFunction();
+    }
+    {
+        auto& f = mb.beginFunction("main", 0);
+        RegId a = f.emitConst(7);
+        RegId r = f.emitCall("callee", {a});
+        f.emitOut(r);
+        f.emitHalt();
+        mb.endFunction();
+    }
+    Module m = mb.build();
+    FuncId mainId = m.functionByName("main");
+    const Instr& call = m.function(mainId).blocks[0].instrs[1];
+    EXPECT_EQ(call.op, Opcode::Call);
+    EXPECT_EQ(call.imm, m.functionByName("callee"));
+}
+
+TEST(IrBuilderTest, BranchesGetSuccessors)
+{
+    ModuleBuilder mb;
+    auto& f = mb.beginFunction("main", 0);
+    BlockId thenB = f.newBlock();
+    BlockId elseB = f.newBlock();
+    RegId c = f.emitConst(1);
+    f.emitBr(c, thenB, elseB);
+    f.switchTo(thenB);
+    f.emitHalt();
+    f.switchTo(elseB);
+    f.emitHalt();
+    mb.endFunction();
+    Module m = mb.build();
+    const auto& b0 = m.function(0).blocks[0];
+    ASSERT_EQ(b0.succs.size(), 2u);
+    EXPECT_EQ(b0.succs[0], thenB);
+    EXPECT_EQ(b0.succs[1], elseB);
+    // Predecessor lists were derived.
+    EXPECT_EQ(m.function(0).blocks[thenB].preds.size(), 1u);
+}
+
+TEST(IrBuilderTest, SealWithRetTerminatesOpenBlocks)
+{
+    ModuleBuilder mb;
+    auto& f = mb.beginFunction("main", 0);
+    f.emitConst(1);
+    f.sealWithRet();
+    mb.endFunction();
+    Module m = mb.build();
+    EXPECT_EQ(m.function(0).blocks[0].terminator().op, Opcode::Ret);
+}
+
+TEST(IrBuilderTest, RejectsUnknownCallee)
+{
+    ModuleBuilder mb;
+    auto& f = mb.beginFunction("main", 0);
+    f.emitCall("nope", {});
+    f.emitHalt();
+    mb.endFunction();
+    EXPECT_THROW(mb.build(), WetError);
+}
+
+TEST(IrBuilderTest, RejectsDuplicateFunction)
+{
+    ModuleBuilder mb;
+    auto& f = mb.beginFunction("main", 0);
+    f.emitHalt();
+    mb.endFunction();
+    auto& g = mb.beginFunction("main", 0);
+    g.emitHalt();
+    mb.endFunction();
+    EXPECT_THROW(mb.build(), WetError);
+}
+
+} // namespace
+} // namespace ir
+} // namespace wet

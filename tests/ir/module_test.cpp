@@ -1,0 +1,94 @@
+#include "ir/module.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "support/error.h"
+
+namespace wet {
+namespace ir {
+namespace {
+
+Module
+sampleModule()
+{
+    ModuleBuilder mb;
+    auto& f = mb.beginFunction("main", 0);
+    BlockId loop = f.newBlock();
+    BlockId done = f.newBlock();
+    RegId i = f.emitConst(0);
+    f.emitJmp(loop);
+    f.switchTo(loop);
+    RegId ten = f.emitConst(10);
+    RegId c = f.emitBinary(Opcode::CmpLt, i, ten);
+    f.emitBr(c, loop, done);
+    f.switchTo(done);
+    f.emitHalt();
+    mb.endFunction();
+    return mb.build();
+}
+
+TEST(ModuleTest, StmtIdsAreDenseAndResolvable)
+{
+    Module m = sampleModule();
+    EXPECT_GT(m.numStmts(), 0u);
+    for (StmtId s = 0; s < m.numStmts(); ++s) {
+        const StmtRef& r = m.stmtRef(s);
+        const Instr& in =
+            m.function(r.func).blocks[r.block].instrs[r.index];
+        EXPECT_EQ(in.stmt, s);
+        EXPECT_EQ(&m.instr(s), &in);
+    }
+}
+
+TEST(ModuleTest, EntryFunctionPrefersMain)
+{
+    Module m = sampleModule();
+    EXPECT_EQ(m.entryFunction(), m.functionByName("main"));
+}
+
+TEST(ModuleTest, UnknownFunctionNameThrows)
+{
+    Module m = sampleModule();
+    EXPECT_THROW(m.functionByName("missing"), WetError);
+    EXPECT_FALSE(m.hasFunction("missing"));
+    EXPECT_TRUE(m.hasFunction("main"));
+}
+
+TEST(ModuleTest, DumpMentionsBlocksAndOpcodes)
+{
+    Module m = sampleModule();
+    std::string d = m.dump();
+    EXPECT_NE(d.find("fn main"), std::string::npos);
+    EXPECT_NE(d.find("cmplt"), std::string::npos);
+    EXPECT_NE(d.find("b1"), std::string::npos);
+}
+
+TEST(ModuleTest, EvalBinaryDefinedSemantics)
+{
+    // Division/remainder by zero are defined as 0 (value grouping
+    // relies on pure, total operations).
+    EXPECT_EQ(evalBinary(Opcode::Div, 5, 0), 0);
+    EXPECT_EQ(evalBinary(Opcode::Rem, 5, 0), 0);
+    EXPECT_EQ(evalBinary(Opcode::Div, INT64_MIN, -1), INT64_MIN);
+    EXPECT_EQ(evalBinary(Opcode::Rem, INT64_MIN, -1), 0);
+    EXPECT_EQ(evalBinary(Opcode::Shl, 1, 64), 1);
+    EXPECT_EQ(evalBinary(Opcode::Add, INT64_MAX, 1), INT64_MIN);
+}
+
+TEST(ModuleTest, OpcodeTraits)
+{
+    EXPECT_TRUE(hasDef(Opcode::Load));
+    EXPECT_FALSE(hasDef(Opcode::Store));
+    EXPECT_FALSE(hasDef(Opcode::Br));
+    EXPECT_TRUE(isTerminator(Opcode::Ret));
+    EXPECT_FALSE(isTerminator(Opcode::Call));
+    EXPECT_EQ(numUses(Opcode::Store), 2);
+    EXPECT_EQ(numUses(Opcode::Const), 0);
+    EXPECT_TRUE(isBinaryAlu(Opcode::CmpGe));
+    EXPECT_FALSE(isBinaryAlu(Opcode::Neg));
+}
+
+} // namespace
+} // namespace ir
+} // namespace wet

@@ -1,0 +1,182 @@
+#include "lang/codegen.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace wet {
+namespace lang {
+namespace {
+
+using test::runSource;
+
+TEST(CodegenTest, ArithmeticAndOutput)
+{
+    auto r = runSource("fn main() { out(2 + 3 * 4); out(10 / 3); "
+                       "out(10 % 3); out(1 << 6); }");
+    ASSERT_EQ(r.outputs.size(), 4u);
+    EXPECT_EQ(r.outputs[0], 14);
+    EXPECT_EQ(r.outputs[1], 3);
+    EXPECT_EQ(r.outputs[2], 1);
+    EXPECT_EQ(r.outputs[3], 64);
+}
+
+TEST(CodegenTest, UnaryOperators)
+{
+    auto r = runSource("fn main() { out(-5); out(!0); out(!7); "
+                       "out(~0); }");
+    ASSERT_EQ(r.outputs.size(), 4u);
+    EXPECT_EQ(r.outputs[0], -5);
+    EXPECT_EQ(r.outputs[1], 1);
+    EXPECT_EQ(r.outputs[2], 0);
+    EXPECT_EQ(r.outputs[3], -1);
+}
+
+TEST(CodegenTest, IfElseChains)
+{
+    const char* src = R"(
+        fn classify(x) {
+            if (x < 0) { return 0 - 1; }
+            else if (x == 0) { return 0; }
+            else { return 1; }
+        }
+        fn main() {
+            out(classify(0 - 5));
+            out(classify(0));
+            out(classify(9));
+        }
+    )";
+    auto r = runSource(src);
+    ASSERT_EQ(r.outputs.size(), 3u);
+    EXPECT_EQ(r.outputs[0], -1);
+    EXPECT_EQ(r.outputs[1], 0);
+    EXPECT_EQ(r.outputs[2], 1);
+}
+
+TEST(CodegenTest, WhileAndForLoops)
+{
+    const char* src = R"(
+        fn main() {
+            var s = 0;
+            var i = 0;
+            while (i < 5) { s = s + i; i = i + 1; }
+            out(s);
+            var t = 0;
+            for (var j = 1; j <= 10; j = j + 1) { t = t + j; }
+            out(t);
+        }
+    )";
+    auto r = runSource(src);
+    EXPECT_EQ(r.outputs[0], 10);
+    EXPECT_EQ(r.outputs[1], 55);
+}
+
+TEST(CodegenTest, BreakAndContinue)
+{
+    const char* src = R"(
+        fn main() {
+            var s = 0;
+            for (var i = 0; i < 100; i = i + 1) {
+                if (i == 7) { break; }
+                if (i % 2 == 0) { continue; }
+                s = s + i;
+            }
+            out(s); // 1 + 3 + 5 = 9
+        }
+    )";
+    EXPECT_EQ(runSource(src).outputs[0], 9);
+}
+
+TEST(CodegenTest, ShortCircuitEvaluation)
+{
+    // The right side must not run when the left side decides.
+    const char* src = R"(
+        fn bump() { mem[0] = mem[0] + 1; return 1; }
+        fn main() {
+            var a = 0 && bump();
+            var b = 1 || bump();
+            out(mem[0]); // neither bump ran
+            var c = 1 && bump();
+            var d = 0 || bump();
+            out(mem[0]); // both ran
+            out(a); out(b); out(c); out(d);
+        }
+    )";
+    auto r = runSource(src);
+    EXPECT_EQ(r.outputs[0], 0);
+    EXPECT_EQ(r.outputs[1], 2);
+    EXPECT_EQ(r.outputs[2], 0);
+    EXPECT_EQ(r.outputs[3], 1);
+    EXPECT_EQ(r.outputs[4], 1);
+    EXPECT_EQ(r.outputs[5], 1);
+}
+
+TEST(CodegenTest, MemoryAndInput)
+{
+    const char* src = R"(
+        fn main() {
+            var n = in();
+            for (var i = 0; i < n; i = i + 1) { mem[100 + i] = i * i; }
+            var s = 0;
+            for (var i = 0; i < n; i = i + 1) { s = s + mem[100 + i]; }
+            out(s);
+        }
+    )";
+    auto r = test::runSource(src, {5});
+    EXPECT_EQ(r.outputs[0], 0 + 1 + 4 + 9 + 16);
+}
+
+TEST(CodegenTest, RecursionAndCalls)
+{
+    const char* src = R"(
+        fn fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main() { out(fib(15)); }
+    )";
+    EXPECT_EQ(runSource(src).outputs[0], 610);
+}
+
+TEST(CodegenTest, ConstsAndScoping)
+{
+    const char* src = R"(
+        const BASE = 1000;
+        fn main() {
+            var x = 1;
+            { var x = 2; out(x + BASE); }
+            out(x);
+        }
+    )";
+    auto r = runSource(src);
+    EXPECT_EQ(r.outputs[0], 1002);
+    EXPECT_EQ(r.outputs[1], 1);
+}
+
+TEST(CodegenTest, SemanticErrors)
+{
+    EXPECT_THROW(runSource("fn main() { out(y); }"), WetError);
+    EXPECT_THROW(runSource("fn main() { break; }"), WetError);
+    EXPECT_THROW(runSource("fn main() { f(1); }"), WetError);
+    EXPECT_THROW(runSource("fn f(a) {} fn main() { f(); }"), WetError);
+    EXPECT_THROW(runSource("fn f() {} fn f() {} fn main() {}"),
+                 WetError);
+    EXPECT_THROW(runSource("fn nomain() {}"), WetError);
+    EXPECT_THROW(
+        runSource("fn main() { var a = 1; var a = 2; }"), WetError);
+}
+
+TEST(CodegenTest, DeadCodeAfterReturnIsTolerated)
+{
+    const char* src = R"(
+        fn f() { return 1; out(99); }
+        fn main() { out(f()); }
+    )";
+    auto r = runSource(src);
+    ASSERT_EQ(r.outputs.size(), 1u);
+    EXPECT_EQ(r.outputs[0], 1);
+}
+
+} // namespace
+} // namespace lang
+} // namespace wet

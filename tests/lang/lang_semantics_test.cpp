@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "testutil.h"
+
+namespace wet {
+namespace lang {
+namespace {
+
+using test::runSource;
+
+TEST(LangSemanticsTest, DivisionAndRemainderEdgeCases)
+{
+    auto r = runSource(R"(
+        fn main() {
+            var zero = 0;
+            out(5 / zero);     // defined as 0
+            out(5 % zero);     // defined as 0
+            out((0 - 7) / 2);  // truncated toward zero
+            out((0 - 7) % 2);
+        }
+    )");
+    EXPECT_EQ(r.outputs[0], 0);
+    EXPECT_EQ(r.outputs[1], 0);
+    EXPECT_EQ(r.outputs[2], -3);
+    EXPECT_EQ(r.outputs[3], -1);
+}
+
+TEST(LangSemanticsTest, ShiftsAndBitOps)
+{
+    auto r = runSource(R"(
+        fn main() {
+            out(1 << 10);
+            out(1024 >> 3);
+            out(0xff & 0x0f);
+            out(0xf0 | 0x0f);
+            out(0xff ^ 0x0f);
+            out(~0 & 0xff);
+        }
+    )");
+    EXPECT_EQ(r.outputs[0], 1024);
+    EXPECT_EQ(r.outputs[1], 128);
+    EXPECT_EQ(r.outputs[2], 0x0f);
+    EXPECT_EQ(r.outputs[3], 0xff);
+    EXPECT_EQ(r.outputs[4], 0xf0);
+    EXPECT_EQ(r.outputs[5], 0xff);
+}
+
+TEST(LangSemanticsTest, ComparisonChainsViaLogical)
+{
+    auto r = runSource(R"(
+        fn main() {
+            var x = 5;
+            out(x > 1 && x < 10);
+            out(x > 5 || x == 5);
+            out(!(x != 5));
+        }
+    )");
+    EXPECT_EQ(r.outputs[0], 1);
+    EXPECT_EQ(r.outputs[1], 1);
+    EXPECT_EQ(r.outputs[2], 1);
+}
+
+TEST(LangSemanticsTest, ForLoopClausesAreOptional)
+{
+    auto r = runSource(R"(
+        fn main() {
+            var i = 0;
+            for (; i < 3;) { i = i + 1; }
+            out(i);
+            var s = 0;
+            for (var j = 0; ; j = j + 1) {
+                if (j == 4) { break; }
+                s = s + j;
+            }
+            out(s);
+        }
+    )");
+    EXPECT_EQ(r.outputs[0], 3);
+    EXPECT_EQ(r.outputs[1], 6);
+}
+
+TEST(LangSemanticsTest, NestedLoopsWithBreakContinue)
+{
+    auto r = runSource(R"(
+        fn main() {
+            var count = 0;
+            for (var i = 0; i < 5; i = i + 1) {
+                for (var j = 0; j < 5; j = j + 1) {
+                    if (j > i) { break; }
+                    if ((i + j) % 2 == 1) { continue; }
+                    count = count + 1;
+                }
+            }
+            out(count); // pairs with j<=i and even sum
+        }
+    )");
+    // i=0: j=0 -> 1; i=1: j=1? (1+0)=1 skip,(1+1)=2 ok -> 1;
+    // i=2: j=0,2 -> 2; i=3: j=1,3 -> 2; i=4: j=0,2,4 -> 3.
+    EXPECT_EQ(r.outputs[0], 9);
+}
+
+TEST(LangSemanticsTest, MutualRecursion)
+{
+    auto r = runSource(R"(
+        fn is_even(n) {
+            if (n == 0) { return 1; }
+            return is_odd(n - 1);
+        }
+        fn is_odd(n) {
+            if (n == 0) { return 0; }
+            return is_even(n - 1);
+        }
+        fn main() {
+            out(is_even(10));
+            out(is_odd(7));
+            out(is_even(3));
+        }
+    )");
+    EXPECT_EQ(r.outputs[0], 1);
+    EXPECT_EQ(r.outputs[1], 1);
+    EXPECT_EQ(r.outputs[2], 0);
+}
+
+TEST(LangSemanticsTest, VoidFunctionsReturnZero)
+{
+    auto r = runSource(R"(
+        fn poke(a) { mem[a] = 7; }
+        fn main() {
+            var x = poke(3);
+            out(x);
+            out(mem[3]);
+        }
+    )");
+    EXPECT_EQ(r.outputs[0], 0);
+    EXPECT_EQ(r.outputs[1], 7);
+}
+
+TEST(LangSemanticsTest, DeepRecursionWithinLimit)
+{
+    auto r = runSource(R"(
+        fn down(n) {
+            if (n == 0) { return 0; }
+            return down(n - 1) + 1;
+        }
+        fn main() { out(down(5000)); }
+    )");
+    EXPECT_EQ(r.outputs[0], 5000);
+}
+
+TEST(LangSemanticsTest, CallDepthLimitEnforced)
+{
+    const char* src = R"(
+        fn forever(n) { return forever(n + 1); }
+        fn main() { out(forever(0)); }
+    )";
+    EXPECT_THROW(runSource(src), WetError);
+}
+
+TEST(LangSemanticsTest, ArgumentEvaluationOrderIsLeftToRight)
+{
+    auto r = runSource(R"(
+        fn bump() { mem[0] = mem[0] + 1; return mem[0]; }
+        fn pair(a, b) { return a * 100 + b; }
+        fn main() { out(pair(bump(), bump())); }
+    )");
+    EXPECT_EQ(r.outputs[0], 102);
+}
+
+TEST(LangSemanticsTest, ConstsAreUsableEverywhere)
+{
+    auto r = runSource(R"(
+        const N = 4;
+        const BASE = 100;
+        fn area() { return N * N; }
+        fn main() {
+            mem[BASE] = area();
+            out(mem[BASE] + N);
+        }
+    )");
+    EXPECT_EQ(r.outputs[0], 20);
+}
+
+} // namespace
+} // namespace lang
+} // namespace wet

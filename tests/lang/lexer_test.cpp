@@ -1,0 +1,92 @@
+#include "lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace wet {
+namespace lang {
+namespace {
+
+std::vector<TokKind>
+kinds(const std::string& src)
+{
+    Lexer lx(src);
+    std::vector<TokKind> ks;
+    for (const Token& t : lx.lexAll())
+        ks.push_back(t.kind);
+    return ks;
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers)
+{
+    auto ks = kinds("fn foo var while whale");
+    ASSERT_EQ(ks.size(), 6u);
+    EXPECT_EQ(ks[0], TokKind::KwFn);
+    EXPECT_EQ(ks[1], TokKind::Ident);
+    EXPECT_EQ(ks[2], TokKind::KwVar);
+    EXPECT_EQ(ks[3], TokKind::KwWhile);
+    EXPECT_EQ(ks[4], TokKind::Ident);
+    EXPECT_EQ(ks[5], TokKind::End);
+}
+
+TEST(LexerTest, IntegerLiterals)
+{
+    Lexer lx("0 42 0x10 0xdeadBEEF 6364136223846793005");
+    auto toks = lx.lexAll();
+    EXPECT_EQ(toks[0].value, 0);
+    EXPECT_EQ(toks[1].value, 42);
+    EXPECT_EQ(toks[2].value, 16);
+    EXPECT_EQ(toks[3].value, 0xdeadbeef);
+    EXPECT_EQ(toks[4].value, 6364136223846793005LL);
+}
+
+TEST(LexerTest, MultiCharOperators)
+{
+    auto ks = kinds("<= >= == != << >> && || < >");
+    EXPECT_EQ(ks[0], TokKind::Le);
+    EXPECT_EQ(ks[1], TokKind::Ge);
+    EXPECT_EQ(ks[2], TokKind::EqEq);
+    EXPECT_EQ(ks[3], TokKind::Ne);
+    EXPECT_EQ(ks[4], TokKind::Shl);
+    EXPECT_EQ(ks[5], TokKind::Shr);
+    EXPECT_EQ(ks[6], TokKind::AndAnd);
+    EXPECT_EQ(ks[7], TokKind::OrOr);
+    EXPECT_EQ(ks[8], TokKind::Lt);
+    EXPECT_EQ(ks[9], TokKind::Gt);
+}
+
+TEST(LexerTest, CommentsAreSkipped)
+{
+    auto ks = kinds("a // line comment\n b /* block\n comment */ c");
+    ASSERT_EQ(ks.size(), 4u);
+    EXPECT_EQ(ks[0], TokKind::Ident);
+    EXPECT_EQ(ks[1], TokKind::Ident);
+    EXPECT_EQ(ks[2], TokKind::Ident);
+}
+
+TEST(LexerTest, TracksLineAndColumn)
+{
+    Lexer lx("a\n  b");
+    auto toks = lx.lexAll();
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[0].col, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[1].col, 3);
+}
+
+TEST(LexerTest, RejectsUnknownCharacter)
+{
+    Lexer lx("a $ b");
+    EXPECT_THROW(lx.lexAll(), WetError);
+}
+
+TEST(LexerTest, RejectsUnterminatedBlockComment)
+{
+    Lexer lx("a /* never closed");
+    EXPECT_THROW(lx.lexAll(), WetError);
+}
+
+} // namespace
+} // namespace lang
+} // namespace wet

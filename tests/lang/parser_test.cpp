@@ -1,0 +1,129 @@
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+#include "support/error.h"
+
+namespace wet {
+namespace lang {
+namespace {
+
+Program
+parse(const std::string& src)
+{
+    Lexer lx(src);
+    Parser p(lx.lexAll());
+    return p.parseProgram();
+}
+
+TEST(ParserTest, ParsesFunctionWithParams)
+{
+    Program prog = parse("fn add(a, b) { return a + b; }");
+    ASSERT_EQ(prog.functions.size(), 1u);
+    EXPECT_EQ(prog.functions[0].name, "add");
+    ASSERT_EQ(prog.functions[0].params.size(), 2u);
+    EXPECT_EQ(prog.functions[0].params[1], "b");
+    ASSERT_EQ(prog.functions[0].body.size(), 1u);
+    EXPECT_EQ(prog.functions[0].body[0]->kind, StmtKind::Return);
+}
+
+TEST(ParserTest, ParsesConsts)
+{
+    Program prog = parse("const A = 5; const B = -3; fn main() {}");
+    EXPECT_EQ(prog.consts.at("A"), 5);
+    EXPECT_EQ(prog.consts.at("B"), -3);
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd)
+{
+    Program prog = parse("fn main() { var x = 1 + 2 * 3; }");
+    const Stmt& decl = *prog.functions[0].body[0];
+    ASSERT_EQ(decl.kind, StmtKind::VarDecl);
+    const Expr& e = *decl.e1;
+    ASSERT_EQ(e.kind, ExprKind::Binary);
+    EXPECT_EQ(e.op, TokKind::Plus);
+    EXPECT_EQ(e.rhs->kind, ExprKind::Binary);
+    EXPECT_EQ(e.rhs->op, TokKind::Star);
+}
+
+TEST(ParserTest, LeftAssociativeSubtraction)
+{
+    Program prog = parse("fn main() { var x = 10 - 3 - 2; }");
+    const Expr& e = *prog.functions[0].body[0]->e1;
+    // (10 - 3) - 2
+    EXPECT_EQ(e.op, TokKind::Minus);
+    EXPECT_EQ(e.lhs->kind, ExprKind::Binary);
+    EXPECT_EQ(e.rhs->kind, ExprKind::IntLit);
+    EXPECT_EQ(e.rhs->intValue, 2);
+}
+
+TEST(ParserTest, LogicalOperatorsBecomeShortCircuitNodes)
+{
+    Program prog = parse("fn main() { var x = 1 && 2 || 3; }");
+    const Expr& e = *prog.functions[0].body[0]->e1;
+    EXPECT_EQ(e.kind, ExprKind::LogicalOr);
+    EXPECT_EQ(e.lhs->kind, ExprKind::LogicalAnd);
+}
+
+TEST(ParserTest, ParsesControlFlowForms)
+{
+    Program prog = parse(R"(
+        fn main() {
+            if (1) { out(1); } else if (2) { out(2); } else { out(3); }
+            while (1) { break; }
+            for (var i = 0; i < 10; i = i + 1) { continue; }
+            mem[4] = 5;
+            var y = mem[4];
+            halt;
+        }
+    )");
+    const auto& body = prog.functions[0].body;
+    ASSERT_EQ(body.size(), 6u);
+    EXPECT_EQ(body[0]->kind, StmtKind::If);
+    ASSERT_EQ(body[0]->elseBody.size(), 1u);
+    EXPECT_EQ(body[0]->elseBody[0]->kind, StmtKind::If);
+    EXPECT_EQ(body[1]->kind, StmtKind::While);
+    EXPECT_EQ(body[2]->kind, StmtKind::For);
+    ASSERT_TRUE(body[2]->sub1 && body[2]->e1 && body[2]->sub2);
+    EXPECT_EQ(body[3]->kind, StmtKind::MemStore);
+    EXPECT_EQ(body[4]->kind, StmtKind::VarDecl);
+    EXPECT_EQ(body[4]->e1->kind, ExprKind::MemLoad);
+    EXPECT_EQ(body[5]->kind, StmtKind::Halt);
+}
+
+TEST(ParserTest, ParsesCallsAndInput)
+{
+    Program prog = parse("fn main() { var x = f(1, in()); f(x); }");
+    const Expr& call = *prog.functions[0].body[0]->e1;
+    EXPECT_EQ(call.kind, ExprKind::Call);
+    ASSERT_EQ(call.args.size(), 2u);
+    EXPECT_EQ(call.args[1]->kind, ExprKind::Input);
+    EXPECT_EQ(prog.functions[0].body[1]->kind, StmtKind::ExprStmt);
+}
+
+TEST(ParserTest, ErrorsCarryLocation)
+{
+    try {
+        parse("fn main() { var = 3; }");
+        FAIL() << "expected WetError";
+    } catch (const WetError& e) {
+        EXPECT_NE(std::string(e.what()).find("1:17"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ParserTest, RejectsMissingSemicolon)
+{
+    EXPECT_THROW(parse("fn main() { var x = 1 }"), WetError);
+}
+
+TEST(ParserTest, RejectsTopLevelGarbage)
+{
+    EXPECT_THROW(parse("var x = 1;"), WetError);
+}
+
+} // namespace
+} // namespace lang
+} // namespace wet

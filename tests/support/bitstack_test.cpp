@@ -1,0 +1,93 @@
+#include "support/bitstack.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace wet {
+namespace support {
+namespace {
+
+TEST(BitStackTest, PushPopSingleBits)
+{
+    BitStack bs;
+    bs.push(true);
+    bs.push(false);
+    bs.push(true);
+    EXPECT_EQ(bs.size(), 3u);
+    EXPECT_TRUE(bs.pop());
+    EXPECT_FALSE(bs.pop());
+    EXPECT_TRUE(bs.pop());
+    EXPECT_TRUE(bs.empty());
+}
+
+TEST(BitStackTest, RandomAccessGet)
+{
+    Rng rng(3);
+    BitStack bs;
+    std::vector<bool> shadow;
+    for (int i = 0; i < 1000; ++i) {
+        bool b = rng.chance(1, 2);
+        bs.push(b);
+        shadow.push_back(b);
+    }
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(bs.get(i), shadow[i]) << "bit " << i;
+}
+
+TEST(BitStackTest, CrossesWordBoundaries)
+{
+    BitStack bs;
+    for (int i = 0; i < 200; ++i)
+        bs.push(i % 3 == 0);
+    for (int i = 199; i >= 0; --i)
+        EXPECT_EQ(bs.pop(), i % 3 == 0);
+}
+
+TEST(BitStackTest, PushBitsRoundTrip)
+{
+    BitStack bs;
+    bs.pushBits(0b101, 3);
+    bs.pushBits(0xff, 8);
+    bs.pushBits(0, 4);
+    EXPECT_EQ(bs.size(), 15u);
+    EXPECT_EQ(bs.popBits(4), 0u);
+    EXPECT_EQ(bs.popBits(8), 0xffu);
+    EXPECT_EQ(bs.popBits(3), 0b101u);
+}
+
+TEST(BitStackTest, GetBitsMatchesPushBits)
+{
+    Rng rng(11);
+    BitStack bs;
+    std::vector<std::pair<uint64_t, unsigned>> fields;
+    size_t bitpos = 0;
+    for (int i = 0; i < 500; ++i) {
+        unsigned w = 1 + static_cast<unsigned>(rng.below(16));
+        uint64_t v = rng.next() & ((uint64_t{1} << w) - 1);
+        bs.pushBits(v, w);
+        fields.emplace_back(v, w);
+        bitpos += w;
+    }
+    EXPECT_EQ(bs.size(), bitpos);
+    size_t at = 0;
+    for (auto& [v, w] : fields) {
+        EXPECT_EQ(bs.getBits(at, w), v);
+        at += w;
+    }
+}
+
+TEST(BitStackTest, SizeBytesRoundsUp)
+{
+    BitStack bs;
+    EXPECT_EQ(bs.sizeBytes(), 0u);
+    bs.push(true);
+    EXPECT_EQ(bs.sizeBytes(), 1u);
+    for (int i = 0; i < 8; ++i)
+        bs.push(false);
+    EXPECT_EQ(bs.sizeBytes(), 2u);
+}
+
+} // namespace
+} // namespace support
+} // namespace wet

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "codec/cursor.h"
+#include "codec/encoder.h"
+#include "support/bitstack.h"
+#include "support/varint.h"
+
+namespace wet {
+namespace {
+
+// Internal invariant violations panic (abort) rather than limp on
+// with corrupt state — gem5's panic() discipline. Death tests pin
+// the contract.
+
+TEST(RobustnessDeathTest, BitStackPopFromEmptyPanics)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    support::BitStack bs;
+    EXPECT_DEATH(bs.pop(), "pop from empty BitStack");
+}
+
+TEST(RobustnessDeathTest, BitStackGetOutOfRangePanics)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    support::BitStack bs;
+    bs.push(true);
+    EXPECT_DEATH(bs.get(1), "out of range");
+}
+
+TEST(RobustnessDeathTest, VarintBackwardReadAtZeroPanics)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    support::VarintBuffer buf;
+    size_t pos = 0;
+    EXPECT_DEATH(buf.readUnsignedBefore(pos), "backward read");
+}
+
+TEST(RobustnessDeathTest, CursorPastEndPanics)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    std::vector<int64_t> v(100, 7);
+    codec::CompressedStream s =
+        codec::encodeStream(v, codec::CodecConfig{});
+    codec::StreamCursor cur(s);
+    EXPECT_DEATH(cur.at(100), "past length");
+}
+
+TEST(RobustnessDeathTest, ForwardOnlyCursorCannotStepBack)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    // A forward-only cursor with NO checkpoints re-inits from the
+    // front, which is legal; stepping before the sweep start on a
+    // bidirectional cursor is caught by the route planner, so the
+    // only illegal state left is internal. Verify the legal paths
+    // here instead of death:
+    std::vector<int64_t> v;
+    for (int i = 0; i < 500; ++i)
+        v.push_back(i % 9);
+    codec::CompressedStream s = codec::encodeStream(
+        v, codec::CodecConfig{codec::Method::Fcm, 1, 0});
+    codec::StreamCursor cur(s, codec::StreamCursor::Mode::Forward);
+    EXPECT_EQ(cur.at(400), v[400]);
+    EXPECT_EQ(cur.at(10), v[10]); // re-init from front, no death
+}
+
+} // namespace
+} // namespace wet

@@ -1,0 +1,52 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+#include "support/sizes.h"
+
+namespace wet {
+namespace support {
+namespace {
+
+TEST(TablePrinterTest, RendersAlignedColumns)
+{
+    TablePrinter t({"Benchmark", "Stmts", "Ratio"});
+    t.addRow({"099.go", "685", "18.04"});
+    t.addRow({"126.gcc", "364", "58.84"});
+    std::string s = t.toString("Table 1");
+    EXPECT_NE(s.find("Table 1"), std::string::npos);
+    EXPECT_NE(s.find("099.go"), std::string::npos);
+    EXPECT_NE(s.find("58.84"), std::string::npos);
+    // Numeric columns are right-aligned: "685" under "Stmts".
+    EXPECT_NE(s.find("Stmts"), std::string::npos);
+}
+
+TEST(SizesTest, FormatFixed)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(2.0, 0), "2");
+}
+
+TEST(SizesTest, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KB");
+    EXPECT_EQ(formatBytes(uint64_t{5} * 1024 * 1024), "5.00 MB");
+}
+
+TEST(SizesTest, FormatCount)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1,000");
+    EXPECT_EQ(formatCount(1234567), "1,234,567");
+}
+
+TEST(SizesTest, ToMB)
+{
+    EXPECT_DOUBLE_EQ(toMB(1024 * 1024), 1.0);
+}
+
+} // namespace
+} // namespace support
+} // namespace wet

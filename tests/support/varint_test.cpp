@@ -1,0 +1,112 @@
+#include "support/varint.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace wet {
+namespace support {
+namespace {
+
+TEST(VarintTest, RoundTripsSmallValues)
+{
+    VarintBuffer buf;
+    for (uint64_t v = 0; v < 300; ++v)
+        buf.pushUnsigned(v);
+    size_t pos = 0;
+    for (uint64_t v = 0; v < 300; ++v)
+        EXPECT_EQ(buf.readUnsignedAt(pos), v);
+    EXPECT_EQ(pos, buf.sizeBytes());
+}
+
+TEST(VarintTest, SingleByteForSmall)
+{
+    VarintBuffer buf;
+    buf.pushUnsigned(127);
+    EXPECT_EQ(buf.sizeBytes(), 1u);
+    buf.pushUnsigned(128);
+    EXPECT_EQ(buf.sizeBytes(), 3u);
+}
+
+TEST(VarintTest, BackwardReadMatchesForward)
+{
+    Rng rng(7);
+    VarintBuffer buf;
+    std::vector<uint64_t> vals;
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = rng.next() >> (rng.below(64));
+        vals.push_back(v);
+        buf.pushUnsigned(v);
+    }
+    size_t pos = buf.sizeBytes();
+    for (int i = 999; i >= 0; --i)
+        EXPECT_EQ(buf.readUnsignedBefore(pos), vals[i]);
+    EXPECT_EQ(pos, 0u);
+}
+
+TEST(VarintTest, PopUnsignedIsLifo)
+{
+    VarintBuffer buf;
+    buf.pushUnsigned(1);
+    buf.pushUnsigned(1u << 20);
+    buf.pushUnsigned(42);
+    EXPECT_EQ(buf.popUnsigned(), 42u);
+    EXPECT_EQ(buf.popUnsigned(), 1u << 20);
+    EXPECT_EQ(buf.popUnsigned(), 1u);
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(VarintTest, SignedZigZagRoundTrip)
+{
+    VarintBuffer buf;
+    std::vector<int64_t> vals = {0,  -1, 1,  -2, 63, -64,
+                                 64, INT64_MAX, INT64_MIN};
+    for (int64_t v : vals)
+        buf.pushSigned(v);
+    size_t pos = 0;
+    for (int64_t v : vals)
+        EXPECT_EQ(buf.readSignedAt(pos), v);
+    for (auto it = vals.rbegin(); it != vals.rend(); ++it)
+        EXPECT_EQ(buf.popSigned(), *it);
+}
+
+TEST(VarintTest, ZigZagEncoding)
+{
+    EXPECT_EQ(VarintBuffer::zigzagEncode(0), 0u);
+    EXPECT_EQ(VarintBuffer::zigzagEncode(-1), 1u);
+    EXPECT_EQ(VarintBuffer::zigzagEncode(1), 2u);
+    EXPECT_EQ(VarintBuffer::zigzagEncode(-2), 3u);
+    for (int64_t v : {int64_t{-1000}, int64_t{0}, int64_t{12345},
+                      INT64_MIN, INT64_MAX})
+    {
+        EXPECT_EQ(VarintBuffer::zigzagDecode(
+                      VarintBuffer::zigzagEncode(v)),
+                  v);
+    }
+}
+
+TEST(VarintTest, MixedPushPopInterleaving)
+{
+    Rng rng(99);
+    VarintBuffer buf;
+    std::vector<int64_t> shadow;
+    for (int step = 0; step < 5000; ++step) {
+        if (shadow.empty() || rng.chance(3, 5)) {
+            int64_t v = static_cast<int64_t>(rng.next());
+            shadow.push_back(v);
+            buf.pushSigned(v);
+        } else {
+            ASSERT_EQ(buf.popSigned(), shadow.back());
+            shadow.pop_back();
+        }
+    }
+    while (!shadow.empty()) {
+        ASSERT_EQ(buf.popSigned(), shadow.back());
+        shadow.pop_back();
+    }
+    EXPECT_TRUE(buf.empty());
+}
+
+} // namespace
+} // namespace support
+} // namespace wet

@@ -1,0 +1,39 @@
+#include "testutil.h"
+
+#include "lang/codegen.h"
+
+namespace wet {
+namespace test {
+
+std::unique_ptr<Pipeline>
+runPipeline(const std::string& source, std::vector<int64_t> inputs,
+            uint64_t mem_words)
+{
+    auto p = std::make_unique<Pipeline>();
+    p->module = std::make_unique<ir::Module>(
+        lang::compileString(source, mem_words));
+    p->ma = std::make_unique<analysis::ModuleAnalysis>(*p->module);
+    interp::VectorInput input(std::move(inputs));
+    core::WetBuilder builder(*p->ma);
+    interp::TeeSink tee;
+    tee.addSink(&builder);
+    tee.addSink(&p->record);
+    interp::Interpreter interp(*p->ma, input, &tee);
+    p->result = interp.run();
+    p->graph = builder.take();
+    return p;
+}
+
+interp::RunResult
+runSource(const std::string& source, std::vector<int64_t> inputs,
+          uint64_t mem_words)
+{
+    ir::Module mod = lang::compileString(source, mem_words);
+    analysis::ModuleAnalysis ma(mod);
+    interp::VectorInput input(std::move(inputs));
+    interp::Interpreter interp(ma, input, nullptr);
+    return interp.run();
+}
+
+} // namespace test
+} // namespace wet

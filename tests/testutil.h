@@ -1,0 +1,96 @@
+#ifndef WET_TESTS_TESTUTIL_H
+#define WET_TESTS_TESTUTIL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/moduleanalysis.h"
+#include "arch/archprofile.h"
+#include "core/builder.h"
+#include "core/wetgraph.h"
+#include "interp/interpreter.h"
+#include "ir/module.h"
+#include "support/error.h"
+
+namespace wet {
+namespace test {
+
+/**
+ * A recording TraceSink that keeps the full event stream: the
+ * reference against which WET reconstruction is checked.
+ */
+class RecordingSink : public interp::TraceSink
+{
+  public:
+    struct BlockRec
+    {
+        ir::FuncId func;
+        ir::BlockId block;
+        interp::DepRef control;
+    };
+
+    void
+    onEnterFunction(ir::FuncId f, const interp::DepRef& cs) override
+    {
+        (void)f;
+        (void)cs;
+        controlStack.push_back(interp::DepRef{});
+    }
+
+    void
+    onLeaveFunction(ir::FuncId f) override
+    {
+        (void)f;
+        controlStack.pop_back();
+    }
+
+    void
+    onBlockEnter(ir::FuncId f, ir::BlockId b,
+                 const interp::DepRef& control) override
+    {
+        blocks.push_back(BlockRec{f, b, control});
+        controlStack.back() = control;
+    }
+
+    void
+    onStmt(const interp::StmtEvent& ev) override
+    {
+        stmts.push_back(ev);
+        stmtControls.push_back(controlStack.back());
+    }
+
+    std::vector<BlockRec> blocks;
+    std::vector<interp::StmtEvent> stmts;
+    /** Per stmts[i]: the dynamic control dependence of its block. */
+    std::vector<interp::DepRef> stmtControls;
+    std::vector<interp::DepRef> controlStack;
+};
+
+/** Everything produced by running a wetlang source end to end. */
+struct Pipeline
+{
+    std::unique_ptr<ir::Module> module;
+    std::unique_ptr<analysis::ModuleAnalysis> ma;
+    interp::RunResult result;
+    core::WetGraph graph;
+    RecordingSink record;
+};
+
+/**
+ * Compile @p source, run it with the given inputs, and build its WET
+ * while also recording the raw trace.
+ */
+std::unique_ptr<Pipeline> runPipeline(const std::string& source,
+                                      std::vector<int64_t> inputs = {},
+                                      uint64_t mem_words = 1 << 16);
+
+/** Compile and run only; returns the run result. */
+interp::RunResult runSource(const std::string& source,
+                            std::vector<int64_t> inputs = {},
+                            uint64_t mem_words = 1 << 16);
+
+} // namespace test
+} // namespace wet
+
+#endif // WET_TESTS_TESTUTIL_H

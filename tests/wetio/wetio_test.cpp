@@ -1,0 +1,177 @@
+#include "wetio/wetio.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/access.h"
+#include "core/cfquery.h"
+#include "core/slicer.h"
+#include "core/valuequery.h"
+#include "testutil.h"
+
+namespace wet {
+namespace wetio {
+namespace {
+
+const char* kProgram = R"(
+    fn weigh(x) { return x * x + 3; }
+    fn main() {
+        var s = 0;
+        for (var i = 0; i < 30; i = i + 1) {
+            var t = in();
+            if (t % 2 == 0) { mem[i % 8] = weigh(t); }
+            s = s + mem[i % 8];
+        }
+        out(s);
+    }
+)";
+
+std::vector<int64_t>
+inputs30()
+{
+    std::vector<int64_t> v;
+    for (int i = 0; i < 30; ++i)
+        v.push_back((i * 11 + 2) % 19);
+    return v;
+}
+
+class WetIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "wetio_test.wetx";
+        p_ = test::runPipeline(kProgram, inputs30());
+        compressed_ =
+            std::make_unique<core::WetCompressed>(p_->graph);
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+    std::unique_ptr<test::Pipeline> p_;
+    std::unique_ptr<core::WetCompressed> compressed_;
+};
+
+TEST_F(WetIoTest, RoundTripPreservesStructure)
+{
+    save(path_, *p_->module, p_->graph, *compressed_);
+    LoadedWet loaded = load(path_, *p_->module);
+    const core::WetGraph& a = p_->graph;
+    const core::WetGraph& b = *loaded.graph;
+    ASSERT_EQ(a.nodes.size(), b.nodes.size());
+    for (size_t n = 0; n < a.nodes.size(); ++n) {
+        EXPECT_EQ(a.nodes[n].func, b.nodes[n].func);
+        EXPECT_EQ(a.nodes[n].pathId, b.nodes[n].pathId);
+        EXPECT_EQ(a.nodes[n].blocks, b.nodes[n].blocks);
+        EXPECT_EQ(a.nodes[n].stmts, b.nodes[n].stmts);
+        EXPECT_EQ(a.nodes[n].instances(), b.nodes[n].instances());
+        EXPECT_EQ(a.nodes[n].stmtGroup, b.nodes[n].stmtGroup);
+        EXPECT_EQ(a.nodes[n].cfSucc, b.nodes[n].cfSucc);
+    }
+    ASSERT_EQ(a.edges.size(), b.edges.size());
+    for (size_t e = 0; e < a.edges.size(); ++e) {
+        EXPECT_EQ(a.edges[e].defNode, b.edges[e].defNode);
+        EXPECT_EQ(a.edges[e].useNode, b.edges[e].useNode);
+        EXPECT_EQ(a.edges[e].slot, b.edges[e].slot);
+        EXPECT_EQ(a.edges[e].local, b.edges[e].local);
+        EXPECT_EQ(a.edges[e].labelPool, b.edges[e].labelPool);
+    }
+    EXPECT_EQ(a.lastTimestamp, b.lastTimestamp);
+    EXPECT_EQ(a.stmtInstancesTotal, b.stmtInstancesTotal);
+}
+
+TEST_F(WetIoTest, LoadedWetAnswersQueriesIdentically)
+{
+    save(path_, *p_->module, p_->graph, *compressed_);
+    LoadedWet loaded = load(path_, *p_->module);
+
+    core::WetAccess before(*compressed_, *p_->module);
+    core::WetAccess after(*loaded.compressed, *p_->module);
+
+    // Control flow traces agree.
+    std::vector<std::pair<core::NodeId, core::Timestamp>> f1;
+    std::vector<std::pair<core::NodeId, core::Timestamp>> f2;
+    core::ControlFlowQuery q1(before);
+    core::ControlFlowQuery q2(after);
+    q1.extractForward([&](core::NodeId n, core::Timestamp t) {
+        f1.emplace_back(n, t);
+    });
+    q2.extractForward([&](core::NodeId n, core::Timestamp t) {
+        f2.emplace_back(n, t);
+    });
+    EXPECT_EQ(f1, f2);
+
+    // Load value traces agree.
+    core::ValueTraceQuery v1(before);
+    core::ValueTraceQuery v2(after);
+    for (ir::StmtId s : v1.stmtsWithOpcode(ir::Opcode::Load)) {
+        std::vector<int64_t> a;
+        std::vector<int64_t> b;
+        v1.extract(s, [&](core::Timestamp, int64_t v) {
+            a.push_back(v);
+        });
+        v2.extract(s, [&](core::Timestamp, int64_t v) {
+            b.push_back(v);
+        });
+        EXPECT_EQ(a, b) << "stmt " << s;
+    }
+
+    // Slices agree.
+    core::WetSlicer s1(before);
+    core::WetSlicer s2(after);
+    ir::StmtId anyLoad =
+        v1.stmtsWithOpcode(ir::Opcode::Load).front();
+    auto r1 = s1.backward(s1.locate(anyLoad, 3));
+    auto r2 = s2.backward(s2.locate(anyLoad, 3));
+    EXPECT_EQ(r1.items.size(), r2.items.size());
+}
+
+TEST_F(WetIoTest, RejectsWrongProgram)
+{
+    save(path_, *p_->module, p_->graph, *compressed_);
+    auto other = test::runPipeline("fn main() { out(1); }");
+    EXPECT_THROW(load(path_, *other->module), WetError);
+}
+
+TEST_F(WetIoTest, RejectsGarbageFiles)
+{
+    {
+        std::ofstream out(path_, std::ios::binary);
+        out << "this is not a wetx file at all";
+    }
+    EXPECT_THROW(load(path_, *p_->module), WetError);
+}
+
+TEST_F(WetIoTest, RejectsTruncatedFiles)
+{
+    save(path_, *p_->module, p_->graph, *compressed_);
+    // Truncate the file to half its size.
+    std::ifstream in(path_, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    in.close();
+    {
+        std::ofstream out(path_,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() / 2));
+    }
+    EXPECT_THROW(load(path_, *p_->module), WetError);
+}
+
+TEST_F(WetIoTest, FingerprintIsStable)
+{
+    uint64_t f1 = moduleFingerprint(*p_->module);
+    auto again = test::runPipeline(kProgram, inputs30());
+    EXPECT_EQ(f1, moduleFingerprint(*again->module));
+    auto other = test::runPipeline("fn main() { out(2); }");
+    EXPECT_NE(f1, moduleFingerprint(*other->module));
+}
+
+} // namespace
+} // namespace wetio
+} // namespace wet

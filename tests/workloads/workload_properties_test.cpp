@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/moduleanalysis.h"
+#include "core/builder.h"
+#include "interp/interpreter.h"
+#include "testutil.h"
+#include "workloads/workloads.h"
+
+namespace wet {
+namespace workloads {
+namespace {
+
+/**
+ * Heavier end-to-end property on real workloads: build the WET with
+ * a full recording attached and verify that the value labels
+ * reconstruct the exact per-statement value sequences, that every
+ * recorded dependence instance is represented by an edge label (or
+ * an inferred local edge), and that dependence totals agree.
+ */
+struct Built
+{
+    std::unique_ptr<ir::Module> mod;
+    std::unique_ptr<analysis::ModuleAnalysis> ma;
+    test::RecordingSink rec;
+    core::WetGraph graph;
+};
+
+std::unique_ptr<Built>
+buildRecorded(const std::string& name, uint64_t scale)
+{
+    const Workload& w = workloadByName(name);
+    auto b = std::make_unique<Built>();
+    b->mod = std::make_unique<ir::Module>(compileWorkload(w));
+    b->ma = std::make_unique<analysis::ModuleAnalysis>(*b->mod);
+    auto input = makeWorkloadInput(w, scale);
+    core::WetBuilder builder(*b->ma);
+    interp::TeeSink tee;
+    tee.addSink(&builder);
+    tee.addSink(&b->rec);
+    interp::Interpreter interp(*b->ma, *input, &tee);
+    interp.run();
+    b->graph = builder.take();
+    return b;
+}
+
+class WorkloadProperty : public ::testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(WorkloadProperty, ValueLabelsReconstructPerStatement)
+{
+    auto b = buildRecorded(GetParam(), 1);
+    // Values[i] = UVals[Pattern[i]] per member, merged over nodes,
+    // must equal the recorded multiset per statement (order within a
+    // statement can differ across nodes under recursion, so compare
+    // sorted).
+    std::map<ir::StmtId, std::vector<int64_t>> rebuilt;
+    for (const auto& node : b->graph.nodes) {
+        for (const auto& grp : node.groups) {
+            for (size_t mi = 0; mi < grp.members.size(); ++mi) {
+                auto& vec = rebuilt[node.stmts[grp.members[mi]]];
+                for (uint32_t pidx : grp.pattern)
+                    vec.push_back(grp.uvals[mi][pidx]);
+            }
+        }
+    }
+    std::map<ir::StmtId, std::vector<int64_t>> reference;
+    for (const auto& ev : b->rec.stmts) {
+        if (!ev.hasValue ||
+            b->mod->instr(ev.stmt).op == ir::Opcode::Const)
+        {
+            continue;
+        }
+        reference[ev.stmt].push_back(ev.value);
+    }
+    ASSERT_EQ(rebuilt.size(), reference.size());
+    for (auto& [stmt, vals] : reference) {
+        auto it = rebuilt.find(stmt);
+        ASSERT_NE(it, rebuilt.end()) << "stmt " << stmt;
+        std::sort(vals.begin(), vals.end());
+        std::sort(it->second.begin(), it->second.end());
+        ASSERT_EQ(it->second, vals) << "stmt " << stmt;
+    }
+}
+
+TEST_P(WorkloadProperty, DependenceTotalsMatchRecording)
+{
+    auto b = buildRecorded(GetParam(), 1);
+    uint64_t deps = 0;
+    for (const auto& ev : b->rec.stmts)
+        deps += ev.numDeps;
+    EXPECT_EQ(b->graph.depInstancesTotal, deps);
+    uint64_t cds = 0;
+    for (const auto& blk : b->rec.blocks)
+        if (blk.control.valid())
+            ++cds;
+    EXPECT_EQ(b->graph.cdInstancesTotal, cds);
+    EXPECT_EQ(b->graph.droppedDeps, 0u);
+    // Every label instance is stored once (pooled sequences count
+    // once per referencing edge) or inferred on a local edge.
+    uint64_t stored = 0;
+    for (const auto& e : b->graph.edges) {
+        if (e.local)
+            stored += b->graph.nodes[e.useNode].instances();
+        else
+            stored += b->graph.labelPool[e.labelPool].useInst.size();
+    }
+    EXPECT_EQ(stored, deps + cds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SelectedWorkloads, WorkloadProperty,
+    ::testing::Values("126.gcc", "181.mcf", "300.twolf"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+        std::string n = info.param;
+        for (char& c : n)
+            if (c == '.')
+                c = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace workloads
+} // namespace wet

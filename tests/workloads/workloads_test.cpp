@@ -1,0 +1,64 @@
+#include "workloads/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/runner.h"
+
+namespace wet {
+namespace workloads {
+namespace {
+
+TEST(WorkloadsTest, AllNineCompile)
+{
+    ASSERT_EQ(allWorkloads().size(), 9u);
+    for (const auto& w : allWorkloads()) {
+        ir::Module m = compileWorkload(w);
+        EXPECT_GT(m.numStmts(), 0u) << w.name;
+        EXPECT_TRUE(m.hasFunction("main")) << w.name;
+    }
+}
+
+TEST(WorkloadsTest, LookupByName)
+{
+    EXPECT_EQ(workloadByName("181.mcf").name, "181.mcf");
+    EXPECT_THROW(workloadByName("404.missing"), WetError);
+}
+
+class WorkloadRun : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(WorkloadRun, RunsAndProducesOutput)
+{
+    const Workload& w = allWorkloads()[GetParam()];
+    // Tiny scale: just prove the program runs to completion and is
+    // deterministic.
+    auto r1 = runOnly(w, 20);
+    auto r2 = runOnly(w, 20);
+    EXPECT_FALSE(r1.outputs.empty()) << w.name;
+    EXPECT_EQ(r1.outputs, r2.outputs) << w.name;
+    EXPECT_EQ(r1.stmtsExecuted, r2.stmtsExecuted) << w.name;
+    EXPECT_GT(r1.stmtsExecuted, 1000u) << w.name;
+}
+
+TEST_P(WorkloadRun, ScaleControlsRunLength)
+{
+    const Workload& w = allWorkloads()[GetParam()];
+    auto small = runOnly(w, 1);
+    auto big = runOnly(w, 4);
+    EXPECT_GT(big.stmtsExecuted, small.stmtsExecuted) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadRun, ::testing::Range<size_t>(0, 9),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+        std::string n = allWorkloads()[info.param].name;
+        for (char& c : n)
+            if (c == '.')
+                c = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace workloads
+} // namespace wet

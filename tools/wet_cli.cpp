@@ -1,0 +1,341 @@
+/**
+ * @file
+ * `wet` command line tool: compile and trace wetlang programs, save
+ * the compressed WET to disk, and query saved WETs.
+ *
+ *   wet_cli run   prog.wet [--scale N] [--seed S] [--mem W]
+ *                 [--save out.wetx]
+ *   wet_cli info  prog.wet file.wetx
+ *   wet_cli cf    prog.wet file.wetx [--from T] [--count N]
+ *   wet_cli values prog.wet file.wetx --stmt S [--limit N]
+ *   wet_cli slice prog.wet file.wetx --stmt S [--k K] [--max N]
+ *   wet_cli dump  prog.wet
+ *
+ * The program source is always required: the WETX file stores the
+ * dynamic profile, not the program, and refuses to open against a
+ * different module (fingerprint check).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/moduleanalysis.h"
+#include "core/access.h"
+#include "core/builder.h"
+#include "core/cfquery.h"
+#include "core/compressed.h"
+#include "core/slicer.h"
+#include "core/valuequery.h"
+#include "interp/interpreter.h"
+#include "lang/codegen.h"
+#include "support/sizes.h"
+#include "support/timer.h"
+#include "wetio/wetio.h"
+
+using namespace wet;
+
+namespace {
+
+struct Args
+{
+    std::string command;
+    std::string program;
+    std::string wetx;
+    uint64_t scale = 1000;
+    uint64_t seed = 42;
+    uint64_t memWords = 1 << 20;
+    std::string savePath;
+    uint64_t stmt = UINT64_MAX;
+    uint64_t from = 1;
+    uint64_t count = 20;
+    uint64_t k = 0;
+    uint64_t limit = 20;
+    uint64_t maxItems = 100000;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: wet_cli <run|info|cf|values|slice|dump> prog.wet "
+        "[file.wetx] [options]\n"
+        "  run    --scale N --seed S --mem W --save out.wetx\n"
+        "  cf     --from T --count N\n"
+        "  values --stmt S --limit N\n"
+        "  slice  --stmt S --k K --max N\n");
+    std::exit(2);
+}
+
+uint64_t
+numArg(int argc, char** argv, int& i)
+{
+    if (i + 1 >= argc)
+        usage();
+    return std::strtoull(argv[++i], nullptr, 10);
+}
+
+Args
+parse(int argc, char** argv)
+{
+    if (argc < 3)
+        usage();
+    Args a;
+    a.command = argv[1];
+    a.program = argv[2];
+    int i = 3;
+    bool wantsWetx = a.command == "info" || a.command == "cf" ||
+                     a.command == "values" || a.command == "slice";
+    if (wantsWetx) {
+        if (argc < 4)
+            usage();
+        a.wetx = argv[3];
+        i = 4;
+    }
+    for (; i < argc; ++i) {
+        std::string opt = argv[i];
+        if (opt == "--scale")
+            a.scale = numArg(argc, argv, i);
+        else if (opt == "--seed")
+            a.seed = numArg(argc, argv, i);
+        else if (opt == "--mem")
+            a.memWords = numArg(argc, argv, i);
+        else if (opt == "--save" && i + 1 < argc)
+            a.savePath = argv[++i];
+        else if (opt == "--stmt")
+            a.stmt = numArg(argc, argv, i);
+        else if (opt == "--from")
+            a.from = numArg(argc, argv, i);
+        else if (opt == "--count")
+            a.count = numArg(argc, argv, i);
+        else if (opt == "--k")
+            a.k = numArg(argc, argv, i);
+        else if (opt == "--limit")
+            a.limit = numArg(argc, argv, i);
+        else if (opt == "--max")
+            a.maxItems = numArg(argc, argv, i);
+        else
+            usage();
+    }
+    return a;
+}
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        WET_FATAL("cannot open '" << path << "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+int
+cmdRun(const Args& a)
+{
+    ir::Module mod =
+        lang::compileString(readFile(a.program), a.memWords);
+    analysis::ModuleAnalysis ma(mod);
+    // Input convention: first in() gets the scale, later in() calls
+    // get deterministic pseudo-random values from the seed.
+    class Input : public interp::InputSource
+    {
+      public:
+        Input(uint64_t scale, uint64_t seed)
+            : scale_(scale), rng_(seed)
+        {
+        }
+        int64_t
+        next() override
+        {
+            if (first_) {
+                first_ = false;
+                return static_cast<int64_t>(scale_);
+            }
+            return static_cast<int64_t>(rng_.next() >> 16);
+        }
+
+      private:
+        uint64_t scale_;
+        support::Rng rng_;
+        bool first_ = true;
+    } input(a.scale, a.seed);
+
+    core::WetBuilder builder(ma);
+    interp::Interpreter interp(ma, input, &builder);
+    support::Timer timer;
+    interp::RunResult run = interp.run();
+    core::WetGraph graph = builder.take();
+    core::WetCompressed compressed(graph);
+    double secs = timer.seconds();
+
+    std::printf("executed %llu statements in %.2fs\n",
+                static_cast<unsigned long long>(run.stmtsExecuted),
+                secs);
+    for (size_t i = 0; i < run.outputs.size() && i < 16; ++i)
+        std::printf("out[%zu] = %lld\n", i,
+                    static_cast<long long>(run.outputs[i]));
+    core::TierSizes orig = graph.origSizes();
+    core::TierSizes t2 = compressed.sizes();
+    std::printf("WET: %zu nodes, %zu edges; %s -> %s (%.1fx)\n",
+                graph.nodes.size(), graph.edges.size(),
+                support::formatBytes(orig.total()).c_str(),
+                support::formatBytes(t2.total()).c_str(),
+                static_cast<double>(orig.total()) /
+                    static_cast<double>(t2.total()));
+    if (!a.savePath.empty()) {
+        wetio::save(a.savePath, mod, graph, compressed);
+        std::printf("saved to %s\n", a.savePath.c_str());
+    }
+    return 0;
+}
+
+int
+cmdInfo(const Args& a)
+{
+    ir::Module mod =
+        lang::compileString(readFile(a.program), a.memWords);
+    wetio::LoadedWet w = wetio::load(a.wetx, mod);
+    const core::WetGraph& g = *w.graph;
+    std::printf("%s:\n", a.wetx.c_str());
+    std::printf("  nodes: %zu  edges: %zu  pooled label seqs: %zu\n",
+                g.nodes.size(), g.edges.size(), g.labelPool.size());
+    std::printf("  timestamps: %llu  statement instances: %llu\n",
+                static_cast<unsigned long long>(g.lastTimestamp),
+                static_cast<unsigned long long>(
+                    g.stmtInstancesTotal));
+    core::TierSizes t2 = w.compressed->sizes();
+    std::printf("  compressed: ts %s, vals %s, edges %s\n",
+                support::formatBytes(t2.nodeTs).c_str(),
+                support::formatBytes(t2.nodeVals).c_str(),
+                support::formatBytes(t2.edgeTs).c_str());
+    return 0;
+}
+
+int
+cmdCf(const Args& a)
+{
+    ir::Module mod =
+        lang::compileString(readFile(a.program), a.memWords);
+    wetio::LoadedWet w = wetio::load(a.wetx, mod);
+    core::WetAccess acc(*w.compressed, mod);
+    core::ControlFlowQuery q(acc);
+    q.extractRange(a.from, a.count, [&](core::NodeId n,
+                                        core::Timestamp t) {
+        const core::WetNode& node = w.graph->nodes[n];
+        std::printf("t=%-8llu fn%u path%llu [",
+                    static_cast<unsigned long long>(t), node.func,
+                    static_cast<unsigned long long>(node.pathId));
+        for (size_t b = 0; b < node.blocks.size(); ++b)
+            std::printf("%sb%u", b ? " " : "", node.blocks[b]);
+        std::printf("]\n");
+    });
+    return 0;
+}
+
+int
+cmdValues(const Args& a)
+{
+    if (a.stmt == UINT64_MAX)
+        usage();
+    ir::Module mod =
+        lang::compileString(readFile(a.program), a.memWords);
+    wetio::LoadedWet w = wetio::load(a.wetx, mod);
+    core::WetAccess acc(*w.compressed, mod);
+    core::ValueTraceQuery q(acc);
+    uint64_t shown = 0;
+    uint64_t total =
+        q.extract(static_cast<ir::StmtId>(a.stmt),
+                  [&](core::Timestamp t, int64_t v) {
+                      if (shown++ < a.limit)
+                          std::printf("<t=%llu, %lld>\n",
+                                      static_cast<unsigned long long>(
+                                          t),
+                                      static_cast<long long>(v));
+                  });
+    std::printf("(%llu instances total)\n",
+                static_cast<unsigned long long>(total));
+    return 0;
+}
+
+int
+cmdSlice(const Args& a)
+{
+    if (a.stmt == UINT64_MAX)
+        usage();
+    ir::Module mod =
+        lang::compileString(readFile(a.program), a.memWords);
+    wetio::LoadedWet w = wetio::load(a.wetx, mod);
+    core::WetAccess acc(*w.compressed, mod);
+    core::WetSlicer slicer(acc);
+    core::SliceItem seed =
+        slicer.locate(static_cast<ir::StmtId>(a.stmt), a.k);
+    if (!seed.valid()) {
+        std::fprintf(stderr, "statement %llu has no instance %llu\n",
+                     static_cast<unsigned long long>(a.stmt),
+                     static_cast<unsigned long long>(a.k));
+        return 1;
+    }
+    core::SliceResult res = slicer.backward(seed, a.maxItems);
+    std::printf("backward slice: %zu instances, %llu edges%s\n",
+                res.items.size(),
+                static_cast<unsigned long long>(res.edgesTraversed),
+                res.truncated ? " (truncated)" : "");
+    // Per-statement counts, most frequent first.
+    std::map<ir::StmtId, uint64_t> counts;
+    for (const auto& item : res.items)
+        counts[w.graph->nodes[item.node].stmts[item.pos]]++;
+    std::vector<std::pair<uint64_t, ir::StmtId>> order;
+    for (auto& [s, c] : counts)
+        order.emplace_back(c, s);
+    std::sort(order.rbegin(), order.rend());
+    uint64_t shown = 0;
+    for (auto& [c, s] : order) {
+        if (shown++ >= a.limit)
+            break;
+        std::printf("  stmt %-6u %-6s x %llu\n", s,
+                    ir::opcodeName(mod.instr(s).op),
+                    static_cast<unsigned long long>(c));
+    }
+    return 0;
+}
+
+int
+cmdDump(const Args& a)
+{
+    ir::Module mod =
+        lang::compileString(readFile(a.program), a.memWords);
+    std::fputs(mod.dump().c_str(), stdout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    try {
+        Args a = parse(argc, argv);
+        if (a.command == "run")
+            return cmdRun(a);
+        if (a.command == "info")
+            return cmdInfo(a);
+        if (a.command == "cf")
+            return cmdCf(a);
+        if (a.command == "values")
+            return cmdValues(a);
+        if (a.command == "slice")
+            return cmdSlice(a);
+        if (a.command == "dump")
+            return cmdDump(a);
+        usage();
+    } catch (const WetError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
