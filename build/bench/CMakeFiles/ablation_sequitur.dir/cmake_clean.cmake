@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sequitur.dir/ablation_sequitur.cpp.o"
+  "CMakeFiles/ablation_sequitur.dir/ablation_sequitur.cpp.o.d"
+  "ablation_sequitur"
+  "ablation_sequitur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sequitur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

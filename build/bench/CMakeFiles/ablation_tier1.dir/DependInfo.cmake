@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_tier1.cpp" "bench/CMakeFiles/ablation_tier1.dir/ablation_tier1.cpp.o" "gcc" "bench/CMakeFiles/ablation_tier1.dir/ablation_tier1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/wet_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/wet_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/wet_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wet_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/wet_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/wet_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/wet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/wet_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wet_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

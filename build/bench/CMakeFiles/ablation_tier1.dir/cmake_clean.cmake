@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tier1.dir/ablation_tier1.cpp.o"
+  "CMakeFiles/ablation_tier1.dir/ablation_tier1.cpp.o.d"
+  "ablation_tier1"
+  "ablation_tier1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tier1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_codec.dir/microbench_codec.cpp.o"
+  "CMakeFiles/microbench_codec.dir/microbench_codec.cpp.o.d"
+  "microbench_codec"
+  "microbench_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_arch_info.dir/table4_arch_info.cpp.o"
+  "CMakeFiles/table4_arch_info.dir/table4_arch_info.cpp.o.d"
+  "table4_arch_info"
+  "table4_arch_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_arch_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

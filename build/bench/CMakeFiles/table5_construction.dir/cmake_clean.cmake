@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_construction.dir/table5_construction.cpp.o"
+  "CMakeFiles/table5_construction.dir/table5_construction.cpp.o.d"
+  "table5_construction"
+  "table5_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

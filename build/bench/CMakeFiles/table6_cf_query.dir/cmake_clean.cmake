@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_cf_query.dir/table6_cf_query.cpp.o"
+  "CMakeFiles/table6_cf_query.dir/table6_cf_query.cpp.o.d"
+  "table6_cf_query"
+  "table6_cf_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_cf_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

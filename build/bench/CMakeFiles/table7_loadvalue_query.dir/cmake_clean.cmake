@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_loadvalue_query.dir/table7_loadvalue_query.cpp.o"
+  "CMakeFiles/table7_loadvalue_query.dir/table7_loadvalue_query.cpp.o.d"
+  "table7_loadvalue_query"
+  "table7_loadvalue_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_loadvalue_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_address_query.dir/table8_address_query.cpp.o"
+  "CMakeFiles/table8_address_query.dir/table8_address_query.cpp.o.d"
+  "table8_address_query"
+  "table8_address_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_address_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_slicing.dir/table9_slicing.cpp.o"
+  "CMakeFiles/table9_slicing.dir/table9_slicing.cpp.o.d"
+  "table9_slicing"
+  "table9_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_slicing.dir/dynamic_slicing.cpp.o"
+  "CMakeFiles/dynamic_slicing.dir/dynamic_slicing.cpp.o.d"
+  "dynamic_slicing"
+  "dynamic_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_locality.dir/value_locality.cpp.o"
+  "CMakeFiles/value_locality.dir/value_locality.cpp.o.d"
+  "value_locality"
+  "value_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

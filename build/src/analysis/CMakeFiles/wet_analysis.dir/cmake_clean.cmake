@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wet_analysis.dir/balllarus.cpp.o"
+  "CMakeFiles/wet_analysis.dir/balllarus.cpp.o.d"
+  "CMakeFiles/wet_analysis.dir/cfg.cpp.o"
+  "CMakeFiles/wet_analysis.dir/cfg.cpp.o.d"
+  "CMakeFiles/wet_analysis.dir/controldep.cpp.o"
+  "CMakeFiles/wet_analysis.dir/controldep.cpp.o.d"
+  "CMakeFiles/wet_analysis.dir/dominators.cpp.o"
+  "CMakeFiles/wet_analysis.dir/dominators.cpp.o.d"
+  "CMakeFiles/wet_analysis.dir/moduleanalysis.cpp.o"
+  "CMakeFiles/wet_analysis.dir/moduleanalysis.cpp.o.d"
+  "libwet_analysis.a"
+  "libwet_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wet_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

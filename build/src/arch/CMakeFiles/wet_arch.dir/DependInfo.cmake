@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/archprofile.cpp" "src/arch/CMakeFiles/wet_arch.dir/archprofile.cpp.o" "gcc" "src/arch/CMakeFiles/wet_arch.dir/archprofile.cpp.o.d"
+  "/root/repo/src/arch/branchpredictor.cpp" "src/arch/CMakeFiles/wet_arch.dir/branchpredictor.cpp.o" "gcc" "src/arch/CMakeFiles/wet_arch.dir/branchpredictor.cpp.o.d"
+  "/root/repo/src/arch/cache.cpp" "src/arch/CMakeFiles/wet_arch.dir/cache.cpp.o" "gcc" "src/arch/CMakeFiles/wet_arch.dir/cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/wet_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wet_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/wet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/wet_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

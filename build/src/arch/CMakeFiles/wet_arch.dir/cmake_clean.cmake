@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wet_arch.dir/archprofile.cpp.o"
+  "CMakeFiles/wet_arch.dir/archprofile.cpp.o.d"
+  "CMakeFiles/wet_arch.dir/branchpredictor.cpp.o"
+  "CMakeFiles/wet_arch.dir/branchpredictor.cpp.o.d"
+  "CMakeFiles/wet_arch.dir/cache.cpp.o"
+  "CMakeFiles/wet_arch.dir/cache.cpp.o.d"
+  "libwet_arch.a"
+  "libwet_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wet_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

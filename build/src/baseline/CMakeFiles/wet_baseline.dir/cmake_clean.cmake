@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wet_baseline.dir/tracelog.cpp.o"
+  "CMakeFiles/wet_baseline.dir/tracelog.cpp.o.d"
+  "libwet_baseline.a"
+  "libwet_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wet_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/cursor.cpp" "src/codec/CMakeFiles/wet_codec.dir/cursor.cpp.o" "gcc" "src/codec/CMakeFiles/wet_codec.dir/cursor.cpp.o.d"
+  "/root/repo/src/codec/encoder.cpp" "src/codec/CMakeFiles/wet_codec.dir/encoder.cpp.o" "gcc" "src/codec/CMakeFiles/wet_codec.dir/encoder.cpp.o.d"
+  "/root/repo/src/codec/model.cpp" "src/codec/CMakeFiles/wet_codec.dir/model.cpp.o" "gcc" "src/codec/CMakeFiles/wet_codec.dir/model.cpp.o.d"
+  "/root/repo/src/codec/selector.cpp" "src/codec/CMakeFiles/wet_codec.dir/selector.cpp.o" "gcc" "src/codec/CMakeFiles/wet_codec.dir/selector.cpp.o.d"
+  "/root/repo/src/codec/sequitur.cpp" "src/codec/CMakeFiles/wet_codec.dir/sequitur.cpp.o" "gcc" "src/codec/CMakeFiles/wet_codec.dir/sequitur.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/wet_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

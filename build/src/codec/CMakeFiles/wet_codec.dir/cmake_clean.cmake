@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wet_codec.dir/cursor.cpp.o"
+  "CMakeFiles/wet_codec.dir/cursor.cpp.o.d"
+  "CMakeFiles/wet_codec.dir/encoder.cpp.o"
+  "CMakeFiles/wet_codec.dir/encoder.cpp.o.d"
+  "CMakeFiles/wet_codec.dir/model.cpp.o"
+  "CMakeFiles/wet_codec.dir/model.cpp.o.d"
+  "CMakeFiles/wet_codec.dir/selector.cpp.o"
+  "CMakeFiles/wet_codec.dir/selector.cpp.o.d"
+  "CMakeFiles/wet_codec.dir/sequitur.cpp.o"
+  "CMakeFiles/wet_codec.dir/sequitur.cpp.o.d"
+  "libwet_codec.a"
+  "libwet_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wet_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

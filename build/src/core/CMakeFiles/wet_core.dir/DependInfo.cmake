@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access.cpp" "src/core/CMakeFiles/wet_core.dir/access.cpp.o" "gcc" "src/core/CMakeFiles/wet_core.dir/access.cpp.o.d"
+  "/root/repo/src/core/addrquery.cpp" "src/core/CMakeFiles/wet_core.dir/addrquery.cpp.o" "gcc" "src/core/CMakeFiles/wet_core.dir/addrquery.cpp.o.d"
+  "/root/repo/src/core/builder.cpp" "src/core/CMakeFiles/wet_core.dir/builder.cpp.o" "gcc" "src/core/CMakeFiles/wet_core.dir/builder.cpp.o.d"
+  "/root/repo/src/core/cfquery.cpp" "src/core/CMakeFiles/wet_core.dir/cfquery.cpp.o" "gcc" "src/core/CMakeFiles/wet_core.dir/cfquery.cpp.o.d"
+  "/root/repo/src/core/compressed.cpp" "src/core/CMakeFiles/wet_core.dir/compressed.cpp.o" "gcc" "src/core/CMakeFiles/wet_core.dir/compressed.cpp.o.d"
+  "/root/repo/src/core/slicer.cpp" "src/core/CMakeFiles/wet_core.dir/slicer.cpp.o" "gcc" "src/core/CMakeFiles/wet_core.dir/slicer.cpp.o.d"
+  "/root/repo/src/core/valuegroup.cpp" "src/core/CMakeFiles/wet_core.dir/valuegroup.cpp.o" "gcc" "src/core/CMakeFiles/wet_core.dir/valuegroup.cpp.o.d"
+  "/root/repo/src/core/valuequery.cpp" "src/core/CMakeFiles/wet_core.dir/valuequery.cpp.o" "gcc" "src/core/CMakeFiles/wet_core.dir/valuequery.cpp.o.d"
+  "/root/repo/src/core/wetgraph.cpp" "src/core/CMakeFiles/wet_core.dir/wetgraph.cpp.o" "gcc" "src/core/CMakeFiles/wet_core.dir/wetgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/wet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/wet_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/wet_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/wet_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wet_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

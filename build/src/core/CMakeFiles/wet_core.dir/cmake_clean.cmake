@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wet_core.dir/access.cpp.o"
+  "CMakeFiles/wet_core.dir/access.cpp.o.d"
+  "CMakeFiles/wet_core.dir/addrquery.cpp.o"
+  "CMakeFiles/wet_core.dir/addrquery.cpp.o.d"
+  "CMakeFiles/wet_core.dir/builder.cpp.o"
+  "CMakeFiles/wet_core.dir/builder.cpp.o.d"
+  "CMakeFiles/wet_core.dir/cfquery.cpp.o"
+  "CMakeFiles/wet_core.dir/cfquery.cpp.o.d"
+  "CMakeFiles/wet_core.dir/compressed.cpp.o"
+  "CMakeFiles/wet_core.dir/compressed.cpp.o.d"
+  "CMakeFiles/wet_core.dir/slicer.cpp.o"
+  "CMakeFiles/wet_core.dir/slicer.cpp.o.d"
+  "CMakeFiles/wet_core.dir/valuegroup.cpp.o"
+  "CMakeFiles/wet_core.dir/valuegroup.cpp.o.d"
+  "CMakeFiles/wet_core.dir/valuequery.cpp.o"
+  "CMakeFiles/wet_core.dir/valuequery.cpp.o.d"
+  "CMakeFiles/wet_core.dir/wetgraph.cpp.o"
+  "CMakeFiles/wet_core.dir/wetgraph.cpp.o.d"
+  "libwet_core.a"
+  "libwet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

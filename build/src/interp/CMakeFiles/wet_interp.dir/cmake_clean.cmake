@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wet_interp.dir/interpreter.cpp.o"
+  "CMakeFiles/wet_interp.dir/interpreter.cpp.o.d"
+  "libwet_interp.a"
+  "libwet_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wet_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

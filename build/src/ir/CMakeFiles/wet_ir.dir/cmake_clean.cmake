@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wet_ir.dir/builder.cpp.o"
+  "CMakeFiles/wet_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/wet_ir.dir/module.cpp.o"
+  "CMakeFiles/wet_ir.dir/module.cpp.o.d"
+  "CMakeFiles/wet_ir.dir/opcode.cpp.o"
+  "CMakeFiles/wet_ir.dir/opcode.cpp.o.d"
+  "libwet_ir.a"
+  "libwet_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wet_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wet_lang.dir/codegen.cpp.o"
+  "CMakeFiles/wet_lang.dir/codegen.cpp.o.d"
+  "CMakeFiles/wet_lang.dir/lexer.cpp.o"
+  "CMakeFiles/wet_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/wet_lang.dir/parser.cpp.o"
+  "CMakeFiles/wet_lang.dir/parser.cpp.o.d"
+  "libwet_lang.a"
+  "libwet_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wet_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wet_support.dir/bitstack.cpp.o"
+  "CMakeFiles/wet_support.dir/bitstack.cpp.o.d"
+  "CMakeFiles/wet_support.dir/error.cpp.o"
+  "CMakeFiles/wet_support.dir/error.cpp.o.d"
+  "CMakeFiles/wet_support.dir/sizes.cpp.o"
+  "CMakeFiles/wet_support.dir/sizes.cpp.o.d"
+  "CMakeFiles/wet_support.dir/table.cpp.o"
+  "CMakeFiles/wet_support.dir/table.cpp.o.d"
+  "CMakeFiles/wet_support.dir/varint.cpp.o"
+  "CMakeFiles/wet_support.dir/varint.cpp.o.d"
+  "libwet_support.a"
+  "libwet_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wet_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wet_wetio.dir/wetio.cpp.o"
+  "CMakeFiles/wet_wetio.dir/wetio.cpp.o.d"
+  "libwet_wetio.a"
+  "libwet_wetio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wet_wetio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwet_wetio.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wet_workloads.dir/runner.cpp.o"
+  "CMakeFiles/wet_workloads.dir/runner.cpp.o.d"
+  "CMakeFiles/wet_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/wet_workloads.dir/workloads.cpp.o.d"
+  "libwet_workloads.a"
+  "libwet_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wet_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/analysis_test.cpp" "tests/CMakeFiles/wet_tests.dir/analysis/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/analysis/analysis_test.cpp.o.d"
+  "/root/repo/tests/analysis/balllarus_test.cpp" "tests/CMakeFiles/wet_tests.dir/analysis/balllarus_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/analysis/balllarus_test.cpp.o.d"
+  "/root/repo/tests/analysis/domproperties_test.cpp" "tests/CMakeFiles/wet_tests.dir/analysis/domproperties_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/analysis/domproperties_test.cpp.o.d"
+  "/root/repo/tests/arch/arch_test.cpp" "tests/CMakeFiles/wet_tests.dir/arch/arch_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/arch/arch_test.cpp.o.d"
+  "/root/repo/tests/baseline/tracelog_test.cpp" "tests/CMakeFiles/wet_tests.dir/baseline/tracelog_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/baseline/tracelog_test.cpp.o.d"
+  "/root/repo/tests/codec/boundaries_test.cpp" "tests/CMakeFiles/wet_tests.dir/codec/boundaries_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/codec/boundaries_test.cpp.o.d"
+  "/root/repo/tests/codec/codec_test.cpp" "tests/CMakeFiles/wet_tests.dir/codec/codec_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/codec/codec_test.cpp.o.d"
+  "/root/repo/tests/codec/cursor_test.cpp" "tests/CMakeFiles/wet_tests.dir/codec/cursor_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/codec/cursor_test.cpp.o.d"
+  "/root/repo/tests/codec/entryio_test.cpp" "tests/CMakeFiles/wet_tests.dir/codec/entryio_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/codec/entryio_test.cpp.o.d"
+  "/root/repo/tests/codec/selector_test.cpp" "tests/CMakeFiles/wet_tests.dir/codec/selector_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/codec/selector_test.cpp.o.d"
+  "/root/repo/tests/codec/sequitur_test.cpp" "tests/CMakeFiles/wet_tests.dir/codec/sequitur_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/codec/sequitur_test.cpp.o.d"
+  "/root/repo/tests/core/access_test.cpp" "tests/CMakeFiles/wet_tests.dir/core/access_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/core/access_test.cpp.o.d"
+  "/root/repo/tests/core/builder_test.cpp" "tests/CMakeFiles/wet_tests.dir/core/builder_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/core/builder_test.cpp.o.d"
+  "/root/repo/tests/core/compressed_test.cpp" "tests/CMakeFiles/wet_tests.dir/core/compressed_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/core/compressed_test.cpp.o.d"
+  "/root/repo/tests/core/droptier1_test.cpp" "tests/CMakeFiles/wet_tests.dir/core/droptier1_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/core/droptier1_test.cpp.o.d"
+  "/root/repo/tests/core/example_figure1_test.cpp" "tests/CMakeFiles/wet_tests.dir/core/example_figure1_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/core/example_figure1_test.cpp.o.d"
+  "/root/repo/tests/core/partial_test.cpp" "tests/CMakeFiles/wet_tests.dir/core/partial_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/core/partial_test.cpp.o.d"
+  "/root/repo/tests/core/queries_test.cpp" "tests/CMakeFiles/wet_tests.dir/core/queries_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/core/queries_test.cpp.o.d"
+  "/root/repo/tests/core/slicer_test.cpp" "tests/CMakeFiles/wet_tests.dir/core/slicer_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/core/slicer_test.cpp.o.d"
+  "/root/repo/tests/core/valuegroup_test.cpp" "tests/CMakeFiles/wet_tests.dir/core/valuegroup_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/core/valuegroup_test.cpp.o.d"
+  "/root/repo/tests/integration/pipeline_test.cpp" "tests/CMakeFiles/wet_tests.dir/integration/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/integration/pipeline_test.cpp.o.d"
+  "/root/repo/tests/interp/controldep_dynamic_test.cpp" "tests/CMakeFiles/wet_tests.dir/interp/controldep_dynamic_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/interp/controldep_dynamic_test.cpp.o.d"
+  "/root/repo/tests/interp/interp_test.cpp" "tests/CMakeFiles/wet_tests.dir/interp/interp_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/interp/interp_test.cpp.o.d"
+  "/root/repo/tests/ir/builder_test.cpp" "tests/CMakeFiles/wet_tests.dir/ir/builder_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/ir/builder_test.cpp.o.d"
+  "/root/repo/tests/ir/module_test.cpp" "tests/CMakeFiles/wet_tests.dir/ir/module_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/ir/module_test.cpp.o.d"
+  "/root/repo/tests/lang/codegen_test.cpp" "tests/CMakeFiles/wet_tests.dir/lang/codegen_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/lang/codegen_test.cpp.o.d"
+  "/root/repo/tests/lang/lang_semantics_test.cpp" "tests/CMakeFiles/wet_tests.dir/lang/lang_semantics_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/lang/lang_semantics_test.cpp.o.d"
+  "/root/repo/tests/lang/lexer_test.cpp" "tests/CMakeFiles/wet_tests.dir/lang/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/lang/lexer_test.cpp.o.d"
+  "/root/repo/tests/lang/parser_test.cpp" "tests/CMakeFiles/wet_tests.dir/lang/parser_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/lang/parser_test.cpp.o.d"
+  "/root/repo/tests/support/bitstack_test.cpp" "tests/CMakeFiles/wet_tests.dir/support/bitstack_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/support/bitstack_test.cpp.o.d"
+  "/root/repo/tests/support/robustness_test.cpp" "tests/CMakeFiles/wet_tests.dir/support/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/support/robustness_test.cpp.o.d"
+  "/root/repo/tests/support/table_test.cpp" "tests/CMakeFiles/wet_tests.dir/support/table_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/support/table_test.cpp.o.d"
+  "/root/repo/tests/support/varint_test.cpp" "tests/CMakeFiles/wet_tests.dir/support/varint_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/support/varint_test.cpp.o.d"
+  "/root/repo/tests/testutil.cpp" "tests/CMakeFiles/wet_tests.dir/testutil.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/testutil.cpp.o.d"
+  "/root/repo/tests/wetio/wetio_test.cpp" "tests/CMakeFiles/wet_tests.dir/wetio/wetio_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/wetio/wetio_test.cpp.o.d"
+  "/root/repo/tests/workloads/workload_properties_test.cpp" "tests/CMakeFiles/wet_tests.dir/workloads/workload_properties_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/workloads/workload_properties_test.cpp.o.d"
+  "/root/repo/tests/workloads/workloads_test.cpp" "tests/CMakeFiles/wet_tests.dir/workloads/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/wet_tests.dir/workloads/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/wet_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/wet_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/wet_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/wetio/CMakeFiles/wet_wetio.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wet_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/wet_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/wet_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/wet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/wet_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wet_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wet_cli.dir/wet_cli.cpp.o"
+  "CMakeFiles/wet_cli.dir/wet_cli.cpp.o.d"
+  "wet_cli"
+  "wet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
