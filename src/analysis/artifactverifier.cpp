@@ -1,0 +1,413 @@
+#include "artifactverifier.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "codec/cursor.h"
+#include "codec/encoder.h"
+#include "codec/entryio.h"
+#include "codec/model.h"
+
+namespace wet {
+namespace analysis {
+
+namespace {
+
+using codec::CompressedStream;
+using codec::Method;
+
+/**
+ * Count one bounds-checked LEB128 value starting at @p pos. Returns
+ * false on a truncated or overlong encoding; on success @p pos is one
+ * past the value.
+ */
+bool
+skipVarint(const std::vector<uint8_t>& bytes, size_t& pos)
+{
+    size_t len = 0;
+    while (pos < bytes.size() && (bytes[pos] & 0x80)) {
+        ++pos;
+        if (++len > 9)
+            return false; // 64-bit values need at most 10 bytes
+    }
+    if (pos == bytes.size())
+        return false; // ran out before the terminating byte
+    ++pos;
+    return true;
+}
+
+bool
+methodKnown(Method m)
+{
+    switch (m) {
+      case Method::Raw:
+      case Method::Fcm:
+      case Method::Dfcm:
+      case Method::LastN:
+      case Method::LastNStride:
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+verifyStreamStructure(const codec::CompressedStream& s,
+                      const std::string& location, DiagEngine& diag)
+{
+    if (!methodKnown(s.config.method)) {
+        std::ostringstream os;
+        os << "unknown codec method "
+           << int{static_cast<uint8_t>(s.config.method)};
+        diag.error("ART003", location, os.str());
+        return false;
+    }
+
+    if (s.config.method == Method::Raw) {
+        bool shapeOk = s.windowSize == 0 && s.window0.empty() &&
+                       s.tableState0.empty() && s.flags.empty() &&
+                       s.checkpoints.empty();
+        if (!shapeOk) {
+            diag.error("ART003", location,
+                       "raw stream carries predictor-codec state");
+            return false;
+        }
+        const auto& bytes = s.misses.bytes();
+        size_t pos = 0;
+        for (uint64_t i = 0; i < s.length; ++i) {
+            if (!skipVarint(bytes, pos)) {
+                std::ostringstream os;
+                os << "value " << i << " of " << s.length
+                   << " truncated or overlong at byte " << pos;
+                diag.error("ART003", location, os.str());
+                return false;
+            }
+        }
+        if (pos != bytes.size()) {
+            std::ostringstream os;
+            os << (bytes.size() - pos)
+               << " trailing bytes after the last value";
+            diag.error("ART003", location, os.str());
+            return false;
+        }
+        return true;
+    }
+
+    // Predictor codecs: validate the parameters the model constructors
+    // assert on, then the model itself tells us the expected shapes.
+    bool paramsOk;
+    if (s.config.method == Method::Fcm ||
+        s.config.method == Method::Dfcm)
+    {
+        paramsOk = s.config.context >= 1 && s.config.context <= 8 &&
+                   s.config.tableBits >= 1 && s.config.tableBits <= 24;
+    } else {
+        paramsOk = s.config.context >= 2 && s.config.context <= 64;
+    }
+    if (!paramsOk) {
+        std::ostringstream os;
+        os << "codec parameters out of range (context "
+           << s.config.context << ", tableBits " << s.config.tableBits
+           << ")";
+        diag.error("ART003", location, os.str());
+        return false;
+    }
+
+    auto model = codec::makeModel(s.config);
+    const unsigned idxBits = model->hitIndexBits();
+    const unsigned n = codec::detail::windowSizeFor(s.config, *model);
+    const size_t stateSize = model->saveState().size();
+
+    if (s.windowSize != n || s.window0.size() != n) {
+        std::ostringstream os;
+        os << "window holds " << s.window0.size()
+           << " values, declared " << s.windowSize << ", codec needs "
+           << n;
+        diag.error("ART003", location, os.str());
+        return false;
+    }
+    if (s.length <= n) {
+        std::ostringstream os;
+        os << "length " << s.length
+           << " does not exceed the context window (" << n << ")";
+        diag.error("ART003", location, os.str());
+        return false;
+    }
+    if (s.tableState0.size() != stateSize) {
+        std::ostringstream os;
+        os << "table snapshot holds " << s.tableState0.size()
+           << " entries, codec state has " << stateSize;
+        diag.error("ART003", location, os.str());
+        return false;
+    }
+
+    // Walk the entry stream exactly as a forward cursor would, with
+    // bounds checks instead of assertions.
+    const auto& missBytes = s.misses.bytes();
+    const uint64_t entries = s.length - n;
+    size_t flagPos = 0;
+    size_t missPos = 0;
+    for (uint64_t i = 0; i < entries; ++i) {
+        if (flagPos >= s.flags.size()) {
+            std::ostringstream os;
+            os << "flag stream ends at entry " << i << " of "
+               << entries;
+            diag.error("ART003", location, os.str());
+            return false;
+        }
+        bool hit = s.flags.get(flagPos++);
+        if (hit) {
+            flagPos += idxBits;
+            if (flagPos > s.flags.size()) {
+                std::ostringstream os;
+                os << "hit index truncated at entry " << i;
+                diag.error("ART003", location, os.str());
+                return false;
+            }
+        } else if (!skipVarint(missBytes, missPos)) {
+            std::ostringstream os;
+            os << "miss value truncated at entry " << i;
+            diag.error("ART003", location, os.str());
+            return false;
+        }
+    }
+    if (flagPos != s.flags.size() || missPos != missBytes.size()) {
+        std::ostringstream os;
+        os << "entry stream leaves "
+           << (s.flags.size() - flagPos) << " flag bits and "
+           << (missBytes.size() - missPos) << " miss bytes unread";
+        diag.error("ART003", location, os.str());
+        return false;
+    }
+
+    bool ckptOk = true;
+    uint64_t prevPos = 0;
+    for (size_t c = 0; c < s.checkpoints.size(); ++c) {
+        const CompressedStream::Checkpoint& cp = s.checkpoints[c];
+        std::ostringstream why;
+        if (cp.machinePos <= prevPos && !(c == 0 && cp.machinePos > 0))
+            why << "position " << cp.machinePos
+                << " not past the previous checkpoint";
+        else if (cp.machinePos + n >= s.length)
+            why << "position " << cp.machinePos
+                << " leaves no values to decode";
+        else if (cp.window.size() != n)
+            why << "window holds " << cp.window.size() << " values";
+        else if (cp.tableState.size() != stateSize)
+            why << "table snapshot holds " << cp.tableState.size()
+                << " entries, codec state has " << stateSize;
+        else if (cp.flagPos > s.flags.size() ||
+                 cp.missPos > missBytes.size())
+            why << "entry-stream offsets out of bounds";
+        if (!why.str().empty()) {
+            std::ostringstream os;
+            os << "checkpoint " << c << ": " << why.str();
+            diag.error("ART004", location, os.str());
+            ckptOk = false;
+        }
+        prevPos = cp.machinePos;
+    }
+    return ckptOk;
+}
+
+bool
+verifyStream(const codec::CompressedStream& s,
+             const std::string& location, DiagEngine& diag,
+             const std::vector<int64_t>* tier1,
+             const ArtifactVerifierOptions& opt)
+{
+    uint64_t before = diag.errorCount();
+    if (!verifyStreamStructure(s, location, diag))
+        return false;
+    if (s.length == 0)
+        return true;
+
+    std::vector<int64_t> forward = codec::decodeAll(s);
+
+    if (opt.checkTier1 && tier1) {
+        if (tier1->size() != forward.size()) {
+            std::ostringstream os;
+            os << "decode yields " << forward.size()
+               << " values, tier-1 holds " << tier1->size();
+            diag.error("ART002", location, os.str());
+        } else {
+            for (size_t i = 0; i < forward.size(); ++i) {
+                if (forward[i] != (*tier1)[i]) {
+                    std::ostringstream os;
+                    os << "decode diverges from the tier-1 labels "
+                       << "at value " << i << " (" << forward[i]
+                       << " vs " << (*tier1)[i] << ")";
+                    diag.error("ART002", location, os.str());
+                    break;
+                }
+            }
+        }
+    }
+
+    if (opt.checkBidirectional && s.config.method != Method::Raw) {
+        codec::StreamCursor cur(s,
+                                codec::StreamCursor::Mode::Bidirectional);
+        cur.seek(s.length);
+        uint64_t i = s.length;
+        while (cur.hasPrev()) {
+            int64_t v = 0;
+            --i;
+            if (!cur.tryPrev(v)) {
+                std::ostringstream os;
+                os << "backward machine diverges from the stored "
+                   << "entry stream near value " << i
+                   << " (the FR and BL sides are inconsistent)";
+                diag.error("ART001", location, os.str());
+                break;
+            }
+            if (v != forward[i]) {
+                std::ostringstream os;
+                os << "backward decode diverges at value " << i
+                   << " (" << v << " vs " << forward[i] << ")";
+                diag.error("ART001", location, os.str());
+                break;
+            }
+        }
+    }
+
+    if (!s.checkpoints.empty()) {
+        // Probe checkpoints in descending position order with one
+        // forward cursor: seeking to a checkpoint's position from
+        // further ahead forces the cursor to re-initialize from that
+        // checkpoint, so each probe exercises its snapshot.
+        codec::StreamCursor cur(s, codec::StreamCursor::Mode::Forward);
+        for (size_t c = s.checkpoints.size(); c-- > 0;) {
+            const CompressedStream::Checkpoint& cp = s.checkpoints[c];
+            uint64_t span = std::max<uint64_t>(
+                opt.checkpointProbeValues, 2 * s.windowSize);
+            uint64_t end = std::min(s.length, cp.machinePos + span);
+            for (uint64_t q = cp.machinePos; q < end; ++q) {
+                if (cur.at(q) != forward[q]) {
+                    std::ostringstream os;
+                    os << "checkpoint " << c
+                       << " decode diverges at value " << q;
+                    diag.error("ART004", location, os.str());
+                    break;
+                }
+            }
+        }
+    }
+    return diag.errorCount() == before;
+}
+
+bool
+verifyArtifact(const core::WetCompressed& wc, DiagEngine& diag,
+               const ArtifactVerifierOptions& opt)
+{
+    uint64_t before = diag.errorCount();
+    const core::WetGraph& g = wc.graph();
+
+    auto tier1Of = [&](const auto& vec)
+        -> std::unique_ptr<std::vector<int64_t>> {
+        if (!opt.checkTier1 || vec.empty())
+            return nullptr;
+        return std::make_unique<std::vector<int64_t>>(vec.begin(),
+                                                      vec.end());
+    };
+
+    for (core::NodeId n = 0; n < g.nodes.size(); ++n) {
+        const core::WetNode& node = g.nodes[n];
+        const core::CompressedNode& cn = wc.node(n);
+        std::string base = "node " + std::to_string(n);
+
+        if (cn.ts.length != node.numInstances) {
+            std::ostringstream os;
+            os << "timestamp stream holds " << cn.ts.length
+               << " values for " << node.numInstances << " instances";
+            diag.error("ART005", base, os.str());
+        }
+        verifyStream(cn.ts, base + " ts", diag,
+                     tier1Of(node.ts).get(), opt);
+
+        if (cn.patterns.size() != node.groups.size() ||
+            cn.uvals.size() != node.groups.size())
+        {
+            std::ostringstream os;
+            os << "artifact has " << cn.patterns.size()
+               << " pattern and " << cn.uvals.size()
+               << " unique-value groups for " << node.groups.size()
+               << " value groups";
+            diag.error("ART005", base, os.str());
+            continue;
+        }
+        for (size_t gi = 0; gi < node.groups.size(); ++gi) {
+            const core::ValueGroup& grp = node.groups[gi];
+            std::string gloc =
+                base + " group " + std::to_string(gi);
+            if (cn.patterns[gi].length != node.numInstances) {
+                std::ostringstream os;
+                os << "pattern stream holds "
+                   << cn.patterns[gi].length << " values for "
+                   << node.numInstances << " instances";
+                diag.error("ART005", gloc, os.str());
+            }
+            bool patternOk = verifyStream(
+                cn.patterns[gi], gloc + " pattern", diag,
+                tier1Of(grp.pattern).get(), opt);
+
+            if (cn.uvals[gi].size() != grp.members.size()) {
+                std::ostringstream os;
+                os << "artifact has " << cn.uvals[gi].size()
+                   << " unique-value streams for "
+                   << grp.members.size() << " members";
+                diag.error("ART005", gloc, os.str());
+                continue;
+            }
+            // Each member stores one unique value per distinct
+            // pattern index.
+            uint64_t distinct = 0;
+            if (patternOk && cn.patterns[gi].length > 0) {
+                std::vector<int64_t> pat =
+                    codec::decodeAll(cn.patterns[gi]);
+                int64_t maxIdx = -1;
+                for (int64_t v : pat)
+                    maxIdx = std::max(maxIdx, v);
+                distinct = static_cast<uint64_t>(maxIdx + 1);
+            }
+            for (size_t mi = 0; mi < grp.members.size(); ++mi) {
+                std::string mloc =
+                    gloc + " member " + std::to_string(mi);
+                if (patternOk &&
+                    cn.uvals[gi][mi].length != distinct)
+                {
+                    std::ostringstream os;
+                    os << "unique-value stream holds "
+                       << cn.uvals[gi][mi].length
+                       << " values, pattern indexes " << distinct;
+                    diag.error("ART005", mloc, os.str());
+                }
+                verifyStream(cn.uvals[gi][mi], mloc + " uvals", diag,
+                             grp.uvals.size() > mi
+                                 ? tier1Of(grp.uvals[mi]).get()
+                                 : nullptr,
+                             opt);
+            }
+        }
+    }
+
+    for (uint32_t p = 0; p < g.labelPool.size(); ++p) {
+        const core::CompressedPoolEntry& cp = wc.pool(p);
+        std::string base = "pool " + std::to_string(p);
+        if (cp.useInst.length != cp.defInst.length) {
+            std::ostringstream os;
+            os << "use stream holds " << cp.useInst.length
+               << " labels, def stream " << cp.defInst.length;
+            diag.error("ART005", base, os.str());
+        }
+        verifyStream(cp.useInst, base + " useInst", diag,
+                     tier1Of(g.labelPool[p].useInst).get(), opt);
+        verifyStream(cp.defInst, base + " defInst", diag,
+                     tier1Of(g.labelPool[p].defInst).get(), opt);
+    }
+    return diag.errorCount() == before;
+}
+
+} // namespace analysis
+} // namespace wet

@@ -1,0 +1,70 @@
+#ifndef WET_ANALYSIS_ARTIFACTVERIFIER_H
+#define WET_ANALYSIS_ARTIFACTVERIFIER_H
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/diag.h"
+#include "codec/stream.h"
+#include "core/compressed.h"
+
+namespace wet {
+namespace analysis {
+
+/** Cost knobs for the compressed-artifact verifier. */
+struct ArtifactVerifierOptions
+{
+    /** Exercise the backward decode machinery and compare it with the
+     *  forward decode (rule ART001). */
+    bool checkBidirectional = true;
+    /** Compare decodes against tier-1 label vectors when the graph
+     *  still holds them (rule ART002). */
+    bool checkTier1 = true;
+    /** Values decoded per checkpoint probe (rule ART004); the probe
+     *  always covers at least the checkpoint's window. */
+    uint64_t checkpointProbeValues = 64;
+};
+
+/**
+ * Structural validation of a single compressed stream (rule ART003,
+ * checkpoint shape under ART004). Returns true when the stream can be
+ * decoded without tripping internal assertions: every later check and
+ * every cursor construction must be gated on this. Bounds-checks the
+ * entry stream byte-by-byte, so it is safe on arbitrary input.
+ */
+bool verifyStreamStructure(const codec::CompressedStream& s,
+                           const std::string& location,
+                           DiagEngine& diag);
+
+/**
+ * Full single-stream verification: structure (ART003/ART004), forward
+ * vs backward decode (ART001), checkpoint probes against the forward
+ * decode (ART004), and — when @p tier1 is non-null — comparison with
+ * the original tier-1 sequence (ART002).
+ */
+bool verifyStream(const codec::CompressedStream& s,
+                  const std::string& location, DiagEngine& diag,
+                  const std::vector<int64_t>* tier1 = nullptr,
+                  const ArtifactVerifierOptions& opt = {});
+
+/**
+ * Verify a whole tier-2 artifact (rules ART001..ART005): every label
+ * stream round-trips (forward decode == backward decode == tier-1
+ * original when available), checkpoints reproduce the forward decode,
+ * and stream logical lengths agree with the graph structure (instance
+ * counts, group shapes, pool pairing) without materializing more than
+ * one stream at a time.
+ *
+ * Index-range consistency between the graph and the artifact's
+ * node/pool tables is the loader's job (IO005); this verifier assumes
+ * wc.node(n)/wc.pool(i) are valid for every graph index.
+ *
+ * Findings go to @p diag; returns true when no errors were added.
+ */
+bool verifyArtifact(const core::WetCompressed& wc, DiagEngine& diag,
+                    const ArtifactVerifierOptions& opt = {});
+
+} // namespace analysis
+} // namespace wet
+
+#endif // WET_ANALYSIS_ARTIFACTVERIFIER_H

@@ -1,0 +1,175 @@
+#include "diag.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace wet {
+namespace analysis {
+
+namespace {
+
+struct RuleEntry
+{
+    const char* id;
+    const char* description;
+};
+
+// The verifier rule catalog. Stable ids: IRnnn for the module
+// verifier, WETnnn for the WET graph verifier, ARTnnn for the
+// compressed-artifact verifier, IOnnn for WETX file loading.
+const RuleEntry kRules[] = {
+    {"IR001", "register used without a dominating definition"},
+    {"IR002", "basic block / terminator structure malformed"},
+    {"IR003", "CFG successor/predecessor lists not reciprocal"},
+    {"IR004", "dominator tree disagrees with recomputation"},
+    {"IR005", "post-dominator tree disagrees with recomputation"},
+    {"IR006", "Ball-Larus path table inconsistent with the CFG"},
+    {"IR007", "Ball-Larus decoded path is not a valid CFG path"},
+    {"WET001", "node timestamps not strictly increasing"},
+    {"WET002", "node instance count disagrees with its labels"},
+    {"WET003", "global timestamp accounting broken"},
+    {"WET004", "tier-1 local edge is not actually inferable"},
+    {"WET005", "edge label sequence malformed"},
+    {"WET006", "shared edge-label pool entry inconsistent"},
+    {"WET007", "CD edge contradicts recomputed control dependence"},
+    {"WET008", "value group structure invalid"},
+    {"WET009", "node structure inconsistent with the path table"},
+    {"WET010", "node control-flow adjacency not reciprocal"},
+    {"ART001", "forward and backward stream decodes disagree"},
+    {"ART002", "decoded stream differs from tier-1 labels"},
+    {"ART003", "compressed stream structurally invalid"},
+    {"ART004", "stream checkpoint invalid"},
+    {"ART005", "stream length disagrees with graph structure"},
+    {"IO001", "not a readable WETX file (unopenable or bad magic)"},
+    {"IO002", "unsupported WETX version"},
+    {"IO003", "WETX was built from a different program"},
+    {"IO004", "WETX file truncated"},
+    {"IO005", "WETX structure corrupt"},
+    {"IO006", "WETX file has trailing bytes"},
+};
+
+void
+jsonEscape(std::ostringstream& os, const std::string& s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+} // namespace
+
+const char*
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "unknown";
+}
+
+const char*
+ruleDescription(const std::string& rule)
+{
+    for (const RuleEntry& e : kRules)
+        if (rule == e.id)
+            return e.description;
+    return nullptr;
+}
+
+void
+DiagEngine::report(std::string rule, Severity sev,
+                   std::string location, std::string message)
+{
+    switch (sev) {
+      case Severity::Error: ++errors_; break;
+      case Severity::Warning: ++warnings_; break;
+      case Severity::Note: ++notes_; break;
+    }
+    if (diags_.size() >= limit_)
+        return;
+    diags_.push_back(Diagnostic{std::move(rule), sev,
+                                std::move(location),
+                                std::move(message)});
+}
+
+bool
+DiagEngine::hasRule(const std::string& rule) const
+{
+    for (const Diagnostic& d : diags_)
+        if (d.rule == rule)
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+DiagEngine::firedRules() const
+{
+    std::vector<std::string> rules;
+    for (const Diagnostic& d : diags_)
+        rules.push_back(d.rule);
+    std::sort(rules.begin(), rules.end());
+    rules.erase(std::unique(rules.begin(), rules.end()),
+                rules.end());
+    return rules;
+}
+
+std::string
+DiagEngine::renderText() const
+{
+    std::ostringstream os;
+    for (const Diagnostic& d : diags_) {
+        os << d.rule << ' ' << severityName(d.severity) << ": ["
+           << d.location << "] " << d.message << '\n';
+    }
+    uint64_t recorded = diags_.size();
+    uint64_t total = errors_ + warnings_ + notes_;
+    if (total > recorded)
+        os << "... " << (total - recorded)
+           << " further diagnostics suppressed\n";
+    os << errors_ << " error(s), " << warnings_ << " warning(s), "
+       << notes_ << " note(s)\n";
+    return os.str();
+}
+
+std::string
+DiagEngine::renderJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"diagnostics\": [";
+    for (size_t i = 0; i < diags_.size(); ++i) {
+        const Diagnostic& d = diags_[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"rule\": \"";
+        jsonEscape(os, d.rule);
+        os << "\", \"severity\": \"" << severityName(d.severity)
+           << "\", \"location\": \"";
+        jsonEscape(os, d.location);
+        os << "\", \"message\": \"";
+        jsonEscape(os, d.message);
+        os << "\"}";
+    }
+    os << (diags_.empty() ? "]" : "\n  ]");
+    os << ",\n  \"errors\": " << errors_
+       << ",\n  \"warnings\": " << warnings_
+       << ",\n  \"notes\": " << notes_ << "\n}\n";
+    return os.str();
+}
+
+} // namespace analysis
+} // namespace wet

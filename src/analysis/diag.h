@@ -1,0 +1,111 @@
+#ifndef WET_ANALYSIS_DIAG_H
+#define WET_ANALYSIS_DIAG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wet {
+namespace analysis {
+
+/** Severity of a diagnostic. Errors indicate a broken invariant. */
+enum class Severity : uint8_t { Note, Warning, Error };
+
+/** Printable severity, e.g. "error". */
+const char* severityName(Severity s);
+
+/**
+ * One finding of a verifier pass: a stable rule id (catalogued in
+ * ruleDescription()), a severity, a human-oriented location string
+ * ("fn 2 block 3", "node 17 edge 240", "byte 112"), and the message.
+ */
+struct Diagnostic
+{
+    std::string rule;
+    Severity severity = Severity::Error;
+    std::string location;
+    std::string message;
+};
+
+/**
+ * Shared diagnostics sink of the verifier subsystem.
+ *
+ * Passes report findings here instead of throwing, so one run can
+ * surface every broken invariant at once; the engine renders the
+ * collection as text (one line per finding, compiler style) or JSON
+ * (stable layout for tooling and golden tests).
+ *
+ * Recording stops after `limit()` findings to bound the output on
+ * catastrophically corrupt inputs, but the per-severity counters keep
+ * counting, so hasErrors()/errorCount() stay truthful.
+ */
+class DiagEngine
+{
+  public:
+    void report(std::string rule, Severity sev, std::string location,
+                std::string message);
+
+    void
+    error(std::string rule, std::string location, std::string message)
+    {
+        report(std::move(rule), Severity::Error, std::move(location),
+               std::move(message));
+    }
+
+    void
+    warning(std::string rule, std::string location,
+            std::string message)
+    {
+        report(std::move(rule), Severity::Warning,
+               std::move(location), std::move(message));
+    }
+
+    void
+    note(std::string rule, std::string location, std::string message)
+    {
+        report(std::move(rule), Severity::Note, std::move(location),
+               std::move(message));
+    }
+
+    const std::vector<Diagnostic>& diagnostics() const
+    { return diags_; }
+
+    uint64_t errorCount() const { return errors_; }
+    uint64_t warningCount() const { return warnings_; }
+    uint64_t noteCount() const { return notes_; }
+    bool hasErrors() const { return errors_ > 0; }
+
+    /** True if any recorded diagnostic carries @p rule. */
+    bool hasRule(const std::string& rule) const;
+
+    /** Distinct rule ids among the recorded diagnostics. */
+    std::vector<std::string> firedRules() const;
+
+    size_t limit() const { return limit_; }
+    void setLimit(size_t n) { limit_ = n; }
+
+    /** Compiler-style text: "RULE severity: [location] message". */
+    std::string renderText() const;
+
+    /** Stable JSON object (diagnostics array + severity counters). */
+    std::string renderJson() const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+    uint64_t errors_ = 0;
+    uint64_t warnings_ = 0;
+    uint64_t notes_ = 0;
+    size_t limit_ = 256;
+};
+
+/**
+ * One-line description of a rule id from the verifier rule catalog
+ * (see DESIGN.md §7); nullptr for unknown ids.
+ */
+const char* ruleDescription(const std::string& rule);
+
+} // namespace analysis
+} // namespace wet
+
+#endif // WET_ANALYSIS_DIAG_H

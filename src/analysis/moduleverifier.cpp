@@ -1,0 +1,564 @@
+#include "moduleverifier.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "analysis/balllarus.h"
+#include "analysis/cfg.h"
+#include "analysis/dominators.h"
+#include "ir/opcode.h"
+
+namespace wet {
+namespace analysis {
+
+namespace {
+
+/** Dense bitset over block ids, sized once per function. */
+class BlockSet
+{
+  public:
+    explicit BlockSet(size_t n, bool full = false)
+        : words_((n + 63) / 64, full ? ~uint64_t{0} : 0), n_(n)
+    {
+        if (full && n % 64)
+            words_.back() = (uint64_t{1} << (n % 64)) - 1;
+    }
+
+    bool
+    get(size_t i) const
+    {
+        return (words_[i / 64] >> (i % 64)) & 1;
+    }
+
+    void set(size_t i) { words_[i / 64] |= uint64_t{1} << (i % 64); }
+
+    /** this &= o; returns true if anything changed. */
+    bool
+    intersect(const BlockSet& o)
+    {
+        bool changed = false;
+        for (size_t w = 0; w < words_.size(); ++w) {
+            uint64_t nv = words_[w] & o.words_[w];
+            changed |= nv != words_[w];
+            words_[w] = nv;
+        }
+        return changed;
+    }
+
+    bool
+    operator==(const BlockSet& o) const
+    {
+        return words_ == o.words_;
+    }
+
+    size_t size() const { return n_; }
+
+  private:
+    std::vector<uint64_t> words_;
+    size_t n_;
+};
+
+std::string
+loc(ir::FuncId f, const ir::Function& fn)
+{
+    std::ostringstream os;
+    os << "fn " << f << " '" << fn.name << "'";
+    return os.str();
+}
+
+std::string
+loc(ir::FuncId f, const ir::Function& fn, ir::BlockId b)
+{
+    std::ostringstream os;
+    os << loc(f, fn) << " block " << b;
+    return os.str();
+}
+
+/**
+ * Iterative bitset dominator solver over an explicit predecessor
+ * graph: dom[root] = {root}; dom[v] = {v} | AND over preds. Nodes
+ * not reachable from the root keep a full set; callers must restrict
+ * queries to reachable nodes.
+ */
+std::vector<BlockSet>
+solveDomSets(size_t num_nodes,
+             const std::vector<std::vector<uint32_t>>& preds,
+             uint32_t root)
+{
+    std::vector<BlockSet> dom(num_nodes,
+                              BlockSet(num_nodes, true));
+    dom[root] = BlockSet(num_nodes);
+    dom[root].set(root);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t v = 0; v < num_nodes; ++v) {
+            if (v == root)
+                continue;
+            BlockSet nv(num_nodes, true);
+            bool any = false;
+            for (uint32_t p : preds[v]) {
+                nv.intersect(dom[p]);
+                any = true;
+            }
+            if (!any)
+                continue;
+            nv.set(v);
+            if (!(nv == dom[v])) {
+                dom[v] = nv;
+                changed = true;
+            }
+        }
+    }
+    return dom;
+}
+
+/** Nodes reachable from @p root over @p succs. */
+std::vector<bool>
+reachableFrom(size_t num_nodes,
+              const std::vector<std::vector<uint32_t>>& succs,
+              uint32_t root)
+{
+    std::vector<bool> seen(num_nodes, false);
+    std::vector<uint32_t> stack{root};
+    seen[root] = true;
+    while (!stack.empty()) {
+        uint32_t u = stack.back();
+        stack.pop_back();
+        for (uint32_t v : succs[u]) {
+            if (!seen[v]) {
+                seen[v] = true;
+                stack.push_back(v);
+            }
+        }
+    }
+    return seen;
+}
+
+/** IR002 + IR003: block shape, terminators, succ/pred reciprocity. */
+bool
+checkStructure(ir::FuncId f, const ir::Function& fn,
+               DiagEngine& diag)
+{
+    uint64_t before = diag.errorCount();
+    const size_t n = fn.blocks.size();
+    if (n == 0) {
+        diag.error("IR002", loc(f, fn), "function has no blocks");
+        return false;
+    }
+    for (ir::BlockId b = 0; b < n; ++b) {
+        const ir::BasicBlock& blk = fn.blocks[b];
+        if (blk.instrs.empty()) {
+            diag.error("IR002", loc(f, fn, b), "block is empty");
+            continue;
+        }
+        for (size_t i = 0; i < blk.instrs.size(); ++i) {
+            bool last = i + 1 == blk.instrs.size();
+            if (ir::isTerminator(blk.instrs[i].op) != last) {
+                std::ostringstream os;
+                os << "instr " << i
+                   << (last ? " does not end the block with a "
+                              "terminator"
+                            : " is a terminator in the middle of "
+                              "the block");
+                diag.error("IR002", loc(f, fn, b), os.str());
+            }
+        }
+        size_t wantSuccs = 0;
+        switch (blk.terminator().op) {
+          case ir::Opcode::Br: wantSuccs = 2; break;
+          case ir::Opcode::Jmp: wantSuccs = 1; break;
+          default: wantSuccs = 0; break;
+        }
+        if (blk.succs.size() != wantSuccs) {
+            std::ostringstream os;
+            os << ir::opcodeName(blk.terminator().op)
+               << " terminator expects " << wantSuccs
+               << " successor(s), block has " << blk.succs.size();
+            diag.error("IR002", loc(f, fn, b), os.str());
+        }
+        for (ir::BlockId s : blk.succs) {
+            if (s >= n) {
+                std::ostringstream os;
+                os << "successor " << s << " out of range (function "
+                   << "has " << n << " blocks)";
+                diag.error("IR002", loc(f, fn, b), os.str());
+            }
+        }
+    }
+    if (diag.errorCount() != before)
+        return false; // reciprocity needs in-range successor lists
+
+    // Successor/predecessor reciprocity as multisets.
+    for (ir::BlockId b = 0; b < n; ++b) {
+        for (ir::BlockId s : fn.blocks[b].succs) {
+            const auto& preds = fn.blocks[s].preds;
+            size_t wanted = 0, have = 0;
+            for (ir::BlockId x : fn.blocks[b].succs)
+                wanted += x == s;
+            for (ir::BlockId p : preds)
+                have += p == b;
+            if (have != wanted) {
+                std::ostringstream os;
+                os << "edge to block " << s << " appears " << wanted
+                   << "x in succs but " << have
+                   << "x in the target's preds";
+                diag.error("IR003", loc(f, fn, b), os.str());
+            }
+        }
+        for (ir::BlockId p : fn.blocks[b].preds) {
+            if (p >= n) {
+                std::ostringstream os;
+                os << "predecessor " << p << " out of range";
+                diag.error("IR003", loc(f, fn, b), os.str());
+                continue;
+            }
+            bool found = false;
+            for (ir::BlockId s : fn.blocks[p].succs)
+                found |= s == b;
+            if (!found) {
+                std::ostringstream os;
+                os << "predecessor " << p
+                   << " does not list this block as a successor";
+                diag.error("IR003", loc(f, fn, b), os.str());
+            }
+        }
+    }
+    return diag.errorCount() == before;
+}
+
+/** IR001: forward definite-assignment dataflow over registers. */
+void
+checkDefBeforeUse(ir::FuncId f, const ir::Function& fn,
+                  const CfgInfo& cfg, DiagEngine& diag)
+{
+    const size_t n = fn.blocks.size();
+    const size_t r = fn.numRegs;
+    // out[b]: registers definitely assigned on every path from entry
+    // through the end of b. Must-analysis: initialize non-entry
+    // blocks to "all" and intersect.
+    std::vector<BlockSet> out(n, BlockSet(r, true));
+    auto transfer = [&](ir::BlockId b, BlockSet in,
+                        DiagEngine* d) -> BlockSet {
+        for (size_t i = 0; i < fn.blocks[b].instrs.size(); ++i) {
+            const ir::Instr& ins = fn.blocks[b].instrs[i];
+            auto use = [&](ir::RegId reg, const char* what) {
+                if (reg == ir::kNoReg || reg >= r)
+                    return; // range errors are Module::verify's job
+                if (d && !in.get(reg)) {
+                    std::ostringstream os;
+                    os << "instr " << i << " ("
+                       << ir::opcodeName(ins.op) << ") " << what
+                       << " r" << reg
+                       << " may be read before assignment";
+                    d->error("IR001", loc(f, fn, b), os.str());
+                }
+            };
+            int uses = ir::numUses(ins.op);
+            if (uses >= 1)
+                use(ins.src0, "src0");
+            if (uses >= 2)
+                use(ins.src1, "src1");
+            if (ins.op == ir::Opcode::Ret)
+                use(ins.src0, "return value");
+            for (ir::RegId a : ins.args)
+                use(a, "call argument");
+            if (ir::hasDef(ins.op) && ins.dest != ir::kNoReg &&
+                ins.dest < r)
+                in.set(ins.dest);
+        }
+        return in;
+    };
+
+    BlockSet entryIn(r);
+    for (uint32_t p = 0; p < fn.numParams && p < r; ++p)
+        entryIn.set(p);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (ir::BlockId b : cfg.rpo()) {
+            BlockSet in(r, true);
+            if (b == 0)
+                in = entryIn;
+            else
+                for (ir::BlockId p : fn.blocks[b].preds)
+                    if (cfg.reachable(p))
+                        in.intersect(out[p]);
+            BlockSet nout = transfer(b, std::move(in), nullptr);
+            if (!(nout == out[b])) {
+                out[b] = std::move(nout);
+                changed = true;
+            }
+        }
+    }
+    // Reporting pass at the fixpoint.
+    for (ir::BlockId b = 0; b < n; ++b) {
+        if (!cfg.reachable(b))
+            continue;
+        BlockSet in(r, true);
+        if (b == 0)
+            in = entryIn;
+        else
+            for (ir::BlockId p : fn.blocks[b].preds)
+                if (cfg.reachable(p))
+                    in.intersect(out[p]);
+        transfer(b, std::move(in), &diag);
+    }
+}
+
+/** IR004/IR005: cross-check DomTree against a bitset recomputation. */
+void
+checkDominators(ir::FuncId f, const ir::Function& fn,
+                const CfgInfo& cfg, DiagEngine& diag)
+{
+    const uint32_t n = fn.numBlocks();
+
+    { // Forward dominators rooted at the entry block.
+        std::vector<std::vector<uint32_t>> preds(n);
+        for (ir::BlockId b = 0; b < n; ++b)
+            for (ir::BlockId p : fn.blocks[b].preds)
+                if (cfg.reachable(p))
+                    preds[b].push_back(p);
+        std::vector<BlockSet> dom = solveDomSets(n, preds, 0);
+        DomTree tree = DomTree::dominators(fn);
+        for (ir::BlockId a = 0; a < n; ++a) {
+            if (!cfg.reachable(a))
+                continue;
+            for (ir::BlockId b = 0; b < n; ++b) {
+                if (!cfg.reachable(b))
+                    continue;
+                bool want = dom[b].get(a);
+                if (tree.dominates(a, b) != want) {
+                    std::ostringstream os;
+                    os << "block " << a << (want ? " should" :
+                       " should not") << " dominate block " << b
+                       << ", tree says otherwise";
+                    diag.error("IR004", loc(f, fn), os.str());
+                }
+            }
+        }
+    }
+
+    { // Post-dominators rooted at the virtual exit node (id n).
+        const uint32_t exit = n;
+        std::vector<std::vector<uint32_t>> rpreds(n + 1);
+        std::vector<std::vector<uint32_t>> rsuccs(n + 1);
+        for (ir::BlockId b = 0; b < n; ++b) {
+            for (ir::BlockId s : fn.blocks[b].succs)
+                rpreds[b].push_back(s);
+            if (cfg.isExitBlock(b))
+                rpreds[b].push_back(exit);
+            // Reverse edges for reachability from the exit.
+            for (ir::BlockId s : fn.blocks[b].succs)
+                rsuccs[s].push_back(b);
+            if (cfg.isExitBlock(b))
+                rsuccs[exit].push_back(b);
+        }
+        std::vector<bool> reachesExit =
+            reachableFrom(n + 1, rsuccs, exit);
+        std::vector<BlockSet> pdom = solveDomSets(n + 1, rpreds,
+                                                  exit);
+        DomTree tree = DomTree::postDominators(fn);
+        for (ir::BlockId b = 0; b < n; ++b) {
+            if (!cfg.reachable(b))
+                continue;
+            if (!reachesExit[b]) {
+                // Documented convention: blocks with no path to an
+                // exit hang directly off the virtual exit node.
+                if (tree.idom(b) != DomTree::virtualExit(fn)) {
+                    std::ostringstream os;
+                    os << "block " << b << " cannot reach an exit "
+                       << "but its ipostdom is " << tree.idom(b)
+                       << ", not the virtual exit";
+                    diag.error("IR005", loc(f, fn), os.str());
+                }
+                continue;
+            }
+            for (ir::BlockId a = 0; a <= n; ++a) {
+                if (a < n && (!cfg.reachable(a) || !reachesExit[a]))
+                    continue;
+                bool want = pdom[b].get(a);
+                if (tree.dominates(a, b) != want) {
+                    std::ostringstream os;
+                    os << (a == n ? "the virtual exit" : "block ")
+                       << (a == n ? std::string()
+                                  : std::to_string(a))
+                       << (want ? " should" : " should not")
+                       << " post-dominate block " << b
+                       << ", tree says otherwise";
+                    diag.error("IR005", loc(f, fn), os.str());
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Independent acyclic-path count: DAG paths from @p u to the
+ * conceptual EXIT, memoized. Matches the Ball-Larus DAG by
+ * construction rules only (non-back edges; a path may end at an exit
+ * block or a back-edge source), not by reusing its tables.
+ */
+uint64_t
+countPaths(const ir::Function& fn, const CfgInfo& cfg, ir::BlockId u,
+           std::vector<uint64_t>& memo, bool& overflow)
+{
+    constexpr uint64_t kUnset = UINT64_MAX;
+    constexpr uint64_t kCap = uint64_t{1} << 40;
+    if (memo[u] != kUnset)
+        return memo[u];
+    memo[u] = 0; // cycle guard; the DAG walk must not revisit
+    const auto& succs = fn.blocks[u].succs;
+    bool hasBack = false;
+    uint64_t total = 0;
+    for (size_t i = 0; i < succs.size(); ++i) {
+        if (cfg.isBackEdge(u, i)) {
+            hasBack = true;
+            continue;
+        }
+        total += countPaths(fn, cfg, succs[i], memo, overflow);
+        if (total > kCap) {
+            overflow = true;
+            total = kCap;
+        }
+    }
+    if (cfg.isExitBlock(u) || hasBack)
+        ++total;
+    memo[u] = total;
+    return total;
+}
+
+/** IR006/IR007: the BL table enumerates exactly the acyclic paths. */
+void
+checkBallLarus(ir::FuncId f, const ir::Function& fn,
+               const CfgInfo& cfg, DiagEngine& diag,
+               const ModuleVerifierOptions& opt)
+{
+    BallLarus bl(cfg, opt.maxPaths);
+    if (bl.blockMode()) {
+        if (bl.numPaths() != fn.blocks.size()) {
+            std::ostringstream os;
+            os << "block-mode path table has " << bl.numPaths()
+               << " ids for " << fn.blocks.size() << " blocks";
+            diag.error("IR006", loc(f, fn), os.str());
+        }
+        return;
+    }
+
+    // Path count, recomputed without the BL tables.
+    bool overflow = false;
+    std::vector<uint64_t> memo(fn.blocks.size(), UINT64_MAX);
+    uint64_t want = countPaths(fn, cfg, 0, memo, overflow);
+    for (ir::BlockId h : cfg.loopHeaders())
+        if (h != 0)
+            want += countPaths(fn, cfg, h, memo, overflow);
+    if (overflow) {
+        diag.warning("IR006", loc(f, fn),
+                     "acyclic path count overflows the recount cap; "
+                     "count check skipped");
+    } else if (want != bl.numPaths()) {
+        std::ostringstream os;
+        os << "path table claims " << bl.numPaths()
+           << " paths, CFG has " << want << " acyclic paths";
+        diag.error("IR006", loc(f, fn), os.str());
+        return; // decode checks would cascade
+    }
+
+    // Decode / re-encode round trip over a prefix of the id space.
+    uint64_t cap = std::min<uint64_t>(bl.numPaths(),
+                                      opt.maxDecodedPaths);
+    std::unordered_set<std::string> seen;
+    for (uint64_t id = 0; id < cap; ++id) {
+        std::vector<ir::BlockId> seq = bl.decode(id);
+        std::ostringstream osLoc;
+        osLoc << loc(f, fn) << " path " << id;
+        if (seq.empty()) {
+            diag.error("IR007", osLoc.str(),
+                       "path decodes to an empty block sequence");
+            continue;
+        }
+        std::string key(reinterpret_cast<const char*>(seq.data()),
+                        seq.size() * sizeof(seq[0]));
+        if (!seen.insert(std::move(key)).second) {
+            diag.error("IR006", osLoc.str(),
+                       "two path ids decode to the same block "
+                       "sequence");
+            continue;
+        }
+        if (!bl.canStartPath(seq.front())) {
+            std::ostringstream os;
+            os << "decoded path starts at block " << seq.front()
+               << ", which is neither the entry nor a loop header";
+            diag.error("IR007", osLoc.str(), os.str());
+            continue;
+        }
+        uint64_t r = bl.entryVal(seq.front());
+        bool valid = true;
+        for (size_t i = 0; i + 1 < seq.size() && valid; ++i) {
+            const auto& succs = fn.blocks[seq[i]].succs;
+            bool found = false;
+            for (size_t k = 0; k < succs.size(); ++k) {
+                if (succs[k] == seq[i + 1] &&
+                    !cfg.isBackEdge(seq[i], k))
+                {
+                    r += bl.edgeVal(seq[i], k);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                std::ostringstream os;
+                os << "decoded step " << seq[i] << " -> "
+                   << seq[i + 1]
+                   << " is not a forward CFG edge";
+                diag.error("IR007", osLoc.str(), os.str());
+                valid = false;
+            }
+        }
+        if (!valid)
+            continue;
+        ir::BlockId last = seq.back();
+        bool lastHasBack = false;
+        for (size_t k = 0; k < fn.blocks[last].succs.size(); ++k)
+            lastHasBack |= cfg.isBackEdge(last, k);
+        if (!cfg.isExitBlock(last) && !lastHasBack) {
+            std::ostringstream os;
+            os << "decoded path ends at block " << last
+               << ", which neither exits nor sources a back edge";
+            diag.error("IR007", osLoc.str(), os.str());
+            continue;
+        }
+        uint64_t reencoded = r + bl.exitVal(last);
+        if (reencoded != id) {
+            std::ostringstream os;
+            os << "decoded path re-encodes to id " << reencoded;
+            diag.error("IR006", osLoc.str(), os.str());
+        }
+    }
+}
+
+} // namespace
+
+bool
+verifyModule(const ir::Module& mod, DiagEngine& diag,
+             const ModuleVerifierOptions& opt)
+{
+    uint64_t before = diag.errorCount();
+    if (!mod.finalized()) {
+        diag.error("IR002", "module", "module is not finalized");
+        return false;
+    }
+    for (ir::FuncId f = 0; f < mod.numFunctions(); ++f) {
+        const ir::Function& fn = mod.function(f);
+        if (!checkStructure(f, fn, diag))
+            continue; // CFG-dependent passes would cascade
+        CfgInfo cfg(fn);
+        checkDefBeforeUse(f, fn, cfg, diag);
+        checkDominators(f, fn, cfg, diag);
+        checkBallLarus(f, fn, cfg, diag, opt);
+    }
+    return diag.errorCount() == before;
+}
+
+} // namespace analysis
+} // namespace wet

@@ -1,0 +1,39 @@
+#ifndef WET_ANALYSIS_MODULEVERIFIER_H
+#define WET_ANALYSIS_MODULEVERIFIER_H
+
+#include <cstdint>
+
+#include "analysis/diag.h"
+#include "ir/module.h"
+
+namespace wet {
+namespace analysis {
+
+/** Cost knobs for the module verifier. */
+struct ModuleVerifierOptions
+{
+    /** Per function: decode/re-encode at most this many BL path ids
+     *  (the count check always covers the whole table). */
+    uint64_t maxDecodedPaths = 4096;
+    /** Ball-Larus explosion threshold, mirroring ModuleAnalysis. */
+    uint64_t maxPaths = uint64_t{1} << 24;
+};
+
+/**
+ * LLVM-verifier-style static checks over a finalized module (rules
+ * IR001..IR007): def-before-use via forward definite-assignment
+ * dataflow, block/terminator shape, CFG successor/predecessor
+ * reciprocity, dominator and post-dominator trees cross-checked
+ * against an independent O(n^2) bitset recomputation, and the
+ * Ball-Larus path table checked to enumerate exactly the acyclic
+ * paths of each CFG (independent path count + decode/re-encode).
+ *
+ * Findings go to @p diag; returns true when no errors were added.
+ */
+bool verifyModule(const ir::Module& mod, DiagEngine& diag,
+                  const ModuleVerifierOptions& opt = {});
+
+} // namespace analysis
+} // namespace wet
+
+#endif // WET_ANALYSIS_MODULEVERIFIER_H

@@ -1,0 +1,708 @@
+#include "wetverifier.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "codec/encoder.h"
+#include "ir/opcode.h"
+
+namespace wet {
+namespace analysis {
+
+namespace {
+
+using core::kCdSlot;
+using core::kNoIndex;
+using core::kNoNode;
+using core::NodeId;
+using core::WetEdge;
+using core::WetGraph;
+using core::WetNode;
+
+std::string
+nodeLoc(NodeId n)
+{
+    std::ostringstream os;
+    os << "node " << n;
+    return os.str();
+}
+
+std::string
+edgeLoc(uint32_t e, const WetEdge& ed)
+{
+    std::ostringstream os;
+    os << "edge " << e << " (def node " << ed.defNode << " pos "
+       << ed.defStmtPos << " -> use node " << ed.useNode << " pos "
+       << ed.useStmtPos << " slot " << int{ed.slot} << ")";
+    return os.str();
+}
+
+/**
+ * Materialize one label sequence: the tier-1 vector when non-empty,
+ * else a decode of the tier-2 stream when available. Returns false
+ * when neither source exists (labels dropped, nothing to check).
+ */
+template <typename T>
+bool
+materialize(const std::vector<T>& tier1,
+            const codec::CompressedStream* stream,
+            std::vector<int64_t>& out)
+{
+    if (!tier1.empty()) {
+        out.assign(tier1.begin(), tier1.end());
+        return true;
+    }
+    if (stream && stream->length > 0) {
+        out = codec::decodeAll(*stream);
+        return true;
+    }
+    return false;
+}
+
+/** Node structure against the module and the BL path table. */
+void
+checkNodeStructure(const WetGraph& g, const ModuleAnalysis& ma,
+                   NodeId n, DiagEngine& diag)
+{
+    const WetNode& node = g.nodes[n];
+    const ir::Module& mod = ma.module();
+    if (node.func >= mod.numFunctions()) {
+        std::ostringstream os;
+        os << "function id " << node.func << " out of range";
+        diag.error("WET009", nodeLoc(n), os.str());
+        return;
+    }
+    const ir::Function& fn = mod.function(node.func);
+    const BallLarus& bl = ma.fn(node.func).bl;
+
+    if (!node.partial) {
+        if (bl.blockMode()
+                ? node.pathId >= fn.blocks.size()
+                : node.pathId >= bl.numPaths()) {
+            std::ostringstream os;
+            os << "path id " << node.pathId
+               << " out of range for function " << node.func;
+            diag.error("WET009", nodeLoc(n), os.str());
+            return;
+        }
+        std::vector<ir::BlockId> want = bl.decode(node.pathId);
+        if (node.blocks != want) {
+            std::ostringstream os;
+            os << "block sequence disagrees with the path table "
+               << "decode of path " << node.pathId;
+            diag.error("WET009", nodeLoc(n), os.str());
+            return;
+        }
+    }
+    if (node.blocks.size() != node.blockFirstStmt.size()) {
+        diag.error("WET009", nodeLoc(n),
+                   "blocks and blockFirstStmt lengths differ");
+        return;
+    }
+
+    // Statement list: per block a slice of the block's instructions;
+    // complete for every block but (on partial paths) the last.
+    uint32_t pos = 0;
+    for (size_t j = 0; j < node.blocks.size(); ++j) {
+        ir::BlockId b = node.blocks[j];
+        if (b >= fn.blocks.size()) {
+            std::ostringstream os;
+            os << "block " << b << " out of range";
+            diag.error("WET009", nodeLoc(n), os.str());
+            return;
+        }
+        if (node.blockFirstStmt[j] != pos) {
+            std::ostringstream os;
+            os << "blockFirstStmt[" << j << "] = "
+               << node.blockFirstStmt[j] << ", expected " << pos;
+            diag.error("WET009", nodeLoc(n), os.str());
+            return;
+        }
+        const auto& instrs = fn.blocks[b].instrs;
+        uint32_t end = j + 1 < node.blocks.size()
+                           ? static_cast<uint32_t>(
+                                 pos + instrs.size())
+                           : static_cast<uint32_t>(
+                                 node.stmts.size());
+        bool lastBlock = j + 1 == node.blocks.size();
+        uint32_t count = end - pos;
+        if (count > instrs.size() ||
+            (!node.partial && lastBlock && count != instrs.size()))
+        {
+            std::ostringstream os;
+            os << "block " << b << " contributes " << count
+               << " statements, has " << instrs.size();
+            diag.error("WET009", nodeLoc(n), os.str());
+            return;
+        }
+        for (uint32_t i = 0; i < count; ++i) {
+            if (node.stmts[pos + i] != instrs[i].stmt) {
+                std::ostringstream os;
+                os << "statement at position " << (pos + i)
+                   << " is " << node.stmts[pos + i]
+                   << ", block " << b << " instr " << i << " is "
+                   << instrs[i].stmt;
+                diag.error("WET009", nodeLoc(n), os.str());
+                return;
+            }
+        }
+        pos = end;
+    }
+    if (pos != node.stmts.size()) {
+        std::ostringstream os;
+        os << "blocks cover " << pos << " of " << node.stmts.size()
+           << " statements";
+        diag.error("WET009", nodeLoc(n), os.str());
+    }
+
+    // The statement index must know every (node, position).
+    for (uint32_t i = 0; i < node.stmts.size(); ++i) {
+        auto it = g.stmtIndex.find(node.stmts[i]);
+        bool found = false;
+        if (it != g.stmtIndex.end())
+            for (const auto& [nn, pp] : it->second)
+                found |= nn == n && pp == i;
+        if (!found) {
+            std::ostringstream os;
+            os << "statement " << node.stmts[i] << " at position "
+               << i << " missing from the statement index";
+            diag.error("WET009", nodeLoc(n), os.str());
+            break;
+        }
+    }
+}
+
+/** WET001/WET002/WET003: timestamp labels. */
+void
+checkTimestamps(const WetGraph& g,
+                const core::WetCompressed* compressed,
+                DiagEngine& diag, const WetVerifierOptions& opt)
+{
+    uint64_t totalInstances = 0;
+    bool haveAll = true;
+    std::vector<uint64_t> allTs;
+    for (NodeId n = 0; n < g.nodes.size(); ++n) {
+        const WetNode& node = g.nodes[n];
+        totalInstances += node.numInstances;
+        std::vector<int64_t> ts;
+        if (!materialize(node.ts,
+                         compressed ? &compressed->node(n).ts
+                                    : nullptr,
+                         ts))
+        {
+            if (node.numInstances > 0)
+                haveAll = false;
+            continue;
+        }
+        if (ts.size() != node.numInstances) {
+            std::ostringstream os;
+            os << "has " << ts.size() << " timestamps but claims "
+               << node.numInstances << " instances";
+            diag.error("WET002", nodeLoc(n), os.str());
+        }
+        for (size_t i = 0; i < ts.size(); ++i) {
+            uint64_t t = static_cast<uint64_t>(ts[i]);
+            if (t < 1 || t > g.lastTimestamp) {
+                std::ostringstream os;
+                os << "timestamp " << t << " at instance " << i
+                   << " outside [1, " << g.lastTimestamp << "]";
+                diag.error("WET001", nodeLoc(n), os.str());
+                break;
+            }
+            if (i > 0 && t <= static_cast<uint64_t>(ts[i - 1])) {
+                std::ostringstream os;
+                os << "timestamps not strictly increasing at "
+                   << "instance " << i << " (" << ts[i - 1]
+                   << " then " << t << ")";
+                diag.error("WET001", nodeLoc(n), os.str());
+                break;
+            }
+            allTs.push_back(t);
+        }
+    }
+    if (!haveAll)
+        return; // tier-1 dropped and no streams: accounting unknowable
+    if (totalInstances != g.lastTimestamp) {
+        std::ostringstream os;
+        os << "nodes hold " << totalInstances
+           << " instances but the trace ends at timestamp "
+           << g.lastTimestamp;
+        diag.error("WET003", "graph", os.str());
+        return;
+    }
+    if (g.lastTimestamp > opt.maxTimestampBitmap) {
+        diag.note("WET003", "graph",
+                  "trace too long for the timestamp uniqueness "
+                  "bitmap; uniqueness check skipped");
+        return;
+    }
+    std::vector<bool> seen(g.lastTimestamp + 1, false);
+    for (uint64_t t : allTs) {
+        if (seen[t]) {
+            std::ostringstream os;
+            os << "timestamp " << t
+               << " assigned to more than one path instance";
+            diag.error("WET003", "graph", os.str());
+            return;
+        }
+        seen[t] = true;
+    }
+}
+
+/** WET004/WET005/WET006: dependence edges and the label pool. */
+void
+checkEdges(const WetGraph& g, const core::WetCompressed* compressed,
+           DiagEngine& diag)
+{
+    // Use-key -> edges, built locally (also validates ranges).
+    std::unordered_map<uint64_t, std::vector<uint32_t>> byUse;
+    for (uint32_t e = 0; e < g.edges.size(); ++e) {
+        const WetEdge& ed = g.edges[e];
+        if (ed.defNode >= g.nodes.size() ||
+            ed.useNode >= g.nodes.size())
+        {
+            diag.error("WET005", edgeLoc(e, ed),
+                       "edge endpoint node id out of range");
+            continue;
+        }
+        if (ed.defStmtPos >= g.nodes[ed.defNode].stmts.size() ||
+            ed.useStmtPos >= g.nodes[ed.useNode].stmts.size())
+        {
+            diag.error("WET005", edgeLoc(e, ed),
+                       "edge statement position out of range");
+            continue;
+        }
+        if (ed.slot != kCdSlot && ed.slot > 1) {
+            std::ostringstream os;
+            os << "slot " << int{ed.slot}
+               << " is neither a dependence slot nor the CD slot";
+            diag.error("WET005", edgeLoc(e, ed), os.str());
+            continue;
+        }
+        byUse[WetGraph::useKey(ed.useNode, ed.useStmtPos, ed.slot)]
+            .push_back(e);
+    }
+
+    // Pool reference counting for WET006.
+    std::vector<uint32_t> poolRefs(g.labelPool.size(), 0);
+
+    // Materialized pool sequences, decoded lazily at most once.
+    std::vector<char> poolLoaded(g.labelPool.size(), 0);
+    std::vector<std::vector<int64_t>> poolUse(g.labelPool.size());
+    std::vector<std::vector<int64_t>> poolDef(g.labelPool.size());
+    auto loadPool = [&](uint32_t p) -> bool {
+        if (poolLoaded[p])
+            return poolLoaded[p] == 1;
+        bool okU = materialize(
+            g.labelPool[p].useInst,
+            compressed ? &compressed->pool(p).useInst : nullptr,
+            poolUse[p]);
+        bool okD = materialize(
+            g.labelPool[p].defInst,
+            compressed ? &compressed->pool(p).defInst : nullptr,
+            poolDef[p]);
+        poolLoaded[p] = (okU && okD) ? 1 : 2;
+        return poolLoaded[p] == 1;
+    };
+
+    for (uint32_t e = 0; e < g.edges.size(); ++e) {
+        const WetEdge& ed = g.edges[e];
+        if (ed.defNode >= g.nodes.size() ||
+            ed.useNode >= g.nodes.size() ||
+            ed.defStmtPos >= g.nodes[ed.defNode].stmts.size() ||
+            ed.useStmtPos >= g.nodes[ed.useNode].stmts.size())
+            continue; // reported above
+
+        if (ed.local) {
+            // Tier-1 inference (paper §3.3): labels were dropped
+            // because every instance pairs equal indices. That is
+            // only sound when the edge is intra-node, the def
+            // precedes the use inside the path, and no other edge
+            // feeds the same use slot.
+            if (ed.defNode != ed.useNode) {
+                diag.error("WET004", edgeLoc(e, ed),
+                           "local edge spans two nodes");
+                continue;
+            }
+            if (ed.defStmtPos >= ed.useStmtPos) {
+                diag.error("WET004", edgeLoc(e, ed),
+                           "local edge's def does not precede its "
+                           "use within the path");
+            }
+            if (ed.labelPool != kNoIndex) {
+                diag.error("WET004", edgeLoc(e, ed),
+                           "local edge still references a label "
+                           "pool entry");
+            }
+            uint64_t key = WetGraph::useKey(ed.useNode,
+                                            ed.useStmtPos, ed.slot);
+            if (byUse[key].size() != 1) {
+                std::ostringstream os;
+                os << "local edge shares its use slot with "
+                   << (byUse[key].size() - 1) << " other edge(s), "
+                   << "so dropping its labels was not inferable";
+                diag.error("WET004", edgeLoc(e, ed), os.str());
+            }
+            continue;
+        }
+
+        if (ed.labelPool == kNoIndex ||
+            ed.labelPool >= g.labelPool.size())
+        {
+            diag.error("WET005", edgeLoc(e, ed),
+                       "non-local edge has no valid label pool "
+                       "reference");
+            continue;
+        }
+        ++poolRefs[ed.labelPool];
+        if (!loadPool(ed.labelPool))
+            continue; // tier-1 dropped and no streams
+        const auto& useSeq = poolUse[ed.labelPool];
+        const auto& defSeq = poolDef[ed.labelPool];
+        if (useSeq.size() != defSeq.size()) {
+            std::ostringstream os;
+            os << "label pool entry " << ed.labelPool << " has "
+               << useSeq.size() << " use labels but "
+               << defSeq.size() << " def labels";
+            diag.error("WET006", edgeLoc(e, ed), os.str());
+            continue;
+        }
+        if (useSeq.empty()) {
+            diag.warning("WET005", edgeLoc(e, ed),
+                         "edge carries no labels");
+            continue;
+        }
+        uint64_t useInst = g.nodes[ed.useNode].instances();
+        uint64_t defInst = g.nodes[ed.defNode].instances();
+        for (size_t i = 0; i < useSeq.size(); ++i) {
+            if (static_cast<uint64_t>(useSeq[i]) >= useInst ||
+                static_cast<uint64_t>(defSeq[i]) >= defInst)
+            {
+                std::ostringstream os;
+                os << "label " << i << " references instance ("
+                   << useSeq[i] << ", " << defSeq[i]
+                   << ") beyond the nodes' instance counts ("
+                   << useInst << ", " << defInst << ")";
+                diag.error("WET005", edgeLoc(e, ed), os.str());
+                break;
+            }
+            if (i > 0 && useSeq[i] <= useSeq[i - 1]) {
+                std::ostringstream os;
+                os << "use-instance sequence not strictly "
+                   << "increasing at label " << i;
+                diag.error("WET005", edgeLoc(e, ed), os.str());
+                break;
+            }
+        }
+    }
+
+    // Per use slot: at most one def per use instance across edges.
+    for (const auto& [key, edges] : byUse) {
+        (void)key;
+        if (edges.size() < 2)
+            continue;
+        std::unordered_map<int64_t, uint32_t> owner;
+        for (uint32_t e : edges) {
+            const WetEdge& ed = g.edges[e];
+            if (ed.local || ed.labelPool == kNoIndex ||
+                ed.labelPool >= g.labelPool.size() ||
+                !loadPool(ed.labelPool))
+                continue;
+            for (int64_t u : poolUse[ed.labelPool]) {
+                auto [it, inserted] = owner.try_emplace(u, e);
+                if (!inserted) {
+                    std::ostringstream os;
+                    os << "use instance " << u
+                       << " receives a def from this edge and "
+                       << "edge " << it->second;
+                    diag.error("WET005", edgeLoc(e, ed), os.str());
+                    break;
+                }
+            }
+        }
+    }
+
+    for (uint32_t p = 0; p < g.labelPool.size(); ++p) {
+        if (poolRefs[p] == 0) {
+            std::ostringstream os;
+            os << "label pool entry " << p
+               << " is referenced by no edge";
+            diag.warning("WET006", "pool " + std::to_string(p),
+                         os.str());
+        }
+    }
+}
+
+/** WET007: CD edges against recomputed static control dependence. */
+void
+checkControlDeps(const WetGraph& g, const ModuleAnalysis& ma,
+                 DiagEngine& diag)
+{
+    const ir::Module& mod = ma.module();
+    for (uint32_t e = 0; e < g.edges.size(); ++e) {
+        const WetEdge& ed = g.edges[e];
+        if (ed.slot != kCdSlot)
+            continue;
+        if (ed.defNode >= g.nodes.size() ||
+            ed.useNode >= g.nodes.size())
+            continue; // reported as WET005
+        const WetNode& useNode = g.nodes[ed.useNode];
+        const WetNode& defNode = g.nodes[ed.defNode];
+        if (ed.useStmtPos >= useNode.stmts.size() ||
+            ed.defStmtPos >= defNode.stmts.size())
+            continue; // reported as WET005
+
+        // The use position must open a block of the use node.
+        ir::BlockId ctl = ir::kNoBlock;
+        for (size_t j = 0; j < useNode.blockFirstStmt.size(); ++j) {
+            if (useNode.blockFirstStmt[j] == ed.useStmtPos) {
+                ctl = useNode.blocks[j];
+                break;
+            }
+        }
+        if (ctl == ir::kNoBlock) {
+            diag.error("WET007", edgeLoc(e, ed),
+                       "CD use position does not start a block of "
+                       "the use node");
+            continue;
+        }
+        if (useNode.func >= mod.numFunctions() ||
+            defNode.stmts[ed.defStmtPos] >= mod.numStmts() ||
+            ctl >= mod.function(useNode.func).blocks.size())
+            continue; // reported as WET009
+        const ControlDep& cd = ma.fn(useNode.func).cd;
+        const ir::Instr& def =
+            mod.instr(defNode.stmts[ed.defStmtPos]);
+        if (def.op == ir::Opcode::Br) {
+            if (defNode.func != useNode.func) {
+                diag.error("WET007", edgeLoc(e, ed),
+                           "CD predicate lives in a different "
+                           "function than the controlled block");
+                continue;
+            }
+            ir::BlockId predBlock =
+                mod.stmtRef(defNode.stmts[ed.defStmtPos]).block;
+            bool found = false;
+            for (const CdParent& p : cd.parents(ctl))
+                found |= p.pred == predBlock;
+            if (!found) {
+                std::ostringstream os;
+                os << "block " << ctl << " of function "
+                   << useNode.func
+                   << " is not control dependent on block "
+                   << predBlock
+                   << " per the Ferrante-Ottenstein-Warren "
+                   << "recomputation";
+                diag.error("WET007", edgeLoc(e, ed), os.str());
+            }
+        } else if (def.op == ir::Opcode::Call) {
+            // A callsite controller is legal even for blocks with
+            // static CD parents: the tracer attributes a block to
+            // the invocation whenever no predicate region is open
+            // (e.g. a loop header's first iteration). Only the
+            // callee identity is checkable statically.
+            if (def.imm < 0 ||
+                static_cast<uint64_t>(def.imm) != useNode.func)
+            {
+                std::ostringstream os;
+                os << "CD call site invokes function " << def.imm
+                   << ", controlled block belongs to function "
+                   << useNode.func;
+                diag.error("WET007", edgeLoc(e, ed), os.str());
+            }
+        } else {
+            std::ostringstream os;
+            os << "CD def is a " << ir::opcodeName(def.op)
+               << ", expected a branch or a call site";
+            diag.error("WET007", edgeLoc(e, ed), os.str());
+        }
+    }
+}
+
+/** WET008: value group structure and pattern/uvals alignment. */
+void
+checkValueGroups(const WetGraph& g, const ir::Module& mod,
+                 const core::WetCompressed* compressed,
+                 DiagEngine& diag)
+{
+    for (NodeId n = 0; n < g.nodes.size(); ++n) {
+        const WetNode& node = g.nodes[n];
+        if (node.stmtGroup.size() != node.stmts.size() ||
+            node.stmtMember.size() != node.stmts.size())
+        {
+            diag.error("WET008", nodeLoc(n),
+                       "stmtGroup/stmtMember lengths disagree with "
+                       "the statement list");
+            continue;
+        }
+        bool structureOk = true;
+        for (uint32_t p = 0;
+             p < node.stmts.size() && structureOk; ++p) {
+            if (node.stmts[p] >= mod.numStmts())
+                break; // reported as WET009
+            ir::Opcode op = mod.instr(node.stmts[p]).op;
+            // Every def port is grouped except Const: immediates of
+            // the static program carry no dynamic value profile.
+            bool def = ir::hasDef(op) && op != ir::Opcode::Const;
+            uint32_t gi = node.stmtGroup[p];
+            if (!def) {
+                if (gi != kNoIndex) {
+                    std::ostringstream os;
+                    os << "position " << p
+                       << " has no value profile but belongs to "
+                       << "group " << gi;
+                    diag.error("WET008", nodeLoc(n), os.str());
+                    structureOk = false;
+                }
+                continue;
+            }
+            if (gi == kNoIndex || gi >= node.groups.size()) {
+                std::ostringstream os;
+                os << "def-port position " << p
+                   << " has no valid group";
+                diag.error("WET008", nodeLoc(n), os.str());
+                structureOk = false;
+                continue;
+            }
+            uint32_t mi = node.stmtMember[p];
+            if (mi >= node.groups[gi].members.size() ||
+                node.groups[gi].members[mi] != p)
+            {
+                std::ostringstream os;
+                os << "position " << p << " claims member " << mi
+                   << " of group " << gi
+                   << ", group does not list it there";
+                diag.error("WET008", nodeLoc(n), os.str());
+                structureOk = false;
+            }
+        }
+        if (!structureOk)
+            continue;
+
+        for (size_t gi = 0; gi < node.groups.size(); ++gi) {
+            const core::ValueGroup& grp = node.groups[gi];
+            const core::CompressedNode* cn =
+                compressed ? &compressed->node(n) : nullptr;
+            std::vector<int64_t> pattern;
+            if (!materialize(grp.pattern,
+                             cn && gi < cn->patterns.size()
+                                 ? &cn->patterns[gi]
+                                 : nullptr,
+                             pattern))
+                continue; // labels dropped, nothing to check
+            if (pattern.size() != node.numInstances &&
+                node.numInstances > 0)
+            {
+                std::ostringstream os;
+                os << "group " << gi << " pattern has "
+                   << pattern.size() << " entries for "
+                   << node.numInstances << " instances";
+                diag.error("WET008", nodeLoc(n), os.str());
+                continue;
+            }
+            int64_t maxIdx = -1;
+            for (int64_t v : pattern)
+                maxIdx = std::max(maxIdx, v);
+            uint64_t distinct = static_cast<uint64_t>(maxIdx + 1);
+            for (int64_t v : pattern) {
+                if (v < 0 ||
+                    static_cast<uint64_t>(v) >= distinct)
+                {
+                    std::ostringstream os;
+                    os << "group " << gi
+                       << " pattern index " << v << " invalid";
+                    diag.error("WET008", nodeLoc(n), os.str());
+                    break;
+                }
+            }
+            for (size_t mi = 0; mi < grp.members.size(); ++mi) {
+                std::vector<int64_t> uv;
+                const codec::CompressedStream* us =
+                    cn && gi < cn->uvals.size() &&
+                            mi < cn->uvals[gi].size()
+                        ? &cn->uvals[gi][mi]
+                        : nullptr;
+                if (!materialize(grp.uvals.size() > mi
+                                     ? grp.uvals[mi]
+                                     : std::vector<int64_t>{},
+                                 us, uv))
+                    continue;
+                if (uv.size() != distinct) {
+                    std::ostringstream os;
+                    os << "group " << gi << " member " << mi
+                       << " has " << uv.size()
+                       << " unique values, pattern indexes "
+                       << distinct;
+                    diag.error("WET008", nodeLoc(n), os.str());
+                }
+            }
+        }
+    }
+}
+
+/** WET010: control-flow adjacency reciprocity. */
+void
+checkCfAdjacency(const WetGraph& g, DiagEngine& diag)
+{
+    auto countIn = [](const std::vector<NodeId>& v, NodeId x) {
+        size_t c = 0;
+        for (NodeId y : v)
+            c += y == x;
+        return c;
+    };
+    for (NodeId n = 0; n < g.nodes.size(); ++n) {
+        for (NodeId s : g.nodes[n].cfSucc) {
+            if (s >= g.nodes.size()) {
+                diag.error("WET010", nodeLoc(n),
+                           "cf successor out of range");
+                continue;
+            }
+            if (countIn(g.nodes[n].cfSucc, s) !=
+                countIn(g.nodes[s].cfPred, n))
+            {
+                std::ostringstream os;
+                os << "cf edge to node " << s
+                   << " not mirrored in the target's preds";
+                diag.error("WET010", nodeLoc(n), os.str());
+            }
+        }
+        for (NodeId p : g.nodes[n].cfPred) {
+            if (p >= g.nodes.size()) {
+                diag.error("WET010", nodeLoc(n),
+                           "cf predecessor out of range");
+                continue;
+            }
+            if (countIn(g.nodes[n].cfPred, p) !=
+                countIn(g.nodes[p].cfSucc, n))
+            {
+                std::ostringstream os;
+                os << "cf edge from node " << p
+                   << " not mirrored in the source's succs";
+                diag.error("WET010", nodeLoc(n), os.str());
+            }
+        }
+    }
+}
+
+} // namespace
+
+bool
+verifyWet(const core::WetGraph& g, const ModuleAnalysis& ma,
+          DiagEngine& diag, const core::WetCompressed* compressed,
+          const WetVerifierOptions& opt)
+{
+    uint64_t before = diag.errorCount();
+    for (NodeId n = 0; n < g.nodes.size(); ++n)
+        checkNodeStructure(g, ma, n, diag);
+    checkTimestamps(g, compressed, diag, opt);
+    checkEdges(g, compressed, diag);
+    checkControlDeps(g, ma, diag);
+    if (opt.checkValueGroups)
+        checkValueGroups(g, ma.module(), compressed, diag);
+    checkCfAdjacency(g, diag);
+    return diag.errorCount() == before;
+}
+
+} // namespace analysis
+} // namespace wet

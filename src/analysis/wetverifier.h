@@ -1,0 +1,49 @@
+#ifndef WET_ANALYSIS_WETVERIFIER_H
+#define WET_ANALYSIS_WETVERIFIER_H
+
+#include <cstdint>
+
+#include "analysis/diag.h"
+#include "analysis/moduleanalysis.h"
+#include "core/compressed.h"
+#include "core/wetgraph.h"
+
+namespace wet {
+namespace analysis {
+
+/** Cost knobs for the WET graph verifier. */
+struct WetVerifierOptions
+{
+    /** Skip the global timestamp-uniqueness bitmap when the trace is
+     *  longer than this many ticks (the sum check still runs). */
+    uint64_t maxTimestampBitmap = uint64_t{1} << 28;
+    /** Verify value-group structure and patterns (can dominate the
+     *  cost on value-heavy traces). */
+    bool checkValueGroups = true;
+};
+
+/**
+ * Static invariant checks over a built or deserialized WET graph
+ * (rules WET001..WET010): per-node timestamp strict monotonicity and
+ * global timestamp accounting, tier-1 local-edge inferability,
+ * edge-label pool well-formedness and per-use exclusivity, CD edges
+ * cross-checked against independently recomputed control dependence,
+ * value-group structure, node structure against the Ball-Larus path
+ * table, and control-flow adjacency reciprocity.
+ *
+ * Label sequences are taken from the tier-1 vectors when present;
+ * on a deserialized (tier-2-only) graph pass @p compressed so the
+ * verifier can decode them instead. With neither (labels dropped via
+ * dropTier1Labels and no streams), label-content checks are skipped.
+ *
+ * Findings go to @p diag; returns true when no errors were added.
+ */
+bool verifyWet(const core::WetGraph& g, const ModuleAnalysis& ma,
+               DiagEngine& diag,
+               const core::WetCompressed* compressed = nullptr,
+               const WetVerifierOptions& opt = {});
+
+} // namespace analysis
+} // namespace wet
+
+#endif // WET_ANALYSIS_WETVERIFIER_H

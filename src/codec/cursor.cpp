@@ -94,7 +94,7 @@ StreamCursor::stepForward()
     ++machinePos_;
 }
 
-void
+bool
 StreamCursor::stepBackward()
 {
     WET_ASSERT(mode_ == Mode::Bidirectional,
@@ -110,9 +110,8 @@ StreamCursor::stepBackward()
     Entry be = blModel_->create(leaving, ctxRight());
     detail::unreadEntryForward(s_->flags, s_->misses, flagPos_,
                                missPos_, be, idxBits_);
-    WET_ASSERT(s_->flags.get(flagPos_) == be.hit,
-               "backward step diverged from the stored BL entry");
     --machinePos_;
+    return s_->flags.get(flagPos_) == be.hit;
 }
 
 int64_t
@@ -152,7 +151,9 @@ StreamCursor::at(uint64_t q)
         // fall through to the forward loop below
     } else if (costBwd <= costCkpt) {
         while (machinePos_ > q)
-            stepBackward();
+            WET_ASSERT(stepBackward(),
+                       "backward step diverged from the stored BL "
+                       "entry");
     } else if (best) {
         initFromCheckpoint(*best);
     } else {
@@ -161,6 +162,23 @@ StreamCursor::at(uint64_t q)
     while (machinePos_ + n_ <= q)
         stepForward();
     return window_[q - machinePos_];
+}
+
+bool
+StreamCursor::tryPrev(int64_t& out)
+{
+    WET_ASSERT(pos_ > 0, "tryPrev at position 0");
+    uint64_t q = pos_ - 1;
+    if (!raw_ && mode_ == Mode::Bidirectional && q < machinePos_ &&
+        q >= sweepStart_)
+    {
+        while (machinePos_ > q)
+            if (!stepBackward())
+                return false;
+    }
+    out = at(q);
+    pos_ = q;
+    return true;
 }
 
 void

@@ -56,6 +56,18 @@ class StreamCursor
         return at(pos_);
     }
 
+    /**
+     * Checked prev(): steps back and writes the value to @p out,
+     * returning false when the backward machine's re-created BL
+     * entry disagrees with the stored entry stream — i.e. the
+     * stream's two redundant sides are inconsistent, which a
+     * well-formed artifact can never produce. Queries treat that
+     * divergence as an internal invariant violation (panic); the
+     * artifact verifier uses this entry point to report it as a
+     * diagnostic instead. The cursor is unusable after a failure.
+     */
+    bool tryPrev(int64_t& out);
+
     bool hasNext() const { return pos_ < s_->length; }
     bool hasPrev() const { return pos_ > 0; }
     uint64_t pos() const { return pos_; }
@@ -72,7 +84,8 @@ class StreamCursor
     void initFront();
     void initFromCheckpoint(const CompressedStream::Checkpoint& cp);
     void stepForward();
-    void stepBackward();
+    /** One machine step back; false on FR/BL divergence. */
+    bool stepBackward();
     const int64_t* ctxLeft();
     const int64_t* ctxRight();
 

@@ -1,7 +1,9 @@
 #include "builder.h"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "analysis/wetverifier.h"
 #include "support/error.h"
 #include "support/hash.h"
 
@@ -467,6 +469,23 @@ WetBuilder::take()
     instanceMap_.clear();
     edgeMap_.clear();
     cfSeen_.clear();
+
+    // Self-check: run the WET graph verifier over the freshly built
+    // graph. On by default in debug builds; WET_SELFCHECK=1 forces it
+    // in release builds. A finding here is a builder bug, so it
+    // panics rather than returning a broken graph.
+#ifndef NDEBUG
+    bool selfCheck = true;
+#else
+    bool selfCheck = std::getenv("WET_SELFCHECK") != nullptr;
+#endif
+    if (selfCheck) {
+        analysis::DiagEngine diag;
+        if (!analysis::verifyWet(g_, ma_, diag)) {
+            WET_ASSERT(false, "WET graph self-check failed:\n"
+                                  << diag.renderText());
+        }
+    }
     return std::move(g_);
 }
 

@@ -37,10 +37,13 @@ VarintBuffer::pushSigned(int64_t v)
 uint64_t
 VarintBuffer::readUnsignedAt(size_t& pos) const
 {
-    WET_ASSERT(pos < bytes_.size(), "varint read past end at " << pos);
     uint64_t v = 0;
     int shift = 0;
     for (;;) {
+        // Checked per byte: a truncated buffer whose last byte still
+        // has the continuation bit set must not read past the end.
+        WET_ASSERT(pos < bytes_.size(),
+                   "varint read past end at " << pos);
         uint8_t b = bytes_[pos++];
         v |= static_cast<uint64_t>(b & 0x7f) << shift;
         if (!(b & 0x80))

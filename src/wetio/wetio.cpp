@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
+#include "analysis/artifactverifier.h"
 #include "support/error.h"
 #include "support/hash.h"
 #include "support/varint.h"
@@ -14,6 +16,11 @@ namespace {
 
 constexpr uint32_t kMagic = 0x58544557; // "WETX"
 constexpr uint32_t kVersion = 1;
+
+/** Thrown by the reader after a diagnostic has been reported. */
+struct LoadAbort
+{
+};
 
 /** Varint-based binary writer over a growable byte buffer. */
 class Writer
@@ -46,36 +53,70 @@ class Writer
     support::VarintBuffer buf_;
 };
 
-/** Matching reader. */
+/**
+ * Matching reader. Every read is bounds-checked; on corruption it
+ * reports a diagnostic (IO004 truncation, IO005 malformed encoding)
+ * and throws LoadAbort instead of invoking undefined behavior.
+ */
 class Reader
 {
   public:
-    explicit Reader(std::vector<uint8_t> bytes)
-        : buf_(support::VarintBuffer::fromBytes(std::move(bytes)))
+    Reader(std::vector<uint8_t> bytes, analysis::DiagEngine& diag,
+           const std::string& path)
+        : bytes_(std::move(bytes)), diag_(&diag), path_(&path)
     {
     }
 
     uint64_t
     u()
     {
-        if (pos_ >= buf_.sizeBytes())
-            WET_FATAL("truncated WETX file");
-        return buf_.readUnsignedAt(pos_);
+        uint64_t v = 0;
+        int shift = 0;
+        for (;;) {
+            if (pos_ >= bytes_.size()) {
+                diag_->error("IO004", *path_,
+                             "file ends inside a value at byte " +
+                                 std::to_string(pos_));
+                throw LoadAbort{};
+            }
+            uint8_t b = bytes_[pos_++];
+            if (shift >= 64 || (shift == 63 && (b & 0x7e))) {
+                diag_->error("IO005", *path_,
+                             "overlong varint at byte " +
+                                 std::to_string(pos_ - 1));
+                throw LoadAbort{};
+            }
+            v |= static_cast<uint64_t>(b & 0x7f) << shift;
+            if (!(b & 0x80))
+                break;
+            shift += 7;
+        }
+        return v;
     }
 
-    int64_t
-    s()
+    int64_t s() { return support::VarintBuffer::zigzagDecode(u()); }
+
+    /** Read a declared element count, rejecting counts that cannot
+     *  fit in the remaining bytes (at least one byte per element). */
+    uint64_t
+    count(const char* what)
     {
-        if (pos_ >= buf_.sizeBytes())
-            WET_FATAL("truncated WETX file");
-        return buf_.readSignedAt(pos_);
+        uint64_t n = u();
+        if (n > remaining()) {
+            std::ostringstream os;
+            os << what << " count " << n << " exceeds the "
+               << remaining() << " remaining bytes";
+            diag_->error("IO005", *path_, os.str());
+            throw LoadAbort{};
+        }
+        return n;
     }
 
     template <typename T>
     std::vector<T>
-    vecU()
+    vecU(const char* what = "vector")
     {
-        uint64_t n = u();
+        uint64_t n = count(what);
         std::vector<T> v;
         v.reserve(n);
         for (uint64_t i = 0; i < n; ++i)
@@ -85,9 +126,9 @@ class Reader
 
     template <typename T>
     std::vector<T>
-    vecS()
+    vecS(const char* what = "vector")
     {
-        uint64_t n = u();
+        uint64_t n = count(what);
         std::vector<T> v;
         v.reserve(n);
         for (uint64_t i = 0; i < n; ++i)
@@ -95,11 +136,14 @@ class Reader
         return v;
     }
 
-    bool atEnd() const { return pos_ == buf_.sizeBytes(); }
+    size_t remaining() const { return bytes_.size() - pos_; }
+    bool atEnd() const { return pos_ == bytes_.size(); }
 
   private:
-    support::VarintBuffer buf_;
+    std::vector<uint8_t> bytes_;
     size_t pos_ = 0;
+    analysis::DiagEngine* diag_;
+    const std::string* path_;
 };
 
 void
@@ -133,18 +177,31 @@ writeTableState(Writer& w, const codec::CompressedStream& s)
 }
 
 std::vector<int64_t>
-readTableState(Reader& r, const codec::CompressedStream& s)
+readTableState(Reader& r, const codec::CompressedStream& s,
+               analysis::DiagEngine& diag, const std::string& loc)
 {
     uint64_t size = r.u();
     uint64_t touched = r.u();
+    // The largest legal state is an FCM table with 24 index bits.
+    if (size > (uint64_t{1} << 24)) {
+        diag.error("IO005", loc,
+                   "table state size " + std::to_string(size) +
+                       " exceeds the largest codec table");
+        throw LoadAbort{};
+    }
     std::vector<int64_t> state(size, 0);
     if ((s.config.method == codec::Method::Fcm ||
          s.config.method == codec::Method::Dfcm)) {
         uint64_t idx = 0;
         for (uint64_t k = 0; k < touched; ++k) {
             idx += r.u();
-            if (idx >= size)
-                WET_FATAL("corrupt table state in WETX file");
+            if (idx >= size) {
+                diag.error("IO005", loc,
+                           "table state touches slot " +
+                               std::to_string(idx) + " of " +
+                               std::to_string(size));
+                throw LoadAbort{};
+            }
             state[idx] = r.s();
         }
     } else {
@@ -186,7 +243,8 @@ writeStream(Writer& w, const codec::CompressedStream& s)
 }
 
 codec::CompressedStream
-readStream(Reader& r)
+readStream(Reader& r, analysis::DiagEngine& diag,
+           const std::string& loc)
 {
     codec::CompressedStream s;
     s.config.method = static_cast<codec::Method>(r.u());
@@ -194,29 +252,39 @@ readStream(Reader& r)
     s.config.tableBits = static_cast<unsigned>(r.u());
     s.length = r.u();
     s.windowSize = static_cast<unsigned>(r.u());
-    s.window0 = r.vecS<int64_t>();
+    s.window0 = r.vecS<int64_t>("stream window");
     uint64_t nbits = r.u();
-    s.flags = support::BitStack::fromWords(r.vecU<uint64_t>(),
-                                           nbits);
-    uint64_t nbytes = r.u();
+    std::vector<uint64_t> words = r.vecU<uint64_t>("flag words");
+    if (nbits > words.size() * 64) {
+        diag.error("IO005", loc,
+                   "flag bit count " + std::to_string(nbits) +
+                       " exceeds its storage");
+        throw LoadAbort{};
+    }
+    s.flags = support::BitStack::fromWords(std::move(words), nbits);
+    uint64_t nbytes = r.count("miss bytes");
     std::vector<uint8_t> missBytes;
     missBytes.reserve(nbytes);
     for (uint64_t i = 0; i < nbytes; ++i)
         missBytes.push_back(static_cast<uint8_t>(r.u()));
     s.misses = support::VarintBuffer::fromBytes(std::move(missBytes));
-    s.tableState0 = readTableState(r, s);
+    s.tableState0 = readTableState(r, s, diag, loc);
     s.storedState0Bytes = r.u();
-    uint64_t ncp = r.u();
+    uint64_t ncp = r.count("checkpoint");
     for (uint64_t i = 0; i < ncp; ++i) {
         codec::CompressedStream::Checkpoint cp;
         cp.machinePos = r.u();
         cp.flagPos = r.u();
         cp.missPos = r.u();
-        cp.window = r.vecS<int64_t>();
-        cp.tableState = readTableState(r, s);
+        cp.window = r.vecS<int64_t>("checkpoint window");
+        cp.tableState = readTableState(r, s, diag, loc);
         cp.storedStateBytes = r.u();
         s.checkpoints.push_back(std::move(cp));
     }
+    // Reject streams whose entry accounting does not add up before
+    // anything downstream tries to decode them.
+    if (!analysis::verifyStreamStructure(s, loc, diag))
+        throw LoadAbort{};
     return s;
 }
 
@@ -312,32 +380,118 @@ save(const std::string& path, const ir::Module& mod,
         WET_FATAL("write to '" << path << "' failed");
 }
 
-LoadedWet
-load(const std::string& path, const ir::Module& mod)
+namespace {
+
+/**
+ * Index-range validation of a freshly parsed graph (rule IO005): the
+ * verifiers and the tier-2 query classes index nodes, statement
+ * positions, and the label pool without further checks, so nothing
+ * out of range may survive loading.
+ */
+bool
+validateGraphIndexes(const core::WetGraph& g,
+                     analysis::DiagEngine& diag,
+                     const std::string& path)
 {
+    uint64_t before = diag.errorCount();
+    for (core::NodeId n = 0; n < g.nodes.size(); ++n) {
+        const core::WetNode& node = g.nodes[n];
+        std::string loc =
+            path + ": node " + std::to_string(n);
+        if (node.blockFirstStmt.size() != node.blocks.size() ||
+            node.stmtGroup.size() != node.stmts.size() ||
+            node.stmtMember.size() != node.stmts.size())
+        {
+            diag.error("IO005", loc,
+                       "node vector lengths inconsistent");
+            continue;
+        }
+        for (uint32_t off : node.blockFirstStmt) {
+            if (off > node.stmts.size()) {
+                diag.error("IO005", loc,
+                           "block start offset out of range");
+                break;
+            }
+        }
+        bool ok = true;
+        for (const core::ValueGroup& grp : node.groups) {
+            for (uint32_t m : grp.members)
+                ok &= m < node.stmts.size();
+        }
+        for (uint32_t gi : node.stmtGroup)
+            ok &= gi == core::kNoIndex || gi < node.groups.size();
+        if (!ok)
+            diag.error("IO005", loc,
+                       "value group indexes out of range");
+        for (core::NodeId s : node.cfSucc)
+            ok &= s < g.nodes.size();
+        for (core::NodeId p : node.cfPred)
+            ok &= p < g.nodes.size();
+        if (!ok)
+            diag.error("IO005", loc, "node indexes out of range");
+    }
+    for (uint32_t e = 0; e < g.edges.size(); ++e) {
+        const core::WetEdge& ed = g.edges[e];
+        bool ok = ed.defNode < g.nodes.size() &&
+                  ed.useNode < g.nodes.size();
+        if (ok)
+            ok = ed.defStmtPos <
+                     g.nodes[ed.defNode].stmts.size() &&
+                 ed.useStmtPos < g.nodes[ed.useNode].stmts.size();
+        ok &= ed.labelPool == core::kNoIndex ||
+              ed.labelPool < g.labelPool.size();
+        if (!ok)
+            diag.error("IO005",
+                       path + ": edge " + std::to_string(e),
+                       "edge indexes out of range");
+    }
+    return diag.errorCount() == before;
+}
+
+} // namespace
+
+LoadedWet
+tryLoad(const std::string& path, const ir::Module& mod,
+        analysis::DiagEngine& diag)
+try {
     std::ifstream in(path, std::ios::binary);
-    if (!in)
-        WET_FATAL("cannot open '" << path << "'");
+    if (!in) {
+        diag.error("IO001", path, "cannot open file");
+        return {};
+    }
     std::vector<uint8_t> bytes(
         (std::istreambuf_iterator<char>(in)),
         std::istreambuf_iterator<char>());
-    Reader r(std::move(bytes));
+    Reader r(std::move(bytes), diag, path);
 
-    if (r.u() != kMagic)
-        WET_FATAL("'" << path << "' is not a WETX file");
-    if (r.u() != kVersion)
-        WET_FATAL("'" << path << "' has an unsupported version");
-    if (r.u() != moduleFingerprint(mod))
-        WET_FATAL("'" << path
-                  << "' was built from a different program");
+    if (r.u() != kMagic) {
+        diag.error("IO001", path, "bad magic number");
+        return {};
+    }
+    uint64_t version = r.u();
+    if (version != kVersion) {
+        diag.error("IO002", path,
+                   "file version " + std::to_string(version) +
+                       ", this build reads version " +
+                       std::to_string(kVersion));
+        return {};
+    }
+    if (r.u() != moduleFingerprint(mod)) {
+        diag.error("IO003", path,
+                   "module fingerprint mismatch; the file was "
+                   "built from a different program");
+        return {};
+    }
 
     LoadedWet out;
     out.graph = std::make_unique<core::WetGraph>();
     core::WetGraph& g = *out.graph;
 
-    uint64_t numNodes = r.u();
-    g.nodes.resize(numNodes);
-    for (auto& node : g.nodes) {
+    uint64_t numNodes = r.count("node");
+    g.nodes.reserve(numNodes);
+    for (uint64_t i = 0; i < numNodes; ++i) {
+        g.nodes.emplace_back();
+        auto& node = g.nodes.back();
         node.func = static_cast<ir::FuncId>(r.u());
         node.pathId = r.u();
         node.partial = r.u() != 0;
@@ -347,17 +501,17 @@ load(const std::string& path, const ir::Module& mod)
         node.blockFirstStmt = r.vecU<uint32_t>();
         node.stmtGroup = r.vecU<uint32_t>();
         node.stmtMember = r.vecU<uint32_t>();
-        uint64_t ngroups = r.u();
+        uint64_t ngroups = r.count("value group");
         node.groups.resize(ngroups);
         for (auto& grp : node.groups) {
-            grp.members = r.vecU<uint32_t>();
-            grp.inputs = r.vecU<uint32_t>();
+            grp.members = r.vecU<uint32_t>("group members");
+            grp.inputs = r.vecU<uint32_t>("group inputs");
             grp.uvals.resize(grp.members.size());
         }
         node.cfSucc = r.vecU<core::NodeId>();
         node.cfPred = r.vecU<core::NodeId>();
     }
-    uint64_t numEdges = r.u();
+    uint64_t numEdges = r.count("edge");
     g.edges.resize(numEdges);
     for (auto& e : g.edges) {
         e.defNode = static_cast<core::NodeId>(r.u());
@@ -371,7 +525,7 @@ load(const std::string& path, const ir::Module& mod)
                           ? core::kNoIndex
                           : static_cast<uint32_t>(pool - 1);
     }
-    uint64_t numPool = r.u();
+    uint64_t numPool = r.count("label pool");
     g.labelPool.resize(numPool); // empty sequences; tier-2 only
     g.lastTimestamp = r.u();
     g.stmtInstancesTotal = r.u();
@@ -379,6 +533,9 @@ load(const std::string& path, const ir::Module& mod)
     g.depInstancesTotal = r.u();
     g.cdInstancesTotal = r.u();
     g.droppedDeps = r.u();
+
+    if (!validateGraphIndexes(g, diag, path))
+        return {};
 
     // Rebuild lookup indexes.
     for (uint32_t e = 0; e < g.edges.size(); ++e) {
@@ -400,26 +557,57 @@ load(const std::string& path, const ir::Module& mod)
     std::vector<core::CompressedNode> nodes(g.nodes.size());
     for (core::NodeId n = 0; n < g.nodes.size(); ++n) {
         core::CompressedNode& cn = nodes[n];
-        cn.ts = readStream(r);
+        std::string base = path + ": node " + std::to_string(n);
+        cn.ts = readStream(r, diag, base + " ts");
         cn.patterns.reserve(g.nodes[n].groups.size());
         cn.uvals.resize(g.nodes[n].groups.size());
         for (size_t gi = 0; gi < g.nodes[n].groups.size(); ++gi)
-            cn.patterns.push_back(readStream(r));
+            cn.patterns.push_back(readStream(
+                r, diag,
+                base + " group " + std::to_string(gi) +
+                    " pattern"));
         for (size_t gi = 0; gi < g.nodes[n].groups.size(); ++gi) {
             size_t members = g.nodes[n].groups[gi].members.size();
             for (size_t mi = 0; mi < members; ++mi)
-                cn.uvals[gi].push_back(readStream(r));
+                cn.uvals[gi].push_back(readStream(
+                    r, diag,
+                    base + " group " + std::to_string(gi) +
+                        " member " + std::to_string(mi)));
         }
     }
     std::vector<core::CompressedPoolEntry> pool(numPool);
-    for (auto& pe : pool) {
-        pe.useInst = readStream(r);
-        pe.defInst = readStream(r);
+    for (uint64_t p = 0; p < numPool; ++p) {
+        std::string base = path + ": pool " + std::to_string(p);
+        pool[p].useInst = readStream(r, diag, base + " useInst");
+        pool[p].defInst = readStream(r, diag, base + " defInst");
     }
-    if (!r.atEnd())
-        WET_FATAL("'" << path << "' has trailing bytes");
+    if (!r.atEnd()) {
+        diag.error("IO006", path,
+                   std::to_string(r.remaining()) +
+                       " trailing bytes after the last stream");
+        return {};
+    }
     out.compressed = std::make_unique<core::WetCompressed>(
         g, std::move(nodes), std::move(pool));
+    return out;
+} catch (const LoadAbort&) {
+    return {};
+}
+
+LoadedWet
+load(const std::string& path, const ir::Module& mod)
+{
+    analysis::DiagEngine diag;
+    LoadedWet out = tryLoad(path, mod, diag);
+    if (!out.graph || !out.compressed) {
+        std::string detail = "malformed WETX file";
+        if (!diag.diagnostics().empty()) {
+            const analysis::Diagnostic& d =
+                diag.diagnostics().front();
+            detail = d.rule + ": " + d.message;
+        }
+        WET_FATAL("cannot load '" << path << "': " << detail);
+    }
     return out;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "analysis/diag.h"
 #include "core/compressed.h"
 #include "core/wetgraph.h"
 #include "ir/module.h"
@@ -44,6 +45,18 @@ void save(const std::string& path, const ir::Module& mod,
  * malformed file.
  */
 LoadedWet load(const std::string& path, const ir::Module& mod);
+
+/**
+ * Diagnostic-reporting variant of load(): never throws on a bad
+ * file. Every byte read is bounds-checked, headers and graph indexes
+ * are validated (rules IO001..IO006), and each compressed stream's
+ * structure is verified (ART003/ART004) before it is accepted, so a
+ * corrupted file yields diagnostics rather than undefined behavior
+ * in later decoding. On failure both pointers of the result are
+ * null and @p diag holds at least one error.
+ */
+LoadedWet tryLoad(const std::string& path, const ir::Module& mod,
+                  analysis::DiagEngine& diag);
 
 } // namespace wetio
 } // namespace wet

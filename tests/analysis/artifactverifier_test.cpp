@@ -1,0 +1,106 @@
+#include "analysis/artifactverifier.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "codec/encoder.h"
+
+namespace wet {
+namespace analysis {
+namespace {
+
+std::vector<int64_t>
+rampWithNoise(size_t n)
+{
+    std::vector<int64_t> v;
+    v.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        v.push_back(static_cast<int64_t>(i * 3 + (i % 7 == 0)));
+    return v;
+}
+
+TEST(ArtifactVerifierTest, CleanStreamsPassAllCodecs)
+{
+    std::vector<int64_t> vals = rampWithNoise(200);
+    for (const codec::CodecConfig& cfg : codec::candidateConfigs()) {
+        codec::CompressedStream s = codec::encodeStream(vals, cfg);
+        DiagEngine diag;
+        EXPECT_TRUE(verifyStream(s, "test stream", diag, &vals))
+            << methodName(cfg.method, cfg.context) << "\n"
+            << diag.renderText();
+    }
+}
+
+TEST(ArtifactVerifierTest, TruncatedMissBufferFiresART003)
+{
+    std::vector<int64_t> vals = rampWithNoise(200);
+    codec::CodecConfig cfg{codec::Method::Dfcm, 2, 8};
+    codec::CompressedStream s = codec::encodeStream(vals, cfg);
+    ASSERT_FALSE(s.misses.empty());
+    std::vector<uint8_t> bytes = s.misses.bytes();
+    bytes.pop_back();
+    s.misses = support::VarintBuffer::fromBytes(std::move(bytes));
+    DiagEngine diag;
+    EXPECT_FALSE(verifyStream(s, "test stream", diag, &vals));
+    EXPECT_TRUE(diag.hasRule("ART003")) << diag.renderText();
+}
+
+TEST(ArtifactVerifierTest, BitFlippedMissVarintFiresART002)
+{
+    std::vector<int64_t> vals = rampWithNoise(200);
+    codec::CodecConfig cfg{codec::Method::Fcm, 2, 8};
+    codec::CompressedStream s = codec::encodeStream(vals, cfg);
+    ASSERT_FALSE(s.misses.empty());
+    // Flipping a low bit keeps the varint boundaries (the
+    // continuation bit is untouched) but changes a stored victim
+    // value, so the decode no longer matches the tier-1 labels.
+    std::vector<uint8_t> bytes = s.misses.bytes();
+    bytes[bytes.size() / 2] ^= 0x01;
+    s.misses = support::VarintBuffer::fromBytes(std::move(bytes));
+    DiagEngine diag;
+    EXPECT_FALSE(verifyStream(s, "test stream", diag, &vals));
+    EXPECT_TRUE(diag.hasRule("ART002") || diag.hasRule("ART001"))
+        << diag.renderText();
+}
+
+TEST(ArtifactVerifierTest, CorruptCheckpointFiresART004)
+{
+    std::vector<int64_t> vals = rampWithNoise(400);
+    codec::CodecConfig cfg{codec::Method::Fcm, 2, 8};
+    codec::CompressedStream s = codec::encodeStream(vals, cfg, 64);
+    ASSERT_FALSE(s.checkpoints.empty());
+    s.checkpoints[0].window[0] ^= 0x7f;
+    DiagEngine diag;
+    EXPECT_FALSE(verifyStream(s, "test stream", diag, &vals));
+    EXPECT_TRUE(diag.hasRule("ART004")) << diag.renderText();
+}
+
+TEST(ArtifactVerifierTest, RawStreamWithTrailingBytesFiresART003)
+{
+    std::vector<int64_t> vals = {1, 2, 3};
+    codec::CompressedStream s =
+        codec::encodeStream(vals, {codec::Method::Raw, 0, 0});
+    ASSERT_EQ(s.config.method, codec::Method::Raw);
+    std::vector<uint8_t> bytes = s.misses.bytes();
+    bytes.push_back(0x00); // one extra varint beyond `length`
+    s.misses = support::VarintBuffer::fromBytes(std::move(bytes));
+    DiagEngine diag;
+    EXPECT_FALSE(verifyStreamStructure(s, "test stream", diag));
+    EXPECT_TRUE(diag.hasRule("ART003")) << diag.renderText();
+}
+
+TEST(ArtifactVerifierTest, BadModelParametersFireART003)
+{
+    std::vector<int64_t> vals = rampWithNoise(100);
+    codec::CompressedStream s = codec::encodeStream(
+        vals, {codec::Method::Fcm, 2, 8});
+    s.config.tableBits = 60; // far outside the model's legal range
+    DiagEngine diag;
+    EXPECT_FALSE(verifyStreamStructure(s, "test stream", diag));
+    EXPECT_TRUE(diag.hasRule("ART003")) << diag.renderText();
+}
+
+} // namespace
+} // namespace analysis
+} // namespace wet

@@ -1,0 +1,119 @@
+#include "analysis/diag.h"
+
+#include <gtest/gtest.h>
+
+namespace wet {
+namespace analysis {
+namespace {
+
+TEST(DiagTest, CountersAndAccessors)
+{
+    DiagEngine d;
+    EXPECT_FALSE(d.hasErrors());
+    d.error("IR001", "fn 0 block 1", "r3 used before def");
+    d.warning("WET006", "pool 2", "pool entry never referenced");
+    d.note("IR006", "fn 1", "path table truncated check");
+    EXPECT_TRUE(d.hasErrors());
+    EXPECT_EQ(d.errorCount(), 1u);
+    EXPECT_EQ(d.warningCount(), 1u);
+    EXPECT_EQ(d.noteCount(), 1u);
+    ASSERT_EQ(d.diagnostics().size(), 3u);
+    EXPECT_EQ(d.diagnostics()[0].rule, "IR001");
+    EXPECT_EQ(d.diagnostics()[0].severity, Severity::Error);
+    EXPECT_EQ(d.diagnostics()[1].location, "pool 2");
+}
+
+TEST(DiagTest, HasRuleAndFiredRules)
+{
+    DiagEngine d;
+    d.error("WET001", "node 3", "a");
+    d.error("WET001", "node 4", "b");
+    d.error("ART003", "node 4 ts", "c");
+    EXPECT_TRUE(d.hasRule("WET001"));
+    EXPECT_TRUE(d.hasRule("ART003"));
+    EXPECT_FALSE(d.hasRule("WET002"));
+    std::vector<std::string> fired = d.firedRules();
+    ASSERT_EQ(fired.size(), 2u);
+    // Distinct ids, each reported once.
+    EXPECT_NE(fired[0], fired[1]);
+}
+
+TEST(DiagTest, LimitBoundsStorageNotCounters)
+{
+    DiagEngine d;
+    d.setLimit(4);
+    for (int i = 0; i < 100; ++i)
+        d.error("WET005", "edge", "overflow test");
+    EXPECT_EQ(d.diagnostics().size(), 4u);
+    EXPECT_EQ(d.errorCount(), 100u);
+    EXPECT_TRUE(d.hasErrors());
+}
+
+TEST(DiagTest, RenderTextFormat)
+{
+    DiagEngine d;
+    d.error("IO004", "byte 17", "file ends inside a value");
+    std::string text = d.renderText();
+    EXPECT_NE(text.find("IO004 error: [byte 17] "
+                        "file ends inside a value"),
+              std::string::npos);
+    EXPECT_NE(text.find("1 error"), std::string::npos);
+}
+
+// Golden layout of the JSON rendering: tooling and the wet_cli
+// --json golden test depend on this exact shape.
+TEST(DiagTest, RenderJsonGolden)
+{
+    DiagEngine d;
+    d.error("IO003", "header", "fingerprint mismatch");
+    d.warning("WET006", "pool 0", "unreferenced \"pool\"");
+    const char* expect =
+        "{\n"
+        "  \"diagnostics\": [\n"
+        "    {\"rule\": \"IO003\", \"severity\": \"error\", "
+        "\"location\": \"header\", "
+        "\"message\": \"fingerprint mismatch\"},\n"
+        "    {\"rule\": \"WET006\", \"severity\": \"warning\", "
+        "\"location\": \"pool 0\", "
+        "\"message\": \"unreferenced \\\"pool\\\"\"}\n"
+        "  ],\n"
+        "  \"errors\": 1,\n"
+        "  \"warnings\": 1,\n"
+        "  \"notes\": 0\n"
+        "}\n";
+    EXPECT_EQ(d.renderJson(), expect);
+}
+
+TEST(DiagTest, RenderJsonEmpty)
+{
+    DiagEngine d;
+    const char* expect = "{\n"
+                         "  \"diagnostics\": [],\n"
+                         "  \"errors\": 0,\n"
+                         "  \"warnings\": 0,\n"
+                         "  \"notes\": 0\n"
+                         "}\n";
+    EXPECT_EQ(d.renderJson(), expect);
+}
+
+TEST(DiagTest, RuleCatalog)
+{
+    // Every rule id the verifiers can fire has a catalog entry.
+    const char* ids[] = {"IR001",  "IR002",  "IR003",  "IR004",
+                         "IR005",  "IR006",  "IR007",  "WET001",
+                         "WET002", "WET003", "WET004", "WET005",
+                         "WET006", "WET007", "WET008", "WET009",
+                         "WET010", "ART001", "ART002", "ART003",
+                         "ART004", "ART005", "IO001",  "IO002",
+                         "IO003",  "IO004",  "IO005",  "IO006"};
+    for (const char* id : ids)
+        EXPECT_NE(ruleDescription(id), nullptr) << id;
+    EXPECT_EQ(ruleDescription("XX999"), nullptr);
+    EXPECT_STREQ(severityName(Severity::Error), "error");
+    EXPECT_STREQ(severityName(Severity::Warning), "warning");
+    EXPECT_STREQ(severityName(Severity::Note), "note");
+}
+
+} // namespace
+} // namespace analysis
+} // namespace wet

@@ -67,7 +67,7 @@ TEST(SelectorTest, CompressesBelowRawForTypicalProfiles)
 TEST(SelectorTest, EstimateIsReasonablyAccurate)
 {
     std::vector<int64_t> v;
-    for (int i = 0; i < 50000; ++i)
+    for (int64_t i = 0; i < 50000; ++i)
         v.push_back((i * i) % 977);
     for (const auto& cfg : candidateConfigs()) {
         uint64_t est = estimateBytes(v, cfg, 4096);

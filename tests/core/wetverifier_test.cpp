@@ -1,0 +1,229 @@
+#include "analysis/wetverifier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/compressed.h"
+#include "testutil.h"
+
+namespace wet {
+namespace core {
+namespace {
+
+const char* kProgram = R"(
+    fn scale(x) { return x * 3 + 1; }
+    fn main() {
+        var s = 0;
+        for (var i = 0; i < 24; i = i + 1) {
+            var t = in();
+            if (t % 2 == 0) { mem[i % 4] = scale(t); }
+            s = s + mem[i % 4];
+        }
+        out(s);
+    }
+)";
+
+std::vector<int64_t>
+inputs24()
+{
+    std::vector<int64_t> v;
+    for (int i = 0; i < 24; ++i)
+        v.push_back((i * 7 + 3) % 13);
+    return v;
+}
+
+class WetVerifierTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        p_ = test::runPipeline(kProgram, inputs24());
+        g_ = p_->graph; // mutable copy per test
+    }
+
+    /** Runs the verifier on the (possibly mutated) copy. */
+    bool
+    verify()
+    {
+        return analysis::verifyWet(g_, *p_->ma, diag_);
+    }
+
+    std::unique_ptr<test::Pipeline> p_;
+    WetGraph g_;
+    analysis::DiagEngine diag_;
+};
+
+TEST_F(WetVerifierTest, CleanGraphPasses)
+{
+    EXPECT_TRUE(verify()) << diag_.renderText();
+    EXPECT_EQ(diag_.errorCount(), 0u);
+}
+
+TEST_F(WetVerifierTest, CleanGraphPassesWithArtifact)
+{
+    WetCompressed wc(g_);
+    analysis::DiagEngine diag;
+    EXPECT_TRUE(analysis::verifyWet(g_, *p_->ma, diag, &wc))
+        << diag.renderText();
+}
+
+TEST_F(WetVerifierTest, SwappedTimestampsFireWET001)
+{
+    for (auto& node : g_.nodes) {
+        if (node.ts.size() >= 2) {
+            std::swap(node.ts[0], node.ts[1]);
+            break;
+        }
+    }
+    EXPECT_FALSE(verify());
+    EXPECT_TRUE(diag_.hasRule("WET001")) << diag_.renderText();
+}
+
+TEST_F(WetVerifierTest, DroppedTimestampFiresWET002)
+{
+    bool mutated = false;
+    for (auto& node : g_.nodes) {
+        if (node.ts.size() >= 2) {
+            node.ts.pop_back();
+            mutated = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(mutated);
+    EXPECT_FALSE(verify());
+    EXPECT_TRUE(diag_.hasRule("WET002")) << diag_.renderText();
+}
+
+TEST_F(WetVerifierTest, BrokenGlobalAccountingFiresWET003)
+{
+    g_.lastTimestamp += 1;
+    EXPECT_FALSE(verify());
+    EXPECT_TRUE(diag_.hasRule("WET003")) << diag_.renderText();
+}
+
+TEST_F(WetVerifierTest, ReversedLocalEdgeFiresWET004)
+{
+    bool mutated = false;
+    for (auto& e : g_.edges) {
+        if (e.local && e.slot != kCdSlot) {
+            e.defStmtPos = e.useStmtPos; // def no longer precedes
+            mutated = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(mutated) << "program produced no tier-1 local edge";
+    EXPECT_FALSE(verify());
+    EXPECT_TRUE(diag_.hasRule("WET004")) << diag_.renderText();
+}
+
+TEST_F(WetVerifierTest, DanglingPoolReferenceFiresWET005)
+{
+    bool mutated = false;
+    for (auto& e : g_.edges) {
+        if (!e.local && e.labelPool != kNoIndex) {
+            e.labelPool = kNoIndex;
+            mutated = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(mutated) << "program produced no pooled edge";
+    EXPECT_FALSE(verify());
+    EXPECT_TRUE(diag_.hasRule("WET005")) << diag_.renderText();
+}
+
+TEST_F(WetVerifierTest, UnbalancedPoolEntryFiresWET006)
+{
+    bool mutated = false;
+    for (auto& pool : g_.labelPool) {
+        if (!pool.defInst.empty()) {
+            // Grow rather than shrink: a popped single-entry pool
+            // would become empty and fall outside verification.
+            pool.defInst.push_back(pool.defInst.back());
+            mutated = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(mutated);
+    EXPECT_FALSE(verify());
+    EXPECT_TRUE(diag_.hasRule("WET006")) << diag_.renderText();
+}
+
+TEST_F(WetVerifierTest, MisattachedCdEdgeFiresWET007)
+{
+    // Re-point a CD edge at a statement position that does not open
+    // a block of the use node.
+    bool mutated = false;
+    for (auto& e : g_.edges) {
+        if (e.slot != kCdSlot || mutated)
+            continue;
+        const WetNode& use = g_.nodes[e.useNode];
+        for (uint32_t pos = 0; pos < use.stmts.size(); ++pos) {
+            bool starts = std::find(use.blockFirstStmt.begin(),
+                                    use.blockFirstStmt.end(), pos) !=
+                          use.blockFirstStmt.end();
+            if (!starts) {
+                e.useStmtPos = pos;
+                mutated = true;
+                break;
+            }
+        }
+    }
+    ASSERT_TRUE(mutated) << "no CD edge into a multi-stmt node";
+    EXPECT_FALSE(verify());
+    EXPECT_TRUE(diag_.hasRule("WET007")) << diag_.renderText();
+}
+
+TEST_F(WetVerifierTest, OversizedPatternFiresWET008)
+{
+    bool mutated = false;
+    for (auto& node : g_.nodes) {
+        for (auto& grp : node.groups) {
+            if (!grp.pattern.empty()) {
+                grp.pattern.push_back(0);
+                mutated = true;
+                break;
+            }
+        }
+        if (mutated)
+            break;
+    }
+    ASSERT_TRUE(mutated);
+    EXPECT_FALSE(verify());
+    EXPECT_TRUE(diag_.hasRule("WET008")) << diag_.renderText();
+}
+
+TEST_F(WetVerifierTest, WrongPathBlocksFireWET009)
+{
+    bool mutated = false;
+    for (auto& node : g_.nodes) {
+        if (!node.partial && !node.blocks.empty()) {
+            node.blocks[0] += 1;
+            mutated = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(mutated);
+    EXPECT_FALSE(verify());
+    EXPECT_TRUE(diag_.hasRule("WET009")) << diag_.renderText();
+}
+
+TEST_F(WetVerifierTest, DroppedCfSuccessorFiresWET010)
+{
+    bool mutated = false;
+    for (auto& node : g_.nodes) {
+        if (!node.cfSucc.empty()) {
+            node.cfSucc.pop_back();
+            mutated = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(mutated);
+    EXPECT_FALSE(verify());
+    EXPECT_TRUE(diag_.hasRule("WET010")) << diag_.renderText();
+}
+
+} // namespace
+} // namespace core
+} // namespace wet

@@ -5,6 +5,13 @@
 #include "support/bitstack.h"
 #include "support/varint.h"
 
+// GTEST_FLAG_SET only exists from googletest 1.12; fall back to the
+// classic flag accessor so the suite builds against older installs.
+#ifndef GTEST_FLAG_SET
+#define GTEST_FLAG_SET(name, value)                                         \
+    (void)(::testing::GTEST_FLAG(name) = value)
+#endif
+
 namespace wet {
 namespace {
 

@@ -1,0 +1,31 @@
+# Test driver: trace a sample program, save its WETX artifact, run
+# `wet_cli verify --json` on it, and compare the output byte for byte
+# against the golden clean report.
+#
+# Expects: CLI (wet_cli path), SAMPLE (program source), OUT (scratch
+# .wetx path), GOLDEN (expected JSON file).
+
+execute_process(
+    COMMAND ${CLI} run ${SAMPLE} --save ${OUT}
+    RESULT_VARIABLE run_rc
+    OUTPUT_QUIET)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "wet_cli run ${SAMPLE} failed (${run_rc})")
+endif()
+
+execute_process(
+    COMMAND ${CLI} verify ${SAMPLE} ${OUT} --json
+    RESULT_VARIABLE verify_rc
+    OUTPUT_VARIABLE verify_out)
+if(NOT verify_rc EQUAL 0)
+    message(FATAL_ERROR
+            "wet_cli verify ${SAMPLE} failed (${verify_rc}):\n"
+            "${verify_out}")
+endif()
+
+file(READ ${GOLDEN} golden)
+if(NOT verify_out STREQUAL golden)
+    message(FATAL_ERROR
+            "verify --json output differs from ${GOLDEN}:\n"
+            "${verify_out}")
+endif()

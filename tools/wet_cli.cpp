@@ -10,6 +10,7 @@
  *   wet_cli values prog.wet file.wetx --stmt S [--limit N]
  *   wet_cli slice prog.wet file.wetx --stmt S [--k K] [--max N]
  *   wet_cli dump  prog.wet
+ *   wet_cli verify prog.wet file.wetx [--json]
  *
  * The program source is always required: the WETX file stores the
  * dynamic profile, not the program, and refuses to open against a
@@ -23,7 +24,10 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/artifactverifier.h"
 #include "analysis/moduleanalysis.h"
+#include "analysis/moduleverifier.h"
+#include "analysis/wetverifier.h"
 #include "core/access.h"
 #include "core/builder.h"
 #include "core/cfquery.h"
@@ -55,6 +59,7 @@ struct Args
     uint64_t k = 0;
     uint64_t limit = 20;
     uint64_t maxItems = 100000;
+    bool json = false;
 };
 
 [[noreturn]] void
@@ -62,12 +67,13 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: wet_cli <run|info|cf|values|slice|dump> prog.wet "
-        "[file.wetx] [options]\n"
+        "usage: wet_cli <run|info|cf|values|slice|dump|verify> "
+        "prog.wet [file.wetx] [options]\n"
         "  run    --scale N --seed S --mem W --save out.wetx\n"
         "  cf     --from T --count N\n"
         "  values --stmt S --limit N\n"
-        "  slice  --stmt S --k K --max N\n");
+        "  slice  --stmt S --k K --max N\n"
+        "  verify --json\n");
     std::exit(2);
 }
 
@@ -89,7 +95,8 @@ parse(int argc, char** argv)
     a.program = argv[2];
     int i = 3;
     bool wantsWetx = a.command == "info" || a.command == "cf" ||
-                     a.command == "values" || a.command == "slice";
+                     a.command == "values" || a.command == "slice" ||
+                     a.command == "verify";
     if (wantsWetx) {
         if (argc < 4)
             usage();
@@ -118,6 +125,8 @@ parse(int argc, char** argv)
             a.limit = numArg(argc, argv, i);
         else if (opt == "--max")
             a.maxItems = numArg(argc, argv, i);
+        else if (opt == "--json")
+            a.json = true;
         else
             usage();
     }
@@ -306,6 +315,38 @@ cmdSlice(const Args& a)
 }
 
 int
+cmdVerify(const Args& a)
+{
+    ir::Module mod =
+        lang::compileString(readFile(a.program), a.memWords);
+    analysis::DiagEngine diag;
+
+    // Static IR checks first: the graph verifier cross-checks the
+    // trace against module analyses, which only mean something if
+    // the module itself is sound.
+    analysis::verifyModule(mod, diag);
+    if (!diag.hasErrors()) {
+        wetio::LoadedWet w = wetio::tryLoad(a.wetx, mod, diag);
+        if (w.graph && w.compressed) {
+            analysis::ModuleAnalysis ma(mod);
+            analysis::verifyWet(*w.graph, ma, diag,
+                                w.compressed.get());
+            analysis::verifyArtifact(*w.compressed, diag);
+        }
+    }
+
+    if (a.json) {
+        std::fputs(diag.renderJson().c_str(), stdout);
+    } else {
+        if (!diag.diagnostics().empty() || diag.hasErrors())
+            std::fputs(diag.renderText().c_str(), stdout);
+        if (!diag.hasErrors())
+            std::printf("%s: OK\n", a.wetx.c_str());
+    }
+    return diag.hasErrors() ? 1 : 0;
+}
+
+int
 cmdDump(const Args& a)
 {
     ir::Module mod =
@@ -333,6 +374,8 @@ main(int argc, char** argv)
             return cmdSlice(a);
         if (a.command == "dump")
             return cmdDump(a);
+        if (a.command == "verify")
+            return cmdVerify(a);
         usage();
     } catch (const WetError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
