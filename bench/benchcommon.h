@@ -2,10 +2,12 @@
 #define WET_BENCH_BENCHCOMMON_H
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "support/sizes.h"
 #include "support/table.h"
+#include "support/threadpool.h"
 #include "workloads/runner.h"
 #include "workloads/workloads.h"
 
@@ -35,6 +37,22 @@ effectiveScale(const workloads::Workload& w)
     double s = static_cast<double>(w.defaultScale) *
                scaleMultiplier();
     return s < 1 ? 1 : static_cast<uint64_t>(s);
+}
+
+/**
+ * Worker-thread count for a bench run: `--threads N` on the command
+ * line beats the WET_THREADS environment variable beats serial.
+ */
+inline unsigned
+benchThreads(int argc = 0, char** argv = nullptr)
+{
+    for (int i = 1; argv && i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--threads") == 0) {
+            unsigned long v = std::strtoul(argv[i + 1], nullptr, 10);
+            if (v > 0 && v <= 1024)
+                return static_cast<unsigned>(v);
+        }
+    return support::envThreadCount(1);
 }
 
 /** Millions with two decimals, as the paper prints run lengths. */

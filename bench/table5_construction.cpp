@@ -3,45 +3,99 @@
  * Regenerates paper Table 5: WET construction times on the shorter
  * runs used for all timing experiments (trace + tier-1 build + tier-2
  * stream compression).
+ *
+ * With `--threads N` (or WET_THREADS), the tier-2 compression phase
+ * is additionally measured at N worker threads next to the serial
+ * run, reporting the per-workload speedup; a mismatch between the
+ * two artifacts' sizes (they must be byte-identical) aborts the run.
  */
 
 #include "benchcommon.h"
 #include "core/compressed.h"
+#include "support/error.h"
 #include "support/timer.h"
 
 using namespace wet;
 using namespace wet::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    support::TablePrinter table({"Benchmark", "Stmts Executed (M)",
-                                 "Construction Time (s)",
-                                 "M stmts/s"});
+    const unsigned threads = benchThreads(argc, argv);
+    std::vector<std::string> cols = {"Benchmark",
+                                     "Stmts Executed (M)",
+                                     "Trace+T1 (s)", "Tier-2 (s)",
+                                     "Total (s)", "M stmts/s"};
+    if (threads > 1) {
+        cols.push_back("Tier-2 x" + std::to_string(threads) +
+                       " (s)");
+        cols.push_back("T2 Speedup");
+    }
+    support::TablePrinter table(cols);
     uint64_t sumStmts = 0;
     double sumTime = 0;
+    double sumT2Serial = 0;
+    double sumT2Par = 0;
     for (const auto& w : workloads::allWorkloads()) {
         uint64_t scale = std::max<uint64_t>(1, effectiveScale(w) / 4);
         support::Timer timer;
         auto art = workloads::buildWet(w, scale);
+        double traceSecs = timer.seconds();
+
+        support::Timer t2Timer;
         core::WetCompressed comp(art->graph);
-        double secs = timer.seconds();
-        table.addRow(
-            {w.name, millions(art->run.stmtsExecuted),
-             support::formatFixed(secs, 2),
-             support::formatFixed(
-                 static_cast<double>(art->run.stmtsExecuted) / 1e6 /
-                     secs,
-                 2)});
+        double t2Serial = t2Timer.seconds();
+
+        double t2Par = 0;
+        if (threads > 1) {
+            support::Timer parTimer;
+            core::WetCompressed par(art->graph, {}, threads);
+            t2Par = parTimer.seconds();
+            // The determinism contract, enforced where it is
+            // cheapest to see: a parallel build may never change
+            // the artifact.
+            WET_ASSERT(par.sizes().total() == comp.sizes().total(),
+                       "parallel tier-2 diverged from serial on "
+                           << w.name);
+        }
+
+        double secs = traceSecs + t2Serial;
+        std::vector<std::string> row = {
+            w.name, millions(art->run.stmtsExecuted),
+            support::formatFixed(traceSecs, 2),
+            support::formatFixed(t2Serial, 2),
+            support::formatFixed(secs, 2),
+            support::formatFixed(
+                static_cast<double>(art->run.stmtsExecuted) / 1e6 /
+                    secs,
+                2)};
+        if (threads > 1) {
+            row.push_back(support::formatFixed(t2Par, 2));
+            row.push_back(t2Par > 0
+                              ? support::formatFixed(
+                                    t2Serial / t2Par, 2)
+                              : "-");
+        }
+        table.addRow(row);
         sumStmts += art->run.stmtsExecuted;
         sumTime += secs;
+        sumT2Serial += t2Serial;
+        sumT2Par += t2Par;
     }
     size_t n = workloads::allWorkloads().size();
-    table.addRow({"Avg.", millions(sumStmts / n),
-                  support::formatFixed(sumTime / n, 2),
-                  support::formatFixed(
-                      static_cast<double>(sumStmts) / 1e6 / sumTime,
-                      2)});
+    std::vector<std::string> avg = {
+        "Avg.", millions(sumStmts / n), "-",
+        support::formatFixed(sumT2Serial / n, 2),
+        support::formatFixed(sumTime / n, 2),
+        support::formatFixed(
+            static_cast<double>(sumStmts) / 1e6 / sumTime, 2)};
+    if (threads > 1) {
+        avg.push_back(support::formatFixed(sumT2Par / n, 2));
+        avg.push_back(sumT2Par > 0 ? support::formatFixed(
+                                         sumT2Serial / sumT2Par, 2)
+                                   : "-");
+    }
+    table.addRow(avg);
     table.print("Table 5: WET construction times (shorter runs)");
     return 0;
 }

@@ -1,6 +1,7 @@
 #include "moduleanalysis.h"
 
 #include "support/error.h"
+#include "support/threadpool.h"
 
 namespace wet {
 namespace analysis {
@@ -14,14 +15,25 @@ FunctionAnalysis::FunctionAnalysis(const ir::Function& fn,
 {
 }
 
-ModuleAnalysis::ModuleAnalysis(const ir::Module& m, uint64_t max_paths)
+ModuleAnalysis::ModuleAnalysis(const ir::Module& m, uint64_t max_paths,
+                               unsigned threads)
     : module_(&m)
 {
     WET_ASSERT(m.finalized(), "ModuleAnalysis requires finalized module");
-    fns_.reserve(m.numFunctions());
-    for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
-        fns_.push_back(std::make_unique<FunctionAnalysis>(
-            m.function(f), max_paths));
+    // Function analyses are independent (each reads only its own
+    // ir::Function), so they fan out; slot f is written only by the
+    // task for function f, giving the same vector as a serial loop.
+    fns_.resize(m.numFunctions());
+    auto analyzeOne = [&](size_t f) {
+        fns_[f] = std::make_unique<FunctionAnalysis>(
+            m.function(static_cast<ir::FuncId>(f)), max_paths);
+    };
+    if (threads > 1 && m.numFunctions() > 1) {
+        support::ThreadPool pool(threads);
+        support::parallelFor(&pool, m.numFunctions(), analyzeOne);
+    } else {
+        for (ir::FuncId f = 0; f < m.numFunctions(); ++f)
+            analyzeOne(f);
     }
 }
 

@@ -30,12 +30,18 @@ struct FunctionAnalysis
  * Shared by the tracing interpreter (dynamic control dependence) and
  * the WET builder (path segmentation). The module must outlive this
  * object.
+ *
+ * Each FunctionAnalysis is a pure function of its ir::Function, so
+ * with threads > 1 the per-function analyses run concurrently on a
+ * support::ThreadPool; results land in function-id order and are
+ * identical to a serial build.
  */
 class ModuleAnalysis
 {
   public:
     explicit ModuleAnalysis(const ir::Module& m,
-                            uint64_t max_paths = uint64_t{1} << 24);
+                            uint64_t max_paths = uint64_t{1} << 24,
+                            unsigned threads = 1);
 
     const FunctionAnalysis&
     fn(ir::FuncId f) const

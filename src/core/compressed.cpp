@@ -1,6 +1,9 @@
 #include "compressed.h"
 
+#include <functional>
+
 #include "support/error.h"
+#include "support/threadpool.h"
 
 namespace wet {
 namespace core {
@@ -20,14 +23,35 @@ toI64(const std::vector<T>& v)
 
 } // namespace
 
-codec::CompressedStream
-WetCompressed::compress(const std::vector<int64_t>& v)
+void
+WetCompressed::accumulateStats()
 {
-    codec::SelectionInfo info;
-    codec::CompressedStream s = codec::compressBest(v, opt_, &info);
-    ++methodWins_[codec::methodName(s.config.method,
-                                    s.config.context)];
-    return s;
+    // One deterministic walk in stream order, after all streams are
+    // built: byte counts and codec-win tallies never race with the
+    // parallel construction and are independent of task scheduling.
+    auto tally = [&](const codec::CompressedStream& s) {
+        ++methodWins_[codec::methodName(s.config.method,
+                                        s.config.context)];
+    };
+    for (const auto& cn : nodes_) {
+        sizes_.nodeTs += cn.ts.sizeBytes();
+        tally(cn.ts);
+        for (const auto& p : cn.patterns) {
+            sizes_.nodeVals += p.sizeBytes();
+            tally(p);
+        }
+        for (const auto& gs : cn.uvals)
+            for (const auto& uv : gs) {
+                sizes_.nodeVals += uv.sizeBytes();
+                tally(uv);
+            }
+    }
+    for (const auto& pe : pool_) {
+        sizes_.edgeTs += pe.useInst.sizeBytes() +
+                         pe.defInst.sizeBytes();
+        tally(pe.useInst);
+        tally(pe.defInst);
+    }
 }
 
 WetCompressed::WetCompressed(const WetGraph& g,
@@ -35,53 +59,81 @@ WetCompressed::WetCompressed(const WetGraph& g,
                              std::vector<CompressedPoolEntry> pool)
     : g_(&g), nodes_(std::move(nodes)), pool_(std::move(pool))
 {
-    for (const auto& cn : nodes_) {
-        sizes_.nodeTs += cn.ts.sizeBytes();
-        for (const auto& p : cn.patterns)
-            sizes_.nodeVals += p.sizeBytes();
-        for (const auto& gs : cn.uvals)
-            for (const auto& uv : gs)
-                sizes_.nodeVals += uv.sizeBytes();
-    }
-    for (const auto& pe : pool_)
-        sizes_.edgeTs += pe.useInst.sizeBytes() +
-                         pe.defInst.sizeBytes();
+    accumulateStats();
 }
 
 WetCompressed::WetCompressed(const WetGraph& g,
-                             const codec::SelectorOptions& opt)
+                             const codec::SelectorOptions& opt,
+                             unsigned threads)
     : g_(&g), opt_(opt)
 {
     if (opt_.checkpointInterval == 0)
         opt_.checkpointInterval = 16384;
     else if (opt_.checkpointInterval == UINT64_MAX)
         opt_.checkpointInterval = 0;
+
+    // Phase 1 (serial): size every output container so each stream
+    // has a stable slot before any task runs. Tasks then write
+    // disjoint slots and never reallocate shared storage.
     nodes_.resize(g.nodes.size());
     for (NodeId n = 0; n < g.nodes.size(); ++n) {
         const WetNode& node = g.nodes[n];
+        nodes_[n].patterns.resize(node.groups.size());
+        nodes_[n].uvals.resize(node.groups.size());
+        for (size_t gi = 0; gi < node.groups.size(); ++gi)
+            nodes_[n].uvals[gi].resize(node.groups[gi].uvals.size());
+    }
+    pool_.resize(g.labelPool.size());
+
+    // Phase 2: one task per candidate stream, fanned out over the
+    // pool. Each stream's bytes depend only on its own input values
+    // and opt_, so the join (the slots themselves, visited in order
+    // by accumulateStats and the wetio writer) is deterministic and
+    // the artifact is byte-identical for any thread count.
+    std::vector<std::function<void()>> jobs;
+    for (NodeId n = 0; n < g.nodes.size(); ++n) {
+        const WetNode& node = g.nodes[n];
         CompressedNode& cn = nodes_[n];
-        cn.ts = compress(toI64(node.ts));
-        sizes_.nodeTs += cn.ts.sizeBytes();
-        cn.patterns.reserve(node.groups.size());
-        cn.uvals.resize(node.groups.size());
+        jobs.push_back([this, &node, &cn] {
+            cn.ts = codec::compressBest(toI64(node.ts), opt_);
+        });
         for (size_t gi = 0; gi < node.groups.size(); ++gi) {
             const ValueGroup& grp = node.groups[gi];
-            cn.patterns.push_back(compress(toI64(grp.pattern)));
-            sizes_.nodeVals += cn.patterns.back().sizeBytes();
-            cn.uvals[gi].reserve(grp.uvals.size());
-            for (const auto& uv : grp.uvals) {
-                cn.uvals[gi].push_back(compress(uv));
-                sizes_.nodeVals += cn.uvals[gi].back().sizeBytes();
+            jobs.push_back([this, &grp, &cn, gi] {
+                cn.patterns[gi] =
+                    codec::compressBest(toI64(grp.pattern), opt_);
+            });
+            for (size_t ui = 0; ui < grp.uvals.size(); ++ui) {
+                jobs.push_back([this, &grp, &cn, gi, ui] {
+                    cn.uvals[gi][ui] =
+                        codec::compressBest(grp.uvals[ui], opt_);
+                });
             }
         }
     }
-    pool_.resize(g.labelPool.size());
     for (uint32_t i = 0; i < g.labelPool.size(); ++i) {
-        pool_[i].useInst = compress(toI64(g.labelPool[i].useInst));
-        pool_[i].defInst = compress(toI64(g.labelPool[i].defInst));
-        sizes_.edgeTs += pool_[i].useInst.sizeBytes() +
-                         pool_[i].defInst.sizeBytes();
+        const EdgeLabels& seq = g.labelPool[i];
+        CompressedPoolEntry& pe = pool_[i];
+        jobs.push_back([this, &seq, &pe] {
+            pe.useInst =
+                codec::compressBest(toI64(seq.useInst), opt_);
+        });
+        jobs.push_back([this, &seq, &pe] {
+            pe.defInst =
+                codec::compressBest(toI64(seq.defInst), opt_);
+        });
     }
+
+    if (threads > 1 && jobs.size() > 1) {
+        support::ThreadPool pool(threads);
+        support::parallelFor(&pool, jobs.size(),
+                             [&](size_t i) { jobs[i](); });
+    } else {
+        for (auto& job : jobs)
+            job();
+    }
+
+    accumulateStats();
 }
 
 } // namespace core

@@ -34,6 +34,12 @@ struct CompressedPoolEntry
  * unique values, and edge timestamp pairs (as two streams each) — is
  * compressed with the per-stream best of the bidirectional FCM /
  * DFCM / last-n / last-n-stride codecs.
+ *
+ * Every stream is an independent integer sequence, so construction
+ * is embarrassingly parallel: with threads > 1 the candidate streams
+ * fan out over a support::ThreadPool and results are joined in
+ * deterministic stream order, making the artifact byte-identical to
+ * a serial build (DESIGN.md §8).
  */
 class WetCompressed
 {
@@ -46,9 +52,14 @@ class WetCompressed
      * (16384 values; pass UINT64_MAX to disable checkpoints); the
      * checkpoints bound the cost of random access into the
      * compressed streams during slicing and mid-trace queries.
+     *
+     * @p threads fans per-stream compression out over that many
+     * workers; 1 (the default) runs strictly serially on the
+     * calling thread. The output bytes do not depend on @p threads.
      */
     explicit WetCompressed(const WetGraph& g,
-                           const codec::SelectorOptions& opt = {});
+                           const codec::SelectorOptions& opt = {},
+                           unsigned threads = 1);
 
     /** Deserialization: adopt pre-built streams (see wetio). */
     WetCompressed(const WetGraph& g, std::vector<CompressedNode> nodes,
@@ -70,7 +81,7 @@ class WetCompressed
     }
 
   private:
-    codec::CompressedStream compress(const std::vector<int64_t>& v);
+    void accumulateStats();
 
     const WetGraph* g_;
     codec::SelectorOptions opt_;

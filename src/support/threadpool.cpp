@@ -1,0 +1,188 @@
+#include "threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "support/error.h"
+
+namespace wet {
+namespace support {
+
+ThreadPool::ThreadPool(unsigned threads, size_t queue_capacity)
+    : threads_(threads == 0 ? 1u : threads),
+      capacity_(queue_capacity == 0 ? 1u : queue_capacity)
+{
+    if (threads_ <= 1)
+        return;
+    workers_.reserve(threads_);
+    for (unsigned i = 0; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void
+ThreadPool::recordError()
+{
+    // Caller holds m_ (serial path) or must lock: workers lock here.
+    if (!firstError_)
+        firstError_ = std::current_exception();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    WET_ASSERT(task, "ThreadPool::submit requires a callable task");
+    if (threads_ <= 1) {
+        std::unique_lock<std::mutex> lk(m_);
+        if (stopped_)
+            WET_FATAL("task submitted after ThreadPool shutdown");
+        lk.unlock();
+        // Inline execution, same contract as the parallel path: the
+        // exception surfaces at wait(), not at submit().
+        try {
+            task();
+        } catch (...) {
+            lk.lock();
+            recordError();
+        }
+        return;
+    }
+    std::unique_lock<std::mutex> lk(m_);
+    if (stopped_)
+        WET_FATAL("task submitted after ThreadPool shutdown");
+    cvSpace_.wait(lk, [&] {
+        return queue_.size() < capacity_ || stopped_;
+    });
+    if (stopped_)
+        WET_FATAL("task submitted after ThreadPool shutdown");
+    queue_.push_back(std::move(task));
+    cvWorker_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(m_);
+    cvIdle_.wait(lk, [&] { return queue_.empty() && active_ == 0; });
+    std::exception_ptr e = firstError_;
+    firstError_ = nullptr;
+    lk.unlock();
+    if (e)
+        std::rethrow_exception(e);
+}
+
+void
+ThreadPool::shutdown()
+{
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+        stopping_ = true;
+    }
+    cvWorker_.notify_all();
+    cvSpace_.notify_all();
+    for (auto& w : workers_)
+        w.join();
+    workers_.clear();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            cvWorker_.wait(lk, [&] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        cvSpace_.notify_one();
+        try {
+            task();
+        } catch (...) {
+            std::unique_lock<std::mutex> lk(m_);
+            recordError();
+        }
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            --active_;
+            if (queue_.empty() && active_ == 0)
+                cvIdle_.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(ThreadPool* pool, size_t n,
+            const std::function<void(size_t)>& fn)
+{
+    if (!pool || pool->threads() <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    // Index-at-a-time work stealing: each chunk worker pulls the
+    // next unclaimed index. Determinism is the caller's slot-per-
+    // index discipline, not scheduling order. On the first failure
+    // every chunk stops claiming new indices; the exception itself
+    // travels through the pool's capture and out of wait().
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    auto chunk = [&] {
+        size_t i;
+        while (!failed.load(std::memory_order_relaxed) &&
+               (i = next.fetch_add(1)) < n)
+        {
+            try {
+                fn(i);
+            } catch (...) {
+                failed.store(true, std::memory_order_relaxed);
+                throw; // pool records it; wait() rethrows
+            }
+        }
+    };
+    const unsigned tasks =
+        static_cast<unsigned>(std::min<size_t>(n, pool->threads()));
+    unsigned submitted = 0;
+    try {
+        for (; submitted < tasks; ++submitted)
+            pool->submit(chunk);
+    } catch (...) {
+        // Chunks already queued capture this frame's locals: they
+        // must finish before the frame unwinds.
+        failed.store(true, std::memory_order_relaxed);
+        if (submitted > 0) {
+            try {
+                pool->wait();
+            } catch (...) {
+            }
+        }
+        throw;
+    }
+    pool->wait();
+}
+
+unsigned
+envThreadCount(unsigned fallback)
+{
+    const char* env = std::getenv("WET_THREADS");
+    if (!env)
+        return fallback;
+    unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v == 0 || v > 1024)
+        return fallback;
+    return static_cast<unsigned>(v);
+}
+
+} // namespace support
+} // namespace wet

@@ -1,0 +1,113 @@
+#ifndef WET_SUPPORT_THREADPOOL_H
+#define WET_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wet {
+namespace support {
+
+/**
+ * Fixed-size worker pool with a bounded task queue.
+ *
+ * The pool exists to fan out *independent, deterministic* work —
+ * tier-2 stream compression and per-function module analyses — so its
+ * contract is deliberately small (see DESIGN.md §8):
+ *
+ *  - `threads <= 1` degrades to serial: no worker threads are
+ *    started and submit() runs the task inline, so single-threaded
+ *    callers pay no synchronization and follow the same code path
+ *    that the parallel build takes.
+ *  - The queue is bounded; submit() blocks when it is full
+ *    (backpressure instead of unbounded task memory).
+ *  - A task that throws does not kill the pool: the first exception
+ *    is captured and rethrown by the next wait(); later tasks still
+ *    run and the pool stays usable afterwards.
+ *  - submit() after shutdown() throws WetError; work that raced in
+ *    before the shutdown is drained, not dropped.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers (0 is treated as 1 = serial). The
+     * queue holds at most @p queue_capacity pending tasks.
+     */
+    explicit ThreadPool(unsigned threads,
+                        size_t queue_capacity = 256);
+
+    /** Joins all workers (implicit shutdown; exceptions dropped). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Enqueue @p task; blocks while the queue is full. Throws
+     * WetError if the pool has been shut down.
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished, then rethrow
+     * the first exception any task raised (clearing it, so the pool
+     * remains usable).
+     */
+    void wait();
+
+    /**
+     * Drain the queue, join all workers, and reject further
+     * submit() calls. Idempotent. Does not rethrow task exceptions;
+     * call wait() first if those matter.
+     */
+    void shutdown();
+
+  private:
+    void workerLoop();
+    void recordError();
+
+    const unsigned threads_;
+    const size_t capacity_;
+
+    std::mutex m_;
+    std::condition_variable cvWorker_; //!< queue non-empty / stopping
+    std::condition_variable cvSpace_;  //!< queue below capacity
+    std::condition_variable cvIdle_;   //!< queue empty + none active
+    std::deque<std::function<void()>> queue_;
+    size_t active_ = 0;
+    bool stopped_ = false;  //!< submit() rejected
+    bool stopping_ = false; //!< workers exit once drained
+    std::exception_ptr firstError_;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Run `fn(i)` for every i in [0, n), fanning out across @p pool
+ * (serial when @p pool is null or single-threaded). Work is handed
+ * out index-at-a-time, so callers get determinism by writing result
+ * i into a pre-sized slot i — *which* worker computes a slot never
+ * matters. The first exception thrown by any fn(i) is rethrown here
+ * after all workers stop; remaining indices are abandoned.
+ */
+void parallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/**
+ * Thread count from the WET_THREADS environment variable, or
+ * @p fallback when unset/unparsable/zero. The conventional override
+ * knob for every surface that does not expose --threads itself.
+ */
+unsigned envThreadCount(unsigned fallback = 1);
+
+} // namespace support
+} // namespace wet
+
+#endif // WET_SUPPORT_THREADPOOL_H

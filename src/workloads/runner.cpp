@@ -13,7 +13,7 @@ buildWet(const Workload& w, uint64_t scale,
     art->module =
         std::make_unique<ir::Module>(compileWorkload(w));
     art->ma = std::make_unique<analysis::ModuleAnalysis>(
-        *art->module, cfg.maxPaths);
+        *art->module, cfg.maxPaths, cfg.threads);
 
     auto input = makeWorkloadInput(w, scale);
     core::WetBuilder builder(*art->ma, cfg.builder);

@@ -28,6 +28,8 @@ struct BuildConfig
     /** Ball–Larus path cap; 1 forces one-block path nodes. */
     uint64_t maxPaths = uint64_t{1} << 24;
     core::BuilderOptions builder;
+    /** Worker threads for module analysis (1 = serial). */
+    unsigned threads = 1;
 };
 
 /**

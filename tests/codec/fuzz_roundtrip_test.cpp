@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "codec/cursor.h"
+#include "codec/encoder.h"
+#include "codec/model.h"
+#include "codec/selector.h"
+#include "support/rng.h"
+
+namespace wet {
+namespace codec {
+namespace {
+
+/**
+ * Iterations per (distribution, codec) pair. Defaults stay cheap for
+ * CI; set FUZZ_ITERS higher locally for a deep soak run.
+ */
+unsigned
+fuzzIters()
+{
+    const char* env = std::getenv("FUZZ_ITERS");
+    if (!env)
+        return 6;
+    unsigned long v = std::strtoul(env, nullptr, 10);
+    return (v > 0 && v <= 1000000) ? static_cast<unsigned>(v) : 6;
+}
+
+/** One generated value stream plus the recipe that made it. */
+struct Generated
+{
+    std::string shape;
+    std::vector<int64_t> vals;
+};
+
+/**
+ * Stream generators spanning the codecs' qualitative regimes:
+ * constant (every codec's best case), strided (DFCM/last-n-stride
+ * territory), FCM-friendly small alphabets with repeating context,
+ * and adversarial full-width random values (worst case: the encoder
+ * must still round-trip even when prediction never pays).
+ */
+Generated
+generate(support::Rng& rng, unsigned which)
+{
+    Generated g;
+    const size_t n = static_cast<size_t>(rng.range(0, 2500));
+    g.vals.reserve(n);
+    switch (which % 4) {
+    case 0: {
+        g.shape = "constant";
+        const int64_t c = rng.range(-1000000, 1000000);
+        g.vals.assign(n, c);
+        break;
+    }
+    case 1: {
+        g.shape = "stride";
+        int64_t x = rng.range(-1000, 1000);
+        const int64_t stride = rng.range(-64, 64);
+        for (size_t i = 0; i < n; ++i, x += stride)
+            g.vals.push_back(x);
+        break;
+    }
+    case 2: {
+        g.shape = "fcm-friendly";
+        // Small alphabet with a repeating phrase structure: FCM
+        // contexts repeat, so table hits dominate.
+        const size_t alpha =
+            static_cast<size_t>(rng.range(2, 12));
+        std::vector<int64_t> phrase(
+            static_cast<size_t>(rng.range(3, 17)));
+        for (auto& p : phrase)
+            p = static_cast<int64_t>(rng.below(alpha));
+        for (size_t i = 0; i < n; ++i) {
+            if (rng.chance(1, 50)) // occasional glitch
+                g.vals.push_back(
+                    static_cast<int64_t>(rng.below(alpha * 4)));
+            else
+                g.vals.push_back(phrase[i % phrase.size()]);
+        }
+        break;
+    }
+    default: {
+        g.shape = "adversarial-random";
+        for (size_t i = 0; i < n; ++i)
+            g.vals.push_back(static_cast<int64_t>(rng.next()));
+        break;
+    }
+    }
+    return g;
+}
+
+void
+expectExactRoundTrip(const Generated& g, const CompressedStream& s,
+                     const std::string& codec)
+{
+    ASSERT_EQ(s.length, g.vals.size()) << g.shape << " " << codec;
+
+    // Forward decode through a Forward-mode cursor.
+    {
+        StreamCursor cur(s, StreamCursor::Mode::Forward);
+        for (size_t i = 0; i < g.vals.size(); ++i)
+            ASSERT_EQ(cur.next(), g.vals[i])
+                << g.shape << " " << codec << " fwd @" << i;
+    }
+    // Backward decode: a Bidirectional cursor sweeps to the end and
+    // walks the whole stream back.
+    {
+        StreamCursor cur(s, StreamCursor::Mode::Bidirectional);
+        for (size_t i = 0; i < g.vals.size(); ++i)
+            ASSERT_EQ(cur.next(), g.vals[i])
+                << g.shape << " " << codec << " pre-sweep @" << i;
+        for (size_t i = g.vals.size(); i-- > 0;)
+            ASSERT_EQ(cur.prev(), g.vals[i])
+                << g.shape << " " << codec << " bwd @" << i;
+    }
+}
+
+TEST(CodecFuzzRoundTrip, EveryCodecEveryDistribution)
+{
+    const unsigned iters = fuzzIters();
+    support::Rng rng(0x5EED5EED);
+    for (unsigned iter = 0; iter < iters; ++iter) {
+        for (unsigned shape = 0; shape < 4; ++shape) {
+            Generated g = generate(rng, shape);
+            // Random checkpointing exercises the seek machinery of
+            // both decode directions.
+            const uint64_t interval =
+                rng.chance(1, 2) ? 0
+                                 : static_cast<uint64_t>(
+                                       rng.range(32, 512));
+            for (const CodecConfig& cfg : candidateConfigs()) {
+                CompressedStream s =
+                    encodeStream(g.vals, cfg, interval);
+                expectExactRoundTrip(
+                    g, s,
+                    methodName(cfg.method, cfg.context));
+            }
+            CompressedStream raw = encodeStream(
+                g.vals, CodecConfig{Method::Raw, 0, 0}, interval);
+            expectExactRoundTrip(g, raw, "raw");
+        }
+    }
+}
+
+TEST(CodecFuzzRoundTrip, SelectorChoiceAlwaysRoundTrips)
+{
+    const unsigned iters = fuzzIters();
+    support::Rng rng(0xFACADE);
+    for (unsigned iter = 0; iter < iters; ++iter) {
+        for (unsigned shape = 0; shape < 4; ++shape) {
+            Generated g = generate(rng, shape);
+            SelectorOptions opt;
+            opt.checkpointInterval =
+                rng.chance(1, 2) ? 0 : 256;
+            SelectionInfo info;
+            CompressedStream s = compressBest(g.vals, opt, &info);
+            expectExactRoundTrip(
+                g, s,
+                "selected:" + methodName(s.config.method,
+                                         s.config.context));
+        }
+    }
+}
+
+} // namespace
+} // namespace codec
+} // namespace wet

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/artifactverifier.h"
+#include "analysis/diag.h"
+#include "analysis/moduleverifier.h"
+#include "analysis/wetverifier.h"
+#include "core/compressed.h"
+#include "wetio/wetio.h"
+#include "workloads/runner.h"
+#include "workloads/workloads.h"
+
+namespace wet {
+namespace {
+
+std::vector<uint8_t>
+fileBytes(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::vector<uint8_t>(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+}
+
+/**
+ * The parallel pipeline's determinism contract (DESIGN.md §8),
+ * checked differentially: for every sample workload the serialized
+ * .wetx built at 1, 2, and 8 worker threads must be byte-identical,
+ * and the full verifier chain (the in-process equivalent of
+ * `wet_cli verify`) must pass on the artifact of every thread count.
+ */
+class ParallelDeterminismTest
+    : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(ParallelDeterminismTest, WetxBytesIdenticalAcrossThreadCounts)
+{
+    const workloads::Workload& w =
+        workloads::allWorkloads()[GetParam()];
+    // Small but non-trivial scale: enough trace for multi-group
+    // nodes and pooled edge streams, small enough to build three
+    // times per workload in a unit-test run. The compression-heavy
+    // workloads get a lower scale — their per-unit trace (and thus
+    // stream-verify cost) is an order of magnitude larger.
+    uint64_t scale = 20;
+    if (w.name == "164.gzip")
+        scale = 2;
+    else if (w.name == "181.mcf" || w.name == "256.bzip2")
+        scale = 5;
+    workloads::BuildConfig cfg;
+    auto art = workloads::buildWet(w, scale, nullptr, cfg);
+
+    const std::vector<unsigned> threadCounts = {1, 2, 8};
+    std::vector<std::vector<uint8_t>> artifacts;
+    for (unsigned threads : threadCounts) {
+        core::WetCompressed comp(art->graph, {}, threads);
+        std::string path = ::testing::TempDir() + "pdet_" + w.name +
+                           "_t" + std::to_string(threads) + ".wetx";
+        wetio::save(path, *art->module, art->graph, comp);
+        artifacts.push_back(fileBytes(path));
+
+        // `wet_cli verify` equivalent: static IR rules, then load,
+        // then graph + artifact invariants.
+        analysis::DiagEngine diag;
+        analysis::verifyModule(*art->module, diag);
+        ASSERT_FALSE(diag.hasErrors()) << diag.renderText();
+        wetio::LoadedWet loaded =
+            wetio::tryLoad(path, *art->module, diag);
+        ASSERT_TRUE(loaded.graph && loaded.compressed)
+            << w.name << " threads=" << threads << "\n"
+            << diag.renderText();
+        EXPECT_TRUE(analysis::verifyWet(*loaded.graph, *art->ma,
+                                        diag,
+                                        loaded.compressed.get()))
+            << w.name << " threads=" << threads << "\n"
+            << diag.renderText();
+        EXPECT_TRUE(
+            analysis::verifyArtifact(*loaded.compressed, diag))
+            << w.name << " threads=" << threads << "\n"
+            << diag.renderText();
+        std::remove(path.c_str());
+    }
+
+    ASSERT_FALSE(artifacts[0].empty());
+    for (size_t i = 1; i < artifacts.size(); ++i)
+        EXPECT_EQ(artifacts[i], artifacts[0])
+            << w.name << ": threads=" << threadCounts[i]
+            << " artifact differs from serial build";
+}
+
+TEST_P(ParallelDeterminismTest, ParallelModuleAnalysisMatchesSerial)
+{
+    const workloads::Workload& w =
+        workloads::allWorkloads()[GetParam()];
+    ir::Module mod = workloads::compileWorkload(w);
+    analysis::ModuleAnalysis serial(mod);
+    analysis::ModuleAnalysis parallel(mod, uint64_t{1} << 24, 8);
+    for (ir::FuncId f = 0; f < mod.numFunctions(); ++f) {
+        const analysis::FunctionAnalysis& a = serial.fn(f);
+        const analysis::FunctionAnalysis& b = parallel.fn(f);
+        EXPECT_EQ(a.bl.numPaths(), b.bl.numPaths())
+            << w.name << " fn " << f;
+        EXPECT_EQ(a.cfg.rpo(), b.cfg.rpo()) << w.name << " fn " << f;
+        for (ir::BlockId blk = 0;
+             blk < mod.function(f).blocks.size(); ++blk)
+            EXPECT_EQ(a.postdom.idom(blk), b.postdom.idom(blk))
+                << w.name << " fn " << f << " block " << blk;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ParallelDeterminismTest,
+    ::testing::Range<size_t>(0, 9),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+        std::string n = workloads::allWorkloads()[info.param].name;
+        for (char& c : n)
+            if (c == '.')
+                c = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace wet

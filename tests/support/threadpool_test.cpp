@@ -1,0 +1,200 @@
+#include "support/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace wet {
+namespace support {
+namespace {
+
+TEST(ThreadPoolTest, SerialPoolRunsInline)
+{
+    ThreadPool pool(1);
+    std::thread::id runner;
+    pool.submit([&] { runner = std::this_thread::get_id(); });
+    pool.wait();
+    EXPECT_EQ(runner, std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, ZeroThreadsDegradesToSerial)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threads(), 1u);
+    int ran = 0;
+    pool.submit([&] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPoolTest, AllTasksRunExactlyOnce)
+{
+    ThreadPool pool(4, 8); // small queue: exercises backpressure
+    std::vector<std::atomic<int>> hits(1000);
+    for (auto& h : hits)
+        h = 0;
+    for (size_t i = 0; i < hits.size(); ++i)
+        pool.submit([&hits, i] { ++hits[i]; });
+    pool.wait();
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(ThreadPoolTest, ExceptionRethrownAtWaitAndPoolStaysUsable)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw WetError("boom"); });
+    EXPECT_THROW(pool.wait(), WetError);
+    // The error is cleared and the pool keeps working.
+    std::atomic<int> ran{0};
+    pool.submit([&] { ++ran; });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, SerialPoolExceptionAlsoSurfacesAtWait)
+{
+    ThreadPool pool(1);
+    EXPECT_NO_THROW(pool.submit([] { throw WetError("boom"); }));
+    EXPECT_THROW(pool.wait(), WetError);
+    EXPECT_NO_THROW(pool.wait());
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRejected)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&] { ++ran; });
+    pool.shutdown();
+    EXPECT_EQ(ran.load(), 1); // shutdown drains, never drops
+    EXPECT_THROW(pool.submit([] {}), WetError);
+    ThreadPool serial(1);
+    serial.shutdown();
+    EXPECT_THROW(serial.submit([] {}), WetError);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent)
+{
+    ThreadPool pool(3);
+    pool.shutdown();
+    EXPECT_NO_THROW(pool.shutdown());
+}
+
+TEST(ParallelForTest, CoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(5000);
+    for (auto& h : hits)
+        h = 0;
+    parallelFor(&pool, hits.size(),
+                [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForTest, NullPoolRunsSerialInOrder)
+{
+    std::vector<size_t> order;
+    parallelFor(nullptr, 100,
+                [&](size_t i) { order.push_back(i); });
+    ASSERT_EQ(order.size(), 100u);
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesAndStopsEarly)
+{
+    ThreadPool pool(4);
+    std::atomic<size_t> ran{0};
+    EXPECT_THROW(
+        parallelFor(&pool, 100000,
+                    [&](size_t i) {
+                        if (i == 17)
+                            throw WetError("index 17 failed");
+                        ++ran;
+                    }),
+        WetError);
+    // Early-out: nowhere near the full range once the failure hit.
+    EXPECT_LT(ran.load(), 100000u);
+    // Pool remains usable for the next fan-out.
+    std::atomic<size_t> ran2{0};
+    parallelFor(&pool, 64, [&](size_t) { ++ran2; });
+    EXPECT_EQ(ran2.load(), 64u);
+}
+
+/**
+ * Property test: random task counts, durations, and failure
+ * patterns, across thread and queue-capacity mixes. Every surviving
+ * task runs exactly once, every failed round throws, and the pool is
+ * always reusable for the next round. Seeded for reproducibility.
+ */
+TEST(ThreadPoolPropertyTest, RandomizedRounds)
+{
+    Rng rng(0xC0FFEE);
+    for (int round = 0; round < 25; ++round) {
+        const unsigned threads =
+            static_cast<unsigned>(rng.range(1, 8));
+        const size_t cap = static_cast<size_t>(rng.range(1, 32));
+        ThreadPool pool(threads, cap);
+        const size_t tasks = static_cast<size_t>(rng.range(0, 200));
+        const bool withFailures = rng.chance(1, 3);
+        std::vector<std::atomic<int>> hits(tasks > 0 ? tasks : 1);
+        for (auto& h : hits)
+            h = 0;
+        size_t failures = 0;
+        for (size_t i = 0; i < tasks; ++i) {
+            const bool fail = withFailures && rng.chance(1, 10);
+            failures += fail;
+            const uint64_t spinNs = rng.below(20000);
+            pool.submit([&hits, i, fail, spinNs] {
+                if (spinNs > 10000)
+                    std::this_thread::sleep_for(
+                        std::chrono::nanoseconds(spinNs));
+                if (fail)
+                    throw WetError("planned failure");
+                ++hits[i];
+            });
+        }
+        if (failures > 0)
+            EXPECT_THROW(pool.wait(), WetError) << "round " << round;
+        else
+            EXPECT_NO_THROW(pool.wait()) << "round " << round;
+        size_t ran = 0;
+        for (size_t i = 0; i < tasks; ++i)
+            ran += static_cast<size_t>(hits[i].load());
+        EXPECT_EQ(ran, tasks - failures) << "round " << round;
+    }
+}
+
+TEST(ThreadPoolPropertyTest, RandomizedParallelForMatchesSerial)
+{
+    Rng rng(0xBEEF);
+    for (int round = 0; round < 20; ++round) {
+        const unsigned threads =
+            static_cast<unsigned>(rng.range(1, 8));
+        const size_t n = static_cast<size_t>(rng.range(0, 3000));
+        const uint64_t seed = rng.next();
+        auto value = [seed](size_t i) {
+            Rng r(seed + i);
+            return static_cast<int64_t>(r.next());
+        };
+        std::vector<int64_t> expect(n);
+        for (size_t i = 0; i < n; ++i)
+            expect[i] = value(i);
+        std::vector<int64_t> got(n, 0);
+        ThreadPool pool(threads);
+        parallelFor(&pool, n,
+                    [&](size_t i) { got[i] = value(i); });
+        EXPECT_EQ(got, expect) << "round " << round;
+    }
+}
+
+} // namespace
+} // namespace support
+} // namespace wet

@@ -7,12 +7,13 @@ namespace test {
 
 std::unique_ptr<Pipeline>
 runPipeline(const std::string& source, std::vector<int64_t> inputs,
-            uint64_t mem_words)
+            uint64_t mem_words, unsigned threads)
 {
     auto p = std::make_unique<Pipeline>();
     p->module = std::make_unique<ir::Module>(
         lang::compileString(source, mem_words));
-    p->ma = std::make_unique<analysis::ModuleAnalysis>(*p->module);
+    p->ma = std::make_unique<analysis::ModuleAnalysis>(
+        *p->module, uint64_t{1} << 24, threads);
     interp::VectorInput input(std::move(inputs));
     core::WetBuilder builder(*p->ma);
     interp::TeeSink tee;

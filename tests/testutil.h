@@ -80,10 +80,16 @@ struct Pipeline
 /**
  * Compile @p source, run it with the given inputs, and build its WET
  * while also recording the raw trace.
+ *
+ * @p threads is forwarded to the module analysis; it defaults to 1
+ * so ordinary unit tests stay strictly single-threaded and any
+ * scheduling nondeterminism can only surface in the suites designed
+ * to catch it (parallel_determinism_test, threadpool_test).
  */
 std::unique_ptr<Pipeline> runPipeline(const std::string& source,
                                       std::vector<int64_t> inputs = {},
-                                      uint64_t mem_words = 1 << 16);
+                                      uint64_t mem_words = 1 << 16,
+                                      unsigned threads = 1);
 
 /** Compile and run only; returns the run result. */
 interp::RunResult runSource(const std::string& source,

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <vector>
 
@@ -202,10 +203,18 @@ TEST_F(CorruptWetxTest, BitFlipSweepNeverCrashes)
     // Light fuzzing: flip one bit at a spread of positions. Not
     // every flip is detectable (a flipped unique *value* is just a
     // different trace), but none may crash, and a failed load must
-    // come with at least one error diagnostic.
+    // come with at least one error diagnostic. FUZZ_ITERS scales the
+    // sweep density (CI default covers ~37 positions; a deep local
+    // run with FUZZ_ITERS=2000 touches nearly every byte).
+    size_t positions = 37;
+    if (const char* env = std::getenv("FUZZ_ITERS")) {
+        unsigned long v = std::strtoul(env, nullptr, 10);
+        if (v > 0 && v <= 1000000)
+            positions = v;
+    }
     const std::vector<uint8_t> pristine = bytes_;
     for (size_t pos = 0; pos < pristine.size();
-         pos += pristine.size() / 37 + 1)
+         pos += pristine.size() / positions + 1)
     {
         bytes_ = pristine;
         bytes_[pos] ^= 0x10;

@@ -4,7 +4,7 @@
  * the compressed WET to disk, and query saved WETs.
  *
  *   wet_cli run   prog.wet [--scale N] [--seed S] [--mem W]
- *                 [--save out.wetx]
+ *                 [--save out.wetx] [--threads N]
  *   wet_cli info  prog.wet file.wetx
  *   wet_cli cf    prog.wet file.wetx [--from T] [--count N]
  *   wet_cli values prog.wet file.wetx --stmt S [--limit N]
@@ -37,6 +37,7 @@
 #include "interp/interpreter.h"
 #include "lang/codegen.h"
 #include "support/sizes.h"
+#include "support/threadpool.h"
 #include "support/timer.h"
 #include "wetio/wetio.h"
 
@@ -60,6 +61,8 @@ struct Args
     uint64_t limit = 20;
     uint64_t maxItems = 100000;
     bool json = false;
+    /** Construction workers; --threads beats WET_THREADS beats 1. */
+    unsigned threads = support::envThreadCount(1);
 };
 
 [[noreturn]] void
@@ -70,6 +73,7 @@ usage()
         "usage: wet_cli <run|info|cf|values|slice|dump|verify> "
         "prog.wet [file.wetx] [options]\n"
         "  run    --scale N --seed S --mem W --save out.wetx\n"
+        "         --threads N (parallel construction; or WET_THREADS)\n"
         "  cf     --from T --count N\n"
         "  values --stmt S --limit N\n"
         "  slice  --stmt S --k K --max N\n"
@@ -125,6 +129,8 @@ parse(int argc, char** argv)
             a.limit = numArg(argc, argv, i);
         else if (opt == "--max")
             a.maxItems = numArg(argc, argv, i);
+        else if (opt == "--threads")
+            a.threads = static_cast<unsigned>(numArg(argc, argv, i));
         else if (opt == "--json")
             a.json = true;
         else
@@ -149,7 +155,7 @@ cmdRun(const Args& a)
 {
     ir::Module mod =
         lang::compileString(readFile(a.program), a.memWords);
-    analysis::ModuleAnalysis ma(mod);
+    analysis::ModuleAnalysis ma(mod, uint64_t{1} << 24, a.threads);
     // Input convention: first in() gets the scale, later in() calls
     // get deterministic pseudo-random values from the seed.
     class Input : public interp::InputSource
@@ -180,7 +186,7 @@ cmdRun(const Args& a)
     support::Timer timer;
     interp::RunResult run = interp.run();
     core::WetGraph graph = builder.take();
-    core::WetCompressed compressed(graph);
+    core::WetCompressed compressed(graph, {}, a.threads);
     double secs = timer.seconds();
 
     std::printf("executed %llu statements in %.2fs\n",
@@ -328,7 +334,8 @@ cmdVerify(const Args& a)
     if (!diag.hasErrors()) {
         wetio::LoadedWet w = wetio::tryLoad(a.wetx, mod, diag);
         if (w.graph && w.compressed) {
-            analysis::ModuleAnalysis ma(mod);
+            analysis::ModuleAnalysis ma(mod, uint64_t{1} << 24,
+                                        a.threads);
             analysis::verifyWet(*w.graph, ma, diag,
                                 w.compressed.get());
             analysis::verifyArtifact(*w.compressed, diag);
