@@ -1,0 +1,375 @@
+#include "depcheck.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "codec/encoder.h"
+#include "ir/opcode.h"
+
+namespace wet {
+namespace analysis {
+
+namespace {
+
+using core::kCdSlot;
+using core::kNoIndex;
+using core::NodeId;
+using core::WetEdge;
+using core::WetGraph;
+using core::WetNode;
+
+std::string
+edgeLoc(uint32_t e, const WetEdge& ed)
+{
+    std::ostringstream os;
+    os << "edge " << e << " (def node " << ed.defNode << " pos "
+       << ed.defStmtPos << " -> use node " << ed.useNode << " pos "
+       << ed.useStmtPos << " slot " << int{ed.slot} << ")";
+    return os.str();
+}
+
+/** Tier-1 labels when present, else a tier-2 decode (see verifyWet). */
+template <typename T>
+bool
+materialize(const std::vector<T>& tier1,
+            const codec::CompressedStream* stream,
+            std::vector<int64_t>& out)
+{
+    if (!tier1.empty()) {
+        out.assign(tier1.begin(), tier1.end());
+        return true;
+    }
+    if (stream && stream->length > 0) {
+        out = codec::decodeAll(*stream);
+        return true;
+    }
+    return false;
+}
+
+/** True when the edge's endpoints index real statement positions. */
+bool
+edgeInRange(const WetGraph& g, const WetEdge& ed)
+{
+    return ed.defNode < g.nodes.size() &&
+           ed.useNode < g.nodes.size() &&
+           ed.defStmtPos < g.nodes[ed.defNode].stmts.size() &&
+           ed.useStmtPos < g.nodes[ed.useNode].stmts.size();
+}
+
+/** WET011/WET012: every dynamic DD edge against the static sets. */
+void
+checkDataDeps(const WetGraph& g, const ir::Module& mod,
+              const StaticDepGraph& sdg, DiagEngine& diag,
+              DepCheckStats* stats)
+{
+    for (uint32_t e = 0; e < g.edges.size(); ++e) {
+        const WetEdge& ed = g.edges[e];
+        if (ed.slot == kCdSlot || !edgeInRange(g, ed))
+            continue;
+        ir::StmtId use = g.nodes[ed.useNode].stmts[ed.useStmtPos];
+        ir::StmtId def = g.nodes[ed.defNode].stmts[ed.defStmtPos];
+        if (use >= mod.numStmts() || def >= mod.numStmts())
+            continue; // reported as WET009
+        if (stats)
+            ++stats->ddEdges;
+
+        SlotInfo si = slotInfo(mod.instr(use), ed.slot);
+        if (si.kind == SlotKind::None) {
+            std::ostringstream os;
+            os << "statement " << use << " ("
+               << ir::opcodeName(mod.instr(use).op)
+               << ") never populates dependence slot "
+               << int{ed.slot};
+            diag.error("WET011", edgeLoc(e, ed), os.str());
+            continue;
+        }
+        if (si.kind == SlotKind::Mem &&
+            mod.instr(def).op != ir::Opcode::Store)
+        {
+            std::ostringstream os;
+            os << "memory dependence def statement " << def
+               << " is a " << ir::opcodeName(mod.instr(def).op)
+               << ", not a store";
+            diag.error("WET012", edgeLoc(e, ed), os.str());
+            continue;
+        }
+        if (!sdg.mayDepend(use, ed.slot, def)) {
+            std::ostringstream os;
+            os << "def statement " << def
+               << " is not in the static may-definition set of "
+               << "statement " << use << " slot " << int{ed.slot}
+               << " (" << sdg.mayDefs(use, ed.slot).size()
+               << " statically possible defs)";
+            diag.error("WET011", edgeLoc(e, ed), os.str());
+        }
+    }
+}
+
+/** WET013: every dynamic CD edge against the static CD parents. */
+void
+checkControlDeps(const WetGraph& g, const ir::Module& mod,
+                 const StaticDepGraph& sdg, DiagEngine& diag,
+                 DepCheckStats* stats)
+{
+    for (uint32_t e = 0; e < g.edges.size(); ++e) {
+        const WetEdge& ed = g.edges[e];
+        if (ed.slot != kCdSlot || !edgeInRange(g, ed))
+            continue;
+        ir::StmtId use = g.nodes[ed.useNode].stmts[ed.useStmtPos];
+        ir::StmtId def = g.nodes[ed.defNode].stmts[ed.defStmtPos];
+        if (use >= mod.numStmts() || def >= mod.numStmts())
+            continue; // reported as WET009
+        if (stats)
+            ++stats->cdEdges;
+        if (!sdg.mayControl(use, def)) {
+            std::ostringstream os;
+            os << "def statement " << def << " ("
+               << ir::opcodeName(mod.instr(def).op)
+               << ") is neither a static FOW control-dependence "
+               << "parent of statement " << use
+               << "'s block nor a call site of its function";
+            diag.error("WET013", edgeLoc(e, ed), os.str());
+        }
+    }
+}
+
+/**
+ * Instance-level backward walker over the WET edge labels, kept
+ * self-contained because wet_verifier links below wet_core: builds
+ * its own use-key index and materializes label pools lazily.
+ */
+class SliceWalker
+{
+  public:
+    SliceWalker(const WetGraph& g,
+                const core::WetCompressed* compressed)
+        : g_(&g), compressed_(compressed),
+          poolLoaded_(g.labelPool.size(), 0),
+          poolUse_(g.labelPool.size()), poolDef_(g.labelPool.size())
+    {
+        for (uint32_t e = 0; e < g.edges.size(); ++e) {
+            const WetEdge& ed = g.edges[e];
+            if (!edgeInRange(g, ed))
+                continue;
+            byUse_[WetGraph::useKey(ed.useNode, ed.useStmtPos,
+                                    ed.slot)]
+                .push_back(e);
+        }
+    }
+
+    /**
+     * Walk backward from (node, pos, instance); calls
+     * @p onStmt(stmt) for every visited statement (including the
+     * seed). Stops after @p maxItems items. Returns items visited.
+     */
+    template <typename Fn>
+    uint64_t
+    walk(NodeId seedNode, uint32_t seedPos, uint64_t seedInst,
+         uint64_t maxItems, Fn onStmt)
+    {
+        struct Item
+        {
+            NodeId node;
+            uint32_t pos;
+            uint64_t inst;
+        };
+        std::vector<Item> work{{seedNode, seedPos, seedInst}};
+        std::unordered_set<uint64_t> seen{
+            pack(seedNode, seedPos, seedInst)};
+        uint64_t visited = 0;
+        while (!work.empty() && visited < maxItems) {
+            Item it = work.back();
+            work.pop_back();
+            ++visited;
+            const WetNode& node = g_->nodes[it.node];
+            onStmt(node.stmts[it.pos]);
+
+            auto follow = [&](uint32_t usePos, uint8_t slot) {
+                auto f = byUse_.find(
+                    WetGraph::useKey(it.node, usePos, slot));
+                if (f == byUse_.end())
+                    return;
+                for (uint32_t e : f->second) {
+                    const WetEdge& ed = g_->edges[e];
+                    uint64_t defInst;
+                    if (!resolve(ed, it.inst, defInst))
+                        continue;
+                    uint64_t key = pack(ed.defNode, ed.defStmtPos,
+                                        defInst);
+                    if (seen.insert(key).second)
+                        work.push_back(
+                            {ed.defNode, ed.defStmtPos, defInst});
+                }
+            };
+            follow(it.pos, 0);
+            follow(it.pos, 1);
+            follow(blockFirstOf(node, it.pos), kCdSlot);
+        }
+        return visited;
+    }
+
+  private:
+    static uint64_t
+    pack(NodeId n, uint32_t pos, uint64_t inst)
+    {
+        // node < 2^20 and pos < 2^14 hold for any graph the builder
+        // emits (same packing as the core slicer); instances are
+        // capped to 30 bits, plenty for the sampled walks here.
+        return (uint64_t{n} << 44) | (uint64_t{pos} << 30) |
+               (inst & ((uint64_t{1} << 30) - 1));
+    }
+
+    /** First statement position of the block containing @p pos. */
+    static uint32_t
+    blockFirstOf(const WetNode& node, uint32_t pos)
+    {
+        const auto& firsts = node.blockFirstStmt;
+        auto it = std::upper_bound(firsts.begin(), firsts.end(), pos);
+        return it == firsts.begin() ? 0 : *(it - 1);
+    }
+
+    /**
+     * Def instance fed into use instance @p useInst along @p ed;
+     * false when this edge carries no label for that instance.
+     */
+    bool
+    resolve(const WetEdge& ed, uint64_t useInst, uint64_t& defInst)
+    {
+        if (ed.local) {
+            defInst = useInst;
+            return true;
+        }
+        if (ed.labelPool == kNoIndex ||
+            ed.labelPool >= g_->labelPool.size() ||
+            !loadPool(ed.labelPool))
+            return false;
+        const auto& useSeq = poolUse_[ed.labelPool];
+        auto it = std::lower_bound(useSeq.begin(), useSeq.end(),
+                                   static_cast<int64_t>(useInst));
+        if (it == useSeq.end() ||
+            *it != static_cast<int64_t>(useInst))
+            return false;
+        size_t i = static_cast<size_t>(it - useSeq.begin());
+        if (i >= poolDef_[ed.labelPool].size())
+            return false;
+        defInst =
+            static_cast<uint64_t>(poolDef_[ed.labelPool][i]);
+        return true;
+    }
+
+    bool
+    loadPool(uint32_t p)
+    {
+        if (poolLoaded_[p])
+            return poolLoaded_[p] == 1;
+        bool okU = materialize(
+            g_->labelPool[p].useInst,
+            compressed_ ? &compressed_->pool(p).useInst : nullptr,
+            poolUse_[p]);
+        bool okD = materialize(
+            g_->labelPool[p].defInst,
+            compressed_ ? &compressed_->pool(p).defInst : nullptr,
+            poolDef_[p]);
+        poolLoaded_[p] = (okU && okD) ? 1 : 2;
+        return poolLoaded_[p] == 1;
+    }
+
+    const WetGraph* g_;
+    const core::WetCompressed* compressed_;
+    std::unordered_map<uint64_t, std::vector<uint32_t>> byUse_;
+    std::vector<char> poolLoaded_;
+    std::vector<std::vector<int64_t>> poolUse_;
+    std::vector<std::vector<int64_t>> poolDef_;
+};
+
+/**
+ * WET014: dynamic backward slices from a deterministic sample of
+ * seeds must stay inside the static backward slice of the seed.
+ */
+void
+checkSliceContainment(const WetGraph& g, const ir::Module& mod,
+                      const StaticDepGraph& sdg, DiagEngine& diag,
+                      const core::WetCompressed* compressed,
+                      const DepCheckOptions& opt,
+                      DepCheckStats* stats)
+{
+    if (opt.maxSliceSeeds == 0)
+        return;
+
+    // Deterministic seed choice: executed Out statements ascending
+    // (program outputs make the most meaningful slices), padded with
+    // executed def-port statements.
+    std::vector<ir::StmtId> seeds;
+    auto collect = [&](auto pred) {
+        for (ir::StmtId s = 0;
+             s < mod.numStmts() && seeds.size() < opt.maxSliceSeeds;
+             ++s) {
+            if (!pred(mod.instr(s).op))
+                continue;
+            if (g.stmtIndex.find(s) == g.stmtIndex.end())
+                continue;
+            if (std::find(seeds.begin(), seeds.end(), s) ==
+                seeds.end())
+                seeds.push_back(s);
+        }
+    };
+    collect([](ir::Opcode op) { return op == ir::Opcode::Out; });
+    collect([](ir::Opcode op) { return ir::hasDef(op); });
+    if (seeds.empty())
+        return;
+
+    SliceWalker walker(g, compressed);
+    for (ir::StmtId seed : seeds) {
+        // Smallest (node, position) occurrence, last instance.
+        const auto& sites = g.stmtIndex.at(seed);
+        auto site = *std::min_element(sites.begin(), sites.end());
+        const WetNode& node = g.nodes[site.first];
+        if (node.numInstances == 0)
+            continue;
+        if (stats)
+            ++stats->sliceSeeds;
+
+        std::vector<bool> staticSlice = sdg.backwardSlice(seed);
+        bool reported = false;
+        uint64_t items = walker.walk(
+            site.first, site.second, node.numInstances - 1,
+            opt.maxSliceItems, [&](ir::StmtId s) {
+                if (reported || s >= mod.numStmts() ||
+                    staticSlice[s])
+                    return;
+                reported = true;
+                std::ostringstream os;
+                os << "dynamic backward slice from statement "
+                   << seed << " reaches statement " << s
+                   << ", which is outside the static backward "
+                   << "slice";
+                diag.error("WET014",
+                           "slice seed " + std::to_string(seed),
+                           os.str());
+            });
+        if (stats)
+            stats->sliceItems += items;
+    }
+}
+
+} // namespace
+
+bool
+verifyDeps(const core::WetGraph& g, const ModuleAnalysis& ma,
+           const StaticDepGraph& sdg, DiagEngine& diag,
+           const core::WetCompressed* compressed,
+           const DepCheckOptions& opt, DepCheckStats* stats)
+{
+    uint64_t before = diag.errorCount();
+    const ir::Module& mod = ma.module();
+    checkDataDeps(g, mod, sdg, diag, stats);
+    checkControlDeps(g, mod, sdg, diag, stats);
+    checkSliceContainment(g, mod, sdg, diag, compressed, opt, stats);
+    return diag.errorCount() == before;
+}
+
+} // namespace analysis
+} // namespace wet

@@ -1,0 +1,66 @@
+#ifndef WET_ANALYSIS_DEPCHECK_H
+#define WET_ANALYSIS_DEPCHECK_H
+
+#include <cstdint>
+
+#include "analysis/diag.h"
+#include "analysis/moduleanalysis.h"
+#include "analysis/staticdep.h"
+#include "core/compressed.h"
+#include "core/wetgraph.h"
+
+namespace wet {
+namespace analysis {
+
+/** Cost knobs for the static/dynamic dependence cross-check. */
+struct DepCheckOptions
+{
+    /** Seeds for the WET014 slice-containment probe (0 disables). */
+    uint32_t maxSliceSeeds = 4;
+    /** Per-seed cap on visited dynamic slice items. */
+    uint64_t maxSliceItems = 200000;
+};
+
+/** Work accounting of one verifyDeps run. */
+struct DepCheckStats
+{
+    uint64_t ddEdges = 0;      //!< DD edges checked (WET011/WET012)
+    uint64_t cdEdges = 0;      //!< CD edges checked (WET013)
+    uint64_t sliceSeeds = 0;   //!< WET014 probes executed
+    uint64_t sliceItems = 0;   //!< dynamic slice items visited
+};
+
+/**
+ * Differential oracle between the dynamic dependence profile stored
+ * in a WET and the static may-dependence over-approximation
+ * (StaticDepGraph). A sound tracer/builder can only ever record a
+ * subset of what the static analysis allows, so any escape convicts
+ * one of the two sides:
+ *
+ *  - WET011: a dynamic DD edge whose def statement is not in the
+ *    static may-definition set of its use slot;
+ *  - WET012: a memory dependence (Load slot 1) whose def is not a
+ *    Store;
+ *  - WET013: a dynamic CD edge whose def is neither the Br
+ *    terminator of a static FOW CD parent of the controlled block
+ *    nor a call site of the block's function;
+ *  - WET014: a dynamic backward slice that escapes the static
+ *    backward slice of its seed statement (instance-level walk over
+ *    the edge labels, a deterministic sample of seeds).
+ *
+ * Label sequences come from the tier-1 vectors when present, else
+ * from @p compressed; with neither, WET014 degrades to local-edge
+ * walking only (WET011-WET013 are label-free).
+ *
+ * Findings go to @p diag; returns true when no errors were added.
+ */
+bool verifyDeps(const core::WetGraph& g, const ModuleAnalysis& ma,
+                const StaticDepGraph& sdg, DiagEngine& diag,
+                const core::WetCompressed* compressed = nullptr,
+                const DepCheckOptions& opt = {},
+                DepCheckStats* stats = nullptr);
+
+} // namespace analysis
+} // namespace wet
+
+#endif // WET_ANALYSIS_DEPCHECK_H

@@ -36,6 +36,12 @@ const RuleEntry kRules[] = {
     {"WET008", "value group structure invalid"},
     {"WET009", "node structure inconsistent with the path table"},
     {"WET010", "node control-flow adjacency not reciprocal"},
+    {"WET011", "dynamic DD edge outside the static may-definition "
+               "set"},
+    {"WET012", "memory dependence def is not a store"},
+    {"WET013", "dynamic CD edge outside the static control-"
+               "dependence parents"},
+    {"WET014", "dynamic slice escapes the static backward slice"},
     {"ART001", "forward and backward stream decodes disagree"},
     {"ART002", "decoded stream differs from tier-1 labels"},
     {"ART003", "compressed stream structurally invalid"},

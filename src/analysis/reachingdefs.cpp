@@ -1,0 +1,141 @@
+#include "reachingdefs.h"
+
+#include <algorithm>
+
+#include "ir/opcode.h"
+#include "support/error.h"
+
+namespace wet {
+namespace analysis {
+
+namespace {
+
+void
+setBit(std::vector<uint64_t>& b, uint32_t i)
+{
+    b[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+void
+clearBit(std::vector<uint64_t>& b, uint32_t i)
+{
+    b[i >> 6] &= ~(uint64_t{1} << (i & 63));
+}
+
+bool
+getBit(const std::vector<uint64_t>& b, uint32_t i)
+{
+    return (b[i >> 6] >> (i & 63)) & 1;
+}
+
+/** out |= in; returns true when out changed. */
+bool
+unionInto(std::vector<uint64_t>& out, const std::vector<uint64_t>& in)
+{
+    bool changed = false;
+    for (size_t w = 0; w < out.size(); ++w) {
+        uint64_t nv = out[w] | in[w];
+        changed |= nv != out[w];
+        out[w] = nv;
+    }
+    return changed;
+}
+
+} // namespace
+
+ReachingDefs::ReachingDefs(const ir::Module& mod,
+                           const ir::Function& fn)
+    : mod_(&mod), fn_(&fn)
+{
+    WET_ASSERT(mod.finalized(),
+               "reaching definitions need a finalized module");
+
+    // Collect definition sites in block/instruction (= statement id)
+    // order, so per-register site lists come out sorted.
+    const ir::BlockId nblocks = fn.numBlocks();
+    std::vector<uint32_t> blockFirstSite(nblocks, 0);
+    sitesOfReg_.resize(fn.numRegs);
+    for (ir::BlockId b = 0; b < nblocks; ++b) {
+        blockFirstSite[b] = static_cast<uint32_t>(sites_.size());
+        for (const ir::Instr& in : fn.blocks[b].instrs) {
+            if (!ir::hasDef(in.op) || in.dest == ir::kNoReg)
+                continue;
+            uint32_t site = static_cast<uint32_t>(sites_.size());
+            sites_.push_back(DefSite{in.stmt, in.dest});
+            sitesOfReg_[in.dest].push_back(site);
+        }
+    }
+
+    const size_t words = (numBits() + 63) / 64;
+    std::vector<Bits> gen(nblocks, Bits(words, 0));
+    std::vector<Bits> killMask(nblocks, Bits(words, ~uint64_t{0}));
+    in_.assign(nblocks, Bits(words, 0));
+    std::vector<Bits> out(nblocks, Bits(words, 0));
+
+    // GEN = the block's downward-exposed definitions (the last write
+    // of each register); KILL = every site of any register the block
+    // writes, plus its entry pseudo-site. killMask holds ~KILL so
+    // that OUT = GEN | (IN & killMask).
+    for (ir::BlockId b = 0; b < nblocks; ++b) {
+        uint32_t site = blockFirstSite[b];
+        std::vector<uint32_t> lastSite(fn.numRegs, UINT32_MAX);
+        for (const ir::Instr& in : fn.blocks[b].instrs) {
+            if (!ir::hasDef(in.op) || in.dest == ir::kNoReg)
+                continue;
+            lastSite[in.dest] = site++;
+            for (uint32_t s : sitesOfReg_[in.dest])
+                clearBit(killMask[b], s);
+            clearBit(killMask[b], entryBit(in.dest));
+        }
+        for (ir::RegId r = 0; r < fn.numRegs; ++r)
+            if (lastSite[r] != UINT32_MAX)
+                setBit(gen[b], lastSite[r]);
+    }
+
+    // Entry: every register carries its entry pseudo-definition.
+    for (ir::RegId r = 0; r < fn.numRegs; ++r)
+        setBit(in_[0], entryBit(r));
+
+    // Iterate to fixpoint (CFGs are small; round-robin converges in
+    // a handful of passes).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (ir::BlockId b = 0; b < nblocks; ++b) {
+            for (ir::BlockId p : fn.blocks[b].preds)
+                changed |= unionInto(in_[b], out[p]);
+            Bits next(words, 0);
+            for (size_t w = 0; w < words; ++w)
+                next[w] = gen[b][w] | (in_[b][w] & killMask[b][w]);
+            changed |= next != out[b];
+            out[b] = std::move(next);
+        }
+    }
+}
+
+ReachingDefs::RegDefs
+ReachingDefs::defsAt(ir::StmtId use, ir::RegId r) const
+{
+    const ir::StmtRef& ref = mod_->stmtRef(use);
+    const ir::BasicBlock& blk = fn_->blocks[ref.block];
+    WET_ASSERT(r < fn_->numRegs, "register out of range");
+
+    RegDefs res;
+    // A definition of r earlier in the same block shadows everything
+    // arriving at the block entry; the latest one wins.
+    for (uint32_t i = ref.index; i-- > 0;) {
+        const ir::Instr& in = blk.instrs[i];
+        if (ir::hasDef(in.op) && in.dest == r) {
+            res.stmts.push_back(in.stmt);
+            return res;
+        }
+    }
+    for (uint32_t site : sitesOfReg_[r])
+        if (getBit(in_[ref.block], site))
+            res.stmts.push_back(sites_[site].stmt);
+    res.fromEntry = getBit(in_[ref.block], entryBit(r));
+    return res;
+}
+
+} // namespace analysis
+} // namespace wet

@@ -1,0 +1,85 @@
+#ifndef WET_ANALYSIS_REACHINGDEFS_H
+#define WET_ANALYSIS_REACHINGDEFS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace wet {
+namespace analysis {
+
+/**
+ * Per-function reaching definitions, solved with the classic
+ * iterative bitset dataflow over the CFG.
+ *
+ * A definition site is any instruction with a def port writing a real
+ * register. In addition, every register owns one *entry definition*
+ * pseudo-site generated at the function entry: parameters arrive in
+ * registers 0..numParams-1 from the call site, so a use reached by
+ * the entry definition of a parameter register may (statically)
+ * receive its value from outside the function. The interprocedural
+ * layer (StaticDepGraph) expands those entry definitions through the
+ * call graph.
+ *
+ * Queries are per (use statement, register): the local definition
+ * statements that may reach the use, plus whether the entry
+ * definition reaches it.
+ */
+class ReachingDefs
+{
+  public:
+    ReachingDefs(const ir::Module& mod, const ir::Function& fn);
+
+    /** One real definition site of the function. */
+    struct DefSite
+    {
+        ir::StmtId stmt;
+        ir::RegId reg;
+    };
+
+    /** May-definitions of register @p r at statement @p use. */
+    struct RegDefs
+    {
+        /** Local definition statements, sorted ascending. */
+        std::vector<ir::StmtId> stmts;
+        /** True when the entry pseudo-definition reaches the use. */
+        bool fromEntry = false;
+    };
+
+    /**
+     * May-definitions of @p r visible at @p use (a statement of this
+     * function), i.e. at the program point just before it executes.
+     */
+    RegDefs defsAt(ir::StmtId use, ir::RegId r) const;
+
+    /** All real definition sites, in statement order. */
+    const std::vector<DefSite>& sites() const { return sites_; }
+
+    const ir::Function& function() const { return *fn_; }
+
+  private:
+    using Bits = std::vector<uint64_t>;
+
+    uint32_t numBits() const
+    {
+        return static_cast<uint32_t>(sites_.size()) + fn_->numRegs;
+    }
+    uint32_t entryBit(ir::RegId r) const
+    {
+        return static_cast<uint32_t>(sites_.size()) + r;
+    }
+
+    const ir::Module* mod_;
+    const ir::Function* fn_;
+    std::vector<DefSite> sites_;
+    /** Site ids per register, ascending by statement. */
+    std::vector<std::vector<uint32_t>> sitesOfReg_;
+    /** Per block: reaching set at block entry. */
+    std::vector<Bits> in_;
+};
+
+} // namespace analysis
+} // namespace wet
+
+#endif // WET_ANALYSIS_REACHINGDEFS_H

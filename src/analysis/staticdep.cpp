@@ -1,0 +1,321 @@
+#include "staticdep.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/opcode.h"
+#include "support/error.h"
+
+namespace wet {
+namespace analysis {
+
+namespace {
+
+void
+sortUnique(std::vector<ir::StmtId>& v)
+{
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+bool
+contains(const std::vector<ir::StmtId>& v, ir::StmtId s)
+{
+    return std::binary_search(v.begin(), v.end(), s);
+}
+
+} // namespace
+
+SlotInfo
+slotInfo(const ir::Instr& in, uint8_t slot)
+{
+    using ir::Opcode;
+    SlotInfo si;
+    switch (in.op) {
+      case Opcode::Neg:
+      case Opcode::Not:
+      case Opcode::Mov:
+      case Opcode::Out:
+      case Opcode::Br:
+        if (slot == 0)
+            si = {SlotKind::Reg, in.src0};
+        break;
+      case Opcode::Load:
+        if (slot == 0)
+            si = {SlotKind::Reg, in.src0};
+        else if (slot == 1)
+            si = {SlotKind::Mem, ir::kNoReg};
+        break;
+      case Opcode::Store:
+        if (slot == 0)
+            si = {SlotKind::Reg, in.src0};
+        else if (slot == 1)
+            si = {SlotKind::Reg, in.src1};
+        break;
+      case Opcode::Ret:
+        if (slot == 0 && in.src0 != ir::kNoReg)
+            si = {SlotKind::Reg, in.src0};
+        break;
+      case Opcode::Call:
+        if (slot == 0)
+            si = {SlotKind::CallRet, ir::kNoReg};
+        break;
+      case Opcode::Const:
+      case Opcode::In:
+      case Opcode::Jmp:
+      case Opcode::Halt:
+        break;
+      default: // binary ALU and comparisons
+        if (slot == 0)
+            si = {SlotKind::Reg, in.src0};
+        else if (slot == 1)
+            si = {SlotKind::Reg, in.src1};
+        break;
+    }
+    return si;
+}
+
+StaticDepGraph::StaticDepGraph(const ModuleAnalysis& ma)
+    : mod_(&ma.module())
+{
+    WET_ASSERT(mod_->finalized(), "static dependence needs a "
+                                  "finalized module");
+    const size_t nf = mod_->numFunctions();
+    rd_.reserve(nf);
+    for (ir::FuncId f = 0; f < nf; ++f)
+        rd_.emplace_back(*mod_, mod_->function(f));
+
+    collectSites();
+    solveParamIn();
+    computeRetOut();
+    buildSlotDefs();
+    buildCdParents(ma);
+}
+
+void
+StaticDepGraph::collectSites()
+{
+    const size_t nf = mod_->numFunctions();
+    callSites_.resize(nf);
+    for (ir::FuncId f = 0; f < nf; ++f) {
+        for (const ir::BasicBlock& b : mod_->function(f).blocks) {
+            for (const ir::Instr& in : b.instrs) {
+                if (in.op == ir::Opcode::Store)
+                    stores_.push_back(in.stmt);
+                else if (in.op == ir::Opcode::Call)
+                    callSites_[static_cast<ir::FuncId>(in.imm)]
+                        .push_back(in.stmt);
+            }
+        }
+    }
+    // Statement ids are assigned in function order, so both lists are
+    // already sorted; keep the invariant explicit.
+    sortUnique(stores_);
+    for (auto& cs : callSites_)
+        sortUnique(cs);
+}
+
+void
+StaticDepGraph::solveParamIn()
+{
+    const size_t nf = mod_->numFunctions();
+    paramIn_.resize(nf);
+    std::vector<std::vector<std::set<ir::StmtId>>> acc(nf);
+    for (ir::FuncId f = 0; f < nf; ++f) {
+        acc[f].resize(mod_->function(f).numParams);
+        paramIn_[f].resize(mod_->function(f).numParams);
+    }
+
+    // One record per (call site, argument): the argument's local
+    // reaching definitions, plus an optional link to a caller
+    // parameter when the argument may still hold the caller's own
+    // incoming value (entry pseudo-definition reaches the call).
+    struct ArgFlow
+    {
+        ir::FuncId callee;
+        uint32_t param;
+        std::vector<ir::StmtId> localDefs;
+        ir::FuncId caller;
+        uint32_t callerParam; //!< UINT32_MAX when no propagation
+    };
+    std::vector<ArgFlow> flows;
+    for (ir::FuncId f = 0; f < nf; ++f) {
+        const ir::Function& fn = mod_->function(f);
+        for (const ir::BasicBlock& b : fn.blocks) {
+            for (const ir::Instr& in : b.instrs) {
+                if (in.op != ir::Opcode::Call)
+                    continue;
+                const auto callee = static_cast<ir::FuncId>(in.imm);
+                const uint32_t np = std::min<uint32_t>(
+                    static_cast<uint32_t>(in.args.size()),
+                    mod_->function(callee).numParams);
+                for (uint32_t a = 0; a < np; ++a) {
+                    ReachingDefs::RegDefs defs =
+                        rd_[f].defsAt(in.stmt, in.args[a]);
+                    ArgFlow fl{callee, a, std::move(defs.stmts), f,
+                               UINT32_MAX};
+                    if (defs.fromEntry && in.args[a] < fn.numParams)
+                        fl.callerParam = in.args[a];
+                    flows.push_back(std::move(fl));
+                }
+            }
+        }
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const ArgFlow& fl : flows) {
+            std::set<ir::StmtId>& dst = acc[fl.callee][fl.param];
+            for (ir::StmtId s : fl.localDefs)
+                changed |= dst.insert(s).second;
+            if (fl.callerParam != UINT32_MAX)
+                for (ir::StmtId s : acc[fl.caller][fl.callerParam])
+                    changed |= dst.insert(s).second;
+        }
+    }
+
+    for (ir::FuncId f = 0; f < nf; ++f)
+        for (uint32_t p = 0; p < paramIn_[f].size(); ++p)
+            paramIn_[f][p].assign(acc[f][p].begin(), acc[f][p].end());
+}
+
+void
+StaticDepGraph::computeRetOut()
+{
+    const size_t nf = mod_->numFunctions();
+    retOut_.resize(nf);
+    for (ir::FuncId f = 0; f < nf; ++f) {
+        const ir::Function& fn = mod_->function(f);
+        std::vector<ir::StmtId>& out = retOut_[f];
+        for (const ir::BasicBlock& b : fn.blocks) {
+            for (const ir::Instr& in : b.instrs) {
+                if (in.op != ir::Opcode::Ret ||
+                    in.src0 == ir::kNoReg)
+                    continue;
+                ReachingDefs::RegDefs defs =
+                    rd_[f].defsAt(in.stmt, in.src0);
+                out.insert(out.end(), defs.stmts.begin(),
+                           defs.stmts.end());
+                if (defs.fromEntry && in.src0 < fn.numParams) {
+                    const auto& pi = paramIn_[f][in.src0];
+                    out.insert(out.end(), pi.begin(), pi.end());
+                }
+            }
+        }
+        sortUnique(out);
+    }
+}
+
+void
+StaticDepGraph::buildSlotDefs()
+{
+    slotDefs_.resize(size_t{mod_->numStmts()} * 2);
+    for (ir::StmtId s = 0; s < mod_->numStmts(); ++s) {
+        const ir::Instr& in = mod_->instr(s);
+        const ir::StmtRef& ref = mod_->stmtRef(s);
+        const ir::Function& fn = mod_->function(ref.func);
+        for (uint8_t k = 0; k < 2; ++k) {
+            SlotInfo si = slotInfo(in, k);
+            if (si.kind != SlotKind::Reg)
+                continue;
+            ReachingDefs::RegDefs defs = rd_[ref.func].defsAt(s, si.reg);
+            std::vector<ir::StmtId>& dst = slotDefs_[size_t{s} * 2 + k];
+            dst = std::move(defs.stmts);
+            if (defs.fromEntry && si.reg < fn.numParams) {
+                const auto& pi = paramIn_[ref.func][si.reg];
+                dst.insert(dst.end(), pi.begin(), pi.end());
+            }
+            sortUnique(dst);
+        }
+    }
+}
+
+void
+StaticDepGraph::buildCdParents(const ModuleAnalysis& ma)
+{
+    const size_t nf = mod_->numFunctions();
+    cd_.resize(nf);
+    for (ir::FuncId f = 0; f < nf; ++f) {
+        const ir::Function& fn = mod_->function(f);
+        cd_[f].resize(fn.numBlocks());
+        for (ir::BlockId b = 0; b < fn.numBlocks(); ++b) {
+            std::vector<ir::StmtId>& dst = cd_[f][b];
+            for (const CdParent& p : ma.fn(f).cd.parents(b))
+                dst.push_back(fn.blocks[p.pred].terminator().stmt);
+            // The calling instruction is always a legal dynamic CD
+            // parent: parentless regions, and every region the first
+            // time control enters the function, are attributed to the
+            // call site by the tracer.
+            dst.insert(dst.end(), callSites_[f].begin(),
+                       callSites_[f].end());
+            sortUnique(dst);
+        }
+    }
+}
+
+const std::vector<ir::StmtId>&
+StaticDepGraph::mayDefs(ir::StmtId use, uint8_t slot) const
+{
+    const ir::Instr& in = mod_->instr(use);
+    SlotInfo si = slotInfo(in, slot);
+    switch (si.kind) {
+      case SlotKind::Reg:
+        return slotDefs_[size_t{use} * 2 + slot];
+      case SlotKind::Mem:
+        return stores_;
+      case SlotKind::CallRet:
+        return retOut_[static_cast<ir::FuncId>(in.imm)];
+      case SlotKind::None:
+        break;
+    }
+    return empty_;
+}
+
+bool
+StaticDepGraph::mayDepend(ir::StmtId use, uint8_t slot,
+                          ir::StmtId def) const
+{
+    return contains(mayDefs(use, slot), def);
+}
+
+const std::vector<ir::StmtId>&
+StaticDepGraph::cdParents(ir::StmtId use) const
+{
+    const ir::StmtRef& ref = mod_->stmtRef(use);
+    return cd_[ref.func][ref.block];
+}
+
+bool
+StaticDepGraph::mayControl(ir::StmtId use, ir::StmtId def) const
+{
+    return contains(cdParents(use), def);
+}
+
+std::vector<bool>
+StaticDepGraph::backwardSlice(ir::StmtId seed) const
+{
+    std::vector<bool> in(mod_->numStmts(), false);
+    std::vector<ir::StmtId> work;
+    in[seed] = true;
+    work.push_back(seed);
+    while (!work.empty()) {
+        ir::StmtId s = work.back();
+        work.pop_back();
+        auto visit = [&](const std::vector<ir::StmtId>& defs) {
+            for (ir::StmtId d : defs) {
+                if (!in[d]) {
+                    in[d] = true;
+                    work.push_back(d);
+                }
+            }
+        };
+        visit(mayDefs(s, 0));
+        visit(mayDefs(s, 1));
+        visit(cdParents(s));
+    }
+    return in;
+}
+
+} // namespace analysis
+} // namespace wet

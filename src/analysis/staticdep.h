@@ -1,0 +1,147 @@
+#ifndef WET_ANALYSIS_STATICDEP_H
+#define WET_ANALYSIS_STATICDEP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/moduleanalysis.h"
+#include "analysis/reachingdefs.h"
+#include "ir/module.h"
+
+namespace wet {
+namespace analysis {
+
+/**
+ * What a dependence slot of a dynamic statement event statically
+ * stands for. The tracing interpreter records up to two data
+ * dependences per executed statement, indexed by slot; this mirrors
+ * that layout exactly so dynamic DD edges can be checked against the
+ * static may-dependence sets slot by slot.
+ */
+enum class SlotKind : uint8_t
+{
+    None,    //!< the slot is never populated for this opcode
+    Reg,     //!< register read: def is a reaching definition
+    Mem,     //!< memory read (Load slot 1): def is some Store
+    CallRet, //!< call return (Call slot 0): def produced the value
+             //!< returned by the callee
+};
+
+struct SlotInfo
+{
+    SlotKind kind = SlotKind::None;
+    /** The register read; valid only for SlotKind::Reg. */
+    ir::RegId reg = ir::kNoReg;
+};
+
+/** Static meaning of dependence slot @p slot of instruction @p in. */
+SlotInfo slotInfo(const ir::Instr& in, uint8_t slot);
+
+/**
+ * Whole-module static may-dependence graph: the conservative
+ * over-approximation every dynamic DD/CD edge of a WET must fall
+ * inside.
+ *
+ * Data dependences come from per-function reaching definitions
+ * (ReachingDefs) extended interprocedurally:
+ *  - a parameter register use reached by the function-entry
+ *    pseudo-definition may receive its value from any argument
+ *    definition at any call site of the function (paramIn sets,
+ *    solved as a fixpoint over the call graph, so parameters
+ *    forwarded through chains of calls are covered);
+ *  - a Load's memory slot may depend on any Store of the module
+ *    (flat may-alias memory model — matches the interpreter's single
+ *    word-addressed memory);
+ *  - a Call statement's return slot may depend on any definition
+ *    that can flow into a Ret of the callee (retOut sets).
+ *
+ * Control dependences reuse the FOW ControlDep pass: a statement may
+ * be control dependent on the Br terminator of any static CD parent
+ * of its block, or on any call site of its function (the dynamic
+ * tracer attributes parentless regions — and every region on the
+ * first entry into a function — to the calling instruction).
+ *
+ * All query results are sorted StmtId vectors, so containment checks
+ * are binary searches.
+ */
+class StaticDepGraph
+{
+  public:
+    explicit StaticDepGraph(const ModuleAnalysis& ma);
+
+    /**
+     * Statements that may define dependence slot @p slot of @p use.
+     * Sorted ascending; empty for slots the opcode never populates.
+     */
+    const std::vector<ir::StmtId>& mayDefs(ir::StmtId use,
+                                           uint8_t slot) const;
+
+    /** True when @p def ∈ mayDefs(use, slot). */
+    bool mayDepend(ir::StmtId use, uint8_t slot, ir::StmtId def) const;
+
+    /**
+     * Statements @p use may be dynamically control dependent on: the
+     * Br terminators of its block's static CD parents plus every call
+     * site of its function. Sorted ascending.
+     */
+    const std::vector<ir::StmtId>& cdParents(ir::StmtId use) const;
+
+    /** True when @p def ∈ cdParents(use). */
+    bool mayControl(ir::StmtId use, ir::StmtId def) const;
+
+    /**
+     * Static backward slice from @p seed: the transitive closure of
+     * may-DD and may-CD predecessors. Indexed by StmtId.
+     */
+    std::vector<bool> backwardSlice(ir::StmtId seed) const;
+
+    const ReachingDefs& reaching(ir::FuncId f) const { return rd_[f]; }
+    /** Call statements targeting @p f, sorted. */
+    const std::vector<ir::StmtId>& callSites(ir::FuncId f) const
+    {
+        return callSites_[f];
+    }
+    /** Every Store statement of the module, sorted. */
+    const std::vector<ir::StmtId>& stores() const { return stores_; }
+    /** Definitions that may flow into a Ret of @p f, sorted. */
+    const std::vector<ir::StmtId>& retOut(ir::FuncId f) const
+    {
+        return retOut_[f];
+    }
+    /**
+     * Definitions that may flow into parameter @p p of @p f from its
+     * call sites, sorted.
+     */
+    const std::vector<ir::StmtId>& paramIn(ir::FuncId f,
+                                           uint32_t p) const
+    {
+        return paramIn_[f][p];
+    }
+
+    const ir::Module& module() const { return *mod_; }
+
+  private:
+    void collectSites();
+    void solveParamIn();
+    void computeRetOut();
+    void buildSlotDefs();
+    void buildCdParents(const ModuleAnalysis& ma);
+
+    const ir::Module* mod_;
+    std::vector<ReachingDefs> rd_;
+    std::vector<std::vector<ir::StmtId>> callSites_;
+    std::vector<ir::StmtId> stores_;
+    /** paramIn_[f][p]: may-defs of parameter p arriving at entry. */
+    std::vector<std::vector<std::vector<ir::StmtId>>> paramIn_;
+    std::vector<std::vector<ir::StmtId>> retOut_;
+    /** slotDefs_[stmt*2+slot]: may-defs of register slots. */
+    std::vector<std::vector<ir::StmtId>> slotDefs_;
+    /** cd_[f][block]: legal dynamic CD defs for the block's stmts. */
+    std::vector<std::vector<std::vector<ir::StmtId>>> cd_;
+    std::vector<ir::StmtId> empty_;
+};
+
+} // namespace analysis
+} // namespace wet
+
+#endif // WET_ANALYSIS_STATICDEP_H

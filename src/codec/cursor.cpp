@@ -17,6 +17,7 @@ StreamCursor::StreamCursor(const CompressedStream& s, Mode mode)
         size_t pos = 0;
         for (uint64_t i = 0; i < s.length; ++i)
             rawVals_.push_back(s.misses.readSignedAt(pos));
+        decodeSteps_ = s.length;
         return;
     }
     blModel_ = makeModel(s.config);
@@ -43,6 +44,7 @@ StreamCursor::initFront()
     sweepStart_ = 0;
     flagPos_ = 0;
     missPos_ = 0;
+    decodeSteps_ += n_; // window materialization
 }
 
 void
@@ -58,6 +60,7 @@ StreamCursor::initFromCheckpoint(const CompressedStream::Checkpoint& cp)
     sweepStart_ = cp.machinePos;
     flagPos_ = cp.flagPos;
     missPos_ = cp.missPos;
+    decodeSteps_ += n_; // window materialization
 }
 
 const int64_t*
@@ -92,6 +95,7 @@ StreamCursor::stepForward()
         detail::pushEntryReversed(frFlags_, frVals_, fe, idxBits_);
     }
     ++machinePos_;
+    ++decodeSteps_;
 }
 
 bool
@@ -111,6 +115,7 @@ StreamCursor::stepBackward()
     detail::unreadEntryForward(s_->flags, s_->misses, flagPos_,
                                missPos_, be, idxBits_);
     --machinePos_;
+    ++decodeSteps_;
     return s_->flags.get(flagPos_) == be.hit;
 }
 

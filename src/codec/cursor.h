@@ -74,6 +74,14 @@ class StreamCursor
     void seek(uint64_t q) { pos_ = q; }
 
     /**
+     * Decode work performed so far, in machine steps (one per value
+     * entering the window, either direction; Raw streams count their
+     * full up-front decode). The cursor-locality benches divide this
+     * by length() to estimate the fraction of the stream touched.
+     */
+    uint64_t decodeSteps() const { return decodeSteps_; }
+
+    /**
      * Scan the whole stream, storing a decode checkpoint into @p out
      * every @p interval values (encoder helper; requires a fresh
      * Forward cursor over @p out itself).
@@ -109,6 +117,7 @@ class StreamCursor
     int64_t ctxBuf_[10];
 
     uint64_t pos_ = 0; //!< logical next()/prev() position
+    uint64_t decodeSteps_ = 0;
 };
 
 } // namespace codec

@@ -30,6 +30,35 @@ class SeqReader
 };
 
 /**
+ * The sequences a dependence-walking client (WetSlicer) needs from a
+ * WET: the graph structure, per-node timestamps, and the pooled edge
+ * label streams. WetAccess implements it over either tier; the
+ * slicing engines in cursorslicer.h implement it with instrumented
+ * backward cursors or an eager full decode, so the same slicer code
+ * runs — and can be compared byte-for-byte — over every strategy.
+ */
+class SliceAccess
+{
+  public:
+    virtual ~SliceAccess() = default;
+
+    virtual const WetGraph& graph() const = 0;
+    /** Timestamp sequence of a node. */
+    virtual SeqReader& ts(NodeId n) = 0;
+    /** Use-side instance stream of a pooled edge label sequence. */
+    virtual SeqReader& poolUse(uint32_t pool_idx) = 0;
+    /** Def-side instance stream of a pooled edge label sequence. */
+    virtual SeqReader& poolDef(uint32_t pool_idx) = 0;
+
+    /** Timestamp of node instance. */
+    Timestamp
+    timestamp(NodeId n, uint32_t inst)
+    {
+        return static_cast<Timestamp>(ts(n).at(inst));
+    }
+};
+
+/**
  * Query-side view of a WET at a chosen compression tier. Constructed
  * either over the tier-1 graph (label vectors) or over a
  * WetCompressed (tier-2 cursors). Readers are cached per sequence so
@@ -39,7 +68,7 @@ class SeqReader
  * against this interface, which is the paper's central claim: the
  * compressed WET remains directly traversable.
  */
-class WetAccess
+class WetAccess : public SliceAccess
 {
   public:
     /** Tier-1 access over raw label vectors. */
@@ -48,27 +77,17 @@ class WetAccess
     /** Tier-2 access over compressed streams. */
     WetAccess(const WetCompressed& c, const ir::Module& mod);
 
-    const WetGraph& graph() const { return *g_; }
+    const WetGraph& graph() const override { return *g_; }
     const ir::Module& module() const { return *mod_; }
     bool tier2() const { return c_ != nullptr; }
 
-    /** Timestamp sequence of a node. */
-    SeqReader& ts(NodeId n);
+    SeqReader& ts(NodeId n) override;
     /** Pattern sequence of (node, group). */
     SeqReader& pattern(NodeId n, uint32_t group);
     /** Unique values of (node, group, member). */
     SeqReader& uvals(NodeId n, uint32_t group, uint32_t member);
-    /** Use-side instance stream of a pooled edge label sequence. */
-    SeqReader& poolUse(uint32_t pool_idx);
-    /** Def-side instance stream of a pooled edge label sequence. */
-    SeqReader& poolDef(uint32_t pool_idx);
-
-    /** Timestamp of node instance. */
-    Timestamp
-    timestamp(NodeId n, uint32_t inst)
-    {
-        return static_cast<Timestamp>(ts(n).at(inst));
-    }
+    SeqReader& poolUse(uint32_t pool_idx) override;
+    SeqReader& poolDef(uint32_t pool_idx) override;
 
     /**
      * Value produced by statement position @p pos of node @p n at

@@ -1,0 +1,193 @@
+#include "cursorslicer.h"
+
+#include <algorithm>
+
+#include "codec/encoder.h"
+
+namespace wet {
+namespace core {
+
+namespace {
+
+enum StreamKind : uint64_t
+{
+    kTs = 1,
+    kPoolUse = 2,
+    kPoolDef = 3,
+};
+
+uint64_t
+streamKey(StreamKind kind, uint64_t idx)
+{
+    return (kind << 60) | idx;
+}
+
+} // namespace
+
+uint64_t
+artifactStreamBytes(const WetCompressed& c)
+{
+    uint64_t total = 0;
+    const WetGraph& g = c.graph();
+    for (NodeId n = 0; n < g.nodes.size(); ++n) {
+        const CompressedNode& cn = c.node(n);
+        total += cn.ts.sizeBytes();
+        for (const auto& p : cn.patterns)
+            total += p.sizeBytes();
+        for (const auto& grp : cn.uvals)
+            for (const auto& uv : grp)
+                total += uv.sizeBytes();
+    }
+    for (uint32_t p = 0; p < g.labelPool.size(); ++p) {
+        total += c.pool(p).useInst.sizeBytes();
+        total += c.pool(p).defInst.sizeBytes();
+    }
+    return total;
+}
+
+// ---------------------------------------------------------------- //
+
+struct CursorSliceAccess::OpenStream : public SeqReader
+{
+    explicit OpenStream(const codec::CompressedStream& s)
+        : stream(&s),
+          cursor(s, codec::StreamCursor::Mode::Bidirectional)
+    {
+    }
+
+    uint64_t length() const override { return cursor.length(); }
+    int64_t at(uint64_t i) override { return cursor.at(i); }
+
+    const codec::CompressedStream* stream;
+    codec::StreamCursor cursor;
+};
+
+CursorSliceAccess::CursorSliceAccess(const WetCompressed& c) : c_(&c)
+{
+}
+
+CursorSliceAccess::~CursorSliceAccess() = default;
+
+SeqReader&
+CursorSliceAccess::open(uint64_t key, const codec::CompressedStream& s)
+{
+    auto it = open_.find(key);
+    if (it != open_.end())
+        return *it->second;
+    auto reader = std::make_unique<OpenStream>(s);
+    SeqReader& ref = *reader;
+    open_[key] = std::move(reader);
+    return ref;
+}
+
+SeqReader&
+CursorSliceAccess::ts(NodeId n)
+{
+    return open(streamKey(kTs, n), c_->node(n).ts);
+}
+
+SeqReader&
+CursorSliceAccess::poolUse(uint32_t pool_idx)
+{
+    return open(streamKey(kPoolUse, pool_idx),
+                c_->pool(pool_idx).useInst);
+}
+
+SeqReader&
+CursorSliceAccess::poolDef(uint32_t pool_idx)
+{
+    return open(streamKey(kPoolDef, pool_idx),
+                c_->pool(pool_idx).defInst);
+}
+
+SliceIoStats
+CursorSliceAccess::stats() const
+{
+    SliceIoStats st;
+    st.bytesTotal = artifactStreamBytes(*c_);
+    for (const auto& [key, os] : open_) {
+        (void)key;
+        ++st.streamsOpened;
+        uint64_t steps = os->cursor.decodeSteps();
+        st.valuesDecoded += steps;
+        uint64_t len = os->stream->length;
+        uint64_t bytes = os->stream->sizeBytes();
+        // A cursor may revisit values (steps > length); the at-rest
+        // bytes of a stream can only be touched once each.
+        st.bytesTouched +=
+            len == 0 ? bytes
+                     : std::min(bytes, bytes * steps / len);
+    }
+    return st;
+}
+
+// ---------------------------------------------------------------- //
+
+struct DecodeSliceAccess::DecodedStream : public SeqReader
+{
+    explicit DecodedStream(const codec::CompressedStream& s)
+        : stream(&s), values(codec::decodeAll(s))
+    {
+    }
+
+    uint64_t length() const override { return values.size(); }
+    int64_t at(uint64_t i) override { return values[i]; }
+
+    const codec::CompressedStream* stream;
+    std::vector<int64_t> values;
+};
+
+DecodeSliceAccess::DecodeSliceAccess(const WetCompressed& c) : c_(&c)
+{
+}
+
+DecodeSliceAccess::~DecodeSliceAccess() = default;
+
+SeqReader&
+DecodeSliceAccess::open(uint64_t key, const codec::CompressedStream& s)
+{
+    auto it = open_.find(key);
+    if (it != open_.end())
+        return *it->second;
+    auto reader = std::make_unique<DecodedStream>(s);
+    SeqReader& ref = *reader;
+    open_[key] = std::move(reader);
+    return ref;
+}
+
+SeqReader&
+DecodeSliceAccess::ts(NodeId n)
+{
+    return open(streamKey(kTs, n), c_->node(n).ts);
+}
+
+SeqReader&
+DecodeSliceAccess::poolUse(uint32_t pool_idx)
+{
+    return open(streamKey(kPoolUse, pool_idx),
+                c_->pool(pool_idx).useInst);
+}
+
+SeqReader&
+DecodeSliceAccess::poolDef(uint32_t pool_idx)
+{
+    return open(streamKey(kPoolDef, pool_idx),
+                c_->pool(pool_idx).defInst);
+}
+
+SliceIoStats
+DecodeSliceAccess::stats() const
+{
+    SliceIoStats st;
+    st.bytesTotal = artifactStreamBytes(*c_);
+    for (const auto& [key, ds] : open_) {
+        (void)key;
+        ++st.streamsOpened;
+        st.valuesDecoded += ds->values.size();
+        st.bytesTouched += ds->stream->sizeBytes();
+    }
+    return st;
+}
+
+} // namespace core
+} // namespace wet

@@ -1,0 +1,103 @@
+#ifndef WET_CORE_CURSORSLICER_H
+#define WET_CORE_CURSORSLICER_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/cursor.h"
+#include "core/access.h"
+#include "core/compressed.h"
+
+namespace wet {
+namespace core {
+
+/**
+ * I/O accounting of one slicing engine over a compressed artifact:
+ * how much of the artifact the engine had to open and decode to
+ * answer its queries. bytesTouched is an estimate — per opened
+ * stream, its at-rest size scaled by the fraction of values the
+ * cursor actually decoded (a full decode touches every byte exactly
+ * once, so the estimate is exact for DecodeSliceAccess).
+ */
+struct SliceIoStats
+{
+    uint64_t streamsOpened = 0;
+    uint64_t valuesDecoded = 0; //!< cursor machine steps
+    uint64_t bytesTouched = 0;
+    uint64_t bytesTotal = 0; //!< all label-stream bytes at rest
+
+    double
+    fractionTouched() const
+    {
+        return bytesTotal == 0
+                   ? 0.0
+                   : static_cast<double>(bytesTouched) /
+                         static_cast<double>(bytesTotal);
+    }
+};
+
+/**
+ * Slicing engine that walks the compressed artifact directly through
+ * bidirectional StreamCursors (the paper's traversal-without-
+ * decompression claim, §5): each label stream is opened lazily on
+ * first touch, and backward slice steps ride the cursor's O(1)
+ * backward machine instead of decoding the stream. stats() reports
+ * how little of the artifact a slice actually touched.
+ */
+class CursorSliceAccess : public SliceAccess
+{
+  public:
+    explicit CursorSliceAccess(const WetCompressed& c);
+    ~CursorSliceAccess() override;
+
+    const WetGraph& graph() const override { return c_->graph(); }
+    SeqReader& ts(NodeId n) override;
+    SeqReader& poolUse(uint32_t pool_idx) override;
+    SeqReader& poolDef(uint32_t pool_idx) override;
+
+    SliceIoStats stats() const;
+
+  private:
+    SeqReader& open(uint64_t key, const codec::CompressedStream& s);
+
+    const WetCompressed* c_;
+    struct OpenStream;
+    std::unordered_map<uint64_t, std::unique_ptr<OpenStream>> open_;
+};
+
+/**
+ * Reference engine: the same SliceAccess surface, but every stream
+ * is fully decoded into a vector on first touch (what a conventional
+ * decompress-then-analyze pipeline pays). Slices must come out
+ * byte-identical to CursorSliceAccess; only stats() differs.
+ */
+class DecodeSliceAccess : public SliceAccess
+{
+  public:
+    explicit DecodeSliceAccess(const WetCompressed& c);
+    ~DecodeSliceAccess() override;
+
+    const WetGraph& graph() const override { return c_->graph(); }
+    SeqReader& ts(NodeId n) override;
+    SeqReader& poolUse(uint32_t pool_idx) override;
+    SeqReader& poolDef(uint32_t pool_idx) override;
+
+    SliceIoStats stats() const;
+
+  private:
+    SeqReader& open(uint64_t key, const codec::CompressedStream& s);
+
+    const WetCompressed* c_;
+    struct DecodedStream;
+    std::unordered_map<uint64_t, std::unique_ptr<DecodedStream>>
+        open_;
+};
+
+/** Sum of all label-stream at-rest bytes of @p c (stats baseline). */
+uint64_t artifactStreamBytes(const WetCompressed& c);
+
+} // namespace core
+} // namespace wet
+
+#endif // WET_CORE_CURSORSLICER_H

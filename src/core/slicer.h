@@ -36,7 +36,7 @@ struct SliceResult
 class WetSlicer
 {
   public:
-    explicit WetSlicer(WetAccess& acc) : acc_(&acc) {}
+    explicit WetSlicer(SliceAccess& acc) : acc_(&acc) {}
 
     /** Dynamic backward slice from @p seed. */
     SliceResult backward(const SliceItem& seed,
@@ -60,7 +60,7 @@ class WetSlicer
     SliceResult run(const SliceItem& seed, uint64_t max_items,
                     bool fwd);
 
-    WetAccess* acc_;
+    SliceAccess* acc_;
 };
 
 } // namespace core

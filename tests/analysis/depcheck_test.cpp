@@ -1,0 +1,250 @@
+#include "analysis/depcheck.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "analysis/diag.h"
+#include "analysis/staticdep.h"
+#include "core/compressed.h"
+#include "testutil.h"
+#include "workloads/runner.h"
+#include "workloads/workloads.h"
+
+namespace wet {
+namespace analysis {
+namespace {
+
+using test::runPipeline;
+
+// ---------------------------------------------------------------- //
+// Positive: every workload WET is inside its static may-dependence
+// set, at both serial and parallel analysis thread counts. This is
+// the cross-validation the depcheck pass exists for: the tracer, the
+// WET builder, and the static framework are three independent
+// implementations that must agree.
+
+struct DepCheckCase
+{
+    size_t workload;
+    unsigned threads;
+};
+
+class WorkloadDepCheck
+    : public ::testing::TestWithParam<DepCheckCase>
+{
+};
+
+TEST_P(WorkloadDepCheck, DynamicEdgesWithinStaticSets)
+{
+    const DepCheckCase& c = GetParam();
+    const workloads::Workload& w =
+        workloads::allWorkloads()[c.workload];
+    workloads::BuildConfig cfg;
+    cfg.threads = c.threads;
+    auto art = workloads::buildWet(w, 1, nullptr, cfg);
+
+    StaticDepGraph sdg(*art->ma);
+    DiagEngine diag;
+    DepCheckStats stats;
+    bool ok = verifyDeps(art->graph, *art->ma, sdg, diag, nullptr,
+                         DepCheckOptions{}, &stats);
+    EXPECT_TRUE(ok) << diag.renderText();
+    EXPECT_EQ(diag.diagnostics().size(), 0u) << diag.renderText();
+    // The run must have actually exercised the checks.
+    EXPECT_GT(stats.ddEdges, 0u);
+    EXPECT_GT(stats.cdEdges, 0u);
+    EXPECT_GT(stats.sliceSeeds, 0u);
+    EXPECT_GT(stats.sliceItems, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadDepCheck,
+    ::testing::Values(
+        DepCheckCase{0, 1}, DepCheckCase{1, 1}, DepCheckCase{2, 1},
+        DepCheckCase{3, 1}, DepCheckCase{4, 1}, DepCheckCase{5, 1},
+        DepCheckCase{6, 1}, DepCheckCase{7, 1}, DepCheckCase{8, 1},
+        DepCheckCase{0, 8}, DepCheckCase{1, 8}, DepCheckCase{2, 8},
+        DepCheckCase{3, 8}, DepCheckCase{4, 8}, DepCheckCase{5, 8},
+        DepCheckCase{6, 8}, DepCheckCase{7, 8}, DepCheckCase{8, 8}),
+    [](const ::testing::TestParamInfo<DepCheckCase>& info) {
+        std::string n =
+            workloads::allWorkloads()[info.param.workload].name;
+        for (char& ch : n)
+            if (!isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return n + "_t" + std::to_string(info.param.threads);
+    });
+
+TEST(DepCheckTest, CleanOnCompressedLabels)
+{
+    // WET014 walking the tier-2 pools must agree with tier-1.
+    auto p = runPipeline(R"(
+        fn gcd(a, b) {
+            while (b != 0) { var t = a % b; a = b; b = t; }
+            return a;
+        }
+        fn main() {
+            mem[0] = in();
+            mem[1] = in();
+            out(gcd(mem[0], mem[1]));
+        }
+    )",
+                         {252, 105});
+    StaticDepGraph sdg(*p->ma);
+    core::WetCompressed comp(p->graph);
+    core::WetGraph stripped = p->graph;
+    for (auto& pool : stripped.labelPool) {
+        pool.useInst.clear();
+        pool.defInst.clear();
+    }
+    DiagEngine diag;
+    EXPECT_TRUE(
+        verifyDeps(stripped, *p->ma, sdg, diag, &comp));
+    EXPECT_EQ(diag.diagnostics().size(), 0u) << diag.renderText();
+}
+
+// ---------------------------------------------------------------- //
+// Negative: corrupt one edge of a healthy WET and the matching rule
+// must fire.
+
+const char* kMutantProgram = R"(
+    fn main() {
+        var a = in();
+        var b = in();
+        mem[a] = b;
+        var v = mem[a];
+        if (v > 2) { out(a); } else { out(b); }
+    }
+)";
+
+TEST(DepCheckTest, RetargetedDataDefFiresWET011)
+{
+    auto p = runPipeline(kMutantProgram, {3, 7});
+    StaticDepGraph sdg(*p->ma);
+    // Move a register DD edge's def onto a statement that cannot
+    // define the slot (the use statement itself).
+    bool mutated = false;
+    for (auto& e : p->graph.edges) {
+        if (e.slot == core::kCdSlot)
+            continue;
+        const ir::Instr& use =
+            p->module->instr(p->graph.nodes[e.useNode]
+                                 .stmts[e.useStmtPos]);
+        if (slotInfo(use, e.slot).kind != SlotKind::Reg)
+            continue;
+        e.defNode = e.useNode;
+        e.defStmtPos = e.useStmtPos;
+        mutated = true;
+        break;
+    }
+    ASSERT_TRUE(mutated);
+    DiagEngine diag;
+    EXPECT_FALSE(verifyDeps(p->graph, *p->ma, sdg, diag));
+    EXPECT_TRUE(diag.hasRule("WET011")) << diag.renderText();
+}
+
+TEST(DepCheckTest, NonStoreMemoryDefFiresWET012)
+{
+    auto p = runPipeline(kMutantProgram, {3, 7});
+    StaticDepGraph sdg(*p->ma);
+    bool mutated = false;
+    for (auto& e : p->graph.edges) {
+        if (e.slot != 1)
+            continue;
+        const ir::Instr& use =
+            p->module->instr(p->graph.nodes[e.useNode]
+                                 .stmts[e.useStmtPos]);
+        if (use.op != ir::Opcode::Load)
+            continue;
+        // Memory defs must be Stores; the Load itself is not one.
+        e.defNode = e.useNode;
+        e.defStmtPos = e.useStmtPos;
+        mutated = true;
+        break;
+    }
+    ASSERT_TRUE(mutated);
+    DiagEngine diag;
+    EXPECT_FALSE(verifyDeps(p->graph, *p->ma, sdg, diag));
+    EXPECT_TRUE(diag.hasRule("WET012")) << diag.renderText();
+}
+
+TEST(DepCheckTest, RetargetedControlDefFiresWET013)
+{
+    auto p = runPipeline(kMutantProgram, {3, 7});
+    StaticDepGraph sdg(*p->ma);
+    bool mutated = false;
+    for (auto& e : p->graph.edges) {
+        if (e.slot != core::kCdSlot)
+            continue;
+        // A CD def must be a Br (or call site); point it at the
+        // controlled statement instead.
+        e.defNode = e.useNode;
+        e.defStmtPos = e.useStmtPos;
+        mutated = true;
+        break;
+    }
+    ASSERT_TRUE(mutated);
+    DiagEngine diag;
+    EXPECT_FALSE(verifyDeps(p->graph, *p->ma, sdg, diag));
+    EXPECT_TRUE(diag.hasRule("WET013")) << diag.renderText();
+}
+
+TEST(DepCheckTest, SliceEscapeFiresWET014)
+{
+    // out(a) must not reach b's input; rewire its DD edge onto b's
+    // producer so the dynamic slice walks outside the static slice.
+    auto p = runPipeline(R"(
+        fn main() {
+            var a = in();
+            var b = in();
+            out(a);
+            out(b);
+        }
+    )",
+                         {5, 6});
+    StaticDepGraph sdg(*p->ma);
+    const ir::Function& fn =
+        p->module->function(p->module->entryFunction());
+    ir::StmtId outA = ir::kNoStmt, inB = ir::kNoStmt;
+    int ins = 0;
+    for (const auto& blk : fn.blocks)
+        for (const auto& in : blk.instrs) {
+            if (in.op == ir::Opcode::In && ++ins == 2)
+                inB = in.stmt;
+            if (in.op == ir::Opcode::Out && outA == ir::kNoStmt)
+                outA = in.stmt;
+        }
+    ASSERT_NE(inB, ir::kNoStmt);
+    ASSERT_NE(outA, ir::kNoStmt);
+    bool mutated = false;
+    for (auto& e : p->graph.edges) {
+        if (e.slot == core::kCdSlot)
+            continue;
+        if (p->graph.nodes[e.useNode].stmts[e.useStmtPos] != outA)
+            continue;
+        // The straight-line program traces as one node, so b's
+        // input is a position of the same def node.
+        const core::WetNode& dn = p->graph.nodes[e.defNode];
+        for (uint32_t pos = 0; pos < dn.stmts.size(); ++pos) {
+            if (dn.stmts[pos] == inB) {
+                e.defStmtPos = pos;
+                mutated = true;
+                break;
+            }
+        }
+        break;
+    }
+    ASSERT_TRUE(mutated);
+    DiagEngine diag;
+    EXPECT_FALSE(verifyDeps(p->graph, *p->ma, sdg, diag));
+    // The rewired edge both violates the may-def set and drags the
+    // dynamic slice outside the static one.
+    EXPECT_TRUE(diag.hasRule("WET011")) << diag.renderText();
+    EXPECT_TRUE(diag.hasRule("WET014")) << diag.renderText();
+}
+
+} // namespace
+} // namespace analysis
+} // namespace wet

@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "analysis/controldep.h"
+#include "analysis/dominators.h"
+#include "analysis/reachingdefs.h"
+#include "ir/builder.h"
+
+// Differential fuzzing of the static dependence building blocks:
+// random CFGs are checked against naive oracles that share no code
+// with the production passes (removal-reachability instead of the
+// Cooper-Harvey-Kennedy solver, per-definition flooding instead of
+// bitset dataflow). Iteration count is tunable with FUZZ_ITERS.
+
+namespace wet {
+namespace analysis {
+namespace {
+
+int
+fuzzIters()
+{
+    if (const char* e = std::getenv("FUZZ_ITERS"))
+        return std::max(1, std::atoi(e));
+    return 200;
+}
+
+/** Random single-function module; every block gets a terminator. */
+ir::Module
+randomModule(std::mt19937& rng)
+{
+    auto pick = [&](uint32_t n) {
+        return std::uniform_int_distribution<uint32_t>(0, n - 1)(rng);
+    };
+    const uint32_t numBlocks = 2 + pick(9); // 2..10
+    const uint32_t numNamed = 2 + pick(3);  // 2..4
+
+    ir::ModuleBuilder mb;
+    auto& f = mb.beginFunction("main", 0);
+    std::vector<ir::RegId> named;
+    for (uint32_t i = 0; i < numNamed; ++i)
+        named.push_back(f.newReg());
+    std::vector<ir::BlockId> blocks{f.currentBlock()};
+    for (uint32_t b = 1; b < numBlocks; ++b)
+        blocks.push_back(f.newBlock());
+
+    for (uint32_t b = 0; b < numBlocks; ++b) {
+        f.switchTo(blocks[b]);
+        if (b == 0) // give every named register an initial def
+            for (ir::RegId r : named)
+                f.emitConstInto(r, pick(100));
+        const uint32_t ops = pick(3); // 0..2
+        for (uint32_t i = 0; i < ops; ++i) {
+            switch (pick(3)) {
+            case 0:
+                f.emitConstInto(named[pick(numNamed)], pick(100));
+                break;
+            case 1:
+                f.emitMovInto(named[pick(numNamed)],
+                              named[pick(numNamed)]);
+                break;
+            default: {
+                ir::RegId t = f.emitBinary(
+                    pick(2) ? ir::Opcode::Add : ir::Opcode::Xor,
+                    named[pick(numNamed)], named[pick(numNamed)]);
+                f.emitMovInto(named[pick(numNamed)], t);
+                break;
+            }
+            }
+        }
+        const uint32_t kind = pick(10);
+        if (kind < 5)
+            f.emitBr(named[pick(numNamed)],
+                     blocks[pick(numBlocks)],
+                     blocks[pick(numBlocks)]);
+        else if (kind < 8)
+            f.emitJmp(blocks[pick(numBlocks)]);
+        else
+            f.emitRet(named[pick(numNamed)]);
+    }
+    mb.endFunction();
+    return mb.build();
+}
+
+// ---------------------------------------------------------------- //
+// Naive control dependence
+
+/** Successor lists over the exit-augmented CFG (vexit included). */
+std::vector<std::vector<ir::BlockId>>
+augmentedSuccs(const ir::Function& fn)
+{
+    const uint32_t n = fn.numBlocks();
+    const ir::BlockId vexit = n;
+    std::vector<std::vector<ir::BlockId>> succs(n + 1);
+    for (ir::BlockId b = 0; b < n; ++b) {
+        succs[b] = fn.blocks[b].succs;
+        ir::Opcode t = fn.blocks[b].terminator().op;
+        if (t == ir::Opcode::Ret || t == ir::Opcode::Halt)
+            succs[b].push_back(vexit);
+    }
+    // Blocks with no path to the exit (infinite loops) are attached
+    // directly, mirroring DomTree::postDominators.
+    std::vector<bool> reaches(n + 1, false);
+    reaches[vexit] = true;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (ir::BlockId b = 0; b < n; ++b) {
+            if (reaches[b])
+                continue;
+            for (ir::BlockId s : succs[b])
+                if (reaches[s]) {
+                    reaches[b] = true;
+                    changed = true;
+                    break;
+                }
+        }
+    }
+    for (ir::BlockId b = 0; b < n; ++b)
+        if (!reaches[b])
+            succs[b].push_back(vexit);
+    return succs;
+}
+
+/**
+ * Brute-force post-dominance: x post-dominates a iff removing x cuts
+ * every augmented path from a to the virtual exit.
+ */
+bool
+brutePostDom(const std::vector<std::vector<ir::BlockId>>& succs,
+             ir::BlockId x, ir::BlockId a)
+{
+    if (x == a)
+        return true;
+    const ir::BlockId vexit =
+        static_cast<ir::BlockId>(succs.size() - 1);
+    std::set<ir::BlockId> seen{a};
+    std::vector<ir::BlockId> work{a};
+    while (!work.empty()) {
+        ir::BlockId v = work.back();
+        work.pop_back();
+        if (v == vexit)
+            return false;
+        for (ir::BlockId s : succs[v]) {
+            if (s == x || seen.count(s))
+                continue;
+            seen.insert(s);
+            work.push_back(s);
+        }
+    }
+    return true;
+}
+
+/**
+ * Naive CD by definition: X is control dependent on edge (A, o) with
+ * successor s iff s does not post-dominate A, X post-dominates s,
+ * and X does not strictly post-dominate A.
+ */
+std::vector<std::vector<CdParent>>
+naiveControlDep(const ir::Function& fn)
+{
+    const uint32_t n = fn.numBlocks();
+    auto succs = augmentedSuccs(fn);
+    std::vector<std::vector<bool>> pdom(n, std::vector<bool>(n));
+    for (ir::BlockId x = 0; x < n; ++x)
+        for (ir::BlockId a = 0; a < n; ++a)
+            pdom[x][a] = brutePostDom(succs, x, a);
+
+    std::vector<std::vector<CdParent>> parents(n);
+    for (ir::BlockId a = 0; a < n; ++a) {
+        const auto& out = fn.blocks[a].succs;
+        for (size_t o = 0; o < out.size(); ++o) {
+            ir::BlockId s = out[o];
+            if (pdom[s][a])
+                continue;
+            for (ir::BlockId x = 0; x < n; ++x) {
+                if (!pdom[x][s])
+                    continue;
+                if (x != a && pdom[x][a])
+                    continue;
+                CdParent p{a, static_cast<uint8_t>(o)};
+                auto& vec = parents[x];
+                if (std::find(vec.begin(), vec.end(), p) ==
+                    vec.end())
+                    vec.push_back(p);
+            }
+        }
+    }
+    return parents;
+}
+
+std::vector<CdParent>
+sorted(std::vector<CdParent> v)
+{
+    std::sort(v.begin(), v.end(),
+              [](const CdParent& a, const CdParent& b) {
+                  return a.pred != b.pred ? a.pred < b.pred
+                                          : a.outcome < b.outcome;
+              });
+    return v;
+}
+
+// ---------------------------------------------------------------- //
+// Naive reaching definitions: flood each definition forward.
+
+struct NaiveReach
+{
+    /** reachEntry[b]: local def stmts of r live at entry of b. */
+    std::vector<std::vector<ir::StmtId>> reachEntry;
+    /** entryReach[b]: the entry pseudo-def of r is live at entry. */
+    std::vector<bool> entryReach;
+};
+
+bool
+defines(const ir::Instr& in, ir::RegId r)
+{
+    return ir::hasDef(in.op) && in.dest == r;
+}
+
+NaiveReach
+naiveReach(const ir::Function& fn, ir::RegId r)
+{
+    const uint32_t n = fn.numBlocks();
+    NaiveReach nr;
+    nr.reachEntry.resize(n);
+    nr.entryReach.assign(n, false);
+
+    auto floodFrom = [&](ir::BlockId start,
+                         auto&& markEntry) {
+        std::vector<bool> seen(n, false);
+        std::vector<ir::BlockId> work{start};
+        seen[start] = true;
+        while (!work.empty()) {
+            ir::BlockId b = work.back();
+            work.pop_back();
+            markEntry(b);
+            bool killed = false;
+            for (const auto& in : fn.blocks[b].instrs)
+                if (defines(in, r)) {
+                    killed = true;
+                    break;
+                }
+            if (killed)
+                continue;
+            for (ir::BlockId s : fn.blocks[b].succs)
+                if (!seen[s]) {
+                    seen[s] = true;
+                    work.push_back(s);
+                }
+        }
+    };
+
+    // The entry pseudo-definition floods from block 0's entry.
+    nr.entryReach[0] = true;
+    {
+        bool killed = false;
+        for (const auto& in : fn.blocks[0].instrs)
+            if (defines(in, r)) {
+                killed = true;
+                break;
+            }
+        if (!killed)
+            for (ir::BlockId s : fn.blocks[0].succs)
+                floodFrom(s,
+                          [&](ir::BlockId b) {
+                              nr.entryReach[b] = true;
+                          });
+    }
+    // Each real definition floods from the end of its block if it is
+    // downward exposed.
+    for (ir::BlockId b = 0; b < n; ++b) {
+        const auto& instrs = fn.blocks[b].instrs;
+        for (uint32_t i = 0; i < instrs.size(); ++i) {
+            if (!defines(instrs[i], r))
+                continue;
+            bool shadowed = false;
+            for (uint32_t j = i + 1; j < instrs.size(); ++j)
+                if (defines(instrs[j], r)) {
+                    shadowed = true;
+                    break;
+                }
+            if (shadowed)
+                continue;
+            ir::StmtId d = instrs[i].stmt;
+            for (ir::BlockId s : fn.blocks[b].succs)
+                floodFrom(s, [&](ir::BlockId x) {
+                    auto& v = nr.reachEntry[x];
+                    if (std::find(v.begin(), v.end(), d) == v.end())
+                        v.push_back(d);
+                });
+        }
+    }
+    for (auto& v : nr.reachEntry)
+        std::sort(v.begin(), v.end());
+    return nr;
+}
+
+/** Oracle answer for defsAt(use, r). */
+ReachingDefs::RegDefs
+naiveDefsAt(const ir::Function& fn, const NaiveReach& nr,
+            ir::BlockId b, uint32_t index, ir::RegId r)
+{
+    const auto& instrs = fn.blocks[b].instrs;
+    for (uint32_t j = index; j-- > 0;)
+        if (defines(instrs[j], r))
+            return ReachingDefs::RegDefs{{instrs[j].stmt}, false};
+    return ReachingDefs::RegDefs{nr.reachEntry[b],
+                                 nr.entryReach[b]};
+}
+
+// ---------------------------------------------------------------- //
+
+TEST(DepDiffTest, ControlDepMatchesRemovalReachabilityOracle)
+{
+    const int iters = fuzzIters();
+    for (int it = 0; it < iters; ++it) {
+        std::mt19937 rng(1000 + it);
+        ir::Module m = randomModule(rng);
+        const ir::Function& fn = m.function(0);
+        DomTree pd = DomTree::postDominators(fn);
+        ControlDep cd(fn, pd);
+        auto naive = naiveControlDep(fn);
+        for (ir::BlockId b = 0; b < fn.numBlocks(); ++b)
+            EXPECT_EQ(sorted(cd.parents(b)), sorted(naive[b]))
+                << "iter " << it << " block " << b;
+        if (::testing::Test::HasFailure())
+            break;
+    }
+}
+
+TEST(DepDiffTest, ReachingDefsMatchFloodingOracle)
+{
+    const int iters = fuzzIters();
+    for (int it = 0; it < iters; ++it) {
+        std::mt19937 rng(9000 + it);
+        ir::Module m = randomModule(rng);
+        const ir::Function& fn = m.function(0);
+        ReachingDefs rd(m, fn);
+        for (ir::RegId r = 0; r < fn.numRegs; ++r) {
+            NaiveReach nr = naiveReach(fn, r);
+            for (ir::BlockId b = 0; b < fn.numBlocks(); ++b) {
+                const auto& instrs = fn.blocks[b].instrs;
+                for (uint32_t i = 0; i < instrs.size(); ++i) {
+                    auto want = naiveDefsAt(fn, nr, b, i, r);
+                    auto got = rd.defsAt(instrs[i].stmt, r);
+                    EXPECT_EQ(got.stmts, want.stmts)
+                        << "iter " << it << " b" << b << " i" << i
+                        << " r" << r;
+                    EXPECT_EQ(got.fromEntry, want.fromEntry)
+                        << "iter " << it << " b" << b << " i" << i
+                        << " r" << r;
+                }
+            }
+        }
+        if (::testing::Test::HasFailure())
+            break;
+    }
+}
+
+} // namespace
+} // namespace analysis
+} // namespace wet

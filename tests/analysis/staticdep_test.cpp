@@ -1,0 +1,370 @@
+#include "analysis/staticdep.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/moduleanalysis.h"
+#include "analysis/reachingdefs.h"
+#include "ir/builder.h"
+#include "lang/codegen.h"
+
+namespace wet {
+namespace analysis {
+namespace {
+
+/** First statement of @p fn with opcode @p op (asserting it exists). */
+ir::StmtId
+findStmt(const ir::Function& fn, ir::Opcode op, int skip = 0)
+{
+    for (const auto& blk : fn.blocks)
+        for (const auto& in : blk.instrs)
+            if (in.op == op && skip-- == 0)
+                return in.stmt;
+    ADD_FAILURE() << "opcode not found in " << fn.name;
+    return ir::kNoStmt;
+}
+
+// ---------------------------------------------------------------- //
+// ReachingDefs
+
+TEST(ReachingDefsTest, DiamondMergesBothArmDefs)
+{
+    // b0: d0: r = 1; cond = in(); br cond -> b1 | b2
+    // b1: d1: r = 2; jmp b3        b2: d2: r = 3; jmp b3
+    // b3: out(r); halt
+    ir::ModuleBuilder mb;
+    auto& f = mb.beginFunction("main", 0);
+    ir::RegId r = f.newReg();
+    ir::BlockId b1 = f.newBlock(), b2 = f.newBlock(),
+                b3 = f.newBlock();
+    f.emitConstInto(r, 1);
+    ir::RegId cond = f.emitIn();
+    f.emitBr(cond, b1, b2);
+    f.switchTo(b1);
+    f.emitConstInto(r, 2);
+    f.emitJmp(b3);
+    f.switchTo(b2);
+    f.emitConstInto(r, 3);
+    f.emitJmp(b3);
+    f.switchTo(b3);
+    f.emitOut(r);
+    f.emitHalt();
+    mb.endFunction();
+    ir::Module m = mb.build();
+
+    const ir::Function& fn = m.function(0);
+    ReachingDefs rd(m, fn);
+    ir::StmtId d0 = findStmt(fn, ir::Opcode::Const, 0);
+    ir::StmtId d1 = findStmt(fn, ir::Opcode::Const, 1);
+    ir::StmtId d2 = findStmt(fn, ir::Opcode::Const, 2);
+    ir::StmtId use = findStmt(fn, ir::Opcode::Out);
+
+    ReachingDefs::RegDefs defs = rd.defsAt(use, r);
+    EXPECT_EQ(defs.stmts, (std::vector<ir::StmtId>{d1, d2}));
+    EXPECT_FALSE(defs.fromEntry);
+    // At the branch itself only d0 has happened.
+    ir::StmtId br = findStmt(fn, ir::Opcode::Br);
+    ReachingDefs::RegDefs atBr = rd.defsAt(br, r);
+    EXPECT_EQ(atBr.stmts, (std::vector<ir::StmtId>{d0}));
+    EXPECT_FALSE(atBr.fromEntry);
+}
+
+TEST(ReachingDefsTest, LoopHeaderSeesInitialAndCarriedDef)
+{
+    // b0: d0: i = 0; one = 1; jmp b1
+    // b1: out(i); t = i + one; d1: i = t; c = in(); br c -> b1 | b2
+    // b2: halt
+    ir::ModuleBuilder mb;
+    auto& f = mb.beginFunction("main", 0);
+    ir::RegId i = f.newReg();
+    ir::BlockId b1 = f.newBlock(), b2 = f.newBlock();
+    f.emitConstInto(i, 0);
+    ir::RegId one = f.emitConst(1);
+    f.emitJmp(b1);
+    f.switchTo(b1);
+    f.emitOut(i);
+    ir::RegId t = f.emitBinary(ir::Opcode::Add, i, one);
+    f.emitMovInto(i, t);
+    ir::RegId c = f.emitIn();
+    f.emitBr(c, b1, b2);
+    f.switchTo(b2);
+    f.emitHalt();
+    mb.endFunction();
+    ir::Module m = mb.build();
+
+    const ir::Function& fn = m.function(0);
+    ReachingDefs rd(m, fn);
+    ir::StmtId d0 = findStmt(fn, ir::Opcode::Const, 0);
+    ir::StmtId d1 = findStmt(fn, ir::Opcode::Mov);
+    ir::StmtId use = findStmt(fn, ir::Opcode::Out);
+
+    ReachingDefs::RegDefs defs = rd.defsAt(use, i);
+    EXPECT_EQ(defs.stmts, (std::vector<ir::StmtId>{d0, d1}));
+    EXPECT_FALSE(defs.fromEntry);
+    // After the Mov, only the carried def survives in-block.
+    ir::StmtId in = findStmt(fn, ir::Opcode::In);
+    EXPECT_EQ(rd.defsAt(in, i).stmts, (std::vector<ir::StmtId>{d1}));
+}
+
+TEST(ReachingDefsTest, UndefinedRegisterComesFromEntry)
+{
+    ir::ModuleBuilder mb;
+    auto& f = mb.beginFunction("main", 0);
+    ir::RegId r = f.newReg();
+    f.emitOut(r); // never defined locally
+    f.emitHalt();
+    mb.endFunction();
+    ir::Module m = mb.build();
+
+    const ir::Function& fn = m.function(0);
+    ReachingDefs rd(m, fn);
+    ReachingDefs::RegDefs defs =
+        rd.defsAt(findStmt(fn, ir::Opcode::Out), r);
+    EXPECT_TRUE(defs.stmts.empty());
+    EXPECT_TRUE(defs.fromEntry);
+}
+
+// ---------------------------------------------------------------- //
+// slotInfo
+
+TEST(SlotInfoTest, MirrorsInterpreterSlotLayout)
+{
+    ir::Instr in;
+    in.op = ir::Opcode::Add;
+    in.src0 = 3;
+    in.src1 = 4;
+    EXPECT_EQ(slotInfo(in, 0).kind, SlotKind::Reg);
+    EXPECT_EQ(slotInfo(in, 0).reg, 3u);
+    EXPECT_EQ(slotInfo(in, 1).kind, SlotKind::Reg);
+    EXPECT_EQ(slotInfo(in, 1).reg, 4u);
+
+    in.op = ir::Opcode::Load;
+    EXPECT_EQ(slotInfo(in, 0).kind, SlotKind::Reg);
+    EXPECT_EQ(slotInfo(in, 1).kind, SlotKind::Mem);
+
+    in.op = ir::Opcode::Store;
+    EXPECT_EQ(slotInfo(in, 0).reg, 3u); // address
+    EXPECT_EQ(slotInfo(in, 1).reg, 4u); // value
+
+    in.op = ir::Opcode::Call;
+    EXPECT_EQ(slotInfo(in, 0).kind, SlotKind::CallRet);
+    EXPECT_EQ(slotInfo(in, 1).kind, SlotKind::None);
+
+    in.op = ir::Opcode::Const;
+    EXPECT_EQ(slotInfo(in, 0).kind, SlotKind::None);
+
+    in.op = ir::Opcode::Ret;
+    in.src0 = ir::kNoReg;
+    EXPECT_EQ(slotInfo(in, 0).kind, SlotKind::None);
+    in.src0 = 2;
+    EXPECT_EQ(slotInfo(in, 0).kind, SlotKind::Reg);
+}
+
+// ---------------------------------------------------------------- //
+// StaticDepGraph, hand-built interprocedural module
+
+struct InterprocModule
+{
+    ir::Module m;
+    ir::StmtId dA, callStmt, useOut, uAdd, retStmt;
+    ir::FuncId callee, main;
+};
+
+InterprocModule
+buildInterproc()
+{
+    // fn callee(p): r = p + p; ret r
+    // fn main(): a = 42; r = callee(a); out(r); halt
+    ir::ModuleBuilder mb;
+    auto& fc = mb.beginFunction("callee", 1);
+    ir::RegId s = fc.emitBinary(ir::Opcode::Add, fc.param(0),
+                                fc.param(0));
+    fc.emitRet(s);
+    mb.endFunction();
+    auto& fm = mb.beginFunction("main", 0);
+    ir::RegId a = fm.emitConst(42);
+    ir::RegId r = fm.emitCall("callee", {a});
+    fm.emitOut(r);
+    fm.emitHalt();
+    mb.endFunction();
+
+    InterprocModule ip{mb.build(), 0, 0, 0, 0, 0, 0, 0};
+    ip.callee = ip.m.functionByName("callee");
+    ip.main = ip.m.functionByName("main");
+    const ir::Function& fcr = ip.m.function(ip.callee);
+    const ir::Function& fmr = ip.m.function(ip.main);
+    ip.uAdd = findStmt(fcr, ir::Opcode::Add);
+    ip.retStmt = findStmt(fcr, ir::Opcode::Ret);
+    ip.dA = findStmt(fmr, ir::Opcode::Const);
+    ip.callStmt = findStmt(fmr, ir::Opcode::Call);
+    ip.useOut = findStmt(fmr, ir::Opcode::Out);
+    return ip;
+}
+
+TEST(StaticDepGraphTest, ParamInAndRetOutCrossTheCall)
+{
+    InterprocModule ip = buildInterproc();
+    ModuleAnalysis ma(ip.m);
+    StaticDepGraph sdg(ma);
+
+    EXPECT_EQ(sdg.callSites(ip.callee),
+              (std::vector<ir::StmtId>{ip.callStmt}));
+    EXPECT_EQ(sdg.paramIn(ip.callee, 0),
+              (std::vector<ir::StmtId>{ip.dA}));
+    EXPECT_EQ(sdg.retOut(ip.callee),
+              (std::vector<ir::StmtId>{ip.uAdd}));
+
+    // The parameter use inside callee resolves to the caller's def.
+    EXPECT_EQ(sdg.mayDefs(ip.uAdd, 0),
+              (std::vector<ir::StmtId>{ip.dA}));
+    EXPECT_TRUE(sdg.mayDepend(ip.uAdd, 0, ip.dA));
+    // The call's return slot resolves to the callee-side producer.
+    EXPECT_EQ(sdg.mayDefs(ip.callStmt, 0),
+              (std::vector<ir::StmtId>{ip.uAdd}));
+    // out(r) reads the call's destination register.
+    EXPECT_EQ(sdg.mayDefs(ip.useOut, 0),
+              (std::vector<ir::StmtId>{ip.callStmt}));
+}
+
+TEST(StaticDepGraphTest, CdParentsIncludeCallSites)
+{
+    InterprocModule ip = buildInterproc();
+    ModuleAnalysis ma(ip.m);
+    StaticDepGraph sdg(ma);
+
+    // Callee is branch-free: its only legal dynamic CD def is the
+    // call site (first entry into a function is attributed to it).
+    EXPECT_EQ(sdg.cdParents(ip.uAdd),
+              (std::vector<ir::StmtId>{ip.callStmt}));
+    EXPECT_TRUE(sdg.mayControl(ip.uAdd, ip.callStmt));
+    EXPECT_FALSE(sdg.mayControl(ip.uAdd, ip.dA));
+    // main is never called and branch-free: no CD parents at all.
+    EXPECT_TRUE(sdg.cdParents(ip.useOut).empty());
+}
+
+TEST(StaticDepGraphTest, BackwardSliceCrossesTheCall)
+{
+    InterprocModule ip = buildInterproc();
+    ModuleAnalysis ma(ip.m);
+    StaticDepGraph sdg(ma);
+
+    std::vector<bool> slice = sdg.backwardSlice(ip.useOut);
+    EXPECT_TRUE(slice[ip.useOut]);
+    EXPECT_TRUE(slice[ip.callStmt]);
+    EXPECT_TRUE(slice[ip.uAdd]);
+    EXPECT_TRUE(slice[ip.dA]);
+    // Dynamic call-return edges point at the producing def, never at
+    // the Ret itself; the slice must not inflate past that.
+    EXPECT_FALSE(slice[ip.retStmt]);
+}
+
+TEST(StaticDepGraphTest, ParamChainsPropagateThroughTwoCalls)
+{
+    // main -> outer(c) -> inner(q): inner's parameter may come from
+    // main's constant, two call hops away.
+    ir::ModuleBuilder mb;
+    auto& fi = mb.beginFunction("inner", 1);
+    ir::RegId t =
+        fi.emitBinary(ir::Opcode::Mul, fi.param(0), fi.param(0));
+    fi.emitRet(t);
+    mb.endFunction();
+    auto& fo = mb.beginFunction("outer", 1);
+    ir::RegId r = fo.emitCall("inner", {fo.param(0)});
+    fo.emitRet(r);
+    mb.endFunction();
+    auto& fm = mb.beginFunction("main", 0);
+    ir::RegId c = fm.emitConst(9);
+    ir::RegId v = fm.emitCall("outer", {c});
+    fm.emitOut(v);
+    fm.emitHalt();
+    mb.endFunction();
+    ir::Module m = mb.build();
+
+    ir::FuncId inner = m.functionByName("inner");
+    ir::FuncId outer = m.functionByName("outer");
+    const ir::Function& fmr = m.function(m.functionByName("main"));
+    ir::StmtId dC = findStmt(fmr, ir::Opcode::Const);
+    ir::StmtId uMul =
+        findStmt(m.function(inner), ir::Opcode::Mul);
+
+    ModuleAnalysis ma(m);
+    StaticDepGraph sdg(ma);
+    EXPECT_EQ(sdg.paramIn(outer, 0), (std::vector<ir::StmtId>{dC}));
+    EXPECT_EQ(sdg.paramIn(inner, 0), (std::vector<ir::StmtId>{dC}));
+    EXPECT_EQ(sdg.mayDefs(uMul, 0), (std::vector<ir::StmtId>{dC}));
+    // A value returned through two frames is attributed one call at
+    // a time: outer's return def is its own Call statement (that is
+    // what the tracer records as the def of outer's r), and that
+    // Call in turn depends on inner's producer.
+    ir::StmtId callInner =
+        findStmt(m.function(outer), ir::Opcode::Call);
+    ir::StmtId callOuter = findStmt(fmr, ir::Opcode::Call);
+    EXPECT_EQ(sdg.mayDefs(callOuter, 0),
+              (std::vector<ir::StmtId>{callInner}));
+    EXPECT_EQ(sdg.mayDefs(callInner, 0),
+              (std::vector<ir::StmtId>{uMul}));
+    // The static slice still reaches the deep producer transitively.
+    std::vector<bool> slice = sdg.backwardSlice(callOuter);
+    EXPECT_TRUE(slice[uMul]);
+    EXPECT_TRUE(slice[dC]);
+}
+
+TEST(StaticDepGraphTest, LoadsMayDependOnEveryStore)
+{
+    ir::Module m = lang::compileString(R"(
+        fn main() {
+            var n = in();
+            mem[0] = n;
+            mem[1] = n + 1;
+            out(mem[0]);
+        }
+    )");
+    ModuleAnalysis ma(m);
+    StaticDepGraph sdg(ma);
+
+    const ir::Function& fn = m.function(m.entryFunction());
+    ASSERT_EQ(sdg.stores().size(), 2u);
+    ir::StmtId load = findStmt(fn, ir::Opcode::Load);
+    // Flat may-alias model: the load's memory slot may see any store.
+    EXPECT_EQ(sdg.mayDefs(load, 1), sdg.stores());
+    std::vector<bool> slice = sdg.backwardSlice(load);
+    for (ir::StmtId st : sdg.stores())
+        EXPECT_TRUE(slice[st]);
+}
+
+TEST(StaticDepGraphTest, BranchTerminatorsAreCdParents)
+{
+    ir::Module m = lang::compileString(R"(
+        fn main() {
+            var s = 0;
+            for (var i = 0; i < 4; i = i + 1) {
+                if (i % 2 == 0) { s = s + 1; }
+            }
+            out(s);
+        }
+    )");
+    ModuleAnalysis ma(m);
+    StaticDepGraph sdg(ma);
+    const ir::Function& fn = m.function(m.entryFunction());
+
+    // The `s = s + 1` add executes under both the loop and the if:
+    // its block's static CD parents must all be Br terminators.
+    ir::StmtId guarded = findStmt(fn, ir::Opcode::Add, 0);
+    const auto& parents = sdg.cdParents(guarded);
+    ASSERT_FALSE(parents.empty());
+    for (ir::StmtId p : parents)
+        EXPECT_EQ(m.instr(p).op, ir::Opcode::Br);
+    // All queries return sorted vectors (containment is binary
+    // search).
+    EXPECT_TRUE(std::is_sorted(parents.begin(), parents.end()));
+    for (uint32_t s = 0; s < m.numStmts(); ++s)
+        for (uint8_t slot = 0; slot < 2; ++slot) {
+            const auto& d = sdg.mayDefs(s, slot);
+            EXPECT_TRUE(std::is_sorted(d.begin(), d.end()));
+        }
+}
+
+} // namespace
+} // namespace analysis
+} // namespace wet

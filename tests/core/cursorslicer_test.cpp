@@ -1,0 +1,166 @@
+#include "core/cursorslicer.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/compressed.h"
+#include "core/slicer.h"
+#include "testutil.h"
+
+namespace wet {
+namespace core {
+namespace {
+
+using test::runPipeline;
+
+// Calls + loops so slices cross nodes and walk pooled edge labels.
+const char* kProgram = R"(
+    fn gcd(a, b) {
+        while (b != 0) { var t = a % b; a = b; b = t; }
+        return a;
+    }
+    fn main() {
+        var acc = 1;
+        for (var i = 0; i < 6; i = i + 1) {
+            var v = in();
+            mem[i] = v;
+            acc = gcd(acc * v, v + i);
+        }
+        out(acc);
+        out(mem[3]);
+    }
+)";
+
+std::vector<int64_t>
+inputs()
+{
+    return {252, 105, 36, 48, 60, 84};
+}
+
+std::vector<std::tuple<NodeId, uint32_t, uint32_t>>
+key(const SliceResult& r)
+{
+    std::vector<std::tuple<NodeId, uint32_t, uint32_t>> v;
+    for (const SliceItem& it : r.items)
+        v.emplace_back(it.node, it.pos, it.inst);
+    return v;
+}
+
+/** Every executed statement, for exhaustive seed coverage. */
+std::vector<ir::StmtId>
+executedStmts(const WetGraph& g)
+{
+    std::vector<ir::StmtId> v;
+    for (const auto& [stmt, sites] : g.stmtIndex) {
+        (void)sites;
+        v.push_back(stmt);
+    }
+    return v;
+}
+
+TEST(CursorSlicerTest, EnginesMatchTierOneOnEverySeed)
+{
+    auto p = runPipeline(kProgram, inputs());
+    WetCompressed comp(p->graph);
+    WetAccess t1(p->graph, *p->module);
+    CursorSliceAccess cur(comp);
+    DecodeSliceAccess dec(comp);
+    WetSlicer s1(t1), sc(cur), sd(dec);
+
+    for (ir::StmtId stmt : executedStmts(p->graph)) {
+        SliceItem seed1 = s1.locate(stmt, 0);
+        SliceItem seedC = sc.locate(stmt, 0);
+        SliceItem seedD = sd.locate(stmt, 0);
+        ASSERT_TRUE(seed1.valid());
+        EXPECT_EQ(key(SliceResult{{seed1}, 0, false}),
+                  key(SliceResult{{seedC}, 0, false}));
+        SliceResult r1 = s1.backward(seed1);
+        SliceResult rc = sc.backward(seedC);
+        SliceResult rd = sd.backward(seedD);
+        EXPECT_EQ(key(r1), key(rc)) << "stmt " << stmt;
+        EXPECT_EQ(key(r1), key(rd)) << "stmt " << stmt;
+        EXPECT_EQ(r1.edgesTraversed, rc.edgesTraversed);
+        EXPECT_EQ(r1.edgesTraversed, rd.edgesTraversed);
+    }
+}
+
+TEST(CursorSlicerTest, ForwardSlicesMatchToo)
+{
+    auto p = runPipeline(kProgram, inputs());
+    WetCompressed comp(p->graph);
+    WetAccess t1(p->graph, *p->module);
+    CursorSliceAccess cur(comp);
+    WetSlicer s1(t1), sc(cur);
+
+    // Forward from the first instance of each input read.
+    for (ir::StmtId stmt : executedStmts(p->graph)) {
+        if (p->module->instr(stmt).op != ir::Opcode::In)
+            continue;
+        SliceResult r1 = s1.forward(s1.locate(stmt, 0));
+        SliceResult rc = sc.forward(sc.locate(stmt, 0));
+        EXPECT_EQ(key(r1), key(rc)) << "stmt " << stmt;
+    }
+}
+
+TEST(CursorSlicerTest, LateInstanceLocateAgrees)
+{
+    auto p = runPipeline(kProgram, inputs());
+    WetCompressed comp(p->graph);
+    WetAccess t1(p->graph, *p->module);
+    CursorSliceAccess cur(comp);
+    WetSlicer s1(t1), sc(cur);
+
+    for (ir::StmtId stmt : executedStmts(p->graph)) {
+        for (uint64_t k = 0;; k += 3) {
+            SliceItem a = s1.locate(stmt, k);
+            SliceItem b = sc.locate(stmt, k);
+            EXPECT_EQ(a.valid(), b.valid());
+            if (!a.valid())
+                break;
+            EXPECT_EQ(a.node, b.node);
+            EXPECT_EQ(a.pos, b.pos);
+            EXPECT_EQ(a.inst, b.inst);
+        }
+    }
+}
+
+TEST(CursorSlicerTest, StatsAccountTouchedBytes)
+{
+    auto p = runPipeline(kProgram, inputs());
+    WetCompressed comp(p->graph);
+    const uint64_t total = artifactStreamBytes(comp);
+    ASSERT_GT(total, 0u);
+
+    CursorSliceAccess cur(comp);
+    DecodeSliceAccess dec(comp);
+    // Nothing opened yet: nothing touched.
+    EXPECT_EQ(cur.stats().bytesTouched, 0u);
+    EXPECT_EQ(cur.stats().bytesTotal, total);
+    EXPECT_EQ(dec.stats().streamsOpened, 0u);
+
+    WetSlicer sc(cur), sd(dec);
+    ir::StmtId seedStmt = executedStmts(p->graph).front();
+    sc.backward(sc.locate(seedStmt, 0));
+    sd.backward(sd.locate(seedStmt, 0));
+
+    SliceIoStats cs = cur.stats();
+    SliceIoStats ds = dec.stats();
+    EXPECT_GT(cs.streamsOpened, 0u);
+    EXPECT_EQ(cs.streamsOpened, ds.streamsOpened);
+    EXPECT_GT(cs.valuesDecoded, 0u);
+    EXPECT_LE(cs.bytesTouched, cs.bytesTotal);
+    EXPECT_LE(ds.bytesTouched, ds.bytesTotal);
+    EXPECT_GE(cs.fractionTouched(), 0.0);
+    EXPECT_LE(cs.fractionTouched(), 1.0);
+    // The decode engine pays for every byte of every opened stream;
+    // the cursor engine can never be charged more than that per
+    // stream, and both report against the same artifact-wide total.
+    EXPECT_EQ(cs.bytesTotal, ds.bytesTotal);
+    EXPECT_LE(cs.bytesTouched, ds.bytesTouched);
+}
+
+} // namespace
+} // namespace core
+} // namespace wet

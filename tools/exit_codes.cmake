@@ -1,0 +1,50 @@
+# Test driver: pin the CLI's exit-code contract. Every failure
+# category maps to a distinct, stable code so scripts and CI can
+# dispatch on them:
+#   0 success, 1 internal error, 2 usage/bad query,
+#   3 program parse failure, 4 verification findings, 5 I/O failure.
+#
+# Expects: CLI (wet_cli path), SAMPLE (a healthy program source),
+# SCRATCH (writable scratch directory).
+
+file(MAKE_DIRECTORY ${SCRATCH})
+set(wetx ${SCRATCH}/sample.wetx)
+
+# expect_rc(<code> <args...>): run the CLI, demand the exact code.
+function(expect_rc want)
+    execute_process(
+        COMMAND ${CLI} ${ARGN}
+        RESULT_VARIABLE rc
+        OUTPUT_QUIET ERROR_QUIET)
+    if(NOT rc EQUAL want)
+        message(FATAL_ERROR
+                "wet_cli ${ARGN}: expected exit ${want}, got ${rc}")
+    endif()
+endfunction()
+
+# 0: healthy end-to-end run (also produces the artifact reused below).
+expect_rc(0 run ${SAMPLE} --save ${wetx})
+expect_rc(0 verify ${SAMPLE} ${wetx})
+expect_rc(0 depcheck ${SAMPLE} ${wetx})
+expect_rc(0 slice ${SAMPLE} ${wetx} main:5)
+
+# 2: usage errors — no command, unknown engine, unresolvable query.
+expect_rc(2)
+expect_rc(2 slice ${SAMPLE} ${wetx} main:5 --engine turbo)
+expect_rc(2 slice ${SAMPLE} ${wetx} nosuchfn:0)
+expect_rc(2 slice ${SAMPLE} ${wetx} main:999999)
+
+# 3: program parse failure.
+file(WRITE ${SCRATCH}/broken.wet "fn main( { this is not wetlang")
+expect_rc(3 run ${SCRATCH}/broken.wet)
+
+# 4: verification findings — artifact from a different program.
+file(WRITE ${SCRATCH}/other.wet "fn main() { out(in() + 1); }")
+expect_rc(0 run ${SCRATCH}/other.wet --save ${SCRATCH}/other.wetx)
+expect_rc(4 verify ${SAMPLE} ${SCRATCH}/other.wetx)
+expect_rc(4 depcheck ${SAMPLE} ${SCRATCH}/other.wetx)
+
+# 5: I/O failures — missing source, missing artifact.
+expect_rc(5 run ${SCRATCH}/missing.wet)
+expect_rc(5 slice ${SAMPLE} ${SCRATCH}/missing.wetx main:5)
+expect_rc(5 depcheck ${SAMPLE} ${SCRATCH}/missing.wetx)

@@ -1,0 +1,37 @@
+# Test driver: trace a sample program, save its WETX artifact, then
+# answer one backward-slice query twice — once walking the compressed
+# streams through bidirectional cursors, once via full decode — and
+# compare both outputs byte for byte against the checked-in golden.
+# The double comparison enforces the engine-equivalence invariant on
+# top of the usual golden regression.
+#
+# Expects: CLI (wet_cli path), SAMPLE (program source), OUT (scratch
+# .wetx path), QUERY (fn:stmt[:instance]), GOLDEN (expected output).
+
+execute_process(
+    COMMAND ${CLI} run ${SAMPLE} --save ${OUT}
+    RESULT_VARIABLE run_rc
+    OUTPUT_QUIET)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "wet_cli run ${SAMPLE} failed (${run_rc})")
+endif()
+
+file(READ ${GOLDEN} golden)
+foreach(engine cursor decode)
+    execute_process(
+        COMMAND ${CLI} slice ${SAMPLE} ${OUT} ${QUERY}
+                --engine ${engine}
+        RESULT_VARIABLE slice_rc
+        OUTPUT_VARIABLE slice_out
+        ERROR_QUIET)
+    if(NOT slice_rc EQUAL 0)
+        message(FATAL_ERROR
+                "wet_cli slice ${SAMPLE} ${QUERY} --engine ${engine} "
+                "failed (${slice_rc}):\n${slice_out}")
+    endif()
+    if(NOT slice_out STREQUAL golden)
+        message(FATAL_ERROR
+                "slice ${QUERY} (${engine}) differs from ${GOLDEN}:\n"
+                "${slice_out}")
+    endif()
+endforeach()

@@ -8,30 +8,48 @@
  *   wet_cli info  prog.wet file.wetx
  *   wet_cli cf    prog.wet file.wetx [--from T] [--count N]
  *   wet_cli values prog.wet file.wetx --stmt S [--limit N]
- *   wet_cli slice prog.wet file.wetx --stmt S [--k K] [--max N]
+ *   wet_cli slice prog.wet file.wetx fn:stmt[:instance]
+ *                 [--engine cursor|decode] [--max N]
  *   wet_cli dump  prog.wet
  *   wet_cli verify prog.wet file.wetx [--json]
+ *   wet_cli depcheck prog.wet file.wetx [--json]
  *
  * The program source is always required: the WETX file stores the
  * dynamic profile, not the program, and refuses to open against a
  * different module (fingerprint check).
+ *
+ * Exit codes discriminate failure categories for CI scripting:
+ *   0  success
+ *   1  internal error (unexpected invariant violation)
+ *   2  usage error (bad arguments or slice query)
+ *   3  program parse/compile error
+ *   4  verification failure (verify/depcheck diagnostics, or a
+ *      dynamic slice escaping its static slice)
+ *   5  I/O error (unreadable program or artifact file)
  */
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/artifactverifier.h"
+#include "analysis/depcheck.h"
 #include "analysis/moduleanalysis.h"
 #include "analysis/moduleverifier.h"
+#include "analysis/staticdep.h"
 #include "analysis/wetverifier.h"
 #include "core/access.h"
 #include "core/builder.h"
 #include "core/cfquery.h"
 #include "core/compressed.h"
+#include "core/cursorslicer.h"
 #include "core/slicer.h"
 #include "core/valuequery.h"
 #include "interp/interpreter.h"
@@ -45,11 +63,31 @@ using namespace wet;
 
 namespace {
 
+/** Process exit codes (see the file comment). */
+enum ExitCode : int
+{
+    kExitOk = 0,
+    kExitInternal = 1,
+    kExitUsage = 2,
+    kExitParse = 3,
+    kExitVerify = 4,
+    kExitIo = 5,
+};
+
+/** Failure carrying its exit-code category to main(). */
+struct CliError
+{
+    int code;
+    std::string message;
+};
+
 struct Args
 {
     std::string command;
     std::string program;
     std::string wetx;
+    std::string query; //!< slice seed, "fn:stmt[:instance]"
+    std::string engine = "cursor";
     uint64_t scale = 1000;
     uint64_t seed = 42;
     uint64_t memWords = 1 << 20;
@@ -70,15 +108,19 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: wet_cli <run|info|cf|values|slice|dump|verify> "
-        "prog.wet [file.wetx] [options]\n"
-        "  run    --scale N --seed S --mem W --save out.wetx\n"
-        "         --threads N (parallel construction; or WET_THREADS)\n"
-        "  cf     --from T --count N\n"
-        "  values --stmt S --limit N\n"
-        "  slice  --stmt S --k K --max N\n"
-        "  verify --json\n");
-    std::exit(2);
+        "usage: wet_cli <run|info|cf|values|slice|dump|verify|"
+        "depcheck> prog.wet [file.wetx] [options]\n"
+        "  run      --scale N --seed S --mem W --save out.wetx\n"
+        "           --threads N (parallel construction; or "
+        "WET_THREADS)\n"
+        "  cf       --from T --count N\n"
+        "  values   --stmt S --limit N\n"
+        "  slice    fn:stmt[:instance] --engine cursor|decode "
+        "--max N\n"
+        "           (legacy: --stmt S --k K)\n"
+        "  verify   --json\n"
+        "  depcheck --json\n");
+    std::exit(kExitUsage);
 }
 
 uint64_t
@@ -100,7 +142,8 @@ parse(int argc, char** argv)
     int i = 3;
     bool wantsWetx = a.command == "info" || a.command == "cf" ||
                      a.command == "values" || a.command == "slice" ||
-                     a.command == "verify";
+                     a.command == "verify" ||
+                     a.command == "depcheck";
     if (wantsWetx) {
         if (argc < 4)
             usage();
@@ -131,11 +174,18 @@ parse(int argc, char** argv)
             a.maxItems = numArg(argc, argv, i);
         else if (opt == "--threads")
             a.threads = static_cast<unsigned>(numArg(argc, argv, i));
+        else if (opt == "--engine" && i + 1 < argc)
+            a.engine = argv[++i];
         else if (opt == "--json")
             a.json = true;
+        else if (a.command == "slice" && a.query.empty() &&
+                 opt.rfind("--", 0) != 0)
+            a.query = opt;
         else
             usage();
     }
+    if (a.engine != "cursor" && a.engine != "decode")
+        usage();
     return a;
 }
 
@@ -144,17 +194,39 @@ readFile(const std::string& path)
 {
     std::ifstream in(path);
     if (!in)
-        WET_FATAL("cannot open '" << path << "'");
+        throw CliError{kExitIo, "cannot open '" + path + "'"};
     std::ostringstream ss;
     ss << in.rdbuf();
     return ss.str();
 }
 
+/** Compile the program source; parse failures exit with code 3. */
+ir::Module
+compileProgram(const Args& a)
+{
+    std::string source = readFile(a.program);
+    try {
+        return lang::compileString(source, a.memWords);
+    } catch (const WetError& e) {
+        throw CliError{kExitParse, std::string(e.what())};
+    }
+}
+
+/** Load the artifact; unreadable/mismatched files exit with code 5. */
+wetio::LoadedWet
+loadWetx(const Args& a, const ir::Module& mod)
+{
+    try {
+        return wetio::load(a.wetx, mod);
+    } catch (const WetError& e) {
+        throw CliError{kExitIo, std::string(e.what())};
+    }
+}
+
 int
 cmdRun(const Args& a)
 {
-    ir::Module mod =
-        lang::compileString(readFile(a.program), a.memWords);
+    ir::Module mod = compileProgram(a);
     analysis::ModuleAnalysis ma(mod, uint64_t{1} << 24, a.threads);
     // Input convention: first in() gets the scale, later in() calls
     // get deterministic pseudo-random values from the seed.
@@ -204,18 +276,21 @@ cmdRun(const Args& a)
                 static_cast<double>(orig.total()) /
                     static_cast<double>(t2.total()));
     if (!a.savePath.empty()) {
-        wetio::save(a.savePath, mod, graph, compressed);
+        try {
+            wetio::save(a.savePath, mod, graph, compressed);
+        } catch (const WetError& e) {
+            throw CliError{kExitIo, std::string(e.what())};
+        }
         std::printf("saved to %s\n", a.savePath.c_str());
     }
-    return 0;
+    return kExitOk;
 }
 
 int
 cmdInfo(const Args& a)
 {
-    ir::Module mod =
-        lang::compileString(readFile(a.program), a.memWords);
-    wetio::LoadedWet w = wetio::load(a.wetx, mod);
+    ir::Module mod = compileProgram(a);
+    wetio::LoadedWet w = loadWetx(a, mod);
     const core::WetGraph& g = *w.graph;
     std::printf("%s:\n", a.wetx.c_str());
     std::printf("  nodes: %zu  edges: %zu  pooled label seqs: %zu\n",
@@ -229,15 +304,14 @@ cmdInfo(const Args& a)
                 support::formatBytes(t2.nodeTs).c_str(),
                 support::formatBytes(t2.nodeVals).c_str(),
                 support::formatBytes(t2.edgeTs).c_str());
-    return 0;
+    return kExitOk;
 }
 
 int
 cmdCf(const Args& a)
 {
-    ir::Module mod =
-        lang::compileString(readFile(a.program), a.memWords);
-    wetio::LoadedWet w = wetio::load(a.wetx, mod);
+    ir::Module mod = compileProgram(a);
+    wetio::LoadedWet w = loadWetx(a, mod);
     core::WetAccess acc(*w.compressed, mod);
     core::ControlFlowQuery q(acc);
     q.extractRange(a.from, a.count, [&](core::NodeId n,
@@ -250,7 +324,7 @@ cmdCf(const Args& a)
             std::printf("%sb%u", b ? " " : "", node.blocks[b]);
         std::printf("]\n");
     });
-    return 0;
+    return kExitOk;
 }
 
 int
@@ -258,9 +332,8 @@ cmdValues(const Args& a)
 {
     if (a.stmt == UINT64_MAX)
         usage();
-    ir::Module mod =
-        lang::compileString(readFile(a.program), a.memWords);
-    wetio::LoadedWet w = wetio::load(a.wetx, mod);
+    ir::Module mod = compileProgram(a);
+    wetio::LoadedWet w = loadWetx(a, mod);
     core::WetAccess acc(*w.compressed, mod);
     core::ValueTraceQuery q(acc);
     uint64_t shown = 0;
@@ -275,56 +348,172 @@ cmdValues(const Args& a)
                   });
     std::printf("(%llu instances total)\n",
                 static_cast<unsigned long long>(total));
-    return 0;
+    return kExitOk;
+}
+
+/**
+ * Resolve a "fn:stmt[:instance]" slice query: fn is a function name
+ * or id, stmt a function-local statement index, instance the k-th
+ * (timestamp-ordered) execution. Throws CliError(kExitUsage).
+ */
+void
+parseSliceQuery(const std::string& query, const ir::Module& mod,
+                ir::StmtId& stmt, uint64_t& k)
+{
+    auto bad = [&]() -> CliError {
+        return CliError{kExitUsage, "bad slice query '" + query +
+                                        "', expected "
+                                        "fn:stmt[:instance]"};
+    };
+    std::vector<std::string> parts;
+    size_t start = 0;
+    while (true) {
+        size_t colon = query.find(':', start);
+        parts.push_back(query.substr(start, colon - start));
+        if (colon == std::string::npos)
+            break;
+        start = colon + 1;
+    }
+    if (parts.size() < 2 || parts.size() > 3 || parts[0].empty() ||
+        parts[1].empty())
+        throw bad();
+
+    ir::FuncId fid;
+    if (std::all_of(parts[0].begin(), parts[0].end(), ::isdigit)) {
+        fid = static_cast<ir::FuncId>(
+            std::strtoull(parts[0].c_str(), nullptr, 10));
+        if (fid >= mod.numFunctions())
+            throw bad();
+    } else if (mod.hasFunction(parts[0])) {
+        fid = mod.functionByName(parts[0]);
+    } else {
+        throw CliError{kExitUsage,
+                       "no function '" + parts[0] + "'"};
+    }
+
+    const ir::Function& fn = mod.function(fid);
+    uint64_t local = std::strtoull(parts[1].c_str(), nullptr, 10);
+    uint64_t fnStmts = 0;
+    for (const ir::BasicBlock& b : fn.blocks)
+        fnStmts += b.instrs.size();
+    if (local >= fnStmts)
+        throw CliError{kExitUsage,
+                       "function '" + fn.name + "' has only " +
+                           std::to_string(fnStmts) + " statements"};
+    // Statement ids are dense per function in block order, so the
+    // global id is the function's first id plus the local index.
+    stmt = fn.blocks[0].instrs[0].stmt +
+           static_cast<ir::StmtId>(local);
+    k = parts.size() == 3
+            ? std::strtoull(parts[2].c_str(), nullptr, 10)
+            : 0;
 }
 
 int
 cmdSlice(const Args& a)
 {
-    if (a.stmt == UINT64_MAX)
+    ir::Module mod = compileProgram(a);
+    ir::StmtId stmt;
+    uint64_t k = a.k;
+    if (!a.query.empty()) {
+        parseSliceQuery(a.query, mod, stmt, k);
+    } else if (a.stmt != UINT64_MAX) {
+        if (a.stmt >= mod.numStmts())
+            throw CliError{kExitUsage,
+                           "statement id out of range"};
+        stmt = static_cast<ir::StmtId>(a.stmt);
+    } else {
         usage();
-    ir::Module mod =
-        lang::compileString(readFile(a.program), a.memWords);
-    wetio::LoadedWet w = wetio::load(a.wetx, mod);
-    core::WetAccess acc(*w.compressed, mod);
+    }
+
+    wetio::LoadedWet w = loadWetx(a, mod);
+
+    // Both engines drive the same WetSlicer over the same artifact;
+    // stdout is engine-invariant by construction (golden slice tests
+    // byte-compare the two), only the stderr I/O stats differ.
+    core::CursorSliceAccess cursorAcc(*w.compressed);
+    core::DecodeSliceAccess decodeAcc(*w.compressed);
+    core::SliceAccess& acc =
+        a.engine == "decode"
+            ? static_cast<core::SliceAccess&>(decodeAcc)
+            : cursorAcc;
+
     core::WetSlicer slicer(acc);
-    core::SliceItem seed =
-        slicer.locate(static_cast<ir::StmtId>(a.stmt), a.k);
+    core::SliceItem seed = slicer.locate(stmt, k);
     if (!seed.valid()) {
-        std::fprintf(stderr, "statement %llu has no instance %llu\n",
-                     static_cast<unsigned long long>(a.stmt),
-                     static_cast<unsigned long long>(a.k));
-        return 1;
+        throw CliError{kExitUsage,
+                       "statement " + std::to_string(stmt) +
+                           " has no instance " + std::to_string(k)};
     }
     core::SliceResult res = slicer.backward(seed, a.maxItems);
-    std::printf("backward slice: %zu instances, %llu edges%s\n",
-                res.items.size(),
+
+    const ir::StmtRef& ref = mod.stmtRef(stmt);
+    std::printf("backward slice of stmt %u (%s:%u) instance %llu: "
+                "%zu instances, %llu edges%s\n",
+                stmt, mod.function(ref.func).name.c_str(),
+                stmt - mod.function(ref.func)
+                           .blocks[0]
+                           .instrs[0]
+                           .stmt,
+                static_cast<unsigned long long>(k), res.items.size(),
                 static_cast<unsigned long long>(res.edgesTraversed),
                 res.truncated ? " (truncated)" : "");
-    // Per-statement counts, most frequent first.
+
+    // Per-statement instance counts, ascending by statement id
+    // (deterministic, complete — the golden tests depend on it).
     std::map<ir::StmtId, uint64_t> counts;
     for (const auto& item : res.items)
         counts[w.graph->nodes[item.node].stmts[item.pos]]++;
-    std::vector<std::pair<uint64_t, ir::StmtId>> order;
-    for (auto& [s, c] : counts)
-        order.emplace_back(c, s);
-    std::sort(order.rbegin(), order.rend());
-    uint64_t shown = 0;
-    for (auto& [c, s] : order) {
-        if (shown++ >= a.limit)
-            break;
+    for (const auto& [s, c] : counts)
         std::printf("  stmt %-6u %-6s x %llu\n", s,
                     ir::opcodeName(mod.instr(s).op),
                     static_cast<unsigned long long>(c));
+
+    // Static/dynamic cross-validation: the dynamic slice must stay
+    // inside the static backward slice of the seed statement.
+    analysis::ModuleAnalysis ma(mod, uint64_t{1} << 24, a.threads);
+    analysis::StaticDepGraph sdg(ma);
+    std::vector<bool> staticSlice = sdg.backwardSlice(stmt);
+    uint64_t staticCount = 0;
+    for (bool b : staticSlice)
+        staticCount += b;
+    std::vector<ir::StmtId> escapes;
+    for (const auto& [s, c] : counts) {
+        (void)c;
+        if (!staticSlice[s])
+            escapes.push_back(s);
     }
-    return 0;
+    if (escapes.empty()) {
+        std::printf("containment: %zu dynamic stmts within %llu "
+                    "static stmts: OK\n",
+                    counts.size(),
+                    static_cast<unsigned long long>(staticCount));
+    } else {
+        for (ir::StmtId s : escapes)
+            std::printf("containment: stmt %u escapes the static "
+                        "slice\n",
+                        s);
+    }
+
+    core::SliceIoStats st = a.engine == "decode" ? decodeAcc.stats()
+                                                 : cursorAcc.stats();
+    std::fprintf(stderr,
+                 "engine %s: %llu streams opened, %llu values "
+                 "decoded, %llu of %llu artifact bytes touched "
+                 "(%.2f%%)\n",
+                 a.engine.c_str(),
+                 static_cast<unsigned long long>(st.streamsOpened),
+                 static_cast<unsigned long long>(st.valuesDecoded),
+                 static_cast<unsigned long long>(st.bytesTouched),
+                 static_cast<unsigned long long>(st.bytesTotal),
+                 100.0 * st.fractionTouched());
+    return escapes.empty() ? kExitOk : kExitVerify;
 }
 
 int
 cmdVerify(const Args& a)
 {
-    ir::Module mod =
-        lang::compileString(readFile(a.program), a.memWords);
+    ir::Module mod = compileProgram(a);
     analysis::DiagEngine diag;
 
     // Static IR checks first: the graph verifier cross-checks the
@@ -339,6 +528,9 @@ cmdVerify(const Args& a)
             analysis::verifyWet(*w.graph, ma, diag,
                                 w.compressed.get());
             analysis::verifyArtifact(*w.compressed, diag);
+            analysis::StaticDepGraph sdg(ma);
+            analysis::verifyDeps(*w.graph, ma, sdg, diag,
+                                 w.compressed.get());
         }
     }
 
@@ -350,16 +542,59 @@ cmdVerify(const Args& a)
         if (!diag.hasErrors())
             std::printf("%s: OK\n", a.wetx.c_str());
     }
-    return diag.hasErrors() ? 1 : 0;
+    return diag.hasErrors() ? kExitVerify : kExitOk;
+}
+
+int
+cmdDepcheck(const Args& a)
+{
+    ir::Module mod = compileProgram(a);
+    analysis::DiagEngine diag;
+
+    analysis::verifyModule(mod, diag);
+    analysis::DepCheckStats stats;
+    if (!diag.hasErrors()) {
+        // An unreadable artifact is an I/O failure (exit 5), not a
+        // dependence violation; only loadable-but-broken artifacts
+        // fall through to the diagnostic chain.
+        readFile(a.wetx);
+        wetio::LoadedWet w = wetio::tryLoad(a.wetx, mod, diag);
+        if (w.graph && w.compressed) {
+            analysis::ModuleAnalysis ma(mod, uint64_t{1} << 24,
+                                        a.threads);
+            analysis::StaticDepGraph sdg(ma);
+            analysis::verifyDeps(*w.graph, ma, sdg, diag,
+                                 w.compressed.get(), {}, &stats);
+        }
+    }
+
+    if (a.json) {
+        std::fputs(diag.renderJson().c_str(), stdout);
+    } else {
+        if (!diag.diagnostics().empty() || diag.hasErrors())
+            std::fputs(diag.renderText().c_str(), stdout);
+        if (!diag.hasErrors())
+            std::printf("%s: OK (%llu DD edges, %llu CD edges, "
+                        "%llu slice probes over %llu items)\n",
+                        a.wetx.c_str(),
+                        static_cast<unsigned long long>(
+                            stats.ddEdges),
+                        static_cast<unsigned long long>(
+                            stats.cdEdges),
+                        static_cast<unsigned long long>(
+                            stats.sliceSeeds),
+                        static_cast<unsigned long long>(
+                            stats.sliceItems));
+    }
+    return diag.hasErrors() ? kExitVerify : kExitOk;
 }
 
 int
 cmdDump(const Args& a)
 {
-    ir::Module mod =
-        lang::compileString(readFile(a.program), a.memWords);
+    ir::Module mod = compileProgram(a);
     std::fputs(mod.dump().c_str(), stdout);
-    return 0;
+    return kExitOk;
 }
 
 } // namespace
@@ -383,9 +618,14 @@ main(int argc, char** argv)
             return cmdDump(a);
         if (a.command == "verify")
             return cmdVerify(a);
+        if (a.command == "depcheck")
+            return cmdDepcheck(a);
         usage();
+    } catch (const CliError& e) {
+        std::fprintf(stderr, "error: %s\n", e.message.c_str());
+        return e.code;
     } catch (const WetError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        return kExitInternal;
     }
 }
