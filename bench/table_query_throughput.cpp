@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Warm-session query serving vs cold-process queries: a cold client
+ * pays the artifact load, access construction, and (for slices) the
+ * module analyses on EVERY query; a QuerySession pays each once and
+ * serves the rest from warm cursors. The bench runs the same mixed
+ * query batch (control flow, load values, addresses, slices) both
+ * ways, checks the answers are identical, and asserts the warm
+ * session clears a 5x throughput floor — the number the batch `query`
+ * CLI mode exists for.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <vector>
+
+#include "benchcommon.h"
+#include "core/addrquery.h"
+#include "core/cfquery.h"
+#include "core/compressed.h"
+#include "core/cursorslicer.h"
+#include "core/session.h"
+#include "core/slicer.h"
+#include "core/valuequery.h"
+#include "support/rng.h"
+#include "support/timer.h"
+#include "wetio/wetio.h"
+
+using namespace wet;
+using namespace wet::bench;
+
+namespace {
+
+constexpr double kMinSpeedup = 5.0;
+constexpr uint64_t kMaxSliceItems = 100;
+/**
+ * The session amortizes per-query fixed costs (artifact load,
+ * access construction, module analyses); it cannot amortize a
+ * query's inherent decode work. An interactive batch is therefore
+ * made of bounded queries: value/address traces on statements with a
+ * bounded instance count, control-flow windows near the trace front,
+ * and small slices. Unbounded full-trace extractions belong to the
+ * table6/7/8 benches.
+ */
+constexpr uint64_t kMaxInstances = 1024;
+
+/** One query of the mixed batch. */
+struct Query
+{
+    enum Kind { Cf, Values, Addr, Slice } kind;
+    uint64_t a = 0; //!< cf: from; others: stmt
+    uint64_t b = 0; //!< cf: count; values/addr: limit; slice: k
+};
+
+uint64_t
+mix(uint64_t h, uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+}
+
+/** Deterministic mixed batch for one workload. */
+std::vector<Query>
+makeBatch(const core::WetGraph& g, const ir::Module& mod)
+{
+    std::vector<ir::StmtId> defStmts;
+    std::vector<ir::StmtId> memStmts;
+    for (const auto& [stmt, sites] : g.stmtIndex) {
+        uint64_t instances = 0;
+        for (const auto& [node, pos] : sites) {
+            (void)pos;
+            instances += g.nodes[node].numInstances;
+        }
+        if (instances == 0 || instances > kMaxInstances)
+            continue;
+        const ir::Instr& in = mod.instr(stmt);
+        if (ir::hasDef(in.op) && in.op != ir::Opcode::Const)
+            defStmts.push_back(stmt);
+        if (in.op == ir::Opcode::Load ||
+            in.op == ir::Opcode::Store)
+            memStmts.push_back(stmt);
+    }
+    std::sort(defStmts.begin(), defStmts.end());
+    std::sort(memStmts.begin(), memStmts.end());
+
+    support::Rng rng(7);
+    std::vector<Query> batch;
+    const char* only = std::getenv("WET_QT_ONLY");
+    // Front-anchored windows of growing size: paging through the
+    // head of the trace, the cheapest and most common CF query. A
+    // mid-trace window costs a per-node timestamp binary search that
+    // is inherent to the query, not session overhead.
+    for (uint64_t count : {16, 32, 64, 128})
+        batch.push_back(
+            {Query::Cf, 1,
+             std::min<uint64_t>(count,
+                                g.lastTimestamp ? g.lastTimestamp
+                                                : 1)});
+    for (int i = 0; i < 4 && !defStmts.empty(); ++i)
+        batch.push_back(
+            {Query::Values,
+             defStmts[rng.below(defStmts.size())], 32});
+    for (int i = 0; i < 2 && !memStmts.empty(); ++i)
+        batch.push_back(
+            {Query::Addr, memStmts[rng.below(memStmts.size())], 32});
+    for (int i = 0; i < 2 && !defStmts.empty(); ++i)
+        batch.push_back(
+            {Query::Slice,
+             defStmts[rng.below(defStmts.size())], rng.below(4)});
+    if (only) {
+        std::vector<Query> f;
+        for (const Query& q : batch) {
+            static const char* kKinds[] = {"cf", "values", "addr",
+                                           "slice"};
+            if (std::string(only) == kKinds[q.kind])
+                f.push_back(q);
+        }
+        return f;
+    }
+    return batch;
+}
+
+/** Run one query against warm state, folding answers into a hash. */
+uint64_t
+runQuery(const Query& q, core::WetAccess& acc,
+         core::SliceAccess& sliceAcc,
+         const analysis::StaticDepGraph* sdg)
+{
+    uint64_t h = 0;
+    switch (q.kind) {
+    case Query::Cf: {
+        core::ControlFlowQuery cf(acc);
+        cf.extractRange(q.a, q.b,
+                        [&](core::NodeId n, core::Timestamp t) {
+                            h = mix(h, n);
+                            h = mix(h, t);
+                        });
+        break;
+    }
+    case Query::Values: {
+        core::ValueTraceQuery vq(acc);
+        uint64_t shown = 0;
+        h = mix(h, vq.extract(static_cast<ir::StmtId>(q.a),
+                              [&](core::Timestamp t, int64_t v) {
+                                  if (shown++ < q.b) {
+                                      h = mix(h, t);
+                                      h = mix(h,
+                                              static_cast<uint64_t>(
+                                                  v));
+                                  }
+                              }));
+        break;
+    }
+    case Query::Addr: {
+        core::AddressTraceQuery aq(acc);
+        uint64_t shown = 0;
+        h = mix(h, aq.extract(static_cast<ir::StmtId>(q.a),
+                              [&](core::Timestamp t, uint64_t addr) {
+                                  if (shown++ < q.b) {
+                                      h = mix(h, t);
+                                      h = mix(h, addr);
+                                  }
+                              }));
+        break;
+    }
+    case Query::Slice: {
+        core::WetSlicer slicer(sliceAcc);
+        core::SliceItem seed =
+            slicer.locate(static_cast<ir::StmtId>(q.a), q.b);
+        if (!seed.valid())
+            seed = slicer.locate(static_cast<ir::StmtId>(q.a), 0);
+        core::SliceResult res =
+            slicer.backward(seed, kMaxSliceItems);
+        for (const core::SliceItem& it : res.items) {
+            h = mix(h, it.node);
+            h = mix(h, it.pos);
+            h = mix(h, it.inst);
+        }
+        // Containment probe, like the CLI: forces the static
+        // analyses a cold client must rebuild per query.
+        std::vector<bool> stat =
+            sdg->backwardSlice(static_cast<ir::StmtId>(q.a));
+        uint64_t inside = 0;
+        for (bool b : stat)
+            inside += b;
+        h = mix(h, inside);
+        break;
+    }
+    }
+    return h;
+}
+
+struct RunResult
+{
+    double seconds = 0;
+    std::vector<uint64_t> hashes;
+};
+
+/** Cold client: reload the artifact and rebuild all state per query. */
+RunResult
+runCold(const std::string& path, const ir::Module& mod,
+        const std::vector<Query>& batch, unsigned threads)
+{
+    RunResult r;
+    support::Timer total;
+    for (const Query& q : batch) {
+        wetio::LoadedWet w = wetio::load(path, mod);
+        core::WetAccess acc(*w.compressed, mod);
+        core::CursorSliceAccess sliceAcc(*w.compressed);
+        analysis::ModuleAnalysis ma(mod, uint64_t{1} << 24, threads);
+        analysis::StaticDepGraph sdg(ma);
+        r.hashes.push_back(runQuery(q, acc, sliceAcc, &sdg));
+    }
+    r.seconds = total.seconds();
+    return r;
+}
+
+/** Warm client: one QuerySession serves the whole batch. */
+RunResult
+runWarm(const std::string& path, const ir::Module& mod,
+        const std::vector<Query>& batch, unsigned threads)
+{
+    RunResult r;
+    support::Timer total;
+    wetio::LoadedWet w = wetio::load(path, mod);
+    core::SessionOptions opt;
+    opt.threads = threads;
+    core::QuerySession s(mod, *w.compressed, w.backing, opt);
+    for (const Query& q : batch) {
+        static const char* kKinds[] = {"cf", "values", "addr",
+                                       "slice"};
+        core::QuerySession::Scope scope(s, kKinds[q.kind]);
+        const analysis::StaticDepGraph* sdg =
+            q.kind == Query::Slice ? &s.depGraph() : nullptr;
+        r.hashes.push_back(
+            runQuery(q, s.access(), s.cursorSlice(), sdg));
+    }
+    r.seconds = total.seconds();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    unsigned threads = benchThreads(argc, argv);
+    support::TablePrinter table(
+        {"Benchmark", "Queries", "Cold q/s", "Warm q/s", "Speedup"});
+    double coldSecs = 0;
+    double warmSecs = 0;
+    uint64_t queries = 0;
+    std::filesystem::path tmpdir =
+        std::filesystem::temp_directory_path();
+    for (const auto& w : workloads::allWorkloads()) {
+        uint64_t scale = std::max<uint64_t>(1, effectiveScale(w) / 8);
+        auto art = workloads::buildWet(w, scale);
+        core::WetCompressed comp(art->graph);
+        std::string path =
+            (tmpdir / ("wet_qt_" + w.name + ".wetx")).string();
+        wetio::save(path, *art->module, art->graph, comp);
+
+        // Session workloads revisit data: an interactive user pages
+        // through a trace window or re-slices near an earlier seed.
+        // Run the mixed batch for three rounds so the warm side can
+        // exercise its cursor cache the way real sessions do; the
+        // cold side pays full price every round by definition.
+        std::vector<Query> batch =
+            makeBatch(art->graph, *art->module);
+        size_t unit = batch.size();
+        for (int round = 1; round < 3; ++round)
+            batch.insert(batch.end(), batch.begin(),
+                         batch.begin() +
+                             static_cast<std::ptrdiff_t>(unit));
+        RunResult cold =
+            runCold(path, *art->module, batch, threads);
+        RunResult warm =
+            runWarm(path, *art->module, batch, threads);
+        std::filesystem::remove(path);
+
+        if (cold.hashes != warm.hashes) {
+            std::fprintf(stderr,
+                         "FATAL: %s: warm session and cold client "
+                         "disagree on a query answer\n",
+                         w.name.c_str());
+            return 1;
+        }
+
+        double n = static_cast<double>(batch.size());
+        table.addRow({w.name, std::to_string(batch.size()),
+                      support::formatFixed(n / cold.seconds, 1),
+                      support::formatFixed(n / warm.seconds, 1),
+                      support::formatFixed(
+                          cold.seconds / warm.seconds, 1) + "x"});
+        coldSecs += cold.seconds;
+        warmSecs += warm.seconds;
+        queries += batch.size();
+    }
+
+    double qn = static_cast<double>(queries);
+    double speedup = coldSecs / warmSecs;
+    table.addRow({"Total", std::to_string(queries),
+                  support::formatFixed(qn / coldSecs, 1),
+                  support::formatFixed(qn / warmSecs, 1),
+                  support::formatFixed(speedup, 1) + "x"});
+    table.print("Warm-session vs cold-process query throughput "
+                "(mixed cf/values/addr/slice batch)");
+
+    if (speedup < kMinSpeedup) {
+        std::fprintf(stderr,
+                     "FATAL: warm-session speedup %.1fx is below "
+                     "the %.1fx floor\n",
+                     speedup, kMinSpeedup);
+        return 1;
+    }
+    return 0;
+}

@@ -23,15 +23,15 @@ using codec::Method;
  * past the value.
  */
 bool
-skipVarint(const std::vector<uint8_t>& bytes, size_t& pos)
+skipVarint(const uint8_t* bytes, size_t size, size_t& pos)
 {
     size_t len = 0;
-    while (pos < bytes.size() && (bytes[pos] & 0x80)) {
+    while (pos < size && (bytes[pos] & 0x80)) {
         ++pos;
         if (++len > 9)
             return false; // 64-bit values need at most 10 bytes
     }
-    if (pos == bytes.size())
+    if (pos == size)
         return false; // ran out before the terminating byte
     ++pos;
     return true;
@@ -74,10 +74,13 @@ verifyStreamStructure(const codec::CompressedStream& s,
                        "raw stream carries predictor-codec state");
             return false;
         }
-        const auto& bytes = s.misses.bytes();
+        // data()/sizeBytes() rather than bytes(): a loaded stream's
+        // payload may be a borrowed span into the artifact view.
+        const uint8_t* bytes = s.misses.data();
+        const size_t nbytes = s.misses.sizeBytes();
         size_t pos = 0;
         for (uint64_t i = 0; i < s.length; ++i) {
-            if (!skipVarint(bytes, pos)) {
+            if (!skipVarint(bytes, nbytes, pos)) {
                 std::ostringstream os;
                 os << "value " << i << " of " << s.length
                    << " truncated or overlong at byte " << pos;
@@ -85,9 +88,9 @@ verifyStreamStructure(const codec::CompressedStream& s,
                 return false;
             }
         }
-        if (pos != bytes.size()) {
+        if (pos != nbytes) {
             std::ostringstream os;
-            os << (bytes.size() - pos)
+            os << (nbytes - pos)
                << " trailing bytes after the last value";
             diag.error("ART003", location, os.str());
             return false;
@@ -145,7 +148,8 @@ verifyStreamStructure(const codec::CompressedStream& s,
 
     // Walk the entry stream exactly as a forward cursor would, with
     // bounds checks instead of assertions.
-    const auto& missBytes = s.misses.bytes();
+    const uint8_t* missBytes = s.misses.data();
+    const size_t missSize = s.misses.sizeBytes();
     const uint64_t entries = s.length - n;
     size_t flagPos = 0;
     size_t missPos = 0;
@@ -166,18 +170,18 @@ verifyStreamStructure(const codec::CompressedStream& s,
                 diag.error("ART003", location, os.str());
                 return false;
             }
-        } else if (!skipVarint(missBytes, missPos)) {
+        } else if (!skipVarint(missBytes, missSize, missPos)) {
             std::ostringstream os;
             os << "miss value truncated at entry " << i;
             diag.error("ART003", location, os.str());
             return false;
         }
     }
-    if (flagPos != s.flags.size() || missPos != missBytes.size()) {
+    if (flagPos != s.flags.size() || missPos != missSize) {
         std::ostringstream os;
         os << "entry stream leaves "
            << (s.flags.size() - flagPos) << " flag bits and "
-           << (missBytes.size() - missPos) << " miss bytes unread";
+           << (missSize - missPos) << " miss bytes unread";
         diag.error("ART003", location, os.str());
         return false;
     }
@@ -199,7 +203,7 @@ verifyStreamStructure(const codec::CompressedStream& s,
             why << "table snapshot holds " << cp.tableState.size()
                 << " entries, codec state has " << stateSize;
         else if (cp.flagPos > s.flags.size() ||
-                 cp.missPos > missBytes.size())
+                 cp.missPos > missSize)
             why << "entry-stream offsets out of bounds";
         if (!why.str().empty()) {
             std::ostringstream os;

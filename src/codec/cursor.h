@@ -6,6 +6,7 @@
 
 #include "codec/model.h"
 #include "codec/stream.h"
+#include "support/error.h"
 
 namespace wet {
 namespace codec {
@@ -48,10 +49,13 @@ class StreamCursor
         return v;
     }
 
-    /** Step the cursor position back, then read. */
+    /** Step the cursor position back, then read. Position must be
+     *  nonzero — stepping before the front is a caller bug, caught the
+     *  same way tryPrev catches it rather than wrapping the index. */
     int64_t
     prev()
     {
+        WET_ASSERT(pos_ > 0, "prev at position 0");
         --pos_;
         return at(pos_);
     }
@@ -71,7 +75,18 @@ class StreamCursor
     bool hasNext() const { return pos_ < s_->length; }
     bool hasPrev() const { return pos_ > 0; }
     uint64_t pos() const { return pos_; }
-    void seek(uint64_t q) { pos_ = q; }
+
+    /** Reposition the cursor. @p q may be length() (one past the last
+     *  value, the natural start for a backward sweep) but not beyond:
+     *  a position past the end can never be read by next() or prev()
+     *  and always indicates index arithmetic gone wrong upstream. */
+    void
+    seek(uint64_t q)
+    {
+        WET_ASSERT(q <= s_->length,
+                   "seek past end: " << q << " > " << s_->length);
+        pos_ = q;
+    }
 
     /**
      * Decode work performed so far, in machine steps (one per value

@@ -29,7 +29,7 @@ class CursorReader : public SeqReader
 {
   public:
     explicit CursorReader(const codec::CompressedStream& s)
-        : cur_(s, codec::StreamCursor::Mode::Bidirectional)
+        : s_(&s), cur_(s, codec::StreamCursor::Mode::Bidirectional)
     {
     }
 
@@ -37,36 +37,33 @@ class CursorReader : public SeqReader
 
     int64_t at(uint64_t i) override { return cur_.at(i); }
 
+    uint64_t decodeSteps() const override
+    {
+        return cur_.decodeSteps();
+    }
+
+    const codec::CompressedStream* stream() const override
+    {
+        return s_;
+    }
+
   private:
+    const codec::CompressedStream* s_;
     codec::StreamCursor cur_;
 };
 
-enum StreamKind : uint64_t
-{
-    kTs = 1,
-    kPattern = 2,
-    kUvals = 3,
-    kPoolUse = 4,
-    kPoolDef = 5,
-};
-
-uint64_t
-streamKey(StreamKind kind, uint64_t a, uint64_t b = 0, uint64_t c = 0)
-{
-    WET_ASSERT(a < (uint64_t{1} << 30) && b < (uint64_t{1} << 18) &&
-               c < (uint64_t{1} << 12), "stream key overflow");
-    return (kind << 60) | (a << 30) | (b << 12) | c;
-}
-
 } // namespace
 
-WetAccess::WetAccess(const WetGraph& g, const ir::Module& mod)
-    : g_(&g), mod_(&mod)
+WetAccess::WetAccess(const WetGraph& g, const ir::Module& mod,
+                     StreamCache* cache)
+    : g_(&g), mod_(&mod), cache_(cache != nullptr ? cache : &own_)
 {
 }
 
-WetAccess::WetAccess(const WetCompressed& c, const ir::Module& mod)
-    : g_(&c.graph()), c_(&c), mod_(&mod)
+WetAccess::WetAccess(const WetCompressed& c, const ir::Module& mod,
+                     StreamCache* cache)
+    : g_(&c.graph()), c_(&c), mod_(&mod),
+      cache_(cache != nullptr ? cache : &own_)
 {
 }
 
@@ -76,27 +73,21 @@ WetAccess::cached(uint64_t key, const std::vector<uint64_t>* v64,
                   const std::vector<int64_t>* vi64,
                   const codec::CompressedStream* cs)
 {
-    auto it = cache_.find(key);
-    if (it != cache_.end())
-        return *it->second;
-    std::unique_ptr<SeqReader> reader;
-    if (cs)
-        reader = std::make_unique<CursorReader>(*cs);
-    else if (v64)
-        reader = std::make_unique<VecReader<uint64_t>>(*v64);
-    else if (v32)
-        reader = std::make_unique<VecReader<uint32_t>>(*v32);
-    else
-        reader = std::make_unique<VecReader<int64_t>>(*vi64);
-    SeqReader& ref = *reader;
-    cache_[key] = std::move(reader);
-    return ref;
+    return cache_->get(key, [&]() -> std::unique_ptr<SeqReader> {
+        if (cs)
+            return std::make_unique<CursorReader>(*cs);
+        if (v64)
+            return std::make_unique<VecReader<uint64_t>>(*v64);
+        if (v32)
+            return std::make_unique<VecReader<uint32_t>>(*v32);
+        return std::make_unique<VecReader<int64_t>>(*vi64);
+    });
 }
 
 SeqReader&
 WetAccess::ts(NodeId n)
 {
-    uint64_t key = streamKey(kTs, n);
+    uint64_t key = streamKey(StreamKind::AccessTs, n);
     if (c_)
         return cached(key, nullptr, nullptr, nullptr, &c_->node(n).ts);
     return cached(key, &g_->nodes[n].ts, nullptr, nullptr, nullptr);
@@ -105,7 +96,7 @@ WetAccess::ts(NodeId n)
 SeqReader&
 WetAccess::pattern(NodeId n, uint32_t group)
 {
-    uint64_t key = streamKey(kPattern, n, group);
+    uint64_t key = streamKey(StreamKind::AccessPattern, n, group);
     if (c_) {
         return cached(key, nullptr, nullptr, nullptr,
                       &c_->node(n).patterns[group]);
@@ -117,7 +108,8 @@ WetAccess::pattern(NodeId n, uint32_t group)
 SeqReader&
 WetAccess::uvals(NodeId n, uint32_t group, uint32_t member)
 {
-    uint64_t key = streamKey(kUvals, n, group, member);
+    uint64_t key =
+        streamKey(StreamKind::AccessUvals, n, group, member);
     if (c_) {
         return cached(key, nullptr, nullptr, nullptr,
                       &c_->node(n).uvals[group][member]);
@@ -129,7 +121,7 @@ WetAccess::uvals(NodeId n, uint32_t group, uint32_t member)
 SeqReader&
 WetAccess::poolUse(uint32_t pool_idx)
 {
-    uint64_t key = streamKey(kPoolUse, pool_idx);
+    uint64_t key = streamKey(StreamKind::AccessPoolUse, pool_idx);
     if (c_) {
         return cached(key, nullptr, nullptr, nullptr,
                       &c_->pool(pool_idx).useInst);
@@ -141,7 +133,7 @@ WetAccess::poolUse(uint32_t pool_idx)
 SeqReader&
 WetAccess::poolDef(uint32_t pool_idx)
 {
-    uint64_t key = streamKey(kPoolDef, pool_idx);
+    uint64_t key = streamKey(StreamKind::AccessPoolDef, pool_idx);
     if (c_) {
         return cached(key, nullptr, nullptr, nullptr,
                       &c_->pool(pool_idx).defInst);

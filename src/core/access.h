@@ -2,32 +2,16 @@
 #define WET_CORE_ACCESS_H
 
 #include <memory>
-#include <unordered_map>
 
 #include "codec/cursor.h"
 #include "core/compressed.h"
+#include "core/seqreader.h"
+#include "core/streamcache.h"
 #include "core/wetgraph.h"
 #include "ir/module.h"
 
 namespace wet {
 namespace core {
-
-/**
- * Uniform sequential/random access to one label sequence, hiding
- * whether it is a tier-1 vector or a tier-2 compressed stream.
- */
-class SeqReader
-{
-  public:
-    virtual ~SeqReader() = default;
-
-    virtual uint64_t length() const = 0;
-
-    /** Value at index @p i. Sequential access patterns are O(1)
-     *  amortized in both tiers; far random jumps may re-scan a
-     *  tier-2 stream. */
-    virtual int64_t at(uint64_t i) = 0;
-};
 
 /**
  * The sequences a dependence-walking client (WetSlicer) needs from a
@@ -64,6 +48,12 @@ class SliceAccess
  * WetCompressed (tier-2 cursors). Readers are cached per sequence so
  * repeated sequential access across query steps stays cheap.
  *
+ * By default each WetAccess owns an unbounded reader cache; pass an
+ * external StreamCache to share warm readers across engines and
+ * bound them (the query-session serving path). An evicted reader
+ * stays alive until the cache's purge(), so references handed out
+ * during one query never dangle.
+ *
  * All queries (control flow, value/address traces, slicing) run
  * against this interface, which is the paper's central claim: the
  * compressed WET remains directly traversable.
@@ -72,10 +62,12 @@ class WetAccess : public SliceAccess
 {
   public:
     /** Tier-1 access over raw label vectors. */
-    WetAccess(const WetGraph& g, const ir::Module& mod);
+    WetAccess(const WetGraph& g, const ir::Module& mod,
+              StreamCache* cache = nullptr);
 
     /** Tier-2 access over compressed streams. */
-    WetAccess(const WetCompressed& c, const ir::Module& mod);
+    WetAccess(const WetCompressed& c, const ir::Module& mod,
+              StreamCache* cache = nullptr);
 
     const WetGraph& graph() const override { return *g_; }
     const ir::Module& module() const { return *mod_; }
@@ -97,7 +89,7 @@ class WetAccess : public SliceAccess
     int64_t value(NodeId n, uint32_t pos, uint32_t inst);
 
     /** Drop all cached readers (frees tier-2 cursor state). */
-    void clearCache() { cache_.clear(); }
+    void clearCache() { cache_->clear(); }
 
   private:
     SeqReader& cached(uint64_t key, const std::vector<uint64_t>* v64,
@@ -108,7 +100,8 @@ class WetAccess : public SliceAccess
     const WetGraph* g_;
     const WetCompressed* c_ = nullptr;
     const ir::Module* mod_;
-    std::unordered_map<uint64_t, std::unique_ptr<SeqReader>> cache_;
+    StreamCache own_;            //!< used when no shared cache given
+    StreamCache* cache_ = nullptr;
 };
 
 } // namespace core

@@ -1,0 +1,40 @@
+#ifndef WET_CORE_BACKING_H
+#define WET_CORE_BACKING_H
+
+#include <cstddef>
+#include <string>
+
+namespace wet {
+namespace core {
+
+/**
+ * Abstract handle to the memory backing a loaded artifact.
+ *
+ * The query session reports I/O-level statistics ("bytes faulted in")
+ * without knowing how the artifact got into memory; the wetio layer
+ * implements this for its mmap and buffered backends. Defined in core
+ * so the session does not depend on wetio (wetio already links core).
+ */
+class ArtifactBacking
+{
+  public:
+    virtual ~ArtifactBacking() = default;
+
+    /** Total artifact size in bytes. */
+    virtual size_t sizeBytes() const = 0;
+
+    /**
+     * Bytes of the artifact currently resident in memory. For an mmap
+     * backend this is the faulted-in page set and grows as queries
+     * touch streams; a buffered backend is fully resident on load.
+     */
+    virtual size_t residentBytes() const = 0;
+
+    /** Short backend label for stats output ("mmap", "buffered"). */
+    virtual std::string backendName() const = 0;
+};
+
+} // namespace core
+} // namespace wet
+
+#endif // WET_CORE_BACKING_H

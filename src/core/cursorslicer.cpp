@@ -9,17 +9,38 @@ namespace core {
 
 namespace {
 
-enum StreamKind : uint64_t
+/**
+ * I/O accounting over the warm entries of @p cache belonging to one
+ * engine (selected by its three stream-key kinds). The generic
+ * SeqReader surface carries everything needed: a full decode reports
+ * decodeSteps == length, so the cursor estimate below degenerates to
+ * the exact at-rest size for DecodeSliceAccess.
+ */
+SliceIoStats
+cacheStats(const StreamCache& cache, const WetCompressed& c,
+           StreamKind ts, StreamKind use, StreamKind def)
 {
-    kTs = 1,
-    kPoolUse = 2,
-    kPoolDef = 3,
-};
-
-uint64_t
-streamKey(StreamKind kind, uint64_t idx)
-{
-    return (kind << 60) | idx;
+    SliceIoStats st;
+    st.bytesTotal = artifactStreamBytes(c);
+    cache.forEach([&](uint64_t key, const SeqReader& r) {
+        StreamKind k = streamKeyKind(key);
+        if (k != ts && k != use && k != def)
+            return;
+        const codec::CompressedStream* s = r.stream();
+        if (s == nullptr)
+            return;
+        ++st.streamsOpened;
+        uint64_t steps = r.decodeSteps();
+        st.valuesDecoded += steps;
+        uint64_t len = s->length;
+        uint64_t bytes = s->sizeBytes();
+        // A cursor may revisit values (steps > length); the at-rest
+        // bytes of a stream can only be touched once each.
+        st.bytesTouched +=
+            len == 0 ? bytes
+                     : std::min(bytes, bytes * steps / len);
+    });
+    return st;
 }
 
 } // namespace
@@ -47,22 +68,36 @@ artifactStreamBytes(const WetCompressed& c)
 
 // ---------------------------------------------------------------- //
 
-struct CursorSliceAccess::OpenStream : public SeqReader
+namespace {
+
+struct OpenStream : public SeqReader
 {
     explicit OpenStream(const codec::CompressedStream& s)
-        : stream(&s),
+        : stream_(&s),
           cursor(s, codec::StreamCursor::Mode::Bidirectional)
     {
     }
 
     uint64_t length() const override { return cursor.length(); }
     int64_t at(uint64_t i) override { return cursor.at(i); }
+    uint64_t decodeSteps() const override
+    {
+        return cursor.decodeSteps();
+    }
+    const codec::CompressedStream* stream() const override
+    {
+        return stream_;
+    }
 
-    const codec::CompressedStream* stream;
+    const codec::CompressedStream* stream_;
     codec::StreamCursor cursor;
 };
 
-CursorSliceAccess::CursorSliceAccess(const WetCompressed& c) : c_(&c)
+} // namespace
+
+CursorSliceAccess::CursorSliceAccess(const WetCompressed& c,
+                                     StreamCache* cache)
+    : c_(&c), cache_(cache != nullptr ? cache : &own_)
 {
 }
 
@@ -71,73 +106,67 @@ CursorSliceAccess::~CursorSliceAccess() = default;
 SeqReader&
 CursorSliceAccess::open(uint64_t key, const codec::CompressedStream& s)
 {
-    auto it = open_.find(key);
-    if (it != open_.end())
-        return *it->second;
-    auto reader = std::make_unique<OpenStream>(s);
-    SeqReader& ref = *reader;
-    open_[key] = std::move(reader);
-    return ref;
+    return cache_->get(key, [&]() -> std::unique_ptr<SeqReader> {
+        return std::make_unique<OpenStream>(s);
+    });
 }
 
 SeqReader&
 CursorSliceAccess::ts(NodeId n)
 {
-    return open(streamKey(kTs, n), c_->node(n).ts);
+    return open(streamKey(StreamKind::CursorTs, n), c_->node(n).ts);
 }
 
 SeqReader&
 CursorSliceAccess::poolUse(uint32_t pool_idx)
 {
-    return open(streamKey(kPoolUse, pool_idx),
+    return open(streamKey(StreamKind::CursorPoolUse, pool_idx),
                 c_->pool(pool_idx).useInst);
 }
 
 SeqReader&
 CursorSliceAccess::poolDef(uint32_t pool_idx)
 {
-    return open(streamKey(kPoolDef, pool_idx),
+    return open(streamKey(StreamKind::CursorPoolDef, pool_idx),
                 c_->pool(pool_idx).defInst);
 }
 
 SliceIoStats
 CursorSliceAccess::stats() const
 {
-    SliceIoStats st;
-    st.bytesTotal = artifactStreamBytes(*c_);
-    for (const auto& [key, os] : open_) {
-        (void)key;
-        ++st.streamsOpened;
-        uint64_t steps = os->cursor.decodeSteps();
-        st.valuesDecoded += steps;
-        uint64_t len = os->stream->length;
-        uint64_t bytes = os->stream->sizeBytes();
-        // A cursor may revisit values (steps > length); the at-rest
-        // bytes of a stream can only be touched once each.
-        st.bytesTouched +=
-            len == 0 ? bytes
-                     : std::min(bytes, bytes * steps / len);
-    }
-    return st;
+    return cacheStats(*cache_, *c_, StreamKind::CursorTs,
+                      StreamKind::CursorPoolUse,
+                      StreamKind::CursorPoolDef);
 }
 
 // ---------------------------------------------------------------- //
 
-struct DecodeSliceAccess::DecodedStream : public SeqReader
+namespace {
+
+struct DecodedStream : public SeqReader
 {
     explicit DecodedStream(const codec::CompressedStream& s)
-        : stream(&s), values(codec::decodeAll(s))
+        : stream_(&s), values(codec::decodeAll(s))
     {
     }
 
     uint64_t length() const override { return values.size(); }
     int64_t at(uint64_t i) override { return values[i]; }
+    uint64_t decodeSteps() const override { return values.size(); }
+    const codec::CompressedStream* stream() const override
+    {
+        return stream_;
+    }
 
-    const codec::CompressedStream* stream;
+    const codec::CompressedStream* stream_;
     std::vector<int64_t> values;
 };
 
-DecodeSliceAccess::DecodeSliceAccess(const WetCompressed& c) : c_(&c)
+} // namespace
+
+DecodeSliceAccess::DecodeSliceAccess(const WetCompressed& c,
+                                     StreamCache* cache)
+    : c_(&c), cache_(cache != nullptr ? cache : &own_)
 {
 }
 
@@ -146,47 +175,37 @@ DecodeSliceAccess::~DecodeSliceAccess() = default;
 SeqReader&
 DecodeSliceAccess::open(uint64_t key, const codec::CompressedStream& s)
 {
-    auto it = open_.find(key);
-    if (it != open_.end())
-        return *it->second;
-    auto reader = std::make_unique<DecodedStream>(s);
-    SeqReader& ref = *reader;
-    open_[key] = std::move(reader);
-    return ref;
+    return cache_->get(key, [&]() -> std::unique_ptr<SeqReader> {
+        return std::make_unique<DecodedStream>(s);
+    });
 }
 
 SeqReader&
 DecodeSliceAccess::ts(NodeId n)
 {
-    return open(streamKey(kTs, n), c_->node(n).ts);
+    return open(streamKey(StreamKind::DecodeTs, n), c_->node(n).ts);
 }
 
 SeqReader&
 DecodeSliceAccess::poolUse(uint32_t pool_idx)
 {
-    return open(streamKey(kPoolUse, pool_idx),
+    return open(streamKey(StreamKind::DecodePoolUse, pool_idx),
                 c_->pool(pool_idx).useInst);
 }
 
 SeqReader&
 DecodeSliceAccess::poolDef(uint32_t pool_idx)
 {
-    return open(streamKey(kPoolDef, pool_idx),
+    return open(streamKey(StreamKind::DecodePoolDef, pool_idx),
                 c_->pool(pool_idx).defInst);
 }
 
 SliceIoStats
 DecodeSliceAccess::stats() const
 {
-    SliceIoStats st;
-    st.bytesTotal = artifactStreamBytes(*c_);
-    for (const auto& [key, ds] : open_) {
-        (void)key;
-        ++st.streamsOpened;
-        st.valuesDecoded += ds->values.size();
-        st.bytesTouched += ds->stream->sizeBytes();
-    }
-    return st;
+    return cacheStats(*cache_, *c_, StreamKind::DecodeTs,
+                      StreamKind::DecodePoolUse,
+                      StreamKind::DecodePoolDef);
 }
 
 } // namespace core

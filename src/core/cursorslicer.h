@@ -2,12 +2,12 @@
 #define WET_CORE_CURSORSLICER_H
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "codec/cursor.h"
 #include "core/access.h"
 #include "core/compressed.h"
+#include "core/streamcache.h"
 
 namespace wet {
 namespace core {
@@ -44,11 +44,18 @@ struct SliceIoStats
  * first touch, and backward slice steps ride the cursor's O(1)
  * backward machine instead of decoding the stream. stats() reports
  * how little of the artifact a slice actually touched.
+ *
+ * Pass a shared StreamCache to keep cursors warm across queries and
+ * engines (its keys use the Cursor* kinds of the unified stream-key
+ * namespace); the default is a private unbounded cache. stats() then
+ * covers the warm set — readers evicted under a bounded capacity no
+ * longer contribute.
  */
 class CursorSliceAccess : public SliceAccess
 {
   public:
-    explicit CursorSliceAccess(const WetCompressed& c);
+    explicit CursorSliceAccess(const WetCompressed& c,
+                               StreamCache* cache = nullptr);
     ~CursorSliceAccess() override;
 
     const WetGraph& graph() const override { return c_->graph(); }
@@ -62,20 +69,22 @@ class CursorSliceAccess : public SliceAccess
     SeqReader& open(uint64_t key, const codec::CompressedStream& s);
 
     const WetCompressed* c_;
-    struct OpenStream;
-    std::unordered_map<uint64_t, std::unique_ptr<OpenStream>> open_;
+    StreamCache own_;
+    StreamCache* cache_;
 };
 
 /**
  * Reference engine: the same SliceAccess surface, but every stream
  * is fully decoded into a vector on first touch (what a conventional
  * decompress-then-analyze pipeline pays). Slices must come out
- * byte-identical to CursorSliceAccess; only stats() differs.
+ * byte-identical to CursorSliceAccess; only stats() differs. Uses
+ * the Decode* stream-key kinds when sharing a cache.
  */
 class DecodeSliceAccess : public SliceAccess
 {
   public:
-    explicit DecodeSliceAccess(const WetCompressed& c);
+    explicit DecodeSliceAccess(const WetCompressed& c,
+                               StreamCache* cache = nullptr);
     ~DecodeSliceAccess() override;
 
     const WetGraph& graph() const override { return c_->graph(); }
@@ -89,9 +98,8 @@ class DecodeSliceAccess : public SliceAccess
     SeqReader& open(uint64_t key, const codec::CompressedStream& s);
 
     const WetCompressed* c_;
-    struct DecodedStream;
-    std::unordered_map<uint64_t, std::unique_ptr<DecodedStream>>
-        open_;
+    StreamCache own_;
+    StreamCache* cache_;
 };
 
 /** Sum of all label-stream at-rest bytes of @p c (stats baseline). */

@@ -1,0 +1,45 @@
+#ifndef WET_CORE_SEQREADER_H
+#define WET_CORE_SEQREADER_H
+
+#include <cstdint>
+
+namespace wet {
+namespace codec {
+class CompressedStream;
+} // namespace codec
+
+namespace core {
+
+/**
+ * Uniform sequential/random access to one label sequence, hiding
+ * whether it is a tier-1 vector or a tier-2 compressed stream.
+ */
+class SeqReader
+{
+  public:
+    virtual ~SeqReader() = default;
+
+    virtual uint64_t length() const = 0;
+
+    /** Value at index @p i. Sequential access patterns are O(1)
+     *  amortized in both tiers; far random jumps may re-scan a
+     *  tier-2 stream. */
+    virtual int64_t at(uint64_t i) = 0;
+
+    /** Decode machine steps performed so far (0 for tier-1 vectors,
+     *  which never decode anything). */
+    virtual uint64_t decodeSteps() const { return 0; }
+
+    /** The compressed stream behind this reader, if any (null for
+     *  tier-1 vectors). Lets I/O accounting walk a heterogeneous
+     *  cache without knowing concrete reader types. */
+    virtual const codec::CompressedStream* stream() const
+    {
+        return nullptr;
+    }
+};
+
+} // namespace core
+} // namespace wet
+
+#endif // WET_CORE_SEQREADER_H

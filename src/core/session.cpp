@@ -1,0 +1,109 @@
+#include "session.h"
+
+namespace wet {
+namespace core {
+
+namespace {
+
+// Same analysis budget the CLI has always used for one-shot queries.
+constexpr uint64_t kAnalysisBudget = uint64_t{1} << 24;
+
+} // namespace
+
+QuerySession::QuerySession(const ir::Module& mod,
+                           const WetCompressed& c,
+                           std::shared_ptr<ArtifactBacking> backing,
+                           SessionOptions opt)
+    : mod_(&mod), c_(&c), backing_(std::move(backing)), opt_(opt),
+      cache_(opt.cacheCapacity), access_(c, mod, &cache_),
+      cursorSlice_(c, &cache_), decodeSlice_(c, &cache_)
+{
+}
+
+const analysis::ModuleAnalysis&
+QuerySession::moduleAnalysis()
+{
+    if (!ma_) {
+        support::Timer t;
+        ma_ = std::make_unique<analysis::ModuleAnalysis>(
+            *mod_, kAnalysisBudget, opt_.threads);
+        metrics_.recordLatency(
+            "latency.module_analysis",
+            static_cast<uint64_t>(t.seconds() * 1e9));
+    }
+    return *ma_;
+}
+
+const analysis::StaticDepGraph&
+QuerySession::depGraph()
+{
+    if (!sdg_) {
+        const analysis::ModuleAnalysis& ma = moduleAnalysis();
+        support::Timer t;
+        sdg_ = std::make_unique<analysis::StaticDepGraph>(ma);
+        metrics_.recordLatency(
+            "latency.static_depgraph",
+            static_cast<uint64_t>(t.seconds() * 1e9));
+    }
+    return *sdg_;
+}
+
+QuerySession::Scope::Scope(QuerySession& s, std::string kind)
+    : s_(&s), kind_(std::move(kind)), before_(s.cache_.stats())
+{
+    s_->cache_.resetTouched();
+}
+
+QuerySession::Scope::~Scope()
+{
+    uint64_t ns = static_cast<uint64_t>(timer_.seconds() * 1e9);
+    support::Metrics& m = s_->metrics_;
+    const StreamCache::Stats& now = s_->cache_.stats();
+    m.add("queries", 1);
+    m.add("queries." + kind_, 1);
+    m.add("cache.hits", now.hits - before_.hits);
+    m.add("cache.misses", now.misses - before_.misses);
+    m.add("cache.evictions", now.evictions - before_.evictions);
+    m.add("streams.touched", s_->cache_.touchedCount());
+    m.recordLatency("latency." + kind_, ns);
+    // The query is over: no reader references remain, so deferred
+    // evictions can finally be freed.
+    s_->cache_.purge();
+    s_->cache_.resetTouched();
+}
+
+void
+QuerySession::sampleGauges()
+{
+    metrics_.counter("artifact.bytes_total") =
+        backing_ ? backing_->sizeBytes() : 0;
+    metrics_.counter("artifact.bytes_resident") =
+        backing_ ? backing_->residentBytes() : 0;
+    metrics_.counter("cache.capacity") = cache_.capacity();
+    metrics_.counter("cache.entries") = cache_.size();
+}
+
+std::string
+QuerySession::statsText()
+{
+    sampleGauges();
+    std::string out;
+    if (backing_)
+        out += "backend: " + backing_->backendName() + "\n";
+    out += metrics_.renderText();
+    return out;
+}
+
+std::string
+QuerySession::statsJson()
+{
+    sampleGauges();
+    std::string j = metrics_.renderJson();
+    if (backing_)
+        j = "{\"backend\":\"" + backing_->backendName() + "\"," +
+            j.substr(1);
+    return j;
+}
+
+} // namespace core
+} // namespace wet

@@ -1,0 +1,119 @@
+#ifndef WET_CORE_SESSION_H
+#define WET_CORE_SESSION_H
+
+#include <memory>
+#include <string>
+
+#include "analysis/moduleanalysis.h"
+#include "analysis/staticdep.h"
+#include "core/access.h"
+#include "core/backing.h"
+#include "core/compressed.h"
+#include "core/cursorslicer.h"
+#include "core/streamcache.h"
+#include "ir/module.h"
+#include "support/metrics.h"
+#include "support/timer.h"
+
+namespace wet {
+namespace core {
+
+struct SessionOptions
+{
+    /** Warm-reader cache bound; 0 keeps every reader warm. */
+    size_t cacheCapacity = 0;
+    /** Worker threads for the lazily built module analyses. */
+    unsigned threads = 1;
+};
+
+/**
+ * Long-lived serving context over one loaded artifact.
+ *
+ * A cold process pays the artifact load, module analyses, and stream
+ * cursor warm-up on every query; a session pays each once and lets
+ * every subsequent query — control flow, value trace, address trace,
+ * slice, depcheck — reuse the warm state:
+ *
+ *  - one WetAccess and both slicing engines share one bounded LRU
+ *    StreamCache of warm cursors (unified stream-key namespace);
+ *  - ModuleAnalysis and StaticDepGraph are built lazily, on the
+ *    first query that needs them, then kept;
+ *  - the artifact backing (typically an mmap'd ArtifactView) is held
+ *    alive for the borrowed stream payloads and queried for its
+ *    resident page set ("bytes faulted in").
+ *
+ * Per-query latency and cache activity land in a Metrics registry;
+ * wrap each query in a Scope to record them and to purge deferred
+ * cache evictions at the boundary.
+ */
+class QuerySession
+{
+  public:
+    QuerySession(const ir::Module& mod, const WetCompressed& c,
+                 std::shared_ptr<ArtifactBacking> backing = nullptr,
+                 SessionOptions opt = {});
+
+    const ir::Module& module() const { return *mod_; }
+    const WetGraph& graph() const { return c_->graph(); }
+    const WetCompressed& compressed() const { return *c_; }
+
+    WetAccess& access() { return access_; }
+    CursorSliceAccess& cursorSlice() { return cursorSlice_; }
+    DecodeSliceAccess& decodeSlice() { return decodeSlice_; }
+    StreamCache& cache() { return cache_; }
+    support::Metrics& metrics() { return metrics_; }
+    ArtifactBacking* backing() { return backing_.get(); }
+
+    /** Module analyses, built on first use and then kept warm. */
+    const analysis::ModuleAnalysis& moduleAnalysis();
+    const analysis::StaticDepGraph& depGraph();
+
+    /**
+     * RAII wrapper around one query: on destruction records the
+     * query's latency and cache activity under its @p kind and
+     * purges readers evicted while it ran. No reader reference may
+     * outlive the scope that produced it.
+     */
+    class Scope
+    {
+      public:
+        Scope(QuerySession& s, std::string kind);
+        ~Scope();
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+
+      private:
+        QuerySession* s_;
+        std::string kind_;
+        support::Timer timer_;
+        StreamCache::Stats before_;
+    };
+
+    /**
+     * Stats snapshot: all counters and per-kind latencies, plus the
+     * backing gauges (resident vs total bytes, cache occupancy)
+     * sampled at call time. Deterministic ordering.
+     */
+    std::string statsText();
+    std::string statsJson();
+
+  private:
+    void sampleGauges();
+
+    const ir::Module* mod_;
+    const WetCompressed* c_;
+    std::shared_ptr<ArtifactBacking> backing_;
+    SessionOptions opt_;
+    StreamCache cache_;
+    WetAccess access_;
+    CursorSliceAccess cursorSlice_;
+    DecodeSliceAccess decodeSlice_;
+    support::Metrics metrics_;
+    std::unique_ptr<analysis::ModuleAnalysis> ma_;
+    std::unique_ptr<analysis::StaticDepGraph> sdg_;
+};
+
+} // namespace core
+} // namespace wet
+
+#endif // WET_CORE_SESSION_H

@@ -1,0 +1,50 @@
+#include "streamcache.h"
+
+namespace wet {
+namespace core {
+
+SeqReader&
+StreamCache::get(uint64_t key, const Factory& make)
+{
+    touched_.insert(key);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
+        return *it->second.reader;
+    }
+    ++stats_.misses;
+    std::unique_ptr<SeqReader> reader = make();
+    SeqReader& ref = *reader;
+    lru_.push_front(key);
+    map_.emplace(key, Entry{std::move(reader), lru_.begin()});
+    if (capacity_ > 0) {
+        while (map_.size() > capacity_) {
+            uint64_t victim = lru_.back();
+            auto vit = map_.find(victim);
+            graveyard_.push_back(std::move(vit->second.reader));
+            map_.erase(vit);
+            lru_.pop_back();
+            ++stats_.evictions;
+        }
+    }
+    return ref;
+}
+
+void
+StreamCache::purge()
+{
+    graveyard_.clear();
+}
+
+void
+StreamCache::clear()
+{
+    map_.clear();
+    lru_.clear();
+    graveyard_.clear();
+    touched_.clear();
+}
+
+} // namespace core
+} // namespace wet

@@ -1,0 +1,93 @@
+#ifndef WET_CORE_STREAMCACHE_H
+#define WET_CORE_STREAMCACHE_H
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/seqreader.h"
+#include "core/streamkey.h"
+
+namespace wet {
+namespace core {
+
+/**
+ * Bounded LRU cache of warm stream readers, shared by every query
+ * engine of a session (keys come from the unified streamKey
+ * namespace).
+ *
+ * Eviction is deferred: queries hold SeqReader references across
+ * further cache lookups, so an eviction must not destroy the reader
+ * mid-query. Evicted readers move to a graveyard that purge() frees
+ * at the next query boundary — capacity therefore bounds the *warm*
+ * set, while in-flight references stay valid by construction.
+ */
+class StreamCache
+{
+  public:
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t evictions = 0;
+    };
+
+    using Factory = std::function<std::unique_ptr<SeqReader>()>;
+
+    /** @p capacity 0 means unbounded (the pre-session behavior). */
+    explicit StreamCache(size_t capacity = 0) : capacity_(capacity) {}
+
+    /**
+     * Warm reader for @p key, creating it via @p make on a miss. The
+     * reference stays valid until purge() even if the entry is
+     * evicted by later lookups.
+     */
+    SeqReader& get(uint64_t key, const Factory& make);
+
+    /** Free readers evicted since the last purge. Call only at a
+     *  query boundary (no outstanding reader references). */
+    void purge();
+
+    /** Drop every entry, including the graveyard. Same caveat. */
+    void clear();
+
+    size_t size() const { return map_.size(); }
+    size_t capacity() const { return capacity_; }
+    const Stats& stats() const { return stats_; }
+
+    /** Distinct keys looked up since resetTouched(). */
+    size_t touchedCount() const { return touched_.size(); }
+    void resetTouched() { touched_.clear(); }
+
+    /** Visit every live (non-evicted) entry. */
+    template <typename F>
+    void
+    forEach(F&& f) const
+    {
+        for (const auto& [key, e] : map_)
+            f(key, *e.reader);
+    }
+
+  private:
+    struct Entry
+    {
+        std::unique_ptr<SeqReader> reader;
+        std::list<uint64_t>::iterator lru;
+    };
+
+    size_t capacity_;
+    std::list<uint64_t> lru_; //!< front = most recently used
+    std::unordered_map<uint64_t, Entry> map_;
+    std::vector<std::unique_ptr<SeqReader>> graveyard_;
+    std::unordered_set<uint64_t> touched_;
+    Stats stats_;
+};
+
+} // namespace core
+} // namespace wet
+
+#endif // WET_CORE_STREAMCACHE_H

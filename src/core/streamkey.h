@@ -1,0 +1,55 @@
+#ifndef WET_CORE_STREAMKEY_H
+#define WET_CORE_STREAMKEY_H
+
+#include <cstdint>
+
+#include "support/error.h"
+
+namespace wet {
+namespace core {
+
+/**
+ * Unified key namespace for every stream reader a WET query can hold
+ * warm. The kinds are disjoint across all reader-owning engines so
+ * that one shared StreamCache can serve WetAccess and both slicing
+ * engines at once: the same artifact stream opened by different
+ * engines gets different keys, because the cached objects differ
+ * (plain cursor vs instrumented cursor vs eager decode).
+ */
+enum class StreamKind : uint64_t
+{
+    AccessTs = 1,
+    AccessPattern = 2,
+    AccessUvals = 3,
+    AccessPoolUse = 4,
+    AccessPoolDef = 5,
+    CursorTs = 6,
+    CursorPoolUse = 7,
+    CursorPoolDef = 8,
+    DecodeTs = 9,
+    DecodePoolUse = 10,
+    DecodePoolDef = 11,
+};
+
+/** Pack kind plus up to three indexes into one 64-bit key. */
+inline uint64_t
+streamKey(StreamKind kind, uint64_t a, uint64_t b = 0, uint64_t c = 0)
+{
+    WET_ASSERT(a < (uint64_t{1} << 30) && b < (uint64_t{1} << 18) &&
+                   c < (uint64_t{1} << 12),
+               "stream key overflow");
+    return (static_cast<uint64_t>(kind) << 60) | (a << 30) |
+           (b << 12) | c;
+}
+
+/** Kind a key was packed with. */
+inline StreamKind
+streamKeyKind(uint64_t key)
+{
+    return static_cast<StreamKind>(key >> 60);
+}
+
+} // namespace core
+} // namespace wet
+
+#endif // WET_CORE_STREAMKEY_H

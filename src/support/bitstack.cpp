@@ -1,21 +1,78 @@
 #include "bitstack.h"
 
+#include <cstring>
+
 #include "error.h"
 
 namespace wet {
 namespace support {
 
+uint64_t
+BitStack::word(size_t w) const
+{
+    if (ext_) {
+        WET_ASSERT(w < extWords_, "BitStack word out of range");
+#if defined(__BYTE_ORDER__) &&                                       \
+    __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+        uint64_t v = 0;
+        for (unsigned b = 0; b < 8; ++b)
+            v |= static_cast<uint64_t>(ext_[w * 8 + b]) << (8 * b);
+        return v;
+#else
+        // Little-endian host: the stored layout is the native layout,
+        // and memcpy tolerates any alignment of the mapped span.
+        uint64_t v;
+        std::memcpy(&v, ext_ + w * 8, sizeof v);
+        return v;
+#endif
+    }
+    return words_[w];
+}
+
+const std::vector<uint64_t>&
+BitStack::words() const
+{
+    WET_ASSERT(!ext_, "words() on a borrowed BitStack");
+    return words_;
+}
+
+BitStack
+BitStack::fromSpan(const uint8_t* words_le, size_t nwords,
+                   size_t nbits)
+{
+    WET_ASSERT(nbits <= nwords * 64,
+               "BitStack span holds fewer bits than declared");
+    BitStack bs;
+    bs.ext_ = words_le;
+    bs.extWords_ = nwords;
+    bs.nbits_ = nbits;
+    return bs;
+}
+
+void
+BitStack::ensureOwned()
+{
+    if (!ext_)
+        return;
+    words_.resize(extWords_);
+    for (size_t w = 0; w < extWords_; ++w)
+        words_[w] = word(w);
+    ext_ = nullptr;
+    extWords_ = 0;
+}
+
 void
 BitStack::push(bool bit)
 {
-    size_t word = nbits_ / 64;
+    ensureOwned();
+    size_t w = nbits_ / 64;
     size_t off = nbits_ % 64;
-    if (word == words_.size())
+    if (w == words_.size())
         words_.push_back(0);
     if (bit)
-        words_[word] |= (uint64_t{1} << off);
+        words_[w] |= (uint64_t{1} << off);
     else
-        words_[word] &= ~(uint64_t{1} << off);
+        words_[w] &= ~(uint64_t{1} << off);
     ++nbits_;
 }
 
@@ -23,6 +80,7 @@ bool
 BitStack::pop()
 {
     WET_ASSERT(nbits_ > 0, "pop from empty BitStack");
+    ensureOwned();
     bool bit = get(nbits_ - 1);
     --nbits_;
     return bit;
@@ -32,7 +90,7 @@ bool
 BitStack::get(size_t i) const
 {
     WET_ASSERT(i < nbits_, "BitStack::get out of range: " << i);
-    return (words_[i / 64] >> (i % 64)) & 1;
+    return (word(i / 64) >> (i % 64)) & 1;
 }
 
 void
@@ -69,6 +127,8 @@ void
 BitStack::clear()
 {
     words_.clear();
+    ext_ = nullptr;
+    extWords_ = 0;
     nbits_ = 0;
 }
 

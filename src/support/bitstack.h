@@ -14,6 +14,11 @@ namespace support {
  * The tier-2 codecs store one hit/miss flag per stream position here;
  * cursors read the flags forwards or backwards while the builder pushes
  * and pops them stack-wise.
+ *
+ * Storage is either owned (a word vector) or borrowed: a span of
+ * little-endian 64-bit words inside memory someone else keeps alive
+ * (e.g. an mmap'd artifact view). Reads never copy; the first mutation
+ * of a borrowed stack materializes a private copy.
  */
 class BitStack
 {
@@ -45,10 +50,23 @@ class BitStack
     /** Storage footprint in bytes (rounded up). */
     size_t sizeBytes() const { return (nbits_ + 7) / 8; }
 
-    /** Raw word storage (for serialization). */
-    const std::vector<uint64_t>& words() const { return words_; }
+    /** Number of 64-bit storage words (owned or borrowed). */
+    size_t
+    numWords() const
+    {
+        return ext_ ? extWords_ : words_.size();
+    }
 
-    /** Reconstruct from raw words (deserialization). */
+    /** Storage word @p w, regardless of ownership. */
+    uint64_t word(size_t w) const;
+
+    /** True when the storage is a borrowed span (zero-copy load). */
+    bool borrowed() const { return ext_ != nullptr; }
+
+    /** Owned word storage; only valid on a non-borrowed stack. */
+    const std::vector<uint64_t>& words() const;
+
+    /** Reconstruct from raw words (owning deserialization). */
     static BitStack
     fromWords(std::vector<uint64_t> words, size_t nbits)
     {
@@ -58,8 +76,22 @@ class BitStack
         return bs;
     }
 
+    /**
+     * Zero-copy view over @p nwords little-endian 64-bit words stored
+     * at @p words_le (no alignment requirement). The caller must keep
+     * the memory alive and unchanged for the lifetime of this stack
+     * and anything copied from it; nbits must not exceed the storage.
+     */
+    static BitStack fromSpan(const uint8_t* words_le, size_t nwords,
+                             size_t nbits);
+
   private:
+    /** Copy borrowed storage into words_ before a mutation. */
+    void ensureOwned();
+
     std::vector<uint64_t> words_;
+    const uint8_t* ext_ = nullptr; //!< borrowed LE words when non-null
+    size_t extWords_ = 0;
     size_t nbits_ = 0;
 };
 

@@ -1,0 +1,92 @@
+#include "metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wet {
+namespace support {
+
+uint64_t&
+Metrics::counter(const std::string& name)
+{
+    return counters_[name];
+}
+
+void
+Metrics::recordLatency(const std::string& name, uint64_t ns)
+{
+    Latency& l = latencies_[name];
+    ++l.count;
+    l.totalNs += ns;
+    l.minNs = std::min(l.minNs, ns);
+    l.maxNs = std::max(l.maxNs, ns);
+}
+
+namespace {
+
+double
+us(uint64_t ns)
+{
+    return static_cast<double>(ns) / 1e3;
+}
+
+void
+jsonNumber(std::ostringstream& os, double v)
+{
+    std::ostringstream tmp;
+    tmp.precision(3);
+    tmp << std::fixed << v;
+    os << tmp.str();
+}
+
+} // namespace
+
+std::string
+Metrics::renderText() const
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed;
+    for (const auto& [name, v] : counters_)
+        os << name << ": " << v << "\n";
+    for (const auto& [name, l] : latencies_) {
+        os << name << ": n=" << l.count << " mean_us=" << l.meanUs();
+        if (l.count > 0)
+            os << " min_us=" << us(l.minNs) << " max_us=" << us(l.maxNs);
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Metrics::renderJson() const
+{
+    std::ostringstream os;
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, v] : counters_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << name << "\":" << v;
+    }
+    os << "},\"latencies_us\":{";
+    first = true;
+    for (const auto& [name, l] : latencies_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << name << "\":{\"count\":" << l.count << ",\"mean\":";
+        jsonNumber(os, l.meanUs());
+        os << ",\"min\":";
+        jsonNumber(os, l.count ? us(l.minNs) : 0.0);
+        os << ",\"max\":";
+        jsonNumber(os, us(l.maxNs));
+        os << "}";
+    }
+    os << "}}";
+    return os.str();
+}
+
+} // namespace support
+} // namespace wet

@@ -1,0 +1,74 @@
+#ifndef WET_SUPPORT_METRICS_H
+#define WET_SUPPORT_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace wet {
+namespace support {
+
+/**
+ * Small named-counter and latency registry for long-lived serving
+ * components (the query session layer). Counters are created on first
+ * touch; latency samples aggregate into count/total/min/max so the
+ * registry stays O(#names) regardless of traffic. Rendering is
+ * deterministic (names sorted) so stats output can be golden-tested.
+ */
+class Metrics
+{
+  public:
+    /** A latency series aggregated in nanoseconds. */
+    struct Latency
+    {
+        uint64_t count = 0;
+        uint64_t totalNs = 0;
+        uint64_t minNs = UINT64_MAX;
+        uint64_t maxNs = 0;
+
+        double
+        meanUs() const
+        {
+            return count == 0 ? 0.0
+                              : static_cast<double>(totalNs) /
+                                    static_cast<double>(count) / 1e3;
+        }
+    };
+
+    /** Counter cell for @p name, created at zero on first touch. */
+    uint64_t& counter(const std::string& name);
+
+    /** Add @p v to counter @p name. */
+    void
+    add(const std::string& name, uint64_t v)
+    {
+        counter(name) += v;
+    }
+
+    /** Record one latency sample for @p name. */
+    void recordLatency(const std::string& name, uint64_t ns);
+
+    const std::map<std::string, uint64_t>& counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Latency>& latencies() const
+    {
+        return latencies_;
+    }
+
+    /** Human-readable block, one metric per line. */
+    std::string renderText() const;
+
+    /** One JSON object: {"counters": {...}, "latencies_us": {...}}. */
+    std::string renderJson() const;
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+    std::map<std::string, Latency> latencies_;
+};
+
+} // namespace support
+} // namespace wet
+
+#endif // WET_SUPPORT_METRICS_H

@@ -18,9 +18,35 @@ VarintBuffer::zigzagDecode(uint64_t u)
     return static_cast<int64_t>(u >> 1) ^ -static_cast<int64_t>(u & 1);
 }
 
+const std::vector<uint8_t>&
+VarintBuffer::bytes() const
+{
+    WET_ASSERT(!ext_, "bytes() on a borrowed VarintBuffer");
+    return bytes_;
+}
+
+void
+VarintBuffer::ensureOwned()
+{
+    if (!ext_)
+        return;
+    bytes_.assign(ext_, ext_ + extSize_);
+    ext_ = nullptr;
+    extSize_ = 0;
+}
+
+void
+VarintBuffer::clear()
+{
+    bytes_.clear();
+    ext_ = nullptr;
+    extSize_ = 0;
+}
+
 void
 VarintBuffer::pushUnsigned(uint64_t v)
 {
+    ensureOwned();
     while (v >= 0x80) {
         bytes_.push_back(static_cast<uint8_t>(v) | 0x80);
         v >>= 7;
@@ -37,14 +63,15 @@ VarintBuffer::pushSigned(int64_t v)
 uint64_t
 VarintBuffer::readUnsignedAt(size_t& pos) const
 {
+    const uint8_t* d = data();
+    const size_t size = sizeBytes();
     uint64_t v = 0;
     int shift = 0;
     for (;;) {
         // Checked per byte: a truncated buffer whose last byte still
         // has the continuation bit set must not read past the end.
-        WET_ASSERT(pos < bytes_.size(),
-                   "varint read past end at " << pos);
-        uint8_t b = bytes_[pos++];
+        WET_ASSERT(pos < size, "varint read past end at " << pos);
+        uint8_t b = d[pos++];
         v |= static_cast<uint64_t>(b & 0x7f) << shift;
         if (!(b & 0x80))
             break;
@@ -63,12 +90,13 @@ VarintBuffer::readSignedAt(size_t& pos) const
 uint64_t
 VarintBuffer::readUnsignedBefore(size_t& pos) const
 {
-    WET_ASSERT(pos > 0 && pos <= bytes_.size(),
+    const uint8_t* d = data();
+    WET_ASSERT(pos > 0 && pos <= sizeBytes(),
                "varint backward read at " << pos);
     // The value's final byte (at pos - 1) has a clear continuation bit;
     // every earlier byte of the same value has it set.
     size_t start = pos - 1;
-    while (start > 0 && (bytes_[start - 1] & 0x80))
+    while (start > 0 && (d[start - 1] & 0x80))
         --start;
     pos = start;
     size_t tmp = start;
@@ -84,6 +112,7 @@ VarintBuffer::readSignedBefore(size_t& pos) const
 uint64_t
 VarintBuffer::popUnsigned()
 {
+    ensureOwned();
     size_t pos = bytes_.size();
     uint64_t v = readUnsignedBefore(pos);
     bytes_.resize(pos);
@@ -99,6 +128,7 @@ VarintBuffer::popSigned()
 void
 VarintBuffer::truncate(size_t nbytes)
 {
+    ensureOwned();
     WET_ASSERT(nbytes <= bytes_.size(), "truncate beyond size");
     bytes_.resize(nbytes);
 }

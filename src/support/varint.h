@@ -18,6 +18,11 @@ namespace support {
  * the preceding value's boundary is the previous byte with a clear
  * continuation bit. The tier-2 stream codecs rely on this to pop entries
  * off compressed stacks in O(length of entry).
+ *
+ * Storage is either owned (a byte vector, the default) or borrowed (a
+ * span into memory someone else keeps alive, e.g. an mmap'd artifact
+ * view). Reads never copy; the first mutation of a borrowed buffer
+ * materializes a private copy so the mapped file is never written.
  */
 class VarintBuffer
 {
@@ -56,17 +61,28 @@ class VarintBuffer
     /** Backward variant of readSignedAt. */
     int64_t readSignedBefore(size_t& pos) const;
 
-    size_t sizeBytes() const { return bytes_.size(); }
-    bool empty() const { return bytes_.empty(); }
-    void clear() { bytes_.clear(); }
+    size_t sizeBytes() const { return ext_ ? extSize_ : bytes_.size(); }
+    bool empty() const { return sizeBytes() == 0; }
+    void clear();
 
     /** Truncate the buffer to @p nbytes bytes (must be a value
      *  boundary; only checked in debug builds). */
     void truncate(size_t nbytes);
 
-    const std::vector<uint8_t>& bytes() const { return bytes_; }
+    /** Raw byte storage, regardless of ownership. */
+    const uint8_t* data() const
+    {
+        return ext_ ? ext_ : bytes_.data();
+    }
 
-    /** Reconstruct from raw bytes (deserialization). */
+    /** True when the storage is a borrowed span (zero-copy load). */
+    bool borrowed() const { return ext_ != nullptr; }
+
+    /** Owned byte vector; only valid on an owned (non-borrowed)
+     *  buffer — serialization of freshly encoded streams. */
+    const std::vector<uint8_t>& bytes() const;
+
+    /** Reconstruct from raw bytes (owning deserialization). */
     static VarintBuffer
     fromBytes(std::vector<uint8_t> bytes)
     {
@@ -75,11 +91,30 @@ class VarintBuffer
         return b;
     }
 
+    /**
+     * Zero-copy view over @p n bytes at @p data. The caller must keep
+     * the memory alive and unchanged for the lifetime of this buffer
+     * and anything copied from it.
+     */
+    static VarintBuffer
+    fromSpan(const uint8_t* data, size_t n)
+    {
+        VarintBuffer b;
+        b.ext_ = data;
+        b.extSize_ = n;
+        return b;
+    }
+
     static uint64_t zigzagEncode(int64_t v);
     static int64_t zigzagDecode(uint64_t u);
 
   private:
+    /** Copy borrowed storage into bytes_ before a mutation. */
+    void ensureOwned();
+
     std::vector<uint8_t> bytes_;
+    const uint8_t* ext_ = nullptr; //!< borrowed storage when non-null
+    size_t extSize_ = 0;
 };
 
 } // namespace support

@@ -1,0 +1,139 @@
+#include "artifactview.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WET_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define WET_HAVE_MMAP 0
+#endif
+
+namespace wet {
+namespace wetio {
+
+namespace {
+
+bool
+readWholeFile(const std::string& path, std::vector<uint8_t>& out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    out.assign((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+    return !in.bad();
+}
+
+} // namespace
+
+std::shared_ptr<ArtifactView>
+ArtifactView::open(const std::string& path,
+                   analysis::DiagEngine& diag, Backend preferred)
+{
+    // make_shared needs a public ctor; the view is immutable after
+    // open() so a bare new behind shared_ptr is fine here.
+    std::shared_ptr<ArtifactView> v(new ArtifactView());
+    v->path_ = path;
+
+#if WET_HAVE_MMAP
+    if (preferred == Backend::Mmap) {
+        int fd = ::open(path.c_str(), O_RDONLY); // NOLINT(cppcoreguidelines-pro-type-vararg)
+        if (fd < 0) {
+            diag.error("IO001", path, "cannot open file");
+            return nullptr;
+        }
+        struct stat st = {};
+        if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+            ::close(fd);
+            diag.error("IO001", path, "cannot stat file");
+            return nullptr;
+        }
+        size_t len = static_cast<size_t>(st.st_size);
+        if (len > 0) {
+            // mmap of length zero is EINVAL; an empty file simply
+            // stays unmapped with a null span, which the parser
+            // rejects the same way in either backend.
+            void* m =
+                ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+            if (m != MAP_FAILED) {
+                v->map_ = m;
+                v->mapLen_ = len;
+                v->data_ = static_cast<const uint8_t*>(m);
+                v->size_ = len;
+                v->backend_ = Backend::Mmap;
+                ::close(fd);
+                return v;
+            }
+            // Mapping failed (e.g. a pipe or an exotic filesystem):
+            // fall through to the buffered read below.
+        } else {
+            v->backend_ = Backend::Mmap;
+            ::close(fd);
+            return v;
+        }
+        ::close(fd);
+    }
+#endif
+
+    if (!readWholeFile(path, v->owned_)) {
+        diag.error("IO001", path, "cannot open file");
+        return nullptr;
+    }
+    v->data_ = v->owned_.data();
+    v->size_ = v->owned_.size();
+    v->backend_ = Backend::Buffered;
+    return v;
+}
+
+ArtifactView::~ArtifactView()
+{
+#if WET_HAVE_MMAP
+    if (map_ != nullptr)
+        ::munmap(map_, mapLen_);
+#endif
+}
+
+size_t
+ArtifactView::residentBytes() const
+{
+    if (backend_ == Backend::Buffered)
+        return size_;
+#if WET_HAVE_MMAP
+    if (map_ == nullptr)
+        return 0;
+    size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+    size_t npages = (mapLen_ + page - 1) / page;
+#if defined(__linux__)
+    std::vector<unsigned char> vec(npages);
+#else
+    std::vector<char> vec(npages);
+#endif
+    if (::mincore(map_, mapLen_, vec.data()) != 0)
+        return 0;
+    size_t resident = 0;
+    for (size_t i = 0; i < npages; ++i) {
+        if ((vec[i] & 1) == 0)
+            continue;
+        size_t tail = mapLen_ - i * page;
+        resident += tail < page ? tail : page;
+    }
+    return resident;
+#else
+    return size_;
+#endif
+}
+
+std::string
+ArtifactView::backendName() const
+{
+    return backend_ == Backend::Mmap ? "mmap" : "buffered";
+}
+
+} // namespace wetio
+} // namespace wet

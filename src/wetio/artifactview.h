@@ -1,0 +1,74 @@
+#ifndef WET_WETIO_ARTIFACTVIEW_H
+#define WET_WETIO_ARTIFACTVIEW_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/diag.h"
+#include "core/backing.h"
+
+namespace wet {
+namespace wetio {
+
+/**
+ * Read-only view of a WETX artifact file.
+ *
+ * The preferred backend memory-maps the file (PROT_READ/MAP_PRIVATE)
+ * so that loading never copies stream payloads: the parser hands out
+ * spans into the mapping and the kernel faults pages in lazily as
+ * queries touch them. When mapping is unavailable (the Buffered
+ * backend is requested, the platform call fails, or the file is
+ * empty — mmap of zero bytes is invalid) the file is read into an
+ * owned buffer instead.
+ *
+ * Both backends feed the identical (data, size) span to one parser,
+ * so accept/reject behavior cannot diverge between them. The view
+ * must outlive every stream borrowed from it; LoadedWet keeps a
+ * shared_ptr for exactly that reason.
+ */
+class ArtifactView : public core::ArtifactBacking
+{
+  public:
+    enum class Backend { Mmap, Buffered };
+
+    /**
+     * Open @p path with the preferred backend. Returns null after
+     * reporting IO001 via @p diag when the file cannot be opened or
+     * read.
+     */
+    static std::shared_ptr<ArtifactView>
+    open(const std::string& path, analysis::DiagEngine& diag,
+         Backend preferred = Backend::Mmap);
+
+    ~ArtifactView() override;
+    ArtifactView(const ArtifactView&) = delete;
+    ArtifactView& operator=(const ArtifactView&) = delete;
+
+    const uint8_t* data() const { return data_; }
+    size_t size() const { return size_; }
+    Backend backend() const { return backend_; }
+    const std::string& path() const { return path_; }
+
+    // core::ArtifactBacking
+    size_t sizeBytes() const override { return size_; }
+    size_t residentBytes() const override;
+    std::string backendName() const override;
+
+  private:
+    ArtifactView() = default;
+
+    const uint8_t* data_ = nullptr;
+    size_t size_ = 0;
+    Backend backend_ = Backend::Buffered;
+    std::string path_;
+    std::vector<uint8_t> owned_;  //!< Buffered backend storage
+    void* map_ = nullptr;         //!< mmap base (munmap'd on destroy)
+    size_t mapLen_ = 0;
+};
+
+} // namespace wetio
+} // namespace wet
+
+#endif // WET_WETIO_ARTIFACTVIEW_H

@@ -15,19 +15,38 @@ namespace wetio {
 namespace {
 
 constexpr uint32_t kMagic = 0x58544557; // "WETX"
-constexpr uint32_t kVersion = 1;
+// Version 2: stream payloads (flag words, miss bytes) are raw
+// length-prefixed blobs instead of per-element varints, so loading
+// can alias them in place from an mmap'd file.
+constexpr uint32_t kVersion = 2;
 
 /** Thrown by the reader after a diagnostic has been reported. */
 struct LoadAbort
 {
 };
 
-/** Varint-based binary writer over a growable byte buffer. */
+/** Varint binary writer over a growable byte buffer, with raw-blob
+ *  appends for the zero-copy payload sections. */
 class Writer
 {
   public:
-    void u(uint64_t v) { buf_.pushUnsigned(v); }
-    void s(int64_t v) { buf_.pushSigned(v); }
+    void
+    u(uint64_t v)
+    {
+        while (v >= 0x80) {
+            buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+            v >>= 7;
+        }
+        buf_.push_back(static_cast<uint8_t>(v));
+    }
+
+    void s(int64_t v) { u(support::VarintBuffer::zigzagEncode(v)); }
+
+    void
+    raw(const uint8_t* p, size_t n)
+    {
+        buf_.insert(buf_.end(), p, p + n);
+    }
 
     template <typename T>
     void
@@ -47,23 +66,25 @@ class Writer
             s(static_cast<int64_t>(x));
     }
 
-    const std::vector<uint8_t>& bytes() const { return buf_.bytes(); }
+    const std::vector<uint8_t>& bytes() const { return buf_; }
 
   private:
-    support::VarintBuffer buf_;
+    std::vector<uint8_t> buf_;
 };
 
 /**
- * Matching reader. Every read is bounds-checked; on corruption it
- * reports a diagnostic (IO004 truncation, IO005 malformed encoding)
- * and throws LoadAbort instead of invoking undefined behavior.
+ * Matching reader over a borrowed byte span (the artifact view's
+ * memory — mmap'd or buffered, the parser cannot tell). Every read
+ * is bounds-checked; on corruption it reports a diagnostic (IO004
+ * truncation, IO005 malformed encoding, IO007 payload blob past the
+ * end) and throws LoadAbort instead of invoking undefined behavior.
  */
 class Reader
 {
   public:
-    Reader(std::vector<uint8_t> bytes, analysis::DiagEngine& diag,
-           const std::string& path)
-        : bytes_(std::move(bytes)), diag_(&diag), path_(&path)
+    Reader(const uint8_t* data, size_t size,
+           analysis::DiagEngine& diag, const std::string& path)
+        : data_(data), size_(size), diag_(&diag), path_(&path)
     {
     }
 
@@ -73,13 +94,13 @@ class Reader
         uint64_t v = 0;
         int shift = 0;
         for (;;) {
-            if (pos_ >= bytes_.size()) {
+            if (pos_ >= size_) {
                 diag_->error("IO004", *path_,
                              "file ends inside a value at byte " +
                                  std::to_string(pos_));
                 throw LoadAbort{};
             }
-            uint8_t b = bytes_[pos_++];
+            uint8_t b = data_[pos_++];
             if (shift >= 64 || (shift == 63 && (b & 0x7e))) {
                 diag_->error("IO005", *path_,
                              "overlong varint at byte " +
@@ -112,6 +133,27 @@ class Reader
         return n;
     }
 
+    /**
+     * Borrow @p n raw bytes in place. The span stays valid for the
+     * artifact view's lifetime, so loaded streams alias it directly.
+     * A blob reaching past the end of the file is rule IO007.
+     */
+    const uint8_t*
+    blob(uint64_t n, const char* what)
+    {
+        if (n > remaining()) {
+            std::ostringstream os;
+            os << what << " blob of " << n
+               << " bytes extends past the end of the file ("
+               << remaining() << " bytes remain)";
+            diag_->error("IO007", *path_, os.str());
+            throw LoadAbort{};
+        }
+        const uint8_t* p = data_ + pos_;
+        pos_ += n;
+        return p;
+    }
+
     template <typename T>
     std::vector<T>
     vecU(const char* what = "vector")
@@ -136,11 +178,12 @@ class Reader
         return v;
     }
 
-    size_t remaining() const { return bytes_.size() - pos_; }
-    bool atEnd() const { return pos_ == bytes_.size(); }
+    size_t remaining() const { return size_ - pos_; }
+    bool atEnd() const { return pos_ == size_; }
 
   private:
-    std::vector<uint8_t> bytes_;
+    const uint8_t* data_;
+    size_t size_;
     size_t pos_ = 0;
     analysis::DiagEngine* diag_;
     const std::string* path_;
@@ -220,11 +263,21 @@ writeStream(Writer& w, const codec::CompressedStream& s)
     w.u(s.length);
     w.u(s.windowSize);
     w.vecS(s.window0);
+    // v2 payload sections: raw blobs that loads alias in place.
+    // Flag words go out little-endian byte by byte (via word(), so a
+    // borrowed stream round-trips without materializing), miss bytes
+    // verbatim.
     w.u(s.flags.size());
-    w.vecU(s.flags.words());
+    w.u(s.flags.numWords());
+    for (size_t i = 0; i < s.flags.numWords(); ++i) {
+        uint64_t wd = s.flags.word(i);
+        uint8_t le[8];
+        for (unsigned b = 0; b < 8; ++b)
+            le[b] = static_cast<uint8_t>(wd >> (8 * b));
+        w.raw(le, sizeof le);
+    }
     w.u(s.misses.sizeBytes());
-    for (uint8_t b : s.misses.bytes())
-        w.u(b);
+    w.raw(s.misses.data(), s.misses.sizeBytes());
     writeTableState(w, s);
     w.u(s.storedState0Bytes);
     w.u(s.checkpoints.size());
@@ -254,20 +307,29 @@ readStream(Reader& r, analysis::DiagEngine& diag,
     s.windowSize = static_cast<unsigned>(r.u());
     s.window0 = r.vecS<int64_t>("stream window");
     uint64_t nbits = r.u();
-    std::vector<uint64_t> words = r.vecU<uint64_t>("flag words");
-    if (nbits > words.size() * 64) {
+    uint64_t nwords = r.u();
+    // Pre-check the word count so nwords * 8 cannot overflow before
+    // blob() runs its own bounds check.
+    if (nwords > r.remaining() / 8) {
+        diag.error("IO007", loc,
+                   "flag word blob of " + std::to_string(nwords) +
+                       " words extends past the end of the file");
+        throw LoadAbort{};
+    }
+    const uint8_t* words = r.blob(nwords * 8, "flag words");
+    if (nbits > nwords * 64) {
         diag.error("IO005", loc,
                    "flag bit count " + std::to_string(nbits) +
                        " exceeds its storage");
         throw LoadAbort{};
     }
-    s.flags = support::BitStack::fromWords(std::move(words), nbits);
-    uint64_t nbytes = r.count("miss bytes");
-    std::vector<uint8_t> missBytes;
-    missBytes.reserve(nbytes);
-    for (uint64_t i = 0; i < nbytes; ++i)
-        missBytes.push_back(static_cast<uint8_t>(r.u()));
-    s.misses = support::VarintBuffer::fromBytes(std::move(missBytes));
+    s.flags = support::BitStack::fromSpan(
+        words, static_cast<size_t>(nwords),
+        static_cast<size_t>(nbits));
+    uint64_t nbytes = r.u();
+    const uint8_t* miss = r.blob(nbytes, "miss bytes");
+    s.misses = support::VarintBuffer::fromSpan(
+        miss, static_cast<size_t>(nbytes));
     s.tableState0 = readTableState(r, s, diag, loc);
     s.storedState0Bytes = r.u();
     uint64_t ncp = r.count("checkpoint");
@@ -452,17 +514,13 @@ validateGraphIndexes(const core::WetGraph& g,
 
 LoadedWet
 tryLoad(const std::string& path, const ir::Module& mod,
-        analysis::DiagEngine& diag)
+        analysis::DiagEngine& diag, ArtifactView::Backend backend)
 try {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        diag.error("IO001", path, "cannot open file");
+    std::shared_ptr<ArtifactView> view =
+        ArtifactView::open(path, diag, backend);
+    if (!view)
         return {};
-    }
-    std::vector<uint8_t> bytes(
-        (std::istreambuf_iterator<char>(in)),
-        std::istreambuf_iterator<char>());
-    Reader r(std::move(bytes), diag, path);
+    Reader r(view->data(), view->size(), diag, path);
 
     if (r.u() != kMagic) {
         diag.error("IO001", path, "bad magic number");
@@ -553,7 +611,7 @@ try {
             g.stmtIndex[node.stmts[i]].emplace_back(n, i);
     }
 
-    // Compressed streams.
+    // Compressed streams (payloads borrow from the view).
     std::vector<core::CompressedNode> nodes(g.nodes.size());
     for (core::NodeId n = 0; n < g.nodes.size(); ++n) {
         core::CompressedNode& cn = nodes[n];
@@ -589,6 +647,7 @@ try {
     }
     out.compressed = std::make_unique<core::WetCompressed>(
         g, std::move(nodes), std::move(pool));
+    out.backing = std::move(view);
     return out;
 } catch (const LoadAbort&) {
     return {};

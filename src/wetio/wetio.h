@@ -8,6 +8,7 @@
 #include "core/compressed.h"
 #include "core/wetgraph.h"
 #include "ir/module.h"
+#include "wetio/artifactview.h"
 
 namespace wet {
 namespace wetio {
@@ -17,9 +18,14 @@ namespace wetio {
  * tier-2 compressed label streams. Tier-1 label vectors are not
  * stored (that is the point of compressing), so queries must run
  * through a tier-2 WetAccess over `compressed`.
+ *
+ * Stream payloads (flag words and miss bytes) are zero-copy spans
+ * into `backing`; declared first so it is destroyed last, after
+ * everything borrowing from it.
  */
 struct LoadedWet
 {
+    std::shared_ptr<ArtifactView> backing;
     std::unique_ptr<core::WetGraph> graph;
     std::unique_ptr<core::WetCompressed> compressed;
 };
@@ -49,14 +55,20 @@ LoadedWet load(const std::string& path, const ir::Module& mod);
 /**
  * Diagnostic-reporting variant of load(): never throws on a bad
  * file. Every byte read is bounds-checked, headers and graph indexes
- * are validated (rules IO001..IO006), and each compressed stream's
+ * are validated (rules IO001..IO007), and each compressed stream's
  * structure is verified (ART003/ART004) before it is accepted, so a
  * corrupted file yields diagnostics rather than undefined behavior
  * in later decoding. On failure both pointers of the result are
  * null and @p diag holds at least one error.
+ *
+ * @p backend selects how the file enters memory (see ArtifactView);
+ * both backends parse the identical byte span, so load results can
+ * never depend on the choice.
  */
 LoadedWet tryLoad(const std::string& path, const ir::Module& mod,
-                  analysis::DiagEngine& diag);
+                  analysis::DiagEngine& diag,
+                  ArtifactView::Backend backend =
+                      ArtifactView::Backend::Mmap);
 
 } // namespace wetio
 } // namespace wet

@@ -120,6 +120,36 @@ TEST(CursorModeTest, RawStreamsAreRandomAccess)
     EXPECT_EQ(cur.at(2), 7);
 }
 
+// Regression: prev() at position 0 used to wrap the unsigned index
+// to 2^64-1 and read garbage instead of trapping like tryPrev; it
+// must die on the same assertion now.
+TEST(CursorBoundaryTest, PrevAtFrontDies)
+{
+    std::vector<int64_t> v = {1, 2, 3};
+    CompressedStream s = encodeStream(v, CodecConfig{Method::Raw, 0, 0});
+    StreamCursor cur(s, StreamCursor::Mode::Bidirectional);
+    EXPECT_DEATH(cur.prev(), "prev at position 0");
+    StreamCursor mid(s, StreamCursor::Mode::Bidirectional);
+    EXPECT_EQ(mid.next(), 1);
+    EXPECT_EQ(mid.prev(), 1);
+    EXPECT_DEATH(mid.prev(), "prev at position 0");
+}
+
+// Regression: seek() accepted any position and deferred the failure
+// to the next read; it must reject positions past length() itself.
+// Seeking exactly to length() stays legal — that is how a backward
+// sweep starts.
+TEST(CursorBoundaryTest, SeekPastEndDies)
+{
+    std::vector<int64_t> v = {4, 5, 6};
+    CompressedStream s = encodeStream(v, CodecConfig{Method::Raw, 0, 0});
+    StreamCursor cur(s, StreamCursor::Mode::Bidirectional);
+    EXPECT_DEATH(cur.seek(4), "seek past end");
+    cur.seek(3);
+    EXPECT_FALSE(cur.hasNext());
+    EXPECT_EQ(cur.prev(), 6);
+}
+
 } // namespace
 } // namespace codec
 } // namespace wet

@@ -1,0 +1,270 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/depcheck.h"
+#include "analysis/moduleanalysis.h"
+#include "analysis/staticdep.h"
+#include "core/addrquery.h"
+#include "core/cfquery.h"
+#include "core/compressed.h"
+#include "core/cursorslicer.h"
+#include "core/slicer.h"
+#include "core/valuequery.h"
+#include "workloads/runner.h"
+#include "workloads/workloads.h"
+
+namespace wet {
+namespace core {
+namespace {
+
+constexpr uint64_t kScale = 1;
+constexpr uint64_t kMaxSliceItems = 2000;
+constexpr uint64_t kAnalysisBudget = uint64_t{1} << 24;
+
+/** Deterministic query targets for one workload. */
+struct Targets
+{
+    std::vector<ir::StmtId> defStmts; //!< for values + slices
+    std::vector<ir::StmtId> memStmts; //!< for address traces
+};
+
+Targets
+pickTargets(const WetGraph& g, const ir::Module& mod)
+{
+    Targets t;
+    std::vector<ir::StmtId> defs;
+    std::vector<ir::StmtId> mems;
+    for (const auto& [stmt, sites] : g.stmtIndex) {
+        (void)sites;
+        const ir::Instr& in = mod.instr(stmt);
+        if (ir::hasDef(in.op) && in.op != ir::Opcode::Const)
+            defs.push_back(stmt);
+        if (in.op == ir::Opcode::Load ||
+            in.op == ir::Opcode::Store)
+            mems.push_back(stmt);
+    }
+    std::sort(defs.begin(), defs.end());
+    std::sort(mems.begin(), mems.end());
+    // A spread of three def statements and two memory statements.
+    for (size_t i = 0; i < 3 && !defs.empty(); ++i)
+        t.defStmts.push_back(defs[i * (defs.size() - 1) / 2]);
+    for (size_t i = 0; i < 2 && !mems.empty(); ++i)
+        t.memStmts.push_back(mems[i * (mems.size() - 1)]);
+    return t;
+}
+
+/** Everything the interleaved batch answers, comparable wholesale. */
+struct Answers
+{
+    std::vector<std::pair<NodeId, Timestamp>> cf;
+    std::vector<std::pair<Timestamp, int64_t>> values;
+    std::vector<std::pair<Timestamp, uint64_t>> addrs;
+    std::vector<std::tuple<NodeId, uint32_t, uint32_t>> slices;
+    uint64_t depEdges = 0;
+    bool depClean = false;
+
+    bool
+    operator==(const Answers& o) const
+    {
+        return cf == o.cf && values == o.values &&
+               addrs == o.addrs && slices == o.slices &&
+               depEdges == o.depEdges && depClean == o.depClean;
+    }
+};
+
+void
+runCf(WetAccess& acc, Answers& out)
+{
+    ControlFlowQuery q(acc);
+    q.extractRange(1, 48, [&](NodeId n, Timestamp t) {
+        out.cf.emplace_back(n, t);
+    });
+}
+
+void
+runValues(WetAccess& acc, ir::StmtId stmt, Answers& out)
+{
+    ValueTraceQuery q(acc);
+    uint64_t shown = 0;
+    q.extract(stmt, [&](Timestamp t, int64_t v) {
+        if (shown++ < 64)
+            out.values.emplace_back(t, v);
+    });
+}
+
+void
+runAddr(WetAccess& acc, ir::StmtId stmt, Answers& out)
+{
+    AddressTraceQuery q(acc);
+    uint64_t shown = 0;
+    q.extract(stmt, [&](Timestamp t, uint64_t a) {
+        if (shown++ < 64)
+            out.addrs.emplace_back(t, a);
+    });
+}
+
+void
+runSlice(SliceAccess& acc, ir::StmtId stmt, Answers& out)
+{
+    WetSlicer slicer(acc);
+    SliceItem seed = slicer.locate(stmt, 1);
+    if (!seed.valid())
+        seed = slicer.locate(stmt, 0);
+    SliceResult res = slicer.backward(seed, kMaxSliceItems);
+    for (const SliceItem& it : res.items)
+        out.slices.emplace_back(it.node, it.pos, it.inst);
+}
+
+void
+runDepcheck(const WetGraph& g, const analysis::ModuleAnalysis& ma,
+            const analysis::StaticDepGraph& sdg,
+            const WetCompressed& c, Answers& out)
+{
+    analysis::DiagEngine diag;
+    analysis::DepCheckStats stats;
+    analysis::verifyDeps(g, ma, sdg, diag, &c, {}, &stats);
+    out.depClean = !diag.hasErrors();
+    out.depEdges = stats.ddEdges + stats.cdEdges;
+}
+
+/**
+ * The reference: every query served by freshly constructed state,
+ * the way a cold process answers it.
+ */
+Answers
+runFresh(const ir::Module& mod, const WetCompressed& c,
+         const Targets& t)
+{
+    Answers out;
+    for (int round = 0; round < 2; ++round) {
+        {
+            WetAccess acc(c, mod);
+            runCf(acc, out);
+        }
+        for (ir::StmtId s : t.defStmts) {
+            WetAccess acc(c, mod);
+            runValues(acc, s, out);
+        }
+        for (ir::StmtId s : t.memStmts) {
+            WetAccess acc(c, mod);
+            runAddr(acc, s, out);
+        }
+        for (ir::StmtId s : t.defStmts) {
+            CursorSliceAccess ca(c);
+            runSlice(ca, s, out);
+            DecodeSliceAccess da(c);
+            runSlice(da, s, out);
+        }
+    }
+    analysis::ModuleAnalysis ma(mod, kAnalysisBudget, 1);
+    analysis::StaticDepGraph sdg(ma);
+    runDepcheck(c.graph(), ma, sdg, c, out);
+    return out;
+}
+
+/** The same interleaved batch served by one warm session. */
+Answers
+runWarm(QuerySession& s, const Targets& t)
+{
+    Answers out;
+    for (int round = 0; round < 2; ++round) {
+        {
+            QuerySession::Scope scope(s, "cf");
+            runCf(s.access(), out);
+        }
+        for (ir::StmtId st : t.defStmts) {
+            QuerySession::Scope scope(s, "values");
+            runValues(s.access(), st, out);
+        }
+        for (ir::StmtId st : t.memStmts) {
+            QuerySession::Scope scope(s, "addr");
+            runAddr(s.access(), st, out);
+        }
+        for (ir::StmtId st : t.defStmts) {
+            QuerySession::Scope scope(s, "slice");
+            runSlice(s.cursorSlice(), st, out);
+            runSlice(s.decodeSlice(), st, out);
+        }
+    }
+    {
+        QuerySession::Scope scope(s, "depcheck");
+        runDepcheck(s.graph(), s.moduleAnalysis(), s.depGraph(),
+                    s.compressed(), out);
+    }
+    return out;
+}
+
+class QuerySessionStress : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(QuerySessionStress, WarmSessionMatchesFreshState)
+{
+    const workloads::Workload& w =
+        workloads::allWorkloads()[GetParam()];
+    auto art = workloads::buildWet(w, kScale);
+    WetCompressed comp(art->graph);
+    Targets t = pickTargets(art->graph, *art->module);
+    ASSERT_FALSE(t.defStmts.empty()) << w.name;
+
+    Answers fresh = runFresh(*art->module, comp, t);
+
+    QuerySession session(*art->module, comp);
+    Answers warm = runWarm(session, t);
+    EXPECT_TRUE(fresh == warm) << w.name;
+    EXPECT_TRUE(fresh.depClean) << w.name;
+
+    // The interleaved batch must have exercised the shared cache and
+    // the metrics registry.
+    const support::Metrics& m = session.metrics();
+    const auto& counters = m.counters();
+    EXPECT_GT(counters.at("queries"), 0u);
+    EXPECT_GT(counters.at("cache.misses"), 0u);
+    EXPECT_GT(counters.at("cache.hits"), 0u);
+    EXPECT_GT(counters.at("streams.touched"), 0u);
+    EXPECT_FALSE(session.statsText().empty());
+    EXPECT_EQ(session.statsJson().front(), '{');
+}
+
+TEST_P(QuerySessionStress, CapacityOneSessionStaysCorrect)
+{
+    const workloads::Workload& w =
+        workloads::allWorkloads()[GetParam()];
+    auto art = workloads::buildWet(w, kScale);
+    WetCompressed comp(art->graph);
+    Targets t = pickTargets(art->graph, *art->module);
+    ASSERT_FALSE(t.defStmts.empty()) << w.name;
+
+    Answers fresh = runFresh(*art->module, comp, t);
+
+    // Thrash: every lookup beyond the first evicts something, and
+    // mid-query evictions exercise the deferred-destruction path.
+    SessionOptions opt;
+    opt.cacheCapacity = 1;
+    QuerySession session(*art->module, comp, nullptr, opt);
+    Answers warm = runWarm(session, t);
+    EXPECT_TRUE(fresh == warm) << w.name;
+    EXPECT_GT(session.cache().stats().evictions, 0u) << w.name;
+    EXPECT_LE(session.cache().size(), 1u) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, QuerySessionStress,
+    ::testing::Range<size_t>(0, 9),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+        std::string n = workloads::allWorkloads()[info.param].name;
+        for (char& c : n)
+            if (c == '.')
+                c = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace core
+} // namespace wet

@@ -1,0 +1,158 @@
+#include "core/streamcache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/streamkey.h"
+
+namespace wet {
+namespace core {
+namespace {
+
+/** Probe reader that reports its key and flags its destruction. */
+class ProbeReader : public SeqReader
+{
+  public:
+    ProbeReader(uint64_t id, bool* destroyed)
+        : id_(id), destroyed_(destroyed)
+    {
+    }
+    ~ProbeReader() override
+    {
+        if (destroyed_ != nullptr)
+            *destroyed_ = true;
+    }
+    uint64_t length() const override { return 1; }
+    int64_t at(uint64_t) override
+    {
+        return static_cast<int64_t>(id_);
+    }
+
+  private:
+    uint64_t id_;
+    bool* destroyed_;
+};
+
+StreamCache::Factory
+probe(uint64_t id, bool* destroyed = nullptr)
+{
+    return [id, destroyed]() {
+        return std::make_unique<ProbeReader>(id, destroyed);
+    };
+}
+
+TEST(StreamCacheTest, HitsAndMissesAreCounted)
+{
+    StreamCache cache; // unbounded
+    SeqReader& a = cache.get(1, probe(1));
+    SeqReader& b = cache.get(1, probe(99));
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.at(0), 1); // factory not re-invoked on the hit
+    cache.get(2, probe(2));
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(StreamCacheTest, LruEvictsLeastRecentlyUsed)
+{
+    StreamCache cache(2);
+    cache.get(1, probe(1));
+    cache.get(2, probe(2));
+    cache.get(1, probe(1)); // 1 becomes most recent
+    cache.get(3, probe(3)); // evicts 2
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.size(), 2u);
+    uint64_t missesBefore = cache.stats().misses;
+    EXPECT_EQ(cache.get(1, probe(1)).at(0), 1); // still warm
+    EXPECT_EQ(cache.stats().misses, missesBefore);
+    cache.get(2, probe(2)); // cold again
+    EXPECT_EQ(cache.stats().misses, missesBefore + 1);
+}
+
+TEST(StreamCacheTest, EvictedReaderSurvivesUntilPurge)
+{
+    StreamCache cache(1);
+    bool destroyed = false;
+    SeqReader& a = cache.get(1, probe(1, &destroyed));
+    cache.get(2, probe(2)); // evicts key 1
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    // A query may still hold the reference it got before the
+    // eviction; the reader must stay alive and correct.
+    EXPECT_FALSE(destroyed);
+    EXPECT_EQ(a.at(0), 1);
+    cache.purge();
+    EXPECT_TRUE(destroyed);
+}
+
+TEST(StreamCacheTest, CapacityZeroNeverEvicts)
+{
+    StreamCache cache(0);
+    for (uint64_t k = 0; k < 100; ++k)
+        cache.get(k, probe(k));
+    EXPECT_EQ(cache.size(), 100u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(StreamCacheTest, TouchedTracksDistinctKeysPerQuery)
+{
+    StreamCache cache;
+    cache.get(1, probe(1));
+    cache.get(2, probe(2));
+    cache.get(1, probe(1));
+    EXPECT_EQ(cache.touchedCount(), 2u);
+    cache.resetTouched();
+    EXPECT_EQ(cache.touchedCount(), 0u);
+    cache.get(2, probe(2)); // warm hit still counts as touched
+    EXPECT_EQ(cache.touchedCount(), 1u);
+}
+
+TEST(StreamCacheTest, ClearDropsEntriesAndKeepsStats)
+{
+    StreamCache cache(1);
+    bool destroyed = false;
+    cache.get(1, probe(1, &destroyed));
+    cache.get(2, probe(2)); // key 1 to graveyard
+    cache.clear();
+    EXPECT_TRUE(destroyed); // graveyard freed too
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().misses, 2u); // stats survive clear
+}
+
+TEST(StreamCacheTest, ForEachVisitsOnlyLiveEntries)
+{
+    StreamCache cache(2);
+    cache.get(1, probe(1));
+    cache.get(2, probe(2));
+    cache.get(3, probe(3)); // evicts 1
+    std::vector<uint64_t> keys;
+    cache.forEach([&](uint64_t key, SeqReader&) {
+        keys.push_back(key);
+    });
+    std::sort(keys.begin(), keys.end());
+    EXPECT_EQ(keys, (std::vector<uint64_t>{2, 3}));
+}
+
+TEST(StreamKeyTest, KindRoundTripsAndKeysAreDistinct)
+{
+    uint64_t a = streamKey(StreamKind::AccessTs, 7);
+    uint64_t b = streamKey(StreamKind::CursorTs, 7);
+    uint64_t c = streamKey(StreamKind::DecodeTs, 7);
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, c);
+    EXPECT_EQ(streamKeyKind(a), StreamKind::AccessTs);
+    EXPECT_EQ(streamKeyKind(b), StreamKind::CursorTs);
+    EXPECT_EQ(streamKeyKind(c), StreamKind::DecodeTs);
+    uint64_t d = streamKey(StreamKind::AccessUvals, 5, 9, 2);
+    uint64_t e = streamKey(StreamKind::AccessUvals, 5, 2, 9);
+    EXPECT_NE(d, e);
+    EXPECT_EQ(streamKeyKind(d), StreamKind::AccessUvals);
+}
+
+} // namespace
+} // namespace core
+} // namespace wet

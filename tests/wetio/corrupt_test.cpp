@@ -107,8 +107,9 @@ TEST_F(CorruptWetxTest, BadMagicFiresIO001)
 TEST_F(CorruptWetxTest, UnsupportedVersionFiresIO002)
 {
     // Layout: a 5-byte magic varint, then the version varint. The
-    // current version is 1, a single byte.
-    ASSERT_EQ(bytes_[5], 0x01);
+    // current version is 2 (raw zero-copy stream payloads), a
+    // single byte.
+    ASSERT_EQ(bytes_[5], 0x02);
     bytes_[5] = 0x63;
     analysis::DiagEngine diag;
     LoadedWet w = loadBytes(diag);
@@ -153,15 +154,58 @@ TEST_F(CorruptWetxTest, TruncatedStreamRegionIsDiagnosed)
 {
     // Cut the file inside the compressed stream region: depending on
     // where the cut lands, the reader reports a read past the end
-    // (IO004) or an element count larger than the remaining bytes
-    // (IO005); either way the load fails cleanly.
+    // (IO004), an element count larger than the remaining bytes
+    // (IO005), or a payload blob extending past the end (IO007);
+    // either way the load fails cleanly.
     bytes_.resize(bytes_.size() * 3 / 4);
     analysis::DiagEngine diag;
     LoadedWet w = loadBytes(diag);
     EXPECT_FALSE(w.graph && w.compressed);
     EXPECT_TRUE(diag.hasErrors());
-    EXPECT_TRUE(diag.hasRule("IO004") || diag.hasRule("IO005"))
+    EXPECT_TRUE(diag.hasRule("IO004") || diag.hasRule("IO005") ||
+                diag.hasRule("IO007"))
         << diag.renderText();
+}
+
+TEST_F(CorruptWetxTest, BlobPastEndOfFileFiresIO007)
+{
+    // Stream payloads are length-prefixed raw blobs so the loader
+    // can alias them straight out of the mapped file — which makes
+    // "blob extends past the end of the file" its own failure mode
+    // (IO007), distinct from a truncated varint (IO004). Sweep cuts
+    // off the tail: every cut must fail with a diagnostic, and at
+    // least one must land inside a payload blob and fire IO007.
+    const std::vector<uint8_t> pristine = bytes_;
+    bool sawIO007 = false;
+    for (size_t cut = 1; cut <= 64 && cut < pristine.size(); ++cut) {
+        bytes_ = pristine;
+        bytes_.resize(pristine.size() - cut);
+        analysis::DiagEngine diag;
+        LoadedWet w = loadBytes(diag);
+        EXPECT_FALSE(w.graph && w.compressed)
+            << "cut " << cut << " loaded";
+        EXPECT_TRUE(diag.hasErrors()) << "cut " << cut << " silent";
+        if (diag.hasRule("IO007"))
+            sawIO007 = true;
+    }
+    EXPECT_TRUE(sawIO007)
+        << "no tail cut ever landed inside a payload blob";
+}
+
+TEST_F(CorruptWetxTest, InsertedBytesInStreamRegionAreDiagnosed)
+{
+    // Splice a max-continuation varint into the stream region: the
+    // parse must fail with a diagnostic (typically an inflated count
+    // or blob length tripping IO005/IO007), never crash or accept.
+    size_t pos = bytes_.size() * 7 / 8;
+    std::vector<uint8_t> huge = {0xff, 0xff, 0xff, 0xff, 0x0f};
+    bytes_.insert(bytes_.begin() +
+                      static_cast<std::ptrdiff_t>(pos),
+                  huge.begin(), huge.end());
+    analysis::DiagEngine diag;
+    LoadedWet w = loadBytes(diag);
+    EXPECT_FALSE(w.graph && w.compressed);
+    EXPECT_TRUE(diag.hasErrors()) << "silent acceptance";
 }
 
 TEST_F(CorruptWetxTest, TrailingBytesFireIO006)

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "analysis/diag.h"
 #include "core/access.h"
 #include "core/cfquery.h"
 #include "core/slicer.h"
@@ -161,6 +162,104 @@ TEST_F(WetIoTest, RejectsTruncatedFiles)
                   static_cast<std::streamsize>(bytes.size() / 2));
     }
     EXPECT_THROW(load(path_, *p_->module), WetError);
+}
+
+/**
+ * Both load backends must accept and reject the same files and
+ * produce byte-identical decoded data — they feed one span parser,
+ * and this test pins that equivalence end to end over the full
+ * control-flow and load-value traces.
+ */
+TEST_F(WetIoTest, MmapBufferedBackendsDecodeIdentically)
+{
+    save(path_, *p_->module, p_->graph, *compressed_);
+    analysis::DiagEngine dm;
+    analysis::DiagEngine db;
+    LoadedWet m = tryLoad(path_, *p_->module, dm,
+                          ArtifactView::Backend::Mmap);
+    LoadedWet b = tryLoad(path_, *p_->module, db,
+                          ArtifactView::Backend::Buffered);
+    ASSERT_TRUE(m.graph && m.compressed) << dm.renderText();
+    ASSERT_TRUE(b.graph && b.compressed) << db.renderText();
+    ASSERT_TRUE(m.backing && b.backing);
+    EXPECT_EQ(b.backing->backendName(), "buffered");
+
+    core::WetAccess am(*m.compressed, *p_->module);
+    core::WetAccess ab(*b.compressed, *p_->module);
+    std::vector<std::pair<core::NodeId, core::Timestamp>> fm;
+    std::vector<std::pair<core::NodeId, core::Timestamp>> fb;
+    core::ControlFlowQuery qm(am);
+    core::ControlFlowQuery qb(ab);
+    qm.extractForward([&](core::NodeId n, core::Timestamp t) {
+        fm.emplace_back(n, t);
+    });
+    qb.extractForward([&](core::NodeId n, core::Timestamp t) {
+        fb.emplace_back(n, t);
+    });
+    EXPECT_EQ(fm, fb);
+
+    core::ValueTraceQuery vm(am);
+    core::ValueTraceQuery vb(ab);
+    for (ir::StmtId s : vm.stmtsWithOpcode(ir::Opcode::Load)) {
+        std::vector<int64_t> xs;
+        std::vector<int64_t> ys;
+        vm.extract(s, [&](core::Timestamp, int64_t v) {
+            xs.push_back(v);
+        });
+        vb.extract(s, [&](core::Timestamp, int64_t v) {
+            ys.push_back(v);
+        });
+        EXPECT_EQ(xs, ys) << "stmt " << s;
+    }
+}
+
+/**
+ * Both backends must reject a damaged file with the same rule: the
+ * accept/reject decision may not depend on how the bytes got into
+ * memory.
+ */
+TEST_F(WetIoTest, MmapBufferedBackendsRejectIdentically)
+{
+    save(path_, *p_->module, p_->graph, *compressed_);
+    std::ifstream in(path_, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    in.close();
+    {
+        std::ofstream out(path_,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(
+                                    bytes.size() - 1));
+    }
+    analysis::DiagEngine dm;
+    analysis::DiagEngine db;
+    LoadedWet m = tryLoad(path_, *p_->module, dm,
+                          ArtifactView::Backend::Mmap);
+    LoadedWet b = tryLoad(path_, *p_->module, db,
+                          ArtifactView::Backend::Buffered);
+    EXPECT_FALSE(m.graph && m.compressed);
+    EXPECT_FALSE(b.graph && b.compressed);
+    ASSERT_FALSE(dm.diagnostics().empty());
+    ASSERT_FALSE(db.diagnostics().empty());
+    EXPECT_EQ(dm.diagnostics().front().rule,
+              db.diagnostics().front().rule);
+    EXPECT_EQ(dm.diagnostics().front().message,
+              db.diagnostics().front().message);
+}
+
+/** The mmap backing reports sane size and residency figures. */
+TEST_F(WetIoTest, BackingReportsSizeAndResidency)
+{
+    save(path_, *p_->module, p_->graph, *compressed_);
+    LoadedWet w = load(path_, *p_->module);
+    ASSERT_TRUE(w.backing);
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    auto fileSize = static_cast<size_t>(in.tellg());
+    EXPECT_EQ(w.backing->sizeBytes(), fileSize);
+    EXPECT_LE(w.backing->residentBytes(), w.backing->sizeBytes());
+    // The load itself parsed every byte, so on both backends the
+    // whole file is resident right after loading.
+    EXPECT_GT(w.backing->residentBytes(), 0u);
 }
 
 TEST_F(WetIoTest, FingerprintIsStable)

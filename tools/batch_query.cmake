@@ -1,0 +1,134 @@
+# Test driver for the warm-session `query` command: trace a sample
+# program, save its WETX artifact, then serve a mixed batch of
+# queries (cf, values, addr, slice on both engines, depcheck) from
+# one session and require the batch stdout to be byte-identical to
+# the concatenated stdout of the equivalent standalone commands.
+# The batch is then replayed under both artifact load backends —
+# mmap and buffered — which must also agree byte for byte, and once
+# with --stats/--stats-json to smoke the metrics report.
+#
+# Expects: CLI (wet_cli path), SAMPLE (program source), SCRATCH
+# (scratch directory).
+
+file(MAKE_DIRECTORY ${SCRATCH})
+set(out ${SCRATCH}/batch.wetx)
+
+execute_process(
+    COMMAND ${CLI} run ${SAMPLE} --save ${out}
+    RESULT_VARIABLE run_rc
+    OUTPUT_QUIET)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "wet_cli run ${SAMPLE} failed (${run_rc})")
+endif()
+
+# The batch: one line per query, '#' comments and blank lines are
+# skipped. The sample must contain loads/stores for the addr query
+# (histogram's statement 12 is a load); keep the queries in sync
+# with `singles` below.
+set(batch_file ${SCRATCH}/queries.txt)
+file(WRITE ${batch_file}
+    "# mixed batch over one warm session\n"
+    "cf --from 1 --count 5\n"
+    "\n"
+    "values --stmt 12 --limit 4\n"
+    "addr --stmt 12 --limit 4\n"
+    "slice main:5\n"
+    "slice main:12:3 --engine decode\n"
+    "cf --from 3 --count 2\n"
+    "depcheck\n")
+
+# The same queries as standalone commands, '|'-separated.
+set(singles
+    "cf --from 1 --count 5|values --stmt 12 --limit 4|addr --stmt 12 --limit 4|slice main:5|slice main:12:3 --engine decode|cf --from 3 --count 2|depcheck")
+
+set(expected "")
+string(REPLACE "|" ";" single_cmds "${singles}")
+foreach(single ${single_cmds})
+    separate_arguments(args UNIX_COMMAND "${single}")
+    list(GET args 0 cmd)
+    list(REMOVE_AT args 0)
+    execute_process(
+        COMMAND ${CLI} ${cmd} ${SAMPLE} ${out} ${args}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE cmd_out
+        ERROR_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "wet_cli ${single} failed (${rc}):\n${cmd_out}")
+    endif()
+    string(APPEND expected "${cmd_out}")
+endforeach()
+
+# Batch mode must reproduce the concatenation exactly, under both
+# load backends.
+foreach(backend mmap buffered)
+    execute_process(
+        COMMAND ${CLI} query ${SAMPLE} ${out}
+                --input ${batch_file} --io ${backend}
+        RESULT_VARIABLE batch_rc
+        OUTPUT_VARIABLE batch_out
+        ERROR_QUIET)
+    if(NOT batch_rc EQUAL 0)
+        message(FATAL_ERROR
+                "wet_cli query --io ${backend} failed "
+                "(${batch_rc}):\n${batch_out}")
+    endif()
+    if(NOT batch_out STREQUAL expected)
+        message(FATAL_ERROR
+                "batch query output (--io ${backend}) differs from "
+                "the concatenated standalone outputs:\n${batch_out}")
+    endif()
+endforeach()
+
+# --stats goes to stderr and must not perturb stdout; the text report
+# must carry the per-query counters.
+execute_process(
+    COMMAND ${CLI} query ${SAMPLE} ${out}
+            --input ${batch_file} --stats
+    RESULT_VARIABLE stats_rc
+    OUTPUT_VARIABLE stats_out
+    ERROR_VARIABLE stats_err)
+if(NOT stats_rc EQUAL 0)
+    message(FATAL_ERROR "wet_cli query --stats failed (${stats_rc})")
+endif()
+if(NOT stats_out STREQUAL expected)
+    message(FATAL_ERROR
+            "--stats perturbed the batch stdout:\n${stats_out}")
+endif()
+foreach(needle "queries: 7" "queries.slice: 2" "backend: mmap"
+        "latency.depcheck" "cache.misses")
+    string(FIND "${stats_err}" "${needle}" found)
+    if(found EQUAL -1)
+        message(FATAL_ERROR
+                "--stats report is missing '${needle}':\n"
+                "${stats_err}")
+    endif()
+endforeach()
+
+# --stats-json appends exactly one JSON object line to stdout.
+execute_process(
+    COMMAND ${CLI} query ${SAMPLE} ${out}
+            --input ${batch_file} --stats-json
+    RESULT_VARIABLE json_rc
+    OUTPUT_VARIABLE json_out
+    ERROR_QUIET)
+if(NOT json_rc EQUAL 0)
+    message(FATAL_ERROR
+            "wet_cli query --stats-json failed (${json_rc})")
+endif()
+string(FIND "${json_out}" "${expected}" at)
+if(NOT at EQUAL 0)
+    message(FATAL_ERROR
+            "--stats-json perturbed the batch stdout:\n${json_out}")
+endif()
+string(LENGTH "${expected}" skip)
+string(SUBSTRING "${json_out}" ${skip} -1 json_line)
+foreach(needle "{\"backend\":\"mmap\"" "\"counters\""
+        "\"queries\":7" "\"latencies_us\"")
+    string(FIND "${json_line}" "${needle}" found)
+    if(found EQUAL -1)
+        message(FATAL_ERROR
+                "--stats-json line is missing '${needle}':\n"
+                "${json_line}")
+    endif()
+endforeach()

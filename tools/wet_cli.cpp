@@ -8,11 +8,29 @@
  *   wet_cli info  prog.wet file.wetx
  *   wet_cli cf    prog.wet file.wetx [--from T] [--count N]
  *   wet_cli values prog.wet file.wetx --stmt S [--limit N]
+ *   wet_cli addr  prog.wet file.wetx --stmt S [--limit N]
  *   wet_cli slice prog.wet file.wetx fn:stmt[:instance]
  *                 [--engine cursor|decode] [--max N]
  *   wet_cli dump  prog.wet
  *   wet_cli verify prog.wet file.wetx [--json]
  *   wet_cli depcheck prog.wet file.wetx [--json]
+ *   wet_cli query prog.wet file.wetx [--input FILE] [--cache N]
+ *                 [--stats] [--stats-json]
+ *
+ * The query command serves a batch of newline-delimited queries (the
+ * other commands' grammar: `cf --from 1 --count 20`, `values --stmt
+ * 5`, `addr --stmt 7`, `slice main:3:0`, `depcheck`) from a file or
+ * stdin against ONE warm session: the artifact is loaded (mmap'd)
+ * once, stream cursors stay warm in a bounded LRU cache, and module
+ * analyses are built at most once. Blank lines and '#' comments are
+ * skipped. Each query's stdout is byte-identical to running the
+ * corresponding standalone command. --stats prints the session
+ * metrics (per-query latency, cache hits/misses, streams touched,
+ * bytes faulted in) to stderr; --stats-json appends them to stdout
+ * as one JSON line.
+ *
+ * All artifact-reading commands accept --io mmap|buffered to select
+ * the load backend (the parse is backend-invariant by construction).
  *
  * The program source is always required: the WETX file stores the
  * dynamic profile, not the program, and refuses to open against a
@@ -34,6 +52,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -46,10 +65,12 @@
 #include "analysis/staticdep.h"
 #include "analysis/wetverifier.h"
 #include "core/access.h"
+#include "core/addrquery.h"
 #include "core/builder.h"
 #include "core/cfquery.h"
 #include "core/compressed.h"
 #include "core/cursorslicer.h"
+#include "core/session.h"
 #include "core/slicer.h"
 #include "core/valuequery.h"
 #include "interp/interpreter.h"
@@ -99,6 +120,11 @@ struct Args
     uint64_t limit = 20;
     uint64_t maxItems = 100000;
     bool json = false;
+    std::string io = "mmap";   //!< artifact load backend
+    std::string input = "-";   //!< batch query source ('-' = stdin)
+    uint64_t cacheCap = 0;     //!< session cursor-cache bound
+    bool stats = false;
+    bool statsJson = false;
     /** Construction workers; --threads beats WET_THREADS beats 1. */
     unsigned threads = support::envThreadCount(1);
 };
@@ -108,18 +134,24 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: wet_cli <run|info|cf|values|slice|dump|verify|"
-        "depcheck> prog.wet [file.wetx] [options]\n"
+        "usage: wet_cli <run|info|cf|values|addr|slice|dump|verify|"
+        "depcheck|query> prog.wet [file.wetx] [options]\n"
         "  run      --scale N --seed S --mem W --save out.wetx\n"
         "           --threads N (parallel construction; or "
         "WET_THREADS)\n"
         "  cf       --from T --count N\n"
         "  values   --stmt S --limit N\n"
+        "  addr     --stmt S --limit N (load/store address trace)\n"
         "  slice    fn:stmt[:instance] --engine cursor|decode "
         "--max N\n"
         "           (legacy: --stmt S --k K)\n"
         "  verify   --json\n"
-        "  depcheck --json\n");
+        "  depcheck --json\n"
+        "  query    --input FILE|- --cache N --stats --stats-json\n"
+        "           (newline-delimited cf/values/addr/slice/"
+        "depcheck\n"
+        "            lines served by one warm session)\n"
+        "  common   --io mmap|buffered (artifact load backend)\n");
     std::exit(kExitUsage);
 }
 
@@ -141,9 +173,11 @@ parse(int argc, char** argv)
     a.program = argv[2];
     int i = 3;
     bool wantsWetx = a.command == "info" || a.command == "cf" ||
-                     a.command == "values" || a.command == "slice" ||
+                     a.command == "values" || a.command == "addr" ||
+                     a.command == "slice" ||
                      a.command == "verify" ||
-                     a.command == "depcheck";
+                     a.command == "depcheck" ||
+                     a.command == "query";
     if (wantsWetx) {
         if (argc < 4)
             usage();
@@ -172,12 +206,22 @@ parse(int argc, char** argv)
             a.limit = numArg(argc, argv, i);
         else if (opt == "--max")
             a.maxItems = numArg(argc, argv, i);
+        else if (opt == "--cache")
+            a.cacheCap = numArg(argc, argv, i);
         else if (opt == "--threads")
             a.threads = static_cast<unsigned>(numArg(argc, argv, i));
         else if (opt == "--engine" && i + 1 < argc)
             a.engine = argv[++i];
+        else if (opt == "--io" && i + 1 < argc)
+            a.io = argv[++i];
+        else if (opt == "--input" && i + 1 < argc)
+            a.input = argv[++i];
         else if (opt == "--json")
             a.json = true;
+        else if (opt == "--stats")
+            a.stats = true;
+        else if (opt == "--stats-json")
+            a.statsJson = true;
         else if (a.command == "slice" && a.query.empty() &&
                  opt.rfind("--", 0) != 0)
             a.query = opt;
@@ -185,6 +229,8 @@ parse(int argc, char** argv)
             usage();
     }
     if (a.engine != "cursor" && a.engine != "decode")
+        usage();
+    if (a.io != "mmap" && a.io != "buffered")
         usage();
     return a;
 }
@@ -212,15 +258,39 @@ compileProgram(const Args& a)
     }
 }
 
+wetio::ArtifactView::Backend
+cliBackend(const Args& a)
+{
+    return a.io == "buffered" ? wetio::ArtifactView::Backend::Buffered
+                              : wetio::ArtifactView::Backend::Mmap;
+}
+
 /** Load the artifact; unreadable/mismatched files exit with code 5. */
 wetio::LoadedWet
 loadWetx(const Args& a, const ir::Module& mod)
 {
-    try {
-        return wetio::load(a.wetx, mod);
-    } catch (const WetError& e) {
-        throw CliError{kExitIo, std::string(e.what())};
+    analysis::DiagEngine diag;
+    wetio::LoadedWet w =
+        wetio::tryLoad(a.wetx, mod, diag, cliBackend(a));
+    if (!w.graph || !w.compressed) {
+        std::string detail = "malformed WETX file";
+        if (!diag.diagnostics().empty()) {
+            const analysis::Diagnostic& d = diag.diagnostics().front();
+            detail = d.rule + ": " + d.message;
+        }
+        throw CliError{kExitIo,
+                       "cannot load '" + a.wetx + "': " + detail};
     }
+    return w;
+}
+
+core::SessionOptions
+sessionOptions(const Args& a)
+{
+    core::SessionOptions opt;
+    opt.cacheCapacity = a.cacheCap;
+    opt.threads = a.threads;
+    return opt;
 }
 
 int
@@ -307,16 +377,21 @@ cmdInfo(const Args& a)
     return kExitOk;
 }
 
+// ---------------------------------------------------------------- //
+// Query bodies. Each runs against a QuerySession so that standalone
+// commands and `query` batch lines share one code path — the batch
+// output is byte-identical to the concatenated standalone runs by
+// construction.
+
 int
-cmdCf(const Args& a)
+runCf(core::QuerySession& s, const Args& a)
 {
-    ir::Module mod = compileProgram(a);
-    wetio::LoadedWet w = loadWetx(a, mod);
-    core::WetAccess acc(*w.compressed, mod);
-    core::ControlFlowQuery q(acc);
+    core::QuerySession::Scope scope(s, "cf");
+    core::ControlFlowQuery q(s.access());
+    const core::WetGraph& g = s.graph();
     q.extractRange(a.from, a.count, [&](core::NodeId n,
                                         core::Timestamp t) {
-        const core::WetNode& node = w.graph->nodes[n];
+        const core::WetNode& node = g.nodes[n];
         std::printf("t=%-8llu fn%u path%llu [",
                     static_cast<unsigned long long>(t), node.func,
                     static_cast<unsigned long long>(node.pathId));
@@ -328,14 +403,12 @@ cmdCf(const Args& a)
 }
 
 int
-cmdValues(const Args& a)
+runValues(core::QuerySession& s, const Args& a)
 {
     if (a.stmt == UINT64_MAX)
-        usage();
-    ir::Module mod = compileProgram(a);
-    wetio::LoadedWet w = loadWetx(a, mod);
-    core::WetAccess acc(*w.compressed, mod);
-    core::ValueTraceQuery q(acc);
+        throw CliError{kExitUsage, "values requires --stmt"};
+    core::QuerySession::Scope scope(s, "values");
+    core::ValueTraceQuery q(s.access());
     uint64_t shown = 0;
     uint64_t total =
         q.extract(static_cast<ir::StmtId>(a.stmt),
@@ -345,6 +418,37 @@ cmdValues(const Args& a)
                                       static_cast<unsigned long long>(
                                           t),
                                       static_cast<long long>(v));
+                  });
+    std::printf("(%llu instances total)\n",
+                static_cast<unsigned long long>(total));
+    return kExitOk;
+}
+
+int
+runAddr(core::QuerySession& s, const Args& a)
+{
+    if (a.stmt == UINT64_MAX)
+        throw CliError{kExitUsage, "addr requires --stmt"};
+    if (a.stmt >= s.module().numStmts())
+        throw CliError{kExitUsage, "statement id out of range"};
+    ir::Opcode op =
+        s.module().instr(static_cast<ir::StmtId>(a.stmt)).op;
+    if (op != ir::Opcode::Load && op != ir::Opcode::Store)
+        throw CliError{kExitUsage,
+                       "statement " + std::to_string(a.stmt) +
+                           " is not a load or store"};
+    core::QuerySession::Scope scope(s, "addr");
+    core::AddressTraceQuery q(s.access());
+    uint64_t shown = 0;
+    uint64_t total =
+        q.extract(static_cast<ir::StmtId>(a.stmt),
+                  [&](core::Timestamp t, uint64_t addr) {
+                      if (shown++ < a.limit)
+                          std::printf("<t=%llu, 0x%llx>\n",
+                                      static_cast<unsigned long long>(
+                                          t),
+                                      static_cast<unsigned long long>(
+                                          addr));
                   });
     std::printf("(%llu instances total)\n",
                 static_cast<unsigned long long>(total));
@@ -410,9 +514,9 @@ parseSliceQuery(const std::string& query, const ir::Module& mod,
 }
 
 int
-cmdSlice(const Args& a)
+runSlice(core::QuerySession& s, const Args& a)
 {
-    ir::Module mod = compileProgram(a);
+    const ir::Module& mod = s.module();
     ir::StmtId stmt;
     uint64_t k = a.k;
     if (!a.query.empty()) {
@@ -423,20 +527,19 @@ cmdSlice(const Args& a)
                            "statement id out of range"};
         stmt = static_cast<ir::StmtId>(a.stmt);
     } else {
-        usage();
+        throw CliError{kExitUsage,
+                       "slice requires fn:stmt[:instance] or --stmt"};
     }
 
-    wetio::LoadedWet w = loadWetx(a, mod);
+    core::QuerySession::Scope scope(s, "slice");
 
     // Both engines drive the same WetSlicer over the same artifact;
     // stdout is engine-invariant by construction (golden slice tests
     // byte-compare the two), only the stderr I/O stats differ.
-    core::CursorSliceAccess cursorAcc(*w.compressed);
-    core::DecodeSliceAccess decodeAcc(*w.compressed);
     core::SliceAccess& acc =
         a.engine == "decode"
-            ? static_cast<core::SliceAccess&>(decodeAcc)
-            : cursorAcc;
+            ? static_cast<core::SliceAccess&>(s.decodeSlice())
+            : s.cursorSlice();
 
     core::WetSlicer slicer(acc);
     core::SliceItem seed = slicer.locate(stmt, k);
@@ -461,27 +564,27 @@ cmdSlice(const Args& a)
 
     // Per-statement instance counts, ascending by statement id
     // (deterministic, complete — the golden tests depend on it).
+    const core::WetGraph& g = s.graph();
     std::map<ir::StmtId, uint64_t> counts;
     for (const auto& item : res.items)
-        counts[w.graph->nodes[item.node].stmts[item.pos]]++;
-    for (const auto& [s, c] : counts)
-        std::printf("  stmt %-6u %-6s x %llu\n", s,
-                    ir::opcodeName(mod.instr(s).op),
+        counts[g.nodes[item.node].stmts[item.pos]]++;
+    for (const auto& [st, c] : counts)
+        std::printf("  stmt %-6u %-6s x %llu\n", st,
+                    ir::opcodeName(mod.instr(st).op),
                     static_cast<unsigned long long>(c));
 
     // Static/dynamic cross-validation: the dynamic slice must stay
     // inside the static backward slice of the seed statement.
-    analysis::ModuleAnalysis ma(mod, uint64_t{1} << 24, a.threads);
-    analysis::StaticDepGraph sdg(ma);
+    const analysis::StaticDepGraph& sdg = s.depGraph();
     std::vector<bool> staticSlice = sdg.backwardSlice(stmt);
     uint64_t staticCount = 0;
     for (bool b : staticSlice)
         staticCount += b;
     std::vector<ir::StmtId> escapes;
-    for (const auto& [s, c] : counts) {
+    for (const auto& [st, c] : counts) {
         (void)c;
-        if (!staticSlice[s])
-            escapes.push_back(s);
+        if (!staticSlice[st])
+            escapes.push_back(st);
     }
     if (escapes.empty()) {
         std::printf("containment: %zu dynamic stmts within %llu "
@@ -489,14 +592,15 @@ cmdSlice(const Args& a)
                     counts.size(),
                     static_cast<unsigned long long>(staticCount));
     } else {
-        for (ir::StmtId s : escapes)
+        for (ir::StmtId st : escapes)
             std::printf("containment: stmt %u escapes the static "
                         "slice\n",
-                        s);
+                        st);
     }
 
-    core::SliceIoStats st = a.engine == "decode" ? decodeAcc.stats()
-                                                 : cursorAcc.stats();
+    core::SliceIoStats st = a.engine == "decode"
+                                ? s.decodeSlice().stats()
+                                : s.cursorSlice().stats();
     std::fprintf(stderr,
                  "engine %s: %llu streams opened, %llu values "
                  "decoded, %llu of %llu artifact bytes touched "
@@ -510,6 +614,91 @@ cmdSlice(const Args& a)
     return escapes.empty() ? kExitOk : kExitVerify;
 }
 
+/** Shared tail of the depcheck command and batch query. */
+int
+printDepcheckResult(const Args& a, const analysis::DiagEngine& diag,
+                    const analysis::DepCheckStats& stats)
+{
+    if (a.json) {
+        std::fputs(diag.renderJson().c_str(), stdout);
+    } else {
+        if (!diag.diagnostics().empty() || diag.hasErrors())
+            std::fputs(diag.renderText().c_str(), stdout);
+        if (!diag.hasErrors())
+            std::printf("%s: OK (%llu DD edges, %llu CD edges, "
+                        "%llu slice probes over %llu items)\n",
+                        a.wetx.c_str(),
+                        static_cast<unsigned long long>(
+                            stats.ddEdges),
+                        static_cast<unsigned long long>(
+                            stats.cdEdges),
+                        static_cast<unsigned long long>(
+                            stats.sliceSeeds),
+                        static_cast<unsigned long long>(
+                            stats.sliceItems));
+    }
+    return diag.hasErrors() ? kExitVerify : kExitOk;
+}
+
+int
+runDepcheck(core::QuerySession& s, const Args& a)
+{
+    core::QuerySession::Scope scope(s, "depcheck");
+    analysis::DiagEngine diag;
+    analysis::verifyModule(s.module(), diag);
+    analysis::DepCheckStats stats;
+    if (!diag.hasErrors()) {
+        analysis::verifyDeps(s.graph(), s.moduleAnalysis(),
+                             s.depGraph(), diag, &s.compressed(), {},
+                             &stats);
+    }
+    return printDepcheckResult(a, diag, stats);
+}
+
+int
+cmdCf(const Args& a)
+{
+    ir::Module mod = compileProgram(a);
+    wetio::LoadedWet w = loadWetx(a, mod);
+    core::QuerySession s(mod, *w.compressed, w.backing,
+                         sessionOptions(a));
+    return runCf(s, a);
+}
+
+int
+cmdValues(const Args& a)
+{
+    if (a.stmt == UINT64_MAX)
+        usage();
+    ir::Module mod = compileProgram(a);
+    wetio::LoadedWet w = loadWetx(a, mod);
+    core::QuerySession s(mod, *w.compressed, w.backing,
+                         sessionOptions(a));
+    return runValues(s, a);
+}
+
+int
+cmdAddr(const Args& a)
+{
+    if (a.stmt == UINT64_MAX)
+        usage();
+    ir::Module mod = compileProgram(a);
+    wetio::LoadedWet w = loadWetx(a, mod);
+    core::QuerySession s(mod, *w.compressed, w.backing,
+                         sessionOptions(a));
+    return runAddr(s, a);
+}
+
+int
+cmdSlice(const Args& a)
+{
+    ir::Module mod = compileProgram(a);
+    wetio::LoadedWet w = loadWetx(a, mod);
+    core::QuerySession s(mod, *w.compressed, w.backing,
+                         sessionOptions(a));
+    return runSlice(s, a);
+}
+
 int
 cmdVerify(const Args& a)
 {
@@ -521,7 +710,8 @@ cmdVerify(const Args& a)
     // the module itself is sound.
     analysis::verifyModule(mod, diag);
     if (!diag.hasErrors()) {
-        wetio::LoadedWet w = wetio::tryLoad(a.wetx, mod, diag);
+        wetio::LoadedWet w =
+            wetio::tryLoad(a.wetx, mod, diag, cliBackend(a));
         if (w.graph && w.compressed) {
             analysis::ModuleAnalysis ma(mod, uint64_t{1} << 24,
                                         a.threads);
@@ -558,7 +748,8 @@ cmdDepcheck(const Args& a)
         // dependence violation; only loadable-but-broken artifacts
         // fall through to the diagnostic chain.
         readFile(a.wetx);
-        wetio::LoadedWet w = wetio::tryLoad(a.wetx, mod, diag);
+        wetio::LoadedWet w =
+            wetio::tryLoad(a.wetx, mod, diag, cliBackend(a));
         if (w.graph && w.compressed) {
             analysis::ModuleAnalysis ma(mod, uint64_t{1} << 24,
                                         a.threads);
@@ -567,26 +758,7 @@ cmdDepcheck(const Args& a)
                                  w.compressed.get(), {}, &stats);
         }
     }
-
-    if (a.json) {
-        std::fputs(diag.renderJson().c_str(), stdout);
-    } else {
-        if (!diag.diagnostics().empty() || diag.hasErrors())
-            std::fputs(diag.renderText().c_str(), stdout);
-        if (!diag.hasErrors())
-            std::printf("%s: OK (%llu DD edges, %llu CD edges, "
-                        "%llu slice probes over %llu items)\n",
-                        a.wetx.c_str(),
-                        static_cast<unsigned long long>(
-                            stats.ddEdges),
-                        static_cast<unsigned long long>(
-                            stats.cdEdges),
-                        static_cast<unsigned long long>(
-                            stats.sliceSeeds),
-                        static_cast<unsigned long long>(
-                            stats.sliceItems));
-    }
-    return diag.hasErrors() ? kExitVerify : kExitOk;
+    return printDepcheckResult(a, diag, stats);
 }
 
 int
@@ -595,6 +767,135 @@ cmdDump(const Args& a)
     ir::Module mod = compileProgram(a);
     std::fputs(mod.dump().c_str(), stdout);
     return kExitOk;
+}
+
+// ---------------------------------------------------------------- //
+// Batch query serving.
+
+std::vector<std::string>
+tokenize(const std::string& line)
+{
+    std::vector<std::string> toks;
+    std::istringstream is(line);
+    std::string t;
+    while (is >> t)
+        toks.push_back(t);
+    return toks;
+}
+
+/**
+ * Parse one batch line into a per-query Args (command grammar shared
+ * with the standalone commands). Session-level settings (--io,
+ * --cache, --threads, paths) come from @p base; per-query knobs
+ * reset to their defaults so one line cannot leak into the next.
+ */
+Args
+parseBatchLine(const std::vector<std::string>& toks, const Args& base)
+{
+    Args qa = base;
+    qa.command = toks[0];
+    qa.query.clear();
+    qa.stmt = UINT64_MAX;
+    qa.from = 1;
+    qa.count = 20;
+    qa.k = 0;
+    qa.limit = 20;
+    qa.maxItems = 100000;
+    qa.engine = "cursor";
+    qa.json = false;
+
+    if (qa.command != "cf" && qa.command != "values" &&
+        qa.command != "addr" && qa.command != "slice" &&
+        qa.command != "depcheck")
+    {
+        throw CliError{kExitUsage,
+                       "unknown batch query '" + qa.command + "'"};
+    }
+    auto num = [&](size_t& i) -> uint64_t {
+        if (i + 1 >= toks.size())
+            throw CliError{kExitUsage,
+                           "option '" + toks[i] +
+                               "' needs a value in batch query"};
+        return std::strtoull(toks[++i].c_str(), nullptr, 10);
+    };
+    for (size_t i = 1; i < toks.size(); ++i) {
+        const std::string& opt = toks[i];
+        if (opt == "--stmt")
+            qa.stmt = num(i);
+        else if (opt == "--from")
+            qa.from = num(i);
+        else if (opt == "--count")
+            qa.count = num(i);
+        else if (opt == "--k")
+            qa.k = num(i);
+        else if (opt == "--limit")
+            qa.limit = num(i);
+        else if (opt == "--max")
+            qa.maxItems = num(i);
+        else if (opt == "--engine" && i + 1 < toks.size())
+            qa.engine = toks[++i];
+        else if (qa.command == "slice" && qa.query.empty() &&
+                 opt.rfind("--", 0) != 0)
+            qa.query = opt;
+        else
+            throw CliError{kExitUsage,
+                           "bad option '" + opt +
+                               "' in batch query"};
+    }
+    if (qa.engine != "cursor" && qa.engine != "decode")
+        throw CliError{kExitUsage,
+                       "bad engine '" + qa.engine +
+                           "' in batch query"};
+    return qa;
+}
+
+int
+dispatchQuery(core::QuerySession& s, const Args& qa)
+{
+    if (qa.command == "cf")
+        return runCf(s, qa);
+    if (qa.command == "values")
+        return runValues(s, qa);
+    if (qa.command == "addr")
+        return runAddr(s, qa);
+    if (qa.command == "slice")
+        return runSlice(s, qa);
+    return runDepcheck(s, qa);
+}
+
+int
+cmdQuery(const Args& a)
+{
+    ir::Module mod = compileProgram(a);
+    wetio::LoadedWet w = loadWetx(a, mod);
+    core::QuerySession s(mod, *w.compressed, w.backing,
+                         sessionOptions(a));
+
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (a.input != "-") {
+        file.open(a.input);
+        if (!file)
+            throw CliError{kExitIo,
+                           "cannot open '" + a.input + "'"};
+        in = &file;
+    }
+
+    int worst = kExitOk;
+    std::string line;
+    while (std::getline(*in, line)) {
+        std::vector<std::string> toks = tokenize(line);
+        if (toks.empty() || toks[0][0] == '#')
+            continue;
+        Args qa = parseBatchLine(toks, a);
+        worst = std::max(worst, dispatchQuery(s, qa));
+    }
+
+    if (a.statsJson)
+        std::printf("%s\n", s.statsJson().c_str());
+    else if (a.stats)
+        std::fputs(s.statsText().c_str(), stderr);
+    return worst;
 }
 
 } // namespace
@@ -612,6 +913,8 @@ main(int argc, char** argv)
             return cmdCf(a);
         if (a.command == "values")
             return cmdValues(a);
+        if (a.command == "addr")
+            return cmdAddr(a);
         if (a.command == "slice")
             return cmdSlice(a);
         if (a.command == "dump")
@@ -620,6 +923,8 @@ main(int argc, char** argv)
             return cmdVerify(a);
         if (a.command == "depcheck")
             return cmdDepcheck(a);
+        if (a.command == "query")
+            return cmdQuery(a);
         usage();
     } catch (const CliError& e) {
         std::fprintf(stderr, "error: %s\n", e.message.c_str());
