@@ -1,0 +1,35 @@
+#include "sessionverifier.h"
+
+#include <sstream>
+
+namespace wet {
+namespace analysis {
+
+bool
+verifySessionCache(const core::StreamCache& cache,
+                   const std::string& location, DiagEngine& diag)
+{
+    uint64_t before = diag.errorCount();
+    if (cache.capacity() > 0 && cache.size() > cache.capacity()) {
+        std::ostringstream os;
+        os << "warm set holds " << cache.size()
+           << " readers, capacity is " << cache.capacity();
+        diag.error("SES001", location, os.str());
+    }
+    if (cache.graveyardSize() != 0) {
+        std::ostringstream os;
+        os << cache.graveyardSize()
+           << " retired readers await purge at a query boundary";
+        diag.error("SES002", location, os.str());
+    }
+    if (cache.lruSize() != cache.size()) {
+        std::ostringstream os;
+        os << "LRU list tracks " << cache.lruSize()
+           << " entries, map holds " << cache.size();
+        diag.error("SES003", location, os.str());
+    }
+    return diag.errorCount() == before;
+}
+
+} // namespace analysis
+} // namespace wet

@@ -1,0 +1,35 @@
+#ifndef WET_ANALYSIS_SESSIONVERIFIER_H
+#define WET_ANALYSIS_SESSIONVERIFIER_H
+
+#include <string>
+
+#include "analysis/diag.h"
+#include "core/streamcache.h"
+
+namespace wet {
+namespace analysis {
+
+/**
+ * Invariant checks over a session's stream cache, meant to run at a
+ * query boundary (no query in flight):
+ *
+ *  - SES001: the warm set never exceeds the configured capacity —
+ *    deferred eviction may only park readers in the graveyard, not
+ *    let the warm set grow past its bound;
+ *  - SES002: the graveyard is empty — every query scope must purge
+ *    the readers it evicted or quarantined before the next query
+ *    starts;
+ *  - SES003: the LRU recency list and the key map agree in size —
+ *    an entry in one but not the other means eviction or quarantine
+ *    left the two structures inconsistent.
+ *
+ * Findings go to @p diag under @p location; returns true when no
+ * errors were added.
+ */
+bool verifySessionCache(const core::StreamCache& cache,
+                        const std::string& location, DiagEngine& diag);
+
+} // namespace analysis
+} // namespace wet
+
+#endif // WET_ANALYSIS_SESSIONVERIFIER_H

@@ -4,6 +4,8 @@
 
 #include "codec/entryio.h"
 #include "support/error.h"
+#include "support/failpoint.h"
+#include "support/governor.h"
 
 namespace wet {
 namespace codec {
@@ -11,6 +13,7 @@ namespace codec {
 StreamCursor::StreamCursor(const CompressedStream& s, Mode mode)
     : s_(&s), mode_(mode)
 {
+    WET_FAILPOINT("codec.cursor.init");
     if (s.config.method == Method::Raw) {
         raw_ = true;
         rawVals_.reserve(s.length);
@@ -18,6 +21,7 @@ StreamCursor::StreamCursor(const CompressedStream& s, Mode mode)
         for (uint64_t i = 0; i < s.length; ++i)
             rawVals_.push_back(s.misses.readSignedAt(pos));
         decodeSteps_ = s.length;
+        support::Governor::charge(s.length);
         return;
     }
     blModel_ = makeModel(s.config);
@@ -45,6 +49,7 @@ StreamCursor::initFront()
     flagPos_ = 0;
     missPos_ = 0;
     decodeSteps_ += n_; // window materialization
+    support::Governor::charge(n_);
 }
 
 void
@@ -61,6 +66,7 @@ StreamCursor::initFromCheckpoint(const CompressedStream::Checkpoint& cp)
     flagPos_ = cp.flagPos;
     missPos_ = cp.missPos;
     decodeSteps_ += n_; // window materialization
+    support::Governor::charge(n_);
 }
 
 const int64_t*
@@ -83,6 +89,8 @@ void
 StreamCursor::stepForward()
 {
     WET_ASSERT(machinePos_ + n_ < s_->length, "stepForward past end");
+    WET_FAILPOINT("codec.cursor.step");
+    support::Governor::charge(1);
     Entry e = detail::readEntryForward(s_->flags, s_->misses, flagPos_,
                                        missPos_, idxBits_);
     int64_t v = blModel_->consume(e, ctxRight());
@@ -105,6 +113,8 @@ StreamCursor::stepBackward()
                "backward step on a forward-only cursor");
     WET_ASSERT(machinePos_ > sweepStart_,
                "backward step before the sweep start");
+    WET_FAILPOINT("codec.cursor.back");
+    support::Governor::charge(1);
     Entry fe = detail::popEntryReversed(frFlags_, frVals_, idxBits_);
     int64_t v = frModel_->consume(fe, ctxLeft());
     int64_t leaving = window_[n_ - 1];
@@ -155,10 +165,16 @@ StreamCursor::at(uint64_t q)
     if (costFwd <= costBwd && costFwd <= costCkpt) {
         // fall through to the forward loop below
     } else if (costBwd <= costCkpt) {
+        // Divergence between the re-created and stored BL entries
+        // means the stream's two redundant sides disagree — possible
+        // with payload corruption that passes the structural load
+        // checks, so it is a data fault (recoverable), not a panic.
         while (machinePos_ > q)
-            WET_ASSERT(stepBackward(),
-                       "backward step diverged from the stored BL "
-                       "entry");
+            if (!stepBackward())
+                WET_FATAL("backward step diverged from the stored "
+                          "BL entry at machine position "
+                          << machinePos_
+                          << " (corrupt stream payload)");
     } else if (best) {
         initFromCheckpoint(*best);
     } else {
@@ -182,6 +198,35 @@ StreamCursor::tryPrev(int64_t& out)
                 return false;
     }
     out = at(q);
+    pos_ = q;
+    return true;
+}
+
+bool
+StreamCursor::tryNext(int64_t& out)
+{
+    if (poisoned_ || pos_ >= s_->length)
+        return false;
+    try {
+        out = at(pos_);
+    } catch (const GovernorLimit&) {
+        // A governor trip is not a decode failure: the cursor state
+        // is intact and the stream may be re-read after the budget
+        // resets, so do not poison.
+        throw;
+    } catch (const WetError&) {
+        poisoned_ = true;
+        return false;
+    }
+    ++pos_;
+    return true;
+}
+
+bool
+StreamCursor::trySeek(uint64_t q)
+{
+    if (poisoned_ || q > s_->length)
+        return false;
     pos_ = q;
     return true;
 }

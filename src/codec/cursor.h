@@ -72,6 +72,23 @@ class StreamCursor
      */
     bool tryPrev(int64_t& out);
 
+    /**
+     * Checked next(): reads the value at the cursor position into
+     * @p out and advances, returning false at the end of the stream
+     * or when decoding fails (an injected fault, or divergence while
+     * re-scanning backward). A decode failure poisons the cursor —
+     * every later try* call returns false — so a quarantined reader
+     * can never serve half-decoded state.
+     */
+    bool tryNext(int64_t& out);
+
+    /** Checked seek(): false (position unchanged) when @p q is past
+     *  length() or the cursor is poisoned, instead of trapping. */
+    bool trySeek(uint64_t q);
+
+    /** True once a checked decode has failed on this cursor. */
+    bool poisoned() const { return poisoned_; }
+
     bool hasNext() const { return pos_ < s_->length; }
     bool hasPrev() const { return pos_ > 0; }
     uint64_t pos() const { return pos_; }
@@ -133,6 +150,7 @@ class StreamCursor
 
     uint64_t pos_ = 0; //!< logical next()/prev() position
     uint64_t decodeSteps_ = 0;
+    bool poisoned_ = false;
 };
 
 } // namespace codec

@@ -1,6 +1,7 @@
 #include "access.h"
 
 #include "support/error.h"
+#include "support/failpoint.h"
 
 namespace wet {
 namespace core {
@@ -149,10 +150,14 @@ WetAccess::value(NodeId n, uint32_t pos, uint32_t inst)
     const ir::Instr& in = mod_->instr(node.stmts[pos]);
     if (in.op == ir::Opcode::Const)
         return in.imm;
+    WET_FAILPOINT("core.access.value");
     uint32_t gi = node.stmtGroup[pos];
-    WET_ASSERT(gi != kNoIndex,
-               "value query on a statement without a def port (stmt "
-                   << node.stmts[pos] << ")");
+    // Which statements carry def ports is decided by the artifact's
+    // graph; asking for a value where none is recorded is an input
+    // fault (bad query target or inconsistent artifact), not a bug.
+    if (gi == kNoIndex)
+        WET_FATAL("value query on a statement without a def port "
+                  "(stmt " << node.stmts[pos] << ")");
     uint32_t mi = node.stmtMember[pos];
     int64_t pidx = pattern(n, gi).at(inst);
     return uvals(n, gi, mi).at(static_cast<uint64_t>(pidx));

@@ -93,8 +93,12 @@ AddressTraceQuery::extract(
                 }
             }
         }
-        WET_ASSERT(found, "address operand dependence missing for "
-                          "stmt " << stmt << " instance " << k);
+        // A missing operand edge means the artifact's dependence
+        // encoding is inconsistent with its graph — corrupt data, not
+        // an internal invariant.
+        if (!found)
+            WET_FATAL("address operand dependence missing for stmt "
+                      << stmt << " instance " << k);
         visit(bestTs, static_cast<uint64_t>(base + in.imm));
         ++best->idx;
         ++count;

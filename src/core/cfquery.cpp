@@ -37,7 +37,9 @@ ControlFlowQuery::findNodeWithTs(Timestamp t, bool at_front)
         if (static_cast<Timestamp>(acc_->ts(n).at(idx)) == t)
             return n;
     }
-    WET_ASSERT(false, "no node carries timestamp " << t);
+    // Reachable with a corrupt timestamp stream that passed the
+    // structural load checks: a data fault, not a library bug.
+    WET_FATAL("no node carries timestamp " << t);
     return kNoNode;
 }
 
@@ -71,8 +73,8 @@ ControlFlowQuery::extractRange(
                 cur = n;
             }
         }
-        WET_ASSERT(cur != kNoNode,
-                   "no node carries timestamp " << from);
+        if (cur == kNoNode)
+            WET_FATAL("no node carries timestamp " << from);
     }
 
     uint64_t blocks = 0;
@@ -95,8 +97,8 @@ ControlFlowQuery::extractRange(
                 break;
             }
         }
-        WET_ASSERT(next != kNoNode,
-                   "control flow trace broken at timestamp " << t);
+        if (next == kNoNode)
+            WET_FATAL("control flow trace broken at timestamp " << t);
         cur = next;
     }
     return blocks;
@@ -132,7 +134,8 @@ ControlFlowQuery::extractRangeBackward(
             cur = n;
         }
     }
-    WET_ASSERT(cur != kNoNode, "no node carries timestamp " << from);
+    if (cur == kNoNode)
+        WET_FATAL("no node carries timestamp " << from);
 
     uint64_t blocks = 0;
     uint64_t emitted = 0;
@@ -155,8 +158,8 @@ ControlFlowQuery::extractRangeBackward(
                 break;
             }
         }
-        WET_ASSERT(next != kNoNode,
-                   "control flow trace broken at timestamp " << t);
+        if (next == kNoNode)
+            WET_FATAL("control flow trace broken at timestamp " << t);
         cur = next;
     }
     return blocks;

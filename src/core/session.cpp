@@ -1,5 +1,9 @@
 #include "session.h"
 
+#include <exception>
+
+#include "support/failpoint.h"
+
 namespace wet {
 namespace core {
 
@@ -49,13 +53,23 @@ QuerySession::depGraph()
 }
 
 QuerySession::Scope::Scope(QuerySession& s, std::string kind)
-    : s_(&s), kind_(std::move(kind)), before_(s.cache_.stats())
+    : s_(&s), kind_(std::move(kind)), before_(s.cache_.stats()),
+      uncaught_(std::uncaught_exceptions())
 {
+    WET_FAILPOINT("core.session.query");
     s_->cache_.resetTouched();
+    if (s_->opt_.limits.any())
+        s_->governor_.begin(
+            s_->opt_.limits,
+            [b = s_->backing_.get()]() -> uint64_t {
+                return b != nullptr ? b->residentBytes() : 0;
+            },
+            &s_->metrics_);
 }
 
 QuerySession::Scope::~Scope()
 {
+    s_->governor_.end();
     uint64_t ns = static_cast<uint64_t>(timer_.seconds() * 1e9);
     support::Metrics& m = s_->metrics_;
     const StreamCache::Stats& now = s_->cache_.stats();
@@ -66,6 +80,14 @@ QuerySession::Scope::~Scope()
     m.add("cache.evictions", now.evictions - before_.evictions);
     m.add("streams.touched", s_->cache_.touchedCount());
     m.recordLatency("latency." + kind_, ns);
+    if (std::uncaught_exceptions() > uncaught_) {
+        // Unwinding out of a failed query: readers it touched may
+        // hold partial decode state, so retire them all. They rebuild
+        // from the immutable artifact on next use, which keeps later
+        // answers byte-identical to a fresh session's.
+        m.add("queries.failed", 1);
+        s_->cache_.quarantineTouched();
+    }
     // The query is over: no reader references remain, so deferred
     // evictions can finally be freed.
     s_->cache_.purge();

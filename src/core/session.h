@@ -12,6 +12,7 @@
 #include "core/cursorslicer.h"
 #include "core/streamcache.h"
 #include "ir/module.h"
+#include "support/governor.h"
 #include "support/metrics.h"
 #include "support/timer.h"
 
@@ -24,6 +25,8 @@ struct SessionOptions
     size_t cacheCapacity = 0;
     /** Worker threads for the lazily built module analyses. */
     unsigned threads = 1;
+    /** Per-query resource budgets (all 0 = ungoverned). */
+    support::Governor::Limits limits;
 };
 
 /**
@@ -63,16 +66,21 @@ class QuerySession
     StreamCache& cache() { return cache_; }
     support::Metrics& metrics() { return metrics_; }
     ArtifactBacking* backing() { return backing_.get(); }
+    support::Governor& governor() { return governor_; }
 
     /** Module analyses, built on first use and then kept warm. */
     const analysis::ModuleAnalysis& moduleAnalysis();
     const analysis::StaticDepGraph& depGraph();
 
     /**
-     * RAII wrapper around one query: on destruction records the
-     * query's latency and cache activity under its @p kind and
-     * purges readers evicted while it ran. No reader reference may
-     * outlive the scope that produced it.
+     * RAII wrapper around one query: on construction opens the
+     * session's governed window (if any limit is set); on destruction
+     * records the query's latency and cache activity under its
+     * @p kind and purges readers evicted while it ran. When the query
+     * unwinds with an exception, every cache reader it touched is
+     * quarantined — a failed decode may leave partial machine state
+     * behind, and the next query must see fresh readers. No reader
+     * reference may outlive the scope that produced it.
      */
     class Scope
     {
@@ -87,6 +95,7 @@ class QuerySession
         std::string kind_;
         support::Timer timer_;
         StreamCache::Stats before_;
+        int uncaught_;
     };
 
     /**
@@ -109,6 +118,7 @@ class QuerySession
     CursorSliceAccess cursorSlice_;
     DecodeSliceAccess decodeSlice_;
     support::Metrics metrics_;
+    support::Governor governor_;
     std::unique_ptr<analysis::ModuleAnalysis> ma_;
     std::unique_ptr<analysis::StaticDepGraph> sdg_;
 };

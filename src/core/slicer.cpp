@@ -12,8 +12,11 @@ namespace {
 uint64_t
 packItem(const SliceItem& it)
 {
-    WET_ASSERT(it.node < (1u << 20) && it.pos < (1u << 14),
-               "slice item exceeds packing limits");
+    // The bounds depend on the loaded artifact's graph shape, so an
+    // oversized graph is a data limitation, not an internal bug.
+    if (it.node >= (1u << 20) || it.pos >= (1u << 14))
+        WET_FATAL("slice item exceeds packing limits (node "
+                  << it.node << ", pos " << it.pos << ")");
     return (static_cast<uint64_t>(it.node) << 44) |
            (static_cast<uint64_t>(it.pos) << 30) | it.inst;
 }

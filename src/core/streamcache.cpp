@@ -1,5 +1,7 @@
 #include "streamcache.h"
 
+#include "support/failpoint.h"
+
 namespace wet {
 namespace core {
 
@@ -14,12 +16,14 @@ StreamCache::get(uint64_t key, const Factory& make)
         return *it->second.reader;
     }
     ++stats_.misses;
+    WET_FAILPOINT("core.cache.insert");
     std::unique_ptr<SeqReader> reader = make();
     SeqReader& ref = *reader;
     lru_.push_front(key);
     map_.emplace(key, Entry{std::move(reader), lru_.begin()});
     if (capacity_ > 0) {
         while (map_.size() > capacity_) {
+            WET_FAILPOINT("core.cache.evict");
             uint64_t victim = lru_.back();
             auto vit = map_.find(victim);
             graveyard_.push_back(std::move(vit->second.reader));
@@ -29,6 +33,21 @@ StreamCache::get(uint64_t key, const Factory& make)
         }
     }
     return ref;
+}
+
+void
+StreamCache::quarantineTouched()
+{
+    for (uint64_t key : touched_) {
+        auto it = map_.find(key);
+        if (it == map_.end())
+            continue; // already evicted (graveyard) or never inserted
+        graveyard_.push_back(std::move(it->second.reader));
+        lru_.erase(it->second.lru);
+        map_.erase(it);
+        ++stats_.quarantined;
+    }
+    touched_.clear();
 }
 
 void

@@ -34,6 +34,7 @@ class StreamCache
         uint64_t hits = 0;
         uint64_t misses = 0;
         uint64_t evictions = 0;
+        uint64_t quarantined = 0;
     };
 
     using Factory = std::function<std::unique_ptr<SeqReader>()>;
@@ -62,6 +63,22 @@ class StreamCache
     /** Distinct keys looked up since resetTouched(). */
     size_t touchedCount() const { return touched_.size(); }
     void resetTouched() { touched_.clear(); }
+
+    /**
+     * Move every reader touched since resetTouched() to the
+     * graveyard. Called when a query fails mid-decode: any reader the
+     * failed query advanced may hold partial machine state, so all of
+     * them are retired and rebuilt fresh on the next lookup. Like
+     * eviction this defers destruction to purge(), keeping in-flight
+     * references valid while the failure unwinds.
+     */
+    void quarantineTouched();
+
+    /** Readers awaiting destruction at the next purge(). */
+    size_t graveyardSize() const { return graveyard_.size(); }
+
+    /** Length of the LRU recency list (invariant: == size()). */
+    size_t lruSize() const { return lru_.size(); }
 
     /** Visit every live (non-evicted) entry. */
     template <typename F>

@@ -34,7 +34,7 @@ binaryOpcode(TokKind k)
       case TokKind::Gt: return Opcode::CmpGt;
       case TokKind::Ge: return Opcode::CmpGe;
       default:
-        WET_ASSERT(false, "no opcode for token " << tokKindName(k));
+        WET_ASSERT(false, "no opcode for token " << tokKindName(k)); // LINT: internal
     }
     return Opcode::Add;
 }
@@ -295,7 +295,7 @@ CodeGen::genExpr(const Expr& e)
             return fb_->emitBinary(Opcode::CmpEq, a, zero);
           }
           default:
-            WET_ASSERT(false, "bad unary operator");
+            WET_ASSERT(false, "bad unary operator"); // LINT: internal
         }
         return ir::kNoReg; // unreachable
       }
@@ -331,7 +331,7 @@ CodeGen::genExpr(const Expr& e)
         return fb_->emitLoad(addr);
       }
     }
-    WET_ASSERT(false, "unhandled expression kind");
+    WET_ASSERT(false, "unhandled expression kind"); // LINT: internal
     return ir::kNoReg;
 }
 

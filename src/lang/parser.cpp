@@ -58,7 +58,9 @@ makeStmt(StmtKind kind, const Token& at)
 
 Parser::Parser(std::vector<Token> tokens) : toks_(std::move(tokens))
 {
-    WET_ASSERT(!toks_.empty() && toks_.back().kind == TokKind::End,
+    // The lexer always appends End; a stream without it is a caller
+    // bug, not reachable from any user-written source.
+    WET_ASSERT(!toks_.empty() && toks_.back().kind == TokKind::End, // LINT: internal
                "token stream must end with End");
 }
 

@@ -1,0 +1,267 @@
+#include "failpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace wet {
+namespace support {
+
+namespace {
+
+/**
+ * The closed failpoint registry. Every WET_FAILPOINT/WET_FAILPOINT_HIT
+ * site in the source must appear here (tools/check_error_split.sh
+ * enforces the bijection), and arm() rejects names that do not.
+ */
+// failpoint-registry-begin
+const char* const kSites[] = {
+    "codec.cursor.back",
+    "codec.cursor.init",
+    "codec.cursor.step",
+    "core.access.value",
+    "core.cache.evict",
+    "core.cache.insert",
+    "core.session.query",
+    "support.governor.deadline",
+    "wetio.load.stream",
+    "wetio.open",
+    "wetio.open.mmap",
+    "wetio.open.read",
+    "wetio.save.dirsync",
+    "wetio.save.fsync",
+    "wetio.save.open",
+    "wetio.save.rename",
+    "wetio.save.write",
+};
+// failpoint-registry-end
+
+enum class Mode { Off, Once, Nth, Prob, Crash, CrashNth };
+
+struct Trigger
+{
+    Mode mode = Mode::Off;
+    uint64_t n = 0;       //!< nth/crash-nth target (1-based)
+    uint64_t probPct = 0; //!< prob percentage
+    Rng rng{0};
+    uint64_t hits = 0;
+    uint64_t trips = 0;
+};
+
+[[noreturn]] void
+simulatedCrash()
+{
+    // No flush, no destructors: exactly what the process would leave
+    // behind if the machine lost power at this instant.
+    std::_Exit(134);
+}
+
+} // namespace
+
+struct FailPoints::Impl
+{
+    std::mutex mu;
+    std::map<std::string, Trigger> triggers;
+
+    bool
+    known(const std::string& site) const
+    {
+        return std::binary_search(std::begin(kSites),
+                                  std::end(kSites), site);
+    }
+};
+
+std::atomic<uint64_t> FailPoints::armedCount_{0};
+
+FailPoints::FailPoints() : impl_(new Impl) {}
+
+FailPoints&
+FailPoints::instance()
+{
+    static FailPoints fp;
+    static std::once_flag envOnce;
+    std::call_once(envOnce, [] {
+        if (const char* env = std::getenv("WET_FAILPOINTS")) {
+            if (env[0] != '\0')
+                fp.arm(env);
+        }
+    });
+    return fp;
+}
+
+std::vector<std::string>
+FailPoints::registry()
+{
+    return {std::begin(kSites), std::end(kSites)};
+}
+
+void
+FailPoints::arm(const std::string& spec)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    size_t start = 0;
+    while (start < spec.size()) {
+        size_t comma = spec.find(',', start);
+        std::string entry =
+            spec.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        start = comma == std::string::npos ? spec.size() : comma + 1;
+        if (entry.empty())
+            continue;
+        size_t eq = entry.find('=');
+        if (eq == std::string::npos || eq == 0)
+            WET_FATAL("bad failpoint entry '"
+                      << entry << "', expected site=mode");
+        std::string site = entry.substr(0, eq);
+        std::string mode = entry.substr(eq + 1);
+        if (!impl_->known(site))
+            WET_FATAL("unknown failpoint site '" << site << "'");
+
+        Trigger t;
+        auto tailNum = [&](size_t prefixLen,
+                           const char* what) -> uint64_t {
+            const std::string digits = mode.substr(prefixLen);
+            if (digits.empty() ||
+                digits.find_first_not_of("0123456789") !=
+                    std::string::npos)
+                WET_FATAL("bad " << what << " in failpoint mode '"
+                                 << mode << "'");
+            return std::strtoull(digits.c_str(), nullptr, 10);
+        };
+        if (mode == "off") {
+            t.mode = Mode::Off;
+        } else if (mode == "once") {
+            t.mode = Mode::Once;
+        } else if (mode == "crash") {
+            t.mode = Mode::Crash;
+        } else if (mode.rfind("nth:", 0) == 0) {
+            t.mode = Mode::Nth;
+            t.n = tailNum(4, "hit index");
+            if (t.n == 0)
+                WET_FATAL("failpoint nth index is 1-based");
+        } else if (mode.rfind("crash-nth:", 0) == 0) {
+            t.mode = Mode::CrashNth;
+            t.n = tailNum(10, "hit index");
+            if (t.n == 0)
+                WET_FATAL("failpoint crash-nth index is 1-based");
+        } else if (mode.rfind("prob:", 0) == 0) {
+            size_t colon = mode.find(':', 5);
+            if (colon == std::string::npos)
+                WET_FATAL("failpoint prob mode needs prob:P:SEED");
+            const std::string pct = mode.substr(5, colon - 5);
+            if (pct.empty() ||
+                pct.find_first_not_of("0123456789") !=
+                    std::string::npos)
+                WET_FATAL("bad percentage in failpoint mode '"
+                          << mode << "'");
+            t.mode = Mode::Prob;
+            t.probPct = std::strtoull(pct.c_str(), nullptr, 10);
+            if (t.probPct > 100)
+                WET_FATAL("failpoint probability "
+                          << t.probPct << " exceeds 100");
+            t.rng = Rng(tailNum(colon + 1, "seed"));
+        } else {
+            WET_FATAL("unknown failpoint mode '" << mode << "'");
+        }
+
+        auto it = impl_->triggers.find(site);
+        bool wasArmed =
+            it != impl_->triggers.end() && it->second.mode != Mode::Off;
+        bool nowArmed = t.mode != Mode::Off;
+        if (it != impl_->triggers.end()) {
+            t.hits = it->second.hits;
+            t.trips = it->second.trips;
+            it->second = t;
+        } else {
+            impl_->triggers.emplace(site, t);
+        }
+        if (nowArmed && !wasArmed)
+            armedCount_.fetch_add(1, std::memory_order_relaxed);
+        else if (!nowArmed && wasArmed)
+            armedCount_.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+void
+FailPoints::disarmAll()
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    uint64_t armed = 0;
+    for (const auto& [site, t] : impl_->triggers) {
+        (void)site;
+        if (t.mode != Mode::Off)
+            ++armed;
+    }
+    impl_->triggers.clear();
+    armedCount_.fetch_sub(armed, std::memory_order_relaxed);
+}
+
+uint64_t
+FailPoints::trips(const std::string& site) const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->triggers.find(site);
+    return it == impl_->triggers.end() ? 0 : it->second.trips;
+}
+
+uint64_t
+FailPoints::hits(const std::string& site) const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->triggers.find(site);
+    return it == impl_->triggers.end() ? 0 : it->second.hits;
+}
+
+bool
+FailPoints::fired(const char* site)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->triggers.find(site);
+    if (it == impl_->triggers.end())
+        return false;
+    Trigger& t = it->second;
+    ++t.hits;
+    bool fire = false;
+    bool crash = false;
+    switch (t.mode) {
+    case Mode::Off:
+        break;
+    case Mode::Once:
+        fire = true;
+        t.mode = Mode::Off;
+        armedCount_.fetch_sub(1, std::memory_order_relaxed);
+        break;
+    case Mode::Nth:
+        fire = t.hits == t.n;
+        break;
+    case Mode::Prob:
+        fire = t.rng.chance(t.probPct, 100);
+        break;
+    case Mode::Crash:
+        fire = crash = true;
+        break;
+    case Mode::CrashNth:
+        fire = crash = t.hits == t.n;
+        break;
+    }
+    if (fire)
+        ++t.trips;
+    if (crash)
+        simulatedCrash();
+    return fire;
+}
+
+void
+FailPoints::check(const char* site)
+{
+    if (fired(site))
+        WET_FATAL("injected fault at " << site);
+}
+
+} // namespace support
+} // namespace wet

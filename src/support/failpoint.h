@@ -1,0 +1,115 @@
+#ifndef WET_SUPPORT_FAILPOINT_H
+#define WET_SUPPORT_FAILPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wet {
+namespace support {
+
+/**
+ * Fault-injection framework: named failpoints compiled into the I/O,
+ * mmap, decode, cache-eviction, and allocation-heavy paths, armed at
+ * runtime from a spec string (the `--failpoints` CLI flag or the
+ * WET_FAILPOINTS environment variable).
+ *
+ * A spec is a comma-separated list of `site=mode` entries:
+ *
+ *   off           disarm the site
+ *   once          fire on the next hit, then disarm
+ *   nth:N         fire on the N-th hit only (1-based)
+ *   prob:P:S      fire each hit with probability P percent, using a
+ *                 deterministic RNG seeded with S
+ *   crash         _Exit(134) on the next hit (simulated crash; no
+ *                 flush, no destructors — what a power cut leaves)
+ *   crash-nth:N   crash on the N-th hit
+ *
+ * Firing a non-crash trigger throws WetError("injected fault at
+ * <site>"), which the serving layers treat exactly like any other
+ * recoverable input/environment fault. Sites the caller wants to
+ * *degrade* on rather than fail (e.g. mmap falling back to a buffered
+ * read) use WET_FAILPOINT_HIT and branch on the result.
+ *
+ * The set of sites is a closed registry (see failpoint.cpp): arming
+ * an unknown site is an error, so sweeps and specs cannot silently
+ * rot, and `wet_cli failpoints` can enumerate every site. A lint
+ * script (tools/check_error_split.sh) keeps the registry and the
+ * WET_FAILPOINT uses in the source in sync.
+ *
+ * When nothing is armed the per-hit cost is one relaxed atomic load.
+ */
+class FailPoints
+{
+  public:
+    /** Global instance; parses WET_FAILPOINTS on first access. */
+    static FailPoints& instance();
+
+    /** Arm triggers from a spec string. Throws WetError on a
+     *  malformed spec or an unknown site name. */
+    void arm(const std::string& spec);
+
+    /** Disarm every site and reset all hit/trip counters. */
+    void disarmAll();
+
+    /** All registered site names, sorted (the sweep drives this). */
+    static std::vector<std::string> registry();
+
+    /** Times @p site fired (threw or crashed) since the last reset. */
+    uint64_t trips(const std::string& site) const;
+
+    /** Times @p site was evaluated since the last reset. */
+    uint64_t hits(const std::string& site) const;
+
+    /** Fast gate: false unless some site is armed. */
+    static bool
+    anyArmed()
+    {
+        return armedCount_.load(std::memory_order_relaxed) != 0;
+    }
+
+    /**
+     * Evaluate @p site: count the hit and decide whether its trigger
+     * fires now. A crash-mode trigger never returns (process exit); an
+     * error-mode trigger returns true and the caller degrades or
+     * throws. Call only behind anyArmed() (the macros do).
+     */
+    bool fired(const char* site);
+
+    /** fired() + throw WetError on true (the WET_FAILPOINT macro). */
+    void check(const char* site);
+
+  private:
+    FailPoints();
+    struct Impl;
+    Impl* impl_;
+    static std::atomic<uint64_t> armedCount_;
+    friend struct FailPointsAccess;
+};
+
+} // namespace support
+} // namespace wet
+
+/**
+ * WET_FAILPOINT(site): fault-injection site with fail semantics — an
+ * armed trigger throws WetError (or crashes in crash mode). Near-zero
+ * cost when nothing is armed.
+ */
+#define WET_FAILPOINT(site)                                          \
+    do {                                                             \
+        if (::wet::support::FailPoints::anyArmed())                  \
+            ::wet::support::FailPoints::instance().check(site);      \
+    } while (0)
+
+/**
+ * WET_FAILPOINT_HIT(site): fault-injection site with degrade
+ * semantics — evaluates to true when the armed trigger fires, so the
+ * call site can take its own failure branch (fall back, report a
+ * diagnostic) instead of unwinding.
+ */
+#define WET_FAILPOINT_HIT(site)                                      \
+    (::wet::support::FailPoints::anyArmed() &&                       \
+     ::wet::support::FailPoints::instance().fired(site))
+
+#endif // WET_SUPPORT_FAILPOINT_H

@@ -1,0 +1,101 @@
+#include "governor.h"
+
+#include "support/failpoint.h"
+#include "support/metrics.h"
+
+namespace wet {
+namespace support {
+
+namespace {
+
+/** Deadline/resident checks happen every this many decode steps: the
+ *  steady_clock read and (much costlier) mincore walk must not show
+ *  up on the per-step fast path. */
+constexpr uint64_t kPollInterval = 1024;
+
+} // namespace
+
+thread_local Governor* Governor::active_ = nullptr;
+
+void
+Governor::begin(const Limits& limits,
+                std::function<uint64_t()> resident, Metrics* metrics)
+{
+    end();
+    limits_ = limits;
+    resident_ = std::move(resident);
+    metrics_ = metrics;
+    steps_ = 0;
+    nextPoll_ = 1; // first charge polls, so a pre-exceeded gauge
+                   // trips deterministically at the window's start
+    hasDeadline_ = limits.timeoutMs != 0;
+    if (hasDeadline_)
+        deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(limits.timeoutMs);
+    windowOpen_ = true;
+    active_ = this;
+}
+
+void
+Governor::end()
+{
+    if (!windowOpen_)
+        return;
+    windowOpen_ = false;
+    if (active_ == this)
+        active_ = nullptr;
+}
+
+void
+Governor::chargeImpl(uint64_t steps)
+{
+    steps_ += steps;
+    if (limits_.maxDecodeSteps != 0 &&
+        steps_ > limits_.maxDecodeSteps)
+    {
+        trip("decode-steps",
+             "decode-step budget exhausted (" +
+                 std::to_string(steps_) + " > " +
+                 std::to_string(limits_.maxDecodeSteps) + ")");
+    }
+    if (steps_ >= nextPoll_) {
+        nextPoll_ = steps_ + kPollInterval;
+        pollImpl();
+    }
+}
+
+void
+Governor::pollImpl()
+{
+    if (hasDeadline_ &&
+        (std::chrono::steady_clock::now() >= deadline_ ||
+         WET_FAILPOINT_HIT("support.governor.deadline")))
+    {
+        trip("timeout", "query exceeded its " +
+                            std::to_string(limits_.timeoutMs) +
+                            " ms budget");
+    }
+    if (limits_.maxResidentBytes != 0 && resident_) {
+        uint64_t r = resident_();
+        if (r > limits_.maxResidentBytes)
+            trip("resident-bytes",
+                 "artifact resident set " + std::to_string(r) +
+                     " bytes exceeds the " +
+                     std::to_string(limits_.maxResidentBytes) +
+                     "-byte budget");
+    }
+}
+
+void
+Governor::trip(const char* which, const std::string& msg)
+{
+    if (metrics_ != nullptr)
+        metrics_->add(std::string("governor.") + which + ".trips", 1);
+    // Close the window first: the throw unwinds through code that may
+    // itself decode (destructors), which must not re-trip.
+    end();
+    throw GovernorLimit(which, msg);
+}
+
+} // namespace support
+} // namespace wet

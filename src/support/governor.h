@@ -1,0 +1,128 @@
+#ifndef WET_SUPPORT_GOVERNOR_H
+#define WET_SUPPORT_GOVERNOR_H
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "support/error.h"
+
+namespace wet {
+
+/**
+ * Thrown when a per-query resource governor trips. Derives from
+ * WetError — a tripped limit is an environment/input condition, never
+ * a library bug — but stays catchable on its own so serving layers
+ * can turn it into a graceful truncation result instead of an error
+ * record.
+ */
+class GovernorLimit : public WetError
+{
+  public:
+    GovernorLimit(std::string which, const std::string& msg)
+        : WetError(msg), which_(std::move(which))
+    {
+    }
+
+    /** Which limit tripped: "decode-steps", "resident-bytes",
+     *  or "timeout". */
+    const std::string& which() const { return which_; }
+
+  private:
+    std::string which_;
+};
+
+namespace support {
+
+class Metrics;
+
+/**
+ * Per-query resource governor, enforced at the session boundary.
+ *
+ * A QuerySession::Scope begins/ends one governed window. While a
+ * window is active on the current thread, decode work anywhere below
+ * (StreamCursor machine steps) is charged against the decode-step
+ * budget through a thread-local hook, and every poll interval the
+ * governor additionally checks the wall-clock deadline and the
+ * artifact's resident-byte gauge. Query drivers may also call poll()
+ * per emitted item so cache-warm (decode-free) loops stay governed.
+ *
+ * Tripping any limit throws GovernorLimit after bumping the
+ * corresponding `governor.<limit>.trips` metric; the query's partial
+ * output stands and the serving loop reports a truncation result.
+ * With no window active the charge hook is one thread-local load.
+ */
+class Governor
+{
+  public:
+    struct Limits
+    {
+        uint64_t maxDecodeSteps = 0; //!< 0 = unlimited
+        uint64_t maxResidentBytes = 0;
+        uint64_t timeoutMs = 0;
+
+        bool
+        any() const
+        {
+            return maxDecodeSteps != 0 || maxResidentBytes != 0 ||
+                   timeoutMs != 0;
+        }
+    };
+
+    ~Governor() { end(); }
+
+    /**
+     * Open a governed window on the calling thread. @p resident
+     * samples the artifact backing's resident bytes (may be empty);
+     * @p metrics receives trip counters (may be null). Windows do not
+     * nest — begin() replaces any previous window of this governor.
+     */
+    void begin(const Limits& limits,
+               std::function<uint64_t()> resident,
+               Metrics* metrics);
+
+    /** Close the window (idempotent). */
+    void end();
+
+    /** Charge @p steps decode steps to the active window of the
+     *  calling thread, if any. Called from the codec layer. */
+    static void
+    charge(uint64_t steps)
+    {
+        if (active_ != nullptr)
+            active_->chargeImpl(steps);
+    }
+
+    /** Deadline/resident check for decode-free loops (no-op when no
+     *  window is active on this thread). */
+    static void
+    poll()
+    {
+        if (active_ != nullptr)
+            active_->pollImpl();
+    }
+
+    uint64_t steps() const { return steps_; }
+
+  private:
+    void chargeImpl(uint64_t steps);
+    void pollImpl();
+    [[noreturn]] void trip(const char* which, const std::string& msg);
+
+    Limits limits_;
+    std::function<uint64_t()> resident_;
+    Metrics* metrics_ = nullptr;
+    uint64_t steps_ = 0;
+    uint64_t nextPoll_ = 0;
+    std::chrono::steady_clock::time_point deadline_;
+    bool hasDeadline_ = false;
+    bool windowOpen_ = false;
+
+    static thread_local Governor* active_;
+};
+
+} // namespace support
+} // namespace wet
+
+#endif // WET_SUPPORT_GOVERNOR_H

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "support/failpoint.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define WET_HAVE_MMAP 1
 #include <fcntl.h>
@@ -22,6 +24,8 @@ namespace {
 bool
 readWholeFile(const std::string& path, std::vector<uint8_t>& out)
 {
+    if (WET_FAILPOINT_HIT("wetio.open.read"))
+        return false; // injected buffered-read failure
     std::ifstream in(path, std::ios::binary);
     if (!in)
         return false;
@@ -41,8 +45,19 @@ ArtifactView::open(const std::string& path,
     std::shared_ptr<ArtifactView> v(new ArtifactView());
     v->path_ = path;
 
+    if (WET_FAILPOINT_HIT("wetio.open")) {
+        // Injected whole-open failure: same report and result as a
+        // missing file, exercising every caller's null-view path.
+        diag.error("IO001", path, "cannot open file");
+        return nullptr;
+    }
+
 #if WET_HAVE_MMAP
-    if (preferred == Backend::Mmap) {
+    if (preferred == Backend::Mmap &&
+        !WET_FAILPOINT_HIT("wetio.open.mmap")) {
+        // An injected mmap failure skips this whole branch, exactly
+        // like a filesystem that cannot map: the buffered fallback
+        // below must serve identical bytes.
         int fd = ::open(path.c_str(), O_RDONLY); // NOLINT(cppcoreguidelines-pro-type-vararg)
         if (fd < 0) {
             diag.error("IO001", path, "cannot open file");

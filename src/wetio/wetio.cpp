@@ -1,13 +1,24 @@
 #include "wetio.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "analysis/artifactverifier.h"
 #include "support/error.h"
+#include "support/failpoint.h"
 #include "support/hash.h"
 #include "support/varint.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WET_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define WET_HAVE_POSIX_IO 0
+#include <cstdio>
+#endif
 
 namespace wet {
 namespace wetio {
@@ -299,6 +310,13 @@ codec::CompressedStream
 readStream(Reader& r, analysis::DiagEngine& diag,
            const std::string& loc)
 {
+    if (WET_FAILPOINT_HIT("wetio.load.stream")) {
+        // Injected stream-decode failure: reported and aborted the
+        // same way as a malformed stream, so the whole load fails
+        // cleanly through tryLoad's LoadAbort path.
+        diag.error("IO005", loc, "injected stream load fault");
+        throw LoadAbort{};
+    }
     codec::CompressedStream s;
     s.config.method = static_cast<codec::Method>(r.u());
     s.config.context = static_cast<unsigned>(r.u());
@@ -433,13 +451,91 @@ save(const std::string& path, const ir::Module& mod,
         writeStream(w, compressed.pool(i).defInst);
     }
 
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        WET_FATAL("cannot open '" << path << "' for writing");
-    out.write(reinterpret_cast<const char*>(w.bytes().data()),
-              static_cast<std::streamsize>(w.bytes().size()));
-    if (!out)
-        WET_FATAL("write to '" << path << "' failed");
+    // Crash-consistent publish: the artifact is staged as a sibling
+    // temp file, flushed to stable storage, and atomically renamed
+    // over the target. A crash (or injected fault) at any point
+    // leaves either the complete old file or the complete new file —
+    // never a partial artifact.
+    const std::string tmp = path + ".tmp";
+    struct TmpGuard
+    {
+        const std::string* p;
+        bool armed = true;
+        ~TmpGuard()
+        {
+            if (armed)
+                std::remove(p->c_str());
+        }
+    } guard{&tmp};
+
+#if WET_HAVE_POSIX_IO
+    WET_FAILPOINT("wetio.save.open");
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644); // NOLINT(cppcoreguidelines-pro-type-vararg)
+    if (fd < 0)
+        WET_FATAL("cannot open '" << tmp << "' for writing");
+    const uint8_t* p = w.bytes().data();
+    size_t left = w.bytes().size();
+    while (left > 0) {
+        WET_FAILPOINT("wetio.save.write");
+        ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            WET_FATAL("write to '" << tmp << "' failed");
+        }
+        p += n;
+        left -= static_cast<size_t>(n);
+    }
+    WET_FAILPOINT("wetio.save.fsync");
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        WET_FATAL("fsync of '" << tmp << "' failed");
+    }
+    if (::close(fd) != 0)
+        WET_FATAL("close of '" << tmp << "' failed");
+    WET_FAILPOINT("wetio.save.rename");
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        WET_FATAL("rename of '" << tmp << "' over '" << path
+                                << "' failed");
+    guard.armed = false; // published; nothing left to clean up
+    // Make the rename itself durable: without the directory fsync a
+    // power loss can forget the new directory entry even though the
+    // data blocks are safe.
+    WET_FAILPOINT("wetio.save.dirsync");
+    std::string dir = path;
+    size_t slash = dir.find_last_of('/');
+    dir = slash == std::string::npos ? std::string(".")
+                                     : dir.substr(0, slash);
+    int dfd = ::open(dir.c_str(), O_RDONLY); // NOLINT(cppcoreguidelines-pro-type-vararg)
+    if (dfd >= 0) {
+        // Some filesystems refuse directory fsync; the rename is
+        // still atomic, so a refusal is not an error.
+        (void)::fsync(dfd);
+        ::close(dfd);
+    }
+#else
+    WET_FAILPOINT("wetio.save.open");
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            WET_FATAL("cannot open '" << tmp << "' for writing");
+        WET_FAILPOINT("wetio.save.write");
+        out.write(reinterpret_cast<const char*>(w.bytes().data()),
+                  static_cast<std::streamsize>(w.bytes().size()));
+        WET_FAILPOINT("wetio.save.fsync");
+        out.flush();
+        if (!out)
+            WET_FATAL("write to '" << tmp << "' failed");
+    }
+    WET_FAILPOINT("wetio.save.rename");
+    std::remove(path.c_str()); // non-POSIX rename cannot replace
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        WET_FATAL("rename of '" << tmp << "' over '" << path
+                                << "' failed");
+    guard.armed = false;
+    WET_FAILPOINT("wetio.save.dirsync");
+#endif
 }
 
 namespace {

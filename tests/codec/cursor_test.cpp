@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "codec/encoder.h"
+#include "support/failpoint.h"
 #include "support/rng.h"
 
 namespace wet {
@@ -148,6 +149,56 @@ TEST(CursorBoundaryTest, SeekPastEndDies)
     cur.seek(3);
     EXPECT_FALSE(cur.hasNext());
     EXPECT_EQ(cur.prev(), 6);
+}
+
+// The checked sequential API: end-of-stream and past-end are clean
+// `false` returns where next()/seek() trap, and an injected decode
+// fault poisons the cursor permanently instead of leaving it
+// half-stepped.
+TEST(CursorCheckedTest, TryNextAndTrySeekBounds)
+{
+    std::vector<int64_t> v = {10, 20, 30};
+    CompressedStream s = encodeStream(v, CodecConfig{Method::Raw, 0, 0});
+    StreamCursor cur(s, StreamCursor::Mode::Bidirectional);
+    int64_t out = 0;
+    for (size_t i = 0; i < v.size(); ++i) {
+        ASSERT_TRUE(cur.tryNext(out)) << i;
+        EXPECT_EQ(out, v[i]);
+    }
+    EXPECT_FALSE(cur.tryNext(out)); // end of stream, no trap
+    EXPECT_EQ(cur.pos(), 3u);
+
+    EXPECT_FALSE(cur.trySeek(4)); // past end: refused, pos unchanged
+    EXPECT_EQ(cur.pos(), 3u);
+    EXPECT_TRUE(cur.trySeek(3)); // one-past-last stays legal
+    EXPECT_TRUE(cur.trySeek(1));
+    ASSERT_TRUE(cur.tryNext(out));
+    EXPECT_EQ(out, v[1]);
+    EXPECT_FALSE(cur.poisoned());
+}
+
+TEST(CursorCheckedTest, InjectedFaultPoisonsCursor)
+{
+    auto v = mixedStream(500, 7);
+    CompressedStream s = encodeStream(v, CodecConfig{Method::Fcm, 2, 0});
+    StreamCursor cur(s, StreamCursor::Mode::Bidirectional);
+    int64_t out = 0;
+    ASSERT_TRUE(cur.tryNext(out));
+    support::FailPoints::instance().arm("codec.cursor.step=once");
+    bool sawFalse = false;
+    for (int i = 0; i < 10 && !sawFalse; ++i)
+        sawFalse = !cur.tryNext(out);
+    support::FailPoints::instance().disarmAll();
+    ASSERT_TRUE(sawFalse) << "fault never surfaced";
+    EXPECT_TRUE(cur.poisoned());
+    // Poisoned is terminal: every checked call refuses, even ones
+    // that would otherwise succeed.
+    EXPECT_FALSE(cur.tryNext(out));
+    EXPECT_FALSE(cur.trySeek(0));
+    // A fresh cursor over the same stream is unaffected.
+    StreamCursor fresh(s, StreamCursor::Mode::Bidirectional);
+    ASSERT_TRUE(fresh.tryNext(out));
+    EXPECT_EQ(out, v[0]);
 }
 
 } // namespace

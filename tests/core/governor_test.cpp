@@ -1,0 +1,214 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/sessionverifier.h"
+#include "core/cfquery.h"
+#include "core/compressed.h"
+#include "support/failpoint.h"
+#include "testutil.h"
+
+namespace wet {
+namespace core {
+namespace {
+
+const char* kProgram = R"(
+    fn main() {
+        var s = 0;
+        for (var i = 0; i < 40; i = i + 1) {
+            mem[i % 8] = i * 3;
+            s = s + mem[i % 8];
+        }
+        out(s);
+    }
+)";
+
+/** One control-flow query under a session scope, answers collected. */
+std::vector<std::pair<NodeId, Timestamp>>
+runCf(QuerySession& s)
+{
+    std::vector<std::pair<NodeId, Timestamp>> out;
+    QuerySession::Scope scope(s, "cf");
+    ControlFlowQuery q(s.access());
+    q.extractRange(1, 40, [&out](NodeId n, Timestamp t) {
+        out.emplace_back(n, t);
+    });
+    return out;
+}
+
+/** A backing whose resident gauge is always over any sane budget. */
+struct HugeBacking : ArtifactBacking
+{
+    size_t sizeBytes() const override { return size_t{1} << 30; }
+    size_t residentBytes() const override { return size_t{1} << 30; }
+    std::string backendName() const override { return "fake"; }
+};
+
+/**
+ * Resource-governor and fault-recovery behavior of QuerySession: a
+ * tripped limit surfaces as GovernorLimit plus a trip metric, and a
+ * query that fails mid-decode quarantines its readers so the next
+ * query answers byte-identically to an undisturbed session.
+ */
+class GovernorTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        support::FailPoints::instance().disarmAll();
+        p_ = test::runPipeline(kProgram);
+        comp_ = std::make_unique<WetCompressed>(p_->graph);
+    }
+
+    void
+    TearDown() override
+    {
+        support::FailPoints::instance().disarmAll();
+    }
+
+    std::unique_ptr<test::Pipeline> p_;
+    std::unique_ptr<WetCompressed> comp_;
+};
+
+TEST_F(GovernorTest, DecodeStepBudgetTripsWithMetric)
+{
+    SessionOptions opt;
+    opt.limits.maxDecodeSteps = 1;
+    QuerySession s(*p_->module, *comp_, nullptr, opt);
+    try {
+        runCf(s);
+        FAIL() << "one decode step cannot satisfy a cf query";
+    } catch (const GovernorLimit& e) {
+        EXPECT_EQ(e.which(), "decode-steps");
+    }
+    const auto& c = s.metrics().counters();
+    EXPECT_EQ(c.at("governor.decode-steps.trips"), 1u);
+    // A governed truncation counts as a failed query at the session
+    // boundary: its readers may hold partial state.
+    EXPECT_EQ(c.at("queries.failed"), 1u);
+}
+
+TEST_F(GovernorTest, GenerousLimitsDoNotPerturbAnswers)
+{
+    QuerySession plain(*p_->module, *comp_);
+    auto want = runCf(plain);
+    ASSERT_FALSE(want.empty());
+
+    SessionOptions opt;
+    opt.limits.maxDecodeSteps = uint64_t{1} << 40;
+    opt.limits.timeoutMs = 3600 * 1000;
+    QuerySession gov(*p_->module, *comp_, nullptr, opt);
+    EXPECT_EQ(runCf(gov), want);
+    EXPECT_EQ(runCf(gov), want); // warm repeat under the same window
+    const auto& c = gov.metrics().counters();
+    EXPECT_EQ(c.count("governor.decode-steps.trips"), 0u);
+    EXPECT_EQ(c.count("governor.timeout.trips"), 0u);
+    EXPECT_EQ(c.count("queries.failed"), 0u);
+}
+
+TEST_F(GovernorTest, ResidentByteGaugeTrips)
+{
+    SessionOptions opt;
+    opt.limits.maxResidentBytes = 4096;
+    QuerySession s(*p_->module, *comp_, std::make_shared<HugeBacking>(),
+                   opt);
+    try {
+        runCf(s);
+        FAIL() << "a 1 GiB resident gauge must trip a 4 KiB budget";
+    } catch (const GovernorLimit& e) {
+        EXPECT_EQ(e.which(), "resident-bytes");
+    }
+    EXPECT_EQ(s.metrics().counters().at("governor.resident-bytes.trips"),
+              1u);
+}
+
+TEST_F(GovernorTest, DeadlineFailpointTripsTimeoutDeterministically)
+{
+    SessionOptions opt;
+    opt.limits.timeoutMs = 3600 * 1000; // only the failpoint can trip
+    QuerySession s(*p_->module, *comp_, nullptr, opt);
+    support::FailPoints::instance().arm(
+        "support.governor.deadline=once");
+    try {
+        runCf(s);
+        FAIL() << "injected deadline did not trip";
+    } catch (const GovernorLimit& e) {
+        EXPECT_EQ(e.which(), "timeout");
+    }
+    EXPECT_EQ(s.metrics().counters().at("governor.timeout.trips"), 1u);
+    // With the trigger consumed the same session serves normally.
+    QuerySession fresh(*p_->module, *comp_);
+    EXPECT_EQ(runCf(s), runCf(fresh));
+}
+
+TEST_F(GovernorTest, FailedQueryQuarantinesAndServingRecovers)
+{
+    QuerySession ref(*p_->module, *comp_);
+    auto want = runCf(ref);
+    ASSERT_FALSE(want.empty());
+    // The query below relies on a second cold miss existing.
+    ASSERT_GE(ref.cache().stats().misses, 2u);
+
+    // Fault the second stream insert of a cold cf query: the first
+    // reader is already warm and touched, so the unwind must retire
+    // it — it may hold partial state from the aborted query.
+    QuerySession s(*p_->module, *comp_);
+    support::FailPoints::instance().arm("core.cache.insert=nth:2");
+    EXPECT_THROW(runCf(s), WetError);
+    support::FailPoints::instance().disarmAll();
+
+    // The failed query's readers were retired, the boundary purge ran,
+    // and the cache invariants hold.
+    EXPECT_GT(s.cache().stats().quarantined, 0u);
+    EXPECT_EQ(s.cache().graveyardSize(), 0u);
+    analysis::DiagEngine diag;
+    EXPECT_TRUE(
+        analysis::verifySessionCache(s.cache(), "governor_test", diag))
+        << diag.renderText();
+
+    // Subsequent serving is byte-identical to the pre-fault answers.
+    EXPECT_EQ(runCf(s), want);
+    EXPECT_EQ(runCf(s), want);
+    EXPECT_GE(s.metrics().counters().at("queries.failed"), 1u);
+}
+
+/** Minimal reader for driving the cache verifier directly. */
+class StubReader : public SeqReader
+{
+  public:
+    uint64_t length() const override { return 1; }
+    int64_t at(uint64_t) override { return 0; }
+};
+
+TEST_F(GovernorTest, SessionVerifierFlagsLeftoverGraveyard)
+{
+    StreamCache cache(4);
+    auto make = [] { return std::make_unique<StubReader>(); };
+    cache.get(1, make);
+    cache.get(2, make);
+    analysis::DiagEngine clean;
+    EXPECT_TRUE(analysis::verifySessionCache(cache, "t", clean))
+        << clean.renderText();
+
+    // A quarantine without the boundary purge is exactly the state
+    // SES002 exists to catch.
+    cache.quarantineTouched();
+    ASSERT_GT(cache.graveyardSize(), 0u);
+    analysis::DiagEngine diag;
+    EXPECT_FALSE(analysis::verifySessionCache(cache, "t", diag));
+    EXPECT_TRUE(diag.hasRule("SES002")) << diag.renderText();
+    cache.purge();
+    analysis::DiagEngine after;
+    EXPECT_TRUE(analysis::verifySessionCache(cache, "t", after))
+        << after.renderText();
+}
+
+} // namespace
+} // namespace core
+} // namespace wet

@@ -1,0 +1,151 @@
+#include "support/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace wet {
+namespace support {
+namespace {
+
+/**
+ * Unit tests for the failpoint framework itself: spec parsing, the
+ * trigger modes, the closed registry, and the macro semantics. Every
+ * test starts and ends disarmed so no trigger can leak into another
+ * suite sharing the process.
+ */
+class FailPointTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { FailPoints::instance().disarmAll(); }
+    void TearDown() override { FailPoints::instance().disarmAll(); }
+};
+
+TEST_F(FailPointTest, RegistryIsSortedAndClosed)
+{
+    std::vector<std::string> sites = FailPoints::registry();
+    ASSERT_FALSE(sites.empty());
+    EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+    EXPECT_EQ(std::adjacent_find(sites.begin(), sites.end()),
+              sites.end());
+    // Anchor the sites the cmake sweeps special-case; renaming one
+    // must be a conscious decision that updates the sweeps too.
+    for (const char* s :
+         {"codec.cursor.step", "wetio.open.mmap", "wetio.save.rename",
+          "wetio.save.dirsync", "support.governor.deadline"})
+        EXPECT_TRUE(std::binary_search(sites.begin(), sites.end(),
+                                       std::string(s)))
+            << s;
+}
+
+TEST_F(FailPointTest, MalformedSpecsAreRejected)
+{
+    FailPoints& fp = FailPoints::instance();
+    EXPECT_THROW(fp.arm("no.such.site=once"), WetError);
+    EXPECT_THROW(fp.arm("codec.cursor.step"), WetError);
+    EXPECT_THROW(fp.arm("=once"), WetError);
+    EXPECT_THROW(fp.arm("codec.cursor.step=bogus"), WetError);
+    EXPECT_THROW(fp.arm("codec.cursor.step=nth:0"), WetError);
+    EXPECT_THROW(fp.arm("codec.cursor.step=nth:x"), WetError);
+    EXPECT_THROW(fp.arm("codec.cursor.step=crash-nth:"), WetError);
+    EXPECT_THROW(fp.arm("codec.cursor.step=prob:50"), WetError);
+    EXPECT_THROW(fp.arm("codec.cursor.step=prob:101:1"), WetError);
+    // Nothing may be left armed by a rejected spec.
+    EXPECT_FALSE(FailPoints::anyArmed());
+}
+
+TEST_F(FailPointTest, OnceFiresThenSelfDisarms)
+{
+    FailPoints& fp = FailPoints::instance();
+    ASSERT_FALSE(FailPoints::anyArmed());
+    fp.arm("core.session.query=once");
+    EXPECT_TRUE(FailPoints::anyArmed());
+    EXPECT_THROW(WET_FAILPOINT("core.session.query"), WetError);
+    // The trigger consumed itself: the fast gate is closed again and
+    // further hits are free no-ops that are not even counted.
+    EXPECT_FALSE(FailPoints::anyArmed());
+    WET_FAILPOINT("core.session.query");
+    EXPECT_EQ(fp.trips("core.session.query"), 1u);
+    EXPECT_EQ(fp.hits("core.session.query"), 1u);
+}
+
+TEST_F(FailPointTest, NthFiresOnExactlyOneHit)
+{
+    FailPoints& fp = FailPoints::instance();
+    fp.arm("core.cache.evict=nth:3");
+    EXPECT_FALSE(WET_FAILPOINT_HIT("core.cache.evict"));
+    EXPECT_FALSE(WET_FAILPOINT_HIT("core.cache.evict"));
+    EXPECT_TRUE(WET_FAILPOINT_HIT("core.cache.evict"));
+    EXPECT_FALSE(WET_FAILPOINT_HIT("core.cache.evict"));
+    EXPECT_EQ(fp.hits("core.cache.evict"), 4u);
+    EXPECT_EQ(fp.trips("core.cache.evict"), 1u);
+    // An armed site never leaks onto its neighbours.
+    EXPECT_FALSE(WET_FAILPOINT_HIT("core.cache.insert"));
+}
+
+TEST_F(FailPointTest, ProbPatternIsDeterministicPerSeed)
+{
+    FailPoints& fp = FailPoints::instance();
+    auto pattern = [&fp] {
+        std::vector<bool> v;
+        for (int i = 0; i < 64; ++i)
+            v.push_back(fp.fired("codec.cursor.step"));
+        return v;
+    };
+    fp.arm("codec.cursor.step=prob:50:9");
+    std::vector<bool> a = pattern();
+    fp.disarmAll();
+    fp.arm("codec.cursor.step=prob:50:9");
+    EXPECT_EQ(pattern(), a);
+    // At 50% over 64 draws both outcomes must appear.
+    EXPECT_NE(std::find(a.begin(), a.end(), true), a.end());
+    EXPECT_NE(std::find(a.begin(), a.end(), false), a.end());
+
+    fp.disarmAll();
+    fp.arm("codec.cursor.step=prob:0:9");
+    for (int i = 0; i < 32; ++i)
+        EXPECT_FALSE(fp.fired("codec.cursor.step"));
+    fp.disarmAll();
+    fp.arm("codec.cursor.step=prob:100:9");
+    for (int i = 0; i < 32; ++i)
+        EXPECT_TRUE(fp.fired("codec.cursor.step"));
+}
+
+TEST_F(FailPointTest, OffDisarmsOneSiteAndDisarmAllResets)
+{
+    FailPoints& fp = FailPoints::instance();
+    fp.arm("codec.cursor.step=nth:5,core.cache.insert=once");
+    EXPECT_TRUE(FailPoints::anyArmed());
+    fp.arm("codec.cursor.step=off");
+    EXPECT_TRUE(FailPoints::anyArmed()); // insert is still armed
+    EXPECT_FALSE(WET_FAILPOINT_HIT("codec.cursor.step"));
+    fp.arm("core.cache.insert=off");
+    EXPECT_FALSE(FailPoints::anyArmed());
+    fp.arm("core.cache.insert=once");
+    fp.disarmAll();
+    EXPECT_FALSE(FailPoints::anyArmed());
+    EXPECT_EQ(fp.hits("codec.cursor.step"), 0u);
+    EXPECT_EQ(fp.trips("core.cache.insert"), 0u);
+}
+
+TEST_F(FailPointTest, CheckThrowsWithTheSiteName)
+{
+    FailPoints::instance().arm("wetio.load.stream=once");
+    try {
+        WET_FAILPOINT("wetio.load.stream");
+        FAIL() << "armed failpoint did not throw";
+    } catch (const WetError& e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "injected fault at wetio.load.stream"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace
+} // namespace support
+} // namespace wet

@@ -2,10 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <string>
 #include <vector>
+
+#if defined(__linux__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 #include "analysis/artifactverifier.h"
 #include "analysis/wetverifier.h"
@@ -274,6 +281,97 @@ TEST_F(CorruptWetxTest, BitFlipSweepNeverCrashes)
         }
     }
 }
+
+/** The wet_cli binary built next to this test, or "" if absent. */
+std::string
+cliPath()
+{
+#if defined(__linux__)
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "";
+    buf[n] = '\0';
+    std::string exe(buf);
+    size_t slash = exe.rfind('/');
+    if (slash == std::string::npos)
+        return "";
+    std::string cli = exe.substr(0, slash) + "/../tools/wet_cli";
+    return ::access(cli.c_str(), X_OK) == 0 ? cli : "";
+#else
+    return "";
+#endif
+}
+
+#if defined(__linux__)
+TEST_F(CorruptWetxTest, CliBatchBitFlipSweepStaysGoverned)
+{
+    // End-to-end robustness: drive every bit-flipped artifact through
+    // `wet_cli query` batch serving. Whatever the flip does — clean
+    // load, diagnosed reject, or a mid-query decode fault — the CLI
+    // must exit inside its documented 0..5 contract, never on a
+    // signal or an abort.
+    std::string cli = cliPath();
+    if (cli.empty())
+        GTEST_SKIP() << "wet_cli not built next to the test binary";
+
+    const std::string prog =
+        ::testing::TempDir() + "corrupt_cli_prog.wet";
+    const std::string batch =
+        ::testing::TempDir() + "corrupt_cli_batch.txt";
+    {
+        std::ofstream p(prog);
+        p << kProgram;
+    }
+    {
+        std::ofstream b(batch);
+        b << "cf --from 1 --count 3\ndepcheck\n";
+    }
+    auto runCli = [&] {
+        std::string cmd = "'" + cli + "' query '" + prog + "' '" +
+                          path_ + "' --input '" + batch +
+                          "' >/dev/null 2>&1";
+        return std::system(cmd.c_str());
+    };
+    auto writeBytes = [&] {
+        std::ofstream out(path_,
+                          std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char*>(bytes_.data()),
+                  static_cast<std::streamsize>(bytes_.size()));
+    };
+
+    // Harness sanity: the pristine artifact must serve cleanly, or
+    // every flip below would pass vacuously on a setup error.
+    const std::vector<uint8_t> pristine = bytes_;
+    writeBytes();
+    int st = runCli();
+    ASSERT_NE(st, -1);
+    ASSERT_TRUE(WIFEXITED(st));
+    ASSERT_EQ(WEXITSTATUS(st), 0) << "pristine artifact did not serve";
+
+    size_t positions = 13; // each position is one process spawn
+    if (const char* env = std::getenv("FUZZ_ITERS")) {
+        unsigned long v = std::strtoul(env, nullptr, 10);
+        if (v > 0 && v <= 1000000)
+            positions = std::min<size_t>(v, pristine.size());
+    }
+    for (size_t pos = 0; pos < pristine.size();
+         pos += pristine.size() / positions + 1)
+    {
+        bytes_ = pristine;
+        bytes_[pos] ^= 0x04;
+        writeBytes();
+        st = runCli();
+        ASSERT_NE(st, -1);
+        ASSERT_TRUE(WIFEXITED(st))
+            << "CLI died on a signal for a flip at byte " << pos;
+        EXPECT_LE(WEXITSTATUS(st), 5)
+            << "exit escaped the 0..5 contract at byte " << pos;
+    }
+    std::remove(prog.c_str());
+    std::remove(batch.c_str());
+}
+#endif // __linux__
 
 } // namespace
 } // namespace wetio

@@ -1,0 +1,167 @@
+#include "wetio/wetio.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/access.h"
+#include "core/cfquery.h"
+#include "core/compressed.h"
+#include "support/failpoint.h"
+#include "testutil.h"
+
+namespace wet {
+namespace wetio {
+namespace {
+
+const char* kProgram = R"(
+    fn main() {
+        var s = 0;
+        for (var i = 0; i < 30; i = i + 1) {
+            mem[i % 4] = i * 7;
+            s = s + mem[i % 4];
+        }
+        out(s);
+    }
+)";
+
+/** Control-flow answers served straight off a loaded artifact. */
+std::vector<std::pair<core::NodeId, core::Timestamp>>
+cfAnswers(const LoadedWet& w, const ir::Module& mod)
+{
+    std::vector<std::pair<core::NodeId, core::Timestamp>> out;
+    core::WetAccess acc(*w.compressed, mod);
+    core::ControlFlowQuery q(acc);
+    q.extractRange(1, 30, [&out](core::NodeId n, core::Timestamp t) {
+        out.emplace_back(n, t);
+    });
+    return out;
+}
+
+/**
+ * Satellite of the fault-injection PR: a forced mmap failure must
+ * degrade to the buffered backend with no diagnostic, identical
+ * bytes, identical query answers, and identical reject behavior for
+ * corrupt input — the backend choice may never be observable in the
+ * results.
+ */
+class FallbackTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        support::FailPoints::instance().disarmAll();
+        path_ = ::testing::TempDir() + "fallback_test.wetx";
+        p_ = test::runPipeline(kProgram);
+        compressed_ =
+            std::make_unique<core::WetCompressed>(p_->graph);
+        save(path_, *p_->module, p_->graph, *compressed_);
+    }
+
+    void
+    TearDown() override
+    {
+        support::FailPoints::instance().disarmAll();
+        std::remove(path_.c_str());
+    }
+
+    std::string path_;
+    std::unique_ptr<test::Pipeline> p_;
+    std::unique_ptr<core::WetCompressed> compressed_;
+};
+
+TEST_F(FallbackTest, MmapFaultFallsBackToIdenticalBufferedBytes)
+{
+    analysis::DiagEngine diag;
+    auto mapped =
+        ArtifactView::open(path_, diag, ArtifactView::Backend::Mmap);
+    ASSERT_TRUE(mapped) << diag.renderText();
+    ASSERT_EQ(mapped->backendName(), "mmap");
+
+    support::FailPoints::instance().arm("wetio.open.mmap=once");
+    auto fallback =
+        ArtifactView::open(path_, diag, ArtifactView::Backend::Mmap);
+    ASSERT_TRUE(fallback) << diag.renderText();
+    EXPECT_EQ(diag.errorCount(), 0u); // a degrade, not an error
+    EXPECT_EQ(fallback->backendName(), "buffered");
+    ASSERT_EQ(fallback->size(), mapped->size());
+    EXPECT_EQ(std::memcmp(fallback->data(), mapped->data(),
+                          fallback->size()),
+              0);
+    // Buffered means fully resident on load, by definition.
+    EXPECT_EQ(fallback->residentBytes(), fallback->sizeBytes());
+}
+
+TEST_F(FallbackTest, LoadThroughFallbackServesIdenticalAnswers)
+{
+    analysis::DiagEngine diag;
+    LoadedWet viaMmap = tryLoad(path_, *p_->module, diag);
+    ASSERT_TRUE(viaMmap.graph && viaMmap.compressed)
+        << diag.renderText();
+    ASSERT_EQ(viaMmap.backing->backendName(), "mmap");
+
+    support::FailPoints::instance().arm("wetio.open.mmap=once");
+    LoadedWet viaFallback = tryLoad(path_, *p_->module, diag);
+    ASSERT_TRUE(viaFallback.graph && viaFallback.compressed)
+        << diag.renderText();
+    EXPECT_EQ(viaFallback.backing->backendName(), "buffered");
+    EXPECT_EQ(diag.errorCount(), 0u);
+
+    auto a = cfAnswers(viaMmap, *p_->module);
+    auto b = cfAnswers(viaFallback, *p_->module);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(FallbackTest, CorruptFileRejectedIdenticallyUnderFallback)
+{
+    // Damage the magic; both paths must refuse with the same rule.
+    std::ifstream in(path_, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_FALSE(bytes.empty());
+    bytes[0] ^= 0x01;
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    out.close();
+
+    analysis::DiagEngine viaBuffered;
+    LoadedWet a = tryLoad(path_, *p_->module, viaBuffered,
+                          ArtifactView::Backend::Buffered);
+    EXPECT_FALSE(a.graph);
+    EXPECT_TRUE(viaBuffered.hasRule("IO001"))
+        << viaBuffered.renderText();
+
+    support::FailPoints::instance().arm("wetio.open.mmap=once");
+    analysis::DiagEngine viaFallback;
+    LoadedWet b = tryLoad(path_, *p_->module, viaFallback);
+    EXPECT_FALSE(b.graph);
+    EXPECT_TRUE(viaFallback.hasRule("IO001"))
+        << viaFallback.renderText();
+}
+
+TEST_F(FallbackTest, OpenAndReadFaultsReportIO001)
+{
+    support::FailPoints::instance().arm("wetio.open=once");
+    analysis::DiagEngine openDiag;
+    EXPECT_FALSE(ArtifactView::open(path_, openDiag));
+    EXPECT_TRUE(openDiag.hasRule("IO001")) << openDiag.renderText();
+
+    support::FailPoints::instance().arm("wetio.open.read=once");
+    analysis::DiagEngine readDiag;
+    EXPECT_FALSE(ArtifactView::open(path_, readDiag,
+                                    ArtifactView::Backend::Buffered));
+    EXPECT_TRUE(readDiag.hasRule("IO001")) << readDiag.renderText();
+}
+
+} // namespace
+} // namespace wetio
+} // namespace wet

@@ -132,3 +132,70 @@ foreach(needle "{\"backend\":\"mmap\"" "\"counters\""
                 "${json_line}")
     endif()
 endforeach()
+
+# Poisoned batch: bad lines become `error: line:<n>:` records on
+# stderr (1-based input line numbers — comments and blanks count),
+# the good lines' stdout is untouched, and the exit code is the worst
+# per-line category (usage error 2 here).
+set(poison_file ${SCRATCH}/poison.txt)
+file(WRITE ${poison_file}
+    "# poisoned batch\n"
+    "cf --from 1 --count 5\n"
+    "values --stmt\n"
+    "bogus --x 1\n"
+    "values --stmt 12 --limit 4\n")
+execute_process(
+    COMMAND ${CLI} query ${SAMPLE} ${out} --input ${poison_file}
+    RESULT_VARIABLE poison_rc
+    OUTPUT_VARIABLE poison_out
+    ERROR_VARIABLE poison_err)
+if(NOT poison_rc EQUAL 2)
+    message(FATAL_ERROR
+            "poisoned batch: expected worst exit 2, got "
+            "${poison_rc}")
+endif()
+foreach(needle "error: line:3:" "error: line:4:")
+    string(FIND "${poison_err}" "${needle}" found)
+    if(found EQUAL -1)
+        message(FATAL_ERROR
+                "poisoned batch stderr is missing '${needle}':\n"
+                "${poison_err}")
+    endif()
+endforeach()
+if(poison_err MATCHES "error: line:(2|5):")
+    message(FATAL_ERROR
+            "poisoned batch reported an error for a good line:\n"
+            "${poison_err}")
+endif()
+execute_process(
+    COMMAND ${CLI} cf ${SAMPLE} ${out} --from 1 --count 5
+    OUTPUT_VARIABLE good_cf ERROR_QUIET)
+execute_process(
+    COMMAND ${CLI} values ${SAMPLE} ${out} --stmt 12 --limit 4
+    OUTPUT_VARIABLE good_vals ERROR_QUIET)
+if(NOT poison_out STREQUAL "${good_cf}${good_vals}")
+    message(FATAL_ERROR
+            "poisoned batch perturbed the good lines' stdout:\n"
+            "${poison_out}")
+endif()
+
+# Governed batch: an exhausted decode-step budget truncates each
+# query gracefully (marker line on stdout, exit 0) instead of
+# erroring.
+execute_process(
+    COMMAND ${CLI} query ${SAMPLE} ${out} --input ${batch_file}
+            --max-decode-steps 1
+    RESULT_VARIABLE gov_rc
+    OUTPUT_VARIABLE gov_out
+    ERROR_QUIET)
+if(NOT gov_rc EQUAL 0)
+    message(FATAL_ERROR
+            "governed batch: expected exit 0, got ${gov_rc}")
+endif()
+string(FIND "${gov_out}" "(truncated by governor: decode-steps)"
+       found)
+if(found EQUAL -1)
+    message(FATAL_ERROR
+            "governed batch is missing the truncation marker:\n"
+            "${gov_out}")
+endif()

@@ -1,0 +1,81 @@
+#!/bin/sh
+# Lint: keep the error-handling split honest.
+#
+#  1. Input-facing layers (src/wetio, src/lang) must report bad input
+#     with WET_FATAL (recoverable WetError), never WET_ASSERT (panic).
+#     A WET_ASSERT there needs an explicit `// LINT: internal` tag on
+#     its first line certifying the condition cannot be reached from
+#     any input.
+#  2. Nothing outside src/support may call abort() directly — the
+#     panic path is WET_ASSERT, so every abort is greppable and the
+#     fault-injection sweep can prove queries never reach one.
+#  3. The failpoint site names used by WET_FAILPOINT/WET_FAILPOINT_HIT
+#     in the source must be exactly the closed registry in
+#     src/support/failpoint.cpp (between the failpoint-registry
+#     markers): no unregistered sites, no dead registry entries.
+#
+# Usage: tools/check_error_split.sh [repo-root]   (exit 0 = clean)
+
+set -u
+root=${1:-$(dirname "$0")/..}
+cd "$root" || exit 2
+fail=0
+
+# --- 1. WET_ASSERT in input-facing layers ---------------------------
+bad_asserts=$(grep -rn "WET_ASSERT" src/wetio src/lang \
+    --include='*.cpp' --include='*.h' 2>/dev/null |
+    grep -v "LINT: internal")
+if [ -n "$bad_asserts" ]; then
+    echo "error: WET_ASSERT in an input-facing layer (use WET_FATAL,"
+    echo "or tag the line '// LINT: internal' if unreachable from"
+    echo "input):"
+    echo "$bad_asserts"
+    fail=1
+fi
+
+# --- 2. raw abort() outside support ---------------------------------
+bad_aborts=$(grep -rn "[^a-zA-Z_]abort[[:space:]]*(" src tools \
+    --include='*.cpp' --include='*.h' 2>/dev/null |
+    grep -v "^src/support/" | grep -v "LoadAbort")
+if [ -n "$bad_aborts" ]; then
+    echo "error: raw abort() outside src/support (panic via"
+    echo "WET_ASSERT instead):"
+    echo "$bad_aborts"
+    fail=1
+fi
+
+# --- 3. failpoint registry <-> source bijection ---------------------
+registry=$(sed -n '/failpoint-registry-begin/,/failpoint-registry-end/p' \
+    src/support/failpoint.cpp |
+    sed -n 's/^[[:space:]]*"\([^"]*\)",$/\1/p' | sort -u)
+used=$(grep -rhoE 'WET_FAILPOINT(_HIT)?\("[^"]+"\)' src tools \
+    --include='*.cpp' --include='*.h' 2>/dev/null |
+    sed 's/.*("\([^"]*\)").*/\1/' | sort -u)
+if [ -z "$registry" ]; then
+    echo "error: could not extract the failpoint registry"
+    fail=1
+fi
+unregistered=$(printf '%s\n' "$used" |
+    grep -vxF -f /dev/fd/3 3<<EOF
+$registry
+EOF
+)
+dead=$(printf '%s\n' "$registry" |
+    grep -vxF -f /dev/fd/3 3<<EOF
+$used
+EOF
+)
+if [ -n "$unregistered" ]; then
+    echo "error: failpoint sites used but not registered in" \
+         "src/support/failpoint.cpp:"
+    echo "$unregistered"
+    fail=1
+fi
+if [ -n "$dead" ]; then
+    echo "error: registered failpoint sites with no source use:"
+    echo "$dead"
+    fail=1
+fi
+
+[ "$fail" -eq 0 ] && echo "error-split lint: OK"
+exit $fail

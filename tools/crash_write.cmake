@@ -1,0 +1,84 @@
+# Injected-crash write sweep: simulate a power cut (_Exit, no flush)
+# at every stage of the artifact save and prove the target path always
+# holds either the complete old artifact or the complete new one —
+# never a partial file. Old and new are built at different scales so
+# their bytes differ; --threads 1 keeps each byte-deterministic.
+#
+# Expects: CLI (wet_cli path), SAMPLE (program source), SCRATCH
+# (scratch directory).
+
+file(MAKE_DIRECTORY ${SCRATCH})
+set(old_ref ${SCRATCH}/crash_old.wetx)
+set(new_ref ${SCRATCH}/crash_new.wetx)
+set(target ${SCRATCH}/crash_target.wetx)
+
+execute_process(
+    COMMAND ${CLI} run ${SAMPLE} --scale 500 --threads 1
+            --save ${old_ref}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "old reference build failed (${rc})")
+endif()
+execute_process(
+    COMMAND ${CLI} run ${SAMPLE} --scale 1000 --threads 1
+            --save ${new_ref}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "new reference build failed (${rc})")
+endif()
+file(READ ${old_ref} old_bytes HEX)
+file(READ ${new_ref} new_bytes HEX)
+if(old_bytes STREQUAL new_bytes)
+    message(FATAL_ERROR "references must differ for the sweep to "
+                        "discriminate old from new")
+endif()
+
+execute_process(
+    COMMAND ${CLI} failpoints
+    RESULT_VARIABLE rc OUTPUT_VARIABLE site_list ERROR_QUIET)
+string(REPLACE "\n" ";" sites "${site_list}")
+
+foreach(site ${sites})
+    if(NOT site MATCHES "^wetio\\.save\\.")
+        continue()
+    endif()
+    # Fresh old artifact in place, then crash mid-overwrite.
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E copy ${old_ref} ${target})
+    file(REMOVE ${target}.tmp)
+    execute_process(
+        COMMAND ${CLI} run ${SAMPLE} --scale 1000 --threads 1
+                --save ${target} --failpoints ${site}=crash-nth:1
+        RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+    if(NOT rc EQUAL 134)
+        message(FATAL_ERROR
+                "${site}: expected the simulated-crash exit 134, "
+                "got ${rc}")
+    endif()
+    if(NOT EXISTS ${target})
+        message(FATAL_ERROR
+                "${site}: crash lost the pre-existing artifact")
+    endif()
+    file(READ ${target} got HEX)
+    if(got STREQUAL old_bytes)
+        set(survivor "old")
+    elseif(got STREQUAL new_bytes)
+        set(survivor "new")
+    else()
+        message(FATAL_ERROR
+                "${site}: crash left a partial artifact (matches "
+                "neither the old nor the new reference)")
+    endif()
+    # The survivor must load and verify clean end to end.
+    execute_process(
+        COMMAND ${CLI} verify ${SAMPLE} ${target}
+        RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "${site}: surviving ${survivor} artifact fails "
+                "verification (${rc})")
+    endif()
+    message(STATUS "${site}: crash leaves the ${survivor} artifact")
+endforeach()
+
+message(STATUS "crash write sweep: OK")

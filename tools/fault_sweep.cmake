@@ -1,0 +1,179 @@
+# Fault-injection sweep: arm every registered failpoint in turn and
+# prove the CLI never aborts — every outcome is a governed exit code
+# (0..5), and after a mid-batch fault the session keeps serving
+# byte-identical answers (the batch ends with a fixed verification
+# query whose output must equal a fresh session's, byte for byte).
+# A final chaos pass arms every site probabilistically with a
+# deterministic seed and only requires governed exits.
+#
+# Expects: CLI (wet_cli path), SAMPLE (program source), SCRATCH
+# (scratch directory), SEED (chaos-pass RNG seed).
+
+file(MAKE_DIRECTORY ${SCRATCH})
+set(wetx ${SCRATCH}/sweep.wetx)
+
+execute_process(
+    COMMAND ${CLI} run ${SAMPLE} --save ${wetx}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "artifact build failed (${rc})")
+endif()
+
+# The stress batch touches every query engine plus cache eviction
+# (--cache 2 below), and ends with the verification query whose
+# output is pinned against a fresh session.
+set(batch ${SCRATCH}/sweep_batch.txt)
+file(WRITE ${batch}
+    "values --stmt 12 --limit 4\n"
+    "slice main:12:3\n"
+    "cf --from 1 --count 5\n"
+    "addr --stmt 12 --limit 4\n"
+    "slice main:5 --engine decode\n"
+    "depcheck\n"
+    "cf --from 1 --count 3\n")
+
+# Fresh-session output of the verification query: the sweep requires
+# every faulted batch's stdout to end with exactly these bytes.
+execute_process(
+    COMMAND ${CLI} cf ${SAMPLE} ${wetx} --from 1 --count 3
+    RESULT_VARIABLE rc OUTPUT_VARIABLE fresh ERROR_QUIET)
+if(NOT rc EQUAL 0 OR fresh STREQUAL "")
+    message(FATAL_ERROR "verification query failed fresh (${rc})")
+endif()
+
+execute_process(
+    COMMAND ${CLI} failpoints
+    RESULT_VARIABLE rc OUTPUT_VARIABLE site_list ERROR_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "wet_cli failpoints failed (${rc})")
+endif()
+string(REPLACE "\n" ";" sites "${site_list}")
+
+# require_governed(<rc> <what>): abort-free means an exit code in the
+# documented 0..5 contract — a signal death (>=128) or an assert
+# abort is a sweep failure.
+function(require_governed rc what)
+    if(rc GREATER 5 OR rc LESS 0)
+        message(FATAL_ERROR
+                "${what}: exit ${rc} escapes the 0..5 contract "
+                "(process died ungoverned)")
+    endif()
+endfunction()
+
+foreach(site ${sites})
+    if(site STREQUAL "")
+        continue()
+    endif()
+    if(site MATCHES "^wetio\\.save\\.")
+        # Save-path faults: the write must fail with the I/O exit
+        # code and leave no partial target behind.
+        set(target ${SCRATCH}/sweep_save.wetx)
+        file(REMOVE ${target} ${target}.tmp)
+        execute_process(
+            COMMAND ${CLI} run ${SAMPLE} --save ${target}
+                    --failpoints ${site}=once
+            RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+        require_governed(${rc} "save fault ${site}")
+        if(site STREQUAL "wetio.save.dirsync")
+            # The fault fires after the atomic publish: the command
+            # fails but the complete artifact is already in place.
+            if(NOT rc EQUAL 5 OR NOT EXISTS ${target})
+                message(FATAL_ERROR
+                        "${site}: expected exit 5 with the published "
+                        "artifact intact, got ${rc}")
+            endif()
+        elseif(NOT rc EQUAL 5 OR EXISTS ${target})
+            message(FATAL_ERROR
+                    "${site}: expected exit 5 and no partial "
+                    "artifact, got ${rc}")
+        endif()
+    elseif(site STREQUAL "wetio.open.mmap")
+        # Degrade site: mmap failure falls back to the buffered
+        # backend; answers must not change at all.
+        execute_process(
+            COMMAND ${CLI} query ${SAMPLE} ${wetx} --input ${batch}
+                    --cache 2 --failpoints ${site}=once
+            RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+        execute_process(
+            COMMAND ${CLI} query ${SAMPLE} ${wetx} --input ${batch}
+                    --cache 2
+            RESULT_VARIABLE base_rc OUTPUT_VARIABLE base ERROR_QUIET)
+        if(NOT rc EQUAL 0 OR NOT out STREQUAL base)
+            message(FATAL_ERROR
+                    "${site}: buffered fallback changed the answers "
+                    "(exit ${rc})")
+        endif()
+    elseif(site MATCHES "^wetio\\.(open|load)")
+        # Load-path faults kill the whole load: I/O exit, no serving.
+        # wetio.open.read only runs on the buffered path.
+        execute_process(
+            COMMAND ${CLI} query ${SAMPLE} ${wetx} --input ${batch}
+                    --io buffered --failpoints ${site}=once
+            RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+        if(NOT rc EQUAL 5)
+            message(FATAL_ERROR
+                    "${site}: expected I/O exit 5, got ${rc}")
+        endif()
+    elseif(site STREQUAL "support.governor.deadline")
+        # Only polled under an armed deadline; must surface as a
+        # graceful timeout truncation, not an error.
+        execute_process(
+            COMMAND ${CLI} cf ${SAMPLE} ${wetx} --from 1 --count 5
+                    --timeout-ms 1000000 --failpoints ${site}=once
+            RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+        if(NOT rc EQUAL 0 OR
+           NOT out MATCHES "truncated by governor: timeout")
+            message(FATAL_ERROR
+                    "${site}: expected a timeout truncation, got "
+                    "exit ${rc}:\n${out}")
+        endif()
+    else()
+        # Serving-path faults: the batch may lose the faulted line
+        # but the process must stay up and the final verification
+        # query must answer byte-identically to a fresh session.
+        execute_process(
+            COMMAND ${CLI} query ${SAMPLE} ${wetx} --input ${batch}
+                    --cache 2 --failpoints ${site}=once
+            RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+        require_governed(${rc} "serving fault ${site}")
+        string(LENGTH "${out}" out_len)
+        string(LENGTH "${fresh}" fresh_len)
+        if(out_len LESS fresh_len)
+            message(FATAL_ERROR
+                    "${site}: batch output shorter than the "
+                    "verification query alone")
+        endif()
+        math(EXPR tail_at "${out_len} - ${fresh_len}")
+        string(SUBSTRING "${out}" ${tail_at} -1 tail)
+        if(NOT tail STREQUAL fresh)
+            message(FATAL_ERROR
+                    "${site}: post-fault serving diverged from a "
+                    "fresh session:\n--- got tail:\n${tail}\n"
+                    "--- want:\n${fresh}")
+        endif()
+    endif()
+endforeach()
+
+# Chaos pass: every serving-path site armed probabilistically with a
+# deterministic seed. Any governed exit is fine; dying on a signal or
+# leaking (the CI job runs this under ASan) is not.
+set(chaos "")
+foreach(site ${sites})
+    if(site STREQUAL "" OR site MATCHES "^wetio\\.save\\." OR
+       site MATCHES "^wetio\\.(open|load)")
+        continue()
+    endif()
+    if(NOT chaos STREQUAL "")
+        string(APPEND chaos ",")
+    endif()
+    string(APPEND chaos "${site}=prob:25:${SEED}")
+endforeach()
+foreach(round RANGE 1 3)
+    execute_process(
+        COMMAND ${CLI} query ${SAMPLE} ${wetx} --input ${batch}
+                --cache 2 --failpoints ${chaos}
+        RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+    require_governed(${rc} "chaos round ${round} (seed ${SEED})")
+endforeach()
+
+message(STATUS "fault sweep (seed ${SEED}): OK")

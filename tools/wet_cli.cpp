@@ -16,6 +16,7 @@
  *   wet_cli depcheck prog.wet file.wetx [--json]
  *   wet_cli query prog.wet file.wetx [--input FILE] [--cache N]
  *                 [--stats] [--stats-json]
+ *   wet_cli failpoints
  *
  * The query command serves a batch of newline-delimited queries (the
  * other commands' grammar: `cf --from 1 --count 20`, `values --stmt
@@ -28,6 +29,23 @@
  * metrics (per-query latency, cache hits/misses, streams touched,
  * bytes faulted in) to stderr; --stats-json appends them to stdout
  * as one JSON line.
+ *
+ * In batch mode a line that fails is reported to stderr as
+ * `error: line:<n>: <message>` (1-based input line number); the
+ * session quarantines the cache readers that line touched and keeps
+ * serving — later lines answer byte-identically to a fresh session.
+ * The process exit code is the worst per-line category.
+ *
+ * Resource governors bound each query: --max-decode-steps N,
+ * --max-resident-bytes N, and --timeout-ms N. A query that trips a
+ * governor keeps its partial output, appends a line
+ * `(truncated by governor: <which>)`, counts a
+ * `governor.<which>.trips` metric, and exits 0 — truncation is a
+ * result, not an error.
+ *
+ * --failpoints SPEC (or the WET_FAILPOINTS environment variable) arms
+ * fault-injection sites for robustness testing; `wet_cli failpoints`
+ * lists every site. See src/support/failpoint.h for the spec grammar.
  *
  * All artifact-reading commands accept --io mmap|buffered to select
  * the load backend (the parse is backend-invariant by construction).
@@ -75,6 +93,8 @@
 #include "core/valuequery.h"
 #include "interp/interpreter.h"
 #include "lang/codegen.h"
+#include "support/failpoint.h"
+#include "support/governor.h"
 #include "support/sizes.h"
 #include "support/threadpool.h"
 #include "support/timer.h"
@@ -125,6 +145,11 @@ struct Args
     uint64_t cacheCap = 0;     //!< session cursor-cache bound
     bool stats = false;
     bool statsJson = false;
+    std::string failpoints;    //!< fault-injection spec to arm
+    /** Per-query resource budgets (0 = unlimited). */
+    uint64_t maxDecodeSteps = 0;
+    uint64_t maxResidentBytes = 0;
+    uint64_t timeoutMs = 0;
     /** Construction workers; --threads beats WET_THREADS beats 1. */
     unsigned threads = support::envThreadCount(1);
 };
@@ -151,7 +176,11 @@ usage()
         "           (newline-delimited cf/values/addr/slice/"
         "depcheck\n"
         "            lines served by one warm session)\n"
-        "  common   --io mmap|buffered (artifact load backend)\n");
+        "  failpoints (list fault-injection sites)\n"
+        "  common   --io mmap|buffered (artifact load backend)\n"
+        "           --failpoints SPEC (arm fault injection)\n"
+        "           --max-decode-steps N --max-resident-bytes N\n"
+        "           --timeout-ms N (per-query governors)\n");
     std::exit(kExitUsage);
 }
 
@@ -216,6 +245,14 @@ parse(int argc, char** argv)
             a.io = argv[++i];
         else if (opt == "--input" && i + 1 < argc)
             a.input = argv[++i];
+        else if (opt == "--failpoints" && i + 1 < argc)
+            a.failpoints = argv[++i];
+        else if (opt == "--max-decode-steps")
+            a.maxDecodeSteps = numArg(argc, argv, i);
+        else if (opt == "--max-resident-bytes")
+            a.maxResidentBytes = numArg(argc, argv, i);
+        else if (opt == "--timeout-ms")
+            a.timeoutMs = numArg(argc, argv, i);
         else if (opt == "--json")
             a.json = true;
         else if (opt == "--stats")
@@ -290,6 +327,9 @@ sessionOptions(const Args& a)
     core::SessionOptions opt;
     opt.cacheCapacity = a.cacheCap;
     opt.threads = a.threads;
+    opt.limits.maxDecodeSteps = a.maxDecodeSteps;
+    opt.limits.maxResidentBytes = a.maxResidentBytes;
+    opt.limits.timeoutMs = a.timeoutMs;
     return opt;
 }
 
@@ -391,6 +431,9 @@ runCf(core::QuerySession& s, const Args& a)
     const core::WetGraph& g = s.graph();
     q.extractRange(a.from, a.count, [&](core::NodeId n,
                                         core::Timestamp t) {
+        // Deadline/resident poll per emitted row: a cache-warm query
+        // does little decoding, so it must stay governed here.
+        support::Governor::poll();
         const core::WetNode& node = g.nodes[n];
         std::printf("t=%-8llu fn%u path%llu [",
                     static_cast<unsigned long long>(t), node.func,
@@ -413,6 +456,7 @@ runValues(core::QuerySession& s, const Args& a)
     uint64_t total =
         q.extract(static_cast<ir::StmtId>(a.stmt),
                   [&](core::Timestamp t, int64_t v) {
+                      support::Governor::poll();
                       if (shown++ < a.limit)
                           std::printf("<t=%llu, %lld>\n",
                                       static_cast<unsigned long long>(
@@ -443,6 +487,7 @@ runAddr(core::QuerySession& s, const Args& a)
     uint64_t total =
         q.extract(static_cast<ir::StmtId>(a.stmt),
                   [&](core::Timestamp t, uint64_t addr) {
+                      support::Governor::poll();
                       if (shown++ < a.limit)
                           std::printf("<t=%llu, 0x%llx>\n",
                                       static_cast<unsigned long long>(
@@ -883,12 +928,37 @@ cmdQuery(const Args& a)
 
     int worst = kExitOk;
     std::string line;
+    uint64_t lineNo = 0;
     while (std::getline(*in, line)) {
+        ++lineNo;
         std::vector<std::string> toks = tokenize(line);
         if (toks.empty() || toks[0][0] == '#')
             continue;
-        Args qa = parseBatchLine(toks, a);
-        worst = std::max(worst, dispatchQuery(s, qa));
+        // One bad line must not take the session down: it becomes a
+        // structured error record on stderr (stdout stays exactly the
+        // concatenation of the successful queries' output) and the
+        // worst per-line exit category becomes the process's. The
+        // session quarantines whatever readers the failed query
+        // touched, so later lines serve from fresh state.
+        try {
+            Args qa = parseBatchLine(toks, a);
+            worst = std::max(worst, dispatchQuery(s, qa));
+        } catch (const GovernorLimit& e) {
+            // Truncation is a result, not an error: the partial
+            // output stands and the batch goes on.
+            std::printf("(truncated by governor: %s)\n",
+                        e.which().c_str());
+        } catch (const CliError& e) {
+            std::fprintf(stderr, "error: line:%llu: %s\n",
+                         static_cast<unsigned long long>(lineNo),
+                         e.message.c_str());
+            worst = std::max(worst, e.code);
+        } catch (const WetError& e) {
+            std::fprintf(stderr, "error: line:%llu: %s\n",
+                         static_cast<unsigned long long>(lineNo),
+                         e.what());
+            worst = std::max(worst, static_cast<int>(kExitInternal));
+        }
     }
 
     if (a.statsJson)
@@ -903,8 +973,24 @@ cmdQuery(const Args& a)
 int
 main(int argc, char** argv)
 {
+    // Touching the instance parses WET_FAILPOINTS, so env-armed
+    // triggers are live before any command runs.
+    support::FailPoints::instance();
+    if (argc == 2 && std::strcmp(argv[1], "failpoints") == 0) {
+        for (const std::string& site :
+             support::FailPoints::registry())
+            std::printf("%s\n", site.c_str());
+        return kExitOk;
+    }
     try {
         Args a = parse(argc, argv);
+        if (!a.failpoints.empty()) {
+            try {
+                support::FailPoints::instance().arm(a.failpoints);
+            } catch (const WetError& e) {
+                throw CliError{kExitUsage, std::string(e.what())};
+            }
+        }
         if (a.command == "run")
             return cmdRun(a);
         if (a.command == "info")
@@ -926,6 +1012,13 @@ main(int argc, char** argv)
         if (a.command == "query")
             return cmdQuery(a);
         usage();
+    } catch (const GovernorLimit& e) {
+        // A standalone query that trips its budget still succeeded at
+        // what it produced: finish the partial output with a
+        // truncation marker, same as a batch line would.
+        std::printf("(truncated by governor: %s)\n",
+                    e.which().c_str());
+        return kExitOk;
     } catch (const CliError& e) {
         std::fprintf(stderr, "error: %s\n", e.message.c_str());
         return e.code;
