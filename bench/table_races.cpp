@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Happens-before race scan over the threaded workloads: cursor vs
+ * full-decode engine timings plus the fraction of artifact bytes
+ * each engine touches. The scan runs directly on the compressed
+ * SYNC streams (the paper's traversal-without-decompression claim
+ * applied to race detection), so the interesting numbers are how
+ * little of the artifact the cursor engine reads and how the two
+ * engines trade allocation for stepping.
+ *
+ * Carries three assertions worth smoke-running in CI: both engines
+ * must report byte-identical races, the racy workload must race,
+ * and the lock-ordered/fork-join ones must not.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/racedetect.h"
+#include "benchcommon.h"
+#include "core/compressed.h"
+#include "support/timer.h"
+
+using namespace wet;
+using namespace wet::bench;
+
+namespace {
+
+struct EngineRun
+{
+    analysis::RaceReport report;
+    double seconds;
+    core::SliceIoStats io;
+};
+
+template <class Access>
+EngineRun
+timeScan(const core::WetCompressed& comp)
+{
+    Access sa(comp);
+    support::Timer timer;
+    analysis::RaceReport rep = analysis::detectRaces(sa);
+    double secs = timer.seconds();
+    return EngineRun{std::move(rep), secs, sa.stats()};
+}
+
+std::string
+pct(uint64_t touched, uint64_t total)
+{
+    if (total == 0)
+        return "-";
+    return support::formatFixed(100.0 *
+                                    static_cast<double>(touched) /
+                                    static_cast<double>(total),
+                                2) +
+           "%";
+}
+
+} // namespace
+
+int
+main()
+{
+    support::TablePrinter table(
+        {"Benchmark", "Sync events", "Races", "Cursor (ms)",
+         "Decode (ms)", "Cursor bytes", "Decode bytes"});
+    bool anyMismatch = false;
+    for (const auto& w : workloads::allWorkloads()) {
+        if (w.name.rfind("mt.", 0) != 0)
+            continue;
+        auto art = workloads::buildWet(w, effectiveScale(w));
+        core::WetCompressed comp(art->graph);
+
+        EngineRun cur =
+            timeScan<analysis::CursorSyncAccess>(comp);
+        EngineRun dec =
+            timeScan<analysis::DecodeSyncAccess>(comp);
+
+        // Engine equivalence is the bench's hard invariant: a timing
+        // table comparing engines that disagree would be meaningless.
+        if (cur.report.renderText() != dec.report.renderText()) {
+            std::fprintf(stderr,
+                         "%s: cursor and decode engines disagree\n",
+                         w.name.c_str());
+            anyMismatch = true;
+        }
+        const bool expectRaces = w.name == "mt.counter";
+        if (expectRaces != !cur.report.races.empty()) {
+            std::fprintf(stderr,
+                         "%s: expected %s, found %zu races\n",
+                         w.name.c_str(),
+                         expectRaces ? "races" : "no races",
+                         cur.report.races.size());
+            anyMismatch = true;
+        }
+
+        table.addRow(
+            {w.name, std::to_string(cur.report.numEvents),
+             std::to_string(cur.report.races.size()),
+             support::formatFixed(cur.seconds * 1e3, 2),
+             support::formatFixed(dec.seconds * 1e3, 2),
+             pct(cur.io.bytesTouched, cur.io.bytesTotal),
+             pct(dec.io.bytesTouched, dec.io.bytesTotal)});
+    }
+    table.print("Happens-before race scan on the compressed SYNC "
+                "streams: cursor walk vs full decode");
+    return anyMismatch ? 1 : 0;
+}

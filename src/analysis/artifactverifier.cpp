@@ -410,6 +410,37 @@ verifyArtifact(const core::WetCompressed& wc, DiagEngine& diag,
         verifyStream(cp.defInst, base + " defInst", diag,
                      tier1Of(g.labelPool[p].defInst).get(), opt);
     }
+
+    if (wc.numSyncThreads() != g.syncThreads.size()) {
+        std::ostringstream os;
+        os << "artifact has " << wc.numSyncThreads()
+           << " sync streams for " << g.syncThreads.size()
+           << " threads";
+        diag.error("ART005", "sync", os.str());
+    }
+    for (uint32_t t = 0; t < wc.numSyncThreads() &&
+                         t < g.syncThreads.size();
+         ++t) {
+        const core::SyncThread& st = g.syncThreads[t];
+        const core::CompressedSyncThread& cs = wc.sync(t);
+        std::string base = "sync thread " + std::to_string(t);
+        const codec::CompressedStream* streams[4] = {
+            &cs.kind, &cs.obj, &cs.stmt, &cs.seq};
+        const std::vector<int64_t>* tier1[4] = {&st.kind, &st.obj,
+                                                &st.stmt, &st.seq};
+        const char* names[4] = {" kind", " obj", " stmt", " seq"};
+        for (int c = 0; c < 4; ++c) {
+            if (streams[c]->length != st.numEvents) {
+                std::ostringstream os;
+                os << names[c] + 1 << " stream holds "
+                   << streams[c]->length << " values for "
+                   << st.numEvents << " events";
+                diag.error("ART005", base, os.str());
+            }
+            verifyStream(*streams[c], base + names[c], diag,
+                         tier1Of(*tier1[c]).get(), opt);
+        }
+    }
     return diag.errorCount() == before;
 }
 

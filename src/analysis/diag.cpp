@@ -17,7 +17,8 @@ struct RuleEntry
 
 // The verifier rule catalog. Stable ids: IRnnn for the module
 // verifier, WETnnn for the WET graph verifier, ARTnnn for the
-// compressed-artifact verifier, IOnnn for WETX file loading.
+// compressed-artifact verifier, IOnnn for WETX file loading,
+// SYNCnnn for the SYNC-stream verifier.
 const RuleEntry kRules[] = {
     {"IR001", "register used without a dominating definition"},
     {"IR002", "basic block / terminator structure malformed"},
@@ -53,6 +54,12 @@ const RuleEntry kRules[] = {
     {"IO004", "WETX file truncated"},
     {"IO005", "WETX structure corrupt"},
     {"IO006", "WETX file has trailing bytes"},
+    {"SYNC001", "sync event malformed (unknown kind or mismatched "
+                "statement opcode)"},
+    {"SYNC002", "lock discipline violated (unbalanced or foreign "
+                "acquire/release)"},
+    {"SYNC003", "thread lifecycle violated (bad spawn/join pairing)"},
+    {"SYNC004", "sync seq counters not a consistent interleaving"},
 };
 
 void

@@ -1,0 +1,747 @@
+#include "racedetect.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "codec/encoder.h"
+#include "ir/opcode.h"
+#include "support/error.h"
+
+namespace wet {
+namespace analysis {
+
+namespace {
+
+using interp::SyncKind;
+
+/** Number of per-thread SYNC component streams (kind/obj/stmt/seq). */
+constexpr uint32_t kSyncComponents = 4;
+
+const codec::CompressedStream&
+syncStream(const core::WetCompressed& c, uint32_t tid, uint32_t comp)
+{
+    const core::CompressedSyncThread& cs = c.sync(tid);
+    switch (comp) {
+      case 0: return cs.kind;
+      case 1: return cs.obj;
+      case 2: return cs.stmt;
+      default: return cs.seq;
+    }
+}
+
+/**
+ * I/O accounting over the warm entries of @p cache belonging to one
+ * race engine (selected by its stream-key kind). Mirrors the slicing
+ * engines' accounting so `races` and `slice` stats are comparable:
+ * at-rest bytes scaled by the fraction of values actually decoded.
+ */
+core::SliceIoStats
+syncCacheStats(const core::StreamCache& cache,
+               const core::WetCompressed& c, core::StreamKind kind)
+{
+    core::SliceIoStats st;
+    st.bytesTotal = core::artifactStreamBytes(c);
+    cache.forEach([&](uint64_t key, const core::SeqReader& r) {
+        if (core::streamKeyKind(key) != kind)
+            return;
+        const codec::CompressedStream* s = r.stream();
+        if (s == nullptr)
+            return;
+        ++st.streamsOpened;
+        uint64_t steps = r.decodeSteps();
+        st.valuesDecoded += steps;
+        uint64_t len = s->length;
+        uint64_t bytes = s->sizeBytes();
+        st.bytesTouched +=
+            len == 0 ? bytes
+                     : std::min(bytes, bytes * steps / len);
+    });
+    return st;
+}
+
+struct OpenStream : public core::SeqReader
+{
+    explicit OpenStream(const codec::CompressedStream& s)
+        : stream_(&s),
+          cursor(s, codec::StreamCursor::Mode::Bidirectional)
+    {
+    }
+
+    uint64_t length() const override { return cursor.length(); }
+    int64_t at(uint64_t i) override { return cursor.at(i); }
+    uint64_t decodeSteps() const override
+    {
+        return cursor.decodeSteps();
+    }
+    const codec::CompressedStream* stream() const override
+    {
+        return stream_;
+    }
+
+    const codec::CompressedStream* stream_;
+    codec::StreamCursor cursor;
+};
+
+struct DecodedStream : public core::SeqReader
+{
+    explicit DecodedStream(const codec::CompressedStream& s)
+        : stream_(&s), values(codec::decodeAll(s))
+    {
+    }
+
+    uint64_t length() const override { return values.size(); }
+    int64_t at(uint64_t i) override { return values[i]; }
+    uint64_t decodeSteps() const override { return values.size(); }
+    const codec::CompressedStream* stream() const override
+    {
+        return stream_;
+    }
+
+    const codec::CompressedStream* stream_;
+    std::vector<int64_t> values;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------- //
+// Engines
+
+CursorSyncAccess::CursorSyncAccess(const core::WetCompressed& c,
+                                   core::StreamCache* cache)
+    : c_(&c), cache_(cache != nullptr ? cache : &own_)
+{
+}
+
+CursorSyncAccess::~CursorSyncAccess() = default;
+
+uint32_t
+CursorSyncAccess::numThreads() const
+{
+    return c_->numSyncThreads();
+}
+
+core::SeqReader&
+CursorSyncAccess::component(uint32_t tid, uint32_t comp)
+{
+    const codec::CompressedStream& s = syncStream(*c_, tid, comp);
+    return cache_->get(
+        streamKey(core::StreamKind::CursorSync, tid, comp),
+        [&]() -> std::unique_ptr<core::SeqReader> {
+            return std::make_unique<OpenStream>(s);
+        });
+}
+
+core::SliceIoStats
+CursorSyncAccess::stats() const
+{
+    return syncCacheStats(*cache_, *c_, core::StreamKind::CursorSync);
+}
+
+DecodeSyncAccess::DecodeSyncAccess(const core::WetCompressed& c,
+                                   core::StreamCache* cache)
+    : c_(&c), cache_(cache != nullptr ? cache : &own_)
+{
+}
+
+DecodeSyncAccess::~DecodeSyncAccess() = default;
+
+uint32_t
+DecodeSyncAccess::numThreads() const
+{
+    return c_->numSyncThreads();
+}
+
+core::SeqReader&
+DecodeSyncAccess::component(uint32_t tid, uint32_t comp)
+{
+    const codec::CompressedStream& s = syncStream(*c_, tid, comp);
+    return cache_->get(
+        streamKey(core::StreamKind::DecodeSync, tid, comp),
+        [&]() -> std::unique_ptr<core::SeqReader> {
+            return std::make_unique<DecodedStream>(s);
+        });
+}
+
+core::SliceIoStats
+DecodeSyncAccess::stats() const
+{
+    return syncCacheStats(*cache_, *c_, core::StreamKind::DecodeSync);
+}
+
+// ---------------------------------------------------------------- //
+// Shared vector-clock detector core
+
+namespace {
+
+using Clock = std::vector<uint64_t>;
+
+void
+joinInto(Clock& a, const Clock& b)
+{
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] = std::max(a[i], b[i]);
+}
+
+/**
+ * SHB-style vector-clock happens-before state machine. Events must
+ * arrive in interleaving (seq) order. Per address and thread only the
+ * last read and last write are kept — a racy statement pair reports
+ * once per overwrite chain, and the report set dedupes the rest — so
+ * state is O(threads × addresses), not O(trace).
+ *
+ * The update rules (C = per-thread clocks, L = per-lock clocks):
+ *   spawn t→u:   C_u ⊔= C_t, then C_t[t]++   (child inherits; the
+ *                parent's later events stay concurrent with it)
+ *   join t←u:    C_t ⊔= C_u
+ *   acquire t,l: C_t ⊔= L_l
+ *   release t,l: L_l = C_t, then C_t[t]++
+ * An access by u recorded at epoch e races a later access by t iff
+ * e > C_t[u], i.e. t has not synchronized with u since.
+ */
+class HbDetector
+{
+  public:
+    explicit HbDetector(uint32_t num_threads)
+        : n_(num_threads), clocks_(num_threads, Clock(num_threads, 0))
+    {
+        for (uint32_t t = 0; t < n_; ++t)
+            clocks_[t][t] = 1;
+    }
+
+    void
+    event(uint32_t t, SyncKind kind, int64_t obj, ir::StmtId stmt)
+    {
+        switch (kind) {
+          case SyncKind::Spawn:
+            if (validTid(obj)) {
+                joinInto(clocks_[static_cast<uint32_t>(obj)],
+                         clocks_[t]);
+                ++clocks_[t][t];
+            }
+            break;
+          case SyncKind::Join:
+            if (validTid(obj))
+                joinInto(clocks_[t],
+                         clocks_[static_cast<uint32_t>(obj)]);
+            break;
+          case SyncKind::Acquire: {
+            auto it = locks_.find(obj);
+            if (it != locks_.end())
+                joinInto(clocks_[t], it->second);
+            break;
+          }
+          case SyncKind::Release:
+            locks_[obj] = clocks_[t];
+            ++clocks_[t][t];
+            break;
+          case SyncKind::Read: {
+            AddrState& a = addr(obj);
+            check(a.lastWr, obj, t, stmt, false);
+            a.lastRd[t] = {clocks_[t][t], stmt, true};
+            break;
+          }
+          case SyncKind::Write: {
+            AddrState& a = addr(obj);
+            check(a.lastWr, obj, t, stmt, true);
+            check(a.lastRd, obj, t, stmt, true, false);
+            a.lastWr[t] = {clocks_[t][t], stmt, true};
+            break;
+          }
+        }
+    }
+
+    std::set<Race> races;
+
+  private:
+    /** Last access of one thread: its epoch in that thread's clock. */
+    struct AccessRec
+    {
+        uint64_t clk = 0;
+        ir::StmtId stmt = ir::kNoStmt;
+        bool valid = false;
+    };
+
+    struct AddrState
+    {
+        std::vector<AccessRec> lastWr, lastRd;
+    };
+
+    bool validTid(int64_t obj) const
+    {
+        return obj >= 0 && static_cast<uint64_t>(obj) < n_;
+    }
+
+    AddrState&
+    addr(int64_t x)
+    {
+        AddrState& a = addrs_[x];
+        if (a.lastWr.empty()) {
+            a.lastWr.resize(n_);
+            a.lastRd.resize(n_);
+        }
+        return a;
+    }
+
+    void
+    check(const std::vector<AccessRec>& prior, int64_t x, uint32_t t,
+          ir::StmtId stmt, bool cur_is_write, bool prior_is_write = true)
+    {
+        for (uint32_t u = 0; u < n_; ++u) {
+            if (u == t || !prior[u].valid)
+                continue;
+            if (prior[u].clk > clocks_[t][u])
+                races.insert(Race{
+                    x,
+                    RaceAccess{u, prior[u].stmt, prior_is_write},
+                    RaceAccess{t, stmt, cur_is_write}});
+        }
+    }
+
+    uint32_t n_;
+    std::vector<Clock> clocks_;
+    std::map<int64_t, Clock> locks_;
+    std::map<int64_t, AddrState> addrs_;
+};
+
+} // namespace
+
+RaceReport
+detectRaces(SyncAccess& sync)
+{
+    const uint32_t n = sync.numThreads();
+    RaceReport rep;
+    rep.numThreads = n;
+    if (n == 0)
+        return rep;
+
+    // K-way merge of the per-thread streams on the global seq
+    // counter. Each thread's head seq is cached so the cursor only
+    // advances when that thread is consumed.
+    std::vector<uint64_t> pos(n, 0), len(n, 0), head(n, 0);
+    for (uint32_t t = 0; t < n; ++t) {
+        len[t] = sync.component(t, 3).length();
+        if (len[t] > 0)
+            head[t] = static_cast<uint64_t>(sync.component(t, 3).at(0));
+    }
+
+    HbDetector det(n);
+    for (;;) {
+        uint32_t best = n;
+        for (uint32_t t = 0; t < n; ++t) {
+            if (pos[t] >= len[t])
+                continue;
+            if (best == n || head[t] < head[best])
+                best = t;
+        }
+        if (best == n)
+            break;
+        const uint64_t i = pos[best];
+        det.event(best,
+                  static_cast<SyncKind>(sync.component(best, 0).at(i)),
+                  sync.component(best, 1).at(i),
+                  static_cast<ir::StmtId>(
+                      sync.component(best, 2).at(i)));
+        ++rep.numEvents;
+        ++pos[best];
+        if (pos[best] < len[best])
+            head[best] = static_cast<uint64_t>(
+                sync.component(best, 3).at(pos[best]));
+    }
+
+    rep.races.assign(det.races.begin(), det.races.end());
+    return rep;
+}
+
+RaceReport
+detectRaces(const core::WetCompressed& c, RaceEngine engine,
+            core::StreamCache* cache)
+{
+    if (engine == RaceEngine::Cursor) {
+        CursorSyncAccess sa(c, cache);
+        return detectRaces(sa);
+    }
+    DecodeSyncAccess sa(c, cache);
+    return detectRaces(sa);
+}
+
+std::string
+RaceReport::renderText() const
+{
+    std::string out = "races: " + std::to_string(races.size()) +
+                      "  threads: " + std::to_string(numThreads) +
+                      "  sync events: " + std::to_string(numEvents) +
+                      "\n";
+    auto access = [](const RaceAccess& a) {
+        return std::string(a.isWrite ? "write" : "read") + " stmt " +
+               std::to_string(a.stmt) + " (thread " +
+               std::to_string(a.thread) + ")";
+    };
+    for (const Race& r : races)
+        out += "addr " + std::to_string(r.addr) + ": " +
+               access(r.first) + " vs " + access(r.second) + "\n";
+    return out;
+}
+
+// ---------------------------------------------------------------- //
+// Decoded-trace oracle
+
+std::vector<RawSyncEvent>
+decodeSyncEvents(const core::WetCompressed& c)
+{
+    std::vector<RawSyncEvent> events;
+    for (uint32_t t = 0; t < c.numSyncThreads(); ++t) {
+        const core::CompressedSyncThread& cs = c.sync(t);
+        std::vector<int64_t> kind = codec::decodeAll(cs.kind);
+        std::vector<int64_t> obj = codec::decodeAll(cs.obj);
+        std::vector<int64_t> stmt = codec::decodeAll(cs.stmt);
+        std::vector<int64_t> seq = codec::decodeAll(cs.seq);
+        const size_t n = std::min(
+            std::min(kind.size(), obj.size()),
+            std::min(stmt.size(), seq.size()));
+        for (size_t i = 0; i < n; ++i)
+            events.push_back(RawSyncEvent{
+                t, static_cast<SyncKind>(kind[i]), obj[i],
+                static_cast<ir::StmtId>(stmt[i]),
+                static_cast<uint64_t>(seq[i])});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const RawSyncEvent& a, const RawSyncEvent& b) {
+                  return a.seq != b.seq ? a.seq < b.seq
+                                        : a.thread < b.thread;
+              });
+    return events;
+}
+
+namespace {
+
+/** Dense ancestor bitsets over a DAG whose edges only point from
+ *  earlier to later interleaving positions. */
+class AncestorSets
+{
+  public:
+    explicit AncestorSets(size_t n)
+        : words_((n + 63) / 64), bits_(n * words_, 0)
+    {
+    }
+
+    void
+    addEdge(size_t from, size_t to)
+    {
+        uint64_t* dst = row(to);
+        const uint64_t* src = row(from);
+        for (size_t w = 0; w < words_; ++w)
+            dst[w] |= src[w];
+        dst[from / 64] |= uint64_t{1} << (from % 64);
+    }
+
+    bool
+    reaches(size_t from, size_t to) const
+    {
+        return (row(to)[from / 64] >> (from % 64)) & 1;
+    }
+
+  private:
+    uint64_t* row(size_t i) { return bits_.data() + i * words_; }
+    const uint64_t* row(size_t i) const
+    {
+        return bits_.data() + i * words_;
+    }
+
+    size_t words_;
+    std::vector<uint64_t> bits_;
+};
+
+} // namespace
+
+RaceReport
+detectRacesOracle(std::vector<RawSyncEvent> events,
+                  uint32_t num_threads)
+{
+    std::sort(events.begin(), events.end(),
+              [](const RawSyncEvent& a, const RawSyncEvent& b) {
+                  return a.seq != b.seq ? a.seq < b.seq
+                                        : a.thread < b.thread;
+              });
+
+    const size_t n = events.size();
+    RaceReport rep;
+    rep.numThreads = num_threads;
+    rep.numEvents = n;
+
+    auto validTid = [&](int64_t obj) {
+        return obj >= 0 && static_cast<uint64_t>(obj) < num_threads;
+    };
+
+    // Explicit happens-before edges: program order, spawn → child's
+    // first event, child's last event → join, release → next acquire
+    // of the same lock. All edges run forward in seq order, so one
+    // pass accumulates full ancestor sets.
+    AncestorSets anc(n);
+    std::vector<int64_t> lastOf(num_threads, -1);
+    std::map<int64_t, size_t> spawnIdx;  // child tid -> spawn event
+    std::map<int64_t, size_t> lastRelease; // lock -> release event
+    for (size_t i = 0; i < n; ++i) {
+        const RawSyncEvent& ev = events[i];
+        if (ev.thread >= num_threads)
+            continue;
+        if (lastOf[ev.thread] >= 0) {
+            anc.addEdge(static_cast<size_t>(lastOf[ev.thread]), i);
+        } else {
+            auto it = spawnIdx.find(ev.thread);
+            if (it != spawnIdx.end())
+                anc.addEdge(it->second, i);
+        }
+        lastOf[ev.thread] = static_cast<int64_t>(i);
+        switch (ev.kind) {
+          case SyncKind::Spawn:
+            if (validTid(ev.obj))
+                spawnIdx[ev.obj] = i;
+            break;
+          case SyncKind::Join:
+            if (validTid(ev.obj) && lastOf[ev.obj] >= 0)
+                anc.addEdge(static_cast<size_t>(lastOf[ev.obj]), i);
+            break;
+          case SyncKind::Acquire: {
+            auto it = lastRelease.find(ev.obj);
+            if (it != lastRelease.end())
+                anc.addEdge(it->second, i);
+            break;
+          }
+          case SyncKind::Release:
+            lastRelease[ev.obj] = i;
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Same last-access bookkeeping as the vector-clock core, but the
+    // ordering question is answered by reachability, not epochs.
+    struct Rec
+    {
+        size_t idx = 0;
+        ir::StmtId stmt = ir::kNoStmt;
+        bool valid = false;
+    };
+    struct AddrState
+    {
+        std::vector<Rec> lastWr, lastRd;
+    };
+    std::map<int64_t, AddrState> addrs;
+    std::set<Race> races;
+
+    auto check = [&](const std::vector<Rec>& prior, int64_t x,
+                     size_t i, bool cur_is_write,
+                     bool prior_is_write) {
+        const RawSyncEvent& ev = events[i];
+        for (uint32_t u = 0; u < num_threads; ++u) {
+            if (u == ev.thread || !prior[u].valid)
+                continue;
+            if (!anc.reaches(prior[u].idx, i))
+                races.insert(Race{
+                    x, RaceAccess{u, prior[u].stmt, prior_is_write},
+                    RaceAccess{ev.thread, ev.stmt, cur_is_write}});
+        }
+    };
+
+    for (size_t i = 0; i < n; ++i) {
+        const RawSyncEvent& ev = events[i];
+        if (ev.thread >= num_threads)
+            continue;
+        if (ev.kind != SyncKind::Read && ev.kind != SyncKind::Write)
+            continue;
+        AddrState& a = addrs[ev.obj];
+        if (a.lastWr.empty()) {
+            a.lastWr.resize(num_threads);
+            a.lastRd.resize(num_threads);
+        }
+        if (ev.kind == SyncKind::Read) {
+            check(a.lastWr, ev.obj, i, false, true);
+            a.lastRd[ev.thread] = {i, ev.stmt, true};
+        } else {
+            check(a.lastWr, ev.obj, i, true, true);
+            check(a.lastRd, ev.obj, i, true, false);
+            a.lastWr[ev.thread] = {i, ev.stmt, true};
+        }
+    }
+
+    rep.races.assign(races.begin(), races.end());
+    return rep;
+}
+
+// ---------------------------------------------------------------- //
+// SYNC verifier rules
+
+bool
+verifySync(const core::WetCompressed& c, const ir::Module* mod,
+           DiagEngine& diag)
+{
+    const uint64_t before = diag.errorCount();
+    const uint32_t n = c.numSyncThreads();
+
+    auto kindOpcode = [](int64_t k) {
+        switch (static_cast<SyncKind>(k)) {
+          case SyncKind::Spawn: return ir::Opcode::Spawn;
+          case SyncKind::Join: return ir::Opcode::Join;
+          case SyncKind::Acquire: return ir::Opcode::Lock;
+          case SyncKind::Release: return ir::Opcode::Unlock;
+          case SyncKind::Read: return ir::Opcode::Load;
+          default: return ir::Opcode::Store;
+        }
+    };
+
+    // Raw decoded values, not RawSyncEvent: SYNC001 must see kind
+    // values exactly as stored, before any narrowing cast.
+    struct VEvent
+    {
+        uint32_t thread;
+        int64_t kind, obj, stmt, seq;
+    };
+    std::vector<VEvent> events;
+    for (uint32_t t = 0; t < n; ++t) {
+        const core::CompressedSyncThread& cs = c.sync(t);
+        std::vector<int64_t> kind = codec::decodeAll(cs.kind);
+        std::vector<int64_t> obj = codec::decodeAll(cs.obj);
+        std::vector<int64_t> stmt = codec::decodeAll(cs.stmt);
+        std::vector<int64_t> seq = codec::decodeAll(cs.seq);
+        const size_t len = std::min(
+            std::min(kind.size(), obj.size()),
+            std::min(stmt.size(), seq.size()));
+        for (size_t i = 0; i < len; ++i)
+            events.push_back(
+                VEvent{t, kind[i], obj[i], stmt[i], seq[i]});
+
+        // SYNC004 (per-thread half): seq strictly increasing.
+        for (size_t i = 1; i < seq.size(); ++i)
+            if (seq[i] <= seq[i - 1])
+                diag.error("SYNC004",
+                           "thread " + std::to_string(t) +
+                               " event " + std::to_string(i),
+                           "per-thread seq not strictly increasing");
+    }
+    std::sort(events.begin(), events.end(),
+              [](const VEvent& a, const VEvent& b) {
+                  return a.seq != b.seq ? a.seq < b.seq
+                                        : a.thread < b.thread;
+              });
+
+    // SYNC001: every event must carry a known kind, and (when the
+    // module is at hand) a statement whose opcode matches it.
+    for (const VEvent& ev : events) {
+        const std::string loc = "thread " +
+                                std::to_string(ev.thread) + " seq " +
+                                std::to_string(ev.seq);
+        if (ev.kind < 0 || ev.kind > 5) {
+            diag.error("SYNC001", loc,
+                       "unknown sync event kind " +
+                           std::to_string(ev.kind));
+            continue;
+        }
+        if (mod == nullptr)
+            continue;
+        if (ev.stmt < 0 ||
+            static_cast<uint64_t>(ev.stmt) >= mod->numStmts()) {
+            diag.error("SYNC001", loc,
+                       "sync event statement " +
+                           std::to_string(ev.stmt) +
+                           " out of range");
+        } else if (mod->instr(static_cast<ir::StmtId>(ev.stmt)).op !=
+                   kindOpcode(ev.kind)) {
+            diag.error("SYNC001", loc,
+                       "sync event kind does not match the opcode "
+                       "of stmt " + std::to_string(ev.stmt));
+        }
+    }
+
+    // SYNC004 (global half): the seq values across all threads must
+    // form a permutation of 1..N (seq is one shared counter).
+    {
+        std::vector<int64_t> all;
+        all.reserve(events.size());
+        for (const VEvent& ev : events)
+            all.push_back(ev.seq);
+        std::sort(all.begin(), all.end());
+        for (size_t i = 0; i < all.size(); ++i) {
+            if (all[i] != static_cast<int64_t>(i + 1)) {
+                diag.error("SYNC004", "seq " + std::to_string(all[i]),
+                           "global seq values are not a permutation "
+                           "of 1.." + std::to_string(all.size()));
+                break;
+            }
+        }
+    }
+
+    // SYNC002 (lock discipline) and SYNC003 (thread lifecycle) walk
+    // the merged interleaving.
+    std::map<int64_t, uint32_t> holder;
+    std::vector<bool> spawned(n, false), joined(n, false);
+    for (const VEvent& ev : events) {
+        if (ev.kind < 0 || ev.kind > 5)
+            continue; // already reported by SYNC001
+        const std::string loc = "thread " +
+                                std::to_string(ev.thread) + " seq " +
+                                std::to_string(ev.seq);
+        switch (static_cast<SyncKind>(ev.kind)) {
+          case SyncKind::Spawn:
+            if (ev.obj <= 0 || static_cast<uint64_t>(ev.obj) >= n)
+                diag.error("SYNC003", loc,
+                           "spawned thread id " +
+                               std::to_string(ev.obj) +
+                               " out of range");
+            else if (spawned[static_cast<uint32_t>(ev.obj)])
+                diag.error("SYNC003", loc,
+                           "thread " + std::to_string(ev.obj) +
+                               " spawned twice");
+            else
+                spawned[static_cast<uint32_t>(ev.obj)] = true;
+            break;
+          case SyncKind::Join:
+            if (ev.obj <= 0 || static_cast<uint64_t>(ev.obj) >= n ||
+                !spawned[static_cast<uint32_t>(ev.obj)])
+                diag.error("SYNC003", loc,
+                           "join of never-spawned thread " +
+                               std::to_string(ev.obj));
+            else if (joined[static_cast<uint32_t>(ev.obj)])
+                diag.error("SYNC003", loc,
+                           "thread " + std::to_string(ev.obj) +
+                               " joined twice");
+            else
+                joined[static_cast<uint32_t>(ev.obj)] = true;
+            break;
+          case SyncKind::Acquire:
+            if (holder.count(ev.obj))
+                diag.error("SYNC002", loc,
+                           "acquire of lock " +
+                               std::to_string(ev.obj) +
+                               " already held by thread " +
+                               std::to_string(holder[ev.obj]));
+            else
+                holder[ev.obj] = ev.thread;
+            break;
+          case SyncKind::Release: {
+            auto it = holder.find(ev.obj);
+            if (it == holder.end() || it->second != ev.thread)
+                diag.error("SYNC002", loc,
+                           "release of lock " +
+                               std::to_string(ev.obj) +
+                               " not held by the releasing thread");
+            else
+                holder.erase(it);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    for (const auto& [lock, t] : holder)
+        diag.warning("SYNC002", "lock " + std::to_string(lock),
+                     "lock still held by thread " +
+                         std::to_string(t) +
+                         " at the end of the trace");
+
+    return diag.errorCount() == before;
+}
+
+} // namespace analysis
+} // namespace wet

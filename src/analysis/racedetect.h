@@ -1,0 +1,204 @@
+#ifndef WET_ANALYSIS_RACEDETECT_H
+#define WET_ANALYSIS_RACEDETECT_H
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/diag.h"
+#include "core/compressed.h"
+#include "core/cursorslicer.h"
+#include "core/streamcache.h"
+#include "interp/tracesink.h"
+#include "ir/module.h"
+
+namespace wet {
+namespace analysis {
+
+/** One endpoint of a race: a shared-memory access of one thread. */
+struct RaceAccess
+{
+    uint32_t thread = 0;
+    ir::StmtId stmt = ir::kNoStmt;
+    bool isWrite = false;
+};
+
+/**
+ * One data race: two conflicting accesses to the same address (at
+ * least one a write, by different threads) with no happens-before
+ * order between them. `first` is the earlier access in the recorded
+ * interleaving. Races are identified by (addr, endpoints) — a racy
+ * pair inside a loop reports once, not once per iteration.
+ */
+struct Race
+{
+    int64_t addr = 0;
+    RaceAccess first;
+    RaceAccess second;
+
+    friend bool
+    operator<(const Race& a, const Race& b)
+    {
+        auto key = [](const Race& r) {
+            return std::tuple(r.addr, r.first.stmt, r.second.stmt,
+                              r.first.thread, r.second.thread,
+                              r.first.isWrite, r.second.isWrite);
+        };
+        return key(a) < key(b);
+    }
+    friend bool
+    operator==(const Race& a, const Race& b)
+    {
+        return !(a < b) && !(b < a);
+    }
+};
+
+/**
+ * Result of one race scan. Both engines (and the oracle, on the same
+ * event sequence) produce identical reports, so renderText() is
+ * byte-stable across engines by construction: races are sorted and
+ * deduplicated, and no timing or I/O figures appear in the text.
+ */
+struct RaceReport
+{
+    std::vector<Race> races; //!< sorted ascending, deduplicated
+    uint32_t numThreads = 0;
+    uint64_t numEvents = 0; //!< sync events scanned
+
+    /** Stable text rendering (one line per race). */
+    std::string renderText() const;
+};
+
+/**
+ * Per-thread SYNC stream surface the detector core walks: one
+ * SeqReader per (thread, component). Component indexes mirror the
+ * stream-key layout of StreamKind::CursorSync / DecodeSync:
+ * 0 kind, 1 obj, 2 stmt, 3 seq.
+ */
+class SyncAccess
+{
+  public:
+    virtual ~SyncAccess() = default;
+
+    virtual uint32_t numThreads() const = 0;
+    virtual core::SeqReader& component(uint32_t tid, uint32_t comp) = 0;
+};
+
+/**
+ * Race-detection engine that walks the compressed SYNC streams
+ * directly through bidirectional StreamCursors — the whole scan runs
+ * on the artifact without decoding any stream into a buffer (the
+ * paper's traversal-without-decompression claim, applied to race
+ * detection). Pass a shared StreamCache to keep readers warm across
+ * queries; the default is a private unbounded cache.
+ */
+class CursorSyncAccess : public SyncAccess
+{
+  public:
+    explicit CursorSyncAccess(const core::WetCompressed& c,
+                              core::StreamCache* cache = nullptr);
+    ~CursorSyncAccess() override;
+
+    uint32_t numThreads() const override;
+    core::SeqReader& component(uint32_t tid, uint32_t comp) override;
+
+    /** I/O accounting over the engine's warm readers. */
+    core::SliceIoStats stats() const;
+
+  private:
+    const core::WetCompressed* c_;
+    core::StreamCache own_;
+    core::StreamCache* cache_;
+};
+
+/**
+ * Reference engine: same surface, but every SYNC stream is fully
+ * decoded into a vector on first touch (what a conventional
+ * decompress-then-analyze race detector pays). Reports must come out
+ * byte-identical to CursorSyncAccess; only stats() differs.
+ */
+class DecodeSyncAccess : public SyncAccess
+{
+  public:
+    explicit DecodeSyncAccess(const core::WetCompressed& c,
+                              core::StreamCache* cache = nullptr);
+    ~DecodeSyncAccess() override;
+
+    uint32_t numThreads() const override;
+    core::SeqReader& component(uint32_t tid, uint32_t comp) override;
+
+    core::SliceIoStats stats() const;
+
+  private:
+    const core::WetCompressed* c_;
+    core::StreamCache own_;
+    core::StreamCache* cache_;
+};
+
+enum class RaceEngine : uint8_t { Cursor, Decode };
+
+/**
+ * Vector-clock happens-before race scan over @p sync: the per-thread
+ * streams are k-way merged on the global seq counter and fed through
+ * an SHB-style detector (spawn/join and lock release→acquire edges;
+ * last read/write per address per thread). The detector core is
+ * shared by both engines — they differ only in how stream values are
+ * fetched — so reports are identical by construction.
+ */
+RaceReport detectRaces(SyncAccess& sync);
+
+/** Convenience wrapper: build the engine's access and scan @p c. */
+RaceReport detectRaces(const core::WetCompressed& c, RaceEngine engine,
+                       core::StreamCache* cache = nullptr);
+
+/**
+ * One fully materialized sync event with its thread, for the oracle
+ * (and for fuzzing either detector with synthetic interleavings).
+ */
+struct RawSyncEvent
+{
+    uint32_t thread = 0;
+    interp::SyncKind kind = interp::SyncKind::Read;
+    int64_t obj = 0;
+    ir::StmtId stmt = ir::kNoStmt;
+    uint64_t seq = 0;
+};
+
+/**
+ * Naive decoded-trace oracle: builds the explicit happens-before
+ * graph over @p events (program order, spawn→child-start,
+ * child-end→join, lock release→acquire) and answers every ordering
+ * query by transitive-closure reachability instead of vector clocks.
+ * Shares no ordering machinery with detectRaces, so agreement under
+ * differential fuzzing exercises the vector-clock update rules
+ * against ground truth. O(n²) — test-sized traces only.
+ */
+RaceReport detectRacesOracle(std::vector<RawSyncEvent> events,
+                             uint32_t num_threads);
+
+/** Decode the SYNC section of @p c into a flat event list. */
+std::vector<RawSyncEvent> decodeSyncEvents(const core::WetCompressed& c);
+
+/**
+ * SYNC-section verifier rules (run from `wet_cli verify`):
+ *
+ *   SYNC001  malformed event: unknown kind value, or a sync event
+ *            whose statement's opcode does not match its kind
+ *   SYNC002  lock discipline: acquire of a held lock, or release by
+ *            a non-holder, in the merged interleaving
+ *   SYNC003  thread lifecycle: join of a never-spawned thread,
+ *            double spawn/join, or a thread id out of range
+ *   SYNC004  seq integrity: per-thread seq not strictly increasing,
+ *            or the global seq values not a permutation of 1..N
+ *
+ * Returns true when no error was reported. @p mod may be null (the
+ * opcode cross-checks of SYNC001 are skipped).
+ */
+bool verifySync(const core::WetCompressed& c, const ir::Module* mod,
+                DiagEngine& diag);
+
+} // namespace analysis
+} // namespace wet
+
+#endif // WET_ANALYSIS_RACEDETECT_H

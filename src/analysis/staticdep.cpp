@@ -60,8 +60,20 @@ slotInfo(const ir::Instr& in, uint8_t slot)
         if (slot == 0)
             si = {SlotKind::CallRet, ir::kNoReg};
         break;
+      case Opcode::Join:
+        if (slot == 0)
+            si = {SlotKind::Reg, in.src0};
+        else if (slot == 1)
+            si = {SlotKind::SpawnRet, ir::kNoReg};
+        break;
+      case Opcode::Lock:
+      case Opcode::Unlock:
+        if (slot == 0)
+            si = {SlotKind::Reg, in.src0};
+        break;
       case Opcode::Const:
       case Opcode::In:
+      case Opcode::Spawn: // value (the thread id) has no static def
       case Opcode::Jmp:
       case Opcode::Halt:
         break;
@@ -100,11 +112,19 @@ StaticDepGraph::collectSites()
     for (ir::FuncId f = 0; f < nf; ++f) {
         for (const ir::BasicBlock& b : mod_->function(f).blocks) {
             for (const ir::Instr& in : b.instrs) {
-                if (in.op == ir::Opcode::Store)
+                if (in.op == ir::Opcode::Store) {
                     stores_.push_back(in.stmt);
-                else if (in.op == ir::Opcode::Call)
+                } else if (in.op == ir::Opcode::Call ||
+                           in.op == ir::Opcode::Spawn) {
+                    // Spawn sites are call sites for CD and argument
+                    // flow: the child's entry region is attributed to
+                    // the spawning instruction.
                     callSites_[static_cast<ir::FuncId>(in.imm)]
                         .push_back(in.stmt);
+                    if (in.op == ir::Opcode::Spawn)
+                        spawnTargets_.push_back(
+                            static_cast<ir::FuncId>(in.imm));
+                }
             }
         }
     }
@@ -113,6 +133,10 @@ StaticDepGraph::collectSites()
     sortUnique(stores_);
     for (auto& cs : callSites_)
         sortUnique(cs);
+    std::sort(spawnTargets_.begin(), spawnTargets_.end());
+    spawnTargets_.erase(
+        std::unique(spawnTargets_.begin(), spawnTargets_.end()),
+        spawnTargets_.end());
 }
 
 void
@@ -143,7 +167,8 @@ StaticDepGraph::solveParamIn()
         const ir::Function& fn = mod_->function(f);
         for (const ir::BasicBlock& b : fn.blocks) {
             for (const ir::Instr& in : b.instrs) {
-                if (in.op != ir::Opcode::Call)
+                if (in.op != ir::Opcode::Call &&
+                    in.op != ir::Opcode::Spawn)
                     continue;
                 const auto callee = static_cast<ir::FuncId>(in.imm);
                 const uint32_t np = std::min<uint32_t>(
@@ -205,6 +230,12 @@ StaticDepGraph::computeRetOut()
         }
         sortUnique(out);
     }
+    // Join's return slot may receive the Ret value of any spawned
+    // thread (which thread a tid names is dynamic).
+    for (ir::FuncId f : spawnTargets_)
+        spawnRetOut_.insert(spawnRetOut_.end(), retOut_[f].begin(),
+                            retOut_[f].end());
+    sortUnique(spawnRetOut_);
 }
 
 void
@@ -266,6 +297,8 @@ StaticDepGraph::mayDefs(ir::StmtId use, uint8_t slot) const
         return stores_;
       case SlotKind::CallRet:
         return retOut_[static_cast<ir::FuncId>(in.imm)];
+      case SlotKind::SpawnRet:
+        return spawnRetOut_;
       case SlotKind::None:
         break;
     }

@@ -25,6 +25,8 @@ enum class SlotKind : uint8_t
     Mem,     //!< memory read (Load slot 1): def is some Store
     CallRet, //!< call return (Call slot 0): def produced the value
              //!< returned by the callee
+    SpawnRet, //!< join return (Join slot 1): def produced the value
+              //!< returned by some spawned thread's entry function
 };
 
 struct SlotInfo
@@ -96,10 +98,16 @@ class StaticDepGraph
     std::vector<bool> backwardSlice(ir::StmtId seed) const;
 
     const ReachingDefs& reaching(ir::FuncId f) const { return rd_[f]; }
-    /** Call statements targeting @p f, sorted. */
+    /** Call and Spawn statements targeting @p f, sorted. */
     const std::vector<ir::StmtId>& callSites(ir::FuncId f) const
     {
         return callSites_[f];
+    }
+    /** Defs that may flow out of any spawned thread's Ret, sorted
+     *  (the may-def set of every Join's return slot). */
+    const std::vector<ir::StmtId>& spawnRetOut() const
+    {
+        return spawnRetOut_;
     }
     /** Every Store statement of the module, sorted. */
     const std::vector<ir::StmtId>& stores() const { return stores_; }
@@ -131,6 +139,9 @@ class StaticDepGraph
     std::vector<ReachingDefs> rd_;
     std::vector<std::vector<ir::StmtId>> callSites_;
     std::vector<ir::StmtId> stores_;
+    /** Functions appearing as a Spawn target somewhere. */
+    std::vector<ir::FuncId> spawnTargets_;
+    std::vector<ir::StmtId> spawnRetOut_;
     /** paramIn_[f][p]: may-defs of parameter p arriving at entry. */
     std::vector<std::vector<std::vector<ir::StmtId>>> paramIn_;
     std::vector<std::vector<ir::StmtId>> retOut_;

@@ -496,12 +496,14 @@ checkControlDeps(const WetGraph& g, const ModuleAnalysis& ma,
                    << "recomputation";
                 diag.error("WET007", edgeLoc(e, ed), os.str());
             }
-        } else if (def.op == ir::Opcode::Call) {
+        } else if (def.op == ir::Opcode::Call ||
+                   def.op == ir::Opcode::Spawn) {
             // A callsite controller is legal even for blocks with
             // static CD parents: the tracer attributes a block to
             // the invocation whenever no predicate region is open
             // (e.g. a loop header's first iteration). Only the
-            // callee identity is checkable statically.
+            // callee identity is checkable statically. Spawn sites
+            // control the spawned thread's entry the same way.
             if (def.imm < 0 ||
                 static_cast<uint64_t>(def.imm) != useNode.func)
             {
@@ -514,7 +516,7 @@ checkControlDeps(const WetGraph& g, const ModuleAnalysis& ma,
         } else {
             std::ostringstream os;
             os << "CD def is a " << ir::opcodeName(def.op)
-               << ", expected a branch or a call site";
+               << ", expected a branch, call, or spawn site";
             diag.error("WET007", edgeLoc(e, ed), os.str());
         }
     }

@@ -25,6 +25,7 @@ WetBuilder::WetBuilder(const analysis::ModuleAnalysis& ma,
     : ma_(ma), mod_(ma.module()), opt_(opt)
 {
     instanceMap_.resize(mod_.numStmts());
+    threadFrames_.resize(1); // thread 0 (main) always exists
 }
 
 void
@@ -33,16 +34,17 @@ WetBuilder::onEnterFunction(ir::FuncId f, const interp::DepRef& cs)
     (void)cs; // control dependence arrives via onBlockEnter
     FrameState fr;
     fr.func = f;
-    frames_.push_back(std::move(fr));
+    curFrames().push_back(std::move(fr));
 }
 
 void
 WetBuilder::onBlockEnter(ir::FuncId f, ir::BlockId b,
                          const interp::DepRef& control)
 {
-    WET_ASSERT(!frames_.empty() && frames_.back().func == f,
+    auto& frames = curFrames();
+    WET_ASSERT(!frames.empty() && frames.back().func == f,
                "block event outside its frame");
-    FrameState& fr = frames_.back();
+    FrameState& fr = frames.back();
     fr.curBlock = b;
     if (!fr.inPath) {
         fr.inPath = true;
@@ -57,8 +59,9 @@ WetBuilder::onBlockEnter(ir::FuncId f, ir::BlockId b,
 void
 WetBuilder::onStmt(const interp::StmtEvent& ev)
 {
-    WET_ASSERT(!frames_.empty(), "stmt event outside any frame");
-    FrameState& fr = frames_.back();
+    auto& frames = curFrames();
+    WET_ASSERT(!frames.empty(), "stmt event outside any frame");
+    FrameState& fr = frames.back();
     BufferedStmt bs;
     bs.stmt = ev.stmt;
     bs.localIdx = ev.instance;
@@ -75,7 +78,7 @@ WetBuilder::onStmt(const interp::StmtEvent& ev)
 void
 WetBuilder::onEdge(ir::FuncId f, ir::BlockId from, uint8_t succ_idx)
 {
-    FrameState& fr = frames_.back();
+    FrameState& fr = curFrames().back();
     WET_ASSERT(fr.func == f && fr.curBlock == from,
                "edge event out of order");
     const auto& fa = ma_.fn(f);
@@ -96,9 +99,10 @@ WetBuilder::onEdge(ir::FuncId f, ir::BlockId from, uint8_t succ_idx)
 void
 WetBuilder::onLeaveFunction(ir::FuncId f)
 {
-    WET_ASSERT(!frames_.empty() && frames_.back().func == f,
+    auto& frames = curFrames();
+    WET_ASSERT(!frames.empty() && frames.back().func == f,
                "leave event outside its frame");
-    FrameState& fr = frames_.back();
+    FrameState& fr = frames.back();
     const auto& fa = ma_.fn(f);
     if (fr.inPath && !fr.stmts.empty()) {
         // The path ended normally only if the current block's
@@ -116,13 +120,50 @@ WetBuilder::onLeaveFunction(ir::FuncId f)
             finishPath(fr, true, 0);
         }
     }
-    frames_.pop_back();
+    frames.pop_back();
+}
+
+void
+WetBuilder::onThreadStart(uint32_t tid, uint32_t parent,
+                          const interp::DepRef& spawn_site)
+{
+    (void)parent;
+    (void)spawn_site; // the Spawn's CD/DD edges arrive via onStmt
+    if (threadFrames_.size() <= tid)
+        threadFrames_.resize(tid + 1);
+    // Every spawned thread owns a SYNC stream, even if it never
+    // touches memory (keeps artifact layout a function of the run).
+    if (g_.syncThreads.size() <= tid)
+        g_.syncThreads.resize(tid + 1);
+}
+
+void
+WetBuilder::onThreadSwitch(uint32_t tid)
+{
+    WET_ASSERT(tid < threadFrames_.size(),
+               "switch to unknown thread " << tid);
+    curTid_ = tid;
+}
+
+void
+WetBuilder::onSync(const interp::SyncEvent& ev)
+{
+    if (g_.syncThreads.size() <= curTid_)
+        g_.syncThreads.resize(curTid_ + 1);
+    SyncThread& st = g_.syncThreads[curTid_];
+    st.kind.push_back(static_cast<int64_t>(ev.kind));
+    st.obj.push_back(ev.obj);
+    st.stmt.push_back(static_cast<int64_t>(ev.stmt));
+    st.seq.push_back(static_cast<int64_t>(ev.seq));
+    ++st.numEvents;
+    ++g_.syncEventsTotal;
 }
 
 void
 WetBuilder::onEnd()
 {
-    WET_ASSERT(frames_.empty(), "program ended with open frames");
+    for (const auto& frames : threadFrames_)
+        WET_ASSERT(frames.empty(), "program ended with open frames");
 }
 
 NodeId
@@ -477,6 +518,7 @@ WetBuilder::take()
 #ifndef NDEBUG
     bool selfCheck = true;
 #else
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe
     bool selfCheck = std::getenv("WET_SELFCHECK") != nullptr;
 #endif
     if (selfCheck) {

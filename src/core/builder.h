@@ -49,6 +49,10 @@ class WetBuilder : public interp::TraceSink
     void onBlockEnter(ir::FuncId f, ir::BlockId b,
                       const interp::DepRef& control) override;
     void onStmt(const interp::StmtEvent& ev) override;
+    void onThreadStart(uint32_t tid, uint32_t parent,
+                       const interp::DepRef& spawn_site) override;
+    void onThreadSwitch(uint32_t tid) override;
+    void onSync(const interp::SyncEvent& ev) override;
     void onEnd() override;
 
     /**
@@ -132,6 +136,9 @@ class WetBuilder : public interp::TraceSink
         }
     };
 
+    /** Frame stack of the simulated thread currently emitting. */
+    std::vector<FrameState>& curFrames() { return threadFrames_[curTid_]; }
+
     void finishPath(FrameState& fr, bool partial, uint64_t path_id);
     NodeId internNode(ir::FuncId f, uint64_t path_id);
     NodeId makePartialNode(const FrameState& fr);
@@ -149,7 +156,10 @@ class WetBuilder : public interp::TraceSink
     std::vector<NodeBuild> nb_;
     std::vector<std::vector<InstRef>> instanceMap_;
     std::unordered_map<uint64_t, NodeId> nodeByKey_;
-    std::vector<FrameState> frames_;
+    /** One frame stack per simulated thread (index = thread id);
+     *  single-threaded traces only ever use stack 0. */
+    std::vector<std::vector<FrameState>> threadFrames_;
+    uint32_t curTid_ = 0;
     std::unordered_map<ir::StmtId, std::vector<PendingDep>> pending_;
     std::unordered_map<std::pair<uint64_t, uint64_t>, uint32_t,
                        EdgeKeyHash>

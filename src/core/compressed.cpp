@@ -52,12 +52,22 @@ WetCompressed::accumulateStats()
         tally(pe.useInst);
         tally(pe.defInst);
     }
+    for (const auto& st : sync_) {
+        sizes_.sync += st.kind.sizeBytes() + st.obj.sizeBytes() +
+                       st.stmt.sizeBytes() + st.seq.sizeBytes();
+        tally(st.kind);
+        tally(st.obj);
+        tally(st.stmt);
+        tally(st.seq);
+    }
 }
 
 WetCompressed::WetCompressed(const WetGraph& g,
                              std::vector<CompressedNode> nodes,
-                             std::vector<CompressedPoolEntry> pool)
-    : g_(&g), nodes_(std::move(nodes)), pool_(std::move(pool))
+                             std::vector<CompressedPoolEntry> pool,
+                             std::vector<CompressedSyncThread> sync)
+    : g_(&g), nodes_(std::move(nodes)), pool_(std::move(pool)),
+      sync_(std::move(sync))
 {
     accumulateStats();
 }
@@ -84,6 +94,7 @@ WetCompressed::WetCompressed(const WetGraph& g,
             nodes_[n].uvals[gi].resize(node.groups[gi].uvals.size());
     }
     pool_.resize(g.labelPool.size());
+    sync_.resize(g.syncThreads.size());
 
     // Phase 2: one task per candidate stream, fanned out over the
     // pool. Each stream's bytes depend only on its own input values
@@ -121,6 +132,22 @@ WetCompressed::WetCompressed(const WetGraph& g,
         jobs.push_back([this, &seq, &pe] {
             pe.defInst =
                 codec::compressBest(toI64(seq.defInst), opt_);
+        });
+    }
+    for (uint32_t t = 0; t < g.syncThreads.size(); ++t) {
+        const SyncThread& st = g.syncThreads[t];
+        CompressedSyncThread& cs = sync_[t];
+        jobs.push_back([this, &st, &cs] {
+            cs.kind = codec::compressBest(st.kind, opt_);
+        });
+        jobs.push_back([this, &st, &cs] {
+            cs.obj = codec::compressBest(st.obj, opt_);
+        });
+        jobs.push_back([this, &st, &cs] {
+            cs.stmt = codec::compressBest(st.stmt, opt_);
+        });
+        jobs.push_back([this, &st, &cs] {
+            cs.seq = codec::compressBest(st.seq, opt_);
         });
     }
 

@@ -28,6 +28,15 @@ struct CompressedPoolEntry
     codec::CompressedStream defInst;
 };
 
+/** Tier-2 form of one thread's SYNC stream (four components). */
+struct CompressedSyncThread
+{
+    codec::CompressedStream kind;
+    codec::CompressedStream obj;
+    codec::CompressedStream stmt;
+    codec::CompressedStream seq;
+};
+
 /**
  * Tier-2 (generic stream) compression of a WET (paper §4): every
  * label sequence left by tier 1 — node timestamps, group patterns,
@@ -63,13 +72,18 @@ class WetCompressed
 
     /** Deserialization: adopt pre-built streams (see wetio). */
     WetCompressed(const WetGraph& g, std::vector<CompressedNode> nodes,
-                  std::vector<CompressedPoolEntry> pool);
+                  std::vector<CompressedPoolEntry> pool,
+                  std::vector<CompressedSyncThread> sync = {});
 
     const WetGraph& graph() const { return *g_; }
 
     const CompressedNode& node(NodeId n) const { return nodes_[n]; }
     const CompressedPoolEntry& pool(uint32_t i) const
     { return pool_[i]; }
+    const CompressedSyncThread& sync(uint32_t tid) const
+    { return sync_[tid]; }
+    uint32_t numSyncThreads() const
+    { return static_cast<uint32_t>(sync_.size()); }
 
     /** Tier-2 sizes by category (Figure 8 / Tables 2-3). */
     TierSizes sizes() const { return sizes_; }
@@ -87,6 +101,7 @@ class WetCompressed
     codec::SelectorOptions opt_;
     std::vector<CompressedNode> nodes_;
     std::vector<CompressedPoolEntry> pool_;
+    std::vector<CompressedSyncThread> sync_;
     TierSizes sizes_;
     std::map<std::string, uint64_t> methodWins_;
 };

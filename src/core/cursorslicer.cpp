@@ -63,6 +63,11 @@ artifactStreamBytes(const WetCompressed& c)
         total += c.pool(p).useInst.sizeBytes();
         total += c.pool(p).defInst.sizeBytes();
     }
+    for (uint32_t t = 0; t < c.numSyncThreads(); ++t) {
+        const CompressedSyncThread& cs = c.sync(t);
+        total += cs.kind.sizeBytes() + cs.obj.sizeBytes() +
+                 cs.stmt.sizeBytes() + cs.seq.sizeBytes();
+    }
     return total;
 }
 

@@ -29,6 +29,10 @@ enum class StreamKind : uint64_t
     DecodeTs = 9,
     DecodePoolUse = 10,
     DecodePoolDef = 11,
+    /** SYNC streams (race detection): a = thread id, b = component
+     *  (0 kind, 1 obj, 2 stmt, 3 seq). */
+    CursorSync = 12,
+    DecodeSync = 13,
 };
 
 /** Pack kind plus up to three indexes into one 64-bit key. */

@@ -31,8 +31,12 @@ isSubset(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b)
 bool
 isInputOpcode(ir::Opcode op)
 {
+    // Spawn's value (the child thread id) depends on spawn order, and
+    // Join's on the joined thread's return: both are external to the
+    // path, like In/Load/Call.
     return op == ir::Opcode::Load || op == ir::Opcode::In ||
-           op == ir::Opcode::Call;
+           op == ir::Opcode::Call || op == ir::Opcode::Spawn ||
+           op == ir::Opcode::Join;
 }
 
 } // namespace
@@ -85,6 +89,7 @@ planGroups(const ir::Module& mod, const std::vector<ir::StmtId>& stmts)
           case ir::Opcode::Jmp:
           case ir::Opcode::Halt:
           case ir::Opcode::Call: // return-value dep is cross-node
+          case ir::Opcode::Spawn: // args flow to the child thread
             break;
           case ir::Opcode::Neg:
           case ir::Opcode::Not:
@@ -92,6 +97,9 @@ planGroups(const ir::Module& mod, const std::vector<ir::StmtId>& stmts)
           case ir::Opcode::Out:
           case ir::Opcode::Br:
           case ir::Opcode::Load:
+          case ir::Opcode::Join:   // slot 1 (child return) is
+          case ir::Opcode::Lock:   // cross-thread, not an in-path
+          case ir::Opcode::Unlock: // register operand
             regs[nregs++] = in.src0;
             break;
           case ir::Opcode::Ret:

@@ -38,6 +38,8 @@ WetGraph::origSizes() const
     s.nodeTs = stmtInstancesTotal * 8;
     s.nodeVals = valueInstancesTotal * 8;
     s.edgeTs = (depInstancesTotal + cdInstancesTotal) * 16;
+    // SYNC events: kind/obj/stmt/seq, 8 bytes each uncompressed.
+    s.sync = syncEventsTotal * 32;
     return s;
 }
 
@@ -57,6 +59,10 @@ WetGraph::tier1Sizes() const
     // in the pool (pairs of 4-byte local instance indices).
     for (const auto& seq : labelPool)
         s.edgeTs += (seq.useInst.size() + seq.defInst.size()) * 4;
+    for (const auto& st : syncThreads)
+        s.sync += (st.kind.size() + st.obj.size() + st.stmt.size() +
+                   st.seq.size()) *
+                  8;
     return s;
 }
 
@@ -81,6 +87,16 @@ WetGraph::dropTier1Labels()
         el.defInst.clear();
         el.defInst.shrink_to_fit();
     }
+    for (auto& st : syncThreads) {
+        st.kind.clear();
+        st.kind.shrink_to_fit();
+        st.obj.clear();
+        st.obj.shrink_to_fit();
+        st.stmt.clear();
+        st.stmt.shrink_to_fit();
+        st.seq.clear();
+        st.seq.shrink_to_fit();
+    }
 }
 
 std::string
@@ -101,11 +117,17 @@ WetGraph::summary() const
     os << "  orig:   " << support::formatBytes(o.total())
        << " (ts " << support::formatBytes(o.nodeTs) << ", vals "
        << support::formatBytes(o.nodeVals) << ", edges "
-       << support::formatBytes(o.edgeTs) << ")\n";
+       << support::formatBytes(o.edgeTs);
+    if (syncEventsTotal > 0)
+        os << ", sync " << support::formatBytes(o.sync);
+    os << ")\n";
     os << "  tier-1: " << support::formatBytes(t1.total())
        << " (ts " << support::formatBytes(t1.nodeTs) << ", vals "
        << support::formatBytes(t1.nodeVals) << ", edges "
-       << support::formatBytes(t1.edgeTs) << ")\n";
+       << support::formatBytes(t1.edgeTs);
+    if (syncEventsTotal > 0)
+        os << ", sync " << support::formatBytes(t1.sync);
+    os << ")\n";
     return os.str();
 }
 

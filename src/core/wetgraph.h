@@ -79,6 +79,24 @@ struct WetNode
     uint64_t instances() const { return numInstances; }
 };
 
+/**
+ * Per-thread SYNC stream (tier 1): one entry per sync/shared-memory
+ * event of that simulated thread, as four parallel label vectors so
+ * each can pick its own tier-2 codec. `seq` is the global interleaving
+ * counter (strictly increasing within a thread; a k-way merge on seq
+ * reconstructs the observed total order). Kinds are the numeric values
+ * of interp::SyncKind. Single-threaded traces have no sync threads.
+ */
+struct SyncThread
+{
+    std::vector<int64_t> kind;
+    std::vector<int64_t> obj;  //!< thread id, lock number, or address
+    std::vector<int64_t> stmt;
+    std::vector<int64_t> seq;
+    /** Number of events (kept so tier-2-only graphs stay queryable). */
+    uint64_t numEvents = 0;
+};
+
 /** A pooled edge label sequence: parallel use/def instance indices. */
 struct EdgeLabels
 {
@@ -115,8 +133,13 @@ struct TierSizes
     uint64_t nodeTs = 0;
     uint64_t nodeVals = 0;
     uint64_t edgeTs = 0;
+    uint64_t sync = 0;
 
-    uint64_t total() const { return nodeTs + nodeVals + edgeTs; }
+    uint64_t
+    total() const
+    {
+        return nodeTs + nodeVals + edgeTs + sync;
+    }
 };
 
 /**
@@ -132,6 +155,8 @@ class WetGraph
     std::vector<WetNode> nodes;
     std::vector<WetEdge> edges;
     std::vector<EdgeLabels> labelPool;
+    /** Per-thread SYNC streams (empty for single-threaded traces). */
+    std::vector<SyncThread> syncThreads;
 
     /** Where each statement occurs: (node, position) pairs. */
     std::unordered_map<ir::StmtId,
@@ -148,6 +173,7 @@ class WetGraph
     uint64_t valueInstancesTotal = 0; //!< def-port instances
     uint64_t depInstancesTotal = 0;   //!< DD label instances
     uint64_t cdInstancesTotal = 0;    //!< CD label instances
+    uint64_t syncEventsTotal = 0;     //!< SYNC events, all threads
     /** Dependences dropped because a call never returned (Halt). */
     uint64_t droppedDeps = 0;
 

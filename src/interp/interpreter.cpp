@@ -17,6 +17,15 @@ Interpreter::Interpreter(const analysis::ModuleAnalysis& ma,
     : ma_(ma), mod_(ma.module()), input_(input),
       sink_(sink ? sink : &nullSink)
 {
+    // Sync/thread events are emitted only for modules that can start
+    // threads, so single-threaded traces are bit-identical to what
+    // they were before concurrency existed.
+    for (ir::StmtId s = 0; s < mod_.numStmts(); ++s) {
+        if (mod_.instr(s).op == ir::Opcode::Spawn) {
+            hasThreads_ = true;
+            break;
+        }
+    }
 }
 
 void
@@ -39,269 +48,503 @@ Interpreter::effectiveAddress(const Frame& fr,
     return static_cast<uint64_t>(fr.regs[in.src0] + in.imm);
 }
 
+bool
+Interpreter::runnable(const Thread& th) const
+{
+    switch (th.status) {
+    case ThreadStatus::Ready:
+        return true;
+    case ThreadStatus::BlockedJoin:
+        return threads_[static_cast<size_t>(th.waitObj)]->status ==
+               ThreadStatus::Done;
+    case ThreadStatus::BlockedLock:
+        return lockHolder_.count(th.waitObj) == 0;
+    case ThreadStatus::Done:
+        return false;
+    }
+    return false;
+}
+
+uint32_t
+Interpreter::pickNext(uint32_t cur) const
+{
+    const uint32_t n = static_cast<uint32_t>(threads_.size());
+    for (uint32_t i = 1; i <= n; ++i) {
+        uint32_t cand = (cur + i) % n;
+        if (runnable(*threads_[cand]))
+            return cand;
+    }
+    return UINT32_MAX;
+}
+
+void
+Interpreter::ensureEntered(Thread& th, RunResult& res)
+{
+    if (th.entered)
+        return;
+    th.entered = true;
+    sink_->onEnterFunction(th.entryFunc, th.frames[0].callsite);
+    enterBlock(th.frames[0], 0);
+    ++res.blocksExecuted;
+}
+
+void
+Interpreter::emitSync(SyncKind k, int64_t obj, ir::StmtId s,
+                      RunResult& res)
+{
+    if (!hasThreads_)
+        return;
+    SyncEvent e;
+    e.kind = k;
+    e.obj = obj;
+    e.stmt = s;
+    e.seq = ++syncSeq_;
+    ++res.syncEvents;
+    sink_->onSync(e);
+}
+
+bool
+Interpreter::step(Thread& th, RunResult& res, const RunConfig& cfg)
+{
+    std::vector<Frame>& frames = th.frames;
+    {
+        // Blockable instructions must not claim a statement instance
+        // until they can actually execute: a blocked attempt leaves no
+        // trace and is re-tried when the thread is rescheduled.
+        Frame& fr = frames.back();
+        const ir::Instr& probe =
+            mod_.function(fr.func).blocks[fr.block].instrs[fr.ip];
+        if (probe.op == ir::Opcode::Join) {
+            int64_t tid = fr.regs[probe.src0];
+            if (tid <= 0 ||
+                static_cast<uint64_t>(tid) >= threads_.size())
+                WET_FATAL("join of unknown thread id " << tid);
+            Thread& child = *threads_[static_cast<size_t>(tid)];
+            if (child.joined)
+                WET_FATAL("thread " << tid << " joined twice");
+            if (child.status != ThreadStatus::Done) {
+                th.status = ThreadStatus::BlockedJoin;
+                th.waitObj = tid;
+                return false;
+            }
+        } else if (probe.op == ir::Opcode::Lock) {
+            int64_t l = fr.regs[probe.src0];
+            auto it = lockHolder_.find(l);
+            if (it != lockHolder_.end()) {
+                if (it->second == th.id)
+                    WET_FATAL("thread " << th.id
+                              << " re-locks held lock " << l);
+                th.status = ThreadStatus::BlockedLock;
+                th.waitObj = l;
+                return false;
+            }
+        }
+    }
+
+    Frame& fr = frames.back();
+    const ir::Function& fn = mod_.function(fr.func);
+    const ir::BasicBlock& blk = fn.blocks[fr.block];
+    const ir::Instr& in = blk.instrs[fr.ip];
+
+    if (++res.stmtsExecuted > cfg.maxStmts)
+        WET_FATAL("run exceeded the configured statement limit of "
+                  << cfg.maxStmts);
+
+    const ir::StmtId sid = in.stmt;
+    const uint32_t inst = execCount_[sid]++;
+
+    StmtEvent ev;
+    ev.stmt = sid;
+    ev.instance = inst;
+
+    auto regDep = [&](ir::RegId r) { return fr.regDef[r]; };
+    auto setDef = [&](ir::RegId r, int64_t v) {
+        fr.regs[r] = v;
+        fr.regDef[r] = DepRef{sid, inst};
+    };
+
+    switch (in.op) {
+      case ir::Opcode::Const: {
+        setDef(in.dest, in.imm);
+        ev.value = in.imm;
+        ev.hasValue = true;
+        sink_->onStmt(ev);
+        ++fr.ip;
+        break;
+      }
+      case ir::Opcode::Neg:
+      case ir::Opcode::Not:
+      case ir::Opcode::Mov: {
+        int64_t v = ir::evalUnary(in.op, fr.regs[in.src0]);
+        ev.depValues[ev.numDeps] = fr.regs[in.src0];
+        ev.deps[ev.numDeps++] = regDep(in.src0);
+        setDef(in.dest, v);
+        ev.value = v;
+        ev.hasValue = true;
+        sink_->onStmt(ev);
+        ++fr.ip;
+        break;
+      }
+      case ir::Opcode::In: {
+        int64_t v = input_.next();
+        setDef(in.dest, v);
+        ev.value = v;
+        ev.hasValue = true;
+        sink_->onStmt(ev);
+        ++fr.ip;
+        break;
+      }
+      case ir::Opcode::Load: {
+        uint64_t addr = effectiveAddress(fr, in);
+        if (addr >= memory_.size())
+            WET_FATAL("load out of bounds: address " << addr
+                      << " (mem is " << memory_.size()
+                      << " words) at stmt " << sid);
+        int64_t v = memory_[addr];
+        ev.depValues[ev.numDeps] = fr.regs[in.src0];
+        ev.deps[ev.numDeps++] = regDep(in.src0);
+        if (memWriter_[addr].valid()) {
+            ev.depValues[ev.numDeps] = v;
+            ev.deps[ev.numDeps++] = memWriter_[addr];
+        }
+        setDef(in.dest, v);
+        ev.value = v;
+        ev.hasValue = true;
+        ev.isLoad = true;
+        ev.addr = addr;
+        ++res.loads;
+        sink_->onStmt(ev);
+        emitSync(SyncKind::Read, static_cast<int64_t>(addr), sid,
+                 res);
+        ++fr.ip;
+        break;
+      }
+      case ir::Opcode::Store: {
+        uint64_t addr = effectiveAddress(fr, in);
+        if (addr >= memory_.size())
+            WET_FATAL("store out of bounds: address " << addr
+                      << " (mem is " << memory_.size()
+                      << " words) at stmt " << sid);
+        ev.depValues[ev.numDeps] = fr.regs[in.src0];
+        ev.deps[ev.numDeps++] = regDep(in.src0);
+        ev.depValues[ev.numDeps] = fr.regs[in.src1];
+        ev.deps[ev.numDeps++] = regDep(in.src1);
+        memory_[addr] = fr.regs[in.src1];
+        memWriter_[addr] = DepRef{sid, inst};
+        ev.isStore = true;
+        ev.addr = addr;
+        ++res.stores;
+        sink_->onStmt(ev);
+        emitSync(SyncKind::Write, static_cast<int64_t>(addr), sid,
+                 res);
+        ++fr.ip;
+        break;
+      }
+      case ir::Opcode::Out: {
+        ev.depValues[ev.numDeps] = fr.regs[in.src0];
+        ev.deps[ev.numDeps++] = regDep(in.src0);
+        if (cfg.collectOutputs)
+            res.outputs.push_back(fr.regs[in.src0]);
+        sink_->onStmt(ev);
+        ++fr.ip;
+        break;
+      }
+      case ir::Opcode::Call: {
+        if (frames.size() >= cfg.maxCallDepth)
+            WET_FATAL("call depth exceeded "
+                      << cfg.maxCallDepth);
+        ir::FuncId callee = static_cast<ir::FuncId>(in.imm);
+        // The Call's own event is emitted when the callee
+        // returns; remember what we need in the caller frame.
+        fr.pendingCall = sid;
+        fr.pendingCallInstance = inst;
+        fr.pendingCallDest = in.dest;
+        ++fr.ip; // resume past the call after return
+        ++res.calls;
+        DepRef cs{sid, inst};
+        // Gather argument values/writers before the frame vector
+        // reallocates.
+        std::vector<int64_t> argVals(in.args.size());
+        std::vector<DepRef> argDefs(in.args.size());
+        for (size_t a = 0; a < in.args.size(); ++a) {
+            argVals[a] = fr.regs[in.args[a]];
+            argDefs[a] = fr.regDef[in.args[a]];
+        }
+        const ir::Function& cfn = mod_.function(callee);
+        Frame nf;
+        nf.func = callee;
+        nf.regs.assign(cfn.numRegs, 0);
+        nf.regDef.assign(cfn.numRegs, DepRef{});
+        nf.callsite = cs;
+        frames.push_back(std::move(nf));
+        Frame& cf = frames.back();
+        for (size_t a = 0; a < argVals.size(); ++a) {
+            cf.regs[a] = argVals[a];
+            cf.regDef[a] = argDefs[a];
+        }
+        sink_->onEnterFunction(callee, cs);
+        enterBlock(cf, 0);
+        ++res.blocksExecuted;
+        break;
+      }
+      case ir::Opcode::Spawn: {
+        ir::FuncId callee = static_cast<ir::FuncId>(in.imm);
+        uint32_t childId = static_cast<uint32_t>(threads_.size());
+        DepRef cs{sid, inst};
+        const ir::Function& cfn = mod_.function(callee);
+        auto child = std::make_unique<Thread>();
+        child->id = childId;
+        child->entryFunc = callee;
+        Frame cf;
+        cf.func = callee;
+        cf.regs.assign(cfn.numRegs, 0);
+        cf.regDef.assign(cfn.numRegs, DepRef{});
+        cf.callsite = cs;
+        for (size_t a = 0; a < in.args.size(); ++a) {
+            cf.regs[a] = fr.regs[in.args[a]];
+            cf.regDef[a] = fr.regDef[in.args[a]];
+        }
+        child->frames.push_back(std::move(cf));
+        threads_.push_back(std::move(child));
+        ++res.spawns;
+        res.threads = static_cast<uint32_t>(threads_.size());
+        // The spawn's value (the thread id) is an input-like value:
+        // not a function of in-path operands, like In/Load/Call.
+        setDef(in.dest, static_cast<int64_t>(childId));
+        ev.value = static_cast<int64_t>(childId);
+        ev.hasValue = true;
+        sink_->onThreadStart(childId, th.id, cs);
+        sink_->onStmt(ev);
+        emitSync(SyncKind::Spawn, static_cast<int64_t>(childId), sid,
+                 res);
+        ++fr.ip;
+        break;
+      }
+      case ir::Opcode::Join: {
+        // step()'s preamble guarantees the child exists and is Done.
+        Thread& child =
+            *threads_[static_cast<size_t>(fr.regs[in.src0])];
+        ev.depValues[ev.numDeps] = fr.regs[in.src0];
+        ev.deps[ev.numDeps++] = regDep(in.src0);
+        if (child.retDef.valid()) {
+            // Cross-thread DD edge: the joined thread's return value
+            // flows into the join, mirroring Call's return edge.
+            ev.depValues[ev.numDeps] = child.retVal;
+            ev.deps[ev.numDeps++] = child.retDef;
+        }
+        setDef(in.dest, child.retVal);
+        ev.value = child.retVal;
+        ev.hasValue = true;
+        child.joined = true;
+        sink_->onStmt(ev);
+        emitSync(SyncKind::Join, static_cast<int64_t>(child.id), sid,
+                 res);
+        ++fr.ip;
+        break;
+      }
+      case ir::Opcode::Lock: {
+        int64_t l = fr.regs[in.src0];
+        ev.depValues[ev.numDeps] = l;
+        ev.deps[ev.numDeps++] = regDep(in.src0);
+        lockHolder_[l] = th.id;
+        sink_->onStmt(ev);
+        emitSync(SyncKind::Acquire, l, sid, res);
+        ++fr.ip;
+        break;
+      }
+      case ir::Opcode::Unlock: {
+        int64_t l = fr.regs[in.src0];
+        auto it = lockHolder_.find(l);
+        if (it == lockHolder_.end() || it->second != th.id)
+            WET_FATAL("thread " << th.id << " unlocks lock " << l
+                      << " it does not hold");
+        lockHolder_.erase(it);
+        ev.depValues[ev.numDeps] = l;
+        ev.deps[ev.numDeps++] = regDep(in.src0);
+        sink_->onStmt(ev);
+        emitSync(SyncKind::Release, l, sid, res);
+        ++fr.ip;
+        break;
+      }
+      case ir::Opcode::Br: {
+        bool taken = fr.regs[in.src0] != 0;
+        uint8_t idx = taken ? 0 : 1;
+        ev.depValues[ev.numDeps] = fr.regs[in.src0];
+        ev.deps[ev.numDeps++] = regDep(in.src0);
+        ev.isBranch = true;
+        ev.branchTaken = taken;
+        sink_->onStmt(ev);
+        ++res.branches;
+        sink_->onEdge(fr.func, fr.block, idx);
+        // Open this predicate's control-dependence region,
+        // replacing a same-region top entry to keep the stack
+        // bounded across loop iterations.
+        const auto& fa = ma_.fn(fr.func);
+        ir::BlockId ipd = fa.postdom.idom(fr.block);
+        CdEntry entry{ipd, DepRef{sid, inst}};
+        if (!fr.cdStack.empty() &&
+            fr.cdStack.back().ipdom == ipd)
+        {
+            fr.cdStack.back() = entry;
+        } else {
+            fr.cdStack.push_back(entry);
+        }
+        enterBlock(fr, blk.succs[idx]);
+        ++res.blocksExecuted;
+        break;
+      }
+      case ir::Opcode::Jmp: {
+        sink_->onStmt(ev);
+        sink_->onEdge(fr.func, fr.block, 0);
+        enterBlock(fr, blk.succs[0]);
+        ++res.blocksExecuted;
+        break;
+      }
+      case ir::Opcode::Ret: {
+        int64_t retVal = 0;
+        DepRef retDef;
+        if (in.src0 != ir::kNoReg) {
+            retVal = fr.regs[in.src0];
+            retDef = regDep(in.src0);
+            ev.depValues[ev.numDeps] = retVal;
+            ev.deps[ev.numDeps++] = retDef;
+        }
+        sink_->onStmt(ev);
+        ir::FuncId leaving = fr.func;
+        frames.pop_back();
+        sink_->onLeaveFunction(leaving);
+        if (frames.empty()) {
+            if (th.id == 0) {
+                for (const auto& t : threads_) {
+                    if (t->id != 0 &&
+                        t->status != ThreadStatus::Done)
+                        WET_FATAL("main returned with unjoined "
+                                  "running thread " << t->id);
+                }
+                programEnded_ = true;
+            } else {
+                th.status = ThreadStatus::Done;
+                th.retVal = retVal;
+                th.retDef = retDef;
+            }
+            break;
+        }
+        Frame& caller = frames.back();
+        WET_ASSERT(caller.pendingCall != ir::kNoStmt,
+                   "return without a pending call");
+        StmtEvent cev;
+        cev.stmt = caller.pendingCall;
+        cev.instance = caller.pendingCallInstance;
+        cev.value = retVal;
+        cev.hasValue = true;
+        if (retDef.valid()) {
+            cev.depValues[cev.numDeps] = retVal;
+            cev.deps[cev.numDeps++] = retDef;
+        }
+        caller.regs[caller.pendingCallDest] = retVal;
+        caller.regDef[caller.pendingCallDest] =
+            DepRef{caller.pendingCall,
+                   caller.pendingCallInstance};
+        caller.pendingCall = ir::kNoStmt;
+        sink_->onStmt(cev);
+        break;
+      }
+      case ir::Opcode::Halt: {
+        sink_->onStmt(ev);
+        while (!frames.empty()) {
+            sink_->onLeaveFunction(frames.back().func);
+            frames.pop_back();
+        }
+        for (const auto& t : threads_) {
+            if (t->id != th.id && t->status != ThreadStatus::Done)
+                WET_FATAL("halt with unjoined running thread "
+                          << t->id);
+        }
+        th.status = ThreadStatus::Done;
+        programEnded_ = true;
+        break;
+      }
+      default: {
+        // Binary ALU and comparisons.
+        WET_ASSERT(ir::isBinaryAlu(in.op),
+                   "unhandled opcode "
+                       << ir::opcodeName(in.op));
+        int64_t v = ir::evalBinary(in.op, fr.regs[in.src0],
+                                   fr.regs[in.src1]);
+        ev.depValues[ev.numDeps] = fr.regs[in.src0];
+        ev.deps[ev.numDeps++] = regDep(in.src0);
+        ev.depValues[ev.numDeps] = fr.regs[in.src1];
+        ev.deps[ev.numDeps++] = regDep(in.src1);
+        setDef(in.dest, v);
+        ev.value = v;
+        ev.hasValue = true;
+        sink_->onStmt(ev);
+        ++fr.ip;
+        break;
+      }
+    }
+    return true;
+}
+
 RunResult
 Interpreter::run(const RunConfig& cfg)
 {
     memory_.assign(mod_.memWords(), 0);
     memWriter_.assign(mod_.memWords(), DepRef{});
     execCount_.assign(mod_.numStmts(), 0);
+    threads_.clear();
+    lockHolder_.clear();
+    programEnded_ = false;
+    syncSeq_ = 0;
 
     RunResult res;
-    std::vector<Frame> frames;
 
-    auto pushFrame = [&](ir::FuncId f, const DepRef& callsite) {
-        const ir::Function& fn = mod_.function(f);
+    {
+        auto main = std::make_unique<Thread>();
+        main->id = 0;
+        main->entryFunc = mod_.entryFunction();
+        const ir::Function& fn = mod_.function(main->entryFunc);
         Frame fr;
-        fr.func = f;
+        fr.func = main->entryFunc;
         fr.regs.assign(fn.numRegs, 0);
         fr.regDef.assign(fn.numRegs, DepRef{});
-        fr.callsite = callsite;
-        frames.push_back(std::move(fr));
-    };
+        threads_.push_back(std::move(main));
 
-    pushFrame(mod_.entryFunction(), DepRef{});
-    sink_->onEnterFunction(mod_.entryFunction(), DepRef{});
-    enterBlock(frames.back(), 0);
-    res.blocksExecuted++;
-
-    bool running = true;
-    while (running) {
-        Frame& fr = frames.back();
-        const ir::Function& fn = mod_.function(fr.func);
-        const ir::BasicBlock& blk = fn.blocks[fr.block];
-        const ir::Instr& in = blk.instrs[fr.ip];
-
-        if (++res.stmtsExecuted > cfg.maxStmts)
-            WET_FATAL("run exceeded the configured statement limit of "
-                      << cfg.maxStmts);
-
-        const ir::StmtId sid = in.stmt;
-        const uint32_t inst = execCount_[sid]++;
-
-        StmtEvent ev;
-        ev.stmt = sid;
-        ev.instance = inst;
-
-        auto regDep = [&](ir::RegId r) { return fr.regDef[r]; };
-        auto setDef = [&](ir::RegId r, int64_t v) {
-            fr.regs[r] = v;
-            fr.regDef[r] = DepRef{sid, inst};
-        };
-
-        switch (in.op) {
-          case ir::Opcode::Const: {
-            setDef(in.dest, in.imm);
-            ev.value = in.imm;
-            ev.hasValue = true;
-            sink_->onStmt(ev);
-            ++fr.ip;
-            break;
-          }
-          case ir::Opcode::Neg:
-          case ir::Opcode::Not:
-          case ir::Opcode::Mov: {
-            int64_t v = ir::evalUnary(in.op, fr.regs[in.src0]);
-            ev.depValues[ev.numDeps] = fr.regs[in.src0];
-            ev.deps[ev.numDeps++] = regDep(in.src0);
-            setDef(in.dest, v);
-            ev.value = v;
-            ev.hasValue = true;
-            sink_->onStmt(ev);
-            ++fr.ip;
-            break;
-          }
-          case ir::Opcode::In: {
-            int64_t v = input_.next();
-            setDef(in.dest, v);
-            ev.value = v;
-            ev.hasValue = true;
-            sink_->onStmt(ev);
-            ++fr.ip;
-            break;
-          }
-          case ir::Opcode::Load: {
-            uint64_t addr = effectiveAddress(fr, in);
-            if (addr >= memory_.size())
-                WET_FATAL("load out of bounds: address " << addr
-                          << " (mem is " << memory_.size()
-                          << " words) at stmt " << sid);
-            int64_t v = memory_[addr];
-            ev.depValues[ev.numDeps] = fr.regs[in.src0];
-            ev.deps[ev.numDeps++] = regDep(in.src0);
-            if (memWriter_[addr].valid()) {
-                ev.depValues[ev.numDeps] = v;
-                ev.deps[ev.numDeps++] = memWriter_[addr];
-            }
-            setDef(in.dest, v);
-            ev.value = v;
-            ev.hasValue = true;
-            ev.isLoad = true;
-            ev.addr = addr;
-            ++res.loads;
-            sink_->onStmt(ev);
-            ++fr.ip;
-            break;
-          }
-          case ir::Opcode::Store: {
-            uint64_t addr = effectiveAddress(fr, in);
-            if (addr >= memory_.size())
-                WET_FATAL("store out of bounds: address " << addr
-                          << " (mem is " << memory_.size()
-                          << " words) at stmt " << sid);
-            ev.depValues[ev.numDeps] = fr.regs[in.src0];
-            ev.deps[ev.numDeps++] = regDep(in.src0);
-            ev.depValues[ev.numDeps] = fr.regs[in.src1];
-            ev.deps[ev.numDeps++] = regDep(in.src1);
-            memory_[addr] = fr.regs[in.src1];
-            memWriter_[addr] = DepRef{sid, inst};
-            ev.isStore = true;
-            ev.addr = addr;
-            ++res.stores;
-            sink_->onStmt(ev);
-            ++fr.ip;
-            break;
-          }
-          case ir::Opcode::Out: {
-            ev.depValues[ev.numDeps] = fr.regs[in.src0];
-            ev.deps[ev.numDeps++] = regDep(in.src0);
-            if (cfg.collectOutputs)
-                res.outputs.push_back(fr.regs[in.src0]);
-            sink_->onStmt(ev);
-            ++fr.ip;
-            break;
-          }
-          case ir::Opcode::Call: {
-            if (frames.size() >= cfg.maxCallDepth)
-                WET_FATAL("call depth exceeded "
-                          << cfg.maxCallDepth);
-            ir::FuncId callee = static_cast<ir::FuncId>(in.imm);
-            // The Call's own event is emitted when the callee
-            // returns; remember what we need in the caller frame.
-            fr.pendingCall = sid;
-            fr.pendingCallInstance = inst;
-            fr.pendingCallDest = in.dest;
-            ++fr.ip; // resume past the call after return
-            ++res.calls;
-            DepRef cs{sid, inst};
-            // Gather argument values/writers before the frame vector
-            // reallocates.
-            std::vector<int64_t> argVals(in.args.size());
-            std::vector<DepRef> argDefs(in.args.size());
-            for (size_t a = 0; a < in.args.size(); ++a) {
-                argVals[a] = fr.regs[in.args[a]];
-                argDefs[a] = fr.regDef[in.args[a]];
-            }
-            pushFrame(callee, cs);
-            Frame& cf = frames.back();
-            for (size_t a = 0; a < argVals.size(); ++a) {
-                cf.regs[a] = argVals[a];
-                cf.regDef[a] = argDefs[a];
-            }
-            sink_->onEnterFunction(callee, cs);
-            enterBlock(cf, 0);
-            ++res.blocksExecuted;
-            break;
-          }
-          case ir::Opcode::Br: {
-            bool taken = fr.regs[in.src0] != 0;
-            uint8_t idx = taken ? 0 : 1;
-            ev.depValues[ev.numDeps] = fr.regs[in.src0];
-            ev.deps[ev.numDeps++] = regDep(in.src0);
-            ev.isBranch = true;
-            ev.branchTaken = taken;
-            sink_->onStmt(ev);
-            ++res.branches;
-            sink_->onEdge(fr.func, fr.block, idx);
-            // Open this predicate's control-dependence region,
-            // replacing a same-region top entry to keep the stack
-            // bounded across loop iterations.
-            const auto& fa = ma_.fn(fr.func);
-            ir::BlockId ipd = fa.postdom.idom(fr.block);
-            CdEntry entry{ipd, DepRef{sid, inst}};
-            if (!fr.cdStack.empty() &&
-                fr.cdStack.back().ipdom == ipd)
-            {
-                fr.cdStack.back() = entry;
-            } else {
-                fr.cdStack.push_back(entry);
-            }
-            enterBlock(fr, blk.succs[idx]);
-            ++res.blocksExecuted;
-            break;
-          }
-          case ir::Opcode::Jmp: {
-            sink_->onStmt(ev);
-            sink_->onEdge(fr.func, fr.block, 0);
-            enterBlock(fr, blk.succs[0]);
-            ++res.blocksExecuted;
-            break;
-          }
-          case ir::Opcode::Ret: {
-            int64_t retVal = 0;
-            DepRef retDef;
-            if (in.src0 != ir::kNoReg) {
-                retVal = fr.regs[in.src0];
-                retDef = regDep(in.src0);
-                ev.depValues[ev.numDeps] = retVal;
-                ev.deps[ev.numDeps++] = retDef;
-            }
-            sink_->onStmt(ev);
-            ir::FuncId leaving = fr.func;
-            frames.pop_back();
-            sink_->onLeaveFunction(leaving);
-            if (frames.empty()) {
-                running = false;
-                break;
-            }
-            Frame& caller = frames.back();
-            WET_ASSERT(caller.pendingCall != ir::kNoStmt,
-                       "return without a pending call");
-            StmtEvent cev;
-            cev.stmt = caller.pendingCall;
-            cev.instance = caller.pendingCallInstance;
-            cev.value = retVal;
-            cev.hasValue = true;
-            if (retDef.valid()) {
-                cev.depValues[cev.numDeps] = retVal;
-                cev.deps[cev.numDeps++] = retDef;
-            }
-            caller.regs[caller.pendingCallDest] = retVal;
-            caller.regDef[caller.pendingCallDest] =
-                DepRef{caller.pendingCall,
-                       caller.pendingCallInstance};
-            caller.pendingCall = ir::kNoStmt;
-            sink_->onStmt(cev);
-            break;
-          }
-          case ir::Opcode::Halt: {
-            sink_->onStmt(ev);
-            while (!frames.empty()) {
-                sink_->onLeaveFunction(frames.back().func);
-                frames.pop_back();
-            }
-            running = false;
-            break;
-          }
-          default: {
-            // Binary ALU and comparisons.
-            WET_ASSERT(ir::isBinaryAlu(in.op),
-                       "unhandled opcode "
-                           << ir::opcodeName(in.op));
-            int64_t v = ir::evalBinary(in.op, fr.regs[in.src0],
-                                       fr.regs[in.src1]);
-            ev.depValues[ev.numDeps] = fr.regs[in.src0];
-            ev.deps[ev.numDeps++] = regDep(in.src0);
-            ev.depValues[ev.numDeps] = fr.regs[in.src1];
-            ev.deps[ev.numDeps++] = regDep(in.src1);
-            setDef(in.dest, v);
-            ev.value = v;
-            ev.hasValue = true;
-            sink_->onStmt(ev);
-            ++fr.ip;
-            break;
-          }
-        }
+        // Re-create the frame inside the stored thread (the local was
+        // only used to keep initialization in one place).
+        threads_[0]->frames.push_back(std::move(fr));
     }
+    ensureEntered(*threads_[0], res);
+
+    uint32_t cur = 0;
+    uint64_t used = 0; // statements run in the current quantum
+    const uint32_t quantum = cfg.threadQuantum == 0
+                                 ? 1
+                                 : cfg.threadQuantum;
+    while (!programEnded_) {
+        Thread& th = *threads_[cur];
+        if (th.status == ThreadStatus::Done || !runnable(th) ||
+            used >= quantum)
+        {
+            uint32_t next = pickNext(cur);
+            if (next == UINT32_MAX)
+                WET_FATAL("deadlock: all simulated threads are "
+                          "blocked");
+            used = 0;
+            if (next != cur) {
+                cur = next;
+                if (hasThreads_)
+                    sink_->onThreadSwitch(cur);
+            }
+            Thread& nt = *threads_[cur];
+            nt.status = ThreadStatus::Ready; // resume from block
+            ensureEntered(nt, res);
+            continue;
+        }
+        if (step(th, res, cfg))
+            ++used;
+    }
+    res.threads = static_cast<uint32_t>(threads_.size());
     sink_->onEnd();
     return res;
 }

@@ -2,6 +2,8 @@
 #define WET_INTERP_INTERPRETER_H
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/moduleanalysis.h"
@@ -21,6 +23,13 @@ struct RunConfig
     uint32_t maxCallDepth = 1 << 16;
     /** Collect values passed to `out` into RunResult::outputs. */
     bool collectOutputs = true;
+    /**
+     * Statements one simulated thread runs before the round-robin
+     * scheduler rotates to the next runnable thread. Only matters for
+     * modules containing `spawn`; single-threaded programs execute
+     * exactly as if there were no scheduler.
+     */
+    uint32_t threadQuantum = 3;
 };
 
 /** Summary of one program run. */
@@ -32,6 +41,9 @@ struct RunResult
     uint64_t stores = 0;
     uint64_t branches = 0;
     uint64_t calls = 0;
+    uint64_t spawns = 0;
+    uint64_t syncEvents = 0;
+    uint32_t threads = 1;
     std::vector<int64_t> outputs;
 };
 
@@ -46,6 +58,17 @@ struct RunResult
  * with a per-frame region stack over the post-dominator tree; register
  * and memory flow is tracked with last-writer tables to produce exact
  * dynamic data dependences.
+ *
+ * Concurrency is simulated deterministically on one OS thread: `spawn`
+ * creates a simulated thread, and a fixed-quantum round-robin scheduler
+ * interleaves runnable threads between statements. `join` and `lock`
+ * block (the thread re-attempts the instruction when rescheduled, so a
+ * blocked attempt claims no statement instance); all threads share the
+ * flat memory, input stream, and statement instance counters. Runs of
+ * modules containing `spawn` additionally emit per-thread SYNC events
+ * (see TraceSink::onSync). Deadlock, re-locking a held lock, unlocking
+ * an unheld lock, joining a thread twice, and ending the program with
+ * unjoined threads are fatal errors.
  */
 class Interpreter
 {
@@ -86,8 +109,42 @@ class Interpreter
         ir::RegId pendingCallDest = ir::kNoReg;
     };
 
+    enum class ThreadStatus : uint8_t
+    {
+        Ready,
+        BlockedJoin, //!< waiting for thread waitObj to finish
+        BlockedLock, //!< waiting for lock waitObj to be released
+        Done,
+    };
+
+    /** One simulated thread (thread 0 is main). */
+    struct Thread
+    {
+        uint32_t id = 0;
+        std::vector<Frame> frames;
+        ThreadStatus status = ThreadStatus::Ready;
+        bool entered = false; //!< onEnterFunction emitted
+        ir::FuncId entryFunc = 0;
+        int64_t waitObj = 0;
+        int64_t retVal = 0;  //!< entry function's return (Done)
+        DepRef retDef;       //!< writer of that return value
+        bool joined = false;
+    };
+
     void enterBlock(Frame& fr, ir::BlockId b);
     uint64_t effectiveAddress(const Frame& fr, const ir::Instr& in) const;
+
+    bool runnable(const Thread& th) const;
+    /** Next runnable thread after @p cur (round-robin, may be cur). */
+    uint32_t pickNext(uint32_t cur) const;
+    void ensureEntered(Thread& th, RunResult& res);
+    void emitSync(SyncKind k, int64_t obj, ir::StmtId s,
+                  RunResult& res);
+    /**
+     * Execute one statement of @p th. Returns false if the thread
+     * blocked instead of executing (no instance claimed).
+     */
+    bool step(Thread& th, RunResult& res, const RunConfig& cfg);
 
     const analysis::ModuleAnalysis& ma_;
     const ir::Module& mod_;
@@ -96,6 +153,11 @@ class Interpreter
     std::vector<int64_t> memory_;
     std::vector<DepRef> memWriter_;
     std::vector<uint32_t> execCount_;
+    std::vector<std::unique_ptr<Thread>> threads_;
+    std::unordered_map<int64_t, uint32_t> lockHolder_;
+    bool hasThreads_ = false; //!< module contains a Spawn opcode
+    bool programEnded_ = false;
+    uint64_t syncSeq_ = 0;
 };
 
 } // namespace interp

@@ -27,6 +27,35 @@ struct DepRef
     }
 };
 
+/**
+ * Kind of a synchronization / shared-memory event in the per-thread
+ * SYNC stream. Numeric values are the on-disk encoding (WETX v3) and
+ * must not be reordered.
+ */
+enum class SyncKind : uint8_t {
+    Spawn = 0,   //!< obj = spawned thread id
+    Join = 1,    //!< obj = joined thread id
+    Acquire = 2, //!< obj = lock number
+    Release = 3, //!< obj = lock number
+    Read = 4,    //!< obj = memory address (Load)
+    Write = 5,   //!< obj = memory address (Store)
+};
+
+/**
+ * One synchronization / shared-memory access event. `seq` is a global
+ * strictly increasing counter over all threads, so the interleaved
+ * order of a run can be reconstructed from the per-thread streams by
+ * a k-way merge on seq. Emitted only for modules that contain a
+ * `spawn` (single-threaded traces carry no SYNC stream).
+ */
+struct SyncEvent
+{
+    SyncKind kind = SyncKind::Read;
+    int64_t obj = 0;       //!< thread id, lock number, or address
+    ir::StmtId stmt = ir::kNoStmt;
+    uint64_t seq = 0;      //!< global interleaving position (1-based)
+};
+
 /** Everything the tracer reports about one executed instruction. */
 struct StmtEvent
 {
@@ -99,6 +128,30 @@ class TraceSink
 
     virtual void onStmt(const StmtEvent& ev) { (void)ev; }
 
+    /**
+     * A `spawn` created thread @p tid (parent @p parent, spawn-site
+     * instance @p spawn_site). The child's onEnterFunction arrives
+     * later, at its first scheduling slot. Threaded runs only.
+     */
+    virtual void
+    onThreadStart(uint32_t tid, uint32_t parent,
+                  const DepRef& spawn_site)
+    {
+        (void)tid;
+        (void)parent;
+        (void)spawn_site;
+    }
+
+    /**
+     * The scheduler switched simulated threads: subsequent events
+     * belong to thread @p tid. Never emitted for single-threaded
+     * modules (everything belongs to thread 0).
+     */
+    virtual void onThreadSwitch(uint32_t tid) { (void)tid; }
+
+    /** Sync/access event of the current thread. Threaded runs only. */
+    virtual void onSync(const SyncEvent& ev) { (void)ev; }
+
     /** Program finished (Halt, or Ret from the entry frame). */
     virtual void onEnd() {}
 };
@@ -143,6 +196,28 @@ class TeeSink : public TraceSink
     {
         for (auto* s : sinks_)
             s->onStmt(ev);
+    }
+
+    void
+    onThreadStart(uint32_t tid, uint32_t parent,
+                  const DepRef& spawn_site) override
+    {
+        for (auto* s : sinks_)
+            s->onThreadStart(tid, parent, spawn_site);
+    }
+
+    void
+    onThreadSwitch(uint32_t tid) override
+    {
+        for (auto* s : sinks_)
+            s->onThreadSwitch(tid);
+    }
+
+    void
+    onSync(const SyncEvent& ev) override
+    {
+        for (auto* s : sinks_)
+            s->onSync(ev);
     }
 
     void

@@ -174,6 +174,51 @@ FunctionBuilder::emitCall(const std::string& callee,
     return placed.dest;
 }
 
+RegId
+FunctionBuilder::emitSpawn(const std::string& callee,
+                           std::vector<RegId> args)
+{
+    Instr in;
+    in.op = Opcode::Spawn;
+    in.dest = newReg();
+    in.args = std::move(args);
+    in.imm = -1; // patched in ModuleBuilder::build()
+    Instr& placed = append(std::move(in));
+    auto& blk = fn_.blocks[cur_];
+    mb_.pendingCalls_.push_back(ModuleBuilder::PendingCall{
+        mb_.done_.size(), cur_,
+        static_cast<uint32_t>(blk.instrs.size() - 1), callee});
+    return placed.dest;
+}
+
+RegId
+FunctionBuilder::emitJoin(RegId tid)
+{
+    Instr in;
+    in.op = Opcode::Join;
+    in.dest = newReg();
+    in.src0 = tid;
+    return append(std::move(in)).dest;
+}
+
+void
+FunctionBuilder::emitLock(RegId lockId)
+{
+    Instr in;
+    in.op = Opcode::Lock;
+    in.src0 = lockId;
+    append(std::move(in));
+}
+
+void
+FunctionBuilder::emitUnlock(RegId lockId)
+{
+    Instr in;
+    in.op = Opcode::Unlock;
+    in.src0 = lockId;
+    append(std::move(in));
+}
+
 void
 FunctionBuilder::emitBr(RegId cond, BlockId taken, BlockId fallthrough)
 {

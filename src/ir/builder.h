@@ -56,6 +56,15 @@ class FunctionBuilder
     /** Call by callee name; resolved when the module is built. */
     RegId emitCall(const std::string& callee, std::vector<RegId> args);
 
+    /** Spawn a thread running @p callee; yields the thread id. */
+    RegId emitSpawn(const std::string& callee, std::vector<RegId> args);
+
+    /** Join thread @p tid; yields the thread's return value. */
+    RegId emitJoin(RegId tid);
+
+    void emitLock(RegId lockId);
+    void emitUnlock(RegId lockId);
+
     void emitBr(RegId cond, BlockId taken, BlockId fallthrough);
     void emitJmp(BlockId target);
     void emitRet(RegId v = kNoReg);

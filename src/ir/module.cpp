@@ -103,7 +103,8 @@ Module::verify() const
                 checkReg(in.src1, "src1");
                 if (in.op == Opcode::Ret)
                     checkReg(in.src0, "ret value");
-                if (in.op == Opcode::Call) {
+                if (in.op == Opcode::Call ||
+                    in.op == Opcode::Spawn) {
                     if (in.imm < 0 ||
                         static_cast<size_t>(in.imm) >= functions_.size())
                     {
@@ -192,7 +193,8 @@ Module::dump() const
                 os << opcodeName(in.op);
                 if (in.op == Opcode::Const) {
                     os << " " << in.imm;
-                } else if (in.op == Opcode::Call) {
+                } else if (in.op == Opcode::Call ||
+                           in.op == Opcode::Spawn) {
                     os << " @" << functions_[in.imm].name << "(";
                     for (size_t a = 0; a < in.args.size(); ++a)
                         os << (a ? ", " : "") << "r" << in.args[a];

@@ -11,6 +11,8 @@ hasDef(Opcode op)
     switch (op) {
       case Opcode::Store:
       case Opcode::Out:
+      case Opcode::Lock:
+      case Opcode::Unlock:
       case Opcode::Br:
       case Opcode::Jmp:
       case Opcode::Ret:
@@ -53,6 +55,9 @@ numUses(Opcode op)
       case Opcode::Mov:
       case Opcode::Load:
       case Opcode::Out:
+      case Opcode::Join:   // thread id
+      case Opcode::Lock:   // lock number
+      case Opcode::Unlock: // lock number
       case Opcode::Br:
         return 1;
       case Opcode::Store:
@@ -61,7 +66,8 @@ numUses(Opcode op)
       case Opcode::In:
       case Opcode::Jmp:
       case Opcode::Halt:
-      case Opcode::Call: // args carried separately
+      case Opcode::Call:  // args carried separately
+      case Opcode::Spawn: // args carried separately
         return 0;
       case Opcode::Ret:
         return 0; // optional value handled by caller via kNoReg check
@@ -99,6 +105,10 @@ opcodeName(Opcode op)
       case Opcode::In: return "in";
       case Opcode::Out: return "out";
       case Opcode::Call: return "call";
+      case Opcode::Spawn: return "spawn";
+      case Opcode::Join: return "join";
+      case Opcode::Lock: return "lock";
+      case Opcode::Unlock: return "unlock";
       case Opcode::Br: return "br";
       case Opcode::Jmp: return "jmp";
       case Opcode::Ret: return "ret";

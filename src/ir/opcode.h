@@ -34,6 +34,11 @@ enum class Opcode : uint8_t {
     Out,
     // dest = call imm(args...); non-terminator.
     Call,
+    // Concurrency (simulated threads; non-terminators).
+    Spawn,  // dest = spawn imm(args...): start a thread, yields its id
+    Join,   // dest = join src0: wait for thread src0, yields its return
+    Lock,   // acquire lock number src0 (blocks while held)
+    Unlock, // release lock number src0
     // Terminators.
     Br,   // if (src0 != 0) goto succ[0] else goto succ[1]
     Jmp,  // goto succ[0]

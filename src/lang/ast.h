@@ -28,6 +28,8 @@ enum class ExprKind : uint8_t {
     Call,       //!< name(args...)
     Input,      //!< in()
     MemLoad,    //!< mem[lhs]
+    Spawn,      //!< spawn name(args...) — yields the thread id
+    Join,       //!< join(lhs) — yields the joined thread's return
 };
 
 /** One expression AST node (variant-style; fields used per kind). */
@@ -59,6 +61,8 @@ enum class StmtKind : uint8_t {
     Halt,
     ExprStmt, //!< e1; (typically a call)
     Block,    //!< { body }
+    Lock,     //!< lock(e1);
+    Unlock,   //!< unlock(e1);
 };
 
 /** One statement AST node. */

@@ -264,6 +264,16 @@ CodeGen::genStmt(const Stmt& s)
         genExpr(*s.e1);
         break;
       }
+      case StmtKind::Lock: {
+        RegId id = genExpr(*s.e1);
+        fb_->emitLock(id);
+        break;
+      }
+      case StmtKind::Unlock: {
+        RegId id = genExpr(*s.e1);
+        fb_->emitUnlock(id);
+        break;
+      }
     }
 }
 
@@ -323,6 +333,26 @@ CodeGen::genExpr(const Expr& e)
         for (const auto& a : e.args)
             args.push_back(genExpr(*a));
         return fb_->emitCall(e.name, std::move(args));
+      }
+      case ExprKind::Spawn: {
+        auto it = arity_.find(e.name);
+        if (it == arity_.end())
+            error(e.line, e.col,
+                  "spawn of unknown function '" + e.name + "'");
+        if (it->second != e.args.size())
+            error(e.line, e.col,
+                  "'" + e.name + "' expects " +
+                      std::to_string(it->second) + " arguments, got " +
+                      std::to_string(e.args.size()));
+        std::vector<RegId> args;
+        args.reserve(e.args.size());
+        for (const auto& a : e.args)
+            args.push_back(genExpr(*a));
+        return fb_->emitSpawn(e.name, std::move(args));
+      }
+      case ExprKind::Join: {
+        RegId tid = genExpr(*e.lhs);
+        return fb_->emitJoin(tid);
       }
       case ExprKind::Input:
         return fb_->emitIn();

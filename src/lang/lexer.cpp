@@ -29,6 +29,10 @@ tokKindName(TokKind k)
       case TokKind::KwIn: return "'in'";
       case TokKind::KwMem: return "'mem'";
       case TokKind::KwHalt: return "'halt'";
+      case TokKind::KwSpawn: return "'spawn'";
+      case TokKind::KwJoin: return "'join'";
+      case TokKind::KwLock: return "'lock'";
+      case TokKind::KwUnlock: return "'unlock'";
       case TokKind::LParen: return "'('";
       case TokKind::RParen: return "')'";
       case TokKind::LBrace: return "'{'";
@@ -154,6 +158,8 @@ Lexer::next()
         {"return", TokKind::KwReturn},
         {"out", TokKind::KwOut},     {"in", TokKind::KwIn},
         {"mem", TokKind::KwMem},     {"halt", TokKind::KwHalt},
+        {"spawn", TokKind::KwSpawn}, {"join", TokKind::KwJoin},
+        {"lock", TokKind::KwLock},   {"unlock", TokKind::KwUnlock},
     };
 
     skipWhitespaceAndComments();

@@ -249,6 +249,21 @@ Parser::parseStmt()
         expect(TokKind::Semi, "halt");
         return makeStmt(StmtKind::Halt, t);
       }
+      case TokKind::KwLock:
+      case TokKind::KwUnlock: {
+        advance();
+        auto s = makeStmt(t.kind == TokKind::KwLock
+                              ? StmtKind::Lock
+                              : StmtKind::Unlock,
+                          t);
+        const char* ctx =
+            t.kind == TokKind::KwLock ? "lock" : "unlock";
+        expect(TokKind::LParen, ctx);
+        s->e1 = parseExpr();
+        expect(TokKind::RParen, ctx);
+        expect(TokKind::Semi, ctx);
+        return s;
+      }
       default: {
         StmtPtr s = parseSimpleStmt(true);
         return s;
@@ -360,6 +375,30 @@ Parser::parsePrimary()
         expect(TokKind::LParen, "in()");
         expect(TokKind::RParen, "in()");
         return makeExpr(ExprKind::Input, t);
+      }
+      case TokKind::KwSpawn: {
+        advance();
+        const Token& callee = expect(TokKind::Ident, "spawn");
+        auto e = makeExpr(ExprKind::Spawn, t);
+        e->name = callee.text;
+        expect(TokKind::LParen, "spawn arguments");
+        if (!check(TokKind::RParen)) {
+            for (;;) {
+                e->args.push_back(parseExpr());
+                if (!match(TokKind::Comma))
+                    break;
+            }
+        }
+        expect(TokKind::RParen, "spawn arguments");
+        return e;
+      }
+      case TokKind::KwJoin: {
+        advance();
+        auto e = makeExpr(ExprKind::Join, t);
+        expect(TokKind::LParen, "join");
+        e->lhs = parseExpr();
+        expect(TokKind::RParen, "join");
+        return e;
       }
       case TokKind::KwMem: {
         advance();

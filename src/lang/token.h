@@ -15,6 +15,7 @@ enum class TokKind : uint8_t {
     // Keywords.
     KwFn, KwVar, KwConst, KwIf, KwElse, KwWhile, KwFor, KwBreak,
     KwContinue, KwReturn, KwOut, KwIn, KwMem, KwHalt,
+    KwSpawn, KwJoin, KwLock, KwUnlock,
     // Punctuation / operators.
     LParen, RParen, LBrace, RBrace, LBracket, RBracket,
     Comma, Semi,

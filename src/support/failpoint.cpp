@@ -29,6 +29,7 @@ const char* const kSites[] = {
     "core.session.query",
     "support.governor.deadline",
     "wetio.load.stream",
+    "wetio.load.sync",
     "wetio.open",
     "wetio.open.mmap",
     "wetio.open.read",
@@ -85,6 +86,8 @@ FailPoints::instance()
     static FailPoints fp;
     static std::once_flag envOnce;
     std::call_once(envOnce, [] {
+        // Guarded by call_once; no concurrent setenv in this
+        // process. NOLINTNEXTLINE(concurrency-mt-unsafe)
         if (const char* env = std::getenv("WET_FAILPOINTS")) {
             if (env[0] != '\0')
                 fp.arm(env);

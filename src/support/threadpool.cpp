@@ -175,6 +175,8 @@ parallelFor(ThreadPool* pool, size_t n,
 unsigned
 envThreadCount(unsigned fallback)
 {
+    // Read once during startup, before any worker threads exist.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* env = std::getenv("WET_THREADS");
     if (!env)
         return fallback;

@@ -29,7 +29,10 @@ constexpr uint32_t kMagic = 0x58544557; // "WETX"
 // Version 2: stream payloads (flag words, miss bytes) are raw
 // length-prefixed blobs instead of per-element varints, so loading
 // can alias them in place from an mmap'd file.
-constexpr uint32_t kVersion = 2;
+// Version 3: adds the per-thread SYNC section (event counts after the
+// graph scalars, four compressed streams per thread after the pool
+// streams). Single-threaded artifacts carry an empty section.
+constexpr uint32_t kVersion = 3;
 
 /** Thrown by the reader after a diagnostic has been reported. */
 struct LoadAbort
@@ -435,6 +438,9 @@ save(const std::string& path, const ir::Module& mod,
     w.u(graph.depInstancesTotal);
     w.u(graph.cdInstancesTotal);
     w.u(graph.droppedDeps);
+    w.u(graph.syncThreads.size());
+    for (const auto& st : graph.syncThreads)
+        w.u(st.numEvents);
 
     // Compressed streams.
     for (core::NodeId n = 0; n < graph.nodes.size(); ++n) {
@@ -449,6 +455,13 @@ save(const std::string& path, const ir::Module& mod,
     for (uint32_t i = 0; i < graph.labelPool.size(); ++i) {
         writeStream(w, compressed.pool(i).useInst);
         writeStream(w, compressed.pool(i).defInst);
+    }
+    for (uint32_t t = 0; t < compressed.numSyncThreads(); ++t) {
+        const core::CompressedSyncThread& cs = compressed.sync(t);
+        writeStream(w, cs.kind);
+        writeStream(w, cs.obj);
+        writeStream(w, cs.stmt);
+        writeStream(w, cs.seq);
     }
 
     // Crash-consistent publish: the artifact is staged as a sibling
@@ -687,6 +700,13 @@ try {
     g.depInstancesTotal = r.u();
     g.cdInstancesTotal = r.u();
     g.droppedDeps = r.u();
+    uint64_t numSyncThreads = r.count("sync thread");
+    g.syncThreads.resize(numSyncThreads); // tier-2 only: counts, no
+                                          // label vectors
+    for (auto& st : g.syncThreads) {
+        st.numEvents = r.u();
+        g.syncEventsTotal += st.numEvents;
+    }
 
     if (!validateGraphIndexes(g, diag, path))
         return {};
@@ -735,6 +755,23 @@ try {
         pool[p].useInst = readStream(r, diag, base + " useInst");
         pool[p].defInst = readStream(r, diag, base + " defInst");
     }
+    // The failpoint sits before the loop (not inside it) so fault
+    // sweeps exercise the sync-section error path on every artifact,
+    // including single-threaded ones whose section is empty.
+    if (WET_FAILPOINT_HIT("wetio.load.sync")) {
+        diag.error("IO005", path + ": sync section",
+                   "injected sync stream load fault");
+        return {};
+    }
+    std::vector<core::CompressedSyncThread> sync(numSyncThreads);
+    for (uint64_t t = 0; t < numSyncThreads; ++t) {
+        std::string base =
+            path + ": sync thread " + std::to_string(t);
+        sync[t].kind = readStream(r, diag, base + " kind");
+        sync[t].obj = readStream(r, diag, base + " obj");
+        sync[t].stmt = readStream(r, diag, base + " stmt");
+        sync[t].seq = readStream(r, diag, base + " seq");
+    }
     if (!r.atEnd()) {
         diag.error("IO006", path,
                    std::to_string(r.remaining()) +
@@ -742,7 +779,7 @@ try {
         return {};
     }
     out.compressed = std::make_unique<core::WetCompressed>(
-        g, std::move(nodes), std::move(pool));
+        g, std::move(nodes), std::move(pool), std::move(sync));
     out.backing = std::move(view);
     return out;
 } catch (const LoadAbort&) {

@@ -813,6 +813,148 @@ fn main() {
 }
 )WET";
 
+// ------------------------------------------------------- mt.counter
+// mt.counter: three workers hammer four shared histogram cells with
+// unsynchronized read-modify-writes — the canonical data race. Each
+// worker also keeps a private accumulator cell so the trace mixes
+// racy and thread-local accesses. This is the positive control for
+// the race detector: every run must report races.
+const char* kMtCounterSource = R"WET(
+const HIST = 8;
+const PRIV = 16;
+
+fn worker(id, iters) {
+    var sum = 0;
+    for (var i = 0; i < iters; i = i + 1) {
+        var slot = HIST + ((id + i) % 4);
+        mem[slot] = mem[slot] + id;
+        mem[PRIV + id] = mem[PRIV + id] + mem[slot] % 7;
+        sum = sum + mem[PRIV + id] % 13;
+    }
+    return sum;
+}
+
+fn main() {
+    var scale = in();
+    var iters = scale * 6 + 4;
+    for (var s = 0; s < 4; s = s + 1) {
+        mem[HIST + s] = 0;
+    }
+    var t1 = spawn worker(1, iters);
+    var t2 = spawn worker(2, iters);
+    var t3 = spawn worker(3, iters);
+    var r1 = join(t1);
+    var r2 = join(t2);
+    var r3 = join(t3);
+    var total = 0;
+    for (var s = 0; s < 4; s = s + 1) {
+        total = total + mem[HIST + s];
+    }
+    out(total);
+    out(r1 + r2 + r3);
+}
+)WET";
+
+// ---------------------------------------------------------- mt.bank
+// mt.bank: three tellers shuffle money between eight shared accounts,
+// every transfer inside one global lock. All cross-thread accesses
+// are release/acquire-ordered, so the detector must report zero races
+// and the account total is conserved. Negative control for lock-based
+// happens-before edges.
+const char* kMtBankSource = R"WET(
+const ACCTS = 8;
+const BASE = 8;
+const LBANK = 1;
+
+fn teller(id, rounds) {
+    var moved = 0;
+    for (var r = 0; r < rounds; r = r + 1) {
+        var from = (id + r) % ACCTS;
+        var to = (id * 3 + r * 5 + 1) % ACCTS;
+        lock(LBANK);
+        if (from != to) {
+            var amt = mem[BASE + from] % 16;
+            mem[BASE + from] = mem[BASE + from] - amt;
+            mem[BASE + to] = mem[BASE + to] + amt;
+            moved = moved + amt;
+        }
+        unlock(LBANK);
+    }
+    return moved;
+}
+
+fn main() {
+    var scale = in();
+    var rounds = scale * 5 + 3;
+    for (var a = 0; a < ACCTS; a = a + 1) {
+        mem[BASE + a] = 100 + a * 10;
+    }
+    var t1 = spawn teller(1, rounds);
+    var t2 = spawn teller(2, rounds);
+    var t3 = spawn teller(3, rounds);
+    var m = join(t1);
+    m = m + join(t2);
+    m = m + join(t3);
+    var total = 0;
+    for (var a = 0; a < ACCTS; a = a + 1) {
+        total = total + mem[BASE + a];
+    }
+    out(total);
+    out(m);
+}
+)WET";
+
+// ---------------------------------------------------------- mt.tree
+// mt.tree: fork-join divide-and-conquer sum. Each node spawns a
+// thread for its left half and recurses into the right half itself,
+// so the thread lifetimes form a binary tree. Leaves touch disjoint
+// array ranges and parents only combine after join, so the program is
+// race-free with no locks at all — negative control for spawn/join
+// happens-before edges.
+const char* kMtTreeSource = R"WET(
+const DATA = 32;
+const PARTIAL = 512;
+
+fn leaf(lo, n) {
+    var s = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        var v = mem[DATA + lo + i];
+        s = s + v;
+        mem[DATA + lo + i] = (v * 3 + lo) % 97;
+    }
+    return s;
+}
+
+fn node(lo, n, depth) {
+    if (depth == 0 || n < 4) {
+        return leaf(lo, n);
+    }
+    var half = n / 2;
+    var t = spawn node(lo, half, depth - 1);
+    var right = node(lo + half, n - half, depth - 1);
+    var left = join(t);
+    mem[PARTIAL + lo] = left + right;
+    return left + right;
+}
+
+fn main() {
+    var scale = in();
+    var n = scale * 4 + 16;
+    if (n > 256) {
+        n = 256;
+    }
+    for (var i = 0; i < n; i = i + 1) {
+        mem[DATA + i] = (i * 7 + 3) % 41;
+    }
+    out(node(0, n, 2));
+    var check = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        check = check + mem[DATA + i];
+    }
+    out(check);
+}
+)WET";
+
 std::vector<Workload>
 makeWorkloads()
 {
@@ -838,6 +980,16 @@ makeWorkloads()
                  withRnd(kBzip2Source), 1 << 16, 10});
     w.push_back({"300.twolf", "simulated-annealing placement",
                  withRnd(kTwolfSource), 1 << 16, 2200});
+    // Threaded workloads: exercise the per-thread SYNC streams and
+    // the race detector (one racy positive control, two race-free
+    // negative controls). They use no rnd(), so their cross-thread
+    // access patterns are fully determined by the scale.
+    w.push_back({"mt.counter", "unsynchronized shared counters (racy)",
+                 kMtCounterSource, 1 << 16, 300});
+    w.push_back({"mt.bank", "lock-serialized transfers (race-free)",
+                 kMtBankSource, 1 << 16, 300});
+    w.push_back({"mt.tree", "fork-join range sum (race-free)",
+                 kMtTreeSource, 1 << 16, 40});
     return w;
 }
 

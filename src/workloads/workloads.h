@@ -13,12 +13,15 @@ namespace wet {
 namespace workloads {
 
 /**
- * One synthetic benchmark program. The nine workloads model the
- * program classes of the paper's SpecInt 95/2000 subjects (irregular
- * search, compilation, interpretation, compression, network
- * optimization, parsing, object database, block transforms, and
- * annealing placement) so that the WET compression and query
- * behaviour spans the same qualitative range. See DESIGN.md §2.
+ * One synthetic benchmark program. The first nine workloads model
+ * the program classes of the paper's SpecInt 95/2000 subjects
+ * (irregular search, compilation, interpretation, compression,
+ * network optimization, parsing, object database, block transforms,
+ * and annealing placement) so that the WET compression and query
+ * behaviour spans the same qualitative range. Three mt.* workloads
+ * add threaded programs — one racy, one lock-ordered, one fork-join
+ * tree — to exercise the SYNC streams and the race detector. See
+ * DESIGN.md §2 and §12.
  */
 struct Workload
 {
@@ -31,7 +34,8 @@ struct Workload
     uint64_t defaultScale;
 };
 
-/** The nine workloads, in the paper's table order. */
+/** All twelve workloads: the nine single-threaded ones in the
+ *  paper's table order, then the three threaded mt.* ones. */
 const std::vector<Workload>& allWorkloads();
 
 /** Find a workload by name; throws WetError if unknown. */

@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "analysis/racedetect.h"
+#include "core/seqreader.h"
+#include "interp/tracesink.h"
+
+// Differential fuzzing of the race detector: random valid thread
+// interleavings (structured spawn/join lifecycles, balanced lock
+// discipline, globally unique seq counters) are fed to the
+// production vector-clock engine and to the naive HB-graph oracle,
+// which decides every ordering question by explicit reachability
+// over happens-before edges instead of epoch comparisons. The two
+// share the access bookkeeping definitions but not the ordering
+// mechanism, so any divergence pins a bug in the vector-clock update
+// rules. Iteration count is tunable with FUZZ_ITERS.
+
+namespace wet {
+namespace analysis {
+namespace {
+
+int
+fuzzIters()
+{
+    if (const char* e = std::getenv("FUZZ_ITERS"))
+        return std::max(1, std::atoi(e));
+    return 300;
+}
+
+/** Tier-1-style in-memory reader over one event component. */
+class VecReader : public core::SeqReader
+{
+  public:
+    std::vector<int64_t> v;
+
+    uint64_t
+    length() const override
+    {
+        return v.size();
+    }
+
+    int64_t
+    at(uint64_t i) override
+    {
+        return v[static_cast<size_t>(i)];
+    }
+};
+
+/**
+ * SyncAccess over an in-memory event list: drives the production
+ * vector-clock engine without building an artifact, so the fuzz
+ * exercises exactly the HB update rules, not the codec.
+ */
+class MemorySyncAccess : public SyncAccess
+{
+  public:
+    MemorySyncAccess(const std::vector<RawSyncEvent>& events,
+                     uint32_t num_threads)
+        : comps_(static_cast<size_t>(num_threads) * 4),
+          numThreads_(num_threads)
+    {
+        for (const RawSyncEvent& e : events) {
+            auto* c = &comps_[static_cast<size_t>(e.thread) * 4];
+            c[0].v.push_back(static_cast<int64_t>(e.kind));
+            c[1].v.push_back(e.obj);
+            c[2].v.push_back(static_cast<int64_t>(e.stmt));
+            c[3].v.push_back(static_cast<int64_t>(e.seq));
+        }
+    }
+
+    uint32_t
+    numThreads() const override
+    {
+        return numThreads_;
+    }
+
+    core::SeqReader&
+    component(uint32_t tid, uint32_t comp) override
+    {
+        return comps_[static_cast<size_t>(tid) * 4 + comp];
+    }
+
+  private:
+    std::vector<VecReader> comps_;
+    uint32_t numThreads_;
+};
+
+/**
+ * Simulated scheduler producing a random valid interleaving: every
+ * spawned thread is joined by its spawner after it finished, locks
+ * are held one at a time and always released, and seq values are the
+ * global emission order (1-based, dense). Memory accesses hit a tiny
+ * address range so cross-thread collisions — racy and lock-ordered
+ * alike — are frequent.
+ */
+struct InterleavingGen
+{
+    std::mt19937 rng;
+    std::vector<RawSyncEvent> events;
+    uint64_t seq = 0;
+
+    struct ThreadState
+    {
+        bool live = false;
+        bool finished = false;
+        int64_t held = -1;           //!< lock object held, -1 if none
+        int stepsLeft = 0;
+        std::vector<uint32_t> unjoined; //!< children not yet joined
+    };
+
+    std::vector<ThreadState> threads;
+    std::vector<int64_t> lockHolder; //!< per lock: thread or -1
+    uint32_t nextThread = 1;
+
+    explicit InterleavingGen(uint32_t seed) : rng(seed) {}
+
+    uint32_t
+    pick(uint32_t n)
+    {
+        return std::uniform_int_distribution<uint32_t>(0, n - 1)(rng);
+    }
+
+    void
+    emit(uint32_t t, interp::SyncKind kind, int64_t obj)
+    {
+        events.push_back({t, kind, obj,
+                          static_cast<ir::StmtId>(pick(25)), ++seq});
+    }
+
+    void
+    access(uint32_t t)
+    {
+        emit(t, pick(2) ? interp::SyncKind::Write
+                        : interp::SyncKind::Read,
+             static_cast<int64_t>(pick(3)));
+    }
+
+    std::vector<RawSyncEvent>
+    run(uint32_t plannedThreads, uint32_t numLocks)
+    {
+        threads.assign(plannedThreads, ThreadState{});
+        threads[0].live = true;
+        threads[0].stepsLeft = 6 + static_cast<int>(pick(10));
+        lockHolder.assign(numLocks, -1);
+
+        auto runnable = [&]() {
+            std::vector<uint32_t> r;
+            for (uint32_t t = 0; t < threads.size(); ++t)
+                if (threads[t].live && !threads[t].finished)
+                    r.push_back(t);
+            return r;
+        };
+
+        for (std::vector<uint32_t> r = runnable(); !r.empty();
+             r = runnable()) {
+            uint32_t t = r[pick(static_cast<uint32_t>(r.size()))];
+            ThreadState& ts = threads[t];
+
+            if (ts.stepsLeft <= 0) {
+                // Wind-down: join finished children, drop the lock,
+                // then finish. Waiting on a live child turns into a
+                // filler access so the loop always progresses.
+                auto done = std::find_if(
+                    ts.unjoined.begin(), ts.unjoined.end(),
+                    [&](uint32_t c) { return threads[c].finished; });
+                if (done != ts.unjoined.end()) {
+                    emit(t, interp::SyncKind::Join,
+                         static_cast<int64_t>(*done));
+                    ts.unjoined.erase(done);
+                } else if (!ts.unjoined.empty()) {
+                    access(t);
+                } else if (ts.held >= 0) {
+                    emit(t, interp::SyncKind::Release, ts.held);
+                    lockHolder[static_cast<size_t>(ts.held) - 100] =
+                        -1;
+                    ts.held = -1;
+                } else {
+                    ts.finished = true;
+                }
+                continue;
+            }
+
+            --ts.stepsLeft;
+            switch (pick(10)) {
+            case 0: { // acquire a free lock, if any
+                if (ts.held >= 0) {
+                    access(t);
+                    break;
+                }
+                std::vector<uint32_t> freeLocks;
+                for (uint32_t l = 0; l < lockHolder.size(); ++l)
+                    if (lockHolder[l] < 0)
+                        freeLocks.push_back(l);
+                if (freeLocks.empty()) {
+                    access(t);
+                    break;
+                }
+                uint32_t l = freeLocks[pick(
+                    static_cast<uint32_t>(freeLocks.size()))];
+                lockHolder[l] = static_cast<int64_t>(t);
+                ts.held = 100 + static_cast<int64_t>(l);
+                emit(t, interp::SyncKind::Acquire, ts.held);
+                break;
+            }
+            case 1: // release
+                if (ts.held >= 0) {
+                    emit(t, interp::SyncKind::Release, ts.held);
+                    lockHolder[static_cast<size_t>(ts.held) - 100] =
+                        -1;
+                    ts.held = -1;
+                } else {
+                    access(t);
+                }
+                break;
+            case 2: // spawn the next planned thread
+                if (nextThread < threads.size()) {
+                    uint32_t c = nextThread++;
+                    emit(t, interp::SyncKind::Spawn,
+                         static_cast<int64_t>(c));
+                    threads[c].live = true;
+                    threads[c].stepsLeft =
+                        2 + static_cast<int>(pick(9));
+                    ts.unjoined.push_back(c);
+                } else {
+                    access(t);
+                }
+                break;
+            case 3: { // opportunistic early join
+                auto done = std::find_if(
+                    ts.unjoined.begin(), ts.unjoined.end(),
+                    [&](uint32_t c) { return threads[c].finished; });
+                if (done != ts.unjoined.end()) {
+                    emit(t, interp::SyncKind::Join,
+                         static_cast<int64_t>(*done));
+                    ts.unjoined.erase(done);
+                } else {
+                    access(t);
+                }
+                break;
+            }
+            default:
+                access(t);
+                break;
+            }
+        }
+        return events;
+    }
+};
+
+std::string
+diffContext(const RaceReport& vc, const RaceReport& oracle)
+{
+    return "vector-clock engine:\n" + vc.renderText() +
+           "hb-graph oracle:\n" + oracle.renderText();
+}
+
+TEST(RaceDiffTest, VectorClocksMatchHbGraphOracle)
+{
+    const int iters = fuzzIters();
+    for (int it = 0; it < iters; ++it) {
+        InterleavingGen gen(7000 + static_cast<uint32_t>(it));
+        const uint32_t numThreads = 2 + gen.pick(4); // 2..5
+        const uint32_t numLocks = 1 + gen.pick(2);   // 1..2
+        std::vector<RawSyncEvent> events =
+            gen.run(numThreads, numLocks);
+        // Threads past nextThread were never spawned; the engines
+        // only see threads that exist in the interleaving.
+        const uint32_t spawned = gen.nextThread;
+
+        MemorySyncAccess sa(events, spawned);
+        RaceReport vc = detectRaces(sa);
+        RaceReport oracle = detectRacesOracle(events, spawned);
+
+        ASSERT_EQ(vc.races, oracle.races)
+            << "iter " << it << " (" << events.size()
+            << " events, " << spawned << " threads)\n"
+            << diffContext(vc, oracle);
+        EXPECT_EQ(vc.numEvents, oracle.numEvents) << "iter " << it;
+        EXPECT_EQ(vc.numThreads, oracle.numThreads) << "iter " << it;
+    }
+}
+
+// Hand-built anchor: parent writes before the spawn (ordered), both
+// sides write after it (concurrent). Exactly one race must come out
+// of both engines, catching sign/direction errors the differential
+// test alone cannot distinguish from a shared blind spot.
+TEST(RaceDiffTest, SpawnEdgeOrdersOnlyPriorAccesses)
+{
+    using interp::SyncKind;
+    std::vector<RawSyncEvent> ev = {
+        {0, SyncKind::Write, 5, 11, 1}, // parent write, pre-spawn
+        {0, SyncKind::Spawn, 1, 12, 2},
+        {1, SyncKind::Write, 5, 13, 3}, // child write
+        {0, SyncKind::Write, 5, 14, 4}, // parent write, post-spawn
+        {0, SyncKind::Join, 1, 15, 5},
+    };
+    MemorySyncAccess sa(ev, 2);
+    RaceReport vc = detectRaces(sa);
+    RaceReport oracle = detectRacesOracle(ev, 2);
+
+    ASSERT_EQ(vc.races.size(), 1u) << vc.renderText();
+    EXPECT_EQ(vc.races[0].addr, 5);
+    EXPECT_EQ(vc.races[0].first.thread, 1u);
+    EXPECT_EQ(vc.races[0].first.stmt, 13u);
+    EXPECT_TRUE(vc.races[0].first.isWrite);
+    EXPECT_EQ(vc.races[0].second.thread, 0u);
+    EXPECT_EQ(vc.races[0].second.stmt, 14u);
+    EXPECT_TRUE(vc.races[0].second.isWrite);
+    EXPECT_EQ(vc.races, oracle.races) << diffContext(vc, oracle);
+}
+
+// Lock-ordered accesses must be race-free through release/acquire
+// edges in both engines.
+TEST(RaceDiffTest, LockEdgesOrderCriticalSections)
+{
+    using interp::SyncKind;
+    std::vector<RawSyncEvent> ev = {
+        {0, SyncKind::Spawn, 1, 10, 1},
+        {0, SyncKind::Acquire, 100, 11, 2},
+        {0, SyncKind::Write, 5, 12, 3},
+        {0, SyncKind::Release, 100, 13, 4},
+        {1, SyncKind::Acquire, 100, 20, 5},
+        {1, SyncKind::Write, 5, 21, 6},
+        {1, SyncKind::Release, 100, 22, 7},
+        {0, SyncKind::Join, 1, 14, 8},
+    };
+    MemorySyncAccess sa(ev, 2);
+    RaceReport vc = detectRaces(sa);
+    RaceReport oracle = detectRacesOracle(ev, 2);
+    EXPECT_TRUE(vc.races.empty()) << vc.renderText();
+    EXPECT_TRUE(oracle.races.empty()) << oracle.renderText();
+}
+
+} // namespace
+} // namespace analysis
+} // namespace wet

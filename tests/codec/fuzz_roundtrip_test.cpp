@@ -39,8 +39,12 @@ struct Generated
  * Stream generators spanning the codecs' qualitative regimes:
  * constant (every codec's best case), strided (DFCM/last-n-stride
  * territory), FCM-friendly small alphabets with repeating context,
- * and adversarial full-width random values (worst case: the encoder
- * must still round-trip even when prediction never pays).
+ * adversarial full-width random values (worst case: the encoder must
+ * still round-trip even when prediction never pays), plus the two
+ * shapes the SYNC section adds — per-thread seq streams (strictly
+ * increasing with irregular gaps, a subsequence of the global
+ * interleaving counter) and kind streams (tiny 0..5 alphabet in
+ * bursty lock-section phrases).
  */
 Generated
 generate(support::Rng& rng, unsigned which)
@@ -48,7 +52,7 @@ generate(support::Rng& rng, unsigned which)
     Generated g;
     const size_t n = static_cast<size_t>(rng.range(0, 2500));
     g.vals.reserve(n);
-    switch (which % 4) {
+    switch (which % 6) {
     case 0: {
         g.shape = "constant";
         const int64_t c = rng.range(-1000000, 1000000);
@@ -79,6 +83,43 @@ generate(support::Rng& rng, unsigned which)
                     static_cast<int64_t>(rng.below(alpha * 4)));
             else
                 g.vals.push_back(phrase[i % phrase.size()]);
+        }
+        break;
+    }
+    case 3: {
+        g.shape = "sync-seq";
+        // A thread's slice of the global sync counter: strictly
+        // increasing, with gap bursts where other threads ran.
+        int64_t seq = 1 + rng.range(0, 50);
+        for (size_t i = 0; i < n; ++i) {
+            g.vals.push_back(seq);
+            seq += rng.chance(1, 4) ? rng.range(2, 40) : 1;
+        }
+        break;
+    }
+    case 4: {
+        g.shape = "sync-kind";
+        // Lock-section phrases over the 0..5 kind alphabet:
+        // acquire, a run of reads/writes, release — with occasional
+        // spawn/join punctuation.
+        for (size_t i = 0; i < n;) {
+            if (rng.chance(1, 12) && i < n) {
+                g.vals.push_back(rng.chance(1, 2) ? 0 : 1);
+                ++i;
+                continue;
+            }
+            if (i < n) {
+                g.vals.push_back(2); // acquire
+                ++i;
+            }
+            const size_t body =
+                static_cast<size_t>(rng.range(0, 6));
+            for (size_t j = 0; j < body && i < n; ++j, ++i)
+                g.vals.push_back(rng.chance(1, 2) ? 4 : 5);
+            if (i < n) {
+                g.vals.push_back(3); // release
+                ++i;
+            }
         }
         break;
     }
@@ -123,7 +164,7 @@ TEST(CodecFuzzRoundTrip, EveryCodecEveryDistribution)
     const unsigned iters = fuzzIters();
     support::Rng rng(0x5EED5EED);
     for (unsigned iter = 0; iter < iters; ++iter) {
-        for (unsigned shape = 0; shape < 4; ++shape) {
+        for (unsigned shape = 0; shape < 6; ++shape) {
             Generated g = generate(rng, shape);
             // Random checkpointing exercises the seek machinery of
             // both decode directions.
@@ -150,7 +191,7 @@ TEST(CodecFuzzRoundTrip, SelectorChoiceAlwaysRoundTrips)
     const unsigned iters = fuzzIters();
     support::Rng rng(0xFACADE);
     for (unsigned iter = 0; iter < iters; ++iter) {
-        for (unsigned shape = 0; shape < 4; ++shape) {
+        for (unsigned shape = 0; shape < 6; ++shape) {
             Generated g = generate(rng, shape);
             SelectorOptions opt;
             opt.checkpointInterval =

@@ -256,7 +256,7 @@ TEST_P(QuerySessionStress, CapacityOneSessionStaysCorrect)
 
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, QuerySessionStress,
-    ::testing::Range<size_t>(0, 9),
+    ::testing::Range<size_t>(0, 12),
     [](const ::testing::TestParamInfo<size_t>& info) {
         std::string n = workloads::allWorkloads()[info.param].name;
         for (char& c : n)

@@ -70,7 +70,7 @@ TEST_P(PipelineTest, BuildCompressQueryRoundTrip)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllWorkloads, PipelineTest, ::testing::Range<size_t>(0, 9),
+    AllWorkloads, PipelineTest, ::testing::Range<size_t>(0, 12),
     [](const ::testing::TestParamInfo<size_t>& info) {
         std::string n = allWorkloads()[info.param].name;
         for (char& c : n)

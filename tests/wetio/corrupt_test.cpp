@@ -15,6 +15,7 @@
 #endif
 
 #include "analysis/artifactverifier.h"
+#include "analysis/racedetect.h"
 #include "analysis/wetverifier.h"
 #include "core/compressed.h"
 #include "lang/codegen.h"
@@ -58,7 +59,13 @@ class CorruptWetxTest : public ::testing::Test
     void
     SetUp() override
     {
-        path_ = ::testing::TempDir() + "corrupt_test.wetx";
+        // Unique per test: ctest runs each test as its own process,
+        // and parallel siblings must not clobber each other's file.
+        path_ = ::testing::TempDir() + "corrupt_test_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".wetx";
         p_ = test::runPipeline(kProgram, inputs20());
         compressed_ =
             std::make_unique<core::WetCompressed>(p_->graph);
@@ -114,9 +121,8 @@ TEST_F(CorruptWetxTest, BadMagicFiresIO001)
 TEST_F(CorruptWetxTest, UnsupportedVersionFiresIO002)
 {
     // Layout: a 5-byte magic varint, then the version varint. The
-    // current version is 2 (raw zero-copy stream payloads), a
-    // single byte.
-    ASSERT_EQ(bytes_[5], 0x02);
+    // current version is 3 (adds the SYNC section), a single byte.
+    ASSERT_EQ(bytes_[5], 0x03);
     bytes_[5] = 0x63;
     analysis::DiagEngine diag;
     LoadedWet w = loadBytes(diag);
@@ -282,6 +288,209 @@ TEST_F(CorruptWetxTest, BitFlipSweepNeverCrashes)
     }
 }
 
+// ---------------------------------------------------------------- //
+// Threaded-artifact corruption: the SYNC section gets the same
+// treatment as the rest of the file — bit flips must never crash and
+// semantic damage must fire the SYNC verifier rules.
+
+const char* kThreadedProgram = R"(
+    fn worker(base) {
+        var s = 0;
+        for (var i = 0; i < 4; i = i + 1) {
+            lock(3);
+            mem[0] = mem[0] + base;
+            unlock(3);
+            mem[1 + base] = mem[1 + base] + i;
+            s = s + mem[1 + base];
+        }
+        return s;
+    }
+    fn main() {
+        var t1 = spawn worker(1);
+        var t2 = spawn worker(2);
+        out(join(t1) + join(t2));
+        out(mem[0]);
+    }
+)";
+
+class CorruptSyncWetxTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Unique per test, as in CorruptWetxTest above.
+        path_ = ::testing::TempDir() + "corrupt_sync_test_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".wetx";
+        p_ = test::runPipeline(kThreadedProgram);
+        ASSERT_FALSE(p_->graph.syncThreads.empty());
+        compressed_ =
+            std::make_unique<core::WetCompressed>(p_->graph);
+        save(path_, *p_->module, p_->graph, *compressed_);
+        std::ifstream in(path_, std::ios::binary);
+        bytes_.assign((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+        ASSERT_GT(bytes_.size(), 16u);
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    LoadedWet
+    loadBytes(analysis::DiagEngine& diag)
+    {
+        std::ofstream out(path_, std::ios::binary |
+                                     std::ios::trunc);
+        out.write(reinterpret_cast<const char*>(bytes_.data()),
+                  static_cast<std::streamsize>(bytes_.size()));
+        out.close();
+        return tryLoad(path_, *p_->module, diag);
+    }
+
+    /** Recompress a mutated graph, save it, and load it back. The
+     *  file is structurally sound, so the load must succeed and the
+     *  SYNC verifier has to catch the semantic damage. */
+    LoadedWet
+    reloadMutated(const core::WetGraph& bad,
+                  analysis::DiagEngine& diag)
+    {
+        core::WetCompressed wc(bad);
+        save(path_, *p_->module, bad, wc);
+        return tryLoad(path_, *p_->module, diag);
+    }
+
+    /** First (thread, index) whose kind equals @p kind. */
+    std::pair<size_t, size_t>
+    findKind(core::WetGraph& g, int64_t kind)
+    {
+        for (size_t t = 0; t < g.syncThreads.size(); ++t)
+            for (size_t i = 0; i < g.syncThreads[t].kind.size(); ++i)
+                if (g.syncThreads[t].kind[i] == kind)
+                    return {t, i};
+        ADD_FAILURE() << "no sync event of kind " << kind;
+        return {0, 0};
+    }
+
+    std::string path_;
+    std::unique_ptr<test::Pipeline> p_;
+    std::unique_ptr<core::WetCompressed> compressed_;
+    std::vector<uint8_t> bytes_;
+};
+
+TEST_F(CorruptSyncWetxTest, PristineThreadedArtifactScansClean)
+{
+    analysis::DiagEngine diag;
+    LoadedWet w = loadBytes(diag);
+    ASSERT_TRUE(w.graph && w.compressed) << diag.renderText();
+    EXPECT_TRUE(analysis::verifySync(*w.compressed,
+                                     p_->module.get(), diag))
+        << diag.renderText();
+    analysis::CursorSyncAccess cur(*w.compressed);
+    analysis::DecodeSyncAccess dec(*w.compressed);
+    analysis::RaceReport a = analysis::detectRaces(cur);
+    analysis::RaceReport b = analysis::detectRaces(dec);
+    EXPECT_EQ(a.renderText(), b.renderText());
+}
+
+TEST_F(CorruptSyncWetxTest, SyncBitFlipSweepNeverCrashes)
+{
+    // Same contract as the single-threaded sweep, with the race scan
+    // added on top: any flip that still loads must let verifySync and
+    // both detector engines run to completion — diagnosed findings
+    // are fine, crashes and engine divergence are not. The SYNC
+    // streams sit at the tail of the file, so the sweep walks the
+    // last half densely instead of spreading over the whole artifact.
+    size_t positions = 37;
+    if (const char* env = std::getenv("FUZZ_ITERS")) {
+        unsigned long v = std::strtoul(env, nullptr, 10);
+        if (v > 0 && v <= 1000000)
+            positions = v;
+    }
+    const std::vector<uint8_t> pristine = bytes_;
+    const size_t start = pristine.size() / 2;
+    const size_t span = pristine.size() - start;
+    for (size_t pos = start; pos < pristine.size();
+         pos += span / positions + 1)
+    {
+        bytes_ = pristine;
+        bytes_[pos] ^= 0x10;
+        analysis::DiagEngine diag;
+        LoadedWet w = loadBytes(diag);
+        if (!w.graph || !w.compressed) {
+            EXPECT_TRUE(diag.hasErrors())
+                << "silent load failure at byte " << pos;
+            continue;
+        }
+        analysis::verifySync(*w.compressed, p_->module.get(), diag);
+        analysis::CursorSyncAccess cur(*w.compressed);
+        analysis::DecodeSyncAccess dec(*w.compressed);
+        analysis::RaceReport a = analysis::detectRaces(cur);
+        analysis::RaceReport b = analysis::detectRaces(dec);
+        EXPECT_EQ(a.renderText(), b.renderText())
+            << "engine divergence at byte " << pos;
+    }
+}
+
+TEST_F(CorruptSyncWetxTest, UnknownSyncKindFiresSYNC001)
+{
+    core::WetGraph bad = p_->graph;
+    auto [t, i] = findKind(bad, 0); // a Spawn event
+    bad.syncThreads[t].kind[i] = 99;
+    analysis::DiagEngine diag;
+    LoadedWet w = reloadMutated(bad, diag);
+    ASSERT_TRUE(w.graph && w.compressed) << diag.renderText();
+    EXPECT_FALSE(analysis::verifySync(*w.compressed,
+                                      p_->module.get(), diag));
+    EXPECT_TRUE(diag.hasRule("SYNC001")) << diag.renderText();
+}
+
+TEST_F(CorruptSyncWetxTest, ForeignReleaseFiresSYNC002)
+{
+    core::WetGraph bad = p_->graph;
+    auto [t, i] = findKind(bad, 3); // a Release event
+    bad.syncThreads[t].obj[i] = 9999; // lock never acquired
+    analysis::DiagEngine diag;
+    LoadedWet w = reloadMutated(bad, diag);
+    ASSERT_TRUE(w.graph && w.compressed) << diag.renderText();
+    EXPECT_FALSE(analysis::verifySync(*w.compressed,
+                                      p_->module.get(), diag));
+    EXPECT_TRUE(diag.hasRule("SYNC002")) << diag.renderText();
+}
+
+TEST_F(CorruptSyncWetxTest, JoinOfNeverSpawnedThreadFiresSYNC003)
+{
+    core::WetGraph bad = p_->graph;
+    auto [t, i] = findKind(bad, 1); // a Join event
+    bad.syncThreads[t].obj[i] = 57;
+    analysis::DiagEngine diag;
+    LoadedWet w = reloadMutated(bad, diag);
+    ASSERT_TRUE(w.graph && w.compressed) << diag.renderText();
+    EXPECT_FALSE(analysis::verifySync(*w.compressed,
+                                      p_->module.get(), diag));
+    EXPECT_TRUE(diag.hasRule("SYNC003")) << diag.renderText();
+}
+
+TEST_F(CorruptSyncWetxTest, NonIncreasingSeqFiresSYNC004)
+{
+    core::WetGraph bad = p_->graph;
+    bool mutated = false;
+    for (auto& st : bad.syncThreads)
+        if (st.seq.size() >= 2) {
+            st.seq[1] = st.seq[0];
+            mutated = true;
+            break;
+        }
+    ASSERT_TRUE(mutated);
+    analysis::DiagEngine diag;
+    LoadedWet w = reloadMutated(bad, diag);
+    ASSERT_TRUE(w.graph && w.compressed) << diag.renderText();
+    EXPECT_FALSE(analysis::verifySync(*w.compressed,
+                                      p_->module.get(), diag));
+    EXPECT_TRUE(diag.hasRule("SYNC004")) << diag.renderText();
+}
+
 /** The wet_cli binary built next to this test, or "" if absent. */
 std::string
 cliPath()
@@ -309,7 +518,7 @@ TEST_F(CorruptWetxTest, CliBatchBitFlipSweepStaysGoverned)
     // End-to-end robustness: drive every bit-flipped artifact through
     // `wet_cli query` batch serving. Whatever the flip does — clean
     // load, diagnosed reject, or a mid-query decode fault — the CLI
-    // must exit inside its documented 0..5 contract, never on a
+    // must exit inside its documented 0..6 contract, never on a
     // signal or an abort.
     std::string cli = cliPath();
     if (cli.empty())
@@ -325,7 +534,7 @@ TEST_F(CorruptWetxTest, CliBatchBitFlipSweepStaysGoverned)
     }
     {
         std::ofstream b(batch);
-        b << "cf --from 1 --count 3\ndepcheck\n";
+        b << "cf --from 1 --count 3\ndepcheck\nraces\n";
     }
     auto runCli = [&] {
         std::string cmd = "'" + cli + "' query '" + prog + "' '" +
@@ -365,8 +574,8 @@ TEST_F(CorruptWetxTest, CliBatchBitFlipSweepStaysGoverned)
         ASSERT_NE(st, -1);
         ASSERT_TRUE(WIFEXITED(st))
             << "CLI died on a signal for a flip at byte " << pos;
-        EXPECT_LE(WEXITSTATUS(st), 5)
-            << "exit escaped the 0..5 contract at byte " << pos;
+        EXPECT_LE(WEXITSTATUS(st), 6)
+            << "exit escaped the 0..6 contract at byte " << pos;
     }
     std::remove(prog.c_str());
     std::remove(batch.c_str());

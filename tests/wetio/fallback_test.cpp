@@ -57,7 +57,13 @@ class FallbackTest : public ::testing::Test
     SetUp() override
     {
         support::FailPoints::instance().disarmAll();
-        path_ = ::testing::TempDir() + "fallback_test.wetx";
+        // Unique per test: ctest runs each test as its own process,
+        // and parallel siblings must not clobber each other's file.
+        path_ = ::testing::TempDir() + "fallback_test_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".wetx";
         p_ = test::runPipeline(kProgram);
         compressed_ =
             std::make_unique<core::WetCompressed>(p_->graph);

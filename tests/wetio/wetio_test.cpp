@@ -44,7 +44,13 @@ class WetIoTest : public ::testing::Test
     void
     SetUp() override
     {
-        path_ = ::testing::TempDir() + "wetio_test.wetx";
+        // Unique per test: ctest runs each test as its own process,
+        // and parallel siblings must not clobber each other's file.
+        path_ = ::testing::TempDir() + "wetio_test_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".wetx";
         p_ = test::runPipeline(kProgram, inputs30());
         compressed_ =
             std::make_unique<core::WetCompressed>(p_->graph);

@@ -8,9 +8,9 @@ namespace wet {
 namespace workloads {
 namespace {
 
-TEST(WorkloadsTest, AllNineCompile)
+TEST(WorkloadsTest, AllTwelveCompile)
 {
-    ASSERT_EQ(allWorkloads().size(), 9u);
+    ASSERT_EQ(allWorkloads().size(), 12u);
     for (const auto& w : allWorkloads()) {
         ir::Module m = compileWorkload(w);
         EXPECT_GT(m.numStmts(), 0u) << w.name;
@@ -50,7 +50,7 @@ TEST_P(WorkloadRun, ScaleControlsRunLength)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllWorkloads, WorkloadRun, ::testing::Range<size_t>(0, 9),
+    AllWorkloads, WorkloadRun, ::testing::Range<size_t>(0, 12),
     [](const ::testing::TestParamInfo<size_t>& info) {
         std::string n = allWorkloads()[info.param].name;
         for (char& c : n)

@@ -2,7 +2,8 @@
 # category maps to a distinct, stable code so scripts and CI can
 # dispatch on them:
 #   0 success, 1 internal error, 2 usage/bad query,
-#   3 program parse failure, 4 verification findings, 5 I/O failure.
+#   3 program parse failure, 4 verification findings, 5 I/O failure,
+#   6 data races found by the happens-before scan.
 #
 # Expects: CLI (wet_cli path), SAMPLE (a healthy program source),
 # SCRATCH (writable scratch directory).
@@ -48,3 +49,25 @@ expect_rc(4 depcheck ${SAMPLE} ${SCRATCH}/other.wetx)
 expect_rc(5 run ${SCRATCH}/missing.wet)
 expect_rc(5 slice ${SAMPLE} ${SCRATCH}/missing.wetx main:5)
 expect_rc(5 depcheck ${SAMPLE} ${SCRATCH}/missing.wetx)
+
+# 6: races found. A single-threaded artifact trivially has none (0);
+# a racy two-thread program must yield exactly 6 on both engines; the
+# usage and I/O categories still win over the race scan.
+expect_rc(0 races ${SAMPLE} ${wetx})
+file(WRITE ${SCRATCH}/racy.wet
+    "fn w(k) {\n"
+    "    mem[0] = mem[0] + k;\n"
+    "    return mem[0];\n"
+    "}\n"
+    "fn main() {\n"
+    "    var t = spawn w(1);\n"
+    "    var r = w(2);\n"
+    "    out(join(t) + r);\n"
+    "}\n")
+expect_rc(0 run ${SCRATCH}/racy.wet --save ${SCRATCH}/racy.wetx)
+expect_rc(6 races ${SCRATCH}/racy.wet ${SCRATCH}/racy.wetx)
+expect_rc(6 races ${SCRATCH}/racy.wet ${SCRATCH}/racy.wetx
+          --engine decode)
+expect_rc(2 races ${SCRATCH}/racy.wet ${SCRATCH}/racy.wetx
+          --engine turbo)
+expect_rc(5 races ${SCRATCH}/racy.wet ${SCRATCH}/missing.wetx)

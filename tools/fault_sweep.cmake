@@ -1,6 +1,6 @@
 # Fault-injection sweep: arm every registered failpoint in turn and
 # prove the CLI never aborts — every outcome is a governed exit code
-# (0..5), and after a mid-batch fault the session keeps serving
+# (0..6), and after a mid-batch fault the session keeps serving
 # byte-identical answers (the batch ends with a fixed verification
 # query whose output must equal a fresh session's, byte for byte).
 # A final chaos pass arms every site probabilistically with a
@@ -50,12 +50,12 @@ endif()
 string(REPLACE "\n" ";" sites "${site_list}")
 
 # require_governed(<rc> <what>): abort-free means an exit code in the
-# documented 0..5 contract — a signal death (>=128) or an assert
+# documented 0..6 contract — a signal death (>=128) or an assert
 # abort is a sweep failure.
 function(require_governed rc what)
-    if(rc GREATER 5 OR rc LESS 0)
+    if(rc GREATER 6 OR rc LESS 0)
         message(FATAL_ERROR
-                "${what}: exit ${rc} escapes the 0..5 contract "
+                "${what}: exit ${rc} escapes the 0..6 contract "
                 "(process died ungoverned)")
     endif()
 endfunction()

@@ -1,0 +1,46 @@
+# Test driver: trace a threaded sample program, save its WETX
+# artifact, then run the happens-before race scan twice — once on
+# lazy stream cursors, once via full decode — and compare both
+# reports byte for byte against the checked-in golden. The exit code
+# is part of the contract (0 = clean, 6 = races found), and the
+# artifact must also pass the full verifier chain including the SYNC
+# rules.
+#
+# Expects: CLI (wet_cli path), SAMPLE (program source), OUT (scratch
+# .wetx path), GOLDEN (expected report), WANT_RC (0 or 6).
+
+execute_process(
+    COMMAND ${CLI} run ${SAMPLE} --save ${OUT}
+    RESULT_VARIABLE run_rc
+    OUTPUT_QUIET)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "wet_cli run ${SAMPLE} failed (${run_rc})")
+endif()
+
+execute_process(
+    COMMAND ${CLI} verify ${SAMPLE} ${OUT}
+    RESULT_VARIABLE verify_rc
+    OUTPUT_QUIET ERROR_QUIET)
+if(NOT verify_rc EQUAL 0)
+    message(FATAL_ERROR
+            "threaded artifact failed verification (${verify_rc})")
+endif()
+
+file(READ ${GOLDEN} golden)
+foreach(engine cursor decode)
+    execute_process(
+        COMMAND ${CLI} races ${SAMPLE} ${OUT} --engine ${engine}
+        RESULT_VARIABLE races_rc
+        OUTPUT_VARIABLE races_out
+        ERROR_QUIET)
+    if(NOT races_rc EQUAL WANT_RC)
+        message(FATAL_ERROR
+                "wet_cli races --engine ${engine}: expected exit "
+                "${WANT_RC}, got ${races_rc}")
+    endif()
+    if(NOT races_out STREQUAL golden)
+        message(FATAL_ERROR
+                "races (${engine}) differs from ${GOLDEN}:\n"
+                "${races_out}")
+    endif()
+endforeach()

@@ -11,6 +11,7 @@
  *   wet_cli addr  prog.wet file.wetx --stmt S [--limit N]
  *   wet_cli slice prog.wet file.wetx fn:stmt[:instance]
  *                 [--engine cursor|decode] [--max N]
+ *   wet_cli races prog.wet file.wetx [--engine cursor|decode]
  *   wet_cli dump  prog.wet
  *   wet_cli verify prog.wet file.wetx [--json]
  *   wet_cli depcheck prog.wet file.wetx [--json]
@@ -20,7 +21,8 @@
  *
  * The query command serves a batch of newline-delimited queries (the
  * other commands' grammar: `cf --from 1 --count 20`, `values --stmt
- * 5`, `addr --stmt 7`, `slice main:3:0`, `depcheck`) from a file or
+ * 5`, `addr --stmt 7`, `slice main:3:0`, `races`, `depcheck`) from a
+ * file or
  * stdin against ONE warm session: the artifact is loaded (mmap'd)
  * once, stream cursors stay warm in a bounded LRU cache, and module
  * analyses are built at most once. Blank lines and '#' comments are
@@ -62,6 +64,8 @@
  *   4  verification failure (verify/depcheck diagnostics, or a
  *      dynamic slice escaping its static slice)
  *   5  I/O error (unreadable program or artifact file)
+ *   6  data races found (the races command's report is the output;
+ *      a clean scan exits 0)
  */
 
 #include <algorithm>
@@ -80,6 +84,7 @@
 #include "analysis/depcheck.h"
 #include "analysis/moduleanalysis.h"
 #include "analysis/moduleverifier.h"
+#include "analysis/racedetect.h"
 #include "analysis/staticdep.h"
 #include "analysis/wetverifier.h"
 #include "core/access.h"
@@ -113,6 +118,7 @@ enum ExitCode : int
     kExitParse = 3,
     kExitVerify = 4,
     kExitIo = 5,
+    kExitRaces = 6,
 };
 
 /** Failure carrying its exit-code category to main(). */
@@ -170,10 +176,13 @@ usage()
         "  slice    fn:stmt[:instance] --engine cursor|decode "
         "--max N\n"
         "           (legacy: --stmt S --k K)\n"
+        "  races    --engine cursor|decode (happens-before race "
+        "scan;\n"
+        "            exit 6 when races are found)\n"
         "  verify   --json\n"
         "  depcheck --json\n"
         "  query    --input FILE|- --cache N --stats --stats-json\n"
-        "           (newline-delimited cf/values/addr/slice/"
+        "           (newline-delimited cf/values/addr/slice/races/"
         "depcheck\n"
         "            lines served by one warm session)\n"
         "  failpoints (list fault-injection sites)\n"
@@ -181,6 +190,7 @@ usage()
         "           --failpoints SPEC (arm fault injection)\n"
         "           --max-decode-steps N --max-resident-bytes N\n"
         "           --timeout-ms N (per-query governors)\n");
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded CLI
     std::exit(kExitUsage);
 }
 
@@ -204,6 +214,7 @@ parse(int argc, char** argv)
     bool wantsWetx = a.command == "info" || a.command == "cf" ||
                      a.command == "values" || a.command == "addr" ||
                      a.command == "slice" ||
+                     a.command == "races" ||
                      a.command == "verify" ||
                      a.command == "depcheck" ||
                      a.command == "query";
@@ -659,6 +670,39 @@ runSlice(core::QuerySession& s, const Args& a)
     return escapes.empty() ? kExitOk : kExitVerify;
 }
 
+int
+runRaces(core::QuerySession& s, const Args& a)
+{
+    core::QuerySession::Scope scope(s, "races");
+
+    // Both engines feed the same vector-clock detector; stdout is
+    // engine-invariant by construction (the race bench asserts the
+    // two reports byte-equal), only the stderr I/O stats differ.
+    analysis::RaceReport rep;
+    core::SliceIoStats st;
+    if (a.engine == "decode") {
+        analysis::DecodeSyncAccess sa(s.compressed(), &s.cache());
+        rep = analysis::detectRaces(sa);
+        st = sa.stats();
+    } else {
+        analysis::CursorSyncAccess sa(s.compressed(), &s.cache());
+        rep = analysis::detectRaces(sa);
+        st = sa.stats();
+    }
+    std::fputs(rep.renderText().c_str(), stdout);
+    std::fprintf(stderr,
+                 "engine %s: %llu streams opened, %llu values "
+                 "decoded, %llu of %llu artifact bytes touched "
+                 "(%.2f%%)\n",
+                 a.engine.c_str(),
+                 static_cast<unsigned long long>(st.streamsOpened),
+                 static_cast<unsigned long long>(st.valuesDecoded),
+                 static_cast<unsigned long long>(st.bytesTouched),
+                 static_cast<unsigned long long>(st.bytesTotal),
+                 100.0 * st.fractionTouched());
+    return rep.races.empty() ? kExitOk : kExitRaces;
+}
+
 /** Shared tail of the depcheck command and batch query. */
 int
 printDepcheckResult(const Args& a, const analysis::DiagEngine& diag,
@@ -745,6 +789,16 @@ cmdSlice(const Args& a)
 }
 
 int
+cmdRaces(const Args& a)
+{
+    ir::Module mod = compileProgram(a);
+    wetio::LoadedWet w = loadWetx(a, mod);
+    core::QuerySession s(mod, *w.compressed, w.backing,
+                         sessionOptions(a));
+    return runRaces(s, a);
+}
+
+int
 cmdVerify(const Args& a)
 {
     ir::Module mod = compileProgram(a);
@@ -766,6 +820,7 @@ cmdVerify(const Args& a)
             analysis::StaticDepGraph sdg(ma);
             analysis::verifyDeps(*w.graph, ma, sdg, diag,
                                  w.compressed.get());
+            analysis::verifySync(*w.compressed, &mod, diag);
         }
     }
 
@@ -851,7 +906,7 @@ parseBatchLine(const std::vector<std::string>& toks, const Args& base)
 
     if (qa.command != "cf" && qa.command != "values" &&
         qa.command != "addr" && qa.command != "slice" &&
-        qa.command != "depcheck")
+        qa.command != "races" && qa.command != "depcheck")
     {
         throw CliError{kExitUsage,
                        "unknown batch query '" + qa.command + "'"};
@@ -905,6 +960,8 @@ dispatchQuery(core::QuerySession& s, const Args& qa)
         return runAddr(s, qa);
     if (qa.command == "slice")
         return runSlice(s, qa);
+    if (qa.command == "races")
+        return runRaces(s, qa);
     return runDepcheck(s, qa);
 }
 
@@ -1003,6 +1060,8 @@ main(int argc, char** argv)
             return cmdAddr(a);
         if (a.command == "slice")
             return cmdSlice(a);
+        if (a.command == "races")
+            return cmdRaces(a);
         if (a.command == "dump")
             return cmdDump(a);
         if (a.command == "verify")
