@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Concurrent serve throughput: one `Server` over a shared artifact,
+ * N synchronous clients each replaying the same mixed query batch on
+ * its own connection. Reports queries/s and p50/p99 round-trip
+ * latency per client count, checks every response byte-for-byte
+ * against a serial QuerySession (folded into a hash), and asserts
+ * the ≥2x throughput scaling floor from 1 to 8 clients when the host
+ * has at least 4 cores — the number `wet_cli serve` exists for.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchcommon.h"
+#include "core/compressed.h"
+#include "core/session.h"
+#include "core/sharedartifact.h"
+#include "serve/client.h"
+#include "serve/queryrunner.h"
+#include "serve/server.h"
+#include "support/timer.h"
+
+using namespace wet;
+using namespace wet::bench;
+
+namespace {
+
+constexpr double kMinScaling = 2.0;
+constexpr unsigned kMinCoresForFloor = 4;
+constexpr unsigned kMaxClients = 8;
+constexpr uint64_t kRoundsPerClient = 40;
+/** Bounded targets only: a values/addr stream walk must not dwarf
+ *  the socket round-trip it is meant to measure. */
+constexpr uint64_t kMaxInstances = 4096;
+
+uint64_t
+mix(uint64_t h, uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+}
+
+uint64_t
+mixStr(uint64_t h, const std::string& s)
+{
+    for (char c : s)
+        h = mix(h, static_cast<unsigned char>(c));
+    return h;
+}
+
+struct Artifact
+{
+    std::unique_ptr<workloads::RunArtifacts> run;
+    std::unique_ptr<core::WetCompressed> compressed;
+    std::shared_ptr<core::SharedArtifact> shared;
+};
+
+Artifact
+buildArtifact(const workloads::Workload& w)
+{
+    Artifact a;
+    a.run = workloads::buildWet(w, effectiveScale(w));
+    a.compressed =
+        std::make_unique<core::WetCompressed>(a.run->graph);
+    a.shared = std::make_shared<core::SharedArtifact>(
+        *a.run->module, *a.compressed, nullptr, 1, w.name);
+    return a;
+}
+
+/** The interactive mix: cf windows, bounded single-site value and
+ *  address traces, a cursor slice, and the race scan. */
+std::vector<std::string>
+makeBatch(const Artifact& a)
+{
+    std::vector<ir::StmtId> defs;
+    std::vector<ir::StmtId> mems;
+    for (const auto& [stmt, sites] : a.run->graph.stmtIndex) {
+        if (sites.size() != 1)
+            continue;
+        uint64_t inst = 0;
+        for (const auto& [node, pos] : sites) {
+            (void)pos;
+            inst += a.run->graph.nodes[node].numInstances;
+        }
+        if (inst == 0 || inst > kMaxInstances)
+            continue;
+        const ir::Instr& in = a.run->module->instr(stmt);
+        if (ir::hasDef(in.op) && in.op != ir::Opcode::Const)
+            defs.push_back(stmt);
+        if (in.op == ir::Opcode::Load ||
+            in.op == ir::Opcode::Store)
+            mems.push_back(stmt);
+    }
+    std::sort(defs.begin(), defs.end());
+    std::sort(mems.begin(), mems.end());
+
+    std::vector<std::string> lines;
+    lines.push_back("cf --from 1 --count 16");
+    lines.push_back("cf --from 5 --count 8");
+    if (!defs.empty()) {
+        lines.push_back("values --stmt " +
+                        std::to_string(defs.front()) + " --limit 8");
+        lines.push_back("slice --stmt " +
+                        std::to_string(defs.back()) + " --max 100");
+    }
+    if (!mems.empty())
+        lines.push_back("addr --stmt " +
+                        std::to_string(mems.front()) + " --limit 8");
+    lines.push_back("races");
+    return lines;
+}
+
+/** Serial reference answers with the server's session options,
+ *  folded into one hash per line index. */
+std::vector<uint64_t>
+serialHashes(const Artifact& a, const std::vector<std::string>& batch,
+             const core::SessionOptions& opt)
+{
+    core::QuerySession s(a.shared, opt);
+    std::vector<uint64_t> hashes;
+    hashes.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+        serve::LineResult r = serve::serveLine(
+            s, a.shared->name(), batch[i], i + 1);
+        uint64_t h = mix(0, static_cast<uint64_t>(r.code));
+        h = mixStr(h, r.out);
+        h = mixStr(h, r.err);
+        hashes.push_back(h);
+    }
+    return hashes;
+}
+
+struct RunStats
+{
+    double qps = 0;
+    double p50Us = 0;
+    double p99Us = 0;
+    bool answersMatch = true;
+};
+
+/** Drive @p clients synchronous connections through the batch. */
+RunStats
+runClients(serve::Server& server, unsigned clients,
+           const std::vector<std::string>& batch,
+           const std::vector<uint64_t>& expect)
+{
+    std::vector<std::vector<double>> latsUs(clients);
+    std::atomic<bool> mismatch{false};
+    support::Timer total;
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (unsigned c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            serve::Client cl;
+            cl.connectTcp(server.port());
+            latsUs[c].reserve(kRoundsPerClient * batch.size());
+            uint64_t lineNo = 0;
+            for (uint64_t r = 0; r < kRoundsPerClient; ++r) {
+                for (size_t i = 0; i < batch.size(); ++i) {
+                    support::Timer rt;
+                    serve::Client::Response resp =
+                        cl.query(batch[i]);
+                    latsUs[c].push_back(rt.seconds() * 1e6);
+                    ++lineNo;
+                    // Every connection numbers its own lines, so the
+                    // expected bytes repeat only on the first round
+                    // (error records embed the line number).
+                    if (r == 0) {
+                        uint64_t h =
+                            mix(0, static_cast<uint64_t>(resp.code));
+                        h = mixStr(h, resp.out);
+                        h = mixStr(h, resp.err);
+                        if (h != expect[i])
+                            mismatch.store(true);
+                    }
+                }
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    double secs = total.seconds();
+
+    std::vector<double> all;
+    for (auto& v : latsUs)
+        all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    RunStats st;
+    st.answersMatch = !mismatch.load();
+    st.qps = static_cast<double>(all.size()) / secs;
+    if (!all.empty()) {
+        st.p50Us = all[all.size() / 2];
+        st.p99Us = all[std::min(all.size() - 1,
+                                all.size() * 99 / 100)];
+    }
+    return st;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    unsigned workers = benchThreads(argc, argv);
+    if (workers < kMaxClients)
+        workers = kMaxClients;
+    unsigned cores = std::thread::hardware_concurrency();
+
+    support::TablePrinter table({"Benchmark", "Clients", "Queries",
+                                 "q/s", "p50 us", "p99 us",
+                                 "Scaling"});
+    bool allMatch = true;
+    bool floorHolds = true;
+    for (const char* name : {"197.parser", "256.bzip2"}) {
+        Artifact art =
+            buildArtifact(workloads::workloadByName(name));
+        std::vector<std::string> batch = makeBatch(art);
+
+        serve::ServerOptions so;
+        so.workers = workers;
+        so.session.cacheCapacity = 8;
+        std::vector<uint64_t> expect =
+            serialHashes(art, batch, so.session);
+
+        serve::Server server(art.shared, so);
+        server.start();
+        double qps1 = 0;
+        for (unsigned clients : {1u, 2u, 4u, kMaxClients}) {
+            RunStats st =
+                runClients(server, clients, batch, expect);
+            allMatch = allMatch && st.answersMatch;
+            if (clients == 1)
+                qps1 = st.qps;
+            double scaling = qps1 > 0 ? st.qps / qps1 : 0;
+            if (clients == kMaxClients &&
+                cores >= kMinCoresForFloor && scaling < kMinScaling)
+                floorHolds = false;
+            table.addRow(
+                {name, std::to_string(clients),
+                 std::to_string(kRoundsPerClient * batch.size() *
+                                clients),
+                 support::formatFixed(st.qps, 0),
+                 support::formatFixed(st.p50Us, 1),
+                 support::formatFixed(st.p99Us, 1),
+                 support::formatFixed(scaling, 2) + "x"});
+        }
+        server.stop();
+    }
+    table.print("Concurrent serve saturation (" +
+                std::to_string(workers) + " workers, " +
+                std::to_string(cores) + " cores)");
+
+    if (!allMatch) {
+        std::fprintf(stderr,
+                     "FATAL: a served answer diverged from the "
+                     "serial session\n");
+        return 1;
+    }
+    if (!floorHolds) {
+        std::fprintf(stderr,
+                     "FATAL: 1->%u client throughput scaling fell "
+                     "below the %.1fx floor on a %u-core host\n",
+                     kMaxClients, kMinScaling, cores);
+        return 1;
+    }
+    if (cores < kMinCoresForFloor)
+        std::printf("\n(scaling floor not asserted: %u cores < %u)\n",
+                    cores, kMinCoresForFloor);
+    return 0;
+}

@@ -7,49 +7,53 @@
 namespace wet {
 namespace core {
 
-namespace {
-
-// Same analysis budget the CLI has always used for one-shot queries.
-constexpr uint64_t kAnalysisBudget = uint64_t{1} << 24;
-
-} // namespace
+QuerySession::QuerySession(std::shared_ptr<SharedArtifact> shared,
+                           SessionOptions opt)
+    : shared_(std::move(shared)), opt_(opt),
+      cache_(opt.cacheCapacity),
+      access_(shared_->compressed(), shared_->module(), &cache_),
+      cursorSlice_(shared_->compressed(), &cache_),
+      decodeSlice_(shared_->compressed(), &cache_)
+{
+}
 
 QuerySession::QuerySession(const ir::Module& mod,
                            const WetCompressed& c,
                            std::shared_ptr<ArtifactBacking> backing,
                            SessionOptions opt)
-    : mod_(&mod), c_(&c), backing_(std::move(backing)), opt_(opt),
-      cache_(opt.cacheCapacity), access_(c, mod, &cache_),
-      cursorSlice_(c, &cache_), decodeSlice_(c, &cache_)
+    : QuerySession(std::make_shared<SharedArtifact>(
+                       mod, c, std::move(backing), opt.threads),
+                   opt)
 {
 }
 
 const analysis::ModuleAnalysis&
 QuerySession::moduleAnalysis()
 {
-    if (!ma_) {
+    if (!shared_->hasModuleAnalysis()) {
         support::Timer t;
-        ma_ = std::make_unique<analysis::ModuleAnalysis>(
-            *mod_, kAnalysisBudget, opt_.threads);
+        const analysis::ModuleAnalysis& ma = shared_->moduleAnalysis();
         metrics_.recordLatency(
             "latency.module_analysis",
             static_cast<uint64_t>(t.seconds() * 1e9));
+        return ma;
     }
-    return *ma_;
+    return shared_->moduleAnalysis();
 }
 
 const analysis::StaticDepGraph&
 QuerySession::depGraph()
 {
-    if (!sdg_) {
-        const analysis::ModuleAnalysis& ma = moduleAnalysis();
+    if (!shared_->hasDepGraph()) {
+        moduleAnalysis();
         support::Timer t;
-        sdg_ = std::make_unique<analysis::StaticDepGraph>(ma);
+        const analysis::StaticDepGraph& sdg = shared_->depGraph();
         metrics_.recordLatency(
             "latency.static_depgraph",
             static_cast<uint64_t>(t.seconds() * 1e9));
+        return sdg;
     }
-    return *sdg_;
+    return shared_->depGraph();
 }
 
 QuerySession::Scope::Scope(QuerySession& s, std::string kind)
@@ -61,7 +65,7 @@ QuerySession::Scope::Scope(QuerySession& s, std::string kind)
     if (s_->opt_.limits.any())
         s_->governor_.begin(
             s_->opt_.limits,
-            [b = s_->backing_.get()]() -> uint64_t {
+            [b = s_->shared_->backing().get()]() -> uint64_t {
                 return b != nullptr ? b->residentBytes() : 0;
             },
             &s_->metrics_);
@@ -97,12 +101,12 @@ QuerySession::Scope::~Scope()
 void
 QuerySession::sampleGauges()
 {
-    metrics_.counter("artifact.bytes_total") =
-        backing_ ? backing_->sizeBytes() : 0;
-    metrics_.counter("artifact.bytes_resident") =
-        backing_ ? backing_->residentBytes() : 0;
-    metrics_.counter("cache.capacity") = cache_.capacity();
-    metrics_.counter("cache.entries") = cache_.size();
+    ArtifactBacking* b = shared_->backing().get();
+    metrics_.set("artifact.bytes_total", b ? b->sizeBytes() : 0);
+    metrics_.set("artifact.bytes_resident",
+                 b ? b->residentBytes() : 0);
+    metrics_.set("cache.capacity", cache_.capacity());
+    metrics_.set("cache.entries", cache_.size());
 }
 
 std::string
@@ -110,8 +114,8 @@ QuerySession::statsText()
 {
     sampleGauges();
     std::string out;
-    if (backing_)
-        out += "backend: " + backing_->backendName() + "\n";
+    if (shared_->backing())
+        out += "backend: " + shared_->backing()->backendName() + "\n";
     out += metrics_.renderText();
     return out;
 }
@@ -121,9 +125,9 @@ QuerySession::statsJson()
 {
     sampleGauges();
     std::string j = metrics_.renderJson();
-    if (backing_)
-        j = "{\"backend\":\"" + backing_->backendName() + "\"," +
-            j.substr(1);
+    if (shared_->backing())
+        j = "{\"backend\":\"" + shared_->backing()->backendName() +
+            "\"," + j.substr(1);
     return j;
 }
 

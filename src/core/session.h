@@ -10,6 +10,7 @@
 #include "core/backing.h"
 #include "core/compressed.h"
 #include "core/cursorslicer.h"
+#include "core/sharedartifact.h"
 #include "core/streamcache.h"
 #include "ir/module.h"
 #include "support/governor.h"
@@ -35,40 +36,67 @@ struct SessionOptions
  * A cold process pays the artifact load, module analyses, and stream
  * cursor warm-up on every query; a session pays each once and lets
  * every subsequent query — control flow, value trace, address trace,
- * slice, depcheck — reuse the warm state:
+ * slice, depcheck — reuse the warm state.
  *
- *  - one WetAccess and both slicing engines share one bounded LRU
- *    StreamCache of warm cursors (unified stream-key namespace);
- *  - ModuleAnalysis and StaticDepGraph are built lazily, on the
- *    first query that needs them, then kept;
- *  - the artifact backing (typically an mmap'd ArtifactView) is held
- *    alive for the borrowed stream payloads and queried for its
- *    resident page set ("bytes faulted in").
+ * The state splits in two:
  *
- * Per-query latency and cache activity land in a Metrics registry;
+ *  - immutable, shared: the module, compressed WET, artifact backing
+ *    and lazily built ModuleAnalysis/StaticDepGraph all live in a
+ *    SharedArtifact. N concurrent sessions over one artifact hold the
+ *    same SharedArtifact and never synchronize beyond its exactly-
+ *    once analysis initialization — this is what lets a multi-client
+ *    server fan sessions out across threads;
+ *  - mutable, per-session: one WetAccess and both slicing engines
+ *    share one bounded LRU StreamCache of warm cursors (unified
+ *    stream-key namespace), plus the Metrics registry and the
+ *    per-query resource Governor. A session must only ever be driven
+ *    by one thread at a time.
+ *
+ * Per-query latency and cache activity land in the session's Metrics;
  * wrap each query in a Scope to record them and to purge deferred
  * cache evictions at the boundary.
  */
 class QuerySession
 {
   public:
+    /** Session over shared immutable state (the serving path). */
+    explicit QuerySession(std::shared_ptr<SharedArtifact> shared,
+                          SessionOptions opt = {});
+
+    /**
+     * Single-session convenience: wraps @p mod / @p c / @p backing in
+     * a private SharedArtifact. Behaves exactly like the serving
+     * constructor with a one-session artifact.
+     */
     QuerySession(const ir::Module& mod, const WetCompressed& c,
                  std::shared_ptr<ArtifactBacking> backing = nullptr,
                  SessionOptions opt = {});
 
-    const ir::Module& module() const { return *mod_; }
-    const WetGraph& graph() const { return c_->graph(); }
-    const WetCompressed& compressed() const { return *c_; }
+    const ir::Module& module() const { return shared_->module(); }
+    const WetGraph& graph() const { return shared_->graph(); }
+    const WetCompressed& compressed() const
+    {
+        return shared_->compressed();
+    }
+    const std::shared_ptr<SharedArtifact>& shared() const
+    {
+        return shared_;
+    }
 
     WetAccess& access() { return access_; }
     CursorSliceAccess& cursorSlice() { return cursorSlice_; }
     DecodeSliceAccess& decodeSlice() { return decodeSlice_; }
     StreamCache& cache() { return cache_; }
     support::Metrics& metrics() { return metrics_; }
-    ArtifactBacking* backing() { return backing_.get(); }
+    ArtifactBacking* backing() { return shared_->backing().get(); }
     support::Governor& governor() { return governor_; }
 
-    /** Module analyses, built on first use and then kept warm. */
+    /**
+     * Module analyses from the shared artifact, built on first use
+     * across all of its sessions and then kept warm. The session that
+     * triggers (or waits for) a build records the elapsed time under
+     * its own latency metrics.
+     */
     const analysis::ModuleAnalysis& moduleAnalysis();
     const analysis::StaticDepGraph& depGraph();
 
@@ -109,9 +137,7 @@ class QuerySession
   private:
     void sampleGauges();
 
-    const ir::Module* mod_;
-    const WetCompressed* c_;
-    std::shared_ptr<ArtifactBacking> backing_;
+    std::shared_ptr<SharedArtifact> shared_;
     SessionOptions opt_;
     StreamCache cache_;
     WetAccess access_;
@@ -119,8 +145,6 @@ class QuerySession
     DecodeSliceAccess decodeSlice_;
     support::Metrics metrics_;
     support::Governor governor_;
-    std::unique_ptr<analysis::ModuleAnalysis> ma_;
-    std::unique_ptr<analysis::StaticDepGraph> sdg_;
 };
 
 } // namespace core

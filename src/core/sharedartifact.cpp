@@ -1,0 +1,48 @@
+#include "sharedartifact.h"
+
+namespace wet {
+namespace core {
+
+namespace {
+
+// Same analysis budget the CLI has always used for one-shot queries.
+constexpr uint64_t kAnalysisBudget = uint64_t{1} << 24;
+
+} // namespace
+
+SharedArtifact::SharedArtifact(const ir::Module& mod,
+                               const WetCompressed& c,
+                               std::shared_ptr<ArtifactBacking> backing,
+                               unsigned analysisThreads,
+                               std::string name)
+    : mod_(&mod), c_(&c), backing_(std::move(backing)),
+      threads_(analysisThreads), name_(std::move(name))
+{
+}
+
+const analysis::ModuleAnalysis&
+SharedArtifact::moduleAnalysis()
+{
+    std::call_once(maOnce_, [this] {
+        ma_ = std::make_unique<analysis::ModuleAnalysis>(
+            *mod_, kAnalysisBudget, threads_);
+        maBuilds_.fetch_add(1, std::memory_order_relaxed);
+        maReady_.store(true, std::memory_order_release);
+    });
+    return *ma_;
+}
+
+const analysis::StaticDepGraph&
+SharedArtifact::depGraph()
+{
+    std::call_once(sdgOnce_, [this] {
+        sdg_ = std::make_unique<analysis::StaticDepGraph>(
+            moduleAnalysis());
+        sdgBuilds_.fetch_add(1, std::memory_order_relaxed);
+        sdgReady_.store(true, std::memory_order_release);
+    });
+    return *sdg_;
+}
+
+} // namespace core
+} // namespace wet

@@ -1,0 +1,108 @@
+#ifndef WET_CORE_SHAREDARTIFACT_H
+#define WET_CORE_SHAREDARTIFACT_H
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "analysis/moduleanalysis.h"
+#include "analysis/staticdep.h"
+#include "core/backing.h"
+#include "core/compressed.h"
+#include "ir/module.h"
+
+namespace wet {
+namespace core {
+
+/**
+ * The immutable, shareable state behind N concurrent query sessions
+ * over one loaded artifact: the program module, the compressed WET,
+ * the artifact backing (typically an mmap'd ArtifactView), and the
+ * two derived analyses — ModuleAnalysis and StaticDepGraph — that are
+ * expensive to build and read-only once built.
+ *
+ * A multi-client server constructs one SharedArtifact and hands a
+ * shared_ptr to every QuerySession it creates; each session then owns
+ * only its mutable serving state (stream-reader cache, metrics,
+ * governor). The analyses are built lazily and exactly once: the
+ * first session that needs them builds them under a once-flag while
+ * concurrent callers block, and every later call is a plain pointer
+ * load. Everything reachable from the accessors is immutable after
+ * construction, so concurrent readers need no further locking.
+ *
+ * Lifetime: the module and compressed WET are borrowed (the loader
+ * owns them and must outlive every session); the backing is kept
+ * alive by shared ownership because stream payloads alias into it.
+ */
+class SharedArtifact
+{
+  public:
+    SharedArtifact(const ir::Module& mod, const WetCompressed& c,
+                   std::shared_ptr<ArtifactBacking> backing = nullptr,
+                   unsigned analysisThreads = 1, std::string name = "");
+
+    const ir::Module& module() const { return *mod_; }
+    const WetCompressed& compressed() const { return *c_; }
+    const WetGraph& graph() const { return c_->graph(); }
+    const std::shared_ptr<ArtifactBacking>& backing() const
+    {
+        return backing_;
+    }
+    /** Artifact display name (the WETX path in the CLI). */
+    const std::string& name() const { return name_; }
+
+    /**
+     * Module analyses, built exactly once across all sessions. Safe
+     * to call concurrently: the first caller builds, the rest wait,
+     * and after the build every call is wait-free.
+     */
+    const analysis::ModuleAnalysis& moduleAnalysis();
+    const analysis::StaticDepGraph& depGraph();
+
+    /** True once the corresponding analysis has been built (never
+     *  triggers a build). */
+    bool hasModuleAnalysis() const
+    {
+        return maReady_.load(std::memory_order_acquire);
+    }
+    bool hasDepGraph() const
+    {
+        return sdgReady_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Times the corresponding analysis constructor actually ran —
+     * the single-init invariant says these never exceed 1, which the
+     * lifecycle tests assert under concurrent hammering.
+     */
+    uint64_t analysisBuilds() const
+    {
+        return maBuilds_.load(std::memory_order_relaxed);
+    }
+    uint64_t depGraphBuilds() const
+    {
+        return sdgBuilds_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    const ir::Module* mod_;
+    const WetCompressed* c_;
+    std::shared_ptr<ArtifactBacking> backing_;
+    unsigned threads_;
+    std::string name_;
+
+    std::once_flag maOnce_;
+    std::once_flag sdgOnce_;
+    std::unique_ptr<analysis::ModuleAnalysis> ma_;
+    std::unique_ptr<analysis::StaticDepGraph> sdg_;
+    std::atomic<bool> maReady_{false};
+    std::atomic<bool> sdgReady_{false};
+    std::atomic<uint64_t> maBuilds_{0};
+    std::atomic<uint64_t> sdgBuilds_{0};
+};
+
+} // namespace core
+} // namespace wet
+
+#endif // WET_CORE_SHAREDARTIFACT_H

@@ -1,0 +1,193 @@
+#include "client.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstring>
+#include <thread>
+
+#include "support/error.h"
+
+namespace wet {
+namespace serve {
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buf_(std::move(other.buf_))
+{
+    other.fd_ = -1;
+}
+
+Client&
+Client::operator=(Client&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        buf_ = std::move(other.buf_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Client::connectRetry(int family, const void* addr, size_t addrLen,
+                     const std::string& what, unsigned timeoutMs)
+{
+    close();
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeoutMs);
+    int lastErr = 0;
+    do {
+        int fd = ::socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0)
+            WET_FATAL("socket: " << std::strerror(errno));
+        if (::connect(fd, static_cast<const sockaddr*>(addr),
+                      static_cast<socklen_t>(addrLen)) == 0) {
+            fd_ = fd;
+            buf_.clear();
+            return;
+        }
+        lastErr = errno;
+        ::close(fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    } while (std::chrono::steady_clock::now() < deadline);
+    WET_FATAL("connect(" << what
+                         << "): " << std::strerror(lastErr));
+}
+
+void
+Client::connectUnix(const std::string& path, unsigned timeoutMs)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        WET_FATAL("unix socket path too long: '" << path << "'");
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    connectRetry(AF_UNIX, &addr, sizeof(addr), path, timeoutMs);
+}
+
+void
+Client::connectTcp(uint16_t port, unsigned timeoutMs)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connectRetry(AF_INET, &addr, sizeof(addr),
+                 "127.0.0.1:" + std::to_string(port), timeoutMs);
+}
+
+void
+Client::sendRaw(const std::string& bytes)
+{
+    if (fd_ < 0)
+        WET_FATAL("client not connected");
+    size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n = ::send(fd_, bytes.data() + off,
+                           bytes.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            WET_FATAL("send: " << std::strerror(errno));
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
+bool
+Client::fill()
+{
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            WET_FATAL("recv: " << std::strerror(errno));
+        }
+        if (n == 0)
+            return false;
+        buf_.append(chunk, static_cast<size_t>(n));
+        return true;
+    }
+}
+
+bool
+Client::readResponse(Response& res)
+{
+    if (fd_ < 0)
+        WET_FATAL("client not connected");
+    // Frame header: "wet <code> <outBytes> <errBytes>\n".
+    size_t nl;
+    while ((nl = buf_.find('\n')) == std::string::npos) {
+        if (!fill()) {
+            if (buf_.empty())
+                return false; // clean EOF between frames
+            WET_FATAL("truncated response header");
+        }
+    }
+    std::string header = buf_.substr(0, nl);
+    buf_.erase(0, nl + 1);
+    int code = 0;
+    uint64_t outBytes = 0;
+    uint64_t errBytes = 0;
+    if (std::sscanf(header.c_str(), "wet %d %" SCNu64 " %" SCNu64,
+                    &code, &outBytes, &errBytes) != 3)
+        WET_FATAL("malformed response header: '" << header << "'");
+    while (buf_.size() < outBytes + errBytes) {
+        if (!fill())
+            WET_FATAL("truncated response payload (want "
+                      << (outBytes + errBytes) << " bytes, have "
+                      << buf_.size() << ")");
+    }
+    res.code = code;
+    res.out = buf_.substr(0, outBytes);
+    res.err = buf_.substr(outBytes, errBytes);
+    buf_.erase(0, outBytes + errBytes);
+    return true;
+}
+
+Client::Response
+Client::query(const std::string& line)
+{
+    std::string wire = line;
+    if (wire.empty() || wire.back() != '\n')
+        wire += '\n';
+    sendRaw(wire);
+    Response res;
+    if (!readResponse(res))
+        WET_FATAL("server closed before answering: '" << line
+                                                      << "'");
+    return res;
+}
+
+void
+Client::shutdownWrite()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_WR);
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buf_.clear();
+}
+
+} // namespace serve
+} // namespace wet

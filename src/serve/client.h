@@ -1,0 +1,92 @@
+#ifndef WET_SERVE_CLIENT_H
+#define WET_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+namespace wet {
+namespace serve {
+
+/**
+ * Blocking client for the `wet_cli serve` wire protocol (framing
+ * documented on serve::Server). Used by the CLI `client` subcommand,
+ * the differential stress tests, and bench/table_serve.
+ *
+ * Not thread-safe: one Client per connection per thread.
+ */
+class Client
+{
+  public:
+    /** One answered query line, decoded from its response frame. */
+    struct Response
+    {
+        int code = 0;    //!< exit category of the line
+        std::string out; //!< stdout payload (byte-exact CLI stdout)
+        std::string err; //!< stderr payload (I/O stats, error record)
+    };
+
+    Client() = default;
+    ~Client();
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+    Client(Client&& other) noexcept;
+    Client& operator=(Client&& other) noexcept;
+
+    /**
+     * Connect to a unix-domain socket at @p path. Retries for up to
+     * @p timeoutMs (10ms steps) while the socket file is missing or
+     * refusing — covers the window where a freshly spawned server has
+     * not bound yet. Throws WetError on timeout.
+     */
+    void connectUnix(const std::string& path,
+                     unsigned timeoutMs = 5000);
+
+    /** Connect to 127.0.0.1:@p port, with the same retry window. */
+    void connectTcp(uint16_t port, unsigned timeoutMs = 5000);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Send one query line (a '\n' is appended if missing) and block
+     * for its response frame. Blank and '#' lines are a protocol
+     * error here — the server sends no frame for them; use sendRaw()
+     * to exercise that path. Throws WetError on a torn connection or
+     * a malformed frame.
+     */
+    Response query(const std::string& line);
+
+    /** Send raw bytes with no framing expectations (fuzzing, batch
+     *  pipelining, deliberately broken input). Throws on a torn
+     *  connection. */
+    void sendRaw(const std::string& bytes);
+
+    /**
+     * Block for the next response frame (pairs with sendRaw of one or
+     * more query lines). Returns false on clean EOF before a frame
+     * starts; throws WetError on a torn/malformed frame.
+     */
+    bool readResponse(Response& res);
+
+    /** Half-close the write side: the server sees EOF after the
+     *  in-flight lines and winds the connection down. */
+    void shutdownWrite();
+
+    /** Hard-close the socket mid-conversation (the torn-connection
+     *  case the server must absorb without poisoning its peers). */
+    void close();
+
+  private:
+    void connectRetry(int family, const void* addr, size_t addrLen,
+                      const std::string& what, unsigned timeoutMs);
+    /** Refill buf_ from the socket; false on EOF. */
+    bool fill();
+
+    int fd_ = -1;
+    std::string buf_; //!< unconsumed response bytes
+};
+
+} // namespace serve
+} // namespace wet
+
+#endif // WET_SERVE_CLIENT_H

@@ -1,0 +1,477 @@
+#include "queryrunner.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "analysis/moduleverifier.h"
+#include "analysis/racedetect.h"
+#include "analysis/staticdep.h"
+#include "core/addrquery.h"
+#include "core/cfquery.h"
+#include "core/cursorslicer.h"
+#include "core/slicer.h"
+#include "core/valuequery.h"
+#include "support/error.h"
+#include "support/governor.h"
+
+namespace wet {
+namespace serve {
+
+void
+appendf(std::string& out, const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    char buf[512];
+    int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    if (n < 0) {
+        va_end(ap2);
+        return;
+    }
+    if (static_cast<size_t>(n) < sizeof(buf)) {
+        out.append(buf, static_cast<size_t>(n));
+    } else {
+        std::string big(static_cast<size_t>(n) + 1, '\0');
+        std::vsnprintf(big.data(), big.size(), fmt, ap2);
+        out.append(big.data(), static_cast<size_t>(n));
+    }
+    va_end(ap2);
+}
+
+std::vector<std::string>
+tokenize(const std::string& line)
+{
+    std::vector<std::string> toks;
+    std::istringstream is(line);
+    std::string t;
+    while (is >> t)
+        toks.push_back(t);
+    return toks;
+}
+
+QuerySpec
+parseQueryLine(const std::vector<std::string>& toks)
+{
+    QuerySpec q;
+    q.verb = toks[0];
+    if (q.verb != "cf" && q.verb != "values" && q.verb != "addr" &&
+        q.verb != "slice" && q.verb != "races" &&
+        q.verb != "depcheck")
+    {
+        throw QueryError{kExitUsage,
+                         "unknown batch query '" + q.verb + "'"};
+    }
+    auto num = [&](size_t& i) -> uint64_t {
+        if (i + 1 >= toks.size())
+            throw QueryError{kExitUsage,
+                             "option '" + toks[i] +
+                                 "' needs a value in batch query"};
+        return std::strtoull(toks[++i].c_str(), nullptr, 10);
+    };
+    for (size_t i = 1; i < toks.size(); ++i) {
+        const std::string& opt = toks[i];
+        if (opt == "--stmt")
+            q.stmt = num(i);
+        else if (opt == "--from")
+            q.from = num(i);
+        else if (opt == "--count")
+            q.count = num(i);
+        else if (opt == "--k")
+            q.k = num(i);
+        else if (opt == "--limit")
+            q.limit = num(i);
+        else if (opt == "--max")
+            q.maxItems = num(i);
+        else if (opt == "--engine" && i + 1 < toks.size())
+            q.engine = toks[++i];
+        else if (q.verb == "slice" && q.sliceQuery.empty() &&
+                 opt.rfind("--", 0) != 0)
+            q.sliceQuery = opt;
+        else
+            throw QueryError{kExitUsage,
+                             "bad option '" + opt +
+                                 "' in batch query"};
+    }
+    if (q.engine != "cursor" && q.engine != "decode")
+        throw QueryError{kExitUsage,
+                         "bad engine '" + q.engine +
+                             "' in batch query"};
+    return q;
+}
+
+void
+parseSliceQuery(const std::string& query, const ir::Module& mod,
+                ir::StmtId& stmt, uint64_t& k)
+{
+    auto bad = [&]() -> QueryError {
+        return QueryError{kExitUsage, "bad slice query '" + query +
+                                          "', expected "
+                                          "fn:stmt[:instance]"};
+    };
+    std::vector<std::string> parts;
+    size_t start = 0;
+    while (true) {
+        size_t colon = query.find(':', start);
+        parts.push_back(query.substr(start, colon - start));
+        if (colon == std::string::npos)
+            break;
+        start = colon + 1;
+    }
+    if (parts.size() < 2 || parts.size() > 3 || parts[0].empty() ||
+        parts[1].empty())
+        throw bad();
+
+    ir::FuncId fid;
+    if (std::all_of(parts[0].begin(), parts[0].end(), ::isdigit)) {
+        fid = static_cast<ir::FuncId>(
+            std::strtoull(parts[0].c_str(), nullptr, 10));
+        if (fid >= mod.numFunctions())
+            throw bad();
+    } else if (mod.hasFunction(parts[0])) {
+        fid = mod.functionByName(parts[0]);
+    } else {
+        throw QueryError{kExitUsage,
+                         "no function '" + parts[0] + "'"};
+    }
+
+    const ir::Function& fn = mod.function(fid);
+    uint64_t local = std::strtoull(parts[1].c_str(), nullptr, 10);
+    uint64_t fnStmts = 0;
+    for (const ir::BasicBlock& b : fn.blocks)
+        fnStmts += b.instrs.size();
+    if (local >= fnStmts)
+        throw QueryError{kExitUsage,
+                         "function '" + fn.name + "' has only " +
+                             std::to_string(fnStmts) + " statements"};
+    // Statement ids are dense per function in block order, so the
+    // global id is the function's first id plus the local index.
+    stmt = fn.blocks[0].instrs[0].stmt +
+           static_cast<ir::StmtId>(local);
+    k = parts.size() == 3
+            ? std::strtoull(parts[2].c_str(), nullptr, 10)
+            : 0;
+}
+
+namespace {
+
+int
+runCf(core::QuerySession& s, const QuerySpec& q, QueryOutput& res)
+{
+    core::QuerySession::Scope scope(s, "cf");
+    core::ControlFlowQuery cf(s.access());
+    const core::WetGraph& g = s.graph();
+    cf.extractRange(q.from, q.count, [&](core::NodeId n,
+                                         core::Timestamp t) {
+        // Deadline/resident poll per emitted row: a cache-warm query
+        // does little decoding, so it must stay governed here.
+        support::Governor::poll();
+        const core::WetNode& node = g.nodes[n];
+        appendf(res.out, "t=%-8llu fn%u path%llu [",
+                static_cast<unsigned long long>(t), node.func,
+                static_cast<unsigned long long>(node.pathId));
+        for (size_t b = 0; b < node.blocks.size(); ++b)
+            appendf(res.out, "%sb%u", b ? " " : "", node.blocks[b]);
+        appendf(res.out, "]\n");
+    });
+    return kExitOk;
+}
+
+int
+runValues(core::QuerySession& s, const QuerySpec& q, QueryOutput& res)
+{
+    if (q.stmt == UINT64_MAX)
+        throw QueryError{kExitUsage, "values requires --stmt"};
+    core::QuerySession::Scope scope(s, "values");
+    core::ValueTraceQuery vq(s.access());
+    uint64_t shown = 0;
+    uint64_t total =
+        vq.extract(static_cast<ir::StmtId>(q.stmt),
+                   [&](core::Timestamp t, int64_t v) {
+                       support::Governor::poll();
+                       if (shown++ < q.limit)
+                           appendf(res.out, "<t=%llu, %lld>\n",
+                                   static_cast<unsigned long long>(t),
+                                   static_cast<long long>(v));
+                   });
+    appendf(res.out, "(%llu instances total)\n",
+            static_cast<unsigned long long>(total));
+    return kExitOk;
+}
+
+int
+runAddr(core::QuerySession& s, const QuerySpec& q, QueryOutput& res)
+{
+    if (q.stmt == UINT64_MAX)
+        throw QueryError{kExitUsage, "addr requires --stmt"};
+    if (q.stmt >= s.module().numStmts())
+        throw QueryError{kExitUsage, "statement id out of range"};
+    ir::Opcode op =
+        s.module().instr(static_cast<ir::StmtId>(q.stmt)).op;
+    if (op != ir::Opcode::Load && op != ir::Opcode::Store)
+        throw QueryError{kExitUsage,
+                         "statement " + std::to_string(q.stmt) +
+                             " is not a load or store"};
+    core::QuerySession::Scope scope(s, "addr");
+    core::AddressTraceQuery aq(s.access());
+    uint64_t shown = 0;
+    uint64_t total =
+        aq.extract(static_cast<ir::StmtId>(q.stmt),
+                   [&](core::Timestamp t, uint64_t addr) {
+                       support::Governor::poll();
+                       if (shown++ < q.limit)
+                           appendf(res.out, "<t=%llu, 0x%llx>\n",
+                                   static_cast<unsigned long long>(t),
+                                   static_cast<unsigned long long>(
+                                       addr));
+                   });
+    appendf(res.out, "(%llu instances total)\n",
+            static_cast<unsigned long long>(total));
+    return kExitOk;
+}
+
+void
+appendIoStats(QueryOutput& res, const std::string& engine,
+              const core::SliceIoStats& st)
+{
+    appendf(res.err,
+            "engine %s: %llu streams opened, %llu values "
+            "decoded, %llu of %llu artifact bytes touched "
+            "(%.2f%%)\n",
+            engine.c_str(),
+            static_cast<unsigned long long>(st.streamsOpened),
+            static_cast<unsigned long long>(st.valuesDecoded),
+            static_cast<unsigned long long>(st.bytesTouched),
+            static_cast<unsigned long long>(st.bytesTotal),
+            100.0 * st.fractionTouched());
+}
+
+int
+runSlice(core::QuerySession& s, const QuerySpec& q, QueryOutput& res)
+{
+    const ir::Module& mod = s.module();
+    ir::StmtId stmt;
+    uint64_t k = q.k;
+    if (!q.sliceQuery.empty()) {
+        parseSliceQuery(q.sliceQuery, mod, stmt, k);
+    } else if (q.stmt != UINT64_MAX) {
+        if (q.stmt >= mod.numStmts())
+            throw QueryError{kExitUsage,
+                             "statement id out of range"};
+        stmt = static_cast<ir::StmtId>(q.stmt);
+    } else {
+        throw QueryError{kExitUsage,
+                         "slice requires fn:stmt[:instance] or "
+                         "--stmt"};
+    }
+
+    core::QuerySession::Scope scope(s, "slice");
+
+    // Both engines drive the same WetSlicer over the same artifact;
+    // stdout is engine-invariant by construction (golden slice tests
+    // byte-compare the two), only the stderr I/O stats differ.
+    core::SliceAccess& acc =
+        q.engine == "decode"
+            ? static_cast<core::SliceAccess&>(s.decodeSlice())
+            : s.cursorSlice();
+
+    core::WetSlicer slicer(acc);
+    core::SliceItem seed = slicer.locate(stmt, k);
+    if (!seed.valid()) {
+        throw QueryError{kExitUsage,
+                         "statement " + std::to_string(stmt) +
+                             " has no instance " + std::to_string(k)};
+    }
+    core::SliceResult sres = slicer.backward(seed, q.maxItems);
+
+    const ir::StmtRef& ref = mod.stmtRef(stmt);
+    appendf(res.out,
+            "backward slice of stmt %u (%s:%u) instance %llu: "
+            "%zu instances, %llu edges%s\n",
+            stmt, mod.function(ref.func).name.c_str(),
+            stmt - mod.function(ref.func).blocks[0].instrs[0].stmt,
+            static_cast<unsigned long long>(k), sres.items.size(),
+            static_cast<unsigned long long>(sres.edgesTraversed),
+            sres.truncated ? " (truncated)" : "");
+
+    // Per-statement instance counts, ascending by statement id
+    // (deterministic, complete — the golden tests depend on it).
+    const core::WetGraph& g = s.graph();
+    std::map<ir::StmtId, uint64_t> counts;
+    for (const auto& item : sres.items)
+        counts[g.nodes[item.node].stmts[item.pos]]++;
+    for (const auto& [st, c] : counts)
+        appendf(res.out, "  stmt %-6u %-6s x %llu\n", st,
+                ir::opcodeName(mod.instr(st).op),
+                static_cast<unsigned long long>(c));
+
+    // Static/dynamic cross-validation: the dynamic slice must stay
+    // inside the static backward slice of the seed statement.
+    const analysis::StaticDepGraph& sdg = s.depGraph();
+    std::vector<bool> staticSlice = sdg.backwardSlice(stmt);
+    uint64_t staticCount = 0;
+    for (bool b : staticSlice)
+        staticCount += b;
+    std::vector<ir::StmtId> escapes;
+    for (const auto& [st, c] : counts) {
+        (void)c;
+        if (!staticSlice[st])
+            escapes.push_back(st);
+    }
+    if (escapes.empty()) {
+        appendf(res.out,
+                "containment: %zu dynamic stmts within %llu "
+                "static stmts: OK\n",
+                counts.size(),
+                static_cast<unsigned long long>(staticCount));
+    } else {
+        for (ir::StmtId st : escapes)
+            appendf(res.out,
+                    "containment: stmt %u escapes the static "
+                    "slice\n",
+                    st);
+    }
+
+    appendIoStats(res, q.engine,
+                  q.engine == "decode" ? s.decodeSlice().stats()
+                                       : s.cursorSlice().stats());
+    return escapes.empty() ? kExitOk : kExitVerify;
+}
+
+int
+runRaces(core::QuerySession& s, const QuerySpec& q, QueryOutput& res)
+{
+    core::QuerySession::Scope scope(s, "races");
+
+    // Both engines feed the same vector-clock detector; stdout is
+    // engine-invariant by construction (the race bench asserts the
+    // two reports byte-equal), only the stderr I/O stats differ.
+    analysis::RaceReport rep;
+    core::SliceIoStats st;
+    if (q.engine == "decode") {
+        analysis::DecodeSyncAccess sa(s.compressed(), &s.cache());
+        rep = analysis::detectRaces(sa);
+        st = sa.stats();
+    } else {
+        analysis::CursorSyncAccess sa(s.compressed(), &s.cache());
+        rep = analysis::detectRaces(sa);
+        st = sa.stats();
+    }
+    res.out += rep.renderText();
+    appendIoStats(res, q.engine, st);
+    return rep.races.empty() ? kExitOk : kExitRaces;
+}
+
+int
+runDepcheck(core::QuerySession& s, const QuerySpec& q,
+            const std::string& artifactName, QueryOutput& res)
+{
+    core::QuerySession::Scope scope(s, "depcheck");
+    analysis::DiagEngine diag;
+    analysis::verifyModule(s.module(), diag);
+    analysis::DepCheckStats stats;
+    if (!diag.hasErrors()) {
+        analysis::verifyDeps(s.graph(), s.moduleAnalysis(),
+                             s.depGraph(), diag, &s.compressed(), {},
+                             &stats);
+    }
+    return appendDepcheckResult(res.out, q.json, artifactName, diag,
+                                stats);
+}
+
+} // namespace
+
+int
+appendDepcheckResult(std::string& out, bool json,
+                     const std::string& artifactName,
+                     const analysis::DiagEngine& diag,
+                     const analysis::DepCheckStats& stats)
+{
+    if (json) {
+        out += diag.renderJson();
+    } else {
+        if (!diag.diagnostics().empty() || diag.hasErrors())
+            out += diag.renderText();
+        if (!diag.hasErrors())
+            appendf(out,
+                    "%s: OK (%llu DD edges, %llu CD edges, "
+                    "%llu slice probes over %llu items)\n",
+                    artifactName.c_str(),
+                    static_cast<unsigned long long>(stats.ddEdges),
+                    static_cast<unsigned long long>(stats.cdEdges),
+                    static_cast<unsigned long long>(stats.sliceSeeds),
+                    static_cast<unsigned long long>(
+                        stats.sliceItems));
+    }
+    return diag.hasErrors() ? kExitVerify : kExitOk;
+}
+
+int
+runQuery(core::QuerySession& s, const QuerySpec& q,
+         const std::string& artifactName, QueryOutput& res)
+{
+    if (q.verb == "cf")
+        return runCf(s, q, res);
+    if (q.verb == "values")
+        return runValues(s, q, res);
+    if (q.verb == "addr")
+        return runAddr(s, q, res);
+    if (q.verb == "slice")
+        return runSlice(s, q, res);
+    if (q.verb == "races")
+        return runRaces(s, q, res);
+    if (q.verb == "depcheck")
+        return runDepcheck(s, q, artifactName, res);
+    throw QueryError{kExitUsage,
+                     "unknown batch query '" + q.verb + "'"};
+}
+
+LineResult
+serveLine(core::QuerySession& s, const std::string& artifactName,
+          const std::string& line, uint64_t lineNo)
+{
+    LineResult r;
+    std::vector<std::string> toks = tokenize(line);
+    if (toks.empty() || toks[0][0] == '#')
+        return r;
+    r.isQuery = true;
+    QueryOutput qo;
+    // One bad line must not take the session down: it becomes a
+    // structured error record (the batch CLI prints it to stderr, the
+    // server ships it in the response frame's err span) and the line
+    // keeps whatever partial output it produced. The session
+    // quarantines the readers a failed query touched, so later lines
+    // answer byte-identically to a fresh session.
+    try {
+        QuerySpec q = parseQueryLine(toks);
+        r.code = runQuery(s, q, artifactName, qo);
+    } catch (const GovernorLimit& e) {
+        // Truncation is a result, not an error: the partial output
+        // stands and the batch goes on.
+        appendf(qo.out, "(truncated by governor: %s)\n",
+                e.which().c_str());
+        r.code = kExitOk;
+    } catch (const QueryError& e) {
+        appendf(qo.err, "error: line:%llu: %s\n",
+                static_cast<unsigned long long>(lineNo),
+                e.message.c_str());
+        r.code = e.code;
+    } catch (const WetError& e) {
+        appendf(qo.err, "error: line:%llu: %s\n",
+                static_cast<unsigned long long>(lineNo), e.what());
+        r.code = kExitInternal;
+    }
+    r.out = std::move(qo.out);
+    r.err = std::move(qo.err);
+    return r;
+}
+
+} // namespace serve
+} // namespace wet

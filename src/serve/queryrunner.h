@@ -1,0 +1,162 @@
+#ifndef WET_SERVE_QUERYRUNNER_H
+#define WET_SERVE_QUERYRUNNER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/depcheck.h"
+#include "analysis/diag.h"
+#include "core/session.h"
+#include "ir/module.h"
+
+namespace wet {
+namespace serve {
+
+/**
+ * Process exit-code categories of the CLI contract (see
+ * tools/wet_cli.cpp and tools/exit_codes.cmake). The serve layer
+ * reuses them per query line: each response carries the category its
+ * standalone command would have exited with, and a batch's process
+ * exit is the worst per-line category.
+ */
+enum ExitCode : int
+{
+    kExitOk = 0,
+    kExitInternal = 1,
+    kExitUsage = 2,
+    kExitParse = 3,
+    kExitVerify = 4,
+    kExitIo = 5,
+    kExitRaces = 6,
+};
+
+/** Recoverable per-query failure carrying its exit category. */
+struct QueryError
+{
+    int code;
+    std::string message;
+};
+
+/**
+ * One parsed query in the batch grammar — the line language shared
+ * verbatim by `wet_cli query --input`, the standalone commands, and
+ * the `wet_cli serve` wire protocol:
+ *
+ *   cf [--from T] [--count N]
+ *   values --stmt S [--limit N]
+ *   addr --stmt S [--limit N]
+ *   slice fn:stmt[:instance] | --stmt S [--k K]  [--engine E] [--max N]
+ *   races [--engine cursor|decode]
+ *   depcheck
+ */
+struct QuerySpec
+{
+    std::string verb;
+    std::string sliceQuery; //!< "fn:stmt[:instance]" seed
+    std::string engine = "cursor";
+    uint64_t stmt = UINT64_MAX;
+    uint64_t from = 1;
+    uint64_t count = 20;
+    uint64_t k = 0;
+    uint64_t limit = 20;
+    uint64_t maxItems = 100000;
+    bool json = false; //!< depcheck only; always false in batch
+};
+
+/** printf-append into a string (exact stdio formatting, so serving
+ *  layers stay byte-identical to the historical printf output). */
+void appendf(std::string& out, const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+/** Whitespace-split @p line. */
+std::vector<std::string> tokenize(const std::string& line);
+
+/**
+ * Parse one tokenized batch line. Throws QueryError(kExitUsage) on an
+ * unknown verb, a malformed option, or a bad engine — the semantics
+ * `query --input` has always had for poisoned lines.
+ */
+QuerySpec parseQueryLine(const std::vector<std::string>& toks);
+
+/**
+ * Resolve a "fn:stmt[:instance]" slice query: fn is a function name
+ * or id, stmt a function-local statement index, instance the k-th
+ * (timestamp-ordered) execution. Throws QueryError(kExitUsage).
+ */
+void parseSliceQuery(const std::string& query, const ir::Module& mod,
+                     ir::StmtId& stmt, uint64_t& k);
+
+/**
+ * Captured output of one query: the bytes the standalone command
+ * would have written to stdout and stderr. Run functions append as
+ * they go, so when a query unwinds (governor trip, injected fault,
+ * decode failure) the partial output is preserved — exactly what the
+ * streaming printf implementation used to leave behind.
+ */
+struct QueryOutput
+{
+    std::string out;
+    std::string err;
+};
+
+/**
+ * Run one parsed query on @p s, appending into @p res. Returns the
+ * exit category (kExitOk, or kExitVerify/kExitRaces for the verbs
+ * that report through their exit code). Throws QueryError for usage
+ * errors, GovernorLimit on a tripped budget, and WetError for decode
+ * faults — callers translate those per the batch contract.
+ * @p artifactName is the display name depcheck prints (the WETX
+ * path in the CLI).
+ */
+int runQuery(core::QuerySession& s, const QuerySpec& q,
+             const std::string& artifactName, QueryOutput& res);
+
+/**
+ * Append a depcheck/verify-style diagnostic report. Shared by the
+ * session-backed depcheck verb and the standalone `wet_cli depcheck`
+ * command. Returns kExitVerify when @p diag holds errors.
+ */
+int appendDepcheckResult(std::string& out, bool json,
+                         const std::string& artifactName,
+                         const analysis::DiagEngine& diag,
+                         const analysis::DepCheckStats& stats);
+
+/**
+ * One served line of the batch protocol.
+ *
+ * `isQuery` is false for blank and '#'-comment lines: they consume a
+ * line number but produce no output and no response frame. For query
+ * lines, `out`/`err` hold the stdout/stderr bytes and `code` the exit
+ * category; a failed line keeps its partial `out` and carries the
+ * structured record `error: line:<n>: <message>` in `err`, a
+ * governor-truncated line keeps its partial `out` plus the truncation
+ * marker and stays code 0.
+ */
+struct LineResult
+{
+    bool isQuery = false;
+    int code = kExitOk;
+    std::string out;
+    std::string err;
+};
+
+/**
+ * Serve one line of the batch protocol against @p s with the exact
+ * error semantics of `wet_cli query --input`: never throws, never
+ * poisons the session (failed queries quarantine the cache readers
+ * they touched via the session scope), and reports failures as
+ * structured per-line records. @p lineNo is the 1-based input line
+ * number (blanks and comments count).
+ */
+LineResult serveLine(core::QuerySession& s,
+                     const std::string& artifactName,
+                     const std::string& line, uint64_t lineNo);
+
+} // namespace serve
+} // namespace wet
+
+#endif // WET_SERVE_QUERYRUNNER_H

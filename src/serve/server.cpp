@@ -1,0 +1,316 @@
+#include "server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "serve/queryrunner.h"
+#include "support/error.h"
+
+namespace wet {
+namespace serve {
+
+namespace {
+
+/** Write all of @p data; returns false on a torn connection. Uses
+ *  MSG_NOSIGNAL so a client that vanished mid-response surfaces as
+ *  an error return, not a fatal SIGPIPE. */
+bool
+writeAll(int fd, const char* data, size_t len)
+{
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+Server::Server(std::shared_ptr<core::SharedArtifact> artifact,
+               ServerOptions opt)
+    : artifact_(std::move(artifact)), opt_(std::move(opt))
+{
+}
+
+Server::~Server()
+{
+    try {
+        stop();
+    } catch (...) {
+        // A join or pool-drain failure here would otherwise escape a
+        // destructor and terminate; losing the shutdown error beats
+        // that, and start()/stop() callers still see it directly.
+    }
+    if (!opt_.unixPath.empty())
+        ::unlink(opt_.unixPath.c_str());
+}
+
+void
+Server::start()
+{
+    if (started_.exchange(true))
+        WET_FATAL("server already started");
+
+    if (!opt_.unixPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (opt_.unixPath.size() >= sizeof(addr.sun_path))
+            WET_FATAL("unix socket path too long: '"
+                      << opt_.unixPath << "'");
+        std::memcpy(addr.sun_path, opt_.unixPath.c_str(),
+                    opt_.unixPath.size() + 1);
+        listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (listenFd_ < 0)
+            WET_FATAL("socket(AF_UNIX): " << std::strerror(errno));
+        // A stale socket file from a crashed predecessor blocks
+        // bind(2); remove it (connect() to a live server would still
+        // have succeeded, so only dead files are ever reaped here).
+        ::unlink(opt_.unixPath.c_str());
+        if (::bind(listenFd_,
+                   reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
+            int err = errno;
+            ::close(listenFd_);
+            listenFd_ = -1;
+            WET_FATAL("bind('" << opt_.unixPath
+                               << "'): " << std::strerror(err));
+        }
+        address_ = "unix:" + opt_.unixPath;
+    } else {
+        listenFd_ =
+            ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (listenFd_ < 0)
+            WET_FATAL("socket(AF_INET): " << std::strerror(errno));
+        int one = 1;
+        ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(opt_.port);
+        if (::bind(listenFd_,
+                   reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
+            int err = errno;
+            ::close(listenFd_);
+            listenFd_ = -1;
+            WET_FATAL("bind(127.0.0.1:"
+                      << opt_.port << "): " << std::strerror(err));
+        }
+        socklen_t len = sizeof(addr);
+        ::getsockname(listenFd_,
+                      reinterpret_cast<sockaddr*>(&addr), &len);
+        port_ = ntohs(addr.sin_port);
+        address_ = "tcp:127.0.0.1:" + std::to_string(port_);
+    }
+
+    if (::listen(listenFd_, 64) != 0) {
+        int err = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        WET_FATAL("listen: " << std::strerror(err));
+    }
+
+    pool_ = std::make_unique<support::ThreadPool>(opt_.workers);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        if (opt_.maxConns != 0 &&
+            accepted_.load(std::memory_order_relaxed) >=
+                opt_.maxConns)
+            break;
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int pr = ::poll(&pfd, 1, 200);
+        if (pr < 0 && errno != EINTR)
+            break;
+        if (pr <= 0 || (pfd.revents & POLLIN) == 0)
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.add("server.connections", 1);
+        {
+            std::lock_guard<std::mutex> lock(connMu_);
+            openConns_.push_back(fd);
+        }
+        // The pool's bounded queue is the connection backlog: when
+        // every worker is busy and the queue is full, submit()
+        // blocks the accept loop — backpressure, not unbounded fd
+        // accumulation.
+        pool_->submit([this, fd] { handleConnection(fd); });
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    try {
+        serveConnection(fd);
+    } catch (...) {
+        // A connection handler must never leak an exception into the
+        // pool: anything unexpected just drops this one connection.
+        metrics_.add("server.connection_errors", 1);
+    }
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        openConns_.erase(std::remove(openConns_.begin(),
+                                     openConns_.end(), fd),
+                         openConns_.end());
+    }
+    ::close(fd);
+    metrics_.add("server.connections_closed", 1);
+}
+
+void
+Server::serveConnection(int fd)
+{
+    core::QuerySession session(artifact_, opt_.session);
+
+    std::string buf;
+    char chunk[4096];
+    uint64_t lineNo = 0;
+    bool discarding = false; //!< inside an oversized line
+    bool open = true;
+
+    auto answer = [&](const LineResult& r) -> bool {
+        if (!r.isQuery)
+            return true;
+        std::string frame;
+        appendf(frame, "wet %d %zu %zu\n", r.code, r.out.size(),
+                r.err.size());
+        frame += r.out;
+        frame += r.err;
+        metrics_.add("server.bytes_out", frame.size());
+        metrics_.add("server.lines", 1);
+        if (r.code != kExitOk)
+            metrics_.add("server.lines_failed", 1);
+        return writeAll(fd, frame.data(), frame.size());
+    };
+
+    auto serveOne = [&](const std::string& line) -> bool {
+        ++lineNo;
+        if (discarding) {
+            // The tail of a line that blew the length bound: it was
+            // already answered with an error frame when the bound
+            // tripped; drop the remainder silently.
+            discarding = false;
+            --lineNo; // the oversized line counted once, at trip time
+            return true;
+        }
+        return answer(
+            serveLine(session, artifact_->name(), line, lineNo));
+    };
+
+    while (open) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // torn connection
+        }
+        if (n == 0) {
+            // EOF: a final unterminated line is still a line, the
+            // same way std::getline serves the last line of a batch
+            // file with no trailing newline.
+            if (!buf.empty() && !discarding)
+                serveOne(buf);
+            break;
+        }
+        metrics_.add("server.bytes_in", static_cast<uint64_t>(n));
+        buf.append(chunk, static_cast<size_t>(n));
+        size_t start = 0;
+        for (size_t nl = buf.find('\n', start);
+             nl != std::string::npos;
+             nl = buf.find('\n', start)) {
+            std::string line = buf.substr(start, nl - start);
+            start = nl + 1;
+            if (!serveOne(line)) {
+                open = false;
+                break;
+            }
+        }
+        buf.erase(0, start);
+        if (open && !discarding && buf.size() > opt_.maxLineBytes) {
+            // Oversized request line: answer one error frame now,
+            // then discard bytes until the next newline. The
+            // connection — and its session — keep serving.
+            ++lineNo;
+            LineResult r;
+            r.isQuery = true;
+            r.code = kExitUsage;
+            appendf(r.err,
+                    "error: line:%llu: request line exceeds %zu "
+                    "bytes\n",
+                    static_cast<unsigned long long>(lineNo),
+                    opt_.maxLineBytes);
+            if (!answer(r))
+                break;
+            buf.clear();
+            discarding = true;
+        } else if (discarding) {
+            buf.clear();
+        }
+    }
+
+    // Fold this connection's session activity into the server-wide
+    // registry (thread-safe merge; the session itself is quiescent —
+    // this thread was its only driver).
+    metrics_.merge(session.metrics());
+}
+
+void
+Server::stop()
+{
+    if (!started_.load(std::memory_order_acquire))
+        return;
+    stopping_.store(true, std::memory_order_release);
+    // Join the accept loop first so no new connection can slip in
+    // behind the shutdown sweep below.
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    {
+        // Nudge open connections: they finish the line in flight,
+        // then read EOF and wind down normally.
+        std::lock_guard<std::mutex> lock(connMu_);
+        for (int fd : openConns_)
+            ::shutdown(fd, SHUT_RD);
+    }
+    if (pool_) {
+        pool_->wait();
+        pool_->shutdown();
+    }
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+}
+
+void
+Server::waitDone()
+{
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (pool_)
+        pool_->wait();
+}
+
+} // namespace serve
+} // namespace wet

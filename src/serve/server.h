@@ -1,0 +1,138 @@
+#ifndef WET_SERVE_SERVER_H
+#define WET_SERVE_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "core/sharedartifact.h"
+#include "support/metrics.h"
+#include "support/threadpool.h"
+
+namespace wet {
+namespace serve {
+
+struct ServerOptions
+{
+    /** Non-empty: listen on this unix-domain socket path. */
+    std::string unixPath;
+    /** Otherwise: listen on 127.0.0.1:@p port (0 = ephemeral; read
+     *  the bound port back with Server::port()). */
+    uint16_t port = 0;
+    /** Connection-handler worker threads (the support::ThreadPool
+     *  contract: <=1 degrades to inline serial handling). */
+    unsigned workers = 4;
+    /** Per-connection session knobs: cache bound, analysis threads,
+     *  resource-governor limits. */
+    core::SessionOptions session;
+    /** Stop accepting after this many connections (0 = unlimited);
+     *  in-flight connections drain before waitDone() returns. */
+    uint64_t maxConns = 0;
+    /** Protocol bound on one request line; longer lines answer an
+     *  error frame and are discarded up to the next newline. */
+    size_t maxLineBytes = size_t{1} << 16;
+};
+
+/**
+ * Concurrent multi-session query server over one SharedArtifact.
+ *
+ * One accept loop + a worker pool; every accepted connection gets its
+ * own QuerySession (own bounded stream-reader cache, metrics and
+ * governor) over the shared immutable artifact state, so connections
+ * never contend beyond the artifact's exactly-once analysis build.
+ *
+ * Wire protocol (`wet_cli serve`): the client sends newline-delimited
+ * query lines in exactly the `wet_cli query --input` batch grammar
+ * (cf / values / addr / slice / races / depcheck). Blank lines and
+ * '#' comments are consumed (they count toward line numbering, as in
+ * batch files) but produce no response. Every other line is answered
+ * with one frame:
+ *
+ *   wet <code> <outBytes> <errBytes>\n
+ *   <outBytes bytes of stdout payload><errBytes bytes of stderr payload>
+ *
+ * where <code> is the exit category the standalone command would
+ * have produced, the stdout payload is byte-identical to the
+ * standalone command's stdout, and the stderr payload carries the
+ * engine I/O stats and/or the structured `error: line:<n>: <message>`
+ * record of a failed line. A failed or governor-truncated line keeps
+ * the session serving — the per-connection session quarantines the
+ * cache readers the line touched, exactly like a poisoned batch
+ * line. A connection ends when the client closes its write side; a
+ * torn connection (mid-query disconnect) is dropped without
+ * affecting any other session.
+ *
+ * On close, each connection's session metrics merge into the
+ * server-wide registry (metrics()), alongside the server's own
+ * connections/lines/bytes counters.
+ */
+class Server
+{
+  public:
+    Server(std::shared_ptr<core::SharedArtifact> artifact,
+           ServerOptions opt);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /** Bind, listen, and spawn the accept loop. Throws WetError when
+     *  the socket cannot be bound. */
+    void start();
+
+    /**
+     * Graceful shutdown: stop accepting, half-close every open
+     * connection (handlers finish their in-flight line, then see
+     * EOF), drain the worker pool, join the accept loop. Idempotent.
+     */
+    void stop();
+
+    /** Block until the accept loop has exited (maxConns reached or
+     *  stop()) and every connection handler has drained. */
+    void waitDone();
+
+    /** Bound TCP port (after start(); 0 for unix sockets). */
+    uint16_t port() const { return port_; }
+
+    /** Printable listen address. */
+    const std::string& address() const { return address_; }
+
+    /** Server-wide metrics: accept-loop counters plus every closed
+     *  connection's merged session metrics. */
+    support::Metrics& metrics() { return metrics_; }
+
+    uint64_t
+    connectionsServed() const
+    {
+        return accepted_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+    void serveConnection(int fd);
+
+    std::shared_ptr<core::SharedArtifact> artifact_;
+    ServerOptions opt_;
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+    std::string address_;
+    std::unique_ptr<support::ThreadPool> pool_;
+    std::thread acceptThread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> started_{false};
+    std::atomic<uint64_t> accepted_{0};
+    std::mutex connMu_;
+    std::vector<int> openConns_; //!< live connection fds (guarded)
+    support::Metrics metrics_;
+};
+
+} // namespace serve
+} // namespace wet
+
+#endif // WET_SERVE_SERVER_H

@@ -13,13 +13,43 @@ Metrics::counter(const std::string& name)
 }
 
 void
+Metrics::add(const std::string& name, uint64_t v)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] += v;
+}
+
+void
+Metrics::set(const std::string& name, uint64_t v)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] = v;
+}
+
+void
 Metrics::recordLatency(const std::string& name, uint64_t ns)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     Latency& l = latencies_[name];
     ++l.count;
     l.totalNs += ns;
     l.minNs = std::min(l.minNs, ns);
     l.maxNs = std::max(l.maxNs, ns);
+}
+
+void
+Metrics::merge(const Metrics& other)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, v] : other.counters_)
+        counters_[name] += v;
+    for (const auto& [name, ol] : other.latencies_) {
+        Latency& l = latencies_[name];
+        l.count += ol.count;
+        l.totalNs += ol.totalNs;
+        l.minNs = std::min(l.minNs, ol.minNs);
+        l.maxNs = std::max(l.maxNs, ol.maxNs);
+    }
 }
 
 namespace {
@@ -44,6 +74,7 @@ jsonNumber(std::ostringstream& os, double v)
 std::string
 Metrics::renderText() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::ostringstream os;
     os.precision(3);
     os << std::fixed;
@@ -61,6 +92,7 @@ Metrics::renderText() const
 std::string
 Metrics::renderJson() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::ostringstream os;
     os << "{\"counters\":{";
     bool first = true;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace wet {
@@ -10,10 +11,20 @@ namespace support {
 
 /**
  * Small named-counter and latency registry for long-lived serving
- * components (the query session layer). Counters are created on first
- * touch; latency samples aggregate into count/total/min/max so the
- * registry stays O(#names) regardless of traffic. Rendering is
- * deterministic (names sorted) so stats output can be golden-tested.
+ * components (the query session and serve layers). Counters are
+ * created on first touch; latency samples aggregate into
+ * count/total/min/max so the registry stays O(#names) regardless of
+ * traffic. Rendering is deterministic (names sorted) so stats output
+ * can be golden-tested.
+ *
+ * Thread safety: the mutating entry points — add(), set(),
+ * recordLatency(), merge() — and the renderers are serialized on an
+ * internal mutex, so concurrent sessions and a server aggregating
+ * per-connection registries can share one instance without losing
+ * updates (the 8-thread hammer test pins exact totals). The raw
+ * accessors counter()/counters()/latencies() hand out references
+ * into the registry and therefore require external quiescence: call
+ * them only when no other thread is mutating this instance.
  */
 class Metrics
 {
@@ -35,18 +46,31 @@ class Metrics
         }
     };
 
-    /** Counter cell for @p name, created at zero on first touch. */
+    Metrics() = default;
+    Metrics(const Metrics&) = delete;
+    Metrics& operator=(const Metrics&) = delete;
+
+    /** Counter cell for @p name, created at zero on first touch.
+     *  Requires external quiescence (see the class comment). */
     uint64_t& counter(const std::string& name);
 
-    /** Add @p v to counter @p name. */
-    void
-    add(const std::string& name, uint64_t v)
-    {
-        counter(name) += v;
-    }
+    /** Add @p v to counter @p name. Thread-safe. */
+    void add(const std::string& name, uint64_t v);
 
-    /** Record one latency sample for @p name. */
+    /** Set counter @p name to @p v (gauge write). Thread-safe. */
+    void set(const std::string& name, uint64_t v);
+
+    /** Record one latency sample for @p name. Thread-safe. */
     void recordLatency(const std::string& name, uint64_t ns);
+
+    /**
+     * Fold another registry into this one: counters add, latency
+     * series merge (counts/totals add, min/max combine). The server
+     * uses this to aggregate a finished connection's session metrics
+     * into the global registry. Thread-safe on this instance; @p other
+     * must be quiescent for the duration of the call.
+     */
+    void merge(const Metrics& other);
 
     const std::map<std::string, uint64_t>& counters() const
     {
@@ -57,13 +81,15 @@ class Metrics
         return latencies_;
     }
 
-    /** Human-readable block, one metric per line. */
+    /** Human-readable block, one metric per line. Thread-safe. */
     std::string renderText() const;
 
-    /** One JSON object: {"counters": {...}, "latencies_us": {...}}. */
+    /** One JSON object: {"counters": {...}, "latencies_us": {...}}.
+     *  Thread-safe. */
     std::string renderJson() const;
 
   private:
+    mutable std::mutex mu_;
     std::map<std::string, uint64_t> counters_;
     std::map<std::string, Latency> latencies_;
 };

@@ -1,0 +1,554 @@
+/**
+ * @file
+ * Differential and adversarial tests of the `wet_cli serve` socket
+ * server (src/serve/server.cpp).
+ *
+ * The load-bearing property is byte-identity: every response frame a
+ * concurrent server connection produces must equal, byte for byte,
+ * what a fresh serial QuerySession answers for the same line at the
+ * same position — across all twelve workloads, with the twelve
+ * batches shuffled differently per client thread, while N clients
+ * hammer one shared artifact. On top of that ride the protocol
+ * negative tests (invalid verbs, truncated and oversized lines,
+ * mid-query disconnects) and fault injection on live connections:
+ * none of them may poison another session or take the server down.
+ *
+ * FUZZ_ITERS scales the differential shuffle rounds (default 1);
+ * the TSan CI job runs this suite to catch data races in the
+ * shared-artifact path.
+ */
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/sessionverifier.h"
+#include "core/compressed.h"
+#include "core/session.h"
+#include "core/sharedartifact.h"
+#include "serve/client.h"
+#include "serve/queryrunner.h"
+#include "support/failpoint.h"
+#include "workloads/runner.h"
+#include "workloads/workloads.h"
+
+namespace wet {
+namespace serve {
+namespace {
+
+constexpr uint64_t kScale = 1;
+
+uint64_t
+fuzzIters()
+{
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read before threads start
+    if (const char* env = std::getenv("FUZZ_ITERS"))
+        return std::strtoull(env, nullptr, 10);
+    return 1;
+}
+
+/** One workload traced, compressed, and wrapped for serving. */
+struct Artifact
+{
+    std::unique_ptr<workloads::RunArtifacts> run;
+    std::unique_ptr<core::WetCompressed> compressed;
+    std::shared_ptr<core::SharedArtifact> shared;
+};
+
+Artifact
+buildArtifact(const workloads::Workload& w)
+{
+    Artifact a;
+    a.run = workloads::buildWet(w, kScale);
+    a.compressed =
+        std::make_unique<core::WetCompressed>(a.run->graph);
+    a.shared = std::make_shared<core::SharedArtifact>(
+        *a.run->module, *a.compressed, nullptr, 1, w.name);
+    return a;
+}
+
+/**
+ * A representative batch for one artifact: control flow, value and
+ * address traces on statements the trace actually executed, slices
+ * through both engines, the race scan, depcheck, and two deliberately
+ * bad lines (parse errors must flow through the protocol too).
+ */
+uint64_t
+stmtInstances(const Artifact& a, ir::StmtId stmt)
+{
+    uint64_t n = 0;
+    for (const auto& [node, pos] : a.run->graph.stmtIndex.at(stmt)) {
+        (void)pos;
+        n += a.run->graph.nodes[node].instances();
+    }
+    return n;
+}
+
+std::vector<std::string>
+buildBatch(const Artifact& a)
+{
+    // The values/addr verbs decode the statement's whole stream to
+    // report the instance total, merging one cursor per containing
+    // path node. Against the bounded per-session cache a multi-site
+    // merge rotates through more streams than the cache holds and
+    // every access re-scans from the start — seconds per line on the
+    // big traces, times every replay. Keep the values/addr targets to
+    // single-site statements with bounded streams (a linear working
+    // set); the slice lines can use the wider def set.
+    constexpr uint64_t kMaxStreamInstances = 20000;
+    std::vector<ir::StmtId> defs;
+    std::vector<ir::StmtId> singleDefs;
+    std::vector<ir::StmtId> singleMems;
+    for (const auto& [stmt, sites] : a.run->graph.stmtIndex) {
+        if (stmtInstances(a, stmt) > kMaxStreamInstances)
+            continue;
+        const ir::Instr& in = a.run->module->instr(stmt);
+        if (ir::hasDef(in.op) && in.op != ir::Opcode::Const) {
+            defs.push_back(stmt);
+            if (sites.size() == 1)
+                singleDefs.push_back(stmt);
+        }
+        if ((in.op == ir::Opcode::Load ||
+             in.op == ir::Opcode::Store) &&
+            sites.size() == 1)
+            singleMems.push_back(stmt);
+    }
+    std::sort(defs.begin(), defs.end());
+    std::sort(singleDefs.begin(), singleDefs.end());
+    std::sort(singleMems.begin(), singleMems.end());
+    // Small workloads may lack single-site defs; their streams are
+    // tiny, so the unrestricted picks stay cheap.
+    const std::vector<ir::StmtId>& vdefs =
+        singleDefs.empty() ? defs : singleDefs;
+
+    std::vector<std::string> lines;
+    lines.push_back("cf --from 1 --count 10");
+    lines.push_back("cf --from 7 --count 3");
+    if (!vdefs.empty()) {
+        lines.push_back("values --stmt " +
+                        std::to_string(vdefs.front()) + " --limit 5");
+        lines.push_back("values --stmt " +
+                        std::to_string(vdefs.back()) + " --limit 3");
+    }
+    if (!defs.empty()) {
+        lines.push_back("slice --stmt " +
+                        std::to_string(defs.front()) +
+                        " --max 500");
+        lines.push_back("slice --stmt " +
+                        std::to_string(defs.back()) +
+                        " --engine decode --max 500");
+    }
+    if (!singleMems.empty())
+        lines.push_back("addr --stmt " +
+                        std::to_string(singleMems.front()) +
+                        " --limit 4");
+    lines.push_back("races");
+    lines.push_back("races --engine decode");
+    lines.push_back("depcheck");
+    lines.push_back("values"); // usage error: missing --stmt
+    lines.push_back("bogus --verb");
+    return lines;
+}
+
+/** Serial reference: serve @p lines on a fresh session in order,
+ *  using the same 1-based numbering the server will assign. The
+ *  session options must match the server's — a slice's stderr I/O
+ *  stats depend on what the bounded cursor cache kept warm, so the
+ *  reference must replay under the same cache bound. */
+std::vector<LineResult>
+serialAnswers(const Artifact& a, const std::vector<std::string>& lines,
+              const core::SessionOptions& opt = {})
+{
+    core::QuerySession s(a.shared, opt);
+    std::vector<LineResult> out;
+    out.reserve(lines.size());
+    for (size_t i = 0; i < lines.size(); ++i)
+        out.push_back(
+            serveLine(s, a.shared->name(), lines[i], i + 1));
+    return out;
+}
+
+class ServeWorkloadTest
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+/**
+ * N concurrent clients, each replaying its own shuffle of the
+ * workload's batch, must each receive byte-exact serial answers —
+ * while every connection's session shares one artifact and the
+ * per-connection caches run bounded. Capacity 4 is the smallest
+ * bound that keeps one values query's working set (ts + pattern +
+ * uvals streams) resident — below it every access re-scans its
+ * stream and the suite turns quadratic — while still evicting
+ * heavily across the batch's different queries.
+ */
+TEST_P(ServeWorkloadTest, ConcurrentClientsMatchSerialByteForByte)
+{
+    const workloads::Workload& w =
+        workloads::workloadByName(GetParam());
+    Artifact art = buildArtifact(w);
+    std::vector<std::string> batch = buildBatch(art);
+
+    ServerOptions so;
+    so.workers = 4;
+    so.session.cacheCapacity = 4;
+    Server server(art.shared, so);
+    server.start();
+    ASSERT_NE(server.port(), 0);
+
+    const unsigned kClients = 4;
+    const uint64_t rounds = fuzzIters();
+    for (uint64_t round = 0; round < rounds; ++round) {
+        std::vector<std::vector<std::string>> shuffles(kClients);
+        std::vector<std::vector<LineResult>> expect(kClients);
+        for (unsigned c = 0; c < kClients; ++c) {
+            shuffles[c] = batch;
+            std::mt19937 rng(1000 * (round + 1) + c);
+            std::shuffle(shuffles[c].begin(), shuffles[c].end(),
+                         rng);
+            expect[c] = serialAnswers(art, shuffles[c], so.session);
+        }
+        std::vector<std::string> failures(kClients);
+        std::vector<std::thread> threads;
+        threads.reserve(kClients);
+        for (unsigned c = 0; c < kClients; ++c) {
+            threads.emplace_back([&, c] {
+                Client cl;
+                cl.connectTcp(server.port());
+                for (size_t i = 0; i < shuffles[c].size(); ++i) {
+                    Client::Response r = cl.query(shuffles[c][i]);
+                    const LineResult& e = expect[c][i];
+                    if (r.code != e.code || r.out != e.out ||
+                        r.err != e.err) {
+                        failures[c] = "client " + std::to_string(c) +
+                                      " line " + std::to_string(i) +
+                                      " '" + shuffles[c][i] +
+                                      "' diverged from serial";
+                        return;
+                    }
+                }
+            });
+        }
+        for (auto& t : threads)
+            t.join();
+        for (unsigned c = 0; c < kClients; ++c)
+            EXPECT_EQ(failures[c], "") << "round " << round;
+    }
+    server.stop();
+    EXPECT_GE(server.connectionsServed(), kClients * rounds);
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const workloads::Workload& w : workloads::allWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ServeWorkloadTest,
+    ::testing::ValuesIn(workloadNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+        std::string name = info.param;
+        for (char& ch : name)
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return name;
+    });
+
+/** Fixture with one small served artifact for the protocol tests. */
+class ServeProtocolTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        art_ = buildArtifact(workloads::allWorkloads().front());
+    }
+
+    Artifact art_;
+};
+
+TEST_F(ServeProtocolTest, InvalidVerbAnswersUsageErrorAndKeepsServing)
+{
+    Server server(art_.shared, ServerOptions{});
+    server.start();
+    Client cl;
+    cl.connectTcp(server.port());
+
+    Client::Response bad = cl.query("bogus --verb");
+    EXPECT_EQ(bad.code, kExitUsage);
+    EXPECT_EQ(bad.out, "");
+    EXPECT_EQ(bad.err,
+              "error: line:1: unknown batch query 'bogus'\n");
+
+    // The same connection keeps answering correctly afterwards.
+    core::QuerySession serial(art_.shared);
+    LineResult e = serveLine(serial, art_.shared->name(),
+                             "cf --from 1 --count 3", 2);
+    Client::Response ok = cl.query("cf --from 1 --count 3");
+    EXPECT_EQ(ok.code, e.code);
+    EXPECT_EQ(ok.out, e.out);
+    server.stop();
+}
+
+TEST_F(ServeProtocolTest, BlankAndCommentLinesConsumeNumbering)
+{
+    Server server(art_.shared, ServerOptions{});
+    server.start();
+    Client cl;
+    cl.connectTcp(server.port());
+
+    // Two frameless lines, then a bad one: its record must say
+    // line:3, exactly like a batch file.
+    cl.sendRaw("# a comment\n\nbogus x\n");
+    Client::Response r;
+    ASSERT_TRUE(cl.readResponse(r));
+    EXPECT_EQ(r.code, kExitUsage);
+    EXPECT_EQ(r.err, "error: line:3: unknown batch query 'bogus'\n");
+    server.stop();
+}
+
+TEST_F(ServeProtocolTest, FinalUnterminatedLineIsServed)
+{
+    Server server(art_.shared, ServerOptions{});
+    server.start();
+    Client cl;
+    cl.connectTcp(server.port());
+
+    // No trailing newline: EOF finishes the line, the way
+    // std::getline serves a batch file's last line.
+    cl.sendRaw("cf --from 1 --count 2");
+    cl.shutdownWrite();
+    Client::Response r;
+    ASSERT_TRUE(cl.readResponse(r));
+
+    core::QuerySession serial(art_.shared);
+    LineResult e = serveLine(serial, art_.shared->name(),
+                             "cf --from 1 --count 2", 1);
+    EXPECT_EQ(r.code, e.code);
+    EXPECT_EQ(r.out, e.out);
+    EXPECT_EQ(r.err, e.err);
+    EXPECT_FALSE(cl.readResponse(r)); // clean EOF after the answer
+    server.stop();
+}
+
+TEST_F(ServeProtocolTest, OversizedLineIsRejectedWithoutPoisoning)
+{
+    ServerOptions so;
+    so.maxLineBytes = 64;
+    Server server(art_.shared, so);
+    server.start();
+    Client cl;
+    cl.connectTcp(server.port());
+
+    // Stream an unterminated line past the bound, then wait for the
+    // rejection frame before sending anything else (the trip fires
+    // on buffered bytes alone, no newline needed).
+    cl.sendRaw(std::string(4096, 'x'));
+    Client::Response r;
+    ASSERT_TRUE(cl.readResponse(r));
+    EXPECT_EQ(r.code, kExitUsage);
+    EXPECT_NE(r.err.find("request line exceeds"), std::string::npos);
+    EXPECT_NE(r.err.find("line:1"), std::string::npos);
+
+    // Finish the oversized line and follow with good and bad lines:
+    // the tail is discarded, numbering stays batch-exact.
+    cl.sendRaw("xxx\ncf --from 1 --count 2\nbogus y\n");
+    core::QuerySession serial(art_.shared);
+    LineResult e = serveLine(serial, art_.shared->name(),
+                             "cf --from 1 --count 2", 2);
+    ASSERT_TRUE(cl.readResponse(r));
+    EXPECT_EQ(r.code, e.code);
+    EXPECT_EQ(r.out, e.out);
+    ASSERT_TRUE(cl.readResponse(r));
+    EXPECT_EQ(r.err, "error: line:3: unknown batch query 'bogus'\n");
+    server.stop();
+}
+
+TEST_F(ServeProtocolTest, MidQueryDisconnectLeavesOtherSessionsClean)
+{
+    ServerOptions so;
+    so.workers = 2;
+    Server server(art_.shared, so);
+    server.start();
+
+    // Connection A fires a query and hard-closes without reading the
+    // answer; connection B, served concurrently, must still answer
+    // byte-exactly, and a fresh connection C must get served after
+    // the torn one is reaped.
+    Client a;
+    a.connectTcp(server.port());
+    a.sendRaw("races\n");
+    a.close();
+
+    core::QuerySession serial(art_.shared);
+    LineResult e = serveLine(serial, art_.shared->name(),
+                             "depcheck", 1);
+    Client b;
+    b.connectTcp(server.port());
+    Client::Response rb = b.query("depcheck");
+    EXPECT_EQ(rb.code, e.code);
+    EXPECT_EQ(rb.out, e.out);
+    b.close();
+
+    Client c;
+    c.connectTcp(server.port());
+    Client::Response rc = c.query("depcheck");
+    EXPECT_EQ(rc.out, e.out);
+    c.close();
+    server.stop();
+    EXPECT_EQ(server.connectionsServed(), 3u);
+}
+
+TEST_F(ServeProtocolTest, MaxConnsDrainsAndStops)
+{
+    ServerOptions so;
+    so.maxConns = 2;
+    Server server(art_.shared, so);
+    server.start();
+
+    core::QuerySession serial(art_.shared);
+    LineResult e = serveLine(serial, art_.shared->name(),
+                             "cf --from 1 --count 1", 1);
+    for (int i = 0; i < 2; ++i) {
+        Client cl;
+        cl.connectTcp(server.port());
+        Client::Response r = cl.query("cf --from 1 --count 1");
+        EXPECT_EQ(r.out, e.out);
+        cl.shutdownWrite();
+    }
+    server.waitDone();
+    server.stop();
+    EXPECT_EQ(server.connectionsServed(), 2u);
+}
+
+TEST_F(ServeProtocolTest, UnixSocketServesIdentically)
+{
+    ServerOptions so;
+    so.unixPath = ::testing::TempDir() + "wet_serve_test.sock";
+    Server server(art_.shared, so);
+    server.start();
+
+    core::QuerySession serial(art_.shared);
+    LineResult e = serveLine(serial, art_.shared->name(),
+                             "races", 1);
+    Client cl;
+    cl.connectUnix(so.unixPath);
+    Client::Response r = cl.query("races");
+    EXPECT_EQ(r.code, e.code);
+    EXPECT_EQ(r.out, e.out);
+    EXPECT_EQ(r.err, e.err);
+    server.stop();
+}
+
+/**
+ * Fault injection on live connections: an armed failpoint turns one
+ * line into an error frame (category 1, the batch contract for an
+ * injected WetError), the connection's session quarantines what the
+ * failed query touched, and both this connection and its concurrent
+ * peers keep answering byte-exactly afterwards.
+ */
+TEST_F(ServeProtocolTest, FailpointOnLiveConnectionIsQuarantined)
+{
+    ServerOptions so;
+    so.workers = 2;
+    so.session.cacheCapacity = 2;
+    Server server(art_.shared, so);
+    server.start();
+
+    core::QuerySession serial(art_.shared);
+    std::string batchLine = "cf --from 1 --count 5";
+    LineResult e1 = serveLine(serial, art_.shared->name(),
+                              batchLine, 1);
+    LineResult e2 = serveLine(serial, art_.shared->name(),
+                              batchLine, 2);
+
+    Client victim;
+    victim.connectTcp(server.port());
+    Client bystander;
+    bystander.connectTcp(server.port());
+
+    support::FailPoints::instance().arm("core.session.query=once");
+    Client::Response rv = victim.query(batchLine);
+    support::FailPoints::instance().disarmAll();
+    EXPECT_EQ(rv.code, kExitInternal);
+    EXPECT_NE(rv.err.find("error: line:1:"), std::string::npos);
+    EXPECT_NE(
+        rv.err.find("injected fault at core.session.query"),
+        std::string::npos);
+
+    // The poisoned line quarantined its readers; the next line on
+    // the same connection serves from fresh state (line 2 now).
+    Client::Response rv2 = victim.query(batchLine);
+    EXPECT_EQ(rv2.code, e2.code);
+    EXPECT_EQ(rv2.out, e2.out);
+
+    // The bystander's session was never touched.
+    Client::Response rb = bystander.query(batchLine);
+    EXPECT_EQ(rb.code, e1.code);
+    EXPECT_EQ(rb.out, e1.out);
+    server.stop();
+}
+
+/**
+ * The quarantine invariants themselves (SES001: warm set within
+ * capacity, SES002: graveyard purged, SES003: LRU/map agreement) hold
+ * at every query boundary while faults fire mid-query — checked at
+ * the serveLine layer where the session's cache is reachable.
+ */
+TEST_F(ServeProtocolTest, SessionCacheInvariantsHoldAcrossFaults)
+{
+    core::SessionOptions opt;
+    opt.cacheCapacity = 2;
+    core::QuerySession s(art_.shared, opt);
+    core::QuerySession fresh(art_.shared);
+
+    std::vector<std::string> probes = {
+        "cf --from 1 --count 5",
+        "races",
+        "depcheck",
+    };
+    uint64_t lineNo = 0;
+    for (const char* site :
+         {"core.session.query", "codec.cursor.step",
+          "core.access.value", "core.cache.insert"}) {
+        for (const std::string& probe : probes) {
+            support::FailPoints::instance().arm(
+                std::string(site) + "=once");
+            LineResult r =
+                serveLine(s, art_.shared->name(), probe, ++lineNo);
+            support::FailPoints::instance().disarmAll();
+            (void)r; // may or may not have tripped (site-dependent)
+
+            analysis::DiagEngine diag;
+            EXPECT_TRUE(analysis::verifySessionCache(
+                s.cache(), std::string(site) + "/" + probe, diag))
+                << diag.renderText();
+
+            // Post-fault, the session answers like a fresh one.
+            LineResult got = serveLine(s, art_.shared->name(),
+                                       probe, ++lineNo);
+            LineResult want = serveLine(
+                fresh, art_.shared->name(), probe, lineNo);
+            EXPECT_EQ(got.code, want.code) << site << " " << probe;
+            EXPECT_EQ(got.out, want.out) << site << " " << probe;
+        }
+    }
+}
+
+} // namespace
+} // namespace serve
+} // namespace wet

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Lifecycle tests of core::SharedArtifact — the immutable state N
+ * concurrent QuerySessions share (src/core/sharedartifact.h).
+ *
+ * The three properties a multi-session server leans on:
+ *
+ *  1. exactly-once lazy init: however many sessions race into
+ *     moduleAnalysis()/depGraph(), each analysis constructor runs
+ *     exactly once and every caller sees the same object;
+ *  2. create/destroy thrash: sessions can be constructed, driven,
+ *     and destroyed concurrently over one artifact without
+ *     corrupting each other's answers;
+ *  3. capacity-1 caches: a session whose stream-reader cache holds
+ *     a single entry (maximum eviction pressure) still answers
+ *     byte-identically to an unbounded one.
+ *
+ * The TSan CI job runs this suite; FUZZ_ITERS scales the thrash.
+ */
+
+#include "core/sharedartifact.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/sessionverifier.h"
+#include "core/compressed.h"
+#include "core/session.h"
+#include "serve/queryrunner.h"
+#include "workloads/runner.h"
+#include "workloads/workloads.h"
+
+namespace wet {
+namespace core {
+namespace {
+
+constexpr uint64_t kScale = 1;
+constexpr unsigned kThreads = 8;
+
+uint64_t
+fuzzIters()
+{
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read before threads start
+    if (const char* env = std::getenv("FUZZ_ITERS"))
+        return std::strtoull(env, nullptr, 10);
+    return 1;
+}
+
+struct Artifact
+{
+    std::unique_ptr<workloads::RunArtifacts> run;
+    std::unique_ptr<WetCompressed> compressed;
+    std::shared_ptr<SharedArtifact> shared;
+};
+
+Artifact
+buildArtifact(const std::string& name)
+{
+    const workloads::Workload& w = workloads::workloadByName(name);
+    Artifact a;
+    a.run = workloads::buildWet(w, kScale);
+    a.compressed = std::make_unique<WetCompressed>(a.run->graph);
+    a.shared = std::make_shared<SharedArtifact>(
+        *a.run->module, *a.compressed, nullptr, 1, w.name);
+    return a;
+}
+
+TEST(SharedArtifactTest, LazyAnalysesBuildExactlyOnceUnderRace)
+{
+    for (uint64_t iter = 0; iter < fuzzIters(); ++iter) {
+        Artifact art = buildArtifact("099.go");
+        ASSERT_FALSE(art.shared->hasModuleAnalysis());
+        ASSERT_FALSE(art.shared->hasDepGraph());
+        ASSERT_EQ(art.shared->analysisBuilds(), 0u);
+
+        // All threads pile onto the cold artifact at once; the
+        // atomic spin-gate maximizes the simultaneous-first-call
+        // window the once-flag must win.
+        std::atomic<unsigned> ready{0};
+        std::vector<const analysis::ModuleAnalysis*> ma(kThreads);
+        std::vector<const analysis::StaticDepGraph*> sdg(kThreads);
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (unsigned t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&, t] {
+                ready.fetch_add(1);
+                while (ready.load() < kThreads) {
+                }
+                ma[t] = &art.shared->moduleAnalysis();
+                sdg[t] = &art.shared->depGraph();
+            });
+        }
+        for (auto& th : threads)
+            th.join();
+
+        EXPECT_EQ(art.shared->analysisBuilds(), 1u);
+        EXPECT_EQ(art.shared->depGraphBuilds(), 1u);
+        EXPECT_TRUE(art.shared->hasModuleAnalysis());
+        EXPECT_TRUE(art.shared->hasDepGraph());
+        for (unsigned t = 1; t < kThreads; ++t) {
+            EXPECT_EQ(ma[t], ma[0]);
+            EXPECT_EQ(sdg[t], sdg[0]);
+        }
+    }
+}
+
+TEST(SharedArtifactTest, ConcurrentSessionCreateDestroyThrash)
+{
+    Artifact art = buildArtifact("130.li");
+    // Reference answers from one serial session.
+    QuerySession ref(art.shared);
+    serve::LineResult want = serve::serveLine(
+        ref, art.shared->name(), "cf --from 1 --count 8", 1);
+    ASSERT_EQ(want.code, 0);
+
+    const uint64_t iters = 8 * fuzzIters();
+    std::atomic<uint64_t> mismatches{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (uint64_t i = 0; i < iters; ++i) {
+                // A session is born, serves one query, and dies —
+                // the churn a short-lived connection causes.
+                SessionOptions opt;
+                opt.cacheCapacity = 1 + (i % 3);
+                QuerySession s(art.shared, opt);
+                serve::LineResult got = serve::serveLine(
+                    s, art.shared->name(), "cf --from 1 --count 8",
+                    1);
+                if (got.code != want.code || got.out != want.out)
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(mismatches.load(), 0u);
+    // The shared analyses were still built at most once each.
+    EXPECT_LE(art.shared->analysisBuilds(), 1u);
+    EXPECT_LE(art.shared->depGraphBuilds(), 1u);
+}
+
+TEST(SharedArtifactTest, CapacityOneCacheMatchesUnboundedAnswers)
+{
+    Artifact art = buildArtifact("197.parser");
+
+    // Query lines that bounce between streams, so a one-entry cache
+    // evicts on nearly every touch.
+    std::vector<std::string> batch = {
+        "cf --from 1 --count 6",
+        "races",
+        "cf --from 3 --count 4",
+        "depcheck",
+        "races --engine decode",
+    };
+
+    QuerySession unbounded(art.shared);
+    std::vector<serve::LineResult> want;
+    want.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i)
+        want.push_back(serve::serveLine(
+            unbounded, art.shared->name(), batch[i], i + 1));
+
+    SessionOptions opt;
+    opt.cacheCapacity = 1;
+    const uint64_t rounds = 2 * fuzzIters();
+    std::vector<std::thread> threads;
+    std::atomic<uint64_t> mismatches{0};
+    threads.reserve(4);
+    for (unsigned t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            QuerySession s(art.shared, opt);
+            for (uint64_t r = 0; r < rounds; ++r) {
+                for (size_t i = 0; i < batch.size(); ++i) {
+                    serve::LineResult got = serve::serveLine(
+                        s, art.shared->name(), batch[i], i + 1);
+                    if (got.code != want[i].code ||
+                        got.out != want[i].out)
+                        mismatches.fetch_add(1);
+                }
+                // Cache invariants hold at every query boundary
+                // even at maximum eviction pressure.
+                analysis::DiagEngine diag;
+                if (!analysis::verifySessionCache(s.cache(),
+                                                  "thrash", diag))
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(mismatches.load(), 0u);
+}
+
+} // namespace
+} // namespace core
+} // namespace wet

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Thread-safety tests of support::Metrics (src/support/metrics.cpp).
+ *
+ * The serve layer shares one server-wide registry among the accept
+ * loop and every connection handler, and merges each finished
+ * connection's per-session registry into it. The hammer tests pin
+ * exact totals — a lost update under contention is a hard failure,
+ * not noise — and the TSan CI job runs them for ordering bugs the
+ * totals cannot see.
+ */
+
+#include "support/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace wet {
+namespace support {
+namespace {
+
+constexpr unsigned kThreads = 8;
+constexpr uint64_t kOpsPerThread = 20000;
+
+TEST(MetricsTest, ConcurrentAddsLoseNoUpdates)
+{
+    Metrics m;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&m, t] {
+            for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+                m.add("shared.hits", 1);
+                m.add("per_thread." + std::to_string(t), 2);
+                m.recordLatency("shared.latency", 100 + t);
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+
+    EXPECT_EQ(m.counters().at("shared.hits"),
+              kThreads * kOpsPerThread);
+    for (unsigned t = 0; t < kThreads; ++t)
+        EXPECT_EQ(m.counters().at("per_thread." + std::to_string(t)),
+                  2 * kOpsPerThread);
+    const Metrics::Latency& lat =
+        m.latencies().at("shared.latency");
+    EXPECT_EQ(lat.count, kThreads * kOpsPerThread);
+    EXPECT_EQ(lat.minNs, 100u);
+    EXPECT_EQ(lat.maxNs, 100u + kThreads - 1);
+}
+
+TEST(MetricsTest, ConcurrentSetsLandOnAWrittenValue)
+{
+    Metrics m;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&m, t] {
+            for (uint64_t i = 0; i < kOpsPerThread; ++i)
+                m.set("gauge", (t + 1) * 1000);
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    // A gauge race may land on any thread's value, but never on a
+    // torn or phantom one.
+    uint64_t v = m.counters().at("gauge");
+    EXPECT_EQ(v % 1000, 0u);
+    EXPECT_GE(v, 1000u);
+    EXPECT_LE(v, kThreads * 1000);
+}
+
+TEST(MetricsTest, ConcurrentMergesAggregateExactly)
+{
+    // Model the server shutdown path: every connection folds its
+    // quiescent per-session registry into the shared one, from its
+    // own handler thread, possibly all at once.
+    Metrics server;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&server, t] {
+            Metrics session;
+            for (uint64_t i = 0; i < 1000; ++i) {
+                session.add("lines", 1);
+                session.recordLatency("latency.cf",
+                                      10 * (t + 1));
+            }
+            server.merge(session);
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+
+    EXPECT_EQ(server.counters().at("lines"), kThreads * 1000);
+    const Metrics::Latency& lat =
+        server.latencies().at("latency.cf");
+    EXPECT_EQ(lat.count, kThreads * 1000);
+    EXPECT_EQ(lat.minNs, 10u);
+    EXPECT_EQ(lat.maxNs, 10u * kThreads);
+    EXPECT_EQ(lat.totalNs,
+              uint64_t{1000} * 10 * kThreads * (kThreads + 1) / 2);
+}
+
+TEST(MetricsTest, RenderWhileMutatingIsSafe)
+{
+    Metrics m;
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        uint64_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            m.add("churn." + std::to_string(i % 17), 1);
+            m.recordLatency("churn.lat", i % 97);
+            ++i;
+        }
+    });
+    for (int i = 0; i < 200; ++i) {
+        std::string text = m.renderText();
+        std::string json = m.renderJson();
+        EXPECT_NE(json.find("counters"), std::string::npos);
+        (void)text;
+    }
+    stop.store(true);
+    writer.join();
+}
+
+} // namespace
+} // namespace support
+} // namespace wet

@@ -17,6 +17,9 @@
  *   wet_cli depcheck prog.wet file.wetx [--json]
  *   wet_cli query prog.wet file.wetx [--input FILE] [--cache N]
  *                 [--stats] [--stats-json]
+ *   wet_cli serve prog.wet file.wetx (--unix PATH | --port N)
+ *                 [--workers N] [--accept N] [--cache N]
+ *   wet_cli client (--unix PATH | --port N) [--input FILE]
  *   wet_cli failpoints
  *
  * The query command serves a batch of newline-delimited queries (the
@@ -37,6 +40,18 @@
  * session quarantines the cache readers that line touched and keeps
  * serving — later lines answer byte-identically to a fresh session.
  * The process exit code is the worst per-line category.
+ *
+ * The serve command runs the same batch grammar as a concurrent
+ * multi-session server: one shared immutable artifact, one
+ * QuerySession (cache + metrics + governor) per connection, a worker
+ * pool sized by --workers. Each query line is answered with a frame
+ * `wet <code> <outBytes> <errBytes>\n` followed by the stdout and
+ * stderr payloads the standalone command would have produced (see
+ * src/serve/server.h for the protocol). --accept N serves exactly N
+ * connections and exits (CI harnesses); otherwise serve runs until
+ * SIGINT/SIGTERM, then drains gracefully. The client command replays
+ * a batch file over a socket and prints the answers exactly like
+ * `query` would, exiting with the worst per-line category.
  *
  * Resource governors bound each query: --max-decode-steps N,
  * --max-resident-bytes N, and --timeout-ms N. A query that trips a
@@ -68,16 +83,17 @@
  *      a clean scan exits 0)
  */
 
-#include <algorithm>
-#include <cctype>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <chrono>
 #include <fstream>
 #include <iostream>
-#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/artifactverifier.h"
@@ -87,17 +103,15 @@
 #include "analysis/racedetect.h"
 #include "analysis/staticdep.h"
 #include "analysis/wetverifier.h"
-#include "core/access.h"
-#include "core/addrquery.h"
 #include "core/builder.h"
-#include "core/cfquery.h"
 #include "core/compressed.h"
-#include "core/cursorslicer.h"
 #include "core/session.h"
-#include "core/slicer.h"
-#include "core/valuequery.h"
+#include "core/sharedartifact.h"
 #include "interp/interpreter.h"
 #include "lang/codegen.h"
+#include "serve/client.h"
+#include "serve/queryrunner.h"
+#include "serve/server.h"
 #include "support/failpoint.h"
 #include "support/governor.h"
 #include "support/sizes.h"
@@ -109,17 +123,13 @@ using namespace wet;
 
 namespace {
 
-/** Process exit codes (see the file comment). */
-enum ExitCode : int
-{
-    kExitOk = 0,
-    kExitInternal = 1,
-    kExitUsage = 2,
-    kExitParse = 3,
-    kExitVerify = 4,
-    kExitIo = 5,
-    kExitRaces = 6,
-};
+/** Process exit codes (see the file comment); the canonical values
+ *  live with the serving layer so every front end agrees. */
+using serve::kExitInternal;
+using serve::kExitIo;
+using serve::kExitOk;
+using serve::kExitParse;
+using serve::kExitUsage;
 
 /** Failure carrying its exit-code category to main(). */
 struct CliError
@@ -158,6 +168,11 @@ struct Args
     uint64_t timeoutMs = 0;
     /** Construction workers; --threads beats WET_THREADS beats 1. */
     unsigned threads = support::envThreadCount(1);
+    /** serve/client: socket endpoint and server shape. */
+    std::string unixPath;
+    uint64_t port = 0;
+    uint64_t workers = 4;
+    uint64_t accept = 0; //!< serve: exit after N connections (0 = run)
 };
 
 [[noreturn]] void
@@ -166,7 +181,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: wet_cli <run|info|cf|values|addr|slice|dump|verify|"
-        "depcheck|query> prog.wet [file.wetx] [options]\n"
+        "depcheck|query|serve|client> prog.wet [file.wetx] "
+        "[options]\n"
         "  run      --scale N --seed S --mem W --save out.wetx\n"
         "           --threads N (parallel construction; or "
         "WET_THREADS)\n"
@@ -185,6 +201,15 @@ usage()
         "           (newline-delimited cf/values/addr/slice/races/"
         "depcheck\n"
         "            lines served by one warm session)\n"
+        "  serve    --unix PATH | --port N (0 = ephemeral; prints "
+        "the\n"
+        "            bound address) --workers N --accept N --cache "
+        "N\n"
+        "            (concurrent sessions over one shared "
+        "artifact)\n"
+        "  client   --unix PATH | --port N --input FILE|-\n"
+        "           (replay a batch over a socket; output and exit\n"
+        "            code match `query` byte for byte)\n"
         "  failpoints (list fault-injection sites)\n"
         "  common   --io mmap|buffered (artifact load backend)\n"
         "           --failpoints SPEC (arm fault injection)\n"
@@ -209,20 +234,25 @@ parse(int argc, char** argv)
         usage();
     Args a;
     a.command = argv[1];
-    a.program = argv[2];
-    int i = 3;
-    bool wantsWetx = a.command == "info" || a.command == "cf" ||
-                     a.command == "values" || a.command == "addr" ||
-                     a.command == "slice" ||
-                     a.command == "races" ||
-                     a.command == "verify" ||
-                     a.command == "depcheck" ||
-                     a.command == "query";
-    if (wantsWetx) {
-        if (argc < 4)
-            usage();
-        a.wetx = argv[3];
-        i = 4;
+    int i;
+    if (a.command == "client") {
+        // client talks only to a socket: no program, no artifact.
+        i = 2;
+    } else {
+        a.program = argv[2];
+        i = 3;
+        bool wantsWetx =
+            a.command == "info" || a.command == "cf" ||
+            a.command == "values" || a.command == "addr" ||
+            a.command == "slice" || a.command == "races" ||
+            a.command == "verify" || a.command == "depcheck" ||
+            a.command == "query" || a.command == "serve";
+        if (wantsWetx) {
+            if (argc < 4)
+                usage();
+            a.wetx = argv[3];
+            i = 4;
+        }
     }
     for (; i < argc; ++i) {
         std::string opt = argv[i];
@@ -264,6 +294,14 @@ parse(int argc, char** argv)
             a.maxResidentBytes = numArg(argc, argv, i);
         else if (opt == "--timeout-ms")
             a.timeoutMs = numArg(argc, argv, i);
+        else if (opt == "--unix" && i + 1 < argc)
+            a.unixPath = argv[++i];
+        else if (opt == "--port")
+            a.port = numArg(argc, argv, i);
+        else if (opt == "--workers")
+            a.workers = numArg(argc, argv, i);
+        else if (opt == "--accept")
+            a.accept = numArg(argc, argv, i);
         else if (opt == "--json")
             a.json = true;
         else if (opt == "--stats")
@@ -279,6 +317,8 @@ parse(int argc, char** argv)
     if (a.engine != "cursor" && a.engine != "decode")
         usage();
     if (a.io != "mmap" && a.io != "buffered")
+        usage();
+    if (a.port > 65535)
         usage();
     return a;
 }
@@ -429,373 +469,66 @@ cmdInfo(const Args& a)
 }
 
 // ---------------------------------------------------------------- //
-// Query bodies. Each runs against a QuerySession so that standalone
-// commands and `query` batch lines share one code path — the batch
-// output is byte-identical to the concatenated standalone runs by
-// construction.
+// Query commands. The bodies live in src/serve/queryrunner.cpp where
+// the `query` batch loop and the `serve` socket server share them —
+// standalone commands, batch lines, and served responses are
+// byte-identical by construction. Here we only translate between
+// the CLI surface (Args, streams, exit codes) and that layer.
 
-int
-runCf(core::QuerySession& s, const Args& a)
+/** Map the standalone-command arguments onto the shared query spec. */
+serve::QuerySpec
+querySpec(const Args& a)
 {
-    core::QuerySession::Scope scope(s, "cf");
-    core::ControlFlowQuery q(s.access());
-    const core::WetGraph& g = s.graph();
-    q.extractRange(a.from, a.count, [&](core::NodeId n,
-                                        core::Timestamp t) {
-        // Deadline/resident poll per emitted row: a cache-warm query
-        // does little decoding, so it must stay governed here.
-        support::Governor::poll();
-        const core::WetNode& node = g.nodes[n];
-        std::printf("t=%-8llu fn%u path%llu [",
-                    static_cast<unsigned long long>(t), node.func,
-                    static_cast<unsigned long long>(node.pathId));
-        for (size_t b = 0; b < node.blocks.size(); ++b)
-            std::printf("%sb%u", b ? " " : "", node.blocks[b]);
-        std::printf("]\n");
-    });
-    return kExitOk;
-}
-
-int
-runValues(core::QuerySession& s, const Args& a)
-{
-    if (a.stmt == UINT64_MAX)
-        throw CliError{kExitUsage, "values requires --stmt"};
-    core::QuerySession::Scope scope(s, "values");
-    core::ValueTraceQuery q(s.access());
-    uint64_t shown = 0;
-    uint64_t total =
-        q.extract(static_cast<ir::StmtId>(a.stmt),
-                  [&](core::Timestamp t, int64_t v) {
-                      support::Governor::poll();
-                      if (shown++ < a.limit)
-                          std::printf("<t=%llu, %lld>\n",
-                                      static_cast<unsigned long long>(
-                                          t),
-                                      static_cast<long long>(v));
-                  });
-    std::printf("(%llu instances total)\n",
-                static_cast<unsigned long long>(total));
-    return kExitOk;
-}
-
-int
-runAddr(core::QuerySession& s, const Args& a)
-{
-    if (a.stmt == UINT64_MAX)
-        throw CliError{kExitUsage, "addr requires --stmt"};
-    if (a.stmt >= s.module().numStmts())
-        throw CliError{kExitUsage, "statement id out of range"};
-    ir::Opcode op =
-        s.module().instr(static_cast<ir::StmtId>(a.stmt)).op;
-    if (op != ir::Opcode::Load && op != ir::Opcode::Store)
-        throw CliError{kExitUsage,
-                       "statement " + std::to_string(a.stmt) +
-                           " is not a load or store"};
-    core::QuerySession::Scope scope(s, "addr");
-    core::AddressTraceQuery q(s.access());
-    uint64_t shown = 0;
-    uint64_t total =
-        q.extract(static_cast<ir::StmtId>(a.stmt),
-                  [&](core::Timestamp t, uint64_t addr) {
-                      support::Governor::poll();
-                      if (shown++ < a.limit)
-                          std::printf("<t=%llu, 0x%llx>\n",
-                                      static_cast<unsigned long long>(
-                                          t),
-                                      static_cast<unsigned long long>(
-                                          addr));
-                  });
-    std::printf("(%llu instances total)\n",
-                static_cast<unsigned long long>(total));
-    return kExitOk;
+    serve::QuerySpec q;
+    q.verb = a.command;
+    q.sliceQuery = a.query;
+    q.engine = a.engine;
+    q.stmt = a.stmt;
+    q.from = a.from;
+    q.count = a.count;
+    q.k = a.k;
+    q.limit = a.limit;
+    q.maxItems = a.maxItems;
+    q.json = a.json;
+    return q;
 }
 
 /**
- * Resolve a "fn:stmt[:instance]" slice query: fn is a function name
- * or id, stmt a function-local statement index, instance the k-th
- * (timestamp-ordered) execution. Throws CliError(kExitUsage).
+ * Run one standalone query command (cf/values/addr/slice/races) on a
+ * fresh session. The captured output flushes to stdout/stderr even
+ * when the query unwinds — a governor trip or injected fault keeps
+ * its partial output exactly like the streaming implementation did
+ * (the fault sweep asserts on it).
  */
-void
-parseSliceQuery(const std::string& query, const ir::Module& mod,
-                ir::StmtId& stmt, uint64_t& k)
+int
+cmdStandaloneQuery(const Args& a)
 {
-    auto bad = [&]() -> CliError {
-        return CliError{kExitUsage, "bad slice query '" + query +
-                                        "', expected "
-                                        "fn:stmt[:instance]"};
+    if ((a.command == "values" || a.command == "addr") &&
+        a.stmt == UINT64_MAX)
+        usage();
+    ir::Module mod = compileProgram(a);
+    wetio::LoadedWet w = loadWetx(a, mod);
+    core::QuerySession s(mod, *w.compressed, w.backing,
+                         sessionOptions(a));
+
+    serve::QueryOutput qo;
+    auto flush = [&qo]() {
+        std::fwrite(qo.out.data(), 1, qo.out.size(), stdout);
+        std::fwrite(qo.err.data(), 1, qo.err.size(), stderr);
     };
-    std::vector<std::string> parts;
-    size_t start = 0;
-    while (true) {
-        size_t colon = query.find(':', start);
-        parts.push_back(query.substr(start, colon - start));
-        if (colon == std::string::npos)
-            break;
-        start = colon + 1;
+    try {
+        int code = serve::runQuery(s, querySpec(a), a.wetx, qo);
+        flush();
+        return code;
+    } catch (const serve::QueryError& e) {
+        flush();
+        throw CliError{e.code, e.message};
+    } catch (...) {
+        // GovernorLimit and WetError unwind through main()'s
+        // handlers; the partial output must land first.
+        flush();
+        throw;
     }
-    if (parts.size() < 2 || parts.size() > 3 || parts[0].empty() ||
-        parts[1].empty())
-        throw bad();
-
-    ir::FuncId fid;
-    if (std::all_of(parts[0].begin(), parts[0].end(), ::isdigit)) {
-        fid = static_cast<ir::FuncId>(
-            std::strtoull(parts[0].c_str(), nullptr, 10));
-        if (fid >= mod.numFunctions())
-            throw bad();
-    } else if (mod.hasFunction(parts[0])) {
-        fid = mod.functionByName(parts[0]);
-    } else {
-        throw CliError{kExitUsage,
-                       "no function '" + parts[0] + "'"};
-    }
-
-    const ir::Function& fn = mod.function(fid);
-    uint64_t local = std::strtoull(parts[1].c_str(), nullptr, 10);
-    uint64_t fnStmts = 0;
-    for (const ir::BasicBlock& b : fn.blocks)
-        fnStmts += b.instrs.size();
-    if (local >= fnStmts)
-        throw CliError{kExitUsage,
-                       "function '" + fn.name + "' has only " +
-                           std::to_string(fnStmts) + " statements"};
-    // Statement ids are dense per function in block order, so the
-    // global id is the function's first id plus the local index.
-    stmt = fn.blocks[0].instrs[0].stmt +
-           static_cast<ir::StmtId>(local);
-    k = parts.size() == 3
-            ? std::strtoull(parts[2].c_str(), nullptr, 10)
-            : 0;
-}
-
-int
-runSlice(core::QuerySession& s, const Args& a)
-{
-    const ir::Module& mod = s.module();
-    ir::StmtId stmt;
-    uint64_t k = a.k;
-    if (!a.query.empty()) {
-        parseSliceQuery(a.query, mod, stmt, k);
-    } else if (a.stmt != UINT64_MAX) {
-        if (a.stmt >= mod.numStmts())
-            throw CliError{kExitUsage,
-                           "statement id out of range"};
-        stmt = static_cast<ir::StmtId>(a.stmt);
-    } else {
-        throw CliError{kExitUsage,
-                       "slice requires fn:stmt[:instance] or --stmt"};
-    }
-
-    core::QuerySession::Scope scope(s, "slice");
-
-    // Both engines drive the same WetSlicer over the same artifact;
-    // stdout is engine-invariant by construction (golden slice tests
-    // byte-compare the two), only the stderr I/O stats differ.
-    core::SliceAccess& acc =
-        a.engine == "decode"
-            ? static_cast<core::SliceAccess&>(s.decodeSlice())
-            : s.cursorSlice();
-
-    core::WetSlicer slicer(acc);
-    core::SliceItem seed = slicer.locate(stmt, k);
-    if (!seed.valid()) {
-        throw CliError{kExitUsage,
-                       "statement " + std::to_string(stmt) +
-                           " has no instance " + std::to_string(k)};
-    }
-    core::SliceResult res = slicer.backward(seed, a.maxItems);
-
-    const ir::StmtRef& ref = mod.stmtRef(stmt);
-    std::printf("backward slice of stmt %u (%s:%u) instance %llu: "
-                "%zu instances, %llu edges%s\n",
-                stmt, mod.function(ref.func).name.c_str(),
-                stmt - mod.function(ref.func)
-                           .blocks[0]
-                           .instrs[0]
-                           .stmt,
-                static_cast<unsigned long long>(k), res.items.size(),
-                static_cast<unsigned long long>(res.edgesTraversed),
-                res.truncated ? " (truncated)" : "");
-
-    // Per-statement instance counts, ascending by statement id
-    // (deterministic, complete — the golden tests depend on it).
-    const core::WetGraph& g = s.graph();
-    std::map<ir::StmtId, uint64_t> counts;
-    for (const auto& item : res.items)
-        counts[g.nodes[item.node].stmts[item.pos]]++;
-    for (const auto& [st, c] : counts)
-        std::printf("  stmt %-6u %-6s x %llu\n", st,
-                    ir::opcodeName(mod.instr(st).op),
-                    static_cast<unsigned long long>(c));
-
-    // Static/dynamic cross-validation: the dynamic slice must stay
-    // inside the static backward slice of the seed statement.
-    const analysis::StaticDepGraph& sdg = s.depGraph();
-    std::vector<bool> staticSlice = sdg.backwardSlice(stmt);
-    uint64_t staticCount = 0;
-    for (bool b : staticSlice)
-        staticCount += b;
-    std::vector<ir::StmtId> escapes;
-    for (const auto& [st, c] : counts) {
-        (void)c;
-        if (!staticSlice[st])
-            escapes.push_back(st);
-    }
-    if (escapes.empty()) {
-        std::printf("containment: %zu dynamic stmts within %llu "
-                    "static stmts: OK\n",
-                    counts.size(),
-                    static_cast<unsigned long long>(staticCount));
-    } else {
-        for (ir::StmtId st : escapes)
-            std::printf("containment: stmt %u escapes the static "
-                        "slice\n",
-                        st);
-    }
-
-    core::SliceIoStats st = a.engine == "decode"
-                                ? s.decodeSlice().stats()
-                                : s.cursorSlice().stats();
-    std::fprintf(stderr,
-                 "engine %s: %llu streams opened, %llu values "
-                 "decoded, %llu of %llu artifact bytes touched "
-                 "(%.2f%%)\n",
-                 a.engine.c_str(),
-                 static_cast<unsigned long long>(st.streamsOpened),
-                 static_cast<unsigned long long>(st.valuesDecoded),
-                 static_cast<unsigned long long>(st.bytesTouched),
-                 static_cast<unsigned long long>(st.bytesTotal),
-                 100.0 * st.fractionTouched());
-    return escapes.empty() ? kExitOk : kExitVerify;
-}
-
-int
-runRaces(core::QuerySession& s, const Args& a)
-{
-    core::QuerySession::Scope scope(s, "races");
-
-    // Both engines feed the same vector-clock detector; stdout is
-    // engine-invariant by construction (the race bench asserts the
-    // two reports byte-equal), only the stderr I/O stats differ.
-    analysis::RaceReport rep;
-    core::SliceIoStats st;
-    if (a.engine == "decode") {
-        analysis::DecodeSyncAccess sa(s.compressed(), &s.cache());
-        rep = analysis::detectRaces(sa);
-        st = sa.stats();
-    } else {
-        analysis::CursorSyncAccess sa(s.compressed(), &s.cache());
-        rep = analysis::detectRaces(sa);
-        st = sa.stats();
-    }
-    std::fputs(rep.renderText().c_str(), stdout);
-    std::fprintf(stderr,
-                 "engine %s: %llu streams opened, %llu values "
-                 "decoded, %llu of %llu artifact bytes touched "
-                 "(%.2f%%)\n",
-                 a.engine.c_str(),
-                 static_cast<unsigned long long>(st.streamsOpened),
-                 static_cast<unsigned long long>(st.valuesDecoded),
-                 static_cast<unsigned long long>(st.bytesTouched),
-                 static_cast<unsigned long long>(st.bytesTotal),
-                 100.0 * st.fractionTouched());
-    return rep.races.empty() ? kExitOk : kExitRaces;
-}
-
-/** Shared tail of the depcheck command and batch query. */
-int
-printDepcheckResult(const Args& a, const analysis::DiagEngine& diag,
-                    const analysis::DepCheckStats& stats)
-{
-    if (a.json) {
-        std::fputs(diag.renderJson().c_str(), stdout);
-    } else {
-        if (!diag.diagnostics().empty() || diag.hasErrors())
-            std::fputs(diag.renderText().c_str(), stdout);
-        if (!diag.hasErrors())
-            std::printf("%s: OK (%llu DD edges, %llu CD edges, "
-                        "%llu slice probes over %llu items)\n",
-                        a.wetx.c_str(),
-                        static_cast<unsigned long long>(
-                            stats.ddEdges),
-                        static_cast<unsigned long long>(
-                            stats.cdEdges),
-                        static_cast<unsigned long long>(
-                            stats.sliceSeeds),
-                        static_cast<unsigned long long>(
-                            stats.sliceItems));
-    }
-    return diag.hasErrors() ? kExitVerify : kExitOk;
-}
-
-int
-runDepcheck(core::QuerySession& s, const Args& a)
-{
-    core::QuerySession::Scope scope(s, "depcheck");
-    analysis::DiagEngine diag;
-    analysis::verifyModule(s.module(), diag);
-    analysis::DepCheckStats stats;
-    if (!diag.hasErrors()) {
-        analysis::verifyDeps(s.graph(), s.moduleAnalysis(),
-                             s.depGraph(), diag, &s.compressed(), {},
-                             &stats);
-    }
-    return printDepcheckResult(a, diag, stats);
-}
-
-int
-cmdCf(const Args& a)
-{
-    ir::Module mod = compileProgram(a);
-    wetio::LoadedWet w = loadWetx(a, mod);
-    core::QuerySession s(mod, *w.compressed, w.backing,
-                         sessionOptions(a));
-    return runCf(s, a);
-}
-
-int
-cmdValues(const Args& a)
-{
-    if (a.stmt == UINT64_MAX)
-        usage();
-    ir::Module mod = compileProgram(a);
-    wetio::LoadedWet w = loadWetx(a, mod);
-    core::QuerySession s(mod, *w.compressed, w.backing,
-                         sessionOptions(a));
-    return runValues(s, a);
-}
-
-int
-cmdAddr(const Args& a)
-{
-    if (a.stmt == UINT64_MAX)
-        usage();
-    ir::Module mod = compileProgram(a);
-    wetio::LoadedWet w = loadWetx(a, mod);
-    core::QuerySession s(mod, *w.compressed, w.backing,
-                         sessionOptions(a));
-    return runAddr(s, a);
-}
-
-int
-cmdSlice(const Args& a)
-{
-    ir::Module mod = compileProgram(a);
-    wetio::LoadedWet w = loadWetx(a, mod);
-    core::QuerySession s(mod, *w.compressed, w.backing,
-                         sessionOptions(a));
-    return runSlice(s, a);
-}
-
-int
-cmdRaces(const Args& a)
-{
-    ir::Module mod = compileProgram(a);
-    wetio::LoadedWet w = loadWetx(a, mod);
-    core::QuerySession s(mod, *w.compressed, w.backing,
-                         sessionOptions(a));
-    return runRaces(s, a);
 }
 
 int
@@ -832,7 +565,7 @@ cmdVerify(const Args& a)
         if (!diag.hasErrors())
             std::printf("%s: OK\n", a.wetx.c_str());
     }
-    return diag.hasErrors() ? kExitVerify : kExitOk;
+    return diag.hasErrors() ? serve::kExitVerify : kExitOk;
 }
 
 int
@@ -858,7 +591,11 @@ cmdDepcheck(const Args& a)
                                  w.compressed.get(), {}, &stats);
         }
     }
-    return printDepcheckResult(a, diag, stats);
+    std::string out;
+    int code = serve::appendDepcheckResult(out, a.json, a.wetx, diag,
+                                           stats);
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return code;
 }
 
 int
@@ -871,99 +608,6 @@ cmdDump(const Args& a)
 
 // ---------------------------------------------------------------- //
 // Batch query serving.
-
-std::vector<std::string>
-tokenize(const std::string& line)
-{
-    std::vector<std::string> toks;
-    std::istringstream is(line);
-    std::string t;
-    while (is >> t)
-        toks.push_back(t);
-    return toks;
-}
-
-/**
- * Parse one batch line into a per-query Args (command grammar shared
- * with the standalone commands). Session-level settings (--io,
- * --cache, --threads, paths) come from @p base; per-query knobs
- * reset to their defaults so one line cannot leak into the next.
- */
-Args
-parseBatchLine(const std::vector<std::string>& toks, const Args& base)
-{
-    Args qa = base;
-    qa.command = toks[0];
-    qa.query.clear();
-    qa.stmt = UINT64_MAX;
-    qa.from = 1;
-    qa.count = 20;
-    qa.k = 0;
-    qa.limit = 20;
-    qa.maxItems = 100000;
-    qa.engine = "cursor";
-    qa.json = false;
-
-    if (qa.command != "cf" && qa.command != "values" &&
-        qa.command != "addr" && qa.command != "slice" &&
-        qa.command != "races" && qa.command != "depcheck")
-    {
-        throw CliError{kExitUsage,
-                       "unknown batch query '" + qa.command + "'"};
-    }
-    auto num = [&](size_t& i) -> uint64_t {
-        if (i + 1 >= toks.size())
-            throw CliError{kExitUsage,
-                           "option '" + toks[i] +
-                               "' needs a value in batch query"};
-        return std::strtoull(toks[++i].c_str(), nullptr, 10);
-    };
-    for (size_t i = 1; i < toks.size(); ++i) {
-        const std::string& opt = toks[i];
-        if (opt == "--stmt")
-            qa.stmt = num(i);
-        else if (opt == "--from")
-            qa.from = num(i);
-        else if (opt == "--count")
-            qa.count = num(i);
-        else if (opt == "--k")
-            qa.k = num(i);
-        else if (opt == "--limit")
-            qa.limit = num(i);
-        else if (opt == "--max")
-            qa.maxItems = num(i);
-        else if (opt == "--engine" && i + 1 < toks.size())
-            qa.engine = toks[++i];
-        else if (qa.command == "slice" && qa.query.empty() &&
-                 opt.rfind("--", 0) != 0)
-            qa.query = opt;
-        else
-            throw CliError{kExitUsage,
-                           "bad option '" + opt +
-                               "' in batch query"};
-    }
-    if (qa.engine != "cursor" && qa.engine != "decode")
-        throw CliError{kExitUsage,
-                       "bad engine '" + qa.engine +
-                           "' in batch query"};
-    return qa;
-}
-
-int
-dispatchQuery(core::QuerySession& s, const Args& qa)
-{
-    if (qa.command == "cf")
-        return runCf(s, qa);
-    if (qa.command == "values")
-        return runValues(s, qa);
-    if (qa.command == "addr")
-        return runAddr(s, qa);
-    if (qa.command == "slice")
-        return runSlice(s, qa);
-    if (qa.command == "races")
-        return runRaces(s, qa);
-    return runDepcheck(s, qa);
-}
 
 int
 cmdQuery(const Args& a)
@@ -988,40 +632,128 @@ cmdQuery(const Args& a)
     uint64_t lineNo = 0;
     while (std::getline(*in, line)) {
         ++lineNo;
-        std::vector<std::string> toks = tokenize(line);
-        if (toks.empty() || toks[0][0] == '#')
+        serve::LineResult r = serve::serveLine(s, a.wetx, line,
+                                               lineNo);
+        if (!r.isQuery)
             continue;
-        // One bad line must not take the session down: it becomes a
-        // structured error record on stderr (stdout stays exactly the
-        // concatenation of the successful queries' output) and the
-        // worst per-line exit category becomes the process's. The
-        // session quarantines whatever readers the failed query
-        // touched, so later lines serve from fresh state.
-        try {
-            Args qa = parseBatchLine(toks, a);
-            worst = std::max(worst, dispatchQuery(s, qa));
-        } catch (const GovernorLimit& e) {
-            // Truncation is a result, not an error: the partial
-            // output stands and the batch goes on.
-            std::printf("(truncated by governor: %s)\n",
-                        e.which().c_str());
-        } catch (const CliError& e) {
-            std::fprintf(stderr, "error: line:%llu: %s\n",
-                         static_cast<unsigned long long>(lineNo),
-                         e.message.c_str());
-            worst = std::max(worst, e.code);
-        } catch (const WetError& e) {
-            std::fprintf(stderr, "error: line:%llu: %s\n",
-                         static_cast<unsigned long long>(lineNo),
-                         e.what());
-            worst = std::max(worst, static_cast<int>(kExitInternal));
-        }
+        std::fwrite(r.out.data(), 1, r.out.size(), stdout);
+        std::fwrite(r.err.data(), 1, r.err.size(), stderr);
+        worst = std::max(worst, r.code);
     }
 
     if (a.statsJson)
         std::printf("%s\n", s.statsJson().c_str());
     else if (a.stats)
         std::fputs(s.statsText().c_str(), stderr);
+    return worst;
+}
+
+// ---------------------------------------------------------------- //
+// Socket serving.
+
+volatile std::sig_atomic_t gStopRequested = 0;
+
+void
+onStopSignal(int)
+{
+    gStopRequested = 1;
+}
+
+int
+cmdServe(const Args& a)
+{
+    if (a.unixPath.empty() && a.port == 0 && a.accept == 0) {
+        // An ephemeral TCP port with no connection bound is almost
+        // certainly a typo'd invocation; require an explicit
+        // endpoint (a path, a port, or --port 0 with --accept).
+        throw CliError{kExitUsage,
+                       "serve requires --unix PATH or --port N"};
+    }
+    ir::Module mod = compileProgram(a);
+    wetio::LoadedWet w = loadWetx(a, mod);
+    auto artifact = std::make_shared<core::SharedArtifact>(
+        mod, *w.compressed, w.backing, a.threads, a.wetx);
+
+    serve::ServerOptions so;
+    so.unixPath = a.unixPath;
+    so.port = static_cast<uint16_t>(a.port);
+    so.workers = static_cast<unsigned>(a.workers);
+    so.session = sessionOptions(a);
+    so.maxConns = a.accept;
+
+    serve::Server server(std::move(artifact), so);
+    server.start();
+    std::printf("listening on %s\n", server.address().c_str());
+    std::fflush(stdout);
+
+    struct sigaction sa = {};
+    sa.sa_handler = onStopSignal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+
+    if (a.accept != 0) {
+        server.waitDone();
+    } else {
+        while (gStopRequested == 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+    }
+    server.stop();
+
+    std::printf("served %llu connections\n",
+                static_cast<unsigned long long>(
+                    server.connectionsServed()));
+    if (a.statsJson)
+        std::printf("%s\n", server.metrics().renderJson().c_str());
+    else if (a.stats)
+        std::fputs(server.metrics().renderText().c_str(), stderr);
+    return kExitOk;
+}
+
+int
+cmdClient(const Args& a)
+{
+    serve::Client client;
+    try {
+        if (!a.unixPath.empty())
+            client.connectUnix(a.unixPath);
+        else if (a.port != 0)
+            client.connectTcp(static_cast<uint16_t>(a.port));
+        else
+            throw CliError{kExitUsage,
+                           "client requires --unix PATH or "
+                           "--port N"};
+    } catch (const WetError& e) {
+        throw CliError{kExitIo, std::string(e.what())};
+    }
+
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (a.input != "-") {
+        file.open(a.input);
+        if (!file)
+            throw CliError{kExitIo,
+                           "cannot open '" + a.input + "'"};
+        in = &file;
+    }
+
+    int worst = kExitOk;
+    std::string line;
+    while (std::getline(*in, line)) {
+        // Blank and comment lines produce no response frame, but the
+        // server still numbers them — send without awaiting so
+        // `error: line:<n>` records match the batch file exactly.
+        std::vector<std::string> toks = serve::tokenize(line);
+        if (toks.empty() || toks[0][0] == '#') {
+            client.sendRaw(line + "\n");
+            continue;
+        }
+        serve::Client::Response res = client.query(line);
+        std::fwrite(res.out.data(), 1, res.out.size(), stdout);
+        std::fwrite(res.err.data(), 1, res.err.size(), stderr);
+        worst = std::max(worst, res.code);
+    }
+    client.shutdownWrite();
     return worst;
 }
 
@@ -1052,16 +784,10 @@ main(int argc, char** argv)
             return cmdRun(a);
         if (a.command == "info")
             return cmdInfo(a);
-        if (a.command == "cf")
-            return cmdCf(a);
-        if (a.command == "values")
-            return cmdValues(a);
-        if (a.command == "addr")
-            return cmdAddr(a);
-        if (a.command == "slice")
-            return cmdSlice(a);
-        if (a.command == "races")
-            return cmdRaces(a);
+        if (a.command == "cf" || a.command == "values" ||
+            a.command == "addr" || a.command == "slice" ||
+            a.command == "races")
+            return cmdStandaloneQuery(a);
         if (a.command == "dump")
             return cmdDump(a);
         if (a.command == "verify")
@@ -1070,6 +796,10 @@ main(int argc, char** argv)
             return cmdDepcheck(a);
         if (a.command == "query")
             return cmdQuery(a);
+        if (a.command == "serve")
+            return cmdServe(a);
+        if (a.command == "client")
+            return cmdClient(a);
         usage();
     } catch (const GovernorLimit& e) {
         // A standalone query that trips its budget still succeeded at
