@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Extraction cost versus the session cache bound: decode steps and
+ * wall time for per-statement value and address traces at cache
+ * capacities {1, 2, 8, 64, unbounded}, with two floors asserted on
+ * every workload:
+ *
+ *  - linearity: decode steps stay within a constant factor of the
+ *    summed artifact stream lengths at ANY capacity (the site-major
+ *    gather's contract — the pre-fix cursor tournament blew this up
+ *    quadratically as soon as the bound fell below a query's working
+ *    set);
+ *  - byte-identity: every bounded run hashes equal to the pre-fix
+ *    tournament reference at unbounded capacity.
+ *
+ * Set WET_BENCH_EXTRACT_TOURNAMENT=1 to additionally time the old
+ * tournament under the bounded caches (quadratic — minutes at full
+ * scale; the default run keeps it to the unbounded reference).
+ */
+
+#include <cstdio>
+
+#include "benchcommon.h"
+#include "core/access.h"
+#include "core/addrquery.h"
+#include "core/compressed.h"
+#include "core/streamcache.h"
+#include "core/valuequery.h"
+#include "support/governor.h"
+#include "support/timer.h"
+
+using namespace wet;
+using namespace wet::bench;
+
+namespace {
+
+/** The sweep: pathological, minimal, working-set, generous, and
+ *  unbounded (0) cache capacities. */
+const size_t kCapacities[] = {1, 2, 8, 64, 0};
+
+/** Decode steps may exceed one machine step per element (window
+ *  refills, checkpoint re-inits), but only by a constant. */
+constexpr uint64_t kStepsPerElement = 8;
+/** Capacity must not change the work beyond re-inits and slack. */
+constexpr uint64_t kCapacitySlack = 4096;
+
+struct Targets
+{
+    std::vector<ir::StmtId> defStmts;
+    std::vector<ir::StmtId> memStmts;
+};
+
+Targets
+pickTargets(const core::WetGraph& g, const ir::Module& mod)
+{
+    Targets t;
+    // The def statement with the most instances and the one spread
+    // over the most path nodes: deepest streams and widest merge.
+    ir::StmtId hottest = 0;
+    ir::StmtId widest = 0;
+    uint64_t hotInstances = 0;
+    size_t wideSites = 0;
+    std::vector<ir::StmtId> mems;
+    for (const auto& [stmt, sites] : g.stmtIndex) {
+        const ir::Instr& in = mod.instr(stmt);
+        if (in.op == ir::Opcode::Load || in.op == ir::Opcode::Store)
+            mems.push_back(stmt);
+        if (!ir::hasDef(in.op) || in.op == ir::Opcode::Const)
+            continue;
+        uint64_t instances = 0;
+        for (const auto& [n, pos] : sites) {
+            (void)pos;
+            instances += g.nodes[n].instances();
+        }
+        if (instances > hotInstances ||
+            (instances == hotInstances && stmt < hottest))
+        {
+            hottest = stmt;
+            hotInstances = instances;
+        }
+        if (sites.size() > wideSites ||
+            (sites.size() == wideSites && stmt < widest))
+        {
+            widest = stmt;
+            wideSites = sites.size();
+        }
+    }
+    if (hotInstances > 0)
+        t.defStmts.push_back(hottest);
+    if (wideSites > 0 && widest != hottest)
+        t.defStmts.push_back(widest);
+    std::sort(mems.begin(), mems.end());
+    if (!mems.empty()) {
+        t.memStmts.push_back(mems.front());
+        if (mems.back() != mems.front())
+            t.memStmts.push_back(mems.back());
+    }
+    return t;
+}
+
+/** Σ stream lengths of the whole artifact — a fixed upper bound on
+ *  any query's touched set, counted once per stream. */
+uint64_t
+totalStreamLength(const core::WetCompressed& c)
+{
+    const core::WetGraph& g = c.graph();
+    uint64_t total = 0;
+    for (core::NodeId n = 0; n < g.nodes.size(); ++n) {
+        const core::CompressedNode& cn = c.node(n);
+        total += cn.ts.length;
+        for (const auto& p : cn.patterns)
+            total += p.length;
+        for (const auto& grp : cn.uvals)
+            for (const auto& uv : grp)
+                total += uv.length;
+    }
+    for (uint32_t p = 0; p < g.labelPool.size(); ++p)
+        total += c.pool(p).useInst.length + c.pool(p).defInst.length;
+    return total;
+}
+
+/** FNV-1a over the visited (timestamp, value) pairs. */
+struct TraceHash
+{
+    uint64_t h = 1469598103934665603ull;
+
+    void
+    mix(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+};
+
+struct RunResult
+{
+    uint64_t instances = 0;
+    uint64_t steps = 0;
+    uint64_t hash = 0;
+    double seconds = 0;
+};
+
+RunResult
+runExtraction(const core::WetCompressed& comp, const ir::Module& mod,
+              const Targets& t, size_t capacity, bool tournament)
+{
+    core::StreamCache cache(capacity);
+    core::WetAccess acc(comp, mod, &cache);
+    support::Governor gov;
+    // All-zero limits: the governed window never trips and serves as
+    // a pure decode-step counter across every eviction and rebuild.
+    gov.begin({}, {}, nullptr);
+    RunResult r;
+    TraceHash hash;
+    support::Timer timer;
+    {
+        core::ValueTraceQuery q(acc);
+        auto visit = [&](core::Timestamp ts, int64_t v) {
+            hash.mix(ts);
+            hash.mix(static_cast<uint64_t>(v));
+        };
+        for (ir::StmtId s : t.defStmts)
+            r.instances += tournament ? q.extractTournament(s, visit)
+                                      : q.extract(s, visit);
+    }
+    {
+        core::AddressTraceQuery q(acc);
+        auto visit = [&](core::Timestamp ts, uint64_t a) {
+            hash.mix(ts);
+            hash.mix(a);
+        };
+        for (ir::StmtId s : t.memStmts)
+            r.instances += tournament ? q.extractTournament(s, visit)
+                                      : q.extract(s, visit);
+    }
+    r.seconds = timer.seconds();
+    gov.end();
+    r.steps = gov.steps();
+    r.hash = hash.h;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool timeTournament =
+        std::getenv("WET_BENCH_EXTRACT_TOURNAMENT") != nullptr;
+
+    support::TablePrinter table(
+        {"Benchmark", "Instances (M)", "Sum len (M)", "Steps@1 (M)",
+         "Steps@2 (M)", "Steps@8 (M)", "Steps@64 (M)",
+         "Steps@unb (M)", "Steps/len @1", "ms @1", "ms @unb"});
+
+    bool ok = true;
+    for (const auto& w : workloads::allWorkloads()) {
+        uint64_t scale = std::max<uint64_t>(1, effectiveScale(w) / 4);
+        auto art = workloads::buildWet(w, scale);
+        core::WetCompressed comp(art->graph);
+        Targets t = pickTargets(art->graph, *art->module);
+        uint64_t sumLen = totalStreamLength(comp);
+
+        // The pre-fix reference, unbounded (where it is linear).
+        RunResult ref = runExtraction(comp, *art->module, t, 0, true);
+
+        std::vector<RunResult> runs;
+        for (size_t cap : kCapacities)
+            runs.push_back(
+                runExtraction(comp, *art->module, t, cap, false));
+        const RunResult& unb = runs.back();
+
+        for (size_t i = 0; i < runs.size(); ++i) {
+            const RunResult& r = runs[i];
+            if (r.hash != ref.hash || r.instances != ref.instances) {
+                std::fprintf(stderr,
+                             "FAIL %s: capacity %zu output differs "
+                             "from the tournament reference\n",
+                             w.name.c_str(), kCapacities[i]);
+                ok = false;
+            }
+            // The linearity floor, both forms: capacity must not
+            // change the decode work beyond constant slack, and the
+            // absolute step count stays within a constant factor of
+            // the summed stream lengths.
+            if (r.steps > 2 * unb.steps + kCapacitySlack) {
+                std::fprintf(stderr,
+                             "FAIL %s: capacity %zu decode steps "
+                             "%llu exceed 2x the unbounded run's "
+                             "%llu — extraction is no longer "
+                             "capacity-independent\n",
+                             w.name.c_str(), kCapacities[i],
+                             static_cast<unsigned long long>(r.steps),
+                             static_cast<unsigned long long>(
+                                 unb.steps));
+                ok = false;
+            }
+            if (r.steps > kStepsPerElement * sumLen + kCapacitySlack) {
+                std::fprintf(
+                    stderr,
+                    "FAIL %s: capacity %zu decode steps %llu exceed "
+                    "%llux the summed stream length %llu\n",
+                    w.name.c_str(), kCapacities[i],
+                    static_cast<unsigned long long>(r.steps),
+                    static_cast<unsigned long long>(kStepsPerElement),
+                    static_cast<unsigned long long>(sumLen));
+                ok = false;
+            }
+        }
+
+        if (timeTournament) {
+            for (size_t cap : kCapacities) {
+                RunResult tr = runExtraction(comp, *art->module, t,
+                                             cap, true);
+                std::fprintf(
+                    stderr,
+                    "  tournament %s @%zu: %.1f ms, %s M steps\n",
+                    w.name.c_str(), cap, tr.seconds * 1e3,
+                    millions(tr.steps).c_str());
+            }
+        }
+
+        table.addRow(
+            {w.name, millions(runs[0].instances), millions(sumLen),
+             millions(runs[0].steps), millions(runs[1].steps),
+             millions(runs[2].steps), millions(runs[3].steps),
+             millions(unb.steps), ratio(runs[0].steps, sumLen),
+             support::formatFixed(runs[0].seconds * 1e3, 1),
+             support::formatFixed(unb.seconds * 1e3, 1)});
+    }
+    table.print(
+        "Extraction decode steps vs cache bound (site-major gather; "
+        "steps must be capacity-independent)");
+    if (!ok) {
+        std::fprintf(stderr,
+                     "extraction linearity/identity assertions "
+                     "FAILED\n");
+        return 1;
+    }
+    return 0;
+}

@@ -51,6 +51,7 @@ syncCacheStats(const core::StreamCache& cache,
         ++st.streamsOpened;
         uint64_t steps = r.decodeSteps();
         st.valuesDecoded += steps;
+        st.cursorRestarts += r.restarts();
         uint64_t len = s->length;
         uint64_t bytes = s->sizeBytes();
         st.bytesTouched +=
@@ -74,6 +75,7 @@ struct OpenStream : public core::SeqReader
     {
         return cursor.decodeSteps();
     }
+    uint64_t restarts() const override { return cursor.restarts(); }
     const codec::CompressedStream* stream() const override
     {
         return stream_;

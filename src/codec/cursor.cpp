@@ -176,8 +176,10 @@ StreamCursor::at(uint64_t q)
                           << machinePos_
                           << " (corrupt stream payload)");
     } else if (best) {
+        ++restarts_;
         initFromCheckpoint(*best);
     } else {
+        ++restarts_;
         initFront();
     }
     while (machinePos_ + n_ <= q)

@@ -114,6 +114,15 @@ class StreamCursor
     uint64_t decodeSteps() const { return decodeSteps_; }
 
     /**
+     * Times at() abandoned the current sweep and re-initialized from
+     * the front or a checkpoint to reach a position behind it. A
+     * sequential forward pass never restarts; a nonzero count on a
+     * query that believes itself linear is the re-scan bug class the
+     * extraction layers assert against (DESIGN.md §14).
+     */
+    uint64_t restarts() const { return restarts_; }
+
+    /**
      * Scan the whole stream, storing a decode checkpoint into @p out
      * every @p interval values (encoder helper; requires a fresh
      * Forward cursor over @p out itself).
@@ -150,6 +159,7 @@ class StreamCursor
 
     uint64_t pos_ = 0; //!< logical next()/prev() position
     uint64_t decodeSteps_ = 0;
+    uint64_t restarts_ = 0;
     bool poisoned_ = false;
 };
 

@@ -43,6 +43,8 @@ class CursorReader : public SeqReader
         return cur_.decodeSteps();
     }
 
+    uint64_t restarts() const override { return cur_.restarts(); }
+
     const codec::CompressedStream* stream() const override
     {
         return s_;
@@ -141,6 +143,101 @@ WetAccess::poolDef(uint32_t pool_idx)
     }
     return cached(key, nullptr, &g_->labelPool[pool_idx].defInst,
                   nullptr, nullptr);
+}
+
+void
+SiteGather::drain(SeqReader& r, std::vector<int64_t>& out)
+{
+    const uint64_t len = r.length();
+    out.reserve(len);
+    for (uint64_t i = 0; i < len; ++i)
+        out.push_back(r.at(i));
+}
+
+const std::vector<Timestamp>&
+SiteGather::timestamps(NodeId n)
+{
+    uint64_t key = streamKey(StreamKind::AccessTs, n);
+    auto it = ts_.find(key);
+    if (it != ts_.end())
+        return it->second;
+    std::vector<Timestamp>& out = ts_[key];
+    SeqReader& r = acc_->ts(n);
+    const uint64_t len = r.length();
+    out.reserve(len);
+    for (uint64_t i = 0; i < len; ++i)
+        out.push_back(static_cast<Timestamp>(r.at(i)));
+    return out;
+}
+
+const std::vector<int64_t>&
+SiteGather::values(NodeId n, uint32_t pos)
+{
+    uint64_t key = WetGraph::defKey(n, pos);
+    auto it = values_.find(key);
+    if (it != values_.end())
+        return it->second;
+    std::vector<int64_t>& out = values_[key];
+
+    const WetNode& node = acc_->graph().nodes[n];
+    const uint64_t len = node.instances();
+    const ir::Instr& in = acc_->module().instr(node.stmts[pos]);
+    if (in.op == ir::Opcode::Const) {
+        out.assign(len, in.imm);
+        return out;
+    }
+    uint32_t gi = node.stmtGroup[pos];
+    // Same input-fault contract as WetAccess::value(): which
+    // statements carry def ports is the artifact's decision.
+    if (gi == kNoIndex)
+        WET_FATAL("value query on a statement without a def port "
+                  "(stmt " << node.stmts[pos] << ")");
+    uint32_t mi = node.stmtMember[pos];
+
+    // Pattern pass (memoized per group: members share one stream).
+    uint64_t pkey = streamKey(StreamKind::AccessPattern, n, gi);
+    auto pit = patterns_.find(pkey);
+    if (pit == patterns_.end()) {
+        pit = patterns_.emplace(pkey, std::vector<int64_t>()).first;
+        drain(acc_->pattern(n, gi), pit->second);
+    }
+    const std::vector<int64_t>& pattern = pit->second;
+
+    // Unique-values pass, then the in-memory reconstruction.
+    std::vector<int64_t> uv;
+    drain(acc_->uvals(n, gi, mi), uv);
+    out.reserve(len);
+    for (uint64_t i = 0; i < len; ++i) {
+        uint64_t pidx = static_cast<uint64_t>(pattern[i]);
+        WET_ASSERT(pidx < uv.size(), "pattern index " << pidx
+                   << " past uvals length " << uv.size());
+        out.push_back(uv[pidx]);
+    }
+    return out;
+}
+
+const std::vector<int64_t>&
+SiteGather::poolUse(uint32_t pool_idx)
+{
+    uint64_t key = streamKey(StreamKind::AccessPoolUse, pool_idx);
+    auto it = pools_.find(key);
+    if (it == pools_.end()) {
+        it = pools_.emplace(key, std::vector<int64_t>()).first;
+        drain(acc_->poolUse(pool_idx), it->second);
+    }
+    return it->second;
+}
+
+const std::vector<int64_t>&
+SiteGather::poolDef(uint32_t pool_idx)
+{
+    uint64_t key = streamKey(StreamKind::AccessPoolDef, pool_idx);
+    auto it = pools_.find(key);
+    if (it == pools_.end()) {
+        it = pools_.emplace(key, std::vector<int64_t>()).first;
+        drain(acc_->poolDef(pool_idx), it->second);
+    }
+    return it->second;
 }
 
 int64_t

@@ -2,6 +2,8 @@
 #define WET_CORE_ACCESS_H
 
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "codec/cursor.h"
 #include "core/compressed.h"
@@ -102,6 +104,62 @@ class WetAccess : public SliceAccess
     const ir::Module* mod_;
     StreamCache own_;            //!< used when no shared cache given
     StreamCache* cache_ = nullptr;
+};
+
+/**
+ * Site-major stream materialization for the extraction queries
+ * (DESIGN.md §14). Each method decodes one whole stream in a single
+ * forward pass — holding exactly one SeqReader reference, looking the
+ * stream up in the session cache exactly once — and memoizes the
+ * result in plain memory, so a query's total decode work is bounded
+ * by the summed lengths of the streams it touches, at *any* cache
+ * capacity (including 1).
+ *
+ * This exists because the former cursor-tournament extraction looked
+ * streams up once per merge step: below the working set every lookup
+ * evicted and re-opened a reader that re-scanned from timestamp 0,
+ * turning extraction quadratic. Gathering site-major keeps one stream
+ * resident at a time; the merge then runs over the in-memory runs.
+ *
+ * Extra memory is bounded by the query's touched streams (the
+ * instance sequences being extracted), independent of cache capacity.
+ * A SiteGather is a per-query object: create it inside the query,
+ * let it die at the query boundary.
+ */
+class SiteGather
+{
+  public:
+    explicit SiteGather(WetAccess& acc) : acc_(&acc) {}
+
+    /** Timestamp sequence of node @p n, fully materialized. */
+    const std::vector<Timestamp>& timestamps(NodeId n);
+
+    /**
+     * Per-instance value sequence of statement position @p pos of
+     * node @p n (the Values[i] == UVals[Pattern[i]] reconstruction,
+     * done as one pattern pass then one uvals pass). Const statements
+     * take their value from the static program; a statement without a
+     * def port faults exactly like WetAccess::value().
+     */
+    const std::vector<int64_t>& values(NodeId n, uint32_t pos);
+
+    /** Use-side instance stream of a pooled edge label sequence. */
+    const std::vector<int64_t>& poolUse(uint32_t pool_idx);
+
+    /** Def-side instance stream of a pooled edge label sequence. */
+    const std::vector<int64_t>& poolDef(uint32_t pool_idx);
+
+  private:
+    /** Materialize @p r front to back (the single forward pass). */
+    static void drain(SeqReader& r, std::vector<int64_t>& out);
+
+    WetAccess* acc_;
+    // Keyed by streamKey()/defKey(); unordered_map keeps references
+    // to mapped values stable across later insertions.
+    std::unordered_map<uint64_t, std::vector<Timestamp>> ts_;
+    std::unordered_map<uint64_t, std::vector<int64_t>> values_;
+    std::unordered_map<uint64_t, std::vector<int64_t>> patterns_;
+    std::unordered_map<uint64_t, std::vector<int64_t>> pools_;
 };
 
 } // namespace core

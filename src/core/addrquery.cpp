@@ -18,8 +18,128 @@ AddressTraceQuery::extract(
     if (it == g.stmtIndex.end())
         return 0;
 
-    // One cursor per containing node; per cursor, one monotone
-    // position per incoming address-operand edge.
+    // Site-major gather (DESIGN.md §14): resolve every instance's
+    // address one site at a time — timestamps, the producing
+    // statements' value streams, and the pooled edge label streams are
+    // each materialized in a single forward pass — then merge the
+    // in-memory runs. Address resolution per site depends only on the
+    // site's own instance order (the per-edge label scan is monotone
+    // in k), so hoisting it out of the timestamp merge preserves the
+    // output byte for byte while keeping decode work linear in the
+    // summed stream lengths at any session cache capacity.
+    struct Run
+    {
+        const std::vector<Timestamp>* ts;
+        std::vector<uint64_t> addrs;
+        uint64_t idx = 0;
+    };
+    SiteGather gather(*acc_);
+    std::vector<Run> runs;
+    runs.reserve(it->second.size());
+    for (const auto& [n, pos] : it->second) {
+        const WetEdge* local = nullptr;
+        struct EdgeCursor
+        {
+            const WetEdge* edge;
+            uint64_t pos = 0;
+        };
+        std::vector<EdgeCursor> labeled;
+        for (uint32_t e : g.incoming(n, pos, 0)) {
+            const WetEdge& ed = g.edges[e];
+            if (ed.local)
+                local = &ed;
+            else
+                labeled.push_back(EdgeCursor{&ed});
+        }
+
+        Run r;
+        r.ts = &gather.timestamps(n);
+        const uint64_t len = g.nodes[n].instances();
+        r.addrs.reserve(len);
+        for (uint64_t k = 0; k < len; ++k) {
+            int64_t base = 0;
+            bool found = false;
+            if (local) {
+                base = gather.values(local->defNode,
+                                     local->defStmtPos)[k];
+                found = true;
+            } else {
+                for (auto& ec : labeled) {
+                    const std::vector<int64_t>& use =
+                        gather.poolUse(ec.edge->labelPool);
+                    while (ec.pos < use.size() &&
+                           use[ec.pos] < static_cast<int64_t>(k))
+                    {
+                        ++ec.pos;
+                    }
+                    if (ec.pos < use.size() &&
+                        use[ec.pos] == static_cast<int64_t>(k))
+                    {
+                        const std::vector<int64_t>& def =
+                            gather.poolDef(ec.edge->labelPool);
+                        uint32_t defInst =
+                            static_cast<uint32_t>(def[ec.pos]);
+                        base = gather.values(
+                            ec.edge->defNode,
+                            ec.edge->defStmtPos)[defInst];
+                        found = true;
+                        break;
+                    }
+                }
+            }
+            // A missing operand edge means the artifact's dependence
+            // encoding is inconsistent with its graph — corrupt data,
+            // not an internal invariant.
+            if (!found)
+                WET_FATAL("address operand dependence missing for stmt "
+                          << stmt << " instance " << k);
+            r.addrs.push_back(static_cast<uint64_t>(base + in.imm));
+        }
+        runs.push_back(std::move(r));
+    }
+
+    // Tournament-identical merge: strictly smaller timestamp wins,
+    // ties go to the earlier site.
+    uint64_t count = 0;
+    for (;;) {
+        Run* best = nullptr;
+        Timestamp bestTs = 0;
+        for (auto& r : runs) {
+            if (r.idx >= r.ts->size())
+                continue;
+            Timestamp t = (*r.ts)[r.idx];
+            if (!best || t < bestTs) {
+                best = &r;
+                bestTs = t;
+            }
+        }
+        if (!best)
+            break;
+        visit(bestTs, best->addrs[best->idx]);
+        ++best->idx;
+        ++count;
+    }
+    return count;
+}
+
+uint64_t
+AddressTraceQuery::extractTournament(
+    ir::StmtId stmt,
+    const std::function<void(Timestamp, uint64_t)>& visit)
+{
+    const WetGraph& g = acc_->graph();
+    const ir::Instr& in = acc_->module().instr(stmt);
+    WET_ASSERT(in.op == ir::Opcode::Load || in.op == ir::Opcode::Store,
+               "address trace requires a load or store");
+    auto it = g.stmtIndex.find(stmt);
+    if (it == g.stmtIndex.end())
+        return 0;
+
+    // The pre-fix lazy merge: one cursor per containing node; per
+    // cursor, one monotone position per incoming address-operand
+    // edge. Every step re-looks streams up in the session cache, so
+    // below the working set it re-scans quadratically — kept as the
+    // reference the differential tests pin extract() against.
     struct EdgeCursor
     {
         const WetEdge* edge;
@@ -93,9 +213,6 @@ AddressTraceQuery::extract(
                 }
             }
         }
-        // A missing operand edge means the artifact's dependence
-        // encoding is inconsistent with its graph — corrupt data, not
-        // an internal invariant.
         if (!found)
             WET_FATAL("address operand dependence missing for stmt "
                       << stmt << " instance " << k);

@@ -15,6 +15,13 @@ namespace core {
  * dependence edge to the producing statement instance and reading
  * that value (plus the instruction's static offset). This is the
  * cross-profile query the unified representation exists for.
+ *
+ * extract() resolves addresses site-major through a SiteGather (one
+ * stream resident at a time, one forward pass per stream) and merges
+ * in-memory runs — linear in the summed stream lengths at any session
+ * cache capacity, byte-identical to the historical cursor tournament
+ * (kept as extractTournament for the differential tests; DESIGN.md
+ * §14).
  */
 class AddressTraceQuery
 {
@@ -27,6 +34,15 @@ class AddressTraceQuery
      * @return number of instances visited.
      */
     uint64_t extract(
+        ir::StmtId stmt,
+        const std::function<void(Timestamp, uint64_t)>& visit);
+
+    /**
+     * Reference implementation: the pre-fix lazy cursor tournament,
+     * quadratic below the cache working set. Only the differential
+     * tests and bench/table_extract call it.
+     */
+    uint64_t extractTournament(
         ir::StmtId stmt,
         const std::function<void(Timestamp, uint64_t)>& visit);
 

@@ -32,6 +32,7 @@ cacheStats(const StreamCache& cache, const WetCompressed& c,
         ++st.streamsOpened;
         uint64_t steps = r.decodeSteps();
         st.valuesDecoded += steps;
+        st.cursorRestarts += r.restarts();
         uint64_t len = s->length;
         uint64_t bytes = s->sizeBytes();
         // A cursor may revisit values (steps > length); the at-rest
@@ -89,6 +90,7 @@ struct OpenStream : public SeqReader
     {
         return cursor.decodeSteps();
     }
+    uint64_t restarts() const override { return cursor.restarts(); }
     const codec::CompressedStream* stream() const override
     {
         return stream_;

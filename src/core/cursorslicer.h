@@ -26,6 +26,13 @@ struct SliceIoStats
     uint64_t valuesDecoded = 0; //!< cursor machine steps
     uint64_t bytesTouched = 0;
     uint64_t bytesTotal = 0; //!< all label-stream bytes at rest
+    /**
+     * Times a cursor abandoned its sweep and re-scanned from the
+     * front or a checkpoint. Non-trivial counts on a forward-only
+     * workload are the signature of the quadratic cache-thrash
+     * pathology the site-major extraction path eliminates.
+     */
+    uint64_t cursorRestarts = 0;
 
     double
     fractionTouched() const

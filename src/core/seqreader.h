@@ -30,6 +30,11 @@ class SeqReader
      *  which never decode anything). */
     virtual uint64_t decodeSteps() const { return 0; }
 
+    /** Times the underlying cursor re-scanned from the front or a
+     *  checkpoint to satisfy a backward jump (0 for tier-1 vectors
+     *  and eager decodes, which never re-scan). */
+    virtual uint64_t restarts() const { return 0; }
+
     /** The compressed stream behind this reader, if any (null for
      *  tier-1 vectors). Lets I/O accounting walk a heterogeneous
      *  cache without knowing concrete reader types. */

@@ -58,6 +58,7 @@ QuerySession::depGraph()
 
 QuerySession::Scope::Scope(QuerySession& s, std::string kind)
     : s_(&s), kind_(std::move(kind)), before_(s.cache_.stats()),
+      restartsBefore_(s.cache_.cursorRestarts()),
       uncaught_(std::uncaught_exceptions())
 {
     WET_FAILPOINT("core.session.query");
@@ -82,7 +83,26 @@ QuerySession::Scope::~Scope()
     m.add("cache.hits", now.hits - before_.hits);
     m.add("cache.misses", now.misses - before_.misses);
     m.add("cache.evictions", now.evictions - before_.evictions);
+    // Misses on keys the query already touched: each one rebuilt an
+    // evicted reader mid-query and re-scanned its stream — the
+    // quadratic-thrash signature. Extraction queries must stay at ~0
+    // at any capacity (DESIGN.md §14); slicer queries may legitimately
+    // revisit streams.
+    m.add("cache.rescans", now.rescans - before_.rescans);
     m.add("streams.touched", s_->cache_.touchedCount());
+    if (kind_ == "values" || kind_ == "addr") {
+        // Stream re-scans charged to this extraction query: backward
+        // jumps within a live cursor plus evicted readers rebuilt
+        // mid-query (each rebuild scans its stream from the front
+        // again). Site-major extraction drains every stream in one
+        // forward pass on one resident reader, so this stays 0 at any
+        // capacity. Read before purge(): evicted readers park in the
+        // graveyard until then, so the cursor sum still covers every
+        // reader this query drove.
+        m.add("extract.restarts",
+              (s_->cache_.cursorRestarts() - restartsBefore_) +
+                  (now.rescans - before_.rescans));
+    }
     m.recordLatency("latency." + kind_, ns);
     if (std::uncaught_exceptions() > uncaught_) {
         // Unwinding out of a failed query: readers it touched may

@@ -123,6 +123,10 @@ class QuerySession
         std::string kind_;
         support::Timer timer_;
         StreamCache::Stats before_;
+        /** Live cursor restarts at entry; the cache purges only at
+         *  scope boundaries, so the delta at exit is exactly this
+         *  query's re-scan work. */
+        uint64_t restartsBefore_;
         int uncaught_;
     };
 

@@ -8,7 +8,7 @@ namespace core {
 SeqReader&
 StreamCache::get(uint64_t key, const Factory& make)
 {
-    touched_.insert(key);
+    bool firstTouch = touched_.insert(key).second;
     auto it = map_.find(key);
     if (it != map_.end()) {
         ++stats_.hits;
@@ -16,6 +16,11 @@ StreamCache::get(uint64_t key, const Factory& make)
         return *it->second.reader;
     }
     ++stats_.misses;
+    // A miss on a key this query already touched means the reader was
+    // created, evicted, and is now rebuilt mid-query — its cursor
+    // starts over from the front.
+    if (!firstTouch)
+        ++stats_.rescans;
     WET_FAILPOINT("core.cache.insert");
     std::unique_ptr<SeqReader> reader = make();
     SeqReader& ref = *reader;
@@ -48,6 +53,19 @@ StreamCache::quarantineTouched()
         ++stats_.quarantined;
     }
     touched_.clear();
+}
+
+uint64_t
+StreamCache::cursorRestarts() const
+{
+    uint64_t total = 0;
+    for (const auto& [key, e] : map_) {
+        (void)key;
+        total += e.reader->restarts();
+    }
+    for (const auto& r : graveyard_)
+        total += r->restarts();
+    return total;
 }
 
 void

@@ -35,6 +35,17 @@ class StreamCache
         uint64_t misses = 0;
         uint64_t evictions = 0;
         uint64_t quarantined = 0;
+        /**
+         * Misses on keys already touched since the last
+         * resetTouched(): the reader was created earlier *in the same
+         * query*, evicted by later lookups, and is now being rebuilt —
+         * which re-scans its stream from timestamp 0. A query whose
+         * access pattern is linear at any capacity (the site-major
+         * extraction contract, DESIGN.md §14) keeps this at zero;
+         * a nonzero delta across one query flags the quadratic
+         * re-scan bug class.
+         */
+        uint64_t rescans = 0;
     };
 
     using Factory = std::function<std::unique_ptr<SeqReader>()>;
@@ -76,6 +87,15 @@ class StreamCache
 
     /** Readers awaiting destruction at the next purge(). */
     size_t graveyardSize() const { return graveyard_.size(); }
+
+    /**
+     * Total cursor re-scans across every reader still reachable (warm
+     * set plus graveyard). Valid as a monotone counter only between
+     * two purge() calls — purging destroys evicted readers along with
+     * their counts — so callers snapshot it at query boundaries, the
+     * way QuerySession::Scope derives the `extract.restarts` metric.
+     */
+    uint64_t cursorRestarts() const;
 
     /** Length of the LRU recency list (invariant: == size()). */
     size_t lruSize() const { return lru_.size(); }

@@ -18,9 +18,71 @@ ValueTraceQuery::extract(
         return 0;
     const auto& sites = it->second;
 
-    // Merge the statement's per-node instance sequences by timestamp
-    // with a simple tournament over the site cursors (site counts are
-    // small: the number of paths containing the statement).
+    // Site-major gather (DESIGN.md §14): materialize each site's
+    // timestamp and value sequences with one forward pass per stream,
+    // one stream resident at a time, so decode work stays linear in
+    // the summed stream lengths at any cache capacity. The former
+    // cursor tournament looked every site's streams up once per merge
+    // step and went quadratic as soon as the session cache bound fell
+    // below the query's working set.
+    struct Run
+    {
+        const std::vector<Timestamp>* ts;
+        const std::vector<int64_t>* vals;
+        uint64_t idx = 0;
+    };
+    SiteGather gather(*acc_);
+    std::vector<Run> runs;
+    runs.reserve(sites.size());
+    for (const auto& [n, pos] : sites) {
+        Run r;
+        r.ts = &gather.timestamps(n);
+        r.vals = &gather.values(n, pos);
+        runs.push_back(r);
+    }
+
+    // Merge the in-memory runs with the exact tournament order the
+    // cursor merge used: strictly smaller timestamp wins, ties go to
+    // the earlier site (strict < keeps the first minimum).
+    uint64_t count = 0;
+    for (;;) {
+        Run* best = nullptr;
+        Timestamp bestTs = 0;
+        for (auto& r : runs) {
+            if (r.idx >= r.ts->size())
+                continue;
+            Timestamp t = (*r.ts)[r.idx];
+            if (!best || t < bestTs) {
+                best = &r;
+                bestTs = t;
+            }
+        }
+        if (!best)
+            break;
+        visit(bestTs, (*best->vals)[best->idx]);
+        ++best->idx;
+        ++count;
+    }
+    return count;
+}
+
+uint64_t
+ValueTraceQuery::extractTournament(
+    ir::StmtId stmt,
+    const std::function<void(Timestamp, int64_t)>& visit)
+{
+    const WetGraph& g = acc_->graph();
+    auto it = g.stmtIndex.find(stmt);
+    if (it == g.stmtIndex.end())
+        return 0;
+    const auto& sites = it->second;
+
+    // One lazy cursor per containing path node, merged by timestamp.
+    // Every merge step re-looks the site streams up in the session
+    // cache, so below the working set this path re-scans quadratically
+    // — kept (unused by production callers) as the reference the
+    // differential tests and bench/table_extract pin extract()
+    // against, byte for byte.
     struct Site
     {
         NodeId node;

@@ -15,6 +15,13 @@ namespace core {
  * timestamp order, with the value each produced. A statement's
  * instances live in every Ball–Larus path node containing it, so the
  * query merges the per-node sequences by timestamp.
+ *
+ * extract() gathers each site's sequence site-major through a
+ * SiteGather (one stream resident at a time, one forward pass per
+ * stream) and merges the in-memory runs — linear in the summed
+ * stream lengths at any session cache capacity, with output byte-
+ * identical to the historical cursor tournament (kept as
+ * extractTournament for the differential tests; see DESIGN.md §14).
  */
 class ValueTraceQuery
 {
@@ -26,6 +33,17 @@ class ValueTraceQuery
      * @return the number of instances visited.
      */
     uint64_t extract(
+        ir::StmtId stmt,
+        const std::function<void(Timestamp, int64_t)>& visit);
+
+    /**
+     * Reference implementation: the pre-fix lazy cursor tournament,
+     * which re-looks each site's streams up per merge step and turns
+     * quadratic below the cache working set. Only the differential
+     * tests and bench/table_extract call it, to pin extract()'s
+     * output byte-identical.
+     */
+    uint64_t extractTournament(
         ir::StmtId stmt,
         const std::function<void(Timestamp, int64_t)>& visit);
 

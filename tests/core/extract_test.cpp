@@ -1,0 +1,385 @@
+#include "core/addrquery.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/compressed.h"
+#include "core/session.h"
+#include "core/streamcache.h"
+#include "core/valuequery.h"
+#include "lang/codegen.h"
+#include "testutil.h"
+#include "workloads/runner.h"
+#include "workloads/workloads.h"
+
+namespace wet {
+namespace core {
+namespace {
+
+using test::runPipeline;
+
+constexpr uint64_t kScale = 1;
+
+/** Cache bounds the differential sweeps: pathological (1), minimal
+ *  (2), a typical working set (8), and unbounded (0). */
+const size_t kCapacities[] = {1, 2, 8, 0};
+
+using ValueTrace = std::vector<std::pair<Timestamp, int64_t>>;
+using AddrTrace = std::vector<std::pair<Timestamp, uint64_t>>;
+
+ValueTrace
+collectValues(WetAccess& acc, ir::StmtId stmt, bool tournament)
+{
+    ValueTrace out;
+    ValueTraceQuery q(acc);
+    auto visit = [&](Timestamp t, int64_t v) {
+        out.emplace_back(t, v);
+    };
+    if (tournament)
+        q.extractTournament(stmt, visit);
+    else
+        q.extract(stmt, visit);
+    return out;
+}
+
+AddrTrace
+collectAddrs(WetAccess& acc, ir::StmtId stmt, bool tournament)
+{
+    AddrTrace out;
+    AddressTraceQuery q(acc);
+    auto visit = [&](Timestamp t, uint64_t a) {
+        out.emplace_back(t, a);
+    };
+    if (tournament)
+        q.extractTournament(stmt, visit);
+    else
+        q.extract(stmt, visit);
+    return out;
+}
+
+/**
+ * Deterministic targets: a spread of def statements (favoring the one
+ * replicated across the most path nodes, which stresses the merge)
+ * and of load/store statements.
+ */
+struct Targets
+{
+    std::vector<ir::StmtId> defStmts;
+    std::vector<ir::StmtId> memStmts;
+};
+
+Targets
+pickTargets(const WetGraph& g, const ir::Module& mod)
+{
+    Targets t;
+    std::vector<ir::StmtId> defs;
+    std::vector<ir::StmtId> mems;
+    ir::StmtId widest = 0;
+    size_t widestSites = 0;
+    for (const auto& [stmt, sites] : g.stmtIndex) {
+        const ir::Instr& in = mod.instr(stmt);
+        if (ir::hasDef(in.op) && in.op != ir::Opcode::Const) {
+            defs.push_back(stmt);
+            if (sites.size() > widestSites) {
+                widestSites = sites.size();
+                widest = stmt;
+            }
+        }
+        if (in.op == ir::Opcode::Load || in.op == ir::Opcode::Store)
+            mems.push_back(stmt);
+    }
+    std::sort(defs.begin(), defs.end());
+    std::sort(mems.begin(), mems.end());
+    for (size_t i = 0; i < 3 && !defs.empty(); ++i)
+        t.defStmts.push_back(defs[i * (defs.size() - 1) / 2]);
+    if (widestSites > 0)
+        t.defStmts.push_back(widest);
+    for (size_t i = 0; i < 2 && !mems.empty(); ++i)
+        t.memStmts.push_back(mems[i * (mems.size() - 1)]);
+    return t;
+}
+
+class ExtractDifferential : public ::testing::TestWithParam<size_t>
+{
+};
+
+/**
+ * The tentpole contract: extract() must be byte-identical to the
+ * historical cursor tournament on every workload at every cache
+ * bound. The tournament reference runs once, unbounded (where it is
+ * linear); the site-major path must reproduce it even at capacity 1,
+ * where the tournament used to go quadratic.
+ */
+TEST_P(ExtractDifferential, SiteMajorMatchesTournamentAtAnyCapacity)
+{
+    const workloads::Workload& w =
+        workloads::allWorkloads()[GetParam()];
+    auto art = workloads::buildWet(w, kScale);
+    WetCompressed comp(art->graph);
+    Targets t = pickTargets(art->graph, *art->module);
+    ASSERT_FALSE(t.defStmts.empty()) << w.name;
+
+    for (ir::StmtId stmt : t.defStmts) {
+        StreamCache refCache(0);
+        WetAccess refAcc(comp, *art->module, &refCache);
+        ValueTrace ref = collectValues(refAcc, stmt, true);
+        for (size_t cap : kCapacities) {
+            StreamCache cache(cap);
+            WetAccess acc(comp, *art->module, &cache);
+            EXPECT_EQ(collectValues(acc, stmt, false), ref)
+                << w.name << " stmt " << stmt << " capacity " << cap;
+        }
+    }
+    for (ir::StmtId stmt : t.memStmts) {
+        StreamCache refCache(0);
+        WetAccess refAcc(comp, *art->module, &refCache);
+        AddrTrace ref = collectAddrs(refAcc, stmt, true);
+        for (size_t cap : kCapacities) {
+            StreamCache cache(cap);
+            WetAccess acc(comp, *art->module, &cache);
+            EXPECT_EQ(collectAddrs(acc, stmt, false), ref)
+                << w.name << " stmt " << stmt << " capacity " << cap;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ExtractDifferential,
+    ::testing::Range<size_t>(0, 12),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+        std::string n = workloads::allWorkloads()[info.param].name;
+        for (char& c : n)
+            if (c == '.')
+                c = '_';
+        return n;
+    });
+
+const char* kLoopProgram = R"(
+    fn main() {
+        var s = 0;
+        for (var i = 0; i < 200; i = i + 1) {
+            var t = in();
+            if (t % 3 == 0) { mem[i % 7] = t + s; }
+            else { s = s + mem[(i + 3) % 7]; }
+        }
+        out(s);
+    }
+)";
+
+std::vector<int64_t>
+loopInputs()
+{
+    std::vector<int64_t> v;
+    for (int i = 0; i < 200; ++i)
+        v.push_back((i * 11 + 5) % 37);
+    return v;
+}
+
+/** The def statement with the most executed instances (deterministic:
+ *  smallest id wins ties) — the one whose extraction thrashes a tiny
+ *  cache hardest. */
+ir::StmtId
+hottestDefStmt(const WetGraph& g, const ir::Module& mod)
+{
+    ir::StmtId best = 0;
+    uint64_t bestInstances = 0;
+    bool found = false;
+    for (const auto& [stmt, sites] : g.stmtIndex) {
+        const ir::Instr& in = mod.instr(stmt);
+        if (!ir::hasDef(in.op) || in.op == ir::Opcode::Const)
+            continue;
+        uint64_t instances = 0;
+        for (const auto& [n, pos] : sites) {
+            (void)pos;
+            instances += g.nodes[n].instances();
+        }
+        if (!found || instances > bestInstances ||
+            (instances == bestInstances && stmt < best))
+        {
+            best = stmt;
+            bestInstances = instances;
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    return best;
+}
+
+/**
+ * The counters must actually detect the pathology: driving the old
+ * tournament through a capacity-1 session produces mid-query reader
+ * rebuilds (cache.rescans) and cursor re-scans (restarts), while the
+ * site-major path on the same session shape produces exactly zero of
+ * either. This is the regression tripwire — if extract() ever falls
+ * back to per-step lookups, extract.restarts goes nonzero and the
+ * session assertions fire.
+ */
+TEST(ExtractRestarts, TournamentThrashesSiteMajorDoesNot)
+{
+    auto p = runPipeline(kLoopProgram, loopInputs());
+    WetCompressed comp(p->graph);
+    ir::StmtId stmt = hottestDefStmt(p->graph, *p->module);
+
+    SessionOptions opt;
+    opt.cacheCapacity = 1;
+
+    {
+        QuerySession s(*p->module, comp, nullptr, opt);
+        ValueTrace out;
+        {
+            QuerySession::Scope scope(s, "values");
+            ValueTraceQuery q(s.access());
+            q.extractTournament(stmt, [&](Timestamp t, int64_t v) {
+                out.emplace_back(t, v);
+            });
+        }
+        EXPECT_FALSE(out.empty());
+        const auto& c = s.metrics().counters();
+        EXPECT_GT(c.at("cache.rescans"), 0u);
+        EXPECT_GT(c.at("extract.restarts"), 0u);
+    }
+    {
+        QuerySession s(*p->module, comp, nullptr, opt);
+        ValueTrace out;
+        {
+            QuerySession::Scope scope(s, "values");
+            ValueTraceQuery q(s.access());
+            q.extract(stmt, [&](Timestamp t, int64_t v) {
+                out.emplace_back(t, v);
+            });
+        }
+        EXPECT_FALSE(out.empty());
+        const auto& c = s.metrics().counters();
+        EXPECT_EQ(c.at("cache.rescans"), 0u);
+        EXPECT_EQ(c.at("extract.restarts"), 0u);
+    }
+}
+
+/** A statement that never executed has no sites: zero visits, and
+ *  both implementations agree. */
+TEST(ExtractEdgeCases, NeverExecutedStatementYieldsEmptyTrace)
+{
+    // x stays below 100, so the dead branch's def never runs.
+    auto p = runPipeline(R"(
+        fn main() {
+            var x = in();
+            var y = 0;
+            if (x > 100) { y = x * 2; }
+            out(y);
+        }
+    )",
+                         {7});
+    WetCompressed comp(p->graph);
+
+    ir::StmtId dead = 0;
+    bool found = false;
+    for (ir::StmtId s = 0; s < p->module->numStmts(); ++s) {
+        const ir::Instr& in = p->module->instr(s);
+        if (in.op == ir::Opcode::Mul &&
+            p->graph.stmtIndex.find(s) == p->graph.stmtIndex.end())
+        {
+            dead = s;
+            found = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(found);
+
+    WetAccess acc(comp, *p->module);
+    EXPECT_TRUE(collectValues(acc, dead, false).empty());
+    EXPECT_TRUE(collectValues(acc, dead, true).empty());
+}
+
+/** Single-site extraction (no merge at all) at capacity 1. */
+TEST(ExtractEdgeCases, SingleSiteMatchesAtCapacityOne)
+{
+    auto p = runPipeline(R"(
+        fn main() {
+            var s = 0;
+            for (var i = 0; i < 40; i = i + 1) { s = s + i; }
+            out(s);
+        }
+    )");
+    WetCompressed comp(p->graph);
+    ir::StmtId stmt = hottestDefStmt(p->graph, *p->module);
+
+    StreamCache refCache(0);
+    WetAccess refAcc(comp, *p->module, &refCache);
+    ValueTrace ref = collectValues(refAcc, stmt, true);
+    ASSERT_FALSE(ref.empty());
+
+    StreamCache cache(1);
+    WetAccess acc(comp, *p->module, &cache);
+    EXPECT_EQ(collectValues(acc, stmt, false), ref);
+}
+
+/**
+ * Duplicate timestamps across sites cannot arise from the builder
+ * (one global tick per path instance), but the merge contract must
+ * pin the tie-break anyway: the site listed first in stmtIndex wins,
+ * exactly as the tournament's strict less-than did. Hand-build a
+ * two-node graph whose timestamp sequences collide.
+ */
+TEST(ExtractEdgeCases, DuplicateTimestampsTieBreakBySiteOrder)
+{
+    ir::Module mod = lang::compileString(R"(
+        fn main() {
+            var x = in();
+            out(x);
+        }
+    )");
+    ir::StmtId inStmt = 0;
+    bool found = false;
+    for (ir::StmtId s = 0; s < mod.numStmts(); ++s) {
+        if (mod.instr(s).op == ir::Opcode::In) {
+            inStmt = s;
+            found = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(found);
+
+    WetGraph g;
+    auto makeNode = [&](std::vector<Timestamp> ts,
+                        std::vector<uint32_t> pattern,
+                        std::vector<int64_t> uvals) {
+        WetNode n;
+        n.stmts = {inStmt};
+        n.ts = std::move(ts);
+        n.numInstances = n.ts.size();
+        ValueGroup vg;
+        vg.members = {0};
+        vg.pattern = std::move(pattern);
+        vg.uvals.push_back(std::move(uvals));
+        n.groups.push_back(std::move(vg));
+        n.stmtGroup = {0};
+        n.stmtMember = {0};
+        g.nodes.push_back(std::move(n));
+    };
+    // Site 0 and site 1 collide at t=5 and t=9; values disambiguate
+    // which site each visit came from.
+    makeNode({1, 5, 9}, {0, 1, 2}, {10, 11, 12});
+    makeNode({5, 7, 9}, {0, 1, 2}, {20, 21, 22});
+    g.stmtIndex[inStmt] = {{0, 0}, {1, 0}};
+    g.lastTimestamp = 9;
+
+    WetCompressed comp(g);
+    const ValueTrace expected = {
+        {1, 10}, {5, 11}, {5, 20}, {7, 21}, {9, 12}, {9, 22}};
+    for (size_t cap : kCapacities) {
+        StreamCache cache(cap);
+        WetAccess acc(comp, mod, &cache);
+        EXPECT_EQ(collectValues(acc, inStmt, false), expected)
+            << "capacity " << cap;
+        EXPECT_EQ(collectValues(acc, inStmt, true), expected)
+            << "capacity " << cap;
+    }
+}
+
+} // namespace
+} // namespace core
+} // namespace wet

@@ -228,6 +228,15 @@ TEST_P(QuerySessionStress, WarmSessionMatchesFreshState)
     EXPECT_GT(counters.at("cache.misses"), 0u);
     EXPECT_GT(counters.at("cache.hits"), 0u);
     EXPECT_GT(counters.at("streams.touched"), 0u);
+    // An unbounded cache never evicts, so no reader is ever rebuilt
+    // mid-query. A warm cursor parked mid-stream by an earlier query
+    // may re-initialize once when extraction drains it from the
+    // front — at most one restart per touched stream, nothing that
+    // scales with instance counts (the quadratic regime produced
+    // restarts proportional to the trace length).
+    EXPECT_EQ(counters.at("cache.rescans"), 0u);
+    EXPECT_LE(counters.at("extract.restarts"),
+              counters.at("streams.touched"));
     EXPECT_FALSE(session.statsText().empty());
     EXPECT_EQ(session.statsJson().front(), '{');
 }
@@ -252,6 +261,14 @@ TEST_P(QuerySessionStress, CapacityOneSessionStaysCorrect)
     EXPECT_TRUE(fresh == warm) << w.name;
     EXPECT_GT(session.cache().stats().evictions, 0u) << w.name;
     EXPECT_LE(session.cache().size(), 1u) << w.name;
+
+    // The site-major extraction contract (DESIGN.md §14): even with
+    // every lookup evicting, a values/addr query drains each stream
+    // in one forward pass, so no cursor ever restarts its sweep. This
+    // is what keeps the query linear — before the fix this counter
+    // grew with the square of the instance count.
+    EXPECT_EQ(session.metrics().counters().at("extract.restarts"), 0u)
+        << w.name;
 }
 
 INSTANTIATE_TEST_SUITE_P(

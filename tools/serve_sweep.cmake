@@ -7,12 +7,17 @@
 # so the second also proves connection turnover; the server then
 # drains and must exit zero on its own.
 #
+# The whole flow runs twice: once with the default unbounded session
+# cache, once with `--cache 2` on both sides — far below any values/
+# addr working set, so the second pass pins the site-major extraction
+# path staying byte-exact while the cache evicts on nearly every
+# lookup.
+#
 # Expects: CLI (wet_cli path), SH (POSIX shell, for backgrounding),
 # SAMPLE (program source), SCRATCH (scratch directory).
 
 file(MAKE_DIRECTORY ${SCRATCH})
 set(out ${SCRATCH}/serve.wetx)
-set(sock ${SCRATCH}/serve.sock)
 
 execute_process(
     COMMAND ${CLI} run ${SAMPLE} --save ${out}
@@ -40,73 +45,88 @@ file(WRITE ${batch_file}
     "races\n"
     "depcheck\n")
 
-execute_process(
-    COMMAND ${CLI} query ${SAMPLE} ${out} --input ${batch_file}
-    RESULT_VARIABLE query_rc
-    OUTPUT_VARIABLE query_out
-    ERROR_VARIABLE query_err)
+foreach(bound unbounded 2)
+    if(bound STREQUAL "unbounded")
+        set(cache_args)
+    else()
+        set(cache_args --cache ${bound})
+    endif()
+    set(sock ${SCRATCH}/serve_${bound}.sock)
+    set(serve_log_file ${SCRATCH}/serve_log_${bound}.txt)
 
-# Start the server in the background; it serves exactly two
-# connections, then drains and exits on its own.
-execute_process(
-    COMMAND ${SH} -c
-        "${CLI} serve ${SAMPLE} ${out} --unix ${sock} --accept 2 \
-         > ${SCRATCH}/serve_log.txt 2>&1 & echo $!"
-    RESULT_VARIABLE serve_rc
-    OUTPUT_VARIABLE serve_pid
-    ERROR_QUIET)
-if(NOT serve_rc EQUAL 0)
-    message(FATAL_ERROR "failed to launch wet_cli serve")
-endif()
-string(STRIP "${serve_pid}" serve_pid)
-
-foreach(attempt 1 2)
     execute_process(
-        COMMAND ${CLI} client --unix ${sock} --input ${batch_file}
-        RESULT_VARIABLE client_rc
-        OUTPUT_VARIABLE client_out
-        ERROR_VARIABLE client_err)
-    if(NOT client_rc EQUAL query_rc)
-        message(FATAL_ERROR
-                "replay ${attempt}: client exit ${client_rc} != "
-                "query exit ${query_rc}")
+        COMMAND ${CLI} query ${SAMPLE} ${out} --input ${batch_file}
+                ${cache_args}
+        RESULT_VARIABLE query_rc
+        OUTPUT_VARIABLE query_out
+        ERROR_VARIABLE query_err)
+
+    # Start the server in the background; it serves exactly two
+    # connections, then drains and exits on its own.
+    string(REPLACE ";" " " cache_args_str "${cache_args}")
+    execute_process(
+        COMMAND ${SH} -c
+            "${CLI} serve ${SAMPLE} ${out} --unix ${sock} --accept 2 \
+             ${cache_args_str} > ${serve_log_file} 2>&1 & echo $!"
+        RESULT_VARIABLE serve_rc
+        OUTPUT_VARIABLE serve_pid
+        ERROR_QUIET)
+    if(NOT serve_rc EQUAL 0)
+        message(FATAL_ERROR "failed to launch wet_cli serve")
     endif()
-    if(NOT client_out STREQUAL query_out)
+    string(STRIP "${serve_pid}" serve_pid)
+
+    foreach(attempt 1 2)
+        execute_process(
+            COMMAND ${CLI} client --unix ${sock} --input ${batch_file}
+            RESULT_VARIABLE client_rc
+            OUTPUT_VARIABLE client_out
+            ERROR_VARIABLE client_err)
+        if(NOT client_rc EQUAL query_rc)
+            message(FATAL_ERROR
+                    "cache ${bound} replay ${attempt}: client exit "
+                    "${client_rc} != query exit ${query_rc}")
+        endif()
+        if(NOT client_out STREQUAL query_out)
+            message(FATAL_ERROR
+                    "cache ${bound} replay ${attempt}: served stdout "
+                    "diverged from `query`:\n--- query ---\n"
+                    "${query_out}\n--- client ---\n${client_out}")
+        endif()
+        if(NOT client_err STREQUAL query_err)
+            message(FATAL_ERROR
+                    "cache ${bound} replay ${attempt}: served stderr "
+                    "diverged from `query`:\n--- query ---\n"
+                    "${query_err}\n--- client ---\n${client_err}")
+        endif()
+    endforeach()
+
+    # The drained server must exit by itself (it is not our child, so
+    # poll for the pid to vanish; kill it if it lingers) and its log
+    # must end with the drain line.
+    execute_process(
+        COMMAND ${SH} -c "i=0; \
+            while kill -0 ${serve_pid} 2>/dev/null; do \
+                i=$((i+1)); \
+                if [ $i -gt 100 ]; then \
+                    kill ${serve_pid} 2>/dev/null; exit 1; \
+                fi; \
+                sleep 0.1; \
+            done"
+        RESULT_VARIABLE wait_rc)
+    if(NOT wait_rc EQUAL 0)
         message(FATAL_ERROR
-                "replay ${attempt}: served stdout diverged from "
-                "`query`:\n--- query ---\n${query_out}\n"
-                "--- client ---\n${client_out}")
+                "cache ${bound}: server did not drain and exit "
+                "after --accept 2")
     endif()
-    if(NOT client_err STREQUAL query_err)
+    file(READ ${serve_log_file} serve_log)
+    if(NOT serve_log MATCHES "served 2 connections")
         message(FATAL_ERROR
-                "replay ${attempt}: served stderr diverged from "
-                "`query`:\n--- query ---\n${query_err}\n"
-                "--- client ---\n${client_err}")
+                "cache ${bound}: server log missing drain line:\n"
+                "${serve_log}")
     endif()
+
+    message(STATUS "serve sweep (cache ${bound}): 2 replays "
+                   "byte-identical, server drained clean "
+                   "(exit ${query_rc})")
 endforeach()
-
-# The drained server must exit by itself (it is not our child, so
-# poll for the pid to vanish; kill it if it lingers) and its log
-# must end with the drain line.
-execute_process(
-    COMMAND ${SH} -c "i=0; \
-        while kill -0 ${serve_pid} 2>/dev/null; do \
-            i=$((i+1)); \
-            if [ $i -gt 100 ]; then \
-                kill ${serve_pid} 2>/dev/null; exit 1; \
-            fi; \
-            sleep 0.1; \
-        done"
-    RESULT_VARIABLE wait_rc)
-if(NOT wait_rc EQUAL 0)
-    message(FATAL_ERROR
-            "server did not drain and exit after --accept 2")
-endif()
-file(READ ${SCRATCH}/serve_log.txt serve_log)
-if(NOT serve_log MATCHES "served 2 connections")
-    message(FATAL_ERROR
-            "server log missing drain line:\n${serve_log}")
-endif()
-
-message(STATUS "serve sweep: 2 replays byte-identical, server "
-               "drained clean (exit ${query_rc})")
