@@ -48,12 +48,15 @@ const RuleEntry kRules[] = {
     {"ART003", "compressed stream structurally invalid"},
     {"ART004", "stream checkpoint invalid"},
     {"ART005", "stream length disagrees with graph structure"},
+    {"ART006", "segment failed to load and was quarantined"},
     {"IO001", "not a readable WETX file (unopenable or bad magic)"},
     {"IO002", "unsupported WETX version"},
     {"IO003", "WETX was built from a different program"},
     {"IO004", "WETX file truncated"},
     {"IO005", "WETX structure corrupt"},
     {"IO006", "WETX file has trailing bytes"},
+    {"IO008", "segment manifest malformed or torn"},
+    {"IO009", "segment file disagrees with its manifest entry"},
     {"SYNC001", "sync event malformed (unknown kind or mismatched "
                 "statement opcode)"},
     {"SYNC002", "lock discipline violated (unbalanced or foreign "

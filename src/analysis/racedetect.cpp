@@ -38,12 +38,15 @@ syncStream(const core::WetCompressed& c, uint32_t tid, uint32_t comp)
  */
 core::SliceIoStats
 syncCacheStats(const core::StreamCache& cache,
-               const core::WetCompressed& c, core::StreamKind kind)
+               const core::WetCompressed& c, core::StreamKind kind,
+               unsigned segment)
 {
     core::SliceIoStats st;
     st.bytesTotal = core::artifactStreamBytes(c);
     cache.forEach([&](uint64_t key, const core::SeqReader& r) {
         if (core::streamKeyKind(key) != kind)
+            return;
+        if (core::streamKeySegment(key) != segment)
             return;
         const codec::CompressedStream* s = r.stream();
         if (s == nullptr)
@@ -110,8 +113,10 @@ struct DecodedStream : public core::SeqReader
 // Engines
 
 CursorSyncAccess::CursorSyncAccess(const core::WetCompressed& c,
-                                   core::StreamCache* cache)
-    : c_(&c), cache_(cache != nullptr ? cache : &own_)
+                                   core::StreamCache* cache,
+                                   unsigned segment)
+    : c_(&c), cache_(cache != nullptr ? cache : &own_),
+      seg_(segment)
 {
 }
 
@@ -128,7 +133,7 @@ CursorSyncAccess::component(uint32_t tid, uint32_t comp)
 {
     const codec::CompressedStream& s = syncStream(*c_, tid, comp);
     return cache_->get(
-        streamKey(core::StreamKind::CursorSync, tid, comp),
+        streamKey(core::StreamKind::CursorSync, tid, comp, 0, seg_),
         [&]() -> std::unique_ptr<core::SeqReader> {
             return std::make_unique<OpenStream>(s);
         });
@@ -137,12 +142,15 @@ CursorSyncAccess::component(uint32_t tid, uint32_t comp)
 core::SliceIoStats
 CursorSyncAccess::stats() const
 {
-    return syncCacheStats(*cache_, *c_, core::StreamKind::CursorSync);
+    return syncCacheStats(*cache_, *c_, core::StreamKind::CursorSync,
+                          seg_);
 }
 
 DecodeSyncAccess::DecodeSyncAccess(const core::WetCompressed& c,
-                                   core::StreamCache* cache)
-    : c_(&c), cache_(cache != nullptr ? cache : &own_)
+                                   core::StreamCache* cache,
+                                   unsigned segment)
+    : c_(&c), cache_(cache != nullptr ? cache : &own_),
+      seg_(segment)
 {
 }
 
@@ -159,7 +167,7 @@ DecodeSyncAccess::component(uint32_t tid, uint32_t comp)
 {
     const codec::CompressedStream& s = syncStream(*c_, tid, comp);
     return cache_->get(
-        streamKey(core::StreamKind::DecodeSync, tid, comp),
+        streamKey(core::StreamKind::DecodeSync, tid, comp, 0, seg_),
         [&]() -> std::unique_ptr<core::SeqReader> {
             return std::make_unique<DecodedStream>(s);
         });
@@ -168,7 +176,8 @@ DecodeSyncAccess::component(uint32_t tid, uint32_t comp)
 core::SliceIoStats
 DecodeSyncAccess::stats() const
 {
-    return syncCacheStats(*cache_, *c_, core::StreamKind::DecodeSync);
+    return syncCacheStats(*cache_, *c_, core::StreamKind::DecodeSync,
+                          seg_);
 }
 
 // ---------------------------------------------------------------- //
@@ -581,6 +590,11 @@ verifySync(const core::WetCompressed& c, const ir::Module* mod,
 {
     const uint64_t before = diag.errorCount();
     const uint32_t n = c.numSyncThreads();
+    // A windowed (segment) graph holds only a slice of the run's
+    // sync events: its seq values start past 1, spawns/acquires may
+    // precede the window, so the lifecycle and discipline rules
+    // relax to what is checkable within the window (DESIGN.md §15).
+    const bool windowed = c.graph().windowed;
 
     auto kindOpcode = [](int64_t k) {
         switch (static_cast<SyncKind>(k)) {
@@ -657,18 +671,28 @@ verifySync(const core::WetCompressed& c, const ir::Module* mod,
     }
 
     // SYNC004 (global half): the seq values across all threads must
-    // form a permutation of 1..N (seq is one shared counter).
+    // form a permutation of 1..N (seq is one shared counter). A
+    // window sees a contiguous slice of that counter instead, so only
+    // contiguity is checkable.
     {
         std::vector<int64_t> all;
         all.reserve(events.size());
         for (const VEvent& ev : events)
             all.push_back(ev.seq);
         std::sort(all.begin(), all.end());
+        const int64_t base = windowed && !all.empty() ? all[0] - 1 : 0;
+        if (windowed && base < 0)
+            diag.error("SYNC004", "seq " + std::to_string(all[0]),
+                       "global seq values start below 1");
         for (size_t i = 0; i < all.size(); ++i) {
-            if (all[i] != static_cast<int64_t>(i + 1)) {
+            if (all[i] != base + static_cast<int64_t>(i + 1)) {
                 diag.error("SYNC004", "seq " + std::to_string(all[i]),
-                           "global seq values are not a permutation "
-                           "of 1.." + std::to_string(all.size()));
+                           windowed
+                               ? "global seq values of the window "
+                                 "are not contiguous"
+                               : "global seq values are not a "
+                                 "permutation of 1.." +
+                                     std::to_string(all.size()));
                 break;
             }
         }
@@ -700,7 +724,9 @@ verifySync(const core::WetCompressed& c, const ir::Module* mod,
             break;
           case SyncKind::Join:
             if (ev.obj <= 0 || static_cast<uint64_t>(ev.obj) >= n ||
-                !spawned[static_cast<uint32_t>(ev.obj)])
+                (!windowed && !spawned[static_cast<uint32_t>(ev.obj)]))
+                // In a window the spawn may precede the cut, so only
+                // the id-range half of the rule applies.
                 diag.error("SYNC003", loc,
                            "join of never-spawned thread " +
                                std::to_string(ev.obj));
@@ -723,13 +749,22 @@ verifySync(const core::WetCompressed& c, const ir::Module* mod,
             break;
           case SyncKind::Release: {
             auto it = holder.find(ev.obj);
-            if (it == holder.end() || it->second != ev.thread)
+            if (it == holder.end()) {
+                // In a window the acquire may precede the cut.
+                if (!windowed)
+                    diag.error("SYNC002", loc,
+                               "release of lock " +
+                                   std::to_string(ev.obj) +
+                                   " not held by the releasing "
+                                   "thread");
+            } else if (it->second != ev.thread) {
                 diag.error("SYNC002", loc,
                            "release of lock " +
                                std::to_string(ev.obj) +
                                " not held by the releasing thread");
-            else
+            } else {
                 holder.erase(it);
+            }
             break;
           }
           default:

@@ -97,7 +97,8 @@ class CursorSyncAccess : public SyncAccess
 {
   public:
     explicit CursorSyncAccess(const core::WetCompressed& c,
-                              core::StreamCache* cache = nullptr);
+                              core::StreamCache* cache = nullptr,
+                              unsigned segment = 0);
     ~CursorSyncAccess() override;
 
     uint32_t numThreads() const override;
@@ -110,6 +111,7 @@ class CursorSyncAccess : public SyncAccess
     const core::WetCompressed* c_;
     core::StreamCache own_;
     core::StreamCache* cache_;
+    unsigned seg_ = 0;
 };
 
 /**
@@ -122,7 +124,8 @@ class DecodeSyncAccess : public SyncAccess
 {
   public:
     explicit DecodeSyncAccess(const core::WetCompressed& c,
-                              core::StreamCache* cache = nullptr);
+                              core::StreamCache* cache = nullptr,
+                              unsigned segment = 0);
     ~DecodeSyncAccess() override;
 
     uint32_t numThreads() const override;
@@ -134,6 +137,7 @@ class DecodeSyncAccess : public SyncAccess
     const core::WetCompressed* c_;
     core::StreamCache own_;
     core::StreamCache* cache_;
+    unsigned seg_ = 0;
 };
 
 enum class RaceEngine : uint8_t { Cursor, Decode };

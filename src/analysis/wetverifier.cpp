@@ -203,10 +203,13 @@ checkTimestamps(const WetGraph& g,
         }
         for (size_t i = 0; i < ts.size(); ++i) {
             uint64_t t = static_cast<uint64_t>(ts[i]);
-            if (t < 1 || t > g.lastTimestamp) {
+            // A windowed (segment) graph covers (tsBegin,
+            // lastTimestamp]; whole-run graphs have tsBegin == 0.
+            if (t <= g.tsBegin || t > g.lastTimestamp) {
                 std::ostringstream os;
                 os << "timestamp " << t << " at instance " << i
-                   << " outside [1, " << g.lastTimestamp << "]";
+                   << " outside [" << (g.tsBegin + 1) << ", "
+                   << g.lastTimestamp << "]";
                 diag.error("WET001", nodeLoc(n), os.str());
                 break;
             }
@@ -223,30 +226,32 @@ checkTimestamps(const WetGraph& g,
     }
     if (!haveAll)
         return; // tier-1 dropped and no streams: accounting unknowable
-    if (totalInstances != g.lastTimestamp) {
+    const uint64_t span = g.lastTimestamp - g.tsBegin;
+    if (totalInstances != span) {
         std::ostringstream os;
         os << "nodes hold " << totalInstances
-           << " instances but the trace ends at timestamp "
-           << g.lastTimestamp;
+           << " instances but the window covers " << span
+           << " timestamps ((" << g.tsBegin << ", "
+           << g.lastTimestamp << "])";
         diag.error("WET003", "graph", os.str());
         return;
     }
-    if (g.lastTimestamp > opt.maxTimestampBitmap) {
+    if (span > opt.maxTimestampBitmap) {
         diag.note("WET003", "graph",
                   "trace too long for the timestamp uniqueness "
                   "bitmap; uniqueness check skipped");
         return;
     }
-    std::vector<bool> seen(g.lastTimestamp + 1, false);
+    std::vector<bool> seen(span + 1, false);
     for (uint64_t t : allTs) {
-        if (seen[t]) {
+        if (seen[t - g.tsBegin]) {
             std::ostringstream os;
             os << "timestamp " << t
                << " assigned to more than one path instance";
             diag.error("WET003", "graph", os.str());
             return;
         }
-        seen[t] = true;
+        seen[t - g.tsBegin] = true;
     }
 }
 

@@ -58,15 +58,16 @@ class CursorReader : public SeqReader
 } // namespace
 
 WetAccess::WetAccess(const WetGraph& g, const ir::Module& mod,
-                     StreamCache* cache)
-    : g_(&g), mod_(&mod), cache_(cache != nullptr ? cache : &own_)
+                     StreamCache* cache, unsigned segment)
+    : g_(&g), mod_(&mod), cache_(cache != nullptr ? cache : &own_),
+      seg_(segment)
 {
 }
 
 WetAccess::WetAccess(const WetCompressed& c, const ir::Module& mod,
-                     StreamCache* cache)
+                     StreamCache* cache, unsigned segment)
     : g_(&c.graph()), c_(&c), mod_(&mod),
-      cache_(cache != nullptr ? cache : &own_)
+      cache_(cache != nullptr ? cache : &own_), seg_(segment)
 {
 }
 
@@ -90,7 +91,7 @@ WetAccess::cached(uint64_t key, const std::vector<uint64_t>* v64,
 SeqReader&
 WetAccess::ts(NodeId n)
 {
-    uint64_t key = streamKey(StreamKind::AccessTs, n);
+    uint64_t key = streamKey(StreamKind::AccessTs, n, 0, 0, seg_);
     if (c_)
         return cached(key, nullptr, nullptr, nullptr, &c_->node(n).ts);
     return cached(key, &g_->nodes[n].ts, nullptr, nullptr, nullptr);
@@ -99,7 +100,8 @@ WetAccess::ts(NodeId n)
 SeqReader&
 WetAccess::pattern(NodeId n, uint32_t group)
 {
-    uint64_t key = streamKey(StreamKind::AccessPattern, n, group);
+    uint64_t key =
+        streamKey(StreamKind::AccessPattern, n, group, 0, seg_);
     if (c_) {
         return cached(key, nullptr, nullptr, nullptr,
                       &c_->node(n).patterns[group]);
@@ -112,7 +114,7 @@ SeqReader&
 WetAccess::uvals(NodeId n, uint32_t group, uint32_t member)
 {
     uint64_t key =
-        streamKey(StreamKind::AccessUvals, n, group, member);
+        streamKey(StreamKind::AccessUvals, n, group, member, seg_);
     if (c_) {
         return cached(key, nullptr, nullptr, nullptr,
                       &c_->node(n).uvals[group][member]);
@@ -124,7 +126,8 @@ WetAccess::uvals(NodeId n, uint32_t group, uint32_t member)
 SeqReader&
 WetAccess::poolUse(uint32_t pool_idx)
 {
-    uint64_t key = streamKey(StreamKind::AccessPoolUse, pool_idx);
+    uint64_t key =
+        streamKey(StreamKind::AccessPoolUse, pool_idx, 0, 0, seg_);
     if (c_) {
         return cached(key, nullptr, nullptr, nullptr,
                       &c_->pool(pool_idx).useInst);
@@ -136,7 +139,8 @@ WetAccess::poolUse(uint32_t pool_idx)
 SeqReader&
 WetAccess::poolDef(uint32_t pool_idx)
 {
-    uint64_t key = streamKey(StreamKind::AccessPoolDef, pool_idx);
+    uint64_t key =
+        streamKey(StreamKind::AccessPoolDef, pool_idx, 0, 0, seg_);
     if (c_) {
         return cached(key, nullptr, nullptr, nullptr,
                       &c_->pool(pool_idx).defInst);

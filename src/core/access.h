@@ -63,17 +63,20 @@ class SliceAccess
 class WetAccess : public SliceAccess
 {
   public:
-    /** Tier-1 access over raw label vectors. */
+    /** Tier-1 access over raw label vectors. @p segment namespaces
+     *  this engine's cache keys (segmented artifacts share one
+     *  session cache across per-segment engines). */
     WetAccess(const WetGraph& g, const ir::Module& mod,
-              StreamCache* cache = nullptr);
+              StreamCache* cache = nullptr, unsigned segment = 0);
 
     /** Tier-2 access over compressed streams. */
     WetAccess(const WetCompressed& c, const ir::Module& mod,
-              StreamCache* cache = nullptr);
+              StreamCache* cache = nullptr, unsigned segment = 0);
 
     const WetGraph& graph() const override { return *g_; }
     const ir::Module& module() const { return *mod_; }
     bool tier2() const { return c_ != nullptr; }
+    unsigned segment() const { return seg_; }
 
     SeqReader& ts(NodeId n) override;
     /** Pattern sequence of (node, group). */
@@ -104,6 +107,7 @@ class WetAccess : public SliceAccess
     const ir::Module* mod_;
     StreamCache own_;            //!< used when no shared cache given
     StreamCache* cache_ = nullptr;
+    unsigned seg_ = 0;
 };
 
 /**

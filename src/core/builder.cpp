@@ -21,9 +21,16 @@ WetBuilder::NodeBuild::KeyHash::operator()(
 }
 
 WetBuilder::WetBuilder(const analysis::ModuleAnalysis& ma,
-                       const BuilderOptions& opt)
-    : ma_(ma), mod_(ma.module()), opt_(opt)
+                       const BuilderOptions& opt, SegmentPolicy policy)
+    : ma_(ma), mod_(ma.module()), opt_(opt),
+      policy_(std::move(policy))
 {
+    WET_ASSERT(!policy_.enabled() || policy_.onSegment,
+               "segment policy enabled without an onSegment sink");
+    // Every emitted window of a segmented build is marked windowed,
+    // including the first, so verification semantics do not depend on
+    // whether a cut ever tripped.
+    g_.windowed = policy_.enabled();
     instanceMap_.resize(mod_.numStmts());
     threadFrames_.resize(1); // thread 0 (main) always exists
 }
@@ -157,6 +164,7 @@ WetBuilder::onSync(const interp::SyncEvent& ev)
     st.seq.push_back(static_cast<int64_t>(ev.seq));
     ++st.numEvents;
     ++g_.syncEventsTotal;
+    windowBytes_ += 4 * sizeof(int64_t);
 }
 
 void
@@ -164,6 +172,7 @@ WetBuilder::onEnd()
 {
     for (const auto& frames : threadFrames_)
         WET_ASSERT(frames.empty(), "program ended with open frames");
+    peakWindowBytes_ = std::max(peakWindowBytes_, windowBytes_);
 }
 
 NodeId
@@ -247,6 +256,7 @@ WetBuilder::addLabel(const InstRef& def, NodeId use_node,
         edgeLabelsTmp_.emplace_back();
     }
     edgeLabelsTmp_[it->second].emplace_back(use_inst, def.inst);
+    windowBytes_ += 2 * sizeof(uint32_t);
 }
 
 void
@@ -254,9 +264,8 @@ WetBuilder::resolveOrPend(const interp::DepRef& dep, NodeId use_node,
                           uint32_t use_pos, uint8_t slot,
                           uint32_t use_inst)
 {
-    const auto& vec = instanceMap_[dep.stmt];
-    if (dep.instance < vec.size() && vec[dep.instance].valid()) {
-        addLabel(vec[dep.instance], use_node, use_pos, slot, use_inst);
+    if (const InstRef* def = instanceMap_[dep.stmt].find(dep.instance)) {
+        addLabel(*def, use_node, use_pos, slot, use_inst);
     } else {
         pending_[dep.stmt].push_back(PendingDep{
             use_node, use_pos, slot, use_inst, dep.instance});
@@ -285,12 +294,11 @@ WetBuilder::finishPath(FrameState& fr, bool partial, uint64_t path_id)
         WET_ASSERT(node.stmts[i] == bs.stmt,
                    "path decode diverges from the observed trace at "
                    "position " << i);
-        auto& vec = instanceMap_[bs.stmt];
-        if (vec.size() <= bs.localIdx)
-            vec.resize(bs.localIdx + 1);
-        vec[bs.localIdx] = InstRef{nid, inst, i};
+        instanceMap_[bs.stmt].put(bs.localIdx, InstRef{nid, inst, i});
     }
     g_.stmtInstancesTotal += fr.stmts.size();
+    windowBytes_ += sizeof(Timestamp) +
+                    fr.stmts.size() * sizeof(InstRef);
 
     // Value groups: intern this instance's input combination and
     // extend UVals on a fresh pattern (paper §3.2).
@@ -311,6 +319,9 @@ WetBuilder::finishPath(FrameState& fr, bool partial, uint64_t path_id)
             static_cast<uint32_t>(nbd.keyMaps[gi].size()));
         uint32_t pidx = it->second;
         grp.pattern.push_back(pidx);
+        windowBytes_ += sizeof(uint32_t);
+        if (inserted)
+            windowBytes_ += grp.members.size() * sizeof(int64_t);
         for (size_t mi = 0; mi < grp.members.size(); ++mi) {
             int64_t v = fr.stmts[grp.members[mi]].value;
             auto& uv = grp.uvals[mi];
@@ -352,12 +363,10 @@ WetBuilder::finishPath(FrameState& fr, bool partial, uint64_t path_id)
         size_t keep = 0;
         for (size_t k = 0; k < vec.size(); ++k) {
             const PendingDep& pd = vec[k];
-            const auto& insts = instanceMap_[bs.stmt];
-            if (pd.defLocal < insts.size() &&
-                insts[pd.defLocal].valid())
-            {
-                addLabel(insts[pd.defLocal], pd.useNode, pd.usePos,
-                         pd.slot, pd.useInst);
+            if (const InstRef* def =
+                    instanceMap_[bs.stmt].find(pd.defLocal)) {
+                addLabel(*def, pd.useNode, pd.usePos, pd.slot,
+                         pd.useInst);
             } else {
                 vec[keep++] = pd;
             }
@@ -382,22 +391,100 @@ WetBuilder::finishPath(FrameState& fr, bool partial, uint64_t path_id)
     fr.stmts.clear();
     fr.blocks.clear();
     fr.inPath = false;
+
+    if (policy_.enabled() && shouldCut())
+        cut();
+}
+
+bool
+WetBuilder::shouldCut() const
+{
+    if (policy_.segmentStatements != 0 &&
+        g_.stmtInstancesTotal >= policy_.segmentStatements)
+        return true;
+    return policy_.memoryBudgetBytes != 0 &&
+           windowBytes_ >= policy_.memoryBudgetBytes;
+}
+
+void
+WetBuilder::cut()
+{
+    peakWindowBytes_ = std::max(peakWindowBytes_, windowBytes_);
+    const size_t syncCount = g_.syncThreads.size();
+    WetGraph w = finalizeWindow();
+    ++windowCount_;
+    policy_.onSegment(std::move(w));
+
+    // Fresh window at the same global time. Nodes, edges, and
+    // instance registrations do not survive the cut — a dependence
+    // whose def lies behind it pends and is dropped with this
+    // window's successors.
+    g_ = WetGraph();
+    g_.tsBegin = time_;
+    g_.lastTimestamp = time_;
+    g_.windowed = true;
+    // Keep one SYNC stream per already-spawned thread so every
+    // window's artifact layout covers the same thread set.
+    g_.syncThreads.resize(syncCount);
+    nb_.clear();
+    nodeByKey_.clear();
+    edgeMap_.clear();
+    cfSeen_.clear();
+    lastCompleted_ = kNoNode;
+    for (InstVec& iv : instanceMap_) {
+        iv.base = 0;
+        iv.v = std::vector<InstRef>();
+    }
+    windowDropped_ = 0;
+    windowBytes_ = 0;
 }
 
 WetGraph
 WetBuilder::take()
 {
     WET_ASSERT(!taken_, "WetBuilder::take called twice");
+    WET_ASSERT(!policy_.enabled(),
+               "segmented builds end with finishSegments()");
     taken_ = true;
+    WetGraph g = finalizeWindow();
+    nb_.clear();
+    instanceMap_.clear();
+    edgeMap_.clear();
+    cfSeen_.clear();
+    return g;
+}
 
+void
+WetBuilder::finishSegments()
+{
+    WET_ASSERT(!taken_, "WetBuilder finished twice");
+    WET_ASSERT(policy_.enabled(),
+               "finishSegments without a segment policy");
+    taken_ = true;
+    peakWindowBytes_ = std::max(peakWindowBytes_, windowBytes_);
+    // Skip a final window that saw nothing — unless it is the only
+    // one, so even an empty run yields one (empty) segment.
+    if (windowCount_ > 0 && g_.lastTimestamp == g_.tsBegin &&
+        g_.syncEventsTotal == 0 && pending_.empty())
+        return;
+    WetGraph w = finalizeWindow();
+    ++windowCount_;
+    policy_.onSegment(std::move(w));
+}
+
+WetGraph
+WetBuilder::finalizeWindow()
+{
     // Dependences on call instances that never completed (program
-    // halted inside the callee) are unresolvable; drop them.
+    // halted inside the callee) or that lie behind a segment cut are
+    // unresolvable; drop them.
     for (auto& [stmt, vec] : pending_) {
         (void)stmt;
         droppedDeps_ += vec.size();
+        windowDropped_ += vec.size();
     }
     pending_.clear();
-    g_.droppedDeps = droppedDeps_;
+    g_.droppedDeps = windowDropped_;
 
     // Sort every edge's labels by use instance (pending resolution
     // can append out of order).
@@ -505,11 +592,6 @@ WetBuilder::take()
         for (uint32_t i = 0; i < node.stmts.size(); ++i)
             g_.stmtIndex[node.stmts[i]].emplace_back(n, i);
     }
-
-    nb_.clear();
-    instanceMap_.clear();
-    edgeMap_.clear();
-    cfSeen_.clear();
 
     // Self-check: run the WET graph verifier over the freshly built
     // graph. On by default in debug builds; WET_SELFCHECK=1 forces it

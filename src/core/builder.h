@@ -1,6 +1,7 @@
 #ifndef WET_CORE_BUILDER_H
 #define WET_CORE_BUILDER_H
 
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -23,6 +24,34 @@ struct BuilderOptions
 };
 
 /**
+ * Streaming-construction policy (DESIGN.md §15): when either bound
+ * trips, the builder finalizes the current time window into a
+ * complete windowed WetGraph and hands it to @p onSegment, then
+ * starts a fresh window — so construction memory is bounded by the
+ * window, not the run. Cuts happen only at path-completion
+ * boundaries, so each emitted graph is internally consistent;
+ * dependences that cross a cut are dropped and counted in the
+ * emitting window's droppedDeps (the same label-loss contract as a
+ * Halt mid-call).
+ */
+struct SegmentPolicy
+{
+    /** Cut after this many executed statements (0 = no bound). */
+    uint64_t segmentStatements = 0;
+    /** Cut when the window's tier-1 label bytes (approximate,
+     *  tracked incrementally) exceed this (0 = no bound). */
+    uint64_t memoryBudgetBytes = 0;
+    /** Receives each finalized window, in time order. */
+    std::function<void(WetGraph&&)> onSegment;
+
+    bool
+    enabled() const
+    {
+        return segmentStatements != 0 || memoryBudgetBytes != 0;
+    }
+};
+
+/**
  * Online WET construction: a TraceSink that segments the interpreter's
  * block trace into Ball–Larus path instances, assigns one timestamp
  * per path instance (paper §3.1), interns value-group patterns
@@ -39,7 +68,8 @@ class WetBuilder : public interp::TraceSink
 {
   public:
     explicit WetBuilder(const analysis::ModuleAnalysis& ma,
-                        const BuilderOptions& opt = {});
+                        const BuilderOptions& opt = {},
+                        SegmentPolicy policy = {});
 
     void onEnterFunction(ir::FuncId f,
                          const interp::DepRef& callsite) override;
@@ -58,12 +88,29 @@ class WetBuilder : public interp::TraceSink
     /**
      * Finalize (sort labels, infer local edges, pool shared label
      * sequences, build lookup indexes) and move the graph out. The
-     * builder must not be used afterwards.
+     * builder must not be used afterwards. Only valid without a
+     * segment policy — segmented builds end with finishSegments().
      */
     WetGraph take();
 
-    /** Dependences dropped because a call never returned (Halt). */
+    /**
+     * Segmented builds only: flush the final (possibly short) window
+     * through the policy's onSegment callback and retire the
+     * builder. A window that completed no path and saw no sync event
+     * is not emitted.
+     */
+    void finishSegments();
+
+    /** Dependences dropped because a call never returned (Halt) or
+     *  because they crossed a segment cut. */
     uint64_t droppedDeps() const { return droppedDeps_; }
+
+    /** Windows emitted so far (segmented builds). */
+    uint64_t windowCount() const { return windowCount_; }
+
+    /** High-water mark of the incremental window-size accounting the
+     *  memory budget is enforced against (bytes). */
+    uint64_t peakWindowBytes() const { return peakWindowBytes_; }
 
   private:
     struct InstRef
@@ -73,6 +120,47 @@ class WetBuilder : public interp::TraceSink
         uint32_t pos = 0;
 
         bool valid() const { return node != kNoNode; }
+    };
+
+    /**
+     * Per-statement instance registry with a window base offset. The
+     * interpreter's per-statement instance counters grow over the
+     * whole run, but after a segment cut only instances registered in
+     * the current window may resolve — and the registry must not keep
+     * O(run) slots. Storage covers [base, base + v.size()); a lookup
+     * below base is a previous-window instance and misses. base is
+     * set by the first post-cut registration; the rare registration
+     * below it (a frame opened before the cut completing after it)
+     * front-extends the vector.
+     */
+    struct InstVec
+    {
+        uint32_t base = 0;
+        std::vector<InstRef> v;
+
+        const InstRef*
+        find(uint32_t idx) const
+        {
+            if (idx < base || idx - base >= v.size())
+                return nullptr;
+            const InstRef& r = v[idx - base];
+            return r.valid() ? &r : nullptr;
+        }
+
+        void
+        put(uint32_t idx, const InstRef& r)
+        {
+            if (v.empty())
+                base = idx;
+            if (idx < base) {
+                v.insert(v.begin(), base - idx, InstRef{});
+                base = idx;
+            }
+            uint32_t off = idx - base;
+            if (v.size() <= off)
+                v.resize(off + 1);
+            v[off] = r;
+        }
     };
 
     struct BufferedStmt
@@ -148,13 +236,21 @@ class WetBuilder : public interp::TraceSink
                        uint32_t use_inst);
     void addLabel(const InstRef& def, NodeId use_node,
                   uint32_t use_pos, uint8_t slot, uint32_t use_inst);
+    /** Finalize the current window's graph in place (the body of the
+     *  historical take()) and move it out. */
+    WetGraph finalizeWindow();
+    /** Emit the current window through the policy and start the
+     *  next one at the same global time. */
+    void cut();
+    bool shouldCut() const;
 
     const analysis::ModuleAnalysis& ma_;
     const ir::Module& mod_;
     BuilderOptions opt_;
+    SegmentPolicy policy_;
     WetGraph g_;
     std::vector<NodeBuild> nb_;
-    std::vector<std::vector<InstRef>> instanceMap_;
+    std::vector<InstVec> instanceMap_;
     std::unordered_map<uint64_t, NodeId> nodeByKey_;
     /** One frame stack per simulated thread (index = thread id);
      *  single-threaded traces only ever use stack 0. */
@@ -170,6 +266,12 @@ class WetBuilder : public interp::TraceSink
     NodeId lastCompleted_ = kNoNode;
     Timestamp time_ = 0;
     uint64_t droppedDeps_ = 0;
+    /** Drops charged to the current window (reset at each cut). */
+    uint64_t windowDropped_ = 0;
+    /** Incremental estimate of the current window's tier-1 bytes. */
+    uint64_t windowBytes_ = 0;
+    uint64_t peakWindowBytes_ = 0;
+    uint64_t windowCount_ = 0;
     bool taken_ = false;
 };
 

@@ -47,7 +47,7 @@ uint64_t
 ControlFlowQuery::extractForward(
     const std::function<void(NodeId, Timestamp)>& visit)
 {
-    return extractRange(1, UINT64_MAX, visit);
+    return extractRange(acc_->graph().tsBegin + 1, UINT64_MAX, visit);
 }
 
 uint64_t
@@ -56,12 +56,14 @@ ControlFlowQuery::extractRange(
     const std::function<void(NodeId, Timestamp)>& visit)
 {
     const WetGraph& g = acc_->graph();
-    if (g.lastTimestamp == 0 || from > g.lastTimestamp)
+    if (g.lastTimestamp <= g.tsBegin || from <= g.tsBegin ||
+        from > g.lastTimestamp)
         return 0;
     std::vector<uint64_t> idx(g.nodes.size(), 0);
     NodeId cur = kNoNode;
-    if (from == 1) {
-        cur = findNodeWithTs(1, true);
+    if (from == g.tsBegin + 1) {
+        // The window's first instance is every node's first instance.
+        cur = findNodeWithTs(from, true);
     } else {
         for (NodeId n = 0; n < g.nodes.size(); ++n) {
             idx[n] = lowerBound(acc_->ts(n),
@@ -118,7 +120,8 @@ ControlFlowQuery::extractRangeBackward(
     const std::function<void(NodeId, Timestamp)>& visit)
 {
     const WetGraph& g = acc_->graph();
-    if (g.lastTimestamp == 0 || from == 0 || from > g.lastTimestamp)
+    if (g.lastTimestamp <= g.tsBegin || from <= g.tsBegin ||
+        from > g.lastTimestamp)
         return 0;
     // Per-node cursor: index one past the last unvisited instance
     // (instances with timestamp <= from).
@@ -145,7 +148,7 @@ ControlFlowQuery::extractRangeBackward(
         blocks += g.nodes[cur].blocks.size();
         --idx[cur];
         ++emitted;
-        if (t == 1 || emitted >= count)
+        if (t == g.tsBegin + 1 || emitted >= count)
             break;
         --t;
         NodeId next = kNoNode;

@@ -18,13 +18,16 @@ namespace {
  */
 SliceIoStats
 cacheStats(const StreamCache& cache, const WetCompressed& c,
-           StreamKind ts, StreamKind use, StreamKind def)
+           StreamKind ts, StreamKind use, StreamKind def,
+           unsigned segment)
 {
     SliceIoStats st;
     st.bytesTotal = artifactStreamBytes(c);
     cache.forEach([&](uint64_t key, const SeqReader& r) {
         StreamKind k = streamKeyKind(key);
         if (k != ts && k != use && k != def)
+            return;
+        if (streamKeySegment(key) != segment)
             return;
         const codec::CompressedStream* s = r.stream();
         if (s == nullptr)
@@ -103,8 +106,10 @@ struct OpenStream : public SeqReader
 } // namespace
 
 CursorSliceAccess::CursorSliceAccess(const WetCompressed& c,
-                                     StreamCache* cache)
-    : c_(&c), cache_(cache != nullptr ? cache : &own_)
+                                     StreamCache* cache,
+                                     unsigned segment)
+    : c_(&c), cache_(cache != nullptr ? cache : &own_),
+      seg_(segment)
 {
 }
 
@@ -121,21 +126,24 @@ CursorSliceAccess::open(uint64_t key, const codec::CompressedStream& s)
 SeqReader&
 CursorSliceAccess::ts(NodeId n)
 {
-    return open(streamKey(StreamKind::CursorTs, n), c_->node(n).ts);
+    return open(streamKey(StreamKind::CursorTs, n, 0, 0, seg_),
+                c_->node(n).ts);
 }
 
 SeqReader&
 CursorSliceAccess::poolUse(uint32_t pool_idx)
 {
-    return open(streamKey(StreamKind::CursorPoolUse, pool_idx),
-                c_->pool(pool_idx).useInst);
+    return open(
+        streamKey(StreamKind::CursorPoolUse, pool_idx, 0, 0, seg_),
+        c_->pool(pool_idx).useInst);
 }
 
 SeqReader&
 CursorSliceAccess::poolDef(uint32_t pool_idx)
 {
-    return open(streamKey(StreamKind::CursorPoolDef, pool_idx),
-                c_->pool(pool_idx).defInst);
+    return open(
+        streamKey(StreamKind::CursorPoolDef, pool_idx, 0, 0, seg_),
+        c_->pool(pool_idx).defInst);
 }
 
 SliceIoStats
@@ -143,7 +151,7 @@ CursorSliceAccess::stats() const
 {
     return cacheStats(*cache_, *c_, StreamKind::CursorTs,
                       StreamKind::CursorPoolUse,
-                      StreamKind::CursorPoolDef);
+                      StreamKind::CursorPoolDef, seg_);
 }
 
 // ---------------------------------------------------------------- //
@@ -172,8 +180,10 @@ struct DecodedStream : public SeqReader
 } // namespace
 
 DecodeSliceAccess::DecodeSliceAccess(const WetCompressed& c,
-                                     StreamCache* cache)
-    : c_(&c), cache_(cache != nullptr ? cache : &own_)
+                                     StreamCache* cache,
+                                     unsigned segment)
+    : c_(&c), cache_(cache != nullptr ? cache : &own_),
+      seg_(segment)
 {
 }
 
@@ -190,21 +200,24 @@ DecodeSliceAccess::open(uint64_t key, const codec::CompressedStream& s)
 SeqReader&
 DecodeSliceAccess::ts(NodeId n)
 {
-    return open(streamKey(StreamKind::DecodeTs, n), c_->node(n).ts);
+    return open(streamKey(StreamKind::DecodeTs, n, 0, 0, seg_),
+                c_->node(n).ts);
 }
 
 SeqReader&
 DecodeSliceAccess::poolUse(uint32_t pool_idx)
 {
-    return open(streamKey(StreamKind::DecodePoolUse, pool_idx),
-                c_->pool(pool_idx).useInst);
+    return open(
+        streamKey(StreamKind::DecodePoolUse, pool_idx, 0, 0, seg_),
+        c_->pool(pool_idx).useInst);
 }
 
 SeqReader&
 DecodeSliceAccess::poolDef(uint32_t pool_idx)
 {
-    return open(streamKey(StreamKind::DecodePoolDef, pool_idx),
-                c_->pool(pool_idx).defInst);
+    return open(
+        streamKey(StreamKind::DecodePoolDef, pool_idx, 0, 0, seg_),
+        c_->pool(pool_idx).defInst);
 }
 
 SliceIoStats
@@ -212,7 +225,7 @@ DecodeSliceAccess::stats() const
 {
     return cacheStats(*cache_, *c_, StreamKind::DecodeTs,
                       StreamKind::DecodePoolUse,
-                      StreamKind::DecodePoolDef);
+                      StreamKind::DecodePoolDef, seg_);
 }
 
 } // namespace core

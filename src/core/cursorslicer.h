@@ -62,7 +62,8 @@ class CursorSliceAccess : public SliceAccess
 {
   public:
     explicit CursorSliceAccess(const WetCompressed& c,
-                               StreamCache* cache = nullptr);
+                               StreamCache* cache = nullptr,
+                               unsigned segment = 0);
     ~CursorSliceAccess() override;
 
     const WetGraph& graph() const override { return c_->graph(); }
@@ -78,6 +79,7 @@ class CursorSliceAccess : public SliceAccess
     const WetCompressed* c_;
     StreamCache own_;
     StreamCache* cache_;
+    unsigned seg_ = 0;
 };
 
 /**
@@ -91,7 +93,8 @@ class DecodeSliceAccess : public SliceAccess
 {
   public:
     explicit DecodeSliceAccess(const WetCompressed& c,
-                               StreamCache* cache = nullptr);
+                               StreamCache* cache = nullptr,
+                               unsigned segment = 0);
     ~DecodeSliceAccess() override;
 
     const WetGraph& graph() const override { return c_->graph(); }
@@ -107,6 +110,7 @@ class DecodeSliceAccess : public SliceAccess
     const WetCompressed* c_;
     StreamCache own_;
     StreamCache* cache_;
+    unsigned seg_ = 0;
 };
 
 /** Sum of all label-stream at-rest bytes of @p c (stats baseline). */

@@ -2,6 +2,7 @@
 
 #include <exception>
 
+#include "support/error.h"
 #include "support/failpoint.h"
 
 namespace wet {
@@ -10,11 +11,83 @@ namespace core {
 QuerySession::QuerySession(std::shared_ptr<SharedArtifact> shared,
                            SessionOptions opt)
     : shared_(std::move(shared)), opt_(opt),
-      cache_(opt.cacheCapacity),
-      access_(shared_->compressed(), shared_->module(), &cache_),
-      cursorSlice_(shared_->compressed(), &cache_),
-      decodeSlice_(shared_->compressed(), &cache_)
+      cache_(opt.cacheCapacity)
 {
+    const std::vector<ArtifactSegment>& segs = shared_->segments();
+    engines_.resize(segs.size());
+    quarantined_.resize(segs.size(), false);
+    for (size_t k = 0; k < segs.size(); ++k) {
+        if (segs[k].quarantined || segs[k].compressed == nullptr) {
+            quarantined_[k] = true;
+            continue;
+        }
+        const WetCompressed& c = *segs[k].compressed;
+        const unsigned seg = static_cast<unsigned>(k);
+        engines_[k].access = std::make_unique<WetAccess>(
+            c, shared_->module(), &cache_, seg);
+        engines_[k].cursorSlice =
+            std::make_unique<CursorSliceAccess>(c, &cache_, seg);
+        engines_[k].decodeSlice =
+            std::make_unique<DecodeSliceAccess>(c, &cache_, seg);
+    }
+}
+
+QuerySession::SegmentEngines&
+QuerySession::firstHealthy()
+{
+    for (size_t k = 0; k < engines_.size(); ++k)
+        if (!quarantined_[k])
+            return engines_[k];
+    // The SharedArtifact constructor guarantees one healthy segment
+    // at load; a session can only get here if every segment was
+    // quarantined mid-session, which callers must not survive.
+    WET_FATAL("every segment of the artifact is quarantined");
+    return engines_[0];
+}
+
+WetAccess&
+QuerySession::access()
+{
+    return *firstHealthy().access;
+}
+
+CursorSliceAccess&
+QuerySession::cursorSlice()
+{
+    return *firstHealthy().cursorSlice;
+}
+
+DecodeSliceAccess&
+QuerySession::decodeSlice()
+{
+    return *firstHealthy().decodeSlice;
+}
+
+WetAccess*
+QuerySession::segmentAccess(size_t k)
+{
+    return quarantined_[k] ? nullptr : engines_[k].access.get();
+}
+
+CursorSliceAccess*
+QuerySession::segmentCursorSlice(size_t k)
+{
+    return quarantined_[k] ? nullptr : engines_[k].cursorSlice.get();
+}
+
+DecodeSliceAccess*
+QuerySession::segmentDecodeSlice(size_t k)
+{
+    return quarantined_[k] ? nullptr : engines_[k].decodeSlice.get();
+}
+
+void
+QuerySession::quarantineSegment(size_t k)
+{
+    quarantined_[k] = true;
+    metrics_.add("segments.quarantined", 1);
+    // The failed query's readers may hold partial decode state.
+    cache_.quarantineTouched();
 }
 
 QuerySession::QuerySession(const ir::Module& mod,

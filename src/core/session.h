@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/moduleanalysis.h"
 #include "analysis/staticdep.h"
@@ -83,9 +84,39 @@ class QuerySession
         return shared_;
     }
 
-    WetAccess& access() { return access_; }
-    CursorSliceAccess& cursorSlice() { return cursorSlice_; }
-    DecodeSliceAccess& decodeSlice() { return decodeSlice_; }
+    /** Engines of the first healthy segment (the whole artifact for
+     *  a legacy single-file load). */
+    WetAccess& access();
+    CursorSliceAccess& cursorSlice();
+    DecodeSliceAccess& decodeSlice();
+
+    /**
+     * Per-segment engine surface. All segments' engines share this
+     * session's one StreamCache (their keys are namespaced by the
+     * segment field of the stream key), metrics and governor.
+     * Accessors return null for a quarantined segment.
+     */
+    size_t numSegments() const { return engines_.size(); }
+    WetAccess* segmentAccess(size_t k);
+    CursorSliceAccess* segmentCursorSlice(size_t k);
+    DecodeSliceAccess* segmentDecodeSlice(size_t k);
+    const ArtifactSegment& segmentInfo(size_t k) const
+    {
+        return shared_->segments()[k];
+    }
+    bool segmentQuarantined(size_t k) const
+    {
+        return quarantined_[k];
+    }
+
+    /**
+     * Session-sticky mid-query quarantine: a segment whose streams
+     * faulted while answering is excluded from every later query of
+     * this session (its time range is reported as degraded). Readers
+     * the failed query touched are retired with it.
+     */
+    void quarantineSegment(size_t k);
+
     StreamCache& cache() { return cache_; }
     support::Metrics& metrics() { return metrics_; }
     ArtifactBacking* backing() { return shared_->backing().get(); }
@@ -139,14 +170,22 @@ class QuerySession
     std::string statsJson();
 
   private:
+    /** Engines over one segment; empty slots for quarantined ones. */
+    struct SegmentEngines
+    {
+        std::unique_ptr<WetAccess> access;
+        std::unique_ptr<CursorSliceAccess> cursorSlice;
+        std::unique_ptr<DecodeSliceAccess> decodeSlice;
+    };
+
     void sampleGauges();
+    SegmentEngines& firstHealthy();
 
     std::shared_ptr<SharedArtifact> shared_;
     SessionOptions opt_;
     StreamCache cache_;
-    WetAccess access_;
-    CursorSliceAccess cursorSlice_;
-    DecodeSliceAccess decodeSlice_;
+    std::vector<SegmentEngines> engines_;
+    std::vector<bool> quarantined_;
     support::Metrics metrics_;
     support::Governor governor_;
 };

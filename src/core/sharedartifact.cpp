@@ -1,5 +1,7 @@
 #include "sharedartifact.h"
 
+#include "support/error.h"
+
 namespace wet {
 namespace core {
 
@@ -18,6 +20,34 @@ SharedArtifact::SharedArtifact(const ir::Module& mod,
     : mod_(&mod), c_(&c), backing_(std::move(backing)),
       threads_(analysisThreads), name_(std::move(name))
 {
+    ArtifactSegment s;
+    s.compressed = &c;
+    s.tsBegin = c.graph().tsBegin;
+    s.tsEnd = c.graph().lastTimestamp;
+    segments_.push_back(s);
+}
+
+SharedArtifact::SharedArtifact(const ir::Module& mod,
+                               std::vector<ArtifactSegment> segments,
+                               std::shared_ptr<void> owner,
+                               unsigned analysisThreads,
+                               std::string name)
+    : mod_(&mod), segments_(std::move(segments)),
+      owner_(std::move(owner)), segmented_(true),
+      threads_(analysisThreads), name_(std::move(name))
+{
+    // The single-segment accessors fall back to the first healthy
+    // segment so segment-unaware callers (stats, sanity checks) stay
+    // meaningful on a degraded artifact.
+    c_ = nullptr;
+    for (const ArtifactSegment& s : segments_) {
+        if (!s.quarantined && s.compressed != nullptr) {
+            c_ = s.compressed;
+            break;
+        }
+    }
+    WET_ASSERT(c_ != nullptr,
+               "segmented artifact with no healthy segment");
 }
 
 const analysis::ModuleAnalysis&

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "analysis/moduleanalysis.h"
 #include "analysis/staticdep.h"
@@ -35,6 +36,20 @@ namespace core {
  * owns them and must outlive every session); the backing is kept
  * alive by shared ownership because stream payloads alias into it.
  */
+/**
+ * One time segment of a shared artifact: its compressed WET (null
+ * when the segment is quarantined — failed its checksum or load
+ * verification) and the window (tsBegin, tsEnd] it covers. A legacy
+ * single-file artifact is one segment spanning the whole trace.
+ */
+struct ArtifactSegment
+{
+    const WetCompressed* compressed = nullptr;
+    Timestamp tsBegin = 0;
+    Timestamp tsEnd = 0;
+    bool quarantined = false;
+};
+
 class SharedArtifact
 {
   public:
@@ -42,9 +57,28 @@ class SharedArtifact
                    std::shared_ptr<ArtifactBacking> backing = nullptr,
                    unsigned analysisThreads = 1, std::string name = "");
 
+    /**
+     * Segmented artifact: @p segments in time order (quarantined
+     * entries carry a null compressed pointer), at least one healthy.
+     * @p owner keeps whatever the segment pointers borrow from alive
+     * (typically the wetio::SegmentedArtifact). The single-argument
+     * accessors (compressed()/graph()) map to the first healthy
+     * segment.
+     */
+    SharedArtifact(const ir::Module& mod,
+                   std::vector<ArtifactSegment> segments,
+                   std::shared_ptr<void> owner,
+                   unsigned analysisThreads = 1, std::string name = "");
+
     const ir::Module& module() const { return *mod_; }
     const WetCompressed& compressed() const { return *c_; }
     const WetGraph& graph() const { return c_->graph(); }
+    /** Time segments, in order (always >= 1 entry). */
+    const std::vector<ArtifactSegment>& segments() const
+    {
+        return segments_;
+    }
+    bool segmented() const { return segmented_; }
     const std::shared_ptr<ArtifactBacking>& backing() const
     {
         return backing_;
@@ -89,6 +123,9 @@ class SharedArtifact
     const ir::Module* mod_;
     const WetCompressed* c_;
     std::shared_ptr<ArtifactBacking> backing_;
+    std::vector<ArtifactSegment> segments_;
+    std::shared_ptr<void> owner_;
+    bool segmented_ = false;
     unsigned threads_;
     std::string name_;
 

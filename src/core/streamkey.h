@@ -35,15 +35,26 @@ enum class StreamKind : uint64_t
     DecodeSync = 13,
 };
 
-/** Pack kind plus up to three indexes into one 64-bit key. */
+/**
+ * Pack kind, segment, plus up to three indexes into one 64-bit key:
+ * kind 4 | segment 10 | a 24 | b 14 | c 12 bits. The segment field
+ * keeps readers of different artifact segments distinct inside one
+ * shared cache (a segmented artifact is served by per-segment query
+ * engines over a single StreamCache; DESIGN.md §15). Single-file
+ * artifacts always use segment 0, so their keys are unchanged in
+ * meaning.
+ */
 inline uint64_t
-streamKey(StreamKind kind, uint64_t a, uint64_t b = 0, uint64_t c = 0)
+streamKey(StreamKind kind, uint64_t a, uint64_t b = 0, uint64_t c = 0,
+          uint64_t segment = 0)
 {
-    WET_ASSERT(a < (uint64_t{1} << 30) && b < (uint64_t{1} << 18) &&
+    WET_ASSERT(segment < (uint64_t{1} << 10) &&
+                   a < (uint64_t{1} << 24) &&
+                   b < (uint64_t{1} << 14) &&
                    c < (uint64_t{1} << 12),
                "stream key overflow");
-    return (static_cast<uint64_t>(kind) << 60) | (a << 30) |
-           (b << 12) | c;
+    return (static_cast<uint64_t>(kind) << 60) | (segment << 50) |
+           (a << 26) | (b << 12) | c;
 }
 
 /** Kind a key was packed with. */
@@ -51,6 +62,13 @@ inline StreamKind
 streamKeyKind(uint64_t key)
 {
     return static_cast<StreamKind>(key >> 60);
+}
+
+/** Segment index a key was packed with. */
+inline uint64_t
+streamKeySegment(uint64_t key)
+{
+    return (key >> 50) & ((uint64_t{1} << 10) - 1);
 }
 
 } // namespace core

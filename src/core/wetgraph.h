@@ -169,6 +169,17 @@ class WetGraph
     std::unordered_map<uint64_t, std::vector<uint32_t>> edgesByDef;
 
     Timestamp lastTimestamp = 0;
+    /**
+     * First timestamp of this graph's window minus one: instances
+     * carry timestamps in (tsBegin, lastTimestamp]. Whole-run graphs
+     * have tsBegin == 0; a segmented build (DESIGN.md §15) emits one
+     * windowed graph per segment, each covering a disjoint range.
+     */
+    Timestamp tsBegin = 0;
+    /** True for a time-segment graph: verifier rules that assume the
+     *  trace starts at timestamp 1 (WET001/WET003, SYNC003/SYNC004)
+     *  relax to the window's range instead. */
+    bool windowed = false;
     uint64_t stmtInstancesTotal = 0;  //!< executed statements
     uint64_t valueInstancesTotal = 0; //!< def-port instances
     uint64_t depInstancesTotal = 0;   //!< DD label instances

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "analysis/moduleverifier.h"
@@ -17,6 +18,7 @@
 #include "core/slicer.h"
 #include "core/valuequery.h"
 #include "support/error.h"
+#include "support/failpoint.h"
 #include "support/governor.h"
 
 namespace wet {
@@ -162,25 +164,109 @@ parseSliceQuery(const std::string& query, const ir::Module& mod,
 
 namespace {
 
+/**
+ * Degraded-answer record for one unavailable segment: the query still
+ * succeeds, this note on the err span tells the caller which time
+ * range the answer does not cover (the segment window is
+ * (tsBegin, tsEnd], printed as its first..last timestamp).
+ */
+void
+segmentNote(core::QuerySession& s, size_t k, QueryOutput& res)
+{
+    const core::ArtifactSegment& info = s.segmentInfo(k);
+    appendf(res.err,
+            "note: segment %zu (t=%llu..%llu) is quarantined; the "
+            "answer covers the remaining time ranges\n",
+            k, static_cast<unsigned long long>(info.tsBegin + 1),
+            static_cast<unsigned long long>(info.tsEnd));
+}
+
+/**
+ * Run @p body against segment @p k under the degradation contract:
+ * an already-quarantined segment contributes only a note; a WetError
+ * out of a segment of a multi-segment artifact quarantines that
+ * segment for the rest of the session and degrades to a note, so the
+ * healthy ranges still answer. On a single-segment artifact the error
+ * propagates unchanged — the legacy per-line error semantics stay
+ * byte-identical. GovernorLimit is a WetError but a budget trip is a
+ * property of the query, not the segment, so it always propagates.
+ * @return true when the segment contributed to the answer.
+ */
+template <typename Fn>
+bool
+touchSegment(core::QuerySession& s, size_t k, QueryOutput& res,
+             Fn&& body)
+{
+    if (s.segmentQuarantined(k)) {
+        segmentNote(s, k, res);
+        return false;
+    }
+    try {
+        WET_FAILPOINT("core.session.segment");
+        body(k);
+        return true;
+    } catch (const GovernorLimit&) {
+        throw;
+    } catch (const WetError&) {
+        if (s.numSegments() == 1)
+            throw;
+        s.quarantineSegment(k);
+        segmentNote(s, k, res);
+        return false;
+    }
+}
+
 int
 runCf(core::QuerySession& s, const QuerySpec& q, QueryOutput& res)
 {
     core::QuerySession::Scope scope(s, "cf");
-    core::ControlFlowQuery cf(s.access());
-    const core::WetGraph& g = s.graph();
-    cf.extractRange(q.from, q.count, [&](core::NodeId n,
-                                         core::Timestamp t) {
-        // Deadline/resident poll per emitted row: a cache-warm query
-        // does little decoding, so it must stay governed here.
-        support::Governor::poll();
-        const core::WetNode& node = g.nodes[n];
-        appendf(res.out, "t=%-8llu fn%u path%llu [",
-                static_cast<unsigned long long>(t), node.func,
-                static_cast<unsigned long long>(node.pathId));
-        for (size_t b = 0; b < node.blocks.size(); ++b)
-            appendf(res.out, "%sb%u", b ? " " : "", node.blocks[b]);
-        appendf(res.out, "]\n");
-    });
+    // Timestamp 0 precedes every trace window; the extraction has
+    // always answered it with zero rows.
+    if (q.from == 0)
+        return kExitOk;
+    // A --count of 0 has always behaved like 1 (the extraction loop
+    // tests the cap after the first visit); the fixed window below
+    // must reproduce that.
+    const uint64_t count = q.count == 0 ? 1 : q.count;
+    const uint64_t windowEnd =
+        q.from > UINT64_MAX - (count - 1) ? UINT64_MAX
+                                          : q.from + count - 1;
+    // The request is a fixed window [from, from+count-1] of the global
+    // timestamp line; only segments overlapping it are touched at all.
+    for (size_t seg = 0; seg < s.numSegments(); ++seg) {
+        const core::ArtifactSegment& info = s.segmentInfo(seg);
+        if (q.from > info.tsEnd || windowEnd <= info.tsBegin)
+            continue;
+        touchSegment(s, seg, res, [&](size_t k) {
+            core::WetAccess& wa = *s.segmentAccess(k);
+            const core::WetGraph& g = wa.graph();
+            const uint64_t subFrom =
+                std::max<uint64_t>(q.from, info.tsBegin + 1);
+            const uint64_t subEnd = std::min<uint64_t>(windowEnd,
+                                                       info.tsEnd);
+            if (subFrom > subEnd)
+                return;
+            core::ControlFlowQuery cf(wa);
+            cf.extractRange(
+                subFrom, subEnd - subFrom + 1,
+                [&](core::NodeId n, core::Timestamp t) {
+                    // Deadline/resident poll per emitted row: a
+                    // cache-warm query does little decoding, so it
+                    // must stay governed here.
+                    support::Governor::poll();
+                    const core::WetNode& node = g.nodes[n];
+                    appendf(res.out, "t=%-8llu fn%u path%llu [",
+                            static_cast<unsigned long long>(t),
+                            node.func,
+                            static_cast<unsigned long long>(
+                                node.pathId));
+                    for (size_t b = 0; b < node.blocks.size(); ++b)
+                        appendf(res.out, "%sb%u", b ? " " : "",
+                                node.blocks[b]);
+                    appendf(res.out, "]\n");
+                });
+        });
+    }
     return kExitOk;
 }
 
@@ -190,17 +276,25 @@ runValues(core::QuerySession& s, const QuerySpec& q, QueryOutput& res)
     if (q.stmt == UINT64_MAX)
         throw QueryError{kExitUsage, "values requires --stmt"};
     core::QuerySession::Scope scope(s, "values");
-    core::ValueTraceQuery vq(s.access());
     uint64_t shown = 0;
-    uint64_t total =
-        vq.extract(static_cast<ir::StmtId>(q.stmt),
-                   [&](core::Timestamp t, int64_t v) {
-                       support::Governor::poll();
-                       if (shown++ < q.limit)
-                           appendf(res.out, "<t=%llu, %lld>\n",
-                                   static_cast<unsigned long long>(t),
-                                   static_cast<long long>(v));
-                   });
+    uint64_t total = 0;
+    // Segments partition the timestamp line, so draining them in
+    // order yields the global timestamp-ordered trace; the row limit
+    // and the instance total span all of them.
+    for (size_t seg = 0; seg < s.numSegments(); ++seg) {
+        touchSegment(s, seg, res, [&](size_t k) {
+            core::ValueTraceQuery vq(*s.segmentAccess(k));
+            total += vq.extract(
+                static_cast<ir::StmtId>(q.stmt),
+                [&](core::Timestamp t, int64_t v) {
+                    support::Governor::poll();
+                    if (shown++ < q.limit)
+                        appendf(res.out, "<t=%llu, %lld>\n",
+                                static_cast<unsigned long long>(t),
+                                static_cast<long long>(v));
+                });
+        });
+    }
     appendf(res.out, "(%llu instances total)\n",
             static_cast<unsigned long long>(total));
     return kExitOk;
@@ -220,18 +314,23 @@ runAddr(core::QuerySession& s, const QuerySpec& q, QueryOutput& res)
                          "statement " + std::to_string(q.stmt) +
                              " is not a load or store"};
     core::QuerySession::Scope scope(s, "addr");
-    core::AddressTraceQuery aq(s.access());
     uint64_t shown = 0;
-    uint64_t total =
-        aq.extract(static_cast<ir::StmtId>(q.stmt),
-                   [&](core::Timestamp t, uint64_t addr) {
-                       support::Governor::poll();
-                       if (shown++ < q.limit)
-                           appendf(res.out, "<t=%llu, 0x%llx>\n",
-                                   static_cast<unsigned long long>(t),
-                                   static_cast<unsigned long long>(
-                                       addr));
-                   });
+    uint64_t total = 0;
+    for (size_t seg = 0; seg < s.numSegments(); ++seg) {
+        touchSegment(s, seg, res, [&](size_t k) {
+            core::AddressTraceQuery aq(*s.segmentAccess(k));
+            total += aq.extract(
+                static_cast<ir::StmtId>(q.stmt),
+                [&](core::Timestamp t, uint64_t addr) {
+                    support::Governor::poll();
+                    if (shown++ < q.limit)
+                        appendf(res.out, "<t=%llu, 0x%llx>\n",
+                                static_cast<unsigned long long>(t),
+                                static_cast<unsigned long long>(
+                                    addr));
+                });
+        });
+    }
     appendf(res.out, "(%llu instances total)\n",
             static_cast<unsigned long long>(total));
     return kExitOk;
@@ -251,6 +350,20 @@ appendIoStats(QueryOutput& res, const std::string& engine,
             static_cast<unsigned long long>(st.bytesTouched),
             static_cast<unsigned long long>(st.bytesTotal),
             100.0 * st.fractionTouched());
+}
+
+/** Execution count of @p stmt within one segment's graph (exactly
+ *  the instances WetSlicer::locate enumerates there). */
+uint64_t
+stmtInstancesIn(const core::WetGraph& g, ir::StmtId stmt)
+{
+    auto it = g.stmtIndex.find(stmt);
+    if (it == g.stmtIndex.end())
+        return 0;
+    uint64_t n = 0;
+    for (const auto& site : it->second)
+        n += g.nodes[site.first].instances();
+    return n;
 }
 
 int
@@ -274,25 +387,59 @@ runSlice(core::QuerySession& s, const QuerySpec& q, QueryOutput& res)
 
     core::QuerySession::Scope scope(s, "slice");
 
-    // Both engines drive the same WetSlicer over the same artifact;
-    // stdout is engine-invariant by construction (golden slice tests
-    // byte-compare the two), only the stderr I/O stats differ.
-    core::SliceAccess& acc =
-        q.engine == "decode"
-            ? static_cast<core::SliceAccess&>(s.decodeSlice())
-            : s.cursorSlice();
-
-    core::WetSlicer slicer(acc);
-    core::SliceItem seed = slicer.locate(stmt, k);
-    if (!seed.valid()) {
+    // Dependence edges never cross a segment boundary, so a backward
+    // slice lives entirely in the segment holding its seed. Map the
+    // global instance index onto a segment by the per-segment
+    // execution counts (pure graph arithmetic, no stream I/O);
+    // instance numbering counts healthy segments only, and the notes
+    // below flag any quarantined window the numbering skipped.
+    size_t seedSeg = s.numSegments();
+    uint64_t localK = 0;
+    uint64_t before = 0;
+    for (size_t seg = 0; seg < s.numSegments(); ++seg) {
+        if (s.segmentQuarantined(seg)) {
+            segmentNote(s, seg, res);
+            continue;
+        }
+        const uint64_t here =
+            stmtInstancesIn(s.segmentAccess(seg)->graph(), stmt);
+        if (seedSeg == s.numSegments() && k - before < here) {
+            seedSeg = seg;
+            localK = k - before;
+        }
+        before += here;
+    }
+    if (seedSeg == s.numSegments()) {
         throw QueryError{kExitUsage,
                          "statement " + std::to_string(stmt) +
                              " has no instance " + std::to_string(k)};
     }
-    core::SliceResult sres = slicer.backward(seed, q.maxItems);
 
-    const ir::StmtRef& ref = mod.stmtRef(stmt);
-    appendf(res.out,
+    bool contained = true;
+    touchSegment(s, seedSeg, res, [&](size_t seg) {
+        // Both engines drive the same WetSlicer over the same
+        // artifact; stdout is engine-invariant by construction
+        // (golden slice tests byte-compare the two), only the stderr
+        // I/O stats differ.
+        core::SliceAccess& acc =
+            q.engine == "decode"
+                ? static_cast<core::SliceAccess&>(
+                      *s.segmentDecodeSlice(seg))
+                : *s.segmentCursorSlice(seg);
+
+        core::WetSlicer slicer(acc);
+        core::SliceItem seed = slicer.locate(stmt, localK);
+        if (!seed.valid()) {
+            throw QueryError{
+                kExitUsage, "statement " + std::to_string(stmt) +
+                                " has no instance " +
+                                std::to_string(k)};
+        }
+        core::SliceResult sres = slicer.backward(seed, q.maxItems);
+
+        const ir::StmtRef& ref = mod.stmtRef(stmt);
+        appendf(
+            res.out,
             "backward slice of stmt %u (%s:%u) instance %llu: "
             "%zu instances, %llu edges%s\n",
             stmt, mod.function(ref.func).name.c_str(),
@@ -301,48 +448,52 @@ runSlice(core::QuerySession& s, const QuerySpec& q, QueryOutput& res)
             static_cast<unsigned long long>(sres.edgesTraversed),
             sres.truncated ? " (truncated)" : "");
 
-    // Per-statement instance counts, ascending by statement id
-    // (deterministic, complete — the golden tests depend on it).
-    const core::WetGraph& g = s.graph();
-    std::map<ir::StmtId, uint64_t> counts;
-    for (const auto& item : sres.items)
-        counts[g.nodes[item.node].stmts[item.pos]]++;
-    for (const auto& [st, c] : counts)
-        appendf(res.out, "  stmt %-6u %-6s x %llu\n", st,
-                ir::opcodeName(mod.instr(st).op),
-                static_cast<unsigned long long>(c));
+        // Per-statement instance counts, ascending by statement id
+        // (deterministic, complete — the golden tests depend on it).
+        const core::WetGraph& g = s.segmentAccess(seg)->graph();
+        std::map<ir::StmtId, uint64_t> counts;
+        for (const auto& item : sres.items)
+            counts[g.nodes[item.node].stmts[item.pos]]++;
+        for (const auto& [st, c] : counts)
+            appendf(res.out, "  stmt %-6u %-6s x %llu\n", st,
+                    ir::opcodeName(mod.instr(st).op),
+                    static_cast<unsigned long long>(c));
 
-    // Static/dynamic cross-validation: the dynamic slice must stay
-    // inside the static backward slice of the seed statement.
-    const analysis::StaticDepGraph& sdg = s.depGraph();
-    std::vector<bool> staticSlice = sdg.backwardSlice(stmt);
-    uint64_t staticCount = 0;
-    for (bool b : staticSlice)
-        staticCount += b;
-    std::vector<ir::StmtId> escapes;
-    for (const auto& [st, c] : counts) {
-        (void)c;
-        if (!staticSlice[st])
-            escapes.push_back(st);
-    }
-    if (escapes.empty()) {
-        appendf(res.out,
-                "containment: %zu dynamic stmts within %llu "
-                "static stmts: OK\n",
-                counts.size(),
-                static_cast<unsigned long long>(staticCount));
-    } else {
-        for (ir::StmtId st : escapes)
+        // Static/dynamic cross-validation: the dynamic slice must
+        // stay inside the static backward slice of the seed
+        // statement.
+        const analysis::StaticDepGraph& sdg = s.depGraph();
+        std::vector<bool> staticSlice = sdg.backwardSlice(stmt);
+        uint64_t staticCount = 0;
+        for (bool b : staticSlice)
+            staticCount += b;
+        std::vector<ir::StmtId> escapes;
+        for (const auto& [st, c] : counts) {
+            (void)c;
+            if (!staticSlice[st])
+                escapes.push_back(st);
+        }
+        if (escapes.empty()) {
             appendf(res.out,
-                    "containment: stmt %u escapes the static "
-                    "slice\n",
-                    st);
-    }
+                    "containment: %zu dynamic stmts within %llu "
+                    "static stmts: OK\n",
+                    counts.size(),
+                    static_cast<unsigned long long>(staticCount));
+        } else {
+            for (ir::StmtId st : escapes)
+                appendf(res.out,
+                        "containment: stmt %u escapes the static "
+                        "slice\n",
+                        st);
+        }
 
-    appendIoStats(res, q.engine,
-                  q.engine == "decode" ? s.decodeSlice().stats()
-                                       : s.cursorSlice().stats());
-    return escapes.empty() ? kExitOk : kExitVerify;
+        appendIoStats(res, q.engine,
+                      q.engine == "decode"
+                          ? s.segmentDecodeSlice(seg)->stats()
+                          : s.segmentCursorSlice(seg)->stats());
+        contained = escapes.empty();
+    });
+    return contained ? kExitOk : kExitVerify;
 }
 
 int
@@ -353,17 +504,43 @@ runRaces(core::QuerySession& s, const QuerySpec& q, QueryOutput& res)
     // Both engines feed the same vector-clock detector; stdout is
     // engine-invariant by construction (the race bench asserts the
     // two reports byte-equal), only the stderr I/O stats differ.
-    analysis::RaceReport rep;
+    // Per-segment reports merge losslessly: a race is identified by
+    // (addr, endpoints) so the union stays sorted-deduplicated, sync
+    // events sum, and the thread count is the widest segment's.
+    std::set<analysis::Race> merged;
+    uint32_t threads = 0;
+    uint64_t events = 0;
     core::SliceIoStats st;
-    if (q.engine == "decode") {
-        analysis::DecodeSyncAccess sa(s.compressed(), &s.cache());
-        rep = analysis::detectRaces(sa);
-        st = sa.stats();
-    } else {
-        analysis::CursorSyncAccess sa(s.compressed(), &s.cache());
-        rep = analysis::detectRaces(sa);
-        st = sa.stats();
+    for (size_t seg = 0; seg < s.numSegments(); ++seg) {
+        touchSegment(s, seg, res, [&](size_t k) {
+            const core::WetCompressed& c = *s.segmentInfo(k).compressed;
+            analysis::RaceReport rep;
+            core::SliceIoStats sst;
+            if (q.engine == "decode") {
+                analysis::DecodeSyncAccess sa(
+                    c, &s.cache(), static_cast<unsigned>(k));
+                rep = analysis::detectRaces(sa);
+                sst = sa.stats();
+            } else {
+                analysis::CursorSyncAccess sa(
+                    c, &s.cache(), static_cast<unsigned>(k));
+                rep = analysis::detectRaces(sa);
+                sst = sa.stats();
+            }
+            merged.insert(rep.races.begin(), rep.races.end());
+            threads = std::max(threads, rep.numThreads);
+            events += rep.numEvents;
+            st.streamsOpened += sst.streamsOpened;
+            st.valuesDecoded += sst.valuesDecoded;
+            st.bytesTouched += sst.bytesTouched;
+            st.bytesTotal += sst.bytesTotal;
+            st.cursorRestarts += sst.cursorRestarts;
+        });
     }
+    analysis::RaceReport rep;
+    rep.races.assign(merged.begin(), merged.end());
+    rep.numThreads = threads;
+    rep.numEvents = events;
     res.out += rep.renderText();
     appendIoStats(res, q.engine, st);
     return rep.races.empty() ? kExitOk : kExitRaces;
@@ -378,9 +555,22 @@ runDepcheck(core::QuerySession& s, const QuerySpec& q,
     analysis::verifyModule(s.module(), diag);
     analysis::DepCheckStats stats;
     if (!diag.hasErrors()) {
-        analysis::verifyDeps(s.graph(), s.moduleAnalysis(),
-                             s.depGraph(), diag, &s.compressed(), {},
-                             &stats);
+        // Each segment's dependence edges are checked against the
+        // same static over-approximation; findings land in one shared
+        // diag and the work counters sum across segments.
+        for (size_t seg = 0; seg < s.numSegments(); ++seg) {
+            touchSegment(s, seg, res, [&](size_t k) {
+                const core::WetCompressed& c =
+                    *s.segmentInfo(k).compressed;
+                analysis::DepCheckStats st;
+                analysis::verifyDeps(c.graph(), s.moduleAnalysis(),
+                                     s.depGraph(), diag, &c, {}, &st);
+                stats.ddEdges += st.ddEdges;
+                stats.cdEdges += st.cdEdges;
+                stats.sliceSeeds += st.sliceSeeds;
+                stats.sliceItems += st.sliceItems;
+            });
+        }
     }
     return appendDepcheckResult(res.out, q.json, artifactName, diag,
                                 stats);

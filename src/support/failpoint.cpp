@@ -27,9 +27,12 @@ const char* const kSites[] = {
     "core.cache.evict",
     "core.cache.insert",
     "core.session.query",
+    "core.session.segment",
     "support.governor.deadline",
     "wetio.load.stream",
     "wetio.load.sync",
+    "wetio.manifest.append",
+    "wetio.manifest.open",
     "wetio.open",
     "wetio.open.mmap",
     "wetio.open.read",
@@ -38,6 +41,8 @@ const char* const kSites[] = {
     "wetio.save.open",
     "wetio.save.rename",
     "wetio.save.write",
+    "wetio.seg.load",
+    "wetio.seg.save",
 };
 // failpoint-registry-end
 

@@ -1,0 +1,525 @@
+#include "manifest.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/failpoint.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WET_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define WET_HAVE_POSIX_IO 0
+#endif
+
+namespace wet {
+namespace wetio {
+
+namespace {
+
+constexpr char kManifestMagic[] = "WETM ";
+constexpr unsigned kManifestVersion = 4;
+
+std::string
+dirOf(const std::string& path)
+{
+    size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string(".")
+                                      : path.substr(0, slash);
+}
+
+std::string
+baseOf(const std::string& path)
+{
+    size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path
+                                      : path.substr(slash + 1);
+}
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Append the line's own checksum: "<body> <crc>\n". */
+std::string
+sealLine(const std::string& body)
+{
+    uint64_t crc = fnv1a64(
+        reinterpret_cast<const uint8_t*>(body.data()), body.size());
+    return body + " " + hex64(crc) + "\n";
+}
+
+/**
+ * Split "<body> <crc>" and verify the checksum. Returns false for a
+ * torn or corrupted line (no crc field, bad hex, mismatch).
+ */
+bool
+unsealLine(const std::string& line, std::string& body)
+{
+    size_t sp = line.find_last_of(' ');
+    if (sp == std::string::npos || sp + 1 >= line.size())
+        return false;
+    const std::string crcStr = line.substr(sp + 1);
+    if (crcStr.size() != 16)
+        return false;
+    uint64_t crc = 0;
+    for (char c : crcStr) {
+        int d;
+        if (c >= '0' && c <= '9')
+            d = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            d = c - 'a' + 10;
+        else
+            return false;
+        crc = (crc << 4) | static_cast<uint64_t>(d);
+    }
+    body = line.substr(0, sp);
+    return fnv1a64(reinterpret_cast<const uint8_t*>(body.data()),
+                   body.size()) == crc;
+}
+
+std::string
+headerLine(uint64_t fingerprint, uint64_t paramSig)
+{
+    std::ostringstream os;
+    os << kManifestMagic << kManifestVersion << " "
+       << hex64(fingerprint) << " " << hex64(paramSig);
+    return sealLine(os.str());
+}
+
+std::string
+segLine(const SegmentMeta& m)
+{
+    std::ostringstream os;
+    os << "seg " << m.index << " " << m.file << " " << m.bytes << " "
+       << hex64(m.fileCrc) << " " << m.tsBegin << " " << m.tsEnd
+       << " " << m.stmts;
+    return sealLine(os.str());
+}
+
+std::string
+endLine(uint64_t count)
+{
+    std::ostringstream os;
+    os << "end " << count;
+    return sealLine(os.str());
+}
+
+/** Manifest image for a committed prefix (no end record). */
+std::string
+prefixImage(const Manifest& m)
+{
+    std::string out = headerLine(m.fingerprint, m.paramSig);
+    for (const SegmentMeta& s : m.segments)
+        out += segLine(s);
+    return out;
+}
+
+} // namespace
+
+uint64_t
+fnv1a64(const uint8_t* p, size_t n)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+bool
+isManifest(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    char head[5] = {};
+    in.read(head, 5);
+    return in.gcount() == 5 &&
+           std::string(head, 5) == kManifestMagic;
+}
+
+bool
+parseManifest(const std::string& path,
+              analysis::DiagEngine& diag, Manifest& out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        diag.error("IO008", path, "cannot open manifest");
+        return false;
+    }
+    std::string line;
+    if (!std::getline(in, line)) {
+        diag.error("IO008", path, "empty manifest");
+        return false;
+    }
+    std::string body;
+    unsigned version = 0;
+    char fp[17] = {};
+    char ps[17] = {};
+    if (!unsealLine(line, body) ||
+        std::sscanf(body.c_str(), "WETM %u %16s %16s", &version, fp,
+                    ps) != 3 ||
+        version != kManifestVersion)
+    {
+        diag.error("IO008", path, "malformed manifest header");
+        return false;
+    }
+    out.fingerprint = std::strtoull(fp, nullptr, 16);
+    out.paramSig = std::strtoull(ps, nullptr, 16);
+
+    bool sawEnd = false;
+    uint64_t lineNo = 1;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const std::string where =
+            path + ":" + std::to_string(lineNo);
+        if (!unsealLine(line, body)) {
+            // Torn tail (interrupted append): the entries before it
+            // are still committed.
+            diag.note("IO008", where,
+                      "torn manifest line; loading the " +
+                          std::to_string(out.segments.size()) +
+                          " committed segments before it");
+            break;
+        }
+        if (body.rfind("seg ", 0) == 0) {
+            SegmentMeta m;
+            char file[4096] = {};
+            char crc[17] = {};
+            unsigned long long idx = 0, bytes = 0, tsb = 0, tse = 0,
+                               stmts = 0;
+            if (std::sscanf(body.c_str(),
+                            "seg %llu %4095s %llu %16s %llu %llu "
+                            "%llu",
+                            &idx, file, &bytes, crc, &tsb, &tse,
+                            &stmts) != 7 ||
+                idx != out.segments.size() || sawEnd)
+            {
+                diag.note("IO008", where,
+                          "inconsistent segment record; loading "
+                          "the " +
+                              std::to_string(out.segments.size()) +
+                              " committed segments before it");
+                break;
+            }
+            m.index = static_cast<uint32_t>(idx);
+            m.file = file;
+            m.bytes = bytes;
+            m.fileCrc = std::strtoull(crc, nullptr, 16);
+            m.tsBegin = tsb;
+            m.tsEnd = tse;
+            m.stmts = stmts;
+            out.segments.push_back(std::move(m));
+        } else if (body.rfind("end ", 0) == 0) {
+            unsigned long long count = 0;
+            if (std::sscanf(body.c_str(), "end %llu", &count) != 1 ||
+                count != out.segments.size() || sawEnd)
+            {
+                diag.note("IO008", where,
+                          "inconsistent end record ignored");
+                break;
+            }
+            sawEnd = true;
+        } else {
+            diag.note("IO008", where,
+                      "unknown manifest record ignored");
+            break;
+        }
+    }
+    out.complete = sawEnd;
+    return true;
+}
+
+ManifestWriter::~ManifestWriter()
+{
+#if WET_HAVE_POSIX_IO
+    if (fd_ >= 0)
+        ::close(fd_);
+#endif
+}
+
+std::unique_ptr<ManifestWriter>
+ManifestWriter::create(const std::string& path, uint64_t fingerprint,
+                       uint64_t paramSig)
+{
+    WET_FAILPOINT("wetio.manifest.open");
+    const std::string image = headerLine(fingerprint, paramSig);
+    atomicWrite(path,
+                reinterpret_cast<const uint8_t*>(image.data()),
+                image.size());
+    std::unique_ptr<ManifestWriter> w(new ManifestWriter);
+    w->path_ = path;
+#if WET_HAVE_POSIX_IO
+    w->fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND); // NOLINT(cppcoreguidelines-pro-type-vararg)
+    if (w->fd_ < 0)
+        WET_FATAL("cannot reopen manifest '" << path << "'");
+#endif
+    return w;
+}
+
+std::unique_ptr<ManifestWriter>
+ManifestWriter::resume(const std::string& path,
+                       const Manifest& prefix)
+{
+    WET_FAILPOINT("wetio.manifest.open");
+    // Atomically drop any torn tail or stale end record so appends
+    // continue from a clean committed prefix.
+    const std::string image = prefixImage(prefix);
+    atomicWrite(path,
+                reinterpret_cast<const uint8_t*>(image.data()),
+                image.size());
+    std::unique_ptr<ManifestWriter> w(new ManifestWriter);
+    w->path_ = path;
+#if WET_HAVE_POSIX_IO
+    w->fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND); // NOLINT(cppcoreguidelines-pro-type-vararg)
+    if (w->fd_ < 0)
+        WET_FATAL("cannot reopen manifest '" << path << "'");
+#endif
+    return w;
+}
+
+void
+ManifestWriter::appendLine(const std::string& body)
+{
+#if WET_HAVE_POSIX_IO
+    const char* p = body.data();
+    size_t left = body.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd_, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            WET_FATAL("append to manifest '" << path_
+                                             << "' failed");
+        }
+        p += n;
+        left -= static_cast<size_t>(n);
+    }
+    if (::fsync(fd_) != 0)
+        WET_FATAL("fsync of manifest '" << path_ << "' failed");
+#else
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out.write(body.data(),
+              static_cast<std::streamsize>(body.size()));
+    out.flush();
+    if (!out)
+        WET_FATAL("append to manifest '" << path_ << "' failed");
+#endif
+}
+
+void
+ManifestWriter::append(const SegmentMeta& meta)
+{
+    WET_ASSERT(!finished_, "append after finish"); // LINT: internal
+    WET_FAILPOINT("wetio.manifest.append");
+    appendLine(segLine(meta));
+}
+
+void
+ManifestWriter::finish(uint64_t count)
+{
+    WET_ASSERT(!finished_, "finish called twice"); // LINT: internal
+    finished_ = true;
+    appendLine(endLine(count));
+#if WET_HAVE_POSIX_IO
+    ::close(fd_);
+    fd_ = -1;
+#endif
+}
+
+SegmentWriter::SegmentWriter(std::string manifestPath,
+                             const ir::Module& mod,
+                             const codec::SelectorOptions& sel,
+                             unsigned threads, uint64_t paramSig,
+                             const Manifest* resumeFrom)
+    : manifestPath_(std::move(manifestPath)), mod_(mod), sel_(sel),
+      threads_(threads)
+{
+    const uint64_t fp = moduleFingerprint(mod_);
+    if (resumeFrom != nullptr) {
+        WET_ASSERT(resumeFrom->fingerprint == fp, // LINT: internal
+                   "resume fingerprint mismatch");
+        committed_ = resumeFrom->segments;
+        writer_ = ManifestWriter::resume(manifestPath_, *resumeFrom);
+    } else {
+        writer_ = ManifestWriter::create(manifestPath_, fp, paramSig);
+    }
+}
+
+void
+SegmentWriter::onSegment(core::WetGraph&& g)
+{
+    const uint32_t idx = static_cast<uint32_t>(segments_.size());
+    if (idx < committed_.size()) {
+        // Already committed by the interrupted build. Deterministic
+        // replay must produce the identical window; verify the
+        // boundary before skipping the compress+save work.
+        const SegmentMeta& m = committed_[idx];
+        if (m.tsBegin != g.tsBegin || m.tsEnd != g.lastTimestamp ||
+            m.stmts != g.stmtInstancesTotal)
+        {
+            WET_FATAL("resume replay diverged at segment "
+                      << idx << ": window (" << g.tsBegin << ", "
+                      << g.lastTimestamp << "] does not match the "
+                      << "committed (" << m.tsBegin << ", "
+                      << m.tsEnd << "]");
+        }
+        segments_.push_back(m);
+        ++skipped_;
+        return;
+    }
+
+    core::WetCompressed compressed(g, sel_, threads_);
+    std::vector<uint8_t> bytes = serialize(mod_, g, compressed);
+
+    SegmentMeta m;
+    m.index = idx;
+    {
+        char suffix[16];
+        std::snprintf(suffix, sizeof suffix, ".seg%06u", idx);
+        m.file = baseOf(manifestPath_) + suffix;
+    }
+    m.bytes = bytes.size();
+    m.fileCrc = fnv1a64(bytes.data(), bytes.size());
+    m.tsBegin = g.tsBegin;
+    m.tsEnd = g.lastTimestamp;
+    m.stmts = g.stmtInstancesTotal;
+
+    WET_FAILPOINT("wetio.seg.save");
+    atomicWrite(dirOf(manifestPath_) + "/" + m.file, bytes.data(),
+                bytes.size());
+    writer_->append(m);
+    segments_.push_back(std::move(m));
+}
+
+void
+SegmentWriter::finish()
+{
+    writer_->finish(segments_.size());
+}
+
+SegmentedArtifact
+tryLoadArtifact(const std::string& path, const ir::Module& mod,
+                analysis::DiagEngine& diag,
+                ArtifactView::Backend backend)
+{
+    SegmentedArtifact art;
+    if (!isManifest(path)) {
+        // Legacy single-file artifact: one implicit segment covering
+        // the whole trace. Load failures surface exactly as before.
+        LoadedWet w = tryLoad(path, mod, diag, backend);
+        if (w.graph) {
+            LoadedSegment s;
+            s.meta.index = 0;
+            s.meta.file = baseOf(path);
+            s.meta.tsBegin = w.graph->tsBegin;
+            s.meta.tsEnd = w.graph->lastTimestamp;
+            s.meta.stmts = w.graph->stmtInstancesTotal;
+            s.wet = std::move(w);
+            art.segments.push_back(std::move(s));
+        }
+        return art;
+    }
+
+    art.segmented = true;
+    if (!parseManifest(path, diag, art.manifest))
+        return art;
+    if (art.manifest.fingerprint != moduleFingerprint(mod)) {
+        diag.error("IO003", path,
+                   "module fingerprint mismatch; the manifest was "
+                   "built from a different program");
+        return art;
+    }
+    if (!art.manifest.complete)
+        diag.note("IO008", path,
+                  "manifest has no end record (interrupted "
+                  "build); loading the committed prefix");
+
+    const std::string dir = dirOf(path);
+    for (const SegmentMeta& meta : art.manifest.segments) {
+        LoadedSegment s;
+        s.meta = meta;
+        const std::string file = dir + "/" + meta.file;
+        // Per-segment load problems are collected privately and
+        // surfaced as ONE quarantine diagnostic, so a single bad
+        // segment cannot flood the caller's diagnostics while the
+        // healthy segments load on.
+        analysis::DiagEngine local;
+        auto quarantine = [&](const char* rule,
+                              const std::string& why) {
+            s.quarantined = true;
+            s.reason = why;
+            s.wet = LoadedWet{};
+            diag.error(rule, file,
+                       "segment " + std::to_string(meta.index) +
+                           " quarantined: " + why);
+        };
+        if (WET_FAILPOINT_HIT("wetio.seg.load")) {
+            quarantine("ART006", "injected segment load fault");
+            art.segments.push_back(std::move(s));
+            continue;
+        }
+        std::shared_ptr<ArtifactView> view =
+            ArtifactView::open(file, local, backend);
+        if (!view) {
+            quarantine("ART006", "cannot open segment file");
+            art.segments.push_back(std::move(s));
+            continue;
+        }
+        if (view->size() != meta.bytes) {
+            quarantine("IO009",
+                       "file is " + std::to_string(view->size()) +
+                           " bytes, manifest committed " +
+                           std::to_string(meta.bytes));
+            art.segments.push_back(std::move(s));
+            continue;
+        }
+        if (fnv1a64(view->data(), view->size()) != meta.fileCrc) {
+            quarantine("IO009",
+                       "file checksum does not match the manifest");
+            art.segments.push_back(std::move(s));
+            continue;
+        }
+        LoadedWet w = tryLoadView(std::move(view), file, mod, local);
+        if (!w.graph || !w.compressed) {
+            std::string why = "segment fails structural checks";
+            if (!local.diagnostics().empty()) {
+                const analysis::Diagnostic& d =
+                    local.diagnostics().front();
+                why += " (" + d.rule + ": " + d.message + ")";
+            }
+            quarantine("ART006", why);
+            art.segments.push_back(std::move(s));
+            continue;
+        }
+        if (w.graph->tsBegin != meta.tsBegin ||
+            w.graph->lastTimestamp != meta.tsEnd)
+        {
+            quarantine("IO009",
+                       "segment window (" +
+                           std::to_string(w.graph->tsBegin) + ", " +
+                           std::to_string(w.graph->lastTimestamp) +
+                           "] does not match the manifest");
+            art.segments.push_back(std::move(s));
+            continue;
+        }
+        s.wet = std::move(w);
+        art.segments.push_back(std::move(s));
+    }
+    return art;
+}
+
+} // namespace wetio
+} // namespace wet

@@ -1,0 +1,210 @@
+#ifndef WET_WETIO_MANIFEST_H
+#define WET_WETIO_MANIFEST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/diag.h"
+#include "core/compressed.h"
+#include "ir/module.h"
+#include "wetio/wetio.h"
+
+namespace wet {
+namespace wetio {
+
+/**
+ * Segmented artifacts (DESIGN.md §15): a segmented build publishes a
+ * text *manifest* at the artifact path plus one version-4 WETX file
+ * per time window as siblings. Every manifest line carries its own
+ * FNV-1a checksum, segment entries are appended and fsynced as each
+ * window commits, and the header and final rewrite go through the
+ * same tmp+fsync+rename protocol as artifact files — so a crash at
+ * any point leaves a loadable committed prefix and `run --resume`
+ * can continue from it.
+ *
+ * Layout (one record per line, `<crc>` = FNV-1a 64 of the line up to
+ * the space before it, lowercase hex):
+ *
+ *   WETM 4 <fingerprint-hex> <paramsig-hex> <crc>
+ *   seg <idx> <basename> <bytes> <fileCrc> <tsBegin> <tsEnd> <stmts> <crc>
+ *   ...
+ *   end <count> <crc>
+ */
+
+/** FNV-1a 64-bit, used for manifest lines and whole segment files. */
+uint64_t fnv1a64(const uint8_t* p, size_t n);
+
+/** One committed segment: the window (tsBegin, tsEnd] stored in the
+ *  sibling file @p file, checksummed over its exact bytes. */
+struct SegmentMeta
+{
+    uint32_t index = 0;
+    std::string file; ///< basename, resolved against the manifest dir
+    uint64_t bytes = 0;
+    uint64_t fileCrc = 0;
+    uint64_t tsBegin = 0;
+    uint64_t tsEnd = 0;
+    uint64_t stmts = 0; ///< statement instances inside the window
+};
+
+struct Manifest
+{
+    uint64_t fingerprint = 0;
+    uint64_t paramSig = 0;
+    std::vector<SegmentMeta> segments;
+    /** True when the `end` record was present and consistent; false
+     *  for an interrupted build (the committed prefix still loads). */
+    bool complete = false;
+};
+
+/** True when the file at @p path starts with the "WETM " text magic
+ *  (false for binary WETX artifacts and unreadable paths). */
+bool isManifest(const std::string& path);
+
+/**
+ * Parse a manifest, recovering the longest valid prefix: a torn or
+ * corrupt non-header line ends parsing with an IO008 note and the
+ * entries before it. A missing/corrupt header is an IO008 error and
+ * returns false (nothing is loadable).
+ */
+bool parseManifest(const std::string& path,
+                   analysis::DiagEngine& diag, Manifest& out);
+
+/**
+ * Append-only manifest writer. create() publishes the header via
+ * tmp+fsync+rename; resume() atomically rewrites the file to a
+ * previously parsed committed prefix (dropping any torn tail and a
+ * stale `end` record) and reopens it for appending. Each append is
+ * written and fsynced before it returns, so a committed segment
+ * survives any later crash. Failpoints: wetio.manifest.open,
+ * wetio.manifest.append.
+ */
+class ManifestWriter
+{
+  public:
+    ~ManifestWriter();
+    ManifestWriter(const ManifestWriter&) = delete;
+    ManifestWriter& operator=(const ManifestWriter&) = delete;
+
+    static std::unique_ptr<ManifestWriter>
+    create(const std::string& path, uint64_t fingerprint,
+           uint64_t paramSig);
+
+    static std::unique_ptr<ManifestWriter>
+    resume(const std::string& path, const Manifest& prefix);
+
+    /** Commit one segment entry (write + fsync). */
+    void append(const SegmentMeta& meta);
+
+    /** Commit the `end` record and close the manifest. */
+    void finish(uint64_t count);
+
+  private:
+    ManifestWriter() = default;
+    void appendLine(const std::string& body);
+
+    std::string path_;
+    int fd_ = -1;
+    bool finished_ = false;
+};
+
+/**
+ * Build-side segment sink: feed it each finalized window (in time
+ * order) and it compresses, serializes (version 4), checksums and
+ * atomically publishes `<artifact>.seg<NNNNNN>` next to the
+ * manifest, then commits the entry. Under resume, windows whose
+ * index is already committed are verified against the manifest
+ * (identical replay) and skipped without recompressing, so the final
+ * artifact set is byte-identical to an uninterrupted build.
+ */
+class SegmentWriter
+{
+  public:
+    SegmentWriter(std::string manifestPath, const ir::Module& mod,
+                  const codec::SelectorOptions& sel, unsigned threads,
+                  uint64_t paramSig, const Manifest* resumeFrom);
+
+    /** Sink for WetBuilder's SegmentPolicy::onSegment. */
+    void onSegment(core::WetGraph&& g);
+
+    /** Commit the `end` record; no further windows may arrive. */
+    void finish();
+
+    const std::vector<SegmentMeta>& segments() const
+    {
+        return segments_;
+    }
+
+    /** Windows skipped because they were already committed. */
+    uint64_t skipped() const { return skipped_; }
+
+  private:
+    std::string manifestPath_;
+    const ir::Module& mod_;
+    codec::SelectorOptions sel_;
+    unsigned threads_;
+    std::vector<SegmentMeta> committed_;
+    std::vector<SegmentMeta> segments_;
+    std::unique_ptr<ManifestWriter> writer_;
+    uint64_t skipped_ = 0;
+};
+
+/**
+ * One loaded (or quarantined) segment of an artifact. A quarantined
+ * segment has null wet pointers and carries the reason; queries must
+ * skip its time range and report it as degraded coverage.
+ */
+struct LoadedSegment
+{
+    SegmentMeta meta;
+    LoadedWet wet;
+    bool quarantined = false;
+    std::string reason;
+};
+
+/**
+ * An artifact opened through tryLoadArtifact(): either a legacy
+ * single-file WETX (one implicit segment spanning the whole trace,
+ * segmented=false) or a manifest plus its per-window segment files.
+ */
+struct SegmentedArtifact
+{
+    bool segmented = false;
+    Manifest manifest;
+    std::vector<LoadedSegment> segments;
+
+    size_t
+    healthy() const
+    {
+        size_t n = 0;
+        for (const LoadedSegment& s : segments)
+            if (!s.quarantined)
+                ++n;
+        return n;
+    }
+};
+
+/**
+ * Open @p path as either a legacy WETX artifact or a segment
+ * manifest. Per-segment failures do not abort the load: a segment
+ * whose file is missing, whose size or FNV-1a checksum disagrees
+ * with the manifest (rule IO009), or that fails the structural WETX
+ * load checks (rule ART006) is quarantined — one error diagnostic,
+ * entry kept with null wet — and the remaining healthy segments are
+ * still returned so queries can answer over the unaffected time
+ * ranges. A corrupt manifest header (IO008) or a failed legacy load
+ * yields no segments. Failpoint: wetio.seg.load (quarantines the
+ * segment being opened).
+ */
+SegmentedArtifact
+tryLoadArtifact(const std::string& path, const ir::Module& mod,
+                analysis::DiagEngine& diag,
+                ArtifactView::Backend backend =
+                    ArtifactView::Backend::Mmap);
+
+} // namespace wetio
+} // namespace wet
+
+#endif // WET_WETIO_MANIFEST_H

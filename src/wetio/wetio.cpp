@@ -32,7 +32,13 @@ constexpr uint32_t kMagic = 0x58544557; // "WETX"
 // Version 3: adds the per-thread SYNC section (event counts after the
 // graph scalars, four compressed streams per thread after the pool
 // streams). Single-threaded artifacts carry an empty section.
+// Version 4: a windowed segment of a segmented build (DESIGN.md §15).
+// Identical layout except one extra varint — the window's tsBegin —
+// directly after the module fingerprint. Whole-run artifacts keep
+// writing version 3, byte-identical to earlier builds; the loader
+// accepts both and marks version-4 graphs windowed.
 constexpr uint32_t kVersion = 3;
+constexpr uint32_t kVersionSegment = 4;
 
 /** Thrown by the reader after a diagnostic has been reported. */
 struct LoadAbort
@@ -389,15 +395,16 @@ moduleFingerprint(const ir::Module& mod)
     return h;
 }
 
-void
-save(const std::string& path, const ir::Module& mod,
-     const core::WetGraph& graph,
-     const core::WetCompressed& compressed)
+std::vector<uint8_t>
+serialize(const ir::Module& mod, const core::WetGraph& graph,
+          const core::WetCompressed& compressed)
 {
     Writer w;
     w.u(kMagic);
-    w.u(kVersion);
+    w.u(graph.windowed ? kVersionSegment : kVersion);
     w.u(moduleFingerprint(mod));
+    if (graph.windowed)
+        w.u(graph.tsBegin);
 
     // Graph structure (no tier-1 label vectors).
     w.u(graph.nodes.size());
@@ -463,7 +470,13 @@ save(const std::string& path, const ir::Module& mod,
         writeStream(w, cs.stmt);
         writeStream(w, cs.seq);
     }
+    return w.bytes();
+}
 
+void
+atomicWrite(const std::string& path, const uint8_t* data,
+            size_t size)
+{
     // Crash-consistent publish: the artifact is staged as a sibling
     // temp file, flushed to stable storage, and atomically renamed
     // over the target. A crash (or injected fault) at any point
@@ -486,8 +499,8 @@ save(const std::string& path, const ir::Module& mod,
     int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644); // NOLINT(cppcoreguidelines-pro-type-vararg)
     if (fd < 0)
         WET_FATAL("cannot open '" << tmp << "' for writing");
-    const uint8_t* p = w.bytes().data();
-    size_t left = w.bytes().size();
+    const uint8_t* p = data;
+    size_t left = size;
     while (left > 0) {
         WET_FAILPOINT("wetio.save.write");
         ssize_t n = ::write(fd, p, left);
@@ -534,8 +547,8 @@ save(const std::string& path, const ir::Module& mod,
         if (!out)
             WET_FATAL("cannot open '" << tmp << "' for writing");
         WET_FAILPOINT("wetio.save.write");
-        out.write(reinterpret_cast<const char*>(w.bytes().data()),
-                  static_cast<std::streamsize>(w.bytes().size()));
+        out.write(reinterpret_cast<const char*>(data),
+                  static_cast<std::streamsize>(size));
         WET_FAILPOINT("wetio.save.fsync");
         out.flush();
         if (!out)
@@ -549,6 +562,15 @@ save(const std::string& path, const ir::Module& mod,
     guard.armed = false;
     WET_FAILPOINT("wetio.save.dirsync");
 #endif
+}
+
+void
+save(const std::string& path, const ir::Module& mod,
+     const core::WetGraph& graph,
+     const core::WetCompressed& compressed)
+{
+    std::vector<uint8_t> bytes = serialize(mod, graph, compressed);
+    atomicWrite(path, bytes.data(), bytes.size());
 }
 
 namespace {
@@ -624,11 +646,19 @@ validateGraphIndexes(const core::WetGraph& g,
 LoadedWet
 tryLoad(const std::string& path, const ir::Module& mod,
         analysis::DiagEngine& diag, ArtifactView::Backend backend)
-try {
+{
     std::shared_ptr<ArtifactView> view =
         ArtifactView::open(path, diag, backend);
     if (!view)
         return {};
+    return tryLoadView(std::move(view), path, mod, diag);
+}
+
+LoadedWet
+tryLoadView(std::shared_ptr<ArtifactView> view,
+            const std::string& path, const ir::Module& mod,
+            analysis::DiagEngine& diag)
+try {
     Reader r(view->data(), view->size(), diag, path);
 
     if (r.u() != kMagic) {
@@ -636,11 +666,12 @@ try {
         return {};
     }
     uint64_t version = r.u();
-    if (version != kVersion) {
+    if (version != kVersion && version != kVersionSegment) {
         diag.error("IO002", path,
                    "file version " + std::to_string(version) +
-                       ", this build reads version " +
-                       std::to_string(kVersion));
+                       ", this build reads versions " +
+                       std::to_string(kVersion) + " and " +
+                       std::to_string(kVersionSegment));
         return {};
     }
     if (r.u() != moduleFingerprint(mod)) {
@@ -653,6 +684,10 @@ try {
     LoadedWet out;
     out.graph = std::make_unique<core::WetGraph>();
     core::WetGraph& g = *out.graph;
+    if (version == kVersionSegment) {
+        g.tsBegin = r.u();
+        g.windowed = true;
+    }
 
     uint64_t numNodes = r.count("node");
     g.nodes.reserve(numNodes);
@@ -700,6 +735,15 @@ try {
     g.depInstancesTotal = r.u();
     g.cdInstancesTotal = r.u();
     g.droppedDeps = r.u();
+    if (g.lastTimestamp < g.tsBegin) {
+        // Downstream code computes unsigned window spans.
+        diag.error("IO005", path,
+                   "window ends at timestamp " +
+                       std::to_string(g.lastTimestamp) +
+                       " before its tsBegin " +
+                       std::to_string(g.tsBegin));
+        return {};
+    }
     uint64_t numSyncThreads = r.count("sync thread");
     g.syncThreads.resize(numSyncThreads); // tier-2 only: counts, no
                                           // label vectors

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/diag.h"
 #include "core/compressed.h"
@@ -37,8 +38,31 @@ struct LoadedWet
 uint64_t moduleFingerprint(const ir::Module& mod);
 
 /**
- * Save the compressed WET to @p path (binary "WETX" format: graph
- * structure + tier-2 streams with sparse table snapshots).
+ * Serialize the compressed WET to its on-disk byte image (binary
+ * "WETX" format: graph structure + tier-2 streams with sparse table
+ * snapshots). Whole-run graphs serialize as version 3, byte-identical
+ * to what earlier builds wrote; windowed graphs (graph.windowed, the
+ * product of a segmented build) serialize as version 4, which adds
+ * the window's tsBegin after the module fingerprint. Returning the
+ * bytes instead of writing them lets segment writers checksum the
+ * exact file image before it is published.
+ */
+std::vector<uint8_t> serialize(const ir::Module& mod,
+                               const core::WetGraph& graph,
+                               const core::WetCompressed& compressed);
+
+/**
+ * Crash-consistent publish of @p size bytes at @p path: staged as a
+ * sibling ".tmp" file, flushed, atomically renamed over the target,
+ * directory-fsynced (failpoints wetio.save.open/write/fsync/rename/
+ * dirsync). A crash at any point leaves either the complete old file
+ * or the complete new file. Throws WetError on I/O failure.
+ */
+void atomicWrite(const std::string& path, const uint8_t* data,
+                 size_t size);
+
+/**
+ * Save the compressed WET to @p path: serialize() + atomicWrite().
  * Throws WetError on I/O failure.
  */
 void save(const std::string& path, const ir::Module& mod,
@@ -69,6 +93,16 @@ LoadedWet tryLoad(const std::string& path, const ir::Module& mod,
                   analysis::DiagEngine& diag,
                   ArtifactView::Backend backend =
                       ArtifactView::Backend::Mmap);
+
+/**
+ * tryLoad() over an already-open view. Segment loaders use this so a
+ * file can be checksummed and parsed from one mapping; @p path only
+ * labels diagnostics.
+ */
+LoadedWet tryLoadView(std::shared_ptr<ArtifactView> view,
+                      const std::string& path,
+                      const ir::Module& mod,
+                      analysis::DiagEngine& diag);
 
 } // namespace wetio
 } // namespace wet

@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Differential tests of serving queries over a segmented artifact
+ * (DESIGN.md §15): the per-segment query planner must answer
+ * byte-identically to the historical whole-trace path for the verbs
+ * whose results are window-invariant, degrade a quarantined
+ * segment's time range to notes while answering healthy ranges
+ * byte-identically, keep mid-query quarantine sticky and consistent
+ * with load-time quarantine, and survive a concurrent serving stress
+ * with one segment quarantined.
+ */
+
+#include "serve/queryrunner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/diag.h"
+#include "core/builder.h"
+#include "core/session.h"
+#include "core/sharedartifact.h"
+#include "interp/interpreter.h"
+#include "ir/module.h"
+#include "support/failpoint.h"
+#include "testutil.h"
+#include "wetio/manifest.h"
+
+namespace wet {
+namespace serve {
+namespace {
+
+const char* kName = "segment_query_test.wetx";
+
+const char* kProgram = R"(
+    fn weigh(x) { return x * x + 3; }
+    fn main() {
+        var s = 0;
+        for (var i = 0; i < 60; i = i + 1) {
+            var t = in();
+            if (t % 2 == 0) { mem[i % 8] = weigh(t); }
+            s = s + mem[i % 8];
+        }
+        out(s);
+    }
+)";
+
+std::vector<int64_t>
+inputs60()
+{
+    std::vector<int64_t> v;
+    for (int i = 0; i < 60; ++i)
+        v.push_back((i * 11 + 2) % 19);
+    return v;
+}
+
+size_t
+countOccurrences(const std::string& hay, const std::string& needle)
+{
+    size_t n = 0;
+    for (size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+class SegmentQueryTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        support::FailPoints::instance().disarmAll();
+        path_ = ::testing::TempDir() + "segment_query_test_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".wetx";
+        p_ = test::runPipeline(kProgram, inputs60());
+        compressed_ =
+            std::make_unique<core::WetCompressed>(p_->graph);
+        plain_ = std::make_shared<core::SharedArtifact>(
+            *p_->module, *compressed_, nullptr, 1, kName);
+
+        wetio::SegmentWriter writer(path_, *p_->module, {}, 1,
+                                    /*paramSig=*/1, nullptr);
+        core::SegmentPolicy policy;
+        policy.segmentStatements = 50;
+        policy.onSegment = [&](core::WetGraph&& g) {
+            writer.onSegment(std::move(g));
+        };
+        core::WetBuilder builder(*p_->ma, {}, policy);
+        interp::VectorInput input(inputs60());
+        interp::Interpreter interp(*p_->ma, input, &builder);
+        interp.run();
+        builder.finishSegments();
+        writer.finish();
+        numSegments_ = writer.segments().size();
+        ASSERT_GE(numSegments_, 3u);
+    }
+
+    void
+    TearDown() override
+    {
+        support::FailPoints::instance().disarmAll();
+        std::remove(path_.c_str());
+        for (uint32_t i = 0; i < 64; ++i) {
+            char suffix[16];
+            std::snprintf(suffix, sizeof suffix, ".seg%06u", i);
+            std::remove((path_ + suffix).c_str());
+        }
+    }
+
+    /**
+     * Wrap the on-disk segmented artifact for serving, optionally
+     * marking segment @p quarantineIdx quarantined at load (the
+     * state a corrupt segment file leaves behind).
+     */
+    std::shared_ptr<core::SharedArtifact>
+    makeSegmented(size_t quarantineIdx = SIZE_MAX)
+    {
+        auto art = std::make_shared<wetio::SegmentedArtifact>();
+        analysis::DiagEngine diag;
+        *art = wetio::tryLoadArtifact(path_, *p_->module, diag);
+        EXPECT_EQ(art->healthy(), numSegments_);
+        std::vector<core::ArtifactSegment> segs;
+        for (size_t k = 0; k < art->segments.size(); ++k) {
+            const wetio::LoadedSegment& s = art->segments[k];
+            core::ArtifactSegment a;
+            if (k == quarantineIdx || s.quarantined) {
+                a.quarantined = true;
+                a.tsBegin = s.meta.tsBegin;
+                a.tsEnd = s.meta.tsEnd;
+            } else {
+                a.compressed = s.wet.compressed.get();
+                a.tsBegin = s.wet.graph->tsBegin;
+                a.tsEnd = s.wet.graph->lastTimestamp;
+            }
+            segs.push_back(a);
+        }
+        return std::make_shared<core::SharedArtifact>(
+            *p_->module, std::move(segs), art, 1, kName);
+    }
+
+    /** Window of segment @p k as (tsBegin, tsEnd]. */
+    std::pair<uint64_t, uint64_t>
+    window(const std::shared_ptr<core::SharedArtifact>& shared,
+           size_t k)
+    {
+        const core::ArtifactSegment& s = shared->segments()[k];
+        return {s.tsBegin, s.tsEnd};
+    }
+
+    /** Statements the trace executed, for values/addr/slice lines. */
+    std::vector<std::string>
+    buildBatch()
+    {
+        std::vector<ir::StmtId> defs;
+        std::vector<ir::StmtId> mems;
+        for (const auto& [stmt, sites] : p_->graph.stmtIndex) {
+            (void)sites;
+            const ir::Instr& in = p_->module->instr(stmt);
+            if (ir::hasDef(in.op) && in.op != ir::Opcode::Const)
+                defs.push_back(stmt);
+            if (in.op == ir::Opcode::Load ||
+                in.op == ir::Opcode::Store)
+                mems.push_back(stmt);
+        }
+        std::sort(defs.begin(), defs.end());
+        std::sort(mems.begin(), mems.end());
+        EXPECT_FALSE(defs.empty());
+        EXPECT_FALSE(mems.empty());
+
+        std::vector<std::string> lines;
+        lines.push_back("cf --from 1 --count 10");
+        lines.push_back("cf --from 40 --count 25");
+        lines.push_back("cf --from 1 --count 100000");
+        lines.push_back("values --stmt " +
+                        std::to_string(defs.front()) +
+                        " --limit 5");
+        lines.push_back("values --stmt " +
+                        std::to_string(defs.back()) +
+                        " --limit 200");
+        lines.push_back("addr --stmt " +
+                        std::to_string(mems.front()) +
+                        " --limit 200");
+        lines.push_back("addr --stmt " +
+                        std::to_string(mems.back()) + " --limit 4");
+        lines.push_back("races");
+        lines.push_back("depcheck");
+        lines.push_back("slice --stmt " +
+                        std::to_string(defs.front()) + " --max 500");
+        lines.push_back("values"); // usage error: missing --stmt
+        return lines;
+    }
+
+    std::vector<LineResult>
+    answers(const std::shared_ptr<core::SharedArtifact>& shared,
+            const std::vector<std::string>& lines)
+    {
+        core::QuerySession s(shared);
+        std::vector<LineResult> out;
+        for (size_t i = 0; i < lines.size(); ++i)
+            out.push_back(serveLine(s, kName, lines[i], i + 1));
+        return out;
+    }
+
+    std::string path_;
+    std::unique_ptr<test::Pipeline> p_;
+    std::unique_ptr<core::WetCompressed> compressed_;
+    std::shared_ptr<core::SharedArtifact> plain_;
+    size_t numSegments_ = 0;
+};
+
+TEST_F(SegmentQueryTest, WindowInvariantVerbsMatchByteForByte)
+{
+    std::vector<std::string> lines = buildBatch();
+    std::vector<LineResult> want = answers(plain_, lines);
+    std::vector<LineResult> got = answers(makeSegmented(), lines);
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < lines.size(); ++i) {
+        SCOPED_TRACE(lines[i]);
+        EXPECT_EQ(want[i].code, got[i].code);
+        if (lines[i].rfind("cf", 0) == 0 ||
+            lines[i].rfind("values", 0) == 0 ||
+            lines[i].rfind("addr", 0) == 0) {
+            // Control flow and extraction answers are partitioned by
+            // time, never by structure: byte-identical out AND err.
+            EXPECT_EQ(want[i].out, got[i].out);
+            EXPECT_EQ(want[i].err, got[i].err);
+        }
+        if (lines[i].rfind("races", 0) == 0) {
+            // The race report itself is window-invariant for this
+            // single-threaded trace; only the stderr I/O stats may
+            // legitimately differ (per-segment streams summed).
+            EXPECT_EQ(want[i].out, got[i].out);
+        }
+    }
+    // Cross-cut dependences are dropped by contract, so depcheck and
+    // slice answers may differ in their work counts — but they must
+    // be deterministic: a second fresh segmented session agrees.
+    std::vector<LineResult> again = answers(makeSegmented(), lines);
+    for (size_t i = 0; i < lines.size(); ++i) {
+        SCOPED_TRACE(lines[i]);
+        EXPECT_EQ(got[i].out, again[i].out);
+        EXPECT_EQ(got[i].err, again[i].err);
+        EXPECT_EQ(got[i].code, again[i].code);
+    }
+}
+
+TEST_F(SegmentQueryTest, QuarantineDegradesOnlyItsTimeRange)
+{
+    size_t qk = numSegments_ / 2;
+    std::shared_ptr<core::SharedArtifact> degraded =
+        makeSegmented(qk);
+    auto [qBegin, qEnd] = window(degraded, qk);
+    auto [fBegin, fEnd] = window(degraded, 0);
+    auto [lBegin, lEnd] = window(degraded, numSegments_ - 1);
+    (void)fBegin;
+
+    core::QuerySession healthySess(plain_);
+    core::QuerySession degradedSess(degraded);
+
+    // A window entirely inside a healthy segment: byte-identical to
+    // the unsegmented answer, no degradation note.
+    std::string inFirst =
+        "cf --from 1 --count " + std::to_string(fEnd > 5 ? 5 : fEnd);
+    std::string inLast = "cf --from " + std::to_string(lBegin + 1) +
+                         " --count " +
+                         std::to_string(lEnd - lBegin > 5
+                                            ? 5
+                                            : lEnd - lBegin);
+    for (const std::string& line : {inFirst, inLast}) {
+        SCOPED_TRACE(line);
+        LineResult want = serveLine(healthySess, kName, line, 1);
+        LineResult got = serveLine(degradedSess, kName, line, 1);
+        EXPECT_EQ(want.out, got.out);
+        EXPECT_EQ(want.err, got.err);
+        EXPECT_EQ(got.err.find("quarantined"), std::string::npos);
+        EXPECT_EQ(want.code, got.code);
+    }
+
+    // A window overlapping the quarantined segment: still exit 0,
+    // rows from the healthy overlap, one note naming the hole.
+    std::string overlap = "cf --from " + std::to_string(qBegin) +
+                          " --count " +
+                          std::to_string(qEnd - qBegin + 2);
+    LineResult o = serveLine(degradedSess, kName, overlap, 1);
+    EXPECT_EQ(o.code, kExitOk);
+    EXPECT_EQ(countOccurrences(o.err, "quarantined"), 1u);
+    EXPECT_NE(o.err.find("note: segment " + std::to_string(qk)),
+              std::string::npos);
+
+    // Whole-trace extraction: degraded but successful, one note.
+    std::vector<std::string> lines = buildBatch();
+    for (const std::string& line : lines) {
+        if (line.rfind("values --stmt", 0) != 0 &&
+            line.rfind("addr", 0) != 0 &&
+            line.rfind("races", 0) != 0 &&
+            line.rfind("depcheck", 0) != 0)
+            continue;
+        SCOPED_TRACE(line);
+        LineResult r = serveLine(degradedSess, kName, line, 1);
+        EXPECT_EQ(r.code, kExitOk);
+        EXPECT_EQ(countOccurrences(r.err, "quarantined"), 1u);
+    }
+}
+
+TEST_F(SegmentQueryTest, MidQueryFaultQuarantinesStickily)
+{
+    std::vector<std::string> lines = buildBatch();
+    std::string values;
+    for (const std::string& line : lines)
+        if (line.rfind("values --stmt", 0) == 0)
+            values = line;
+    ASSERT_FALSE(values.empty());
+
+    // Fault the third touched segment mid-query: the line must still
+    // answer (degraded), and the quarantine must stick for the rest
+    // of the session without any failpoint armed.
+    core::QuerySession s(makeSegmented());
+    support::FailPoints::instance().arm("core.session.segment=nth:3");
+    LineResult first = serveLine(s, kName, values, 1);
+    support::FailPoints::instance().disarmAll();
+    EXPECT_EQ(first.code, kExitOk);
+    EXPECT_EQ(countOccurrences(first.err, "quarantined"), 1u);
+    EXPECT_NE(first.err.find("note: segment 2"), std::string::npos);
+
+    LineResult second = serveLine(s, kName, values, 2);
+    EXPECT_EQ(second.out, first.out);
+    EXPECT_EQ(second.err, first.err);
+    EXPECT_EQ(second.code, kExitOk);
+
+    // ...and the degraded answer equals what a session whose segment
+    // was quarantined at load (corrupt file) would have given.
+    core::QuerySession atLoad(makeSegmented(2));
+    LineResult want = serveLine(atLoad, kName, values, 2);
+    EXPECT_EQ(second.out, want.out);
+    EXPECT_EQ(second.err, want.err);
+}
+
+TEST_F(SegmentQueryTest, LegacyArtifactStillFailsTheLineOnFault)
+{
+    std::vector<std::string> lines = buildBatch();
+    std::string values;
+    for (const std::string& line : lines)
+        if (line.rfind("values --stmt", 0) == 0)
+            values = line;
+
+    // A single-segment (legacy) artifact has no healthy range left
+    // to degrade to: the fault must surface as a per-line error, not
+    // a silently empty answer.
+    core::QuerySession s(plain_);
+    LineResult want = serveLine(s, kName, values, 1);
+    support::FailPoints::instance().arm("core.session.segment=once");
+    LineResult failed = serveLine(s, kName, values, 2);
+    support::FailPoints::instance().disarmAll();
+    EXPECT_NE(failed.code, kExitOk);
+    EXPECT_NE(failed.err.find("error: line:2:"), std::string::npos);
+
+    // The failure quarantined only cache readers, not the artifact:
+    // the next identical line answers byte-identically again.
+    LineResult after = serveLine(s, kName, values, 3);
+    EXPECT_EQ(after.out, want.out);
+    EXPECT_EQ(after.code, want.code);
+}
+
+TEST_F(SegmentQueryTest,
+       ConcurrentSessionsOverQuarantinedArtifactStayByteExact)
+{
+    size_t qk = numSegments_ / 2;
+    std::shared_ptr<core::SharedArtifact> degraded =
+        makeSegmented(qk);
+    std::vector<std::string> lines = buildBatch();
+    std::vector<LineResult> want = answers(degraded, lines);
+
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 3;
+    std::atomic<uint64_t> mismatches{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&]() {
+            for (int round = 0; round < kRounds; ++round) {
+                core::QuerySession s(degraded);
+                for (size_t i = 0; i < lines.size(); ++i) {
+                    LineResult got =
+                        serveLine(s, kName, lines[i], i + 1);
+                    if (got.out != want[i].out ||
+                        got.err != want[i].err ||
+                        got.code != want[i].code)
+                        mismatches.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (std::thread& th : threads)
+        th.join();
+    EXPECT_EQ(mismatches.load(), 0u);
+}
+
+} // namespace
+} // namespace serve
+} // namespace wet

@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Tests of the segmented-artifact I/O layer (src/wetio/manifest.cpp,
+ * DESIGN.md §15): manifest round-trip and torn-tail recovery, the
+ * legacy single-file path loading as one implicit segment, the
+ * per-segment corruption sweep (exactly the damaged segment is
+ * quarantined, with the right rule), injected load faults, and
+ * crash/resume replay producing a byte-identical final artifact set.
+ */
+
+#include "wetio/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diag.h"
+#include "core/builder.h"
+#include "interp/interpreter.h"
+#include "lang/codegen.h"
+#include "support/error.h"
+#include "support/failpoint.h"
+#include "testutil.h"
+#include "wetio/wetio.h"
+
+namespace wet {
+namespace wetio {
+namespace {
+
+const char* kProgram = R"(
+    fn weigh(x) { return x * x + 3; }
+    fn main() {
+        var s = 0;
+        for (var i = 0; i < 60; i = i + 1) {
+            var t = in();
+            if (t % 2 == 0) { mem[i % 8] = weigh(t); }
+            s = s + mem[i % 8];
+        }
+        out(s);
+    }
+)";
+
+std::vector<int64_t>
+inputs60()
+{
+    std::vector<int64_t> v;
+    for (int i = 0; i < 60; ++i)
+        v.push_back((i * 11 + 2) % 19);
+    return v;
+}
+
+constexpr uint64_t kParamSig = 0x5e65a11du;
+
+std::string
+readBytes(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeBytes(const std::string& path, const std::string& bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+std::string
+segPath(const std::string& manifest, uint32_t idx)
+{
+    char suffix[16];
+    std::snprintf(suffix, sizeof suffix, ".seg%06u", idx);
+    return manifest + suffix;
+}
+
+class SegmentIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        support::FailPoints::instance().disarmAll();
+        // Unique per test: ctest runs each test as its own process,
+        // and parallel siblings must not clobber each other's files.
+        base_ = ::testing::TempDir() + "segment_test_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name();
+        path_ = base_ + ".wetx";
+        p_ = test::runPipeline(kProgram, inputs60());
+    }
+
+    void
+    TearDown() override
+    {
+        support::FailPoints::instance().disarmAll();
+        std::remove(path_.c_str());
+        for (uint32_t i = 0; i < 64; ++i)
+            std::remove(segPath(path_, i).c_str());
+    }
+
+    /**
+     * Build a segmented artifact at @p path by replaying the fixture
+     * program through a windowed builder into a SegmentWriter.
+     * Returns the committed segment count. @p resumeFrom resumes an
+     * interrupted build from a parsed manifest prefix.
+     */
+    size_t
+    buildSegmented(const std::string& path, uint64_t segStmts,
+                   const Manifest* resumeFrom = nullptr,
+                   uint64_t* skipped = nullptr)
+    {
+        SegmentWriter writer(path, *p_->module, {}, 1, kParamSig,
+                             resumeFrom);
+        core::SegmentPolicy policy;
+        policy.segmentStatements = segStmts;
+        policy.onSegment = [&](core::WetGraph&& g) {
+            writer.onSegment(std::move(g));
+        };
+        core::WetBuilder builder(*p_->ma, {}, policy);
+        interp::VectorInput input(inputs60());
+        interp::Interpreter interp(*p_->ma, input, &builder);
+        interp.run();
+        builder.finishSegments();
+        writer.finish();
+        if (skipped != nullptr)
+            *skipped = writer.skipped();
+        return writer.segments().size();
+    }
+
+    std::string base_;
+    std::string path_;
+    std::unique_ptr<test::Pipeline> p_;
+};
+
+TEST_F(SegmentIoTest, ManifestRoundTripMatchesCommittedSegments)
+{
+    size_t n = buildSegmented(path_, 50);
+    ASSERT_GE(n, 3u);
+    EXPECT_TRUE(isManifest(path_));
+
+    analysis::DiagEngine diag;
+    Manifest m;
+    ASSERT_TRUE(parseManifest(path_, diag, m));
+    EXPECT_TRUE(m.complete);
+    EXPECT_EQ(m.fingerprint, moduleFingerprint(*p_->module));
+    EXPECT_EQ(m.paramSig, kParamSig);
+    ASSERT_EQ(m.segments.size(), n);
+    EXPECT_EQ(diag.errorCount(), 0u);
+
+    // Every entry checks out against the sibling file it describes.
+    uint64_t stmts = 0;
+    for (size_t k = 0; k < m.segments.size(); ++k) {
+        const SegmentMeta& s = m.segments[k];
+        EXPECT_EQ(s.index, k);
+        std::string bytes =
+            readBytes(segPath(path_, s.index));
+        EXPECT_EQ(bytes.size(), s.bytes);
+        EXPECT_EQ(fnv1a64(reinterpret_cast<const uint8_t*>(
+                              bytes.data()),
+                          bytes.size()),
+                  s.fileCrc);
+        if (k > 0) {
+            EXPECT_EQ(s.tsBegin, m.segments[k - 1].tsEnd);
+        }
+        stmts += s.stmts;
+    }
+    EXPECT_EQ(m.segments.front().tsBegin, 0u);
+    EXPECT_EQ(m.segments.back().tsEnd, p_->graph.lastTimestamp);
+    EXPECT_EQ(stmts, p_->graph.stmtInstancesTotal);
+}
+
+TEST_F(SegmentIoTest, LegacyArtifactLoadsAsOneImplicitSegment)
+{
+    core::WetCompressed c(p_->graph);
+    save(path_, *p_->module, p_->graph, c);
+    EXPECT_FALSE(isManifest(path_));
+
+    analysis::DiagEngine diag;
+    SegmentedArtifact art =
+        tryLoadArtifact(path_, *p_->module, diag);
+    EXPECT_FALSE(art.segmented);
+    ASSERT_EQ(art.segments.size(), 1u);
+    EXPECT_EQ(art.healthy(), 1u);
+    ASSERT_NE(art.segments[0].wet.graph, nullptr);
+    EXPECT_EQ(art.segments[0].meta.tsBegin, 0u);
+    EXPECT_EQ(art.segments[0].meta.tsEnd, p_->graph.lastTimestamp);
+    EXPECT_EQ(art.segments[0].wet.graph->lastTimestamp,
+              p_->graph.lastTimestamp);
+    EXPECT_EQ(diag.errorCount(), 0u);
+}
+
+TEST_F(SegmentIoTest, SegmentedLoadYieldsContiguousHealthyWindows)
+{
+    size_t n = buildSegmented(path_, 50);
+    analysis::DiagEngine diag;
+    SegmentedArtifact art =
+        tryLoadArtifact(path_, *p_->module, diag);
+    EXPECT_TRUE(art.segmented);
+    EXPECT_TRUE(art.manifest.complete);
+    ASSERT_EQ(art.segments.size(), n);
+    EXPECT_EQ(art.healthy(), n);
+    EXPECT_EQ(diag.errorCount(), 0u);
+    for (size_t k = 0; k < n; ++k) {
+        const LoadedSegment& s = art.segments[k];
+        ASSERT_NE(s.wet.graph, nullptr) << "segment " << k;
+        EXPECT_TRUE(s.wet.graph->windowed);
+        EXPECT_EQ(s.wet.graph->tsBegin, s.meta.tsBegin);
+        EXPECT_EQ(s.wet.graph->lastTimestamp, s.meta.tsEnd);
+    }
+}
+
+TEST_F(SegmentIoTest, TornManifestTailRecoversCommittedPrefix)
+{
+    size_t n = buildSegmented(path_, 50);
+    // Cut into the `end` record: what a crash between the last
+    // segment fsync and the trailer write leaves behind.
+    std::string bytes = readBytes(path_);
+    writeBytes(path_, bytes.substr(0, bytes.size() - 10));
+
+    analysis::DiagEngine diag;
+    Manifest m;
+    ASSERT_TRUE(parseManifest(path_, diag, m));
+    EXPECT_FALSE(m.complete);
+    EXPECT_EQ(m.segments.size(), n);
+    EXPECT_TRUE(diag.hasRule("IO008"));
+    EXPECT_EQ(diag.errorCount(), 0u);
+
+    analysis::DiagEngine diag2;
+    SegmentedArtifact art =
+        tryLoadArtifact(path_, *p_->module, diag2);
+    EXPECT_TRUE(art.segmented);
+    EXPECT_EQ(art.healthy(), n);
+}
+
+TEST_F(SegmentIoTest, CorruptManifestEntryDropsOnlyTheTail)
+{
+    size_t n = buildSegmented(path_, 50);
+    ASSERT_GE(n, 3u);
+    // Damage the checksum of the middle `seg` line; recovery must
+    // keep the entries before it and drop everything after.
+    std::string bytes = readBytes(path_);
+    size_t pos = 0;
+    for (size_t line = 0; line < 1 + n / 2; ++line)
+        pos = bytes.find('\n', pos) + 1;
+    bytes[bytes.find('\n', pos) - 1] ^= 0x01;
+    writeBytes(path_, bytes);
+
+    analysis::DiagEngine diag;
+    Manifest m;
+    ASSERT_TRUE(parseManifest(path_, diag, m));
+    EXPECT_FALSE(m.complete);
+    EXPECT_EQ(m.segments.size(), n / 2);
+    EXPECT_TRUE(diag.hasRule("IO008"));
+}
+
+TEST_F(SegmentIoTest, CorruptManifestHeaderLoadsNothing)
+{
+    buildSegmented(path_, 50);
+    std::string bytes = readBytes(path_);
+    bytes[1] ^= 0x20;
+    writeBytes(path_, bytes);
+
+    analysis::DiagEngine diag;
+    Manifest m;
+    EXPECT_FALSE(parseManifest(path_, diag, m));
+    EXPECT_TRUE(diag.hasRule("IO008"));
+    EXPECT_GT(diag.errorCount(), 0u);
+}
+
+TEST_F(SegmentIoTest, BitFlipQuarantinesExactlyThatSegment)
+{
+    size_t n = buildSegmented(path_, 50);
+    ASSERT_GE(n, 3u);
+    std::vector<std::string> pristine;
+    for (size_t k = 0; k < n; ++k)
+        pristine.push_back(
+            readBytes(segPath(path_, static_cast<uint32_t>(k))));
+
+    for (size_t k = 0; k < n; ++k) {
+        std::string bad = pristine[k];
+        bad[bad.size() / 2] ^= 0x40;
+        writeBytes(segPath(path_, static_cast<uint32_t>(k)), bad);
+
+        analysis::DiagEngine diag;
+        SegmentedArtifact art =
+            tryLoadArtifact(path_, *p_->module, diag);
+        EXPECT_EQ(art.healthy(), n - 1) << "segment " << k;
+        for (size_t j = 0; j < n; ++j)
+            EXPECT_EQ(art.segments[j].quarantined, j == k)
+                << "segment " << j << " after flipping " << k;
+        // A checksum disagreement with the manifest is IO009.
+        EXPECT_TRUE(diag.hasRule("IO009")) << "segment " << k;
+        EXPECT_EQ(diag.errorCount(), 1u) << "segment " << k;
+
+        writeBytes(segPath(path_, static_cast<uint32_t>(k)),
+                   pristine[k]);
+    }
+}
+
+TEST_F(SegmentIoTest, TruncationQuarantinesExactlyThatSegment)
+{
+    size_t n = buildSegmented(path_, 50);
+    ASSERT_GE(n, 3u);
+    size_t k = n / 2;
+    std::string bytes =
+        readBytes(segPath(path_, static_cast<uint32_t>(k)));
+    writeBytes(segPath(path_, static_cast<uint32_t>(k)),
+               bytes.substr(0, bytes.size() / 2));
+
+    analysis::DiagEngine diag;
+    SegmentedArtifact art =
+        tryLoadArtifact(path_, *p_->module, diag);
+    EXPECT_EQ(art.healthy(), n - 1);
+    for (size_t j = 0; j < n; ++j)
+        EXPECT_EQ(art.segments[j].quarantined, j == k);
+    EXPECT_TRUE(diag.hasRule("IO009"));
+}
+
+TEST_F(SegmentIoTest, MissingSegmentFileQuarantinesIt)
+{
+    size_t n = buildSegmented(path_, 50);
+    ASSERT_GE(n, 2u);
+    std::remove(segPath(path_, 0).c_str());
+
+    analysis::DiagEngine diag;
+    SegmentedArtifact art =
+        tryLoadArtifact(path_, *p_->module, diag);
+    EXPECT_EQ(art.healthy(), n - 1);
+    EXPECT_TRUE(art.segments[0].quarantined);
+    EXPECT_TRUE(diag.hasRule("ART006"));
+}
+
+TEST_F(SegmentIoTest, InjectedLoadFaultQuarantinesOneSegment)
+{
+    size_t n = buildSegmented(path_, 50);
+    ASSERT_GE(n, 2u);
+    support::FailPoints::instance().arm("wetio.seg.load=nth:2");
+
+    analysis::DiagEngine diag;
+    SegmentedArtifact art =
+        tryLoadArtifact(path_, *p_->module, diag);
+    EXPECT_EQ(art.healthy(), n - 1);
+    EXPECT_TRUE(art.segments[1].quarantined);
+    EXPECT_TRUE(diag.hasRule("ART006"));
+}
+
+TEST_F(SegmentIoTest, WrongModuleFailsTheWholeManifest)
+{
+    buildSegmented(path_, 50);
+    ir::Module other = lang::compileString(
+        "fn main() { out(in() + 1); }", 1 << 16);
+
+    // The fingerprint gate sits in the manifest header: no segment
+    // is even opened against the wrong program.
+    analysis::DiagEngine diag;
+    SegmentedArtifact art = tryLoadArtifact(path_, other, diag);
+    EXPECT_TRUE(art.segmented);
+    EXPECT_EQ(art.segments.size(), 0u);
+    EXPECT_EQ(art.healthy(), 0u);
+    EXPECT_TRUE(diag.hasRule("IO003"));
+}
+
+TEST_F(SegmentIoTest, ResumeReplayProducesByteIdenticalArtifacts)
+{
+    // Reference: one uninterrupted build. Segment entries name their
+    // files by basename, so the reference must share path_'s basename
+    // (in a sibling directory) for the manifests to be comparable.
+    std::string refDir = base_ + "_ref";
+    std::filesystem::create_directories(refDir);
+    std::string ref =
+        refDir + "/" +
+        std::filesystem::path(path_).filename().string();
+    size_t n = buildSegmented(ref, 50);
+    ASSERT_GE(n, 4u);
+
+    // Interrupted build: the injected fault throws out of the third
+    // segment publish, so exactly two segments are committed.
+    support::FailPoints::instance().arm("wetio.seg.save=nth:3");
+    EXPECT_THROW(buildSegmented(path_, 50), WetError);
+    support::FailPoints::instance().disarmAll();
+
+    analysis::DiagEngine diag;
+    Manifest prefix;
+    ASSERT_TRUE(parseManifest(path_, diag, prefix));
+    EXPECT_FALSE(prefix.complete);
+    ASSERT_EQ(prefix.segments.size(), 2u);
+
+    // Resume: committed windows verify-and-skip, the rest rebuild.
+    uint64_t skipped = 0;
+    EXPECT_EQ(buildSegmented(path_, 50, &prefix, &skipped), n);
+    EXPECT_EQ(skipped, 2u);
+
+    EXPECT_EQ(readBytes(path_), readBytes(ref));
+    for (size_t k = 0; k < n; ++k) {
+        uint32_t idx = static_cast<uint32_t>(k);
+        EXPECT_EQ(readBytes(segPath(path_, idx)),
+                  readBytes(segPath(ref, idx)))
+            << "segment " << k;
+    }
+
+    std::filesystem::remove_all(refDir);
+}
+
+TEST_F(SegmentIoTest, ResumeRejectsDivergentReplay)
+{
+    buildSegmented(path_, 50);
+    analysis::DiagEngine diag;
+    Manifest prefix;
+    ASSERT_TRUE(parseManifest(path_, diag, prefix));
+    // A different cut cadence replays different windows; the writer
+    // must refuse to splice them onto the committed prefix.
+    EXPECT_THROW(buildSegmented(path_, 25, &prefix), WetError);
+}
+
+} // namespace
+} // namespace wetio
+} // namespace wet

@@ -1,0 +1,136 @@
+# Segmented-build crash sweep: simulate a power cut (_Exit, no flush)
+# at every registered failpoint on the segment publish path — the
+# manifest header publish, each segment file's atomic write stages,
+# and the manifest entry append/fsync — and prove that
+#
+#   1. whatever the crash left behind either fails to load cleanly
+#      (exit 5, nothing committed yet) or loads as a committed prefix
+#      (`info` exit 0), and
+#   2. `run --resume` afterwards exits 0 and leaves a manifest and
+#      segment file set byte-identical to an uninterrupted build.
+#
+# --threads 1 keeps every byte deterministic. The reference lives in
+# a sibling directory under the SAME basename: segment entries name
+# their files by basename, so only then are the manifests comparable.
+#
+# Expects: CLI (wet_cli path), SAMPLE (program source), SCRATCH
+# (scratch directory).
+
+set(scale 40)
+set(segstmts 300)
+
+file(REMOVE_RECURSE ${SCRATCH})
+file(MAKE_DIRECTORY ${SCRATCH}/ref ${SCRATCH}/run)
+set(ref ${SCRATCH}/ref/trace.wetx)
+set(target ${SCRATCH}/run/trace.wetx)
+
+execute_process(
+    COMMAND ${CLI} run ${SAMPLE} --scale ${scale} --threads 1
+            --segment-statements ${segstmts} --save ${ref}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "reference segmented build failed (${rc})")
+endif()
+file(GLOB ref_segs RELATIVE ${SCRATCH}/ref ${SCRATCH}/ref/*.seg*)
+list(LENGTH ref_segs nsegs)
+if(nsegs LESS 4)
+    message(FATAL_ERROR
+            "reference produced only ${nsegs} segments; raise the "
+            "scale so the sweep can crash mid-build")
+endif()
+list(SORT ref_segs)
+# A crash ordinal that lands mid-build for every site: deep enough
+# that segments are already committed, shallow enough to be reached.
+math(EXPR mid "${nsegs} / 2 + 1")
+
+execute_process(
+    COMMAND ${CLI} failpoints
+    RESULT_VARIABLE rc OUTPUT_VARIABLE site_list ERROR_QUIET)
+string(REPLACE "\n" ";" sites "${site_list}")
+
+# Compare manifest + every segment file against the reference.
+macro(check_identical label)
+    file(READ ${ref} want HEX)
+    file(READ ${target} got HEX)
+    if(NOT got STREQUAL want)
+        message(FATAL_ERROR "${label}: resumed manifest differs "
+                            "from the uninterrupted reference")
+    endif()
+    file(GLOB got_segs RELATIVE ${SCRATCH}/run ${SCRATCH}/run/*.seg*)
+    list(SORT got_segs)
+    if(NOT got_segs STREQUAL ref_segs)
+        message(FATAL_ERROR "${label}: resumed segment file set "
+                            "differs (${got_segs} vs ${ref_segs})")
+    endif()
+    foreach(seg ${ref_segs})
+        file(READ ${SCRATCH}/ref/${seg} want HEX)
+        file(READ ${SCRATCH}/run/${seg} got HEX)
+        if(NOT got STREQUAL want)
+            message(FATAL_ERROR
+                    "${label}: segment ${seg} differs from the "
+                    "uninterrupted reference after resume")
+        endif()
+    endforeach()
+endmacro()
+
+foreach(site ${sites})
+    if(NOT site MATCHES "^wetio\\.(manifest\\.|seg\\.save|save\\.)")
+        continue()
+    endif()
+    foreach(nth 1 ${mid})
+        set(label "${site}=crash-nth:${nth}")
+        file(REMOVE_RECURSE ${SCRATCH}/run)
+        file(MAKE_DIRECTORY ${SCRATCH}/run)
+        execute_process(
+            COMMAND ${CLI} run ${SAMPLE} --scale ${scale} --threads 1
+                    --segment-statements ${segstmts} --save ${target}
+                    --failpoints ${site}=crash-nth:${nth}
+            RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+        if(rc EQUAL 0)
+            # The site is not hit ${nth} times in one build (e.g. the
+            # manifest header opens once): the untouched build must
+            # already be byte-identical to the reference.
+            check_identical("${label} (not reached)")
+            message(STATUS "${label}: not reached; build identical")
+            continue()
+        endif()
+        if(NOT rc EQUAL 134)
+            message(FATAL_ERROR
+                    "${label}: expected the simulated-crash exit "
+                    "134, got ${rc}")
+        endif()
+
+        # Whatever survived must load as a committed prefix (0) or be
+        # rejected cleanly as unloadable (5, nothing committed) —
+        # never crash the loader or leave it hanging.
+        if(EXISTS ${target})
+            execute_process(
+                COMMAND ${CLI} info ${SAMPLE} ${target}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE info ERROR_QUIET)
+            if(rc EQUAL 0)
+                if(NOT info MATCHES "segmented artifact")
+                    message(FATAL_ERROR
+                            "${label}: prefix loaded but info does "
+                            "not report a segmented artifact")
+                endif()
+            elseif(NOT rc EQUAL 5)
+                message(FATAL_ERROR
+                        "${label}: loading the crashed prefix must "
+                        "exit 0 or 5, got ${rc}")
+            endif()
+        endif()
+
+        execute_process(
+            COMMAND ${CLI} run ${SAMPLE} --scale ${scale} --threads 1
+                    --segment-statements ${segstmts} --save ${target}
+                    --resume
+            RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+        if(NOT rc EQUAL 0)
+            message(FATAL_ERROR "${label}: --resume failed (${rc})")
+        endif()
+        check_identical(${label})
+        message(STATUS "${label}: prefix + resume byte-identical")
+    endforeach()
+endforeach()
+
+message(STATUS "segment crash sweep: OK (${nsegs} segments)")

@@ -5,6 +5,8 @@
  *
  *   wet_cli run   prog.wet [--scale N] [--seed S] [--mem W]
  *                 [--save out.wetx] [--threads N]
+ *                 [--segment-statements N] [--memory-budget-mb M]
+ *                 [--resume]
  *   wet_cli info  prog.wet file.wetx
  *   wet_cli cf    prog.wet file.wetx [--from T] [--count N]
  *   wet_cli values prog.wet file.wetx --stmt S [--limit N]
@@ -67,6 +69,19 @@
  * All artifact-reading commands accept --io mmap|buffered to select
  * the load backend (the parse is backend-invariant by construction).
  *
+ * Segmented builds: `run --segment-statements N` (cut every N
+ * executed statements) and/or `--memory-budget-mb M` (cut when the
+ * window's tier-1 bytes reach the budget) stream the trace into
+ * per-window version-4 WETX files committed one by one to a
+ * checksummed manifest at the --save path (required). A crash leaves
+ * a loadable committed prefix; `run --resume` with identical
+ * parameters replays deterministically, skips committed windows, and
+ * produces the byte-identical final artifact set. Every
+ * artifact-reading command accepts a manifest wherever it accepts a
+ * WETX file; a segment that fails its checksum or load verification
+ * is quarantined (reported on stderr) and queries keep answering over
+ * the healthy time ranges.
+ *
  * The program source is always required: the WETX file stores the
  * dynamic profile, not the program, and refuses to open against a
  * different module (fingerprint check).
@@ -117,6 +132,7 @@
 #include "support/sizes.h"
 #include "support/threadpool.h"
 #include "support/timer.h"
+#include "wetio/manifest.h"
 #include "wetio/wetio.h"
 
 using namespace wet;
@@ -168,6 +184,12 @@ struct Args
     uint64_t timeoutMs = 0;
     /** Construction workers; --threads beats WET_THREADS beats 1. */
     unsigned threads = support::envThreadCount(1);
+    /** Segmented build bounds (run): cut after N statements / when
+     *  the window reaches M MiB of tier-1 labels (0 = off). */
+    uint64_t segStmts = 0;
+    uint64_t budgetMb = 0;
+    /** run: continue an interrupted segmented build in place. */
+    bool resume = false;
     /** serve/client: socket endpoint and server shape. */
     std::string unixPath;
     uint64_t port = 0;
@@ -186,6 +208,10 @@ usage()
         "  run      --scale N --seed S --mem W --save out.wetx\n"
         "           --threads N (parallel construction; or "
         "WET_THREADS)\n"
+        "           --segment-statements N --memory-budget-mb M\n"
+        "           (stream the build into a segment manifest at\n"
+        "            the --save path) --resume (continue an\n"
+        "            interrupted segmented build)\n"
         "  cf       --from T --count N\n"
         "  values   --stmt S --limit N\n"
         "  addr     --stmt S --limit N (load/store address trace)\n"
@@ -280,6 +306,12 @@ parse(int argc, char** argv)
             a.cacheCap = numArg(argc, argv, i);
         else if (opt == "--threads")
             a.threads = static_cast<unsigned>(numArg(argc, argv, i));
+        else if (opt == "--segment-statements")
+            a.segStmts = numArg(argc, argv, i);
+        else if (opt == "--memory-budget-mb")
+            a.budgetMb = numArg(argc, argv, i);
+        else if (opt == "--resume")
+            a.resume = true;
         else if (opt == "--engine" && i + 1 < argc)
             a.engine = argv[++i];
         else if (opt == "--io" && i + 1 < argc)
@@ -353,14 +385,19 @@ cliBackend(const Args& a)
                               : wetio::ArtifactView::Backend::Mmap;
 }
 
-/** Load the artifact; unreadable/mismatched files exit with code 5. */
-wetio::LoadedWet
-loadWetx(const Args& a, const ir::Module& mod)
+/**
+ * Load the artifact — a legacy single-file WETX or a segment
+ * manifest; no healthy segment at all exits with code 5. Quarantined
+ * segments degrade, not fail: each is reported once on stderr and the
+ * healthy time ranges keep serving.
+ */
+std::shared_ptr<wetio::SegmentedArtifact>
+loadArtifact(const Args& a, const ir::Module& mod)
 {
     analysis::DiagEngine diag;
-    wetio::LoadedWet w =
-        wetio::tryLoad(a.wetx, mod, diag, cliBackend(a));
-    if (!w.graph || !w.compressed) {
+    auto art = std::make_shared<wetio::SegmentedArtifact>(
+        wetio::tryLoadArtifact(a.wetx, mod, diag, cliBackend(a)));
+    if (art->healthy() == 0) {
         std::string detail = "malformed WETX file";
         if (!diag.diagnostics().empty()) {
             const analysis::Diagnostic& d = diag.diagnostics().front();
@@ -369,7 +406,49 @@ loadWetx(const Args& a, const ir::Module& mod)
         throw CliError{kExitIo,
                        "cannot load '" + a.wetx + "': " + detail};
     }
-    return w;
+    for (const wetio::LoadedSegment& seg : art->segments)
+        if (seg.quarantined)
+            std::fprintf(stderr,
+                         "warning: %s: segment %u quarantined: %s\n",
+                         a.wetx.c_str(), seg.meta.index,
+                         seg.reason.c_str());
+    return art;
+}
+
+/**
+ * Shared immutable session state over a loaded artifact. A legacy
+ * single-file load keeps the historical single-artifact constructor
+ * (its backing feeds the resident-bytes governor and stats); a
+ * segmented load hands the per-window segments over with @p art as
+ * the owner keeping every borrowed pointer alive.
+ */
+std::shared_ptr<core::SharedArtifact>
+makeSharedArtifact(const Args& a, const ir::Module& mod,
+                   std::shared_ptr<wetio::SegmentedArtifact> art)
+{
+    if (!art->segmented) {
+        const wetio::LoadedWet& w = art->segments[0].wet;
+        auto shared = std::make_shared<core::SharedArtifact>(
+            mod, *w.compressed, w.backing, a.threads, a.wetx);
+        return shared;
+    }
+    std::vector<core::ArtifactSegment> segs;
+    segs.reserve(art->segments.size());
+    for (const wetio::LoadedSegment& s : art->segments) {
+        core::ArtifactSegment seg;
+        if (s.quarantined) {
+            seg.tsBegin = s.meta.tsBegin;
+            seg.tsEnd = s.meta.tsEnd;
+            seg.quarantined = true;
+        } else {
+            seg.compressed = s.wet.compressed.get();
+            seg.tsBegin = s.wet.graph->tsBegin;
+            seg.tsEnd = s.wet.graph->lastTimestamp;
+        }
+        segs.push_back(seg);
+    }
+    return std::make_shared<core::SharedArtifact>(
+        mod, std::move(segs), art, a.threads, a.wetx);
 }
 
 core::SessionOptions
@@ -384,9 +463,102 @@ sessionOptions(const Args& a)
     return opt;
 }
 
+/**
+ * Build-parameter signature committed in the manifest header: resume
+ * only replays deterministically when every input that shapes the
+ * trace and the cut points is identical. Thread count is excluded —
+ * tier-2 encoding is byte-identical across worker counts.
+ */
+uint64_t
+buildParamSig(const Args& a)
+{
+    char buf[160];
+    int n = std::snprintf(
+        buf, sizeof buf,
+        "scale=%llu seed=%llu mem=%llu segstmts=%llu budgetmb=%llu",
+        static_cast<unsigned long long>(a.scale),
+        static_cast<unsigned long long>(a.seed),
+        static_cast<unsigned long long>(a.memWords),
+        static_cast<unsigned long long>(a.segStmts),
+        static_cast<unsigned long long>(a.budgetMb));
+    return wetio::fnv1a64(reinterpret_cast<const uint8_t*>(buf),
+                          static_cast<size_t>(n));
+}
+
+/**
+ * Parse and validate the committed prefix for `run --resume`. A
+ * missing or unparseable manifest resumes nothing (fresh build); a
+ * manifest from different build parameters is a usage error; a
+ * committed segment file that no longer matches its manifest entry is
+ * an I/O error (resume cannot promise byte-identity over a corrupt
+ * prefix — rebuild from scratch instead).
+ */
+bool
+loadResumePrefix(const Args& a, const ir::Module& mod,
+                 wetio::Manifest& prefix)
+{
+    if (!wetio::isManifest(a.savePath))
+        return false;
+    analysis::DiagEngine diag;
+    if (!wetio::parseManifest(a.savePath, diag, prefix)) {
+        std::fprintf(stderr,
+                     "warning: %s: manifest header unreadable; "
+                     "restarting the build from scratch\n",
+                     a.savePath.c_str());
+        return false;
+    }
+    if (prefix.fingerprint != wetio::moduleFingerprint(mod))
+        throw CliError{kExitUsage,
+                       "cannot resume '" + a.savePath +
+                           "': manifest was built from a different "
+                           "program"};
+    if (prefix.paramSig != buildParamSig(a))
+        throw CliError{kExitUsage,
+                       "cannot resume '" + a.savePath +
+                           "': manifest was built with different "
+                           "parameters"};
+    // Committed segment files must still be byte-identical to what
+    // the interrupted build published.
+    const std::string dir =
+        a.savePath.find_last_of('/') == std::string::npos
+            ? std::string(".")
+            : a.savePath.substr(0, a.savePath.find_last_of('/'));
+    for (const wetio::SegmentMeta& m : prefix.segments) {
+        const std::string file = dir + "/" + m.file;
+        std::ifstream in(file, std::ios::binary);
+        std::string bytes;
+        if (in) {
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            bytes = ss.str();
+        }
+        if (!in || bytes.size() != m.bytes ||
+            wetio::fnv1a64(
+                reinterpret_cast<const uint8_t*>(bytes.data()),
+                bytes.size()) != m.fileCrc)
+        {
+            throw CliError{kExitIo,
+                           "cannot resume '" + a.savePath +
+                               "': committed segment file '" + file +
+                               "' is missing or corrupt"};
+        }
+    }
+    return true;
+}
+
 int
 cmdRun(const Args& a)
 {
+    const bool segmented = a.segStmts != 0 || a.budgetMb != 0;
+    if (segmented && a.savePath.empty())
+        throw CliError{kExitUsage,
+                       "--segment-statements/--memory-budget-mb "
+                       "require --save"};
+    if (a.resume && !segmented)
+        throw CliError{kExitUsage,
+                       "--resume requires a segmented build "
+                       "(--segment-statements or "
+                       "--memory-budget-mb)"};
     ir::Module mod = compileProgram(a);
     analysis::ModuleAnalysis ma(mod, uint64_t{1} << 24, a.threads);
     // Input convention: first in() gets the scale, later in() calls
@@ -413,6 +585,56 @@ cmdRun(const Args& a)
         support::Rng rng_;
         bool first_ = true;
     } input(a.scale, a.seed);
+
+    if (segmented) {
+        wetio::Manifest prefix;
+        const bool resuming =
+            a.resume && loadResumePrefix(a, mod, prefix);
+        wetio::SegmentWriter writer(a.savePath, mod, {}, a.threads,
+                                    buildParamSig(a),
+                                    resuming ? &prefix : nullptr);
+        core::SegmentPolicy policy;
+        policy.segmentStatements = a.segStmts;
+        policy.memoryBudgetBytes = a.budgetMb << 20;
+        policy.onSegment = [&writer](core::WetGraph&& g) {
+            writer.onSegment(std::move(g));
+        };
+        core::WetBuilder builder(ma, {}, policy);
+        interp::Interpreter interp(ma, input, &builder);
+        support::Timer timer;
+        interp::RunResult run;
+        try {
+            run = interp.run();
+            builder.finishSegments();
+            writer.finish();
+        } catch (const WetError& e) {
+            throw CliError{kExitIo, std::string(e.what())};
+        }
+        double secs = timer.seconds();
+
+        std::printf(
+            "executed %llu statements in %.2fs\n",
+            static_cast<unsigned long long>(run.stmtsExecuted), secs);
+        for (size_t i = 0; i < run.outputs.size() && i < 16; ++i)
+            std::printf("out[%zu] = %lld\n", i,
+                        static_cast<long long>(run.outputs[i]));
+        uint64_t bytes = 0;
+        uint64_t stmts = 0;
+        for (const wetio::SegmentMeta& m : writer.segments()) {
+            bytes += m.bytes;
+            stmts += m.stmts;
+        }
+        std::printf(
+            "WET: %zu segments (%llu resumed), %llu statement "
+            "instances, %s on disk; peak window %s\n",
+            writer.segments().size(),
+            static_cast<unsigned long long>(writer.skipped()),
+            static_cast<unsigned long long>(stmts),
+            support::formatBytes(bytes).c_str(),
+            support::formatBytes(builder.peakWindowBytes()).c_str());
+        std::printf("saved to %s\n", a.savePath.c_str());
+        return kExitOk;
+    }
 
     core::WetBuilder builder(ma);
     interp::Interpreter interp(ma, input, &builder);
@@ -451,7 +673,50 @@ int
 cmdInfo(const Args& a)
 {
     ir::Module mod = compileProgram(a);
-    wetio::LoadedWet w = loadWetx(a, mod);
+    auto art = loadArtifact(a, mod);
+    if (art->segmented) {
+        std::printf("%s: segmented artifact, %zu segments "
+                    "(%zu healthy)%s\n",
+                    a.wetx.c_str(), art->segments.size(),
+                    art->healthy(),
+                    art->manifest.complete ? ""
+                                           : " [interrupted build]");
+        core::TierSizes t2{};
+        for (const wetio::LoadedSegment& s : art->segments) {
+            if (s.quarantined) {
+                std::printf("  seg %06u t=%llu..%llu QUARANTINED "
+                            "(%s)\n",
+                            s.meta.index,
+                            static_cast<unsigned long long>(
+                                s.meta.tsBegin + 1),
+                            static_cast<unsigned long long>(
+                                s.meta.tsEnd),
+                            s.reason.c_str());
+                continue;
+            }
+            const core::WetGraph& g = *s.wet.graph;
+            std::printf(
+                "  seg %06u t=%llu..%llu nodes %zu edges %zu "
+                "stmts %llu (%s)\n",
+                s.meta.index,
+                static_cast<unsigned long long>(g.tsBegin + 1),
+                static_cast<unsigned long long>(g.lastTimestamp),
+                g.nodes.size(), g.edges.size(),
+                static_cast<unsigned long long>(
+                    g.stmtInstancesTotal),
+                support::formatBytes(s.meta.bytes).c_str());
+            core::TierSizes seg = s.wet.compressed->sizes();
+            t2.nodeTs += seg.nodeTs;
+            t2.nodeVals += seg.nodeVals;
+            t2.edgeTs += seg.edgeTs;
+        }
+        std::printf("  compressed: ts %s, vals %s, edges %s\n",
+                    support::formatBytes(t2.nodeTs).c_str(),
+                    support::formatBytes(t2.nodeVals).c_str(),
+                    support::formatBytes(t2.edgeTs).c_str());
+        return kExitOk;
+    }
+    const wetio::LoadedWet& w = art->segments[0].wet;
     const core::WetGraph& g = *w.graph;
     std::printf("%s:\n", a.wetx.c_str());
     std::printf("  nodes: %zu  edges: %zu  pooled label seqs: %zu\n",
@@ -507,8 +772,8 @@ cmdStandaloneQuery(const Args& a)
         a.stmt == UINT64_MAX)
         usage();
     ir::Module mod = compileProgram(a);
-    wetio::LoadedWet w = loadWetx(a, mod);
-    core::QuerySession s(mod, *w.compressed, w.backing,
+    auto art = loadArtifact(a, mod);
+    core::QuerySession s(makeSharedArtifact(a, mod, art),
                          sessionOptions(a));
 
     serve::QueryOutput qo;
@@ -542,18 +807,26 @@ cmdVerify(const Args& a)
     // the module itself is sound.
     analysis::verifyModule(mod, diag);
     if (!diag.hasErrors()) {
-        wetio::LoadedWet w =
-            wetio::tryLoad(a.wetx, mod, diag, cliBackend(a));
-        if (w.graph && w.compressed) {
+        // Quarantined segments surface as error diagnostics from the
+        // load itself (ART006/IO009), so a degraded artifact verifies
+        // to exit 4 even though its healthy segments still pass the
+        // structural chain below.
+        wetio::SegmentedArtifact art =
+            wetio::tryLoadArtifact(a.wetx, mod, diag, cliBackend(a));
+        if (art.healthy() != 0) {
             analysis::ModuleAnalysis ma(mod, uint64_t{1} << 24,
                                         a.threads);
-            analysis::verifyWet(*w.graph, ma, diag,
-                                w.compressed.get());
-            analysis::verifyArtifact(*w.compressed, diag);
             analysis::StaticDepGraph sdg(ma);
-            analysis::verifyDeps(*w.graph, ma, sdg, diag,
-                                 w.compressed.get());
-            analysis::verifySync(*w.compressed, &mod, diag);
+            for (const wetio::LoadedSegment& s : art.segments) {
+                if (s.quarantined)
+                    continue;
+                analysis::verifyWet(*s.wet.graph, ma, diag,
+                                    s.wet.compressed.get());
+                analysis::verifyArtifact(*s.wet.compressed, diag);
+                analysis::verifyDeps(*s.wet.graph, ma, sdg, diag,
+                                     s.wet.compressed.get());
+                analysis::verifySync(*s.wet.compressed, &mod, diag);
+            }
         }
     }
 
@@ -581,14 +854,24 @@ cmdDepcheck(const Args& a)
         // dependence violation; only loadable-but-broken artifacts
         // fall through to the diagnostic chain.
         readFile(a.wetx);
-        wetio::LoadedWet w =
-            wetio::tryLoad(a.wetx, mod, diag, cliBackend(a));
-        if (w.graph && w.compressed) {
+        wetio::SegmentedArtifact art =
+            wetio::tryLoadArtifact(a.wetx, mod, diag, cliBackend(a));
+        if (art.healthy() != 0) {
             analysis::ModuleAnalysis ma(mod, uint64_t{1} << 24,
                                         a.threads);
             analysis::StaticDepGraph sdg(ma);
-            analysis::verifyDeps(*w.graph, ma, sdg, diag,
-                                 w.compressed.get(), {}, &stats);
+            for (const wetio::LoadedSegment& s : art.segments) {
+                if (s.quarantined)
+                    continue;
+                analysis::DepCheckStats st;
+                analysis::verifyDeps(*s.wet.graph, ma, sdg, diag,
+                                     s.wet.compressed.get(), {},
+                                     &st);
+                stats.ddEdges += st.ddEdges;
+                stats.cdEdges += st.cdEdges;
+                stats.sliceSeeds += st.sliceSeeds;
+                stats.sliceItems += st.sliceItems;
+            }
         }
     }
     std::string out;
@@ -613,8 +896,8 @@ int
 cmdQuery(const Args& a)
 {
     ir::Module mod = compileProgram(a);
-    wetio::LoadedWet w = loadWetx(a, mod);
-    core::QuerySession s(mod, *w.compressed, w.backing,
+    auto art = loadArtifact(a, mod);
+    core::QuerySession s(makeSharedArtifact(a, mod, art),
                          sessionOptions(a));
 
     std::ifstream file;
@@ -670,9 +953,8 @@ cmdServe(const Args& a)
                        "serve requires --unix PATH or --port N"};
     }
     ir::Module mod = compileProgram(a);
-    wetio::LoadedWet w = loadWetx(a, mod);
-    auto artifact = std::make_shared<core::SharedArtifact>(
-        mod, *w.compressed, w.backing, a.threads, a.wetx);
+    auto art = loadArtifact(a, mod);
+    auto artifact = makeSharedArtifact(a, mod, art);
 
     serve::ServerOptions so;
     so.unixPath = a.unixPath;
